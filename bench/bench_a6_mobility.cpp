@@ -1,0 +1,98 @@
+// A6 (extension): device mobility vs reconfiguration policy. Devices follow
+// a random-waypoint walk; three handover policies are compared over the
+// same mobility trace:
+//   pinned      — devices keep their original server (static assignment)
+//   handover    — each mover is reassigned to its cheapest feasible server
+//   handover+rb — handover plus a bounded rebalance pass per epoch
+#include "bench/bench_common.hpp"
+#include "core/dynamic.hpp"
+#include "workload/mobility.hpp"
+
+namespace {
+
+using namespace tacc;
+
+int run(int argc, char** argv) {
+  const auto flags = util::Flags::parse(argc, argv);
+  const auto config = bench::BenchConfig::from_flags(flags);
+  const auto iot = static_cast<std::size_t>(
+      flags.get_int("iot", config.quick ? 100 : 200));
+  const auto edge = static_cast<std::size_t>(flags.get_int("edge", 10));
+  const auto epochs = static_cast<std::size_t>(
+      flags.get_int("epochs", config.quick ? 6 : 15));
+  const double epoch_s = flags.get_double("epoch_s", 60.0);
+
+  bench::CsvFile csv("a6_mobility");
+  csv.writer().header({"epoch", "policy", "avg_delay_ms", "max_util",
+                       "moves"});
+
+  const Scenario scenario = Scenario::smart_city(iot, edge, config.base_seed);
+  AlgorithmOptions options = bench::experiment_options(config.quick);
+  options.apply_seed(config.base_seed);
+
+  struct Policy {
+    const char* name;
+    DynamicCluster cluster;
+    std::vector<std::size_t> ids;
+    bool handover;
+    bool rebalance;
+  };
+  std::vector<Policy> policies;
+  for (const auto& [name, handover, rebalance] :
+       {std::tuple{"pinned", false, false},
+        std::tuple{"handover", true, false},
+        std::tuple{"handover+rebalance", true, true}}) {
+    Policy policy{name,
+                  DynamicCluster(scenario, Algorithm::kQLearning, options),
+                  std::vector<std::size_t>(iot),
+                  handover,
+                  rebalance};
+    for (std::size_t i = 0; i < iot; ++i) policy.ids[i] = i;
+    policies.push_back(std::move(policy));
+  }
+
+  workload::MobilityParams mobility;
+  mobility.area_km = scenario.params().workload.area_km;
+  mobility.mobile_fraction = 0.6;
+  workload::RandomWaypointModel model(scenario.workload().iot, mobility,
+                                      util::Rng(config.base_seed * 3 + 1));
+
+  util::ConsoleTable table(
+      {"epoch", "policy", "avg delay (ms)", "max util", "moves"});
+  for (std::size_t epoch = 1; epoch <= epochs; ++epoch) {
+    const auto movers = model.advance(epoch_s);
+    for (Policy& policy : policies) {
+      std::size_t moves = 0;
+      for (const std::size_t mover : movers) {
+        const auto p = model.position(mover);
+        policy.ids[mover] = policy.handover
+                                ? policy.cluster.move(policy.ids[mover], p)
+                                : policy.cluster.move_pinned(
+                                      policy.ids[mover], p);
+      }
+      if (policy.rebalance) moves = policy.cluster.rebalance(64);
+      csv.writer().row(epoch, policy.name, policy.cluster.avg_delay_ms(),
+                       policy.cluster.max_utilization(), moves);
+      if (epoch == 1 || epoch == epochs || epoch % 5 == 0) {
+        table.add_row({std::to_string(epoch), policy.name,
+                       util::format_double(policy.cluster.avg_delay_ms(), 2),
+                       util::format_double(
+                           policy.cluster.max_utilization(), 2),
+                       std::to_string(moves)});
+      }
+    }
+  }
+  std::cout << table.to_string(
+                   "A6 — mobility (random waypoint, 60% mobile, " +
+                   std::to_string(epochs) + " epochs x " +
+                   util::format_double(epoch_s, 0) + "s):")
+            << "\nExpected shape: pinned delay drifts upward epoch over "
+               "epoch; handover keeps\nit near the initial level; rebalance "
+               "adds a further small improvement.\n";
+  bench::check_unused_flags(flags);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) { return run(argc, argv); }

@@ -1,0 +1,81 @@
+// Shared glue for the experiment binaries in bench/: CSV emission beside the
+// process working directory, standard flag handling, and algorithm labels.
+//
+// Every bench prints a paper-style table to stdout AND writes the raw series
+// to <name>.csv so results can be re-plotted without re-running.
+#pragma once
+
+#include <fstream>
+#include <iostream>
+#include <stdexcept>
+#include <string>
+
+#include "core/tacc.hpp"
+#include "util/csv.hpp"
+#include "util/flags.hpp"
+#include "util/table.hpp"
+
+namespace tacc::bench {
+
+/// Opens <name>.csv in the working directory and announces it on stdout.
+class CsvFile {
+ public:
+  explicit CsvFile(const std::string& name) : path_(name + ".csv"),
+                                              stream_(path_) {
+    if (!stream_) {
+      throw std::runtime_error("cannot open " + path_ + " for writing");
+    }
+    std::cout << "[csv] writing " << path_ << "\n";
+  }
+  ~CsvFile() { std::cout << "[csv] wrote " << path_ << "\n"; }
+
+  CsvFile(const CsvFile&) = delete;
+  CsvFile& operator=(const CsvFile&) = delete;
+
+  [[nodiscard]] util::CsvWriter& writer() { return writer_; }
+  [[nodiscard]] const std::string& path() const noexcept { return path_; }
+
+ private:
+  std::string path_;
+  std::ofstream stream_;
+  util::CsvWriter writer_{stream_};
+};
+
+/// Shared "fast mode" knob: `--quick` shrinks repeats/sizes so the whole
+/// bench suite stays minutes-scale; default parameters match DESIGN.md.
+struct BenchConfig {
+  bool quick = false;
+  std::uint64_t base_seed = 1000;
+  std::size_t repeats = 5;
+
+  static BenchConfig from_flags(const util::Flags& flags) {
+    BenchConfig config;
+    config.quick = flags.get_bool("quick", false);
+    config.base_seed =
+        static_cast<std::uint64_t>(flags.get_int("seed", 1000));
+    config.repeats = static_cast<std::size_t>(
+        flags.get_int("repeats", config.quick ? 2 : 5));
+    return config;
+  }
+};
+
+/// Warn about mistyped flags (call at the end of main).
+inline void check_unused_flags(const util::Flags& flags) {
+  for (const std::string& name : flags.unused()) {
+    std::cerr << "warning: unknown flag --" << name << " ignored\n";
+  }
+}
+
+/// Default AlgorithmOptions for experiments (tuned per DESIGN.md; the seed
+/// is applied per run by the harness).
+inline AlgorithmOptions experiment_options(bool quick) {
+  AlgorithmOptions options;
+  if (quick) {
+    options.rl.episodes = 150;
+    options.ucb.rollouts_per_device = 6;
+    options.annealing.steps = 50'000;
+  }
+  return options;
+}
+
+}  // namespace tacc::bench

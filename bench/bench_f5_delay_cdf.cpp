@@ -1,0 +1,76 @@
+// F5 (reconstructed): CDF of realized per-message delay under packet-level
+// simulation at the default configuration — the tail-latency figure.
+#include "bench/bench_common.hpp"
+#include "metrics/histogram.hpp"
+
+namespace {
+
+using namespace tacc;
+
+int run(int argc, char** argv) {
+  const auto flags = util::Flags::parse(argc, argv);
+  const auto config = bench::BenchConfig::from_flags(flags);
+  const auto iot = static_cast<std::size_t>(
+      flags.get_int("iot", config.quick ? 200 : 500));
+  const auto edge = static_cast<std::size_t>(flags.get_int("edge", 20));
+  const double duration_s =
+      flags.get_double("duration", config.quick ? 8.0 : 20.0);
+
+  bench::CsvFile csv("f5_delay_cdf");
+  csv.writer().header({"algorithm", "delay_ms", "cdf"});
+
+  const Scenario scenario = Scenario::smart_city(iot, edge, config.base_seed);
+  const ClusterConfigurator configurator(scenario);
+  const std::vector<Algorithm> algorithms = {
+      Algorithm::kGreedyNearest, Algorithm::kGreedyBestFit,
+      Algorithm::kRegretGreedy,  Algorithm::kQLearning,
+      Algorithm::kUcbRollout};
+
+  util::ConsoleTable table({"algorithm", "mean (ms)", "p50", "p95", "p99",
+                            "max", "messages"});
+  for (Algorithm algorithm : algorithms) {
+    AlgorithmOptions options = bench::experiment_options(config.quick);
+    options.apply_seed(config.base_seed);
+    const ClusterConfiguration conf =
+        configurator.configure(algorithm, options);
+    sim::SimParams sim_params;
+    sim_params.duration_s = duration_s;
+    sim_params.warmup_s = duration_s / 10.0;
+    sim_params.seed = config.base_seed;
+    const sim::SimResult sim = sim::simulate(
+        scenario.network(), scenario.workload(), conf.assignment(),
+        sim_params);
+
+    // Thinned CDF (≤ 200 points per algorithm) for plotting.
+    const auto cdf = metrics::empirical_cdf(sim.delay_ms.values());
+    const std::size_t stride = std::max<std::size_t>(1, cdf.size() / 200);
+    for (std::size_t k = 0; k < cdf.size(); k += stride) {
+      csv.writer().row(to_string(algorithm), cdf[k].x, cdf[k].fraction);
+    }
+    if (!cdf.empty()) {
+      csv.writer().row(to_string(algorithm), cdf.back().x,
+                       cdf.back().fraction);
+    }
+
+    table.add_row({std::string(to_string(algorithm)),
+                   util::format_double(sim.mean_delay_ms(), 2),
+                   util::format_double(sim.delay_ms.percentile(0.50), 2),
+                   util::format_double(sim.delay_ms.percentile(0.95), 2),
+                   util::format_double(sim.p99_delay_ms(), 2),
+                   util::format_double(sim.delay_ms.stats().max(), 2),
+                   std::to_string(sim.messages_measured)});
+  }
+  std::cout << table.to_string(
+                   "F5 — simulated delay distribution (n=" +
+                   std::to_string(iot) + ", m=" + std::to_string(edge) +
+                   ", " + util::format_double(duration_s, 0) + "s):")
+            << "\nExpected shape: the RL configuration's CDF sits left of "
+               "the baselines,\nwith the gap largest in the tail (p99); "
+               "oblivious nearest explodes (overloaded queues).\n";
+  bench::check_unused_flags(flags);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) { return run(argc, argv); }

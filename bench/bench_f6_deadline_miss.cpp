@@ -1,0 +1,82 @@
+// F6 (reconstructed): deadline-miss rate vs deadline stringency — the
+// "real-time applications working under stringent deadlines" figure.
+//
+// One simulation per algorithm produces the full per-message delay sample;
+// the miss rate at deadline d is then the empirical fraction of delays > d
+// (equivalent to re-running with uniform deadline d, far cheaper).
+#include <algorithm>
+
+#include "bench/bench_common.hpp"
+
+namespace {
+
+using namespace tacc;
+
+int run(int argc, char** argv) {
+  const auto flags = util::Flags::parse(argc, argv);
+  const auto config = bench::BenchConfig::from_flags(flags);
+  const auto iot = static_cast<std::size_t>(
+      flags.get_int("iot", config.quick ? 200 : 400));
+  const auto edge = static_cast<std::size_t>(flags.get_int("edge", 12));
+  const double duration_s =
+      flags.get_double("duration", config.quick ? 8.0 : 20.0);
+
+  bench::CsvFile csv("f6_deadline_miss");
+  csv.writer().header({"deadline_ms", "algorithm", "miss_rate"});
+
+  // Factory preset: tight capacity, small area — the stringent regime.
+  const Scenario scenario = Scenario::factory(iot, edge, config.base_seed);
+  const ClusterConfigurator configurator(scenario);
+  const std::vector<Algorithm> algorithms = {
+      Algorithm::kGreedyNearest, Algorithm::kGreedyBestFit,
+      Algorithm::kRegretGreedy,  Algorithm::kQLearning,
+      Algorithm::kUcbRollout};
+  const std::vector<double> deadlines = {5.0,  7.5,  10.0, 15.0,
+                                         20.0, 30.0, 50.0};
+
+  util::ConsoleTable table({"algorithm", "miss@5ms", "miss@10ms", "miss@20ms",
+                            "miss@50ms"});
+  for (Algorithm algorithm : algorithms) {
+    AlgorithmOptions options = bench::experiment_options(config.quick);
+    options.apply_seed(config.base_seed);
+    const ClusterConfiguration conf =
+        configurator.configure(algorithm, options);
+    sim::SimParams sim_params;
+    sim_params.duration_s = duration_s;
+    sim_params.warmup_s = duration_s / 10.0;
+    sim_params.seed = config.base_seed;
+    const sim::SimResult sim = sim::simulate(
+        scenario.network(), scenario.workload(), conf.assignment(),
+        sim_params);
+
+    std::vector<double> sorted = sim.delay_ms.values();
+    std::sort(sorted.begin(), sorted.end());
+    const auto miss_rate = [&](double deadline) {
+      const auto it =
+          std::upper_bound(sorted.begin(), sorted.end(), deadline);
+      return 1.0 - static_cast<double>(it - sorted.begin()) /
+                       static_cast<double>(sorted.size());
+    };
+    std::vector<std::string> row{std::string(to_string(algorithm))};
+    for (double d : deadlines) {
+      csv.writer().row(d, to_string(algorithm), miss_rate(d));
+    }
+    for (double d : {5.0, 10.0, 20.0, 50.0}) {
+      row.push_back(util::format_double(miss_rate(d), 4));
+    }
+    table.add_row(std::move(row));
+  }
+  std::cout << table.to_string(
+                   "F6 — deadline-miss rate vs deadline (factory preset, "
+                   "n=" + std::to_string(iot) + ", m=" +
+                   std::to_string(edge) + "):")
+            << "\nExpected shape: RL lowest miss rate at every deadline; "
+               "the advantage is\nlargest at the most stringent deadlines; "
+               "oblivious nearest misses nearly always.\n";
+  bench::check_unused_flags(flags);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) { return run(argc, argv); }

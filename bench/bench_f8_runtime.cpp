@@ -1,0 +1,84 @@
+// F8 (reconstructed): solver wall-clock time vs instance size — the
+// scalability figure, plus branch-and-bound blow-up on a small prefix.
+#include "bench/bench_common.hpp"
+
+namespace {
+
+using namespace tacc;
+
+int run(int argc, char** argv) {
+  const auto flags = util::Flags::parse(argc, argv);
+  const auto config = bench::BenchConfig::from_flags(flags);
+
+  bench::CsvFile csv("f8_runtime");
+  csv.writer().header({"iot_count", "edge_count", "algorithm",
+                       "mean_wall_ms", "ci95"});
+
+  const std::vector<std::size_t> sizes =
+      config.quick ? std::vector<std::size_t>{100, 1000}
+                   : std::vector<std::size_t>{100, 500, 1000, 2000, 5000};
+  const std::vector<Algorithm> algorithms = {
+      Algorithm::kGreedyNearest, Algorithm::kGreedyBestFit,
+      Algorithm::kRegretGreedy,  Algorithm::kLocalSearch,
+      Algorithm::kSimulatedAnnealing, Algorithm::kFlowRelaxRepair,
+      Algorithm::kQLearning,     Algorithm::kSarsa,
+      Algorithm::kUcbRollout};
+
+  util::ConsoleTable table({"n", "m", "algorithm", "wall (ms)"});
+  for (std::size_t n : sizes) {
+    const std::size_t m = std::max<std::size_t>(5, n / 25);
+    for (Algorithm algorithm : algorithms) {
+      // Regret greedy is O(n²m), UCB is O(n²·R), and the flow relaxation
+      // runs n augmentations over an n·m-arc network: cap their sizes so
+      // the bench finishes; the CSV simply lacks those points (as the
+      // paper's figures would).
+      if ((algorithm == Algorithm::kRegretGreedy ||
+           algorithm == Algorithm::kUcbRollout ||
+           algorithm == Algorithm::kFlowRelaxRepair) &&
+          n > 2000) {
+        continue;
+      }
+      const AlgoStats stats = run_repeated(
+          [&](std::uint64_t seed) {
+            return Scenario::smart_city(n, m, seed);
+          },
+          algorithm, std::max<std::size_t>(2, config.repeats / 2),
+          config.base_seed, bench::experiment_options(config.quick));
+      csv.writer().row(n, m, to_string(algorithm), stats.wall_ms.mean(),
+                       metrics::ci95_half_width(stats.wall_ms));
+      table.add_row({std::to_string(n), std::to_string(m),
+                     std::string(to_string(algorithm)),
+                     util::format_double(stats.wall_ms.mean(), 1)});
+    }
+  }
+
+  // Branch-and-bound blow-up on a small prefix (exponential worst case).
+  for (std::size_t n : {8u, 12u, 16u, 20u}) {
+    const AlgoStats stats = run_repeated(
+        [&](std::uint64_t seed) {
+          ScenarioParams params;
+          params.workload.iot_count = n;
+          params.workload.edge_count = 4;
+          params.workload.load_factor = 0.8;
+          params.seed = seed;
+          return Scenario::generate(params);
+        },
+        Algorithm::kBranchAndBound, 3, config.base_seed,
+        bench::experiment_options(config.quick));
+    csv.writer().row(n, 4, "branch-and-bound", stats.wall_ms.mean(),
+                     metrics::ci95_half_width(stats.wall_ms));
+    table.add_row({std::to_string(n), "4", "branch-and-bound",
+                   util::format_double(stats.wall_ms.mean(), 1)});
+  }
+
+  std::cout << table.to_string("F8 — solver runtime vs instance size:")
+            << "\nExpected shape: constructive heuristics ms-scale and "
+               "near-linear; RL seconds-scale,\nlinear in n·episodes; "
+               "branch-and-bound explodes beyond ~16 devices.\n";
+  bench::check_unused_flags(flags);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) { return run(argc, argv); }

@@ -1,0 +1,98 @@
+// Capacity planning: "how many edge servers does this city need to hit a
+// target mean delay?" — the analytic M/D/1 predictor answers in
+// milliseconds what would take the packet simulator minutes to sweep, and
+// the final answer is validated with one simulation run.
+//
+//   ./capacity_planning [--iot=400] [--target_ms=12] [--seed=17]
+#include <iostream>
+
+#include "core/tacc.hpp"
+#include "sim/analytic.hpp"
+#include "util/flags.hpp"
+#include "util/table.hpp"
+
+int main(int argc, char** argv) {
+  const auto flags = tacc::util::Flags::parse(argc, argv);
+  const auto iot = static_cast<std::size_t>(flags.get_int("iot", 400));
+  const double target_ms = flags.get_double("target_ms", 14.0);
+  const auto seed = static_cast<std::uint64_t>(flags.get_int("seed", 17));
+
+  std::cout << "Planning for " << iot << " IoT devices; target mean delay "
+            << tacc::util::format_double(target_ms, 1) << " ms\n\n";
+
+  tacc::util::ConsoleTable table({"edge servers", "predicted mean (ms)",
+                                  "max util", "meets target"});
+  std::size_t chosen = 0;
+  tacc::Scenario chosen_scenario = tacc::Scenario::smart_city(iot, 4, seed);
+  tacc::ClusterConfiguration chosen_conf =
+      tacc::ClusterConfigurator(chosen_scenario)
+          .configure(tacc::Algorithm::kGreedyBestFit);
+
+  // Provisioning framing: each edge server has a FIXED capacity (sized so
+  // that ~16 servers run at 70% load); adding servers adds capacity.
+  const double per_server_capacity =
+      static_cast<double>(iot) * 10.0 / (0.7 * 16.0);
+  for (std::size_t m = 4; m <= 48; m += 4) {
+    tacc::ScenarioParams params;
+    params.seed = seed;
+    params.workload.iot_count = iot;
+    params.workload.edge_count = m;
+    params.workload.fixed_capacity_per_server = per_server_capacity;
+    const tacc::Scenario scenario = tacc::Scenario::generate(params);
+    if (scenario.workload().load_factor() >= 1.0) {
+      table.add_row({std::to_string(m), "infeasible (rho >= 1)", "-", "no"});
+      continue;
+    }
+    tacc::AlgorithmOptions options;
+    options.apply_seed(seed);
+    const auto conf = tacc::ClusterConfigurator(scenario).configure(
+        tacc::Algorithm::kQLearning, options);
+    const auto prediction = tacc::sim::predict_delays(
+        scenario.network(), scenario.workload(), conf.assignment());
+    const bool ok =
+        !prediction.saturated && prediction.mean_delay_ms <= target_ms;
+    double max_util = 0.0;
+    for (double u : prediction.server_utilization) {
+      max_util = std::max(max_util, u);
+    }
+    table.add_row({std::to_string(m),
+                   prediction.saturated
+                       ? std::string("saturated")
+                       : tacc::util::format_double(prediction.mean_delay_ms,
+                                                   2),
+                   tacc::util::format_double(max_util, 2),
+                   ok ? "yes" : "no"});
+    if (ok && chosen == 0) {
+      chosen = m;
+      chosen_scenario = scenario;
+      chosen_conf = conf;
+    }
+  }
+  std::cout << table.to_string("Predicted mean delay vs cluster size:")
+            << "\n";
+  if (chosen == 0) {
+    std::cout << "No cluster size up to 48 meets the target. Note the\n"
+                 "queueing floor: the delay-minimizing assignment packs the\n"
+                 "nearest servers to capacity, so each carries ~75%\n"
+                 "utilization regardless of fleet size — to go lower,\n"
+                 "trade assignment delay for load spreading or upgrade\n"
+                 "per-server capacity.\n";
+    return 1;
+  }
+
+  // Validate the chosen size with one real simulation.
+  const auto sim = tacc::sim::simulate(
+      chosen_scenario.network(), chosen_scenario.workload(),
+      chosen_conf.assignment(), {.duration_s = 20.0, .warmup_s = 2.0,
+                                 .seed = seed});
+  std::cout << "Chosen size: " << chosen << " servers. Simulated check: mean "
+            << tacc::util::format_double(sim.mean_delay_ms(), 2)
+            << " ms, p99 " << tacc::util::format_double(sim.p99_delay_ms(), 2)
+            << " ms, miss rate "
+            << tacc::util::format_double(sim.deadline_miss_rate(), 4)
+            << " -> target "
+            << (sim.mean_delay_ms() <= target_ms * 1.1 ? "confirmed"
+                                                       : "NOT confirmed")
+            << "\n";
+  return 0;
+}

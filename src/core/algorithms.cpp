@@ -1,0 +1,133 @@
+#include "core/algorithms.hpp"
+
+#include <stdexcept>
+
+#include "solvers/constructive.hpp"
+#include "solvers/flow_based.hpp"
+
+namespace tacc {
+
+std::string_view to_string(Algorithm algorithm) noexcept {
+  switch (algorithm) {
+    case Algorithm::kRandom:
+      return "random";
+    case Algorithm::kRoundRobin:
+      return "round-robin";
+    case Algorithm::kGreedyNearest:
+      return "greedy-nearest";
+    case Algorithm::kGreedyBestFit:
+      return "greedy-bestfit";
+    case Algorithm::kRegretGreedy:
+      return "regret-greedy";
+    case Algorithm::kLocalSearch:
+      return "local-search";
+    case Algorithm::kSimulatedAnnealing:
+      return "simulated-annealing";
+    case Algorithm::kGrasp:
+      return "grasp";
+    case Algorithm::kTabu:
+      return "tabu";
+    case Algorithm::kGenetic:
+      return "genetic";
+    case Algorithm::kFlowRelaxRepair:
+      return "flow-relax-repair";
+    case Algorithm::kBottleneck:
+      return "bottleneck";
+    case Algorithm::kBranchAndBound:
+      return "branch-and-bound";
+    case Algorithm::kQLearning:
+      return "q-learning";
+    case Algorithm::kSarsa:
+      return "sarsa";
+    case Algorithm::kUcbRollout:
+      return "ucb-rollout";
+  }
+  return "?";
+}
+
+Algorithm algorithm_from_string(std::string_view name) {
+  for (Algorithm a : all_algorithms()) {
+    if (to_string(a) == name) return a;
+  }
+  throw std::invalid_argument("unknown algorithm: " + std::string(name));
+}
+
+std::vector<Algorithm> all_algorithms() {
+  return {Algorithm::kRandom,          Algorithm::kRoundRobin,
+          Algorithm::kGreedyNearest,   Algorithm::kGreedyBestFit,
+          Algorithm::kRegretGreedy,    Algorithm::kLocalSearch,
+          Algorithm::kSimulatedAnnealing, Algorithm::kGrasp,
+          Algorithm::kTabu,            Algorithm::kGenetic,
+          Algorithm::kFlowRelaxRepair, Algorithm::kBottleneck,
+          Algorithm::kBranchAndBound,  Algorithm::kQLearning,
+          Algorithm::kSarsa,           Algorithm::kUcbRollout};
+}
+
+std::vector<Algorithm> comparison_algorithms() {
+  return {Algorithm::kGreedyNearest,   Algorithm::kGreedyBestFit,
+          Algorithm::kRegretGreedy,    Algorithm::kLocalSearch,
+          Algorithm::kSimulatedAnnealing, Algorithm::kGrasp,
+          Algorithm::kTabu,            Algorithm::kGenetic,
+          Algorithm::kFlowRelaxRepair, Algorithm::kQLearning,
+          Algorithm::kSarsa,           Algorithm::kUcbRollout};
+}
+
+std::vector<Algorithm> rl_algorithms() {
+  return {Algorithm::kQLearning, Algorithm::kSarsa, Algorithm::kUcbRollout};
+}
+
+void AlgorithmOptions::apply_seed(std::uint64_t new_seed) {
+  seed = new_seed;
+  rl.seed = new_seed;
+  ucb.seed = new_seed;
+  local_search.seed = new_seed;
+  annealing.seed = new_seed;
+  grasp.seed = new_seed;
+  tabu.seed = new_seed;
+  genetic.seed = new_seed;
+}
+
+solvers::SolverPtr make_solver(Algorithm algorithm,
+                               const AlgorithmOptions& options) {
+  switch (algorithm) {
+    case Algorithm::kRandom:
+      return std::make_unique<solvers::RandomSolver>(options.seed);
+    case Algorithm::kRoundRobin:
+      return std::make_unique<solvers::RoundRobinSolver>();
+    case Algorithm::kGreedyNearest:
+      return std::make_unique<solvers::GreedyNearestSolver>();
+    case Algorithm::kGreedyBestFit:
+      return std::make_unique<solvers::GreedyBestFitSolver>();
+    case Algorithm::kRegretGreedy:
+      return std::make_unique<solvers::RegretGreedySolver>();
+    case Algorithm::kLocalSearch:
+      return std::make_unique<solvers::LocalSearchSolver>(
+          options.local_search);
+    case Algorithm::kSimulatedAnnealing:
+      return std::make_unique<solvers::SimulatedAnnealingSolver>(
+          options.annealing);
+    case Algorithm::kGrasp:
+      return std::make_unique<solvers::GraspSolver>(options.grasp);
+    case Algorithm::kTabu:
+      return std::make_unique<solvers::TabuSolver>(options.tabu);
+    case Algorithm::kGenetic:
+      return std::make_unique<solvers::GeneticSolver>(options.genetic);
+    case Algorithm::kFlowRelaxRepair:
+      return std::make_unique<solvers::FlowRelaxRepairSolver>(
+          solvers::FlowRelaxRepairOptions{options.seed});
+    case Algorithm::kBottleneck:
+      return std::make_unique<solvers::BottleneckSolver>();
+    case Algorithm::kBranchAndBound:
+      return std::make_unique<solvers::BranchAndBoundSolver>(
+          options.branch_and_bound);
+    case Algorithm::kQLearning:
+      return std::make_unique<rl::QLearningSolver>(options.rl);
+    case Algorithm::kSarsa:
+      return std::make_unique<rl::SarsaSolver>(options.rl);
+    case Algorithm::kUcbRollout:
+      return std::make_unique<rl::UcbRolloutSolver>(options.ucb);
+  }
+  throw std::invalid_argument("make_solver: unknown algorithm");
+}
+
+}  // namespace tacc

@@ -1,0 +1,74 @@
+// The algorithm registry: one enum naming every solver in the library and a
+// factory that wires options through — the single place experiments and the
+// public API select algorithms from.
+#pragma once
+
+#include <string_view>
+#include <vector>
+
+#include "rl/qlearning.hpp"
+#include "rl/ucb_rollout.hpp"
+#include "solvers/bottleneck.hpp"
+#include "solvers/branch_and_bound.hpp"
+#include "solvers/genetic.hpp"
+#include "solvers/grasp.hpp"
+#include "solvers/local_search.hpp"
+#include "solvers/tabu.hpp"
+#include "solvers/simulated_annealing.hpp"
+#include "solvers/solver.hpp"
+
+namespace tacc {
+
+enum class Algorithm {
+  // Baselines ("state of the art" comparison set).
+  kRandom,
+  kRoundRobin,
+  kGreedyNearest,       ///< capacity-oblivious nearest edge
+  kGreedyBestFit,
+  kRegretGreedy,
+  kLocalSearch,
+  kSimulatedAnnealing,
+  kGrasp,
+  kTabu,
+  kGenetic,
+  kFlowRelaxRepair,
+  kBottleneck,          ///< minimizes MAX delay (different objective)
+  kBranchAndBound,      ///< exact; small instances only
+  // The paper's RL-based heuristics.
+  kQLearning,
+  kSarsa,
+  kUcbRollout,
+};
+
+[[nodiscard]] std::string_view to_string(Algorithm algorithm) noexcept;
+/// Parses the names printed by to_string; throws std::invalid_argument.
+[[nodiscard]] Algorithm algorithm_from_string(std::string_view name);
+
+/// Every algorithm (including the exact solver).
+[[nodiscard]] std::vector<Algorithm> all_algorithms();
+/// The head-to-head comparison set used by most experiments (everything
+/// scalable: no branch-and-bound, no pure-random floor).
+[[nodiscard]] std::vector<Algorithm> comparison_algorithms();
+/// Just the paper's three RL heuristics.
+[[nodiscard]] std::vector<Algorithm> rl_algorithms();
+
+/// Options bundle for make_solver; per-family options with sane defaults.
+struct AlgorithmOptions {
+  std::uint64_t seed = 1;
+  rl::RlOptions rl;                       ///< Q-learning / SARSA
+  rl::UcbRolloutOptions ucb;
+  solvers::LocalSearchOptions local_search;
+  solvers::SimulatedAnnealingOptions annealing;
+  solvers::GraspOptions grasp;
+  solvers::TabuOptions tabu;
+  solvers::GeneticOptions genetic;
+  solvers::BranchAndBoundOptions branch_and_bound;
+
+  /// Propagates `seed` into every per-family option that has one.
+  void apply_seed(std::uint64_t new_seed);
+};
+
+[[nodiscard]] solvers::SolverPtr make_solver(
+    Algorithm algorithm, const AlgorithmOptions& options = {});
+
+}  // namespace tacc

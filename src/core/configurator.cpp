@@ -1,0 +1,41 @@
+#include "core/configurator.hpp"
+
+namespace tacc {
+
+ClusterConfiguration ClusterConfigurator::configure(
+    Algorithm algorithm, const AlgorithmOptions& options) const {
+  const gap::Instance& instance = scenario_->instance();
+  solvers::SolverPtr solver = make_solver(algorithm, options);
+  solvers::SolveResult result = solver->solve(instance);
+  gap::Evaluation evaluation = gap::evaluate(instance, result.assignment);
+  return {algorithm, std::move(result), std::move(evaluation)};
+}
+
+ClusterConfiguration ClusterConfigurator::configure_topology_oblivious(
+    Algorithm algorithm, const AlgorithmOptions& options) const {
+  // Solve against straight-line costs…
+  solvers::SolverPtr solver = make_solver(algorithm, options);
+  solvers::SolveResult result =
+      solver->solve(scenario_->oblivious_instance());
+  // …but report what that decision *really* costs on the topology.
+  const gap::Instance& truth = scenario_->instance();
+  gap::Evaluation evaluation = gap::evaluate(truth, result.assignment);
+  result.total_cost = evaluation.total_cost;
+  result.feasible = evaluation.feasible;
+  return {algorithm, std::move(result), std::move(evaluation)};
+}
+
+ClusterConfiguration ClusterConfigurator::configure_deadline_aware(
+    Algorithm algorithm, const AlgorithmOptions& options,
+    double penalty_factor) const {
+  const gap::Instance& truth = scenario_->instance();
+  const gap::Instance penalized = truth.with_deadline_penalty(penalty_factor);
+  solvers::SolverPtr solver = make_solver(algorithm, options);
+  solvers::SolveResult result = solver->solve(penalized);
+  gap::Evaluation evaluation = gap::evaluate(truth, result.assignment);
+  result.total_cost = evaluation.total_cost;
+  result.feasible = evaluation.feasible;
+  return {algorithm, std::move(result), std::move(evaluation)};
+}
+
+}  // namespace tacc

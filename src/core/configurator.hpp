@@ -1,0 +1,100 @@
+// ClusterConfigurator: the top-level user-facing API.
+//
+//   Scenario sc = Scenario::smart_city(500, 20, /*seed=*/7);
+//   ClusterConfigurator cfg(sc);
+//   ClusterConfiguration conf = cfg.configure(Algorithm::kQLearning);
+//   auto sim = sim::simulate(sc.network(), sc.workload(),
+//                            conf.assignment(), {});
+#pragma once
+
+#include "core/algorithms.hpp"
+#include "core/scenario.hpp"
+
+namespace tacc {
+
+/// A solved configuration: which server every IoT device talks to, plus the
+/// static evaluation of that choice.
+class ClusterConfiguration {
+ public:
+  ClusterConfiguration(Algorithm algorithm, solvers::SolveResult result,
+                       gap::Evaluation evaluation)
+      : algorithm_(algorithm),
+        result_(std::move(result)),
+        evaluation_(std::move(evaluation)) {}
+
+  [[nodiscard]] Algorithm algorithm() const noexcept { return algorithm_; }
+  [[nodiscard]] std::string_view algorithm_name() const noexcept {
+    return tacc::to_string(algorithm_);
+  }
+  [[nodiscard]] const gap::Assignment& assignment() const noexcept {
+    return result_.assignment;
+  }
+  /// Server index chosen for `device`.
+  [[nodiscard]] std::size_t server_of(std::size_t device) const {
+    return static_cast<std::size_t>(result_.assignment.at(device));
+  }
+  [[nodiscard]] bool feasible() const noexcept { return result_.feasible; }
+  [[nodiscard]] double total_cost() const noexcept {
+    return result_.total_cost;
+  }
+  [[nodiscard]] double avg_delay_ms() const noexcept {
+    return evaluation_.avg_delay_ms;
+  }
+  [[nodiscard]] double max_delay_ms() const noexcept {
+    return evaluation_.max_delay_ms;
+  }
+  [[nodiscard]] double max_utilization() const noexcept {
+    return evaluation_.max_utilization;
+  }
+  [[nodiscard]] std::size_t overloaded_servers() const noexcept {
+    return evaluation_.overloaded_servers;
+  }
+  [[nodiscard]] double solve_wall_ms() const noexcept {
+    return result_.wall_ms;
+  }
+  [[nodiscard]] bool proven_optimal() const noexcept {
+    return result_.proven_optimal;
+  }
+  [[nodiscard]] const gap::Evaluation& evaluation() const noexcept {
+    return evaluation_;
+  }
+
+ private:
+  Algorithm algorithm_;
+  solvers::SolveResult result_;
+  gap::Evaluation evaluation_;
+};
+
+class ClusterConfigurator {
+ public:
+  /// Keeps a reference to the scenario; it must outlive the configurator.
+  explicit ClusterConfigurator(const Scenario& scenario)
+      : scenario_(&scenario) {}
+
+  /// Runs `algorithm` on the scenario's topology-aware instance.
+  [[nodiscard]] ClusterConfiguration configure(
+      Algorithm algorithm, const AlgorithmOptions& options = {}) const;
+
+  /// A1 ablation: solve on Euclidean costs, evaluate on true delays.
+  [[nodiscard]] ClusterConfiguration configure_topology_oblivious(
+      Algorithm algorithm, const AlgorithmOptions& options = {}) const;
+
+  /// Deadline-aware configuration: solves on a deadline-penalized cost
+  /// matrix (servers whose delay exceeds a device's deadline look
+  /// `penalty_factor`× worse), then evaluates on the true instance. The
+  /// returned evaluation's deadline_violations/meets_deadlines report the
+  /// real-time outcome. Requires the scenario's instance to carry
+  /// deadlines (the default builder attaches them).
+  [[nodiscard]] ClusterConfiguration configure_deadline_aware(
+      Algorithm algorithm, const AlgorithmOptions& options = {},
+      double penalty_factor = 10.0) const;
+
+  [[nodiscard]] const Scenario& scenario() const noexcept {
+    return *scenario_;
+  }
+
+ private:
+  const Scenario* scenario_;
+};
+
+}  // namespace tacc

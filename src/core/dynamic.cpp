@@ -1,0 +1,302 @@
+#include "core/dynamic.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <stdexcept>
+
+#include "topology/shortest_paths.hpp"
+
+namespace tacc {
+
+namespace {
+constexpr double kEps = 1e-9;
+}
+
+DynamicCluster::DynamicCluster(const Scenario& scenario, Algorithm initial,
+                               const AlgorithmOptions& options)
+    : net_(scenario.network()),
+      delay_model_(scenario.params().delay_model) {
+  for (topo::NodeId node = 0; node < net_.graph.node_count(); ++node) {
+    if (net_.kinds[node] == topo::NodeKind::kRouter) {
+      router_nodes_.push_back(node);
+      router_positions_.push_back(net_.positions[node]);
+    }
+  }
+
+  const auto& wl = scenario.workload();
+  devices_ = wl.iot;
+  capacities_.reserve(wl.edges.size());
+  for (const auto& server : wl.edges) capacities_.push_back(server.capacity);
+
+  const ClusterConfigurator configurator(scenario);
+  const ClusterConfiguration conf = configurator.configure(initial, options);
+  assignment_ = conf.assignment();
+
+  const auto& instance = scenario.instance();
+  delay_rows_.resize(devices_.size());
+  loads_.assign(capacities_.size(), 0.0);
+  failed_.assign(capacities_.size(), false);
+  for (std::size_t i = 0; i < devices_.size(); ++i) {
+    delay_rows_[i].assign(instance.delay_matrix().row(i).begin(),
+                          instance.delay_matrix().row(i).end());
+    const auto j = static_cast<std::size_t>(assignment_[i]);
+    loads_[j] += devices_[i].demand;
+  }
+  active_ = devices_.size();
+}
+
+std::vector<double> DynamicCluster::delay_row_for_node(
+    topo::NodeId device_node) const {
+  const auto tree = topo::dijkstra(net_.graph, device_node);
+  std::vector<double> row(net_.edge_count());
+  for (std::size_t j = 0; j < net_.edge_count(); ++j) {
+    row[j] = tree.distance_ms[net_.edge_nodes[j]];
+  }
+  return row;
+}
+
+std::size_t DynamicCluster::cheapest_feasible_server(
+    std::size_t device_index) const {
+  const auto& row = delay_rows_[device_index];
+  const double demand = devices_[device_index].demand;
+  const double weight = devices_[device_index].request_rate_hz;
+
+  std::size_t best = capacities_.size();
+  double best_cost = std::numeric_limits<double>::infinity();
+  std::size_t least_loaded = 0;
+  double least_utilization = std::numeric_limits<double>::infinity();
+  bool any_healthy_seen = false;
+  for (std::size_t j = 0; j < capacities_.size(); ++j) {
+    if (failed_[j]) continue;
+    const double new_load = loads_[j] + demand;
+    const double cost = weight * row[j];
+    if (new_load <= capacities_[j] + kEps && cost < best_cost) {
+      best = j;
+      best_cost = cost;
+    }
+    const double utilization = new_load / capacities_[j];
+    if (!any_healthy_seen || utilization < least_utilization) {
+      least_utilization = utilization;
+      least_loaded = j;
+      any_healthy_seen = true;
+    }
+  }
+  return best != capacities_.size() ? best : least_loaded;
+}
+
+std::size_t DynamicCluster::attach_device(const workload::IotDevice& device) {
+  // Attach to the nearest router with a wireless access link.
+  topo::NodeId nearest = router_nodes_.front();
+  double nearest_distance = std::numeric_limits<double>::infinity();
+  for (std::size_t r = 0; r < router_nodes_.size(); ++r) {
+    const double d =
+        topo::euclidean_distance(router_positions_[r], device.position);
+    if (d < nearest_distance) {
+      nearest_distance = d;
+      nearest = router_nodes_[r];
+    }
+  }
+  const topo::NodeId node = net_.graph.add_node();
+  net_.positions.push_back(device.position);
+  net_.kinds.push_back(topo::NodeKind::kIotDevice);
+  net_.graph.add_edge(node, nearest,
+                      delay_model_.access_link(nearest_distance));
+  net_.iot_nodes.push_back(node);
+
+  devices_.push_back(device);
+  delay_rows_.push_back(delay_row_for_node(node));
+  assignment_.push_back(gap::kUnassigned);
+  return devices_.size() - 1;
+}
+
+std::size_t DynamicCluster::join(const workload::IotDevice& device) {
+  const std::size_t index = attach_device(device);
+  const std::size_t server = cheapest_feasible_server(index);
+  assignment_[index] = static_cast<std::int32_t>(server);
+  loads_[server] += device.demand;
+  ++active_;
+  return index;
+}
+
+std::size_t DynamicCluster::move(std::size_t device_index,
+                                 topo::Point2D new_position) {
+  if (!is_active(device_index)) {
+    throw std::invalid_argument("DynamicCluster::move: not active");
+  }
+  workload::IotDevice device = devices_[device_index];
+  device.position = new_position;
+  leave(device_index);
+  return join(device);
+}
+
+std::size_t DynamicCluster::move_pinned(std::size_t device_index,
+                                        topo::Point2D new_position) {
+  if (!is_active(device_index)) {
+    throw std::invalid_argument("DynamicCluster::move_pinned: not active");
+  }
+  const auto server = static_cast<std::size_t>(assignment_[device_index]);
+  workload::IotDevice device = devices_[device_index];
+  device.position = new_position;
+  leave(device_index);
+  const std::size_t index = attach_device(device);
+  assignment_[index] = static_cast<std::int32_t>(server);
+  loads_[server] += device.demand;
+  ++active_;
+  return index;
+}
+
+void DynamicCluster::leave(std::size_t device_index) {
+  if (device_index >= devices_.size() ||
+      assignment_[device_index] == gap::kUnassigned) {
+    throw std::invalid_argument("DynamicCluster::leave: not active");
+  }
+  const auto j = static_cast<std::size_t>(assignment_[device_index]);
+  loads_[j] -= devices_[device_index].demand;
+  assignment_[device_index] = gap::kUnassigned;
+  --active_;
+}
+
+std::size_t DynamicCluster::rebalance(std::size_t max_moves) {
+  std::size_t moves = 0;
+  bool improved = true;
+  while (improved && moves < max_moves) {
+    improved = false;
+    for (std::size_t i = 0; i < devices_.size() && moves < max_moves; ++i) {
+      if (assignment_[i] == gap::kUnassigned) continue;
+      const auto from = static_cast<std::size_t>(assignment_[i]);
+      const double weight = devices_[i].request_rate_hz;
+      const double demand = devices_[i].demand;
+      std::size_t best = from;
+      double best_cost = weight * delay_rows_[i][from];
+      for (std::size_t j = 0; j < capacities_.size(); ++j) {
+        if (j == from || failed_[j]) continue;
+        if (loads_[j] + demand > capacities_[j] + kEps) continue;
+        const double cost = weight * delay_rows_[i][j];
+        if (cost < best_cost - kEps) {
+          best_cost = cost;
+          best = j;
+        }
+      }
+      if (best != from) {
+        loads_[from] -= demand;
+        loads_[best] += demand;
+        assignment_[i] = static_cast<std::int32_t>(best);
+        ++moves;
+        improved = true;
+      }
+    }
+  }
+  return moves;
+}
+
+std::size_t DynamicCluster::repair(std::size_t max_moves) {
+  std::size_t moves = 0;
+  for (std::size_t j = 0; j < capacities_.size() && moves < max_moves; ++j) {
+    if (failed_[j]) continue;
+    while (loads_[j] > capacities_[j] + kEps && moves < max_moves) {
+      std::size_t victim = devices_.size();
+      std::size_t target = capacities_.size();
+      double best_delta = std::numeric_limits<double>::infinity();
+      for (std::size_t i = 0; i < devices_.size(); ++i) {
+        if (assignment_[i] == gap::kUnassigned ||
+            static_cast<std::size_t>(assignment_[i]) != j) {
+          continue;
+        }
+        const double demand = devices_[i].demand;
+        const double weight = devices_[i].request_rate_hz;
+        for (std::size_t k = 0; k < capacities_.size(); ++k) {
+          if (k == j || failed_[k]) continue;
+          if (loads_[k] + demand > capacities_[k] + kEps) continue;
+          const double delta =
+              weight * (delay_rows_[i][k] - delay_rows_[i][j]);
+          if (delta < best_delta) {
+            best_delta = delta;
+            victim = i;
+            target = k;
+          }
+        }
+      }
+      if (victim == devices_.size()) break;  // nothing movable off j
+      loads_[j] -= devices_[victim].demand;
+      loads_[target] += devices_[victim].demand;
+      assignment_[victim] = static_cast<std::int32_t>(target);
+      ++moves;
+    }
+  }
+  return moves;
+}
+
+std::size_t DynamicCluster::fail_server(std::size_t server) {
+  if (server >= capacities_.size() || failed_[server]) {
+    throw std::invalid_argument("DynamicCluster::fail_server: bad server");
+  }
+  if (healthy_server_count() <= 1) {
+    throw std::logic_error(
+        "DynamicCluster::fail_server: cannot fail the last healthy server");
+  }
+  failed_[server] = true;
+  std::size_t evacuated = 0;
+  for (std::size_t i = 0; i < devices_.size(); ++i) {
+    if (assignment_[i] == gap::kUnassigned ||
+        static_cast<std::size_t>(assignment_[i]) != server) {
+      continue;
+    }
+    loads_[server] -= devices_[i].demand;
+    const std::size_t target = cheapest_feasible_server(i);
+    assignment_[i] = static_cast<std::int32_t>(target);
+    loads_[target] += devices_[i].demand;
+    ++evacuated;
+  }
+  return evacuated;
+}
+
+void DynamicCluster::recover_server(std::size_t server) {
+  if (server >= capacities_.size() || !failed_[server]) {
+    throw std::invalid_argument(
+        "DynamicCluster::recover_server: server not failed");
+  }
+  failed_[server] = false;
+}
+
+std::size_t DynamicCluster::healthy_server_count() const noexcept {
+  std::size_t healthy = 0;
+  for (bool f : failed_) {
+    if (!f) ++healthy;
+  }
+  return healthy;
+}
+
+std::size_t DynamicCluster::server_of(std::size_t device_index) const {
+  if (!is_active(device_index)) {
+    throw std::invalid_argument("DynamicCluster::server_of: not active");
+  }
+  return static_cast<std::size_t>(assignment_[device_index]);
+}
+
+double DynamicCluster::avg_delay_ms() const noexcept {
+  if (active_ == 0) return 0.0;
+  double sum = 0.0;
+  for (std::size_t i = 0; i < devices_.size(); ++i) {
+    if (assignment_[i] == gap::kUnassigned) continue;
+    sum += delay_rows_[i][static_cast<std::size_t>(assignment_[i])];
+  }
+  return sum / static_cast<double>(active_);
+}
+
+double DynamicCluster::max_utilization() const noexcept {
+  double peak = 0.0;
+  for (std::size_t j = 0; j < capacities_.size(); ++j) {
+    if (failed_[j]) continue;
+    peak = std::max(peak, loads_[j] / capacities_[j]);
+  }
+  return peak;
+}
+
+bool DynamicCluster::feasible() const noexcept {
+  for (std::size_t j = 0; j < capacities_.size(); ++j) {
+    if (loads_[j] > capacities_[j] + kEps) return false;
+  }
+  return true;
+}
+
+}  // namespace tacc

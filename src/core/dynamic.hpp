@@ -1,0 +1,114 @@
+// Dynamic reconfiguration: devices join and leave a running cluster.
+//
+// Full re-optimization on every arrival is wasteful and churns existing
+// sessions; DynamicCluster instead applies an incremental policy — joiners
+// get the cheapest feasible server (one Dijkstra from the new device's
+// attachment point), leavers free their load — with an optional bounded
+// rebalance() pass to drain the accumulated suboptimality. This implements
+// the "cluster configuration" lifecycle the paper's title refers to beyond
+// the one-shot assignment.
+#pragma once
+
+#include <optional>
+
+#include "core/configurator.hpp"
+#include "core/scenario.hpp"
+
+namespace tacc {
+
+class DynamicCluster {
+ public:
+  /// Starts from `scenario` configured with `initial` (default: the RL
+  /// configuration the paper proposes).
+  DynamicCluster(const Scenario& scenario,
+                 Algorithm initial = Algorithm::kQLearning,
+                 const AlgorithmOptions& options = {});
+
+  /// Attaches a new device at its position, assigns it to the cheapest
+  /// feasible server (least-utilized fallback), returns its device index.
+  std::size_t join(const workload::IotDevice& device);
+
+  /// Removes a device; its load is freed. Throws if already inactive.
+  void leave(std::size_t device_index);
+
+  // ---- Mobility -------------------------------------------------------------
+  /// Radio handover: re-attaches an active device at `new_position` (fresh
+  /// access link + recomputed delay row) and reassigns it to the cheapest
+  /// feasible server. Returns the device's NEW index; the old one becomes
+  /// inactive.
+  std::size_t move(std::size_t device_index, topo::Point2D new_position);
+  /// Same handover but the device stays pinned to its current server — the
+  /// "no reconfiguration" baseline that lets mobility experiments measure
+  /// how much a static assignment degrades as devices drift.
+  std::size_t move_pinned(std::size_t device_index,
+                          topo::Point2D new_position);
+
+  /// Bounded best-improvement repair over active devices: applies up to
+  /// `max_moves` feasible cost-reducing reassignments. Returns moves made.
+  std::size_t rebalance(std::size_t max_moves);
+
+  /// Restores capacity feasibility after overload (e.g. cascading failures
+  /// forced the least-utilized fallback): while a healthy server is over
+  /// capacity, evicts the resident whose cheapest feasible relocation costs
+  /// least — accepting cost increases, unlike rebalance(). Returns moves
+  /// made; stops at `max_moves` or when nothing movable remains.
+  std::size_t repair(std::size_t max_moves);
+
+  // ---- Server failures ------------------------------------------------------
+  /// Takes server `j` out of service and evacuates its devices to their
+  /// cheapest feasible healthy servers (least-utilized fallback). Returns
+  /// the number of devices evacuated. Throws if already failed or if it is
+  /// the last healthy server.
+  std::size_t fail_server(std::size_t server);
+  /// Returns a failed server to service (devices migrate back only via
+  /// rebalance()). Throws if not failed.
+  void recover_server(std::size_t server);
+  [[nodiscard]] bool server_failed(std::size_t server) const {
+    return failed_.at(server);
+  }
+  [[nodiscard]] std::size_t healthy_server_count() const noexcept;
+
+  // ---- Introspection ------------------------------------------------------
+  [[nodiscard]] std::size_t active_count() const noexcept { return active_; }
+  [[nodiscard]] std::size_t server_count() const noexcept {
+    return capacities_.size();
+  }
+  [[nodiscard]] bool is_active(std::size_t device_index) const {
+    return device_index < assignment_.size() &&
+           assignment_[device_index] != gap::kUnassigned;
+  }
+  /// Server of an active device.
+  [[nodiscard]] std::size_t server_of(std::size_t device_index) const;
+  /// Mean shortest-path delay over active devices (ms).
+  [[nodiscard]] double avg_delay_ms() const noexcept;
+  [[nodiscard]] double max_utilization() const noexcept;
+  [[nodiscard]] bool feasible() const noexcept;
+  [[nodiscard]] const std::vector<double>& loads() const noexcept {
+    return loads_;
+  }
+
+ private:
+  [[nodiscard]] std::vector<double> delay_row_for_node(
+      topo::NodeId device_node) const;
+  /// Adds the device's node + access link + delay row; no assignment yet.
+  std::size_t attach_device(const workload::IotDevice& device);
+  [[nodiscard]] std::size_t cheapest_feasible_server(
+      std::size_t device_index) const;
+
+  topo::NetworkTopology net_;   // grows as devices join
+  topo::LinkDelayModel delay_model_;
+  std::vector<topo::NodeId> router_nodes_;
+  std::vector<topo::Point2D> router_positions_;
+
+  // Per device (index-stable; leavers keep their slot, marked kUnassigned):
+  std::vector<workload::IotDevice> devices_;
+  std::vector<std::vector<double>> delay_rows_;  // device → per-server ms
+  gap::Assignment assignment_;
+
+  std::vector<double> capacities_;
+  std::vector<double> loads_;
+  std::vector<bool> failed_;
+  std::size_t active_ = 0;
+};
+
+}  // namespace tacc

@@ -1,0 +1,61 @@
+#include "core/experiments.hpp"
+
+#include "util/table.hpp"
+
+namespace tacc {
+
+namespace {
+
+void accumulate(AlgoStats& stats, const gap::Instance& instance,
+                const solvers::SolveResult& result) {
+  const gap::Evaluation ev = gap::evaluate(instance, result.assignment);
+  stats.total_cost.add(ev.total_cost);
+  stats.avg_delay_ms.add(ev.avg_delay_ms);
+  stats.max_delay_ms.add(ev.max_delay_ms);
+  stats.max_utilization.add(ev.max_utilization);
+  stats.wall_ms.add(result.wall_ms);
+  if (ev.feasible) ++stats.feasible_runs;
+  stats.overload_violations += ev.overloaded_servers;
+  ++stats.runs;
+}
+
+}  // namespace
+
+AlgoStats run_repeated(
+    const std::function<Scenario(std::uint64_t)>& make_scenario,
+    Algorithm algorithm, std::size_t repeats, std::uint64_t base_seed,
+    AlgorithmOptions options) {
+  AlgoStats stats;
+  stats.algorithm = algorithm;
+  for (std::size_t r = 0; r < repeats; ++r) {
+    const std::uint64_t seed = base_seed + r;
+    const Scenario scenario = make_scenario(seed);
+    options.apply_seed(seed * 1000 + 1);
+    solvers::SolverPtr solver = make_solver(algorithm, options);
+    const solvers::SolveResult result = solver->solve(scenario.instance());
+    accumulate(stats, scenario.instance(), result);
+  }
+  return stats;
+}
+
+AlgoStats run_repeated_on_instance(const gap::Instance& instance,
+                                   Algorithm algorithm, std::size_t repeats,
+                                   std::uint64_t base_seed,
+                                   AlgorithmOptions options) {
+  AlgoStats stats;
+  stats.algorithm = algorithm;
+  for (std::size_t r = 0; r < repeats; ++r) {
+    options.apply_seed(base_seed + r);
+    solvers::SolverPtr solver = make_solver(algorithm, options);
+    const solvers::SolveResult result = solver->solve(instance);
+    accumulate(stats, instance, result);
+  }
+  return stats;
+}
+
+std::string mean_ci(const metrics::RunningStats& stats, int precision) {
+  return util::format_double(stats.mean(), precision) + " ± " +
+         util::format_double(metrics::ci95_half_width(stats), precision);
+}
+
+}  // namespace tacc

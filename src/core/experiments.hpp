@@ -1,0 +1,50 @@
+// Experiment harness helpers shared by the bench/ binaries: repeated runs
+// across seeds with aggregated statistics, and CSV/table emission glue.
+#pragma once
+
+#include <functional>
+#include <string>
+
+#include "core/configurator.hpp"
+#include "metrics/stats.hpp"
+
+namespace tacc {
+
+/// Aggregates of repeated solver runs on (re)generated scenarios.
+struct AlgoStats {
+  Algorithm algorithm = Algorithm::kRandom;
+  metrics::RunningStats total_cost;
+  metrics::RunningStats avg_delay_ms;
+  metrics::RunningStats max_delay_ms;
+  metrics::RunningStats max_utilization;
+  metrics::RunningStats wall_ms;
+  std::size_t feasible_runs = 0;
+  std::size_t overload_violations = 0;  ///< Σ overloaded servers across runs
+  std::size_t runs = 0;
+
+  [[nodiscard]] double feasible_fraction() const noexcept {
+    return runs ? static_cast<double>(feasible_runs) /
+                      static_cast<double>(runs)
+                : 0.0;
+  }
+};
+
+/// Runs `algorithm` `repeats` times on scenarios produced by
+/// `make_scenario(seed)` with seeds base_seed, base_seed+1, …; the solver
+/// seed follows the scenario seed so runs are fully reproducible.
+[[nodiscard]] AlgoStats run_repeated(
+    const std::function<Scenario(std::uint64_t)>& make_scenario,
+    Algorithm algorithm, std::size_t repeats, std::uint64_t base_seed,
+    AlgorithmOptions options = {});
+
+/// Same but on a fixed instance (no scenario regeneration): only the solver
+/// seed varies.
+[[nodiscard]] AlgoStats run_repeated_on_instance(
+    const gap::Instance& instance, Algorithm algorithm, std::size_t repeats,
+    std::uint64_t base_seed, AlgorithmOptions options = {});
+
+/// "12.34 ± 0.56" rendering of a stats mean with 95% CI.
+[[nodiscard]] std::string mean_ci(const metrics::RunningStats& stats,
+                                  int precision = 2);
+
+}  // namespace tacc

@@ -1,0 +1,87 @@
+#include "core/scenario.hpp"
+
+namespace tacc {
+
+Scenario Scenario::generate(const ScenarioParams& params) {
+  Scenario scenario;
+  scenario.params_ = params;
+
+  util::Rng rng(params.seed);
+  util::Rng topo_rng = rng.fork(1);
+  util::Rng workload_rng = rng.fork(2);
+
+  const topo::GeoGraph infra = topo::generate(
+      params.family, params.topology, params.delay_model, topo_rng);
+  scenario.workload_ =
+      workload::generate_workload(params.workload, workload_rng);
+  scenario.network_ = topo::build_network(
+      infra, scenario.workload_.iot_positions(),
+      scenario.workload_.edge_positions(), params.delay_model, params.attach);
+  scenario.instance_ = std::make_shared<const gap::Instance>(
+      gap::build_instance(scenario.network_, scenario.workload_));
+  return scenario;
+}
+
+const gap::Instance& Scenario::oblivious_instance() const {
+  if (!oblivious_instance_) {
+    gap::BuilderOptions options;
+    options.topology_oblivious_costs = true;
+    oblivious_instance_ = std::make_shared<const gap::Instance>(
+        gap::build_instance(network_, workload_, options));
+  }
+  return *oblivious_instance_;
+}
+
+Scenario Scenario::smart_city(std::size_t iot_count, std::size_t edge_count,
+                              std::uint64_t seed) {
+  ScenarioParams params;
+  params.seed = seed;
+  params.family = topo::TopologyFamily::kWaxman;
+  params.topology.node_count = std::max<std::size_t>(30, edge_count * 2);
+  params.topology.area_km = 12.0;
+  params.workload.iot_count = iot_count;
+  params.workload.edge_count = edge_count;
+  params.workload.area_km = params.topology.area_km;
+  params.workload.iot_placement = workload::PlacementPattern::kClustered;
+  params.workload.hotspot_count = 6;
+  params.workload.load_factor = 0.7;
+  return generate(params);
+}
+
+Scenario Scenario::factory(std::size_t iot_count, std::size_t edge_count,
+                           std::uint64_t seed) {
+  ScenarioParams params;
+  params.seed = seed;
+  params.family = topo::TopologyFamily::kRandomGeometric;
+  params.topology.node_count = std::max<std::size_t>(25, edge_count * 2);
+  params.topology.area_km = 1.0;           // one plant
+  params.topology.geometric_radius_km = 0.3;
+  params.workload.iot_count = iot_count;
+  params.workload.edge_count = edge_count;
+  params.workload.area_km = params.topology.area_km;
+  params.workload.iot_placement = workload::PlacementPattern::kUniform;
+  params.workload.deadline_min_ms = 5.0;   // stringent real-time deadlines
+  params.workload.deadline_max_ms = 15.0;
+  params.workload.load_factor = 0.85;      // tight capacity
+  params.workload.rate_mean_hz = 20.0;
+  return generate(params);
+}
+
+Scenario Scenario::campus(std::size_t iot_count, std::size_t edge_count,
+                          std::uint64_t seed) {
+  ScenarioParams params;
+  params.seed = seed;
+  params.family = topo::TopologyFamily::kHierarchical;
+  params.topology.node_count = std::max<std::size_t>(40, edge_count * 3);
+  params.topology.area_km = 4.0;
+  params.topology.hierarchical_branching = 3;
+  params.workload.iot_count = iot_count;
+  params.workload.edge_count = edge_count;
+  params.workload.area_km = params.topology.area_km;
+  params.workload.iot_placement = workload::PlacementPattern::kClustered;
+  params.workload.hotspot_count = 8;
+  params.workload.load_factor = 0.6;
+  return generate(params);
+}
+
+}  // namespace tacc

@@ -1,0 +1,16 @@
+// Umbrella header: the full public API of the TACC library.
+//
+// TACC — Topology Aware Cluster Configuration — reproduces Rajashekar,
+// Paul, Karmakar & Sidhanta (ICDCS 2022): assigning IoT devices to edge
+// servers to minimize communication delay (a Generalized Assignment
+// Problem) via RL-based heuristics, with classical baselines, an exact
+// solver, lower bounds, and a packet-level simulator for validation.
+#pragma once
+
+#include "core/algorithms.hpp"    // Algorithm enum + make_solver
+#include "core/configurator.hpp"  // ClusterConfigurator / ClusterConfiguration
+#include "core/dynamic.hpp"       // DynamicCluster (join/leave/rebalance)
+#include "core/experiments.hpp"   // repeated-run harness
+#include "core/scenario.hpp"      // Scenario presets & generation
+#include "sim/simulator.hpp"      // packet-level discrete-event simulation
+#include "solvers/flow_based.hpp" // lower bounds

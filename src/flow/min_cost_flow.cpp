@@ -1,0 +1,103 @@
+#include "flow/min_cost_flow.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <queue>
+#include <stdexcept>
+
+namespace tacc::flow {
+
+MinCostFlow::MinCostFlow(std::size_t node_count)
+    : head_(node_count, kNoArc), potential_(node_count, 0.0) {}
+
+std::size_t MinCostFlow::add_arc(std::uint32_t from, std::uint32_t to,
+                                 double capacity, double cost) {
+  if (from >= head_.size() || to >= head_.size()) {
+    throw std::out_of_range("MinCostFlow::add_arc: node out of range");
+  }
+  if (capacity < 0.0 || cost < 0.0) {
+    throw std::invalid_argument(
+        "MinCostFlow::add_arc: capacity and cost must be non-negative");
+  }
+  const auto id = static_cast<std::uint32_t>(arcs_.size());
+  arcs_.push_back({to, head_[from], capacity, cost});
+  head_[from] = id;
+  arcs_.push_back({from, head_[to], 0.0, -cost});  // residual arc
+  head_[to] = id + 1;
+  return id;
+}
+
+MinCostFlow::Result MinCostFlow::solve(std::uint32_t source,
+                                       std::uint32_t sink, double max_flow) {
+  if (source >= head_.size() || sink >= head_.size()) {
+    throw std::out_of_range("MinCostFlow::solve: node out of range");
+  }
+  Result result;
+  const std::size_t n = head_.size();
+  std::vector<double> dist(n);
+  std::vector<std::uint32_t> parent_arc(n);
+
+  while (result.flow + kEps < max_flow) {
+    // Dijkstra on reduced costs.
+    constexpr double kInf = std::numeric_limits<double>::infinity();
+    dist.assign(n, kInf);
+    parent_arc.assign(n, kNoArc);
+    using Entry = std::pair<double, std::uint32_t>;
+    std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap;
+    dist[source] = 0.0;
+    heap.push({0.0, source});
+    while (!heap.empty()) {
+      const auto [d, u] = heap.top();
+      heap.pop();
+      if (d > dist[u] + kEps) continue;
+      for (std::uint32_t a = head_[u]; a != kNoArc; a = arcs_[a].next) {
+        const Arc& arc = arcs_[a];
+        if (arc.residual <= kEps) continue;
+        const double reduced =
+            arc.cost + potential_[u] - potential_[arc.to];
+        const double candidate = dist[u] + std::max(0.0, reduced);
+        if (candidate + kEps < dist[arc.to]) {
+          dist[arc.to] = candidate;
+          parent_arc[arc.to] = a;
+          heap.push({candidate, arc.to});
+        }
+      }
+    }
+    if (parent_arc[sink] == kNoArc) break;  // no augmenting path
+
+    for (std::size_t v = 0; v < n; ++v) {
+      if (dist[v] < kInf) potential_[v] += dist[v];
+    }
+
+    // Bottleneck along the path.
+    double push = max_flow - result.flow;
+    for (std::uint32_t v = sink; v != source;) {
+      const Arc& arc = arcs_[parent_arc[v]];
+      push = std::min(push, arc.residual);
+      v = arcs_[parent_arc[v] ^ 1u].to;  // arc's tail via its twin
+    }
+    // Apply.
+    double path_cost = 0.0;
+    for (std::uint32_t v = sink; v != source;) {
+      const std::uint32_t a = parent_arc[v];
+      arcs_[a].residual -= push;
+      arcs_[a ^ 1u].residual += push;
+      path_cost += arcs_[a].cost;
+      v = arcs_[a ^ 1u].to;
+    }
+    result.flow += push;
+    result.cost += push * path_cost;
+  }
+  result.reached_target = result.flow + kEps >= max_flow;
+  return result;
+}
+
+double MinCostFlow::flow_on(std::size_t arc_id) const {
+  if (arc_id >= arcs_.size()) {
+    throw std::out_of_range("MinCostFlow::flow_on: bad arc id");
+  }
+  // Flow on a forward arc equals the residual accumulated on its twin.
+  return arcs_[arc_id ^ 1u].residual;
+}
+
+}  // namespace tacc::flow

@@ -1,0 +1,58 @@
+// Min-cost max-flow via successive shortest paths with Johnson potentials.
+//
+// Real-valued capacities (GAP demands are real), non-negative arc costs
+// (delays). Used for:
+//   - the splittable-assignment lower bound (transportation relaxation of
+//     GAP: optimal when devices may split traffic across servers), and
+//   - the FlowRelaxRepair baseline solver.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace tacc::flow {
+
+class MinCostFlow {
+ public:
+  explicit MinCostFlow(std::size_t node_count);
+
+  /// Adds a directed arc; returns its id for flow_on(). Capacity must be
+  /// >= 0 and cost >= 0 (Dijkstra-based search requires non-negative
+  /// reduced costs, which holds when original costs are non-negative).
+  std::size_t add_arc(std::uint32_t from, std::uint32_t to, double capacity,
+                      double cost);
+
+  struct Result {
+    double flow = 0.0;         ///< units actually shipped
+    double cost = 0.0;         ///< total cost of that flow
+    bool reached_target = false;  ///< flow == requested amount (within eps)
+  };
+
+  /// Sends up to `max_flow` units from source to sink at minimum cost.
+  /// May be called once per instance (arcs keep their final flow).
+  Result solve(std::uint32_t source, std::uint32_t sink, double max_flow);
+
+  /// Flow currently on arc `arc_id` (valid after solve()).
+  [[nodiscard]] double flow_on(std::size_t arc_id) const;
+
+  [[nodiscard]] std::size_t node_count() const noexcept {
+    return head_.size();
+  }
+
+ private:
+  struct Arc {
+    std::uint32_t to;
+    std::uint32_t next;   ///< next arc index in the from-node's list
+    double residual;      ///< remaining capacity
+    double cost;
+  };
+
+  static constexpr std::uint32_t kNoArc = static_cast<std::uint32_t>(-1);
+  static constexpr double kEps = 1e-9;
+
+  std::vector<Arc> arcs_;
+  std::vector<std::uint32_t> head_;  ///< first arc per node
+  std::vector<double> potential_;
+};
+
+}  // namespace tacc::flow

@@ -1,0 +1,170 @@
+#include "gap/io.hpp"
+
+#include <charconv>
+#include <fstream>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+#include "util/csv.hpp"
+
+namespace tacc::gap {
+
+namespace {
+
+[[nodiscard]] double parse_double(const std::string& field) {
+  try {
+    std::size_t pos = 0;
+    const double v = std::stod(field, &pos);
+    if (pos != field.size()) throw std::invalid_argument("trailing chars");
+    return v;
+  } catch (const std::exception&) {
+    throw std::runtime_error("tacc-instance: bad numeric field '" + field +
+                             "'");
+  }
+}
+
+[[nodiscard]] std::vector<double> parse_vector(
+    const std::vector<std::string>& fields, std::size_t expected,
+    const std::string& what) {
+  if (fields.size() != expected + 1) {
+    throw std::runtime_error("tacc-instance: " + what + " expects " +
+                             std::to_string(expected) + " values");
+  }
+  std::vector<double> values;
+  values.reserve(expected);
+  for (std::size_t k = 1; k < fields.size(); ++k) {
+    values.push_back(parse_double(fields[k]));
+  }
+  return values;
+}
+
+[[nodiscard]] std::string read_line_required(std::istream& in,
+                                             const std::string& what) {
+  std::string line;
+  if (!std::getline(in, line)) {
+    throw std::runtime_error("tacc-instance: unexpected EOF reading " + what);
+  }
+  return line;
+}
+
+}  // namespace
+
+void save_instance(const Instance& instance, std::ostream& out) {
+  if (!instance.uniform_demand()) {
+    throw std::invalid_argument(
+        "save_instance: only uniform-demand instances are serializable");
+  }
+  const std::size_t n = instance.device_count();
+  const std::size_t m = instance.server_count();
+  out << "tacc-instance v1\n";
+  out << "devices," << n << ",servers," << m << '\n';
+  out << std::setprecision(17);
+  out << "capacities";
+  for (std::size_t j = 0; j < m; ++j) out << ',' << instance.capacity(j);
+  out << '\n' << "weights";
+  for (std::size_t i = 0; i < n; ++i) out << ',' << instance.traffic_weight(i);
+  out << '\n' << "demands";
+  for (std::size_t i = 0; i < n; ++i) out << ',' << instance.demand(i, 0);
+  out << '\n';
+  for (std::size_t i = 0; i < n; ++i) {
+    out << "delay," << i;
+    for (std::size_t j = 0; j < m; ++j) out << ',' << instance.delay_ms(i, j);
+    out << '\n';
+  }
+}
+
+Instance load_instance(std::istream& in) {
+  if (read_line_required(in, "header") != "tacc-instance v1") {
+    throw std::runtime_error("tacc-instance: bad magic line");
+  }
+  const auto dims = util::csv_parse_line(read_line_required(in, "dims"));
+  if (dims.size() != 4 || dims[0] != "devices" || dims[2] != "servers") {
+    throw std::runtime_error("tacc-instance: bad dims line");
+  }
+  const auto n = static_cast<std::size_t>(parse_double(dims[1]));
+  const auto m = static_cast<std::size_t>(parse_double(dims[3]));
+  if (n == 0 || m == 0) throw std::runtime_error("tacc-instance: empty");
+
+  const auto caps_line =
+      util::csv_parse_line(read_line_required(in, "capacities"));
+  if (caps_line.empty() || caps_line[0] != "capacities") {
+    throw std::runtime_error("tacc-instance: expected capacities row");
+  }
+  auto capacities = parse_vector(caps_line, m, "capacities");
+
+  const auto weights_line =
+      util::csv_parse_line(read_line_required(in, "weights"));
+  if (weights_line.empty() || weights_line[0] != "weights") {
+    throw std::runtime_error("tacc-instance: expected weights row");
+  }
+  auto weights = parse_vector(weights_line, n, "weights");
+
+  const auto demands_line =
+      util::csv_parse_line(read_line_required(in, "demands"));
+  if (demands_line.empty() || demands_line[0] != "demands") {
+    throw std::runtime_error("tacc-instance: expected demands row");
+  }
+  auto demands = parse_vector(demands_line, n, "demands");
+
+  topo::DelayMatrix delay(n, m);
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto row = util::csv_parse_line(read_line_required(in, "delay row"));
+    if (row.size() != m + 2 || row[0] != "delay") {
+      throw std::runtime_error("tacc-instance: bad delay row");
+    }
+    const auto row_index = static_cast<std::size_t>(parse_double(row[1]));
+    if (row_index != i) {
+      throw std::runtime_error("tacc-instance: delay rows out of order");
+    }
+    for (std::size_t j = 0; j < m; ++j) {
+      delay.set(i, j, parse_double(row[j + 2]));
+    }
+  }
+  return Instance(std::move(delay), std::move(weights), std::move(demands),
+                  std::move(capacities));
+}
+
+void save_instance_file(const Instance& instance, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("cannot open for write: " + path);
+  save_instance(instance, out);
+}
+
+Instance load_instance_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot open for read: " + path);
+  return load_instance(in);
+}
+
+void save_assignment(const Assignment& assignment, std::ostream& out) {
+  out << "tacc-assignment v1\n";
+  for (std::size_t i = 0; i < assignment.size(); ++i) {
+    out << i << ',' << assignment[i] << '\n';
+  }
+}
+
+Assignment load_assignment(std::istream& in) {
+  if (read_line_required(in, "header") != "tacc-assignment v1") {
+    throw std::runtime_error("tacc-assignment: bad magic line");
+  }
+  Assignment assignment;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    const auto fields = util::csv_parse_line(line);
+    if (fields.size() != 2) {
+      throw std::runtime_error("tacc-assignment: bad row");
+    }
+    const auto index = static_cast<std::size_t>(parse_double(fields[0]));
+    if (index != assignment.size()) {
+      throw std::runtime_error("tacc-assignment: rows out of order");
+    }
+    assignment.push_back(
+        static_cast<std::int32_t>(parse_double(fields[1])));
+  }
+  return assignment;
+}
+
+}  // namespace tacc::gap

@@ -1,0 +1,33 @@
+// Plain-text (CSV-sectioned) serialization of instances and assignments, so
+// experiments can be archived and replayed.
+//
+// Format (line-oriented):
+//   tacc-instance v1
+//   devices,<n>,servers,<m>
+//   capacities,<c_0>,...,<c_{m-1}>
+//   weights,<w_0>,...,<w_{n-1}>
+//   demands,<d_0>,...,<d_{n-1}>
+//   delay,<i>,<d_i0>,...,<d_i{m-1}>        (n rows)
+// Only the uniform-demand variant is serialized (general demand matrices are
+// an in-memory construct for tests).
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "gap/instance.hpp"
+#include "gap/solution.hpp"
+
+namespace tacc::gap {
+
+void save_instance(const Instance& instance, std::ostream& out);
+/// Throws std::runtime_error on malformed input.
+[[nodiscard]] Instance load_instance(std::istream& in);
+
+void save_instance_file(const Instance& instance, const std::string& path);
+[[nodiscard]] Instance load_instance_file(const std::string& path);
+
+void save_assignment(const Assignment& assignment, std::ostream& out);
+[[nodiscard]] Assignment load_assignment(std::istream& in);
+
+}  // namespace tacc::gap

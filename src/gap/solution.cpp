@@ -1,0 +1,181 @@
+#include "gap/solution.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <stdexcept>
+
+namespace tacc::gap {
+
+namespace {
+constexpr double kCapacityEps = 1e-9;
+
+void check_shape(const Instance& instance, const Assignment& assignment) {
+  if (assignment.size() != instance.device_count()) {
+    throw std::invalid_argument("assignment size != device count");
+  }
+}
+}  // namespace
+
+std::string Evaluation::to_string() const {
+  std::ostringstream os;
+  os.setf(std::ios::fixed);
+  os.precision(3);
+  os << "cost=" << total_cost << " avg_delay_ms=" << avg_delay_ms
+     << " max_delay_ms=" << max_delay_ms
+     << " max_util=" << max_utilization
+     << " overloaded=" << overloaded_servers
+     << (feasible ? " [feasible]" : " [INFEASIBLE]");
+  return os.str();
+}
+
+Evaluation evaluate(const Instance& instance, const Assignment& assignment) {
+  check_shape(instance, assignment);
+  Evaluation ev;
+  ev.loads.assign(instance.server_count(), 0.0);
+  double weight_sum = 0.0;
+  double weighted_delay_sum = 0.0;
+  double delay_sum = 0.0;
+  std::size_t assigned = 0;
+
+  for (DeviceIndex i = 0; i < assignment.size(); ++i) {
+    const std::int32_t x = assignment[i];
+    if (x == kUnassigned) {
+      ++ev.unassigned_devices;
+      continue;
+    }
+    const auto j = static_cast<ServerIndex>(x);
+    if (j >= instance.server_count()) {
+      throw std::out_of_range("assignment refers to nonexistent server");
+    }
+    ++assigned;
+    const double delay = instance.delay_ms(i, j);
+    if (instance.has_deadlines() && delay > instance.deadline_ms(i)) {
+      ++ev.deadline_violations;
+    }
+    const double weight = instance.traffic_weight(i);
+    ev.total_cost += weight * delay;
+    delay_sum += delay;
+    weighted_delay_sum += weight * delay;
+    weight_sum += weight;
+    ev.max_delay_ms = std::max(ev.max_delay_ms, delay);
+    ev.loads[j] += instance.demand(i, j);
+  }
+
+  ev.avg_delay_ms = assigned ? delay_sum / static_cast<double>(assigned) : 0.0;
+  ev.weighted_avg_delay_ms =
+      weight_sum > 0.0 ? weighted_delay_sum / weight_sum : 0.0;
+
+  for (ServerIndex j = 0; j < instance.server_count(); ++j) {
+    const double cap = instance.capacity(j);
+    const double over = ev.loads[j] - cap;
+    if (over > kCapacityEps) {
+      ++ev.overloaded_servers;
+      ev.total_overload += over;
+    }
+    ev.max_utilization = std::max(ev.max_utilization, ev.loads[j] / cap);
+  }
+  ev.feasible = ev.unassigned_devices == 0 && ev.overloaded_servers == 0;
+  ev.meets_deadlines = instance.has_deadlines() &&
+                       ev.unassigned_devices == 0 &&
+                       ev.deadline_violations == 0;
+  return ev;
+}
+
+bool is_feasible(const Instance& instance, const Assignment& assignment) {
+  check_shape(instance, assignment);
+  std::vector<double> loads(instance.server_count(), 0.0);
+  for (DeviceIndex i = 0; i < assignment.size(); ++i) {
+    const std::int32_t x = assignment[i];
+    if (x == kUnassigned) return false;
+    const auto j = static_cast<ServerIndex>(x);
+    if (j >= instance.server_count()) return false;
+    loads[j] += instance.demand(i, j);
+  }
+  for (ServerIndex j = 0; j < loads.size(); ++j) {
+    if (loads[j] > instance.capacity(j) + kCapacityEps) return false;
+  }
+  return true;
+}
+
+std::vector<double> server_loads(const Instance& instance,
+                                 const Assignment& assignment) {
+  check_shape(instance, assignment);
+  std::vector<double> loads(instance.server_count(), 0.0);
+  for (DeviceIndex i = 0; i < assignment.size(); ++i) {
+    if (assignment[i] == kUnassigned) continue;
+    loads[static_cast<ServerIndex>(assignment[i])] +=
+        instance.demand(i, static_cast<ServerIndex>(assignment[i]));
+  }
+  return loads;
+}
+
+IncrementalEvaluator::IncrementalEvaluator(const Instance& instance,
+                                           const Assignment& assignment)
+    : instance_(&instance), assignment_(assignment) {
+  check_shape(instance, assignment);
+  loads_.assign(instance.server_count(), 0.0);
+  for (DeviceIndex i = 0; i < assignment_.size(); ++i) {
+    if (assignment_[i] == kUnassigned) {
+      throw std::invalid_argument(
+          "IncrementalEvaluator requires a complete assignment");
+    }
+    const auto j = static_cast<ServerIndex>(assignment_[i]);
+    loads_[j] += instance.demand(i, j);
+    total_cost_ += instance.cost(i, j);
+  }
+}
+
+double IncrementalEvaluator::move_cost_delta(DeviceIndex device,
+                                             ServerIndex to) const {
+  const auto from = static_cast<ServerIndex>(assignment_[device]);
+  if (from == to) return 0.0;
+  return instance_->cost(device, to) - instance_->cost(device, from);
+}
+
+bool IncrementalEvaluator::move_feasible(DeviceIndex device,
+                                         ServerIndex to) const {
+  const auto from = static_cast<ServerIndex>(assignment_[device]);
+  if (from == to) return true;
+  return loads_[to] + instance_->demand(device, to) <=
+         instance_->capacity(to) + kCapacityEps;
+}
+
+void IncrementalEvaluator::apply_move(DeviceIndex device, ServerIndex to) {
+  const auto from = static_cast<ServerIndex>(assignment_[device]);
+  if (from == to) return;
+  loads_[from] -= instance_->demand(device, from);
+  loads_[to] += instance_->demand(device, to);
+  total_cost_ += instance_->cost(device, to) - instance_->cost(device, from);
+  assignment_[device] = static_cast<std::int32_t>(to);
+}
+
+double IncrementalEvaluator::swap_cost_delta(DeviceIndex a,
+                                             DeviceIndex b) const {
+  const auto ja = static_cast<ServerIndex>(assignment_[a]);
+  const auto jb = static_cast<ServerIndex>(assignment_[b]);
+  if (ja == jb) return 0.0;
+  return instance_->cost(a, jb) + instance_->cost(b, ja) -
+         instance_->cost(a, ja) - instance_->cost(b, jb);
+}
+
+bool IncrementalEvaluator::swap_feasible(DeviceIndex a, DeviceIndex b) const {
+  const auto ja = static_cast<ServerIndex>(assignment_[a]);
+  const auto jb = static_cast<ServerIndex>(assignment_[b]);
+  if (ja == jb) return true;
+  const double load_a_side = loads_[ja] - instance_->demand(a, ja) +
+                             instance_->demand(b, ja);
+  const double load_b_side = loads_[jb] - instance_->demand(b, jb) +
+                             instance_->demand(a, jb);
+  return load_a_side <= instance_->capacity(ja) + kCapacityEps &&
+         load_b_side <= instance_->capacity(jb) + kCapacityEps;
+}
+
+void IncrementalEvaluator::apply_swap(DeviceIndex a, DeviceIndex b) {
+  const auto ja = static_cast<ServerIndex>(assignment_[a]);
+  const auto jb = static_cast<ServerIndex>(assignment_[b]);
+  if (ja == jb) return;
+  apply_move(a, jb);
+  apply_move(b, ja);
+}
+
+}  // namespace tacc::gap

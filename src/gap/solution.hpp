@@ -1,0 +1,88 @@
+// Assignment representation and evaluation.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "gap/instance.hpp"
+
+namespace tacc::gap {
+
+/// Sentinel for a device not yet assigned (partial solutions during search).
+constexpr std::int32_t kUnassigned = -1;
+
+/// x[i] = server index for device i, or kUnassigned.
+using Assignment = std::vector<std::int32_t>;
+
+/// Full static evaluation of an assignment against an instance.
+struct Evaluation {
+  double total_cost = 0.0;          ///< Σ weight_i · delay(i, x_i)
+  double avg_delay_ms = 0.0;        ///< unweighted mean device delay
+  double weighted_avg_delay_ms = 0.0;  ///< traffic-weighted mean delay
+  double max_delay_ms = 0.0;
+  std::vector<double> loads;        ///< demand placed per server
+  std::size_t overloaded_servers = 0;
+  double total_overload = 0.0;      ///< Σ_j max(0, load_j - cap_j)
+  double max_utilization = 0.0;     ///< max_j load_j / cap_j
+  std::size_t unassigned_devices = 0;
+  bool feasible = false;            ///< all assigned & no capacity violated
+  /// Devices whose delay exceeds their deadline (0 when the instance has no
+  /// deadlines attached). Deadline misses do NOT affect `feasible`.
+  std::size_t deadline_violations = 0;
+  /// True iff deadlines are attached and none is violated (vacuously false
+  /// without deadlines — check instance.has_deadlines()).
+  bool meets_deadlines = false;
+
+  [[nodiscard]] std::string to_string() const;
+};
+
+/// Evaluates `assignment` (size must equal instance.device_count()).
+[[nodiscard]] Evaluation evaluate(const Instance& instance,
+                                  const Assignment& assignment);
+
+/// True iff complete and capacity-feasible (cheaper than full evaluate()).
+[[nodiscard]] bool is_feasible(const Instance& instance,
+                               const Assignment& assignment);
+
+/// Per-server loads only.
+[[nodiscard]] std::vector<double> server_loads(const Instance& instance,
+                                               const Assignment& assignment);
+
+/// Incremental-evaluation helper used by local search / SA / RL: tracks
+/// total cost and loads under move/swap updates in O(1).
+class IncrementalEvaluator {
+ public:
+  IncrementalEvaluator(const Instance& instance, const Assignment& assignment);
+
+  [[nodiscard]] double total_cost() const noexcept { return total_cost_; }
+  [[nodiscard]] double load(ServerIndex j) const { return loads_.at(j); }
+  [[nodiscard]] const std::vector<double>& loads() const noexcept {
+    return loads_;
+  }
+  [[nodiscard]] const Assignment& assignment() const noexcept {
+    return assignment_;
+  }
+
+  /// Cost delta if device moved to `to` (no state change).
+  [[nodiscard]] double move_cost_delta(DeviceIndex device,
+                                       ServerIndex to) const;
+  /// True iff moving `device` to `to` keeps `to` within capacity.
+  [[nodiscard]] bool move_feasible(DeviceIndex device, ServerIndex to) const;
+  /// Applies the move, updating cost and loads.
+  void apply_move(DeviceIndex device, ServerIndex to);
+
+  /// Cost delta for swapping the servers of devices a and b.
+  [[nodiscard]] double swap_cost_delta(DeviceIndex a, DeviceIndex b) const;
+  /// Feasibility of the swap under both servers' capacities.
+  [[nodiscard]] bool swap_feasible(DeviceIndex a, DeviceIndex b) const;
+  void apply_swap(DeviceIndex a, DeviceIndex b);
+
+ private:
+  const Instance* instance_;
+  Assignment assignment_;
+  std::vector<double> loads_;
+  double total_cost_ = 0.0;
+};
+
+}  // namespace tacc::gap

@@ -1,0 +1,44 @@
+#include "metrics/fairness.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace tacc::metrics {
+
+double jain_fairness(std::span<const double> loads) noexcept {
+  if (loads.empty()) return 1.0;
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  for (double x : loads) {
+    sum += x;
+    sum_sq += x * x;
+  }
+  if (sum_sq == 0.0) return 1.0;
+  return sum * sum / (static_cast<double>(loads.size()) * sum_sq);
+}
+
+double imbalance_ratio(std::span<const double> loads) noexcept {
+  if (loads.empty()) return 0.0;
+  double sum = 0.0;
+  double peak = -std::numeric_limits<double>::infinity();
+  for (double x : loads) {
+    sum += x;
+    peak = std::max(peak, x);
+  }
+  const double mean = sum / static_cast<double>(loads.size());
+  return mean == 0.0 ? 0.0 : peak / mean;
+}
+
+double coefficient_of_variation(std::span<const double> loads) noexcept {
+  if (loads.empty()) return 0.0;
+  double sum = 0.0;
+  for (double x : loads) sum += x;
+  const double mean = sum / static_cast<double>(loads.size());
+  if (mean == 0.0) return 0.0;
+  double var = 0.0;
+  for (double x : loads) var += (x - mean) * (x - mean);
+  var /= static_cast<double>(loads.size());
+  return std::sqrt(var) / mean;
+}
+
+}  // namespace tacc::metrics

@@ -1,0 +1,19 @@
+// Load-distribution metrics for edge-server utilization.
+#pragma once
+
+#include <span>
+
+namespace tacc::metrics {
+
+/// Jain's fairness index: (Σx)² / (n·Σx²) ∈ (0, 1]; 1 means perfectly even.
+/// Returns 1.0 for an empty or all-zero input (vacuously fair).
+[[nodiscard]] double jain_fairness(std::span<const double> loads) noexcept;
+
+/// max(x) / mean(x); 1 means perfectly balanced. 0 for empty input.
+[[nodiscard]] double imbalance_ratio(std::span<const double> loads) noexcept;
+
+/// Coefficient of variation: stddev/mean (population stddev). 0 if mean==0.
+[[nodiscard]] double coefficient_of_variation(
+    std::span<const double> loads) noexcept;
+
+}  // namespace tacc::metrics

@@ -1,0 +1,73 @@
+#include "metrics/histogram.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+#include <stdexcept>
+
+namespace tacc::metrics {
+
+Histogram::Histogram(double lo, double hi, std::size_t bins)
+    : lo_(lo), hi_(hi), counts_(bins, 0) {
+  if (!(lo < hi) || bins == 0) {
+    throw std::invalid_argument("Histogram requires lo < hi and bins > 0");
+  }
+}
+
+void Histogram::add(double value) noexcept {
+  const double width = (hi_ - lo_) / static_cast<double>(counts_.size());
+  auto bin = static_cast<std::ptrdiff_t>(std::floor((value - lo_) / width));
+  bin = std::clamp<std::ptrdiff_t>(
+      bin, 0, static_cast<std::ptrdiff_t>(counts_.size()) - 1);
+  ++counts_[static_cast<std::size_t>(bin)];
+  ++total_;
+}
+
+double Histogram::bin_lower(std::size_t bin) const noexcept {
+  const double width = (hi_ - lo_) / static_cast<double>(counts_.size());
+  return lo_ + width * static_cast<double>(bin);
+}
+
+double Histogram::bin_upper(std::size_t bin) const noexcept {
+  return bin_lower(bin + 1);
+}
+
+double Histogram::cdf_at(std::size_t bin) const noexcept {
+  if (total_ == 0) return 0.0;
+  std::size_t cumulative = 0;
+  for (std::size_t b = 0; b <= bin && b < counts_.size(); ++b) {
+    cumulative += counts_[b];
+  }
+  return static_cast<double>(cumulative) / static_cast<double>(total_);
+}
+
+std::string Histogram::render(std::size_t width) const {
+  const std::size_t peak =
+      *std::max_element(counts_.begin(), counts_.end());
+  std::ostringstream os;
+  for (std::size_t b = 0; b < counts_.size(); ++b) {
+    const std::size_t bar =
+        peak == 0 ? 0 : counts_[b] * width / peak;
+    os.setf(std::ios::fixed);
+    os.precision(2);
+    os << '[' << bin_lower(b) << ", " << bin_upper(b) << ") "
+       << std::string(bar, '#') << ' ' << counts_[b] << '\n';
+  }
+  return os.str();
+}
+
+std::vector<CdfPoint> empirical_cdf(std::span<const double> values) {
+  std::vector<double> sorted(values.begin(), values.end());
+  std::sort(sorted.begin(), sorted.end());
+  std::vector<CdfPoint> points;
+  points.reserve(sorted.size());
+  const auto n = static_cast<double>(sorted.size());
+  for (std::size_t i = 0; i < sorted.size(); ++i) {
+    // Collapse runs of equal values to a single point at the run's end.
+    if (i + 1 < sorted.size() && sorted[i + 1] == sorted[i]) continue;
+    points.push_back({sorted[i], static_cast<double>(i + 1) / n});
+  }
+  return points;
+}
+
+}  // namespace tacc::metrics

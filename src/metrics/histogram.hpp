@@ -1,0 +1,51 @@
+// Fixed-bin histogram and empirical CDF extraction for delay distributions.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace tacc::metrics {
+
+/// Equal-width bins over [lo, hi); samples outside are clamped to the
+/// boundary bins so no observation is silently dropped.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t bins);
+
+  void add(double value) noexcept;
+
+  [[nodiscard]] std::size_t bin_count() const noexcept {
+    return counts_.size();
+  }
+  [[nodiscard]] std::size_t total() const noexcept { return total_; }
+  [[nodiscard]] std::size_t count_at(std::size_t bin) const {
+    return counts_.at(bin);
+  }
+  [[nodiscard]] double bin_lower(std::size_t bin) const noexcept;
+  [[nodiscard]] double bin_upper(std::size_t bin) const noexcept;
+
+  /// Cumulative fraction of samples with value < bin_upper(bin).
+  [[nodiscard]] double cdf_at(std::size_t bin) const noexcept;
+
+  /// ASCII rendering for example programs ("#" bars, one bin per line).
+  [[nodiscard]] std::string render(std::size_t width = 50) const;
+
+ private:
+  double lo_;
+  double hi_;
+  std::vector<std::size_t> counts_;
+  std::size_t total_ = 0;
+};
+
+/// (x, F(x)) points of the empirical CDF of `values` evaluated at each
+/// distinct sample, suitable for CSV plotting. Sorted by x.
+struct CdfPoint {
+  double x;
+  double fraction;
+};
+[[nodiscard]] std::vector<CdfPoint> empirical_cdf(
+    std::span<const double> values);
+
+}  // namespace tacc::metrics

@@ -1,0 +1,77 @@
+#include "metrics/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace tacc::metrics {
+
+void RunningStats::add(double value) noexcept {
+  ++count_;
+  sum_ += value;
+  const double delta = value - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (value - mean_);
+  min_ = std::min(min_, value);
+  max_ = std::max(max_, value);
+}
+
+double RunningStats::variance() const noexcept {
+  return count_ > 1 ? m2_ / static_cast<double>(count_ - 1) : 0.0;
+}
+
+double RunningStats::stddev() const noexcept { return std::sqrt(variance()); }
+
+void RunningStats::merge(const RunningStats& other) noexcept {
+  if (other.count_ == 0) return;
+  if (count_ == 0) {
+    *this = other;
+    return;
+  }
+  const double total = static_cast<double>(count_ + other.count_);
+  const double delta = other.mean_ - mean_;
+  const double new_mean =
+      mean_ + delta * static_cast<double>(other.count_) / total;
+  m2_ += other.m2_ + delta * delta * static_cast<double>(count_) *
+                         static_cast<double>(other.count_) / total;
+  mean_ = new_mean;
+  count_ += other.count_;
+  sum_ += other.sum_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+double percentile(std::span<const double> values, double q) {
+  if (values.empty()) return std::numeric_limits<double>::quiet_NaN();
+  std::vector<double> sorted(values.begin(), values.end());
+  std::sort(sorted.begin(), sorted.end());
+  q = std::clamp(q, 0.0, 1.0);
+  const double rank = q * static_cast<double>(sorted.size() - 1);
+  const auto lo = static_cast<std::size_t>(rank);
+  const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return sorted[lo] + frac * (sorted[hi] - sorted[lo]);
+}
+
+Summary summarize(std::span<const double> values) {
+  Summary s;
+  RunningStats stats;
+  for (double v : values) stats.add(v);
+  s.count = stats.count();
+  s.mean = stats.mean();
+  s.stddev = stats.stddev();
+  s.min = stats.count() ? stats.min() : 0.0;
+  s.max = stats.count() ? stats.max() : 0.0;
+  if (!values.empty()) {
+    s.p50 = percentile(values, 0.50);
+    s.p95 = percentile(values, 0.95);
+    s.p99 = percentile(values, 0.99);
+  }
+  return s;
+}
+
+double ci95_half_width(const RunningStats& stats) noexcept {
+  if (stats.count() < 2) return 0.0;
+  return 1.96 * stats.stddev() / std::sqrt(static_cast<double>(stats.count()));
+}
+
+}  // namespace tacc::metrics

@@ -1,0 +1,88 @@
+// Streaming and batch statistics used across experiments.
+#pragma once
+
+#include <cstddef>
+#include <limits>
+#include <span>
+#include <vector>
+
+namespace tacc::metrics {
+
+/// Welford streaming moments: O(1) memory, numerically stable.
+class RunningStats {
+ public:
+  void add(double value) noexcept;
+
+  [[nodiscard]] std::size_t count() const noexcept { return count_; }
+  [[nodiscard]] double mean() const noexcept { return count_ ? mean_ : 0.0; }
+  /// Sample variance (n-1 denominator); 0 for fewer than two samples.
+  [[nodiscard]] double variance() const noexcept;
+  [[nodiscard]] double stddev() const noexcept;
+  [[nodiscard]] double min() const noexcept {
+    return count_ ? min_ : std::numeric_limits<double>::quiet_NaN();
+  }
+  [[nodiscard]] double max() const noexcept {
+    return count_ ? max_ : std::numeric_limits<double>::quiet_NaN();
+  }
+  [[nodiscard]] double sum() const noexcept { return sum_; }
+
+  /// Merges another accumulator (parallel-friendly Chan et al. update).
+  void merge(const RunningStats& other) noexcept;
+
+ private:
+  std::size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double sum_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/// Exact quantile of a sample by linear interpolation between order
+/// statistics (the "linear" / type-7 definition). q in [0,1]; the input is
+/// copied and sorted. NaN for an empty sample.
+[[nodiscard]] double percentile(std::span<const double> values, double q);
+
+/// Batch convenience summary.
+struct Summary {
+  std::size_t count = 0;
+  double mean = 0.0;
+  double stddev = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+  double p50 = 0.0;
+  double p95 = 0.0;
+  double p99 = 0.0;
+};
+
+[[nodiscard]] Summary summarize(std::span<const double> values);
+
+/// 95% confidence half-width for the mean (normal approximation);
+/// 0 for fewer than two samples.
+[[nodiscard]] double ci95_half_width(const RunningStats& stats) noexcept;
+
+/// Collects raw samples for percentile/CDF extraction while also exposing
+/// streaming moments. Used for per-message delays in the simulator.
+class SampleSet {
+ public:
+  void add(double value) {
+    values_.push_back(value);
+    stats_.add(value);
+  }
+
+  [[nodiscard]] const std::vector<double>& values() const noexcept {
+    return values_;
+  }
+  [[nodiscard]] const RunningStats& stats() const noexcept { return stats_; }
+  [[nodiscard]] double percentile(double q) const {
+    return metrics::percentile(values_, q);
+  }
+  [[nodiscard]] std::size_t size() const noexcept { return values_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return values_.empty(); }
+
+ private:
+  std::vector<double> values_;
+  RunningStats stats_;
+};
+
+}  // namespace tacc::metrics

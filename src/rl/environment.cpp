@@ -1,0 +1,197 @@
+#include "rl/environment.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+#include <stdexcept>
+
+namespace tacc::rl {
+
+namespace {
+constexpr double kEps = 1e-9;
+
+/// Index of `value` among sorted `thresholds` (bucket 0..thresholds.size()).
+[[nodiscard]] std::uint8_t bucket_of(double value,
+                                     const std::vector<double>& thresholds) {
+  std::uint8_t b = 0;
+  for (double t : thresholds) {
+    if (value <= t) break;
+    ++b;
+  }
+  return b;
+}
+
+/// Quantile thresholds splitting `values` into `buckets` equal-count bins.
+[[nodiscard]] std::vector<double> quantile_thresholds(
+    std::vector<double> values, std::size_t buckets) {
+  std::vector<double> thresholds;
+  if (buckets <= 1 || values.empty()) return thresholds;
+  std::sort(values.begin(), values.end());
+  for (std::size_t b = 1; b < buckets; ++b) {
+    const std::size_t idx =
+        std::min(values.size() - 1, b * values.size() / buckets);
+    thresholds.push_back(values[idx]);
+  }
+  return thresholds;
+}
+
+}  // namespace
+
+AssignmentEnv::AssignmentEnv(const gap::Instance& instance, EnvOptions options,
+                             std::uint64_t seed)
+    : instance_(&instance),
+      options_(options),
+      k_(std::min(options.candidate_count, instance.server_count())),
+      rng_(seed) {
+  if (k_ == 0) {
+    throw std::invalid_argument("AssignmentEnv: candidate_count must be > 0");
+  }
+  options_.load_buckets = std::max<std::size_t>(1, options_.load_buckets);
+  options_.demand_buckets = std::max<std::size_t>(1, options_.demand_buckets);
+  options_.spread_buckets = std::max<std::size_t>(1, options_.spread_buckets);
+
+  const std::size_t n = instance.device_count();
+  order_.resize(n);
+  std::iota(order_.begin(), order_.end(), 0);
+
+  // Reward normalizer: mean per-device minimum cost.
+  double total_min_cost = 0.0;
+  std::vector<double> demands(n);
+  std::vector<double> spreads(n);
+  for (gap::DeviceIndex i = 0; i < n; ++i) {
+    const auto ranked = instance.servers_by_delay(i);
+    double lo = std::numeric_limits<double>::infinity();
+    for (gap::ServerIndex j = 0; j < instance.server_count(); ++j) {
+      lo = std::min(lo, instance.cost(i, j));
+    }
+    total_min_cost += lo;
+    demands[i] = instance.demand(i, ranked[0]);
+    const double d0 = instance.delay_ms(i, ranked[0]);
+    const double d1 = instance.delay_ms(i, ranked[std::min<std::size_t>(
+                                                1, ranked.size() - 1)]);
+    spreads[i] = d0 > kEps ? (d1 - d0) / d0 : 0.0;
+  }
+  cost_scale_ = std::max(kEps, total_min_cost / static_cast<double>(n));
+
+  const auto demand_thresholds =
+      quantile_thresholds(demands, options_.demand_buckets);
+  const auto spread_thresholds =
+      quantile_thresholds(spreads, options_.spread_buckets);
+  demand_bucket_.resize(n);
+  spread_bucket_.resize(n);
+  for (gap::DeviceIndex i = 0; i < n; ++i) {
+    demand_bucket_[i] = bucket_of(demands[i], demand_thresholds);
+    spread_bucket_[i] = bucket_of(spreads[i], spread_thresholds);
+  }
+  reset();
+}
+
+std::size_t AssignmentEnv::state_count() const noexcept {
+  std::size_t load_states = 1;
+  for (std::size_t a = 0; a < k_; ++a) load_states *= options_.load_buckets;
+  return options_.demand_buckets * options_.spread_buckets * load_states;
+}
+
+void AssignmentEnv::reset() {
+  if (options_.shuffle_order) rng_.shuffle(order_);
+  step_ = 0;
+  assignment_.assign(instance_->device_count(), gap::kUnassigned);
+  loads_.assign(instance_->server_count(), 0.0);
+  episode_cost_ = 0.0;
+  violations_ = 0;
+}
+
+std::size_t AssignmentEnv::bucket_residual(gap::ServerIndex j) const {
+  const double residual_fraction =
+      std::clamp(1.0 - loads_[j] / instance_->capacity(j), 0.0, 1.0);
+  const auto b = static_cast<std::size_t>(
+      residual_fraction * static_cast<double>(options_.load_buckets));
+  return std::min(b, options_.load_buckets - 1);
+}
+
+std::size_t AssignmentEnv::state() const {
+  if (done()) throw std::logic_error("AssignmentEnv::state: episode done");
+  const gap::DeviceIndex device = current_device();
+  const auto ranked = instance_->servers_by_delay(device);
+  std::size_t code = 0;
+  for (std::size_t a = k_; a-- > 0;) {
+    code = code * options_.load_buckets + bucket_residual(ranked[a]);
+  }
+  code = code * options_.spread_buckets + spread_bucket_[device];
+  code = code * options_.demand_buckets + demand_bucket_[device];
+  return code;
+}
+
+std::uint64_t AssignmentEnv::feasible_mask() const {
+  if (done()) return 0;
+  const gap::DeviceIndex device = current_device();
+  const auto ranked = instance_->servers_by_delay(device);
+  std::uint64_t mask = 0;
+  for (std::size_t a = 0; a < k_; ++a) {
+    const gap::ServerIndex j = ranked[a];
+    if (loads_[j] + instance_->demand(device, j) <=
+        instance_->capacity(j) + kEps) {
+      mask |= std::uint64_t{1} << a;
+    }
+  }
+  return mask;
+}
+
+gap::ServerIndex AssignmentEnv::action_server(std::size_t a) const {
+  if (done()) throw std::logic_error("AssignmentEnv: episode done");
+  if (a >= k_) throw std::out_of_range("AssignmentEnv: bad action");
+  return instance_->servers_by_delay(current_device())[a];
+}
+
+double AssignmentEnv::step(std::size_t action) {
+  if (done()) throw std::logic_error("AssignmentEnv::step: episode done");
+  if (action >= k_) throw std::out_of_range("AssignmentEnv::step: action");
+  const gap::DeviceIndex device = current_device();
+  gap::ServerIndex j = action_server(action);
+
+  double reward = 0.0;
+  const auto fits = [&](gap::ServerIndex server) {
+    return loads_[server] + instance_->demand(device, server) <=
+           instance_->capacity(server) + kEps;
+  };
+  if (!fits(j)) {
+    // Redirect to the cheapest feasible server anywhere in the cluster;
+    // half penalty — the agent wasted its pick but no constraint breaks.
+    gap::ServerIndex redirect = instance_->server_count();
+    double redirect_cost = std::numeric_limits<double>::infinity();
+    gap::ServerIndex least_loaded = 0;
+    double least_utilization = std::numeric_limits<double>::infinity();
+    for (gap::ServerIndex s = 0; s < instance_->server_count(); ++s) {
+      const double utilization =
+          (loads_[s] + instance_->demand(device, s)) /
+          instance_->capacity(s);
+      if (utilization < least_utilization) {
+        least_utilization = utilization;
+        least_loaded = s;
+      }
+      if (fits(s) && instance_->cost(device, s) < redirect_cost) {
+        redirect_cost = instance_->cost(device, s);
+        redirect = s;
+      }
+    }
+    if (redirect != instance_->server_count()) {
+      j = redirect;
+      reward -= options_.overload_penalty / 2.0;
+    } else {
+      j = least_loaded;
+      reward -= options_.overload_penalty;
+      ++violations_;
+    }
+  }
+
+  const double cost = instance_->cost(device, j);
+  reward -= cost / cost_scale_;
+  loads_[j] += instance_->demand(device, j);
+  assignment_[device] = static_cast<std::int32_t>(j);
+  episode_cost_ += cost;
+  ++step_;
+  return reward;
+}
+
+}  // namespace tacc::rl

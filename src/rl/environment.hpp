@@ -1,0 +1,111 @@
+// The assignment-construction MDP that the paper's RL heuristics learn on.
+//
+// An episode assigns every IoT device in a (per-episode shuffled) order.
+// At each step the agent observes a compact, device-independent state built
+// from topology-aware features of the K lowest-delay candidate servers and
+// picks one of them. Keeping the state abstract — buckets, not raw ids — is
+// what lets tabular learning generalize across devices and episodes:
+//
+//   state = demand bucket of the device
+//         × delay-spread bucket (is the nearest server much better than #2?)
+//         × residual-capacity bucket of each of the K candidates
+//
+// Reward is the negative normalized assignment cost, with a penalty whenever
+// the agent's choice (or the forced fallback) violates capacity, so the
+// learned policy keeps slack on well-connected servers for the devices that
+// have no alternative — the foresight greedy lacks.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "gap/instance.hpp"
+#include "gap/solution.hpp"
+#include "util/rng.hpp"
+
+namespace tacc::rl {
+
+struct EnvOptions {
+  std::size_t candidate_count = 4;  ///< K lowest-delay servers offered
+  std::size_t load_buckets = 4;     ///< residual-capacity quantization B
+  std::size_t demand_buckets = 3;
+  std::size_t spread_buckets = 3;
+  /// Penalty (in normalized cost units) added when a step overloads.
+  double overload_penalty = 8.0;
+  /// Shuffle device order each episode (exploration across orders).
+  bool shuffle_order = true;
+};
+
+class AssignmentEnv {
+ public:
+  AssignmentEnv(const gap::Instance& instance, EnvOptions options,
+                std::uint64_t seed);
+
+  [[nodiscard]] std::size_t state_count() const noexcept;
+  [[nodiscard]] std::size_t action_count() const noexcept { return k_; }
+
+  /// Starts a new episode; device order is reshuffled if configured.
+  void reset();
+
+  [[nodiscard]] bool done() const noexcept {
+    return step_ >= order_.size();
+  }
+  /// Encoded state for the device about to be assigned. Precondition: !done.
+  [[nodiscard]] std::size_t state() const;
+  /// Bitmask over action ranks: bit a set iff candidate a fits its server.
+  [[nodiscard]] std::uint64_t feasible_mask() const;
+
+  /// Assigns the current device to candidate `action` (rank into its
+  /// delay-sorted server list). If that server cannot fit the device, the
+  /// env redirects to the cheapest server anywhere that still fits —
+  /// charging the redirect penalty so the policy learns to keep its
+  /// candidates viable — and only genuinely overloads (the least-utilized
+  /// server, full penalty) when no server in the cluster fits. Returns the
+  /// step reward. Precondition: !done.
+  double step(std::size_t action);
+
+  /// Complete after done(); partial before.
+  [[nodiscard]] const gap::Assignment& assignment() const noexcept {
+    return assignment_;
+  }
+  [[nodiscard]] double episode_cost() const noexcept { return episode_cost_; }
+  [[nodiscard]] bool episode_feasible() const noexcept {
+    return violations_ == 0;
+  }
+  [[nodiscard]] std::size_t violations() const noexcept { return violations_; }
+
+  /// Mean over devices of their minimum cost — the reward normalizer; a
+  /// per-step reward near -1 means "as good as the unconstrained optimum".
+  [[nodiscard]] double cost_scale() const noexcept { return cost_scale_; }
+
+  /// Server index behind action rank `a` for the *current* device.
+  [[nodiscard]] gap::ServerIndex action_server(std::size_t a) const;
+
+  [[nodiscard]] const gap::Instance& instance() const noexcept {
+    return *instance_;
+  }
+
+ private:
+  [[nodiscard]] std::size_t bucket_residual(gap::ServerIndex j) const;
+  [[nodiscard]] gap::DeviceIndex current_device() const {
+    return order_[step_];
+  }
+
+  const gap::Instance* instance_;
+  EnvOptions options_;
+  std::size_t k_;
+  util::Rng rng_;
+
+  std::vector<gap::DeviceIndex> order_;
+  std::size_t step_ = 0;
+  gap::Assignment assignment_;
+  std::vector<double> loads_;
+  double episode_cost_ = 0.0;
+  std::size_t violations_ = 0;
+
+  double cost_scale_ = 1.0;
+  std::vector<std::uint8_t> demand_bucket_;  ///< per device, precomputed
+  std::vector<std::uint8_t> spread_bucket_;  ///< per device, precomputed
+};
+
+}  // namespace tacc::rl

@@ -1,0 +1,178 @@
+#include "rl/qlearning.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "util/timer.hpp"
+
+namespace tacc::rl {
+
+std::size_t QTable::best_action(std::size_t state, std::uint64_t mask) const {
+  std::size_t best = 0;
+  double best_value = -std::numeric_limits<double>::infinity();
+  bool any = false;
+  for (std::size_t a = 0; a < actions_; ++a) {
+    if (mask != 0 && ((mask >> a) & 1u) == 0) continue;
+    const double v = get(state, a);
+    if (!any || v > best_value) {
+      best_value = v;
+      best = a;
+      any = true;
+    }
+  }
+  return best;
+}
+
+double QTable::max_value(std::size_t state, std::uint64_t mask) const {
+  return get(state, best_action(state, mask));
+}
+
+namespace {
+
+/// ε-greedy among mask-permitted actions (all actions if mask is 0).
+[[nodiscard]] std::size_t choose_action(const QTable& table, std::size_t state,
+                                        std::uint64_t mask, double epsilon,
+                                        std::size_t action_count,
+                                        util::Rng& rng) {
+  if (rng.uniform() < epsilon) {
+    if (mask == 0) return rng.index(action_count);
+    std::size_t permitted[64];
+    std::size_t count = 0;
+    for (std::size_t a = 0; a < action_count; ++a) {
+      if ((mask >> a) & 1u) permitted[count++] = a;
+    }
+    return permitted[rng.index(count)];
+  }
+  return table.best_action(state, mask);
+}
+
+}  // namespace
+
+TrainResult train(const gap::Instance& instance, const RlOptions& options,
+                  TdVariant variant, QTable* table_out) {
+  AssignmentEnv env(instance, options.env, options.seed);
+  QTable table(env.state_count(), env.action_count());
+  util::Rng rng(options.seed ^ 0xA5A5A5A5A5A5A5A5ULL);
+
+  TrainResult result;
+  result.best_cost = std::numeric_limits<double>::infinity();
+  result.trace.reserve(options.episodes);
+
+  double epsilon = options.epsilon0;
+  for (std::size_t episode = 0; episode < options.episodes; ++episode) {
+    const double alpha =
+        options.alpha0 /
+        (1.0 + options.alpha_decay * static_cast<double>(episode));
+    env.reset();
+    double total_reward = 0.0;
+
+    std::size_t state = env.done() ? 0 : env.state();
+    std::uint64_t mask =
+        options.mask_infeasible ? env.feasible_mask() : 0;
+    std::size_t action =
+        env.done() ? 0
+                   : choose_action(table, state, mask, epsilon,
+                                   env.action_count(), rng);
+
+    while (!env.done()) {
+      const double reward = env.step(action);
+      total_reward += reward;
+      ++result.total_steps;
+
+      double target = reward;
+      std::size_t next_state = 0;
+      std::uint64_t next_mask = 0;
+      std::size_t next_action = 0;
+      if (!env.done()) {
+        next_state = env.state();
+        next_mask = options.mask_infeasible ? env.feasible_mask() : 0;
+        next_action = choose_action(table, next_state, next_mask, epsilon,
+                                    env.action_count(), rng);
+        const double bootstrap =
+            variant == TdVariant::kQLearning
+                ? table.max_value(next_state, next_mask)
+                : table.get(next_state, next_action);
+        target += options.gamma * bootstrap;
+      }
+      const double old_q = table.get(state, action);
+      table.set(state, action, old_q + alpha * (target - old_q));
+
+      state = next_state;
+      action = next_action;
+    }
+
+    const bool feasible = env.episode_feasible();
+    const double cost = env.episode_cost();
+    // Prefer feasible episodes outright; among equals, lower cost wins.
+    const bool better =
+        (feasible && !result.best_feasible) ||
+        (feasible == result.best_feasible && cost < result.best_cost);
+    if (better) {
+      result.best_cost = cost;
+      result.best_feasible = feasible;
+      result.best_assignment = env.assignment();
+    }
+    result.trace.push_back({episode, total_reward, cost, feasible,
+                            result.best_cost, epsilon});
+    epsilon = std::max(options.epsilon_min, epsilon * options.epsilon_decay);
+  }
+
+  // Greedy-policy evaluation: exploit what was learned, noise-free.
+  for (std::size_t g = 0; g < options.greedy_eval_episodes; ++g) {
+    env.reset();
+    while (!env.done()) {
+      const std::size_t state = env.state();
+      const std::uint64_t mask =
+          options.mask_infeasible ? env.feasible_mask() : 0;
+      (void)env.step(table.best_action(state, mask));
+      ++result.total_steps;
+    }
+    const bool feasible = env.episode_feasible();
+    const double cost = env.episode_cost();
+    const bool better =
+        (feasible && !result.best_feasible) ||
+        (feasible == result.best_feasible && cost < result.best_cost);
+    if (better) {
+      result.best_cost = cost;
+      result.best_feasible = feasible;
+      result.best_assignment = env.assignment();
+    }
+  }
+
+  if (table_out != nullptr) *table_out = table;
+
+  if (options.polish && !result.best_assignment.empty()) {
+    solvers::LocalSearchOptions polish_options;
+    polish_options.seed = options.seed + 17;
+    local_search_improve(instance, result.best_assignment, polish_options);
+    const gap::Evaluation ev = evaluate(instance, result.best_assignment);
+    result.best_cost = ev.total_cost;
+    result.best_feasible = ev.feasible;
+  }
+  return result;
+}
+
+namespace {
+
+[[nodiscard]] solvers::SolveResult run_solver(const gap::Instance& instance,
+                                              const RlOptions& options,
+                                              TdVariant variant) {
+  util::WallTimer timer;
+  TrainResult trained = train(instance, options, variant);
+  solvers::SolveResult result = solvers::detail::finish(
+      instance, std::move(trained.best_assignment), timer.elapsed_ms(),
+      trained.total_steps);
+  return result;
+}
+
+}  // namespace
+
+solvers::SolveResult QLearningSolver::solve(const gap::Instance& instance) {
+  return run_solver(instance, options_, TdVariant::kQLearning);
+}
+
+solvers::SolveResult SarsaSolver::solve(const gap::Instance& instance) {
+  return run_solver(instance, options_, TdVariant::kSarsa);
+}
+
+}  // namespace tacc::rl

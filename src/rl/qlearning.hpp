@@ -1,0 +1,121 @@
+// Tabular temporal-difference learning on the assignment MDP: the paper's
+// "RL based heuristics".
+//
+// Two variants share one trainer:
+//   Q-learning — off-policy (max over next actions),
+//   SARSA      — on-policy (the action actually taken next).
+// The learner runs E episodes with ε-greedy exploration (ε and α decay per
+// episode), keeps the best feasible assignment seen, and optionally polishes
+// it with local search before returning.
+#pragma once
+
+#include <vector>
+
+#include "rl/environment.hpp"
+#include "solvers/local_search.hpp"
+#include "solvers/solver.hpp"
+
+namespace tacc::rl {
+
+struct RlOptions {
+  EnvOptions env;
+  std::size_t episodes = 600;
+  double gamma = 0.97;         ///< discount within an episode
+  double alpha0 = 0.25;        ///< initial learning rate
+  double alpha_decay = 0.01;   ///< α_e = α0 / (1 + decay·e)
+  double epsilon0 = 0.4;       ///< initial exploration rate
+  double epsilon_min = 0.02;
+  double epsilon_decay = 0.985;  ///< multiplicative per episode
+  /// Restrict ε-greedy choices to capacity-feasible candidates when any
+  /// exist (the agent still learns penalties for the rest via fallback).
+  bool mask_infeasible = true;
+  /// Local-search polish on the best episode's assignment (A2 ablation).
+  bool polish = true;
+  /// After training, replay the learned policy greedily (ε = 0) over this
+  /// many shuffled device orders and keep the best run — training's "best
+  /// episode" still contains exploration noise; the greedy policy does not.
+  std::size_t greedy_eval_episodes = 16;
+  std::uint64_t seed = 1;
+};
+
+/// Per-episode learning trace — the F4 convergence experiment's series.
+struct EpisodeStats {
+  std::size_t episode = 0;
+  double total_reward = 0.0;
+  double episode_cost = 0.0;
+  bool feasible = false;
+  double best_cost_so_far = 0.0;
+  double epsilon = 0.0;
+};
+
+struct TrainResult {
+  gap::Assignment best_assignment;
+  double best_cost = 0.0;
+  bool best_feasible = false;
+  std::vector<EpisodeStats> trace;
+  std::size_t total_steps = 0;
+};
+
+/// Dense Q-table over (state, action).
+class QTable {
+ public:
+  QTable(std::size_t states, std::size_t actions)
+      : actions_(actions), values_(states * actions, 0.0) {}
+
+  [[nodiscard]] double get(std::size_t state, std::size_t action) const {
+    return values_.at(state * actions_ + action);
+  }
+  void set(std::size_t state, std::size_t action, double value) {
+    values_.at(state * actions_ + action) = value;
+  }
+  /// Argmax over actions, restricted to `mask` when nonzero.
+  [[nodiscard]] std::size_t best_action(std::size_t state,
+                                        std::uint64_t mask) const;
+  [[nodiscard]] double max_value(std::size_t state, std::uint64_t mask) const;
+  [[nodiscard]] std::size_t state_count() const noexcept {
+    return actions_ ? values_.size() / actions_ : 0;
+  }
+  [[nodiscard]] std::size_t action_count() const noexcept { return actions_; }
+
+ private:
+  std::size_t actions_;
+  std::vector<double> values_;
+};
+
+enum class TdVariant { kQLearning, kSarsa };
+
+/// Runs the full training loop on `instance`; the returned assignment is the
+/// best feasible episode (polished if configured), falling back to the best
+/// infeasible one if feasibility was never reached. If `table_out` is
+/// non-null it receives the learned Q-table (see rl/policy.hpp for reuse).
+[[nodiscard]] TrainResult train(const gap::Instance& instance,
+                                const RlOptions& options, TdVariant variant,
+                                QTable* table_out = nullptr);
+
+class QLearningSolver final : public solvers::Solver {
+ public:
+  explicit QLearningSolver(RlOptions options = {}) : options_(options) {}
+  [[nodiscard]] std::string_view name() const noexcept override {
+    return "q-learning";
+  }
+  [[nodiscard]] solvers::SolveResult solve(
+      const gap::Instance& instance) override;
+
+ private:
+  RlOptions options_;
+};
+
+class SarsaSolver final : public solvers::Solver {
+ public:
+  explicit SarsaSolver(RlOptions options = {}) : options_(options) {}
+  [[nodiscard]] std::string_view name() const noexcept override {
+    return "sarsa";
+  }
+  [[nodiscard]] solvers::SolveResult solve(
+      const gap::Instance& instance) override;
+
+ private:
+  RlOptions options_;
+};
+
+}  // namespace tacc::rl

@@ -1,0 +1,49 @@
+// Time-ordered event queue for the discrete-event simulator.
+//
+// Stable: events with equal timestamps pop in insertion order, which keeps
+// link/server FIFO semantics deterministic across platforms.
+#pragma once
+
+#include <cstdint>
+#include <queue>
+#include <vector>
+
+namespace tacc::sim {
+
+template <typename Payload>
+class EventQueue {
+ public:
+  void push(double time, Payload payload) {
+    heap_.push(Entry{time, next_sequence_++, std::move(payload)});
+  }
+
+  [[nodiscard]] bool empty() const noexcept { return heap_.empty(); }
+  [[nodiscard]] std::size_t size() const noexcept { return heap_.size(); }
+  [[nodiscard]] double next_time() const { return heap_.top().time; }
+
+  /// Removes and returns the earliest event. Precondition: !empty().
+  Payload pop(double* time_out = nullptr) {
+    Entry top = heap_.top();
+    heap_.pop();
+    if (time_out != nullptr) *time_out = top.time;
+    return std::move(top.payload);
+  }
+
+ private:
+  struct Entry {
+    double time;
+    std::uint64_t sequence;
+    Payload payload;
+
+    // std::priority_queue is a max-heap; invert for earliest-first.
+    friend bool operator<(const Entry& a, const Entry& b) noexcept {
+      if (a.time != b.time) return a.time > b.time;
+      return a.sequence > b.sequence;
+    }
+  };
+
+  std::priority_queue<Entry> heap_;
+  std::uint64_t next_sequence_ = 0;
+};
+
+}  // namespace tacc::sim

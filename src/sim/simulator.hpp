@@ -1,0 +1,61 @@
+// Discrete-event simulation of an assignment under real queueing.
+//
+// The static GAP objective scores propagation+forwarding delay only. This
+// simulator replays the workload as a packet-level process — Poisson message
+// generation per device, FIFO store-and-forward on every link (transmission
+// time = size/bandwidth), FIFO service queues at edge servers (service rate
+// from server capacity) — and reports realized end-to-end delays and
+// deadline misses. Overloaded servers build unbounded queues here, which is
+// how the paper's "none of the edge devices are overloaded" constraint shows
+// up as tail latency (experiments F5/F6).
+#pragma once
+
+#include "gap/solution.hpp"
+#include "metrics/stats.hpp"
+#include "topology/network.hpp"
+#include "workload/devices.hpp"
+
+namespace tacc::sim {
+
+struct SimParams {
+  double duration_s = 30.0;  ///< simulated horizon
+  double warmup_s = 3.0;     ///< messages generated before this are ignored
+  std::uint64_t seed = 42;
+  /// A server "at capacity" (GAP load == c_j) runs at this utilization of
+  /// its actual service rate: μ_j = c_j / capacity_headroom. Headroom < 1
+  /// keeps feasible assignments' queues finite while servers loaded beyond
+  /// c_j / headroom genuinely diverge — which is exactly the overload
+  /// behaviour the capacity constraint exists to prevent.
+  double capacity_headroom = 0.75;
+};
+
+struct SimResult {
+  metrics::SampleSet delay_ms;  ///< end-to-end, completed post-warmup msgs
+  std::size_t messages_generated = 0;
+  std::size_t messages_measured = 0;
+  std::size_t deadline_misses = 0;
+  std::vector<double> server_utilization;  ///< busy fraction per server
+
+  [[nodiscard]] double deadline_miss_rate() const noexcept {
+    return messages_measured
+               ? static_cast<double>(deadline_misses) /
+                     static_cast<double>(messages_measured)
+               : 0.0;
+  }
+  [[nodiscard]] double mean_delay_ms() const noexcept {
+    return delay_ms.stats().mean();
+  }
+  [[nodiscard]] double p99_delay_ms() const {
+    return delay_ms.percentile(0.99);
+  }
+};
+
+/// Simulates `assignment` of the workload's devices onto its servers across
+/// `net`. The assignment must be complete (every device placed); workload
+/// and net must describe the same devices/servers.
+[[nodiscard]] SimResult simulate(const topo::NetworkTopology& net,
+                                 const workload::Workload& workload,
+                                 const gap::Assignment& assignment,
+                                 const SimParams& params);
+
+}  // namespace tacc::sim

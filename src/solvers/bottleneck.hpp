@@ -1,0 +1,38 @@
+// Bottleneck objective: minimize the MAXIMUM device delay subject to
+// capacities (the worst-case-latency variant of TACC, natural under
+// stringent per-device deadlines).
+//
+// Structure: binary-search the delay threshold T over the distinct entries
+// of the delay matrix. For each T, admissibility of "every device on a
+// server within T" is checked by a min-cost-flow feasibility run restricted
+// to arcs with delay ≤ T (splittable feasibility — a valid relaxation, so
+// the search returns a LOWER bound T*), then an integral assignment is
+// constructed at the smallest threshold ≥ T* where best-fit + eviction
+// repair succeeds. Total cost is tie-broken greedily among ≤-T servers.
+#pragma once
+
+#include "solvers/solver.hpp"
+
+namespace tacc::solvers {
+
+struct BottleneckResult {
+  SolveResult solve_result;
+  double max_delay_ms = 0.0;       ///< realized bottleneck
+  double lower_bound_ms = 0.0;     ///< splittable-feasibility bound T*
+};
+
+/// Standalone entry point returning the bottleneck diagnostics.
+[[nodiscard]] BottleneckResult solve_bottleneck(const gap::Instance& instance);
+
+/// Solver-interface wrapper (drops the diagnostics).
+class BottleneckSolver final : public Solver {
+ public:
+  [[nodiscard]] std::string_view name() const noexcept override {
+    return "bottleneck";
+  }
+  [[nodiscard]] SolveResult solve(const gap::Instance& instance) override {
+    return solve_bottleneck(instance).solve_result;
+  }
+};
+
+}  // namespace tacc::solvers

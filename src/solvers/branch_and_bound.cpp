@@ -1,0 +1,132 @@
+#include "solvers/branch_and_bound.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <numeric>
+
+#include "solvers/constructive.hpp"
+#include "util/timer.hpp"
+
+namespace tacc::solvers {
+
+namespace {
+constexpr double kEps = 1e-9;
+
+struct SearchState {
+  const gap::Instance* instance;
+  const std::vector<gap::DeviceIndex>* order;
+  const std::vector<double>* suffix_min_cost;
+  gap::Assignment assignment;
+  std::vector<double> loads;
+  double cost = 0.0;
+  double best_cost = std::numeric_limits<double>::infinity();
+  gap::Assignment best_assignment;
+  std::size_t nodes = 0;
+  std::size_t max_nodes = 0;
+  bool budget_exhausted = false;
+
+  void dfs(std::size_t depth) {
+    if (budget_exhausted) return;
+    const gap::Instance& inst = *instance;
+    if (depth == order->size()) {
+      if (cost < best_cost - kEps) {
+        best_cost = cost;
+        best_assignment = assignment;
+      }
+      return;
+    }
+    if (cost + (*suffix_min_cost)[depth] >= best_cost - kEps) return;
+
+    const gap::DeviceIndex device = (*order)[depth];
+    // Try servers in increasing cost for this device.
+    std::vector<gap::ServerIndex> servers(inst.server_count());
+    std::iota(servers.begin(), servers.end(), 0);
+    std::sort(servers.begin(), servers.end(),
+              [&](gap::ServerIndex a, gap::ServerIndex b) {
+                return inst.cost(device, a) < inst.cost(device, b);
+              });
+    for (gap::ServerIndex j : servers) {
+      if (loads[j] + inst.demand(device, j) > inst.capacity(j) + kEps) {
+        continue;
+      }
+      ++nodes;
+      if (max_nodes && nodes > max_nodes) {
+        budget_exhausted = true;
+        return;
+      }
+      loads[j] += inst.demand(device, j);
+      cost += inst.cost(device, j);
+      assignment[device] = static_cast<std::int32_t>(j);
+      dfs(depth + 1);
+      assignment[device] = gap::kUnassigned;
+      cost -= inst.cost(device, j);
+      loads[j] -= inst.demand(device, j);
+      if (budget_exhausted) return;
+    }
+  }
+};
+
+}  // namespace
+
+SolveResult BranchAndBoundSolver::solve(const gap::Instance& instance) {
+  util::WallTimer timer;
+  const std::size_t n = instance.device_count();
+
+  std::vector<gap::DeviceIndex> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(),
+            [&](gap::DeviceIndex a, gap::DeviceIndex b) {
+              const double da = instance.demand(a, 0);
+              const double db = instance.demand(b, 0);
+              return da != db ? da > db : a < b;
+            });
+
+  // suffix_min_cost[d] = Σ_{k >= d} min_j cost(order[k], j): admissible
+  // completion bound.
+  std::vector<double> suffix_min_cost(n + 1, 0.0);
+  for (std::size_t d = n; d-- > 0;) {
+    double lo = std::numeric_limits<double>::infinity();
+    for (gap::ServerIndex j = 0; j < instance.server_count(); ++j) {
+      lo = std::min(lo, instance.cost(order[d], j));
+    }
+    suffix_min_cost[d] = suffix_min_cost[d + 1] + lo;
+  }
+
+  SearchState state;
+  state.instance = &instance;
+  state.order = &order;
+  state.suffix_min_cost = &suffix_min_cost;
+  state.assignment.assign(n, gap::kUnassigned);
+  state.loads.assign(instance.server_count(), 0.0);
+  state.max_nodes = options_.max_nodes;
+
+  // Warm-start the incumbent with a quick heuristic so pruning bites early.
+  {
+    GreedyBestFitSolver greedy;
+    const SolveResult warm = greedy.solve(instance);
+    if (warm.feasible) {
+      state.best_cost = warm.total_cost;
+      state.best_assignment = warm.assignment;
+    }
+  }
+
+  state.dfs(0);
+
+  SolveResult result;
+  if (state.best_assignment.empty()) {
+    // No feasible solution found (possibly none exists): fall back so the
+    // caller still gets a complete assignment, marked infeasible.
+    GreedyBestFitSolver greedy;
+    result = greedy.solve(instance);
+    result.wall_ms = timer.elapsed_ms();
+    result.iterations = state.nodes;
+    result.proven_optimal = false;
+    return result;
+  }
+  result = detail::finish(instance, std::move(state.best_assignment),
+                          timer.elapsed_ms(), state.nodes);
+  result.proven_optimal = !state.budget_exhausted;
+  return result;
+}
+
+}  // namespace tacc::solvers

@@ -1,0 +1,32 @@
+// Exact branch-and-bound for small instances.
+//
+// Depth-first over devices (largest demand first), servers tried in cost
+// order, pruned by an admissible bound: committed cost + Σ over remaining
+// devices of their global minimum cost. Exponential worst case — intended
+// for the T1 optimality-gap experiment (n ≲ 20) and for solver tests.
+#pragma once
+
+#include "solvers/solver.hpp"
+
+namespace tacc::solvers {
+
+struct BranchAndBoundOptions {
+  /// Search-node budget; when exhausted the best incumbent is returned with
+  /// proven_optimal = false. 0 means unlimited.
+  std::size_t max_nodes = 20'000'000;
+};
+
+class BranchAndBoundSolver final : public Solver {
+ public:
+  explicit BranchAndBoundSolver(BranchAndBoundOptions options = {})
+      : options_(options) {}
+  [[nodiscard]] std::string_view name() const noexcept override {
+    return "branch-and-bound";
+  }
+  [[nodiscard]] SolveResult solve(const gap::Instance& instance) override;
+
+ private:
+  BranchAndBoundOptions options_;
+};
+
+}  // namespace tacc::solvers

@@ -1,0 +1,144 @@
+#include "solvers/constructive.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <numeric>
+
+#include "util/timer.hpp"
+
+namespace tacc::solvers {
+
+SolveResult RandomSolver::solve(const gap::Instance& instance) {
+  util::WallTimer timer;
+  gap::Assignment assignment(instance.device_count(), gap::kUnassigned);
+  for (auto& x : assignment) {
+    x = static_cast<std::int32_t>(rng_.index(instance.server_count()));
+  }
+  return detail::finish(instance, std::move(assignment), timer.elapsed_ms(),
+                        instance.device_count());
+}
+
+SolveResult RoundRobinSolver::solve(const gap::Instance& instance) {
+  util::WallTimer timer;
+  gap::Assignment assignment(instance.device_count(), gap::kUnassigned);
+  for (gap::DeviceIndex i = 0; i < assignment.size(); ++i) {
+    assignment[i] = static_cast<std::int32_t>(i % instance.server_count());
+  }
+  return detail::finish(instance, std::move(assignment), timer.elapsed_ms(),
+                        instance.device_count());
+}
+
+SolveResult GreedyNearestSolver::solve(const gap::Instance& instance) {
+  util::WallTimer timer;
+  gap::Assignment assignment(instance.device_count(), gap::kUnassigned);
+  for (gap::DeviceIndex i = 0; i < assignment.size(); ++i) {
+    // servers_by_delay is delay-sorted; with uniform positive weights the
+    // cheapest-cost server is also the lowest-delay one.
+    gap::ServerIndex best = 0;
+    double best_cost = std::numeric_limits<double>::infinity();
+    for (gap::ServerIndex j = 0; j < instance.server_count(); ++j) {
+      const double cost = instance.cost(i, j);
+      if (cost < best_cost) {
+        best_cost = cost;
+        best = j;
+      }
+    }
+    assignment[i] = static_cast<std::int32_t>(best);
+  }
+  return detail::finish(instance, std::move(assignment), timer.elapsed_ms(),
+                        instance.device_count());
+}
+
+SolveResult GreedyBestFitSolver::solve(const gap::Instance& instance) {
+  util::WallTimer timer;
+  const std::size_t n = instance.device_count();
+  std::vector<gap::DeviceIndex> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  // Big consumers first: placing them while slack is plentiful avoids the
+  // end-game where only distant servers still fit them.
+  std::sort(order.begin(), order.end(),
+            [&](gap::DeviceIndex a, gap::DeviceIndex b) {
+              const double da = instance.demand(a, 0);
+              const double db = instance.demand(b, 0);
+              return da != db ? da > db : a < b;
+            });
+
+  gap::Assignment assignment(n, gap::kUnassigned);
+  std::vector<double> loads(instance.server_count(), 0.0);
+  for (gap::DeviceIndex i : order) {
+    const gap::ServerIndex j =
+        detail::best_feasible_or_least_loaded(instance, i, loads);
+    assignment[i] = static_cast<std::int32_t>(j);
+    loads[j] += instance.demand(i, j);
+  }
+  return detail::finish(instance, std::move(assignment), timer.elapsed_ms(),
+                        n);
+}
+
+SolveResult RegretGreedySolver::solve(const gap::Instance& instance) {
+  util::WallTimer timer;
+  const std::size_t n = instance.device_count();
+  const std::size_t m = instance.server_count();
+  constexpr double kEps = 1e-9;
+
+  gap::Assignment assignment(n, gap::kUnassigned);
+  std::vector<double> loads(m, 0.0);
+  std::vector<bool> placed(n, false);
+  std::size_t iterations = 0;
+
+  for (std::size_t round = 0; round < n; ++round) {
+    // Pick the unplaced device with the largest regret between its best and
+    // second-best *currently feasible* servers.
+    gap::DeviceIndex chosen = n;
+    gap::ServerIndex chosen_server = m;
+    double chosen_regret = -1.0;
+    for (gap::DeviceIndex i = 0; i < n; ++i) {
+      if (placed[i]) continue;
+      ++iterations;
+      double best = std::numeric_limits<double>::infinity();
+      double second = std::numeric_limits<double>::infinity();
+      gap::ServerIndex best_server = m;
+      for (gap::ServerIndex j = 0; j < m; ++j) {
+        if (loads[j] + instance.demand(i, j) >
+            instance.capacity(j) + kEps) {
+          continue;
+        }
+        const double cost = instance.cost(i, j);
+        if (cost < best) {
+          second = best;
+          best = cost;
+          best_server = j;
+        } else if (cost < second) {
+          second = cost;
+        }
+      }
+      double regret;
+      if (best_server == m) {
+        // No feasible server at all: maximal urgency.
+        regret = std::numeric_limits<double>::infinity();
+      } else if (second == std::numeric_limits<double>::infinity()) {
+        // Exactly one feasible server left: place before it fills up.
+        regret = std::numeric_limits<double>::max();
+      } else {
+        regret = second - best;
+      }
+      if (regret > chosen_regret) {
+        chosen_regret = regret;
+        chosen = i;
+        chosen_server = best_server;
+      }
+    }
+    if (chosen == n) break;  // all placed
+    if (chosen_server == m) {
+      chosen_server =
+          detail::best_feasible_or_least_loaded(instance, chosen, loads);
+    }
+    assignment[chosen] = static_cast<std::int32_t>(chosen_server);
+    loads[chosen_server] += instance.demand(chosen, chosen_server);
+    placed[chosen] = true;
+  }
+  return detail::finish(instance, std::move(assignment), timer.elapsed_ms(),
+                        iterations);
+}
+
+}  // namespace tacc::solvers

@@ -1,0 +1,64 @@
+// One-pass constructive solvers: the baseline ladder.
+//
+//   Random          — uniform random server per device (sanity floor)
+//   RoundRobin      — devices dealt to servers cyclically (load-only)
+//   GreedyNearest   — min-cost server per device, capacity-OBLIVIOUS: the
+//                     classic "connect to the nearest edge" policy that the
+//                     paper's overload constraint exists to rule out
+//   GreedyBestFit   — devices by descending demand, each to the cheapest
+//                     server that still fits (best-fit-decreasing flavor)
+//   RegretGreedy    — Martello–Toth style: repeatedly commit the device with
+//                     the largest regret (2nd-cheapest feasible minus
+//                     cheapest feasible), the strongest classical heuristic
+#pragma once
+
+#include "solvers/solver.hpp"
+#include "util/rng.hpp"
+
+namespace tacc::solvers {
+
+class RandomSolver final : public Solver {
+ public:
+  explicit RandomSolver(std::uint64_t seed) : rng_(seed) {}
+  [[nodiscard]] std::string_view name() const noexcept override {
+    return "random";
+  }
+  [[nodiscard]] SolveResult solve(const gap::Instance& instance) override;
+
+ private:
+  util::Rng rng_;
+};
+
+class RoundRobinSolver final : public Solver {
+ public:
+  [[nodiscard]] std::string_view name() const noexcept override {
+    return "round-robin";
+  }
+  [[nodiscard]] SolveResult solve(const gap::Instance& instance) override;
+};
+
+class GreedyNearestSolver final : public Solver {
+ public:
+  [[nodiscard]] std::string_view name() const noexcept override {
+    return "greedy-nearest";
+  }
+  [[nodiscard]] SolveResult solve(const gap::Instance& instance) override;
+};
+
+class GreedyBestFitSolver final : public Solver {
+ public:
+  [[nodiscard]] std::string_view name() const noexcept override {
+    return "greedy-bestfit";
+  }
+  [[nodiscard]] SolveResult solve(const gap::Instance& instance) override;
+};
+
+class RegretGreedySolver final : public Solver {
+ public:
+  [[nodiscard]] std::string_view name() const noexcept override {
+    return "regret-greedy";
+  }
+  [[nodiscard]] SolveResult solve(const gap::Instance& instance) override;
+};
+
+}  // namespace tacc::solvers

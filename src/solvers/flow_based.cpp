@@ -1,0 +1,165 @@
+#include "solvers/flow_based.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <numeric>
+
+#include "flow/min_cost_flow.hpp"
+#include "util/timer.hpp"
+
+namespace tacc::solvers {
+
+namespace {
+constexpr double kEps = 1e-9;
+
+struct FlowModel {
+  flow::MinCostFlow network;
+  std::vector<std::size_t> device_server_arcs;  // n×m arc ids, row-major
+  std::uint32_t source;
+  std::uint32_t sink;
+  double total_demand;
+};
+
+/// Transportation network: source → device (demand), device → server
+/// (cost/unit), server → sink (capacity). Requires uniform demand.
+[[nodiscard]] FlowModel build_flow_model(const gap::Instance& instance) {
+  const std::size_t n = instance.device_count();
+  const std::size_t m = instance.server_count();
+  FlowModel model{flow::MinCostFlow(n + m + 2),
+                  std::vector<std::size_t>(n * m),
+                  static_cast<std::uint32_t>(n + m),
+                  static_cast<std::uint32_t>(n + m + 1),
+                  0.0};
+  for (std::size_t i = 0; i < n; ++i) {
+    const double demand = instance.demand(i, 0);
+    model.total_demand += demand;
+    model.network.add_arc(model.source, static_cast<std::uint32_t>(i),
+                          demand, 0.0);
+    for (std::size_t j = 0; j < m; ++j) {
+      // Cost per unit of demand, so shipping the whole device costs
+      // exactly cost(i,j).
+      model.device_server_arcs[i * m + j] = model.network.add_arc(
+          static_cast<std::uint32_t>(i), static_cast<std::uint32_t>(n + j),
+          demand, instance.cost(i, j) / demand);
+    }
+  }
+  for (std::size_t j = 0; j < m; ++j) {
+    model.network.add_arc(static_cast<std::uint32_t>(n + j), model.sink,
+                          instance.capacity(j), 0.0);
+  }
+  return model;
+}
+
+}  // namespace
+
+LowerBounds compute_lower_bounds(const gap::Instance& instance) {
+  LowerBounds bounds;
+  for (gap::DeviceIndex i = 0; i < instance.device_count(); ++i) {
+    double lo = std::numeric_limits<double>::infinity();
+    for (gap::ServerIndex j = 0; j < instance.server_count(); ++j) {
+      lo = std::min(lo, instance.cost(i, j));
+    }
+    bounds.min_cost += lo;
+  }
+  bounds.splittable_flow = bounds.min_cost;
+
+  if (!instance.uniform_demand()) return bounds;
+  FlowModel model = build_flow_model(instance);
+  const auto result =
+      model.network.solve(model.source, model.sink, model.total_demand);
+  if (result.reached_target) {
+    bounds.splittable_flow = std::max(bounds.min_cost, result.cost);
+    bounds.flow_bound_valid = true;
+  }
+  return bounds;
+}
+
+SolveResult FlowRelaxRepairSolver::solve(const gap::Instance& instance) {
+  util::WallTimer timer;
+  const std::size_t n = instance.device_count();
+  const std::size_t m = instance.server_count();
+
+  gap::Assignment assignment(n, gap::kUnassigned);
+  std::size_t iterations = 0;
+
+  if (instance.uniform_demand()) {
+    FlowModel model = build_flow_model(instance);
+    const auto flow_result =
+        model.network.solve(model.source, model.sink, model.total_demand);
+    iterations = static_cast<std::size_t>(flow_result.flow);
+    // Round: each device to the server carrying most of its flow.
+    for (std::size_t i = 0; i < n; ++i) {
+      double best_flow = -1.0;
+      gap::ServerIndex best = 0;
+      for (std::size_t j = 0; j < m; ++j) {
+        const double f =
+            model.network.flow_on(model.device_server_arcs[i * m + j]);
+        if (f > best_flow) {
+          best_flow = f;
+          best = j;
+        }
+      }
+      assignment[i] = static_cast<std::int32_t>(best);
+    }
+  } else {
+    // General demand matrix: no transportation relaxation; start from the
+    // per-device cheapest server and rely on the repair phase.
+    for (gap::DeviceIndex i = 0; i < n; ++i) {
+      gap::ServerIndex best = 0;
+      double best_cost = std::numeric_limits<double>::infinity();
+      for (gap::ServerIndex j = 0; j < m; ++j) {
+        if (instance.cost(i, j) < best_cost) {
+          best_cost = instance.cost(i, j);
+          best = j;
+        }
+      }
+      assignment[i] = static_cast<std::int32_t>(best);
+    }
+  }
+
+  // Repair: while a server is overloaded, evict the resident whose cheapest
+  // feasible relocation costs least, and move it there.
+  std::vector<double> loads(m, 0.0);
+  for (gap::DeviceIndex i = 0; i < n; ++i) {
+    const auto j = static_cast<gap::ServerIndex>(assignment[i]);
+    loads[j] += instance.demand(i, j);
+  }
+  bool progress = true;
+  while (progress) {
+    progress = false;
+    for (gap::ServerIndex j = 0; j < m; ++j) {
+      while (loads[j] > instance.capacity(j) + kEps) {
+        gap::DeviceIndex victim = n;
+        gap::ServerIndex target = m;
+        double best_delta = std::numeric_limits<double>::infinity();
+        for (gap::DeviceIndex i = 0; i < n; ++i) {
+          if (static_cast<gap::ServerIndex>(assignment[i]) != j) continue;
+          for (gap::ServerIndex k = 0; k < m; ++k) {
+            if (k == j) continue;
+            if (loads[k] + instance.demand(i, k) >
+                instance.capacity(k) + kEps) {
+              continue;
+            }
+            const double delta =
+                instance.cost(i, k) - instance.cost(i, j);
+            if (delta < best_delta) {
+              best_delta = delta;
+              victim = i;
+              target = k;
+            }
+          }
+        }
+        if (victim == n) break;  // nothing movable: leave overloaded
+        ++iterations;
+        loads[j] -= instance.demand(victim, j);
+        loads[target] += instance.demand(victim, target);
+        assignment[victim] = static_cast<std::int32_t>(target);
+        progress = true;
+      }
+    }
+  }
+  return detail::finish(instance, std::move(assignment), timer.elapsed_ms(),
+                        iterations);
+}
+
+}  // namespace tacc::solvers

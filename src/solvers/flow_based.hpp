@@ -1,0 +1,47 @@
+// Flow-relaxation machinery: the splittable lower bound and the
+// relax-and-repair baseline solver.
+//
+// Allowing each device to split its traffic across servers turns GAP (with
+// per-device demands) into a transportation problem solvable exactly by
+// min-cost flow. Its optimum lower-bounds the integral optimum, which is how
+// we report optimality gaps at scales where branch-and-bound cannot run.
+#pragma once
+
+#include "solvers/solver.hpp"
+
+namespace tacc::solvers {
+
+struct LowerBounds {
+  /// Σ_i min_j cost(i,j): ignores capacities entirely.
+  double min_cost = 0.0;
+  /// Splittable transportation optimum (≥ min_cost). Equals min_cost when
+  /// the instance has a general demand matrix (relaxation needs uniform
+  /// per-device demand) or the splittable problem is itself infeasible.
+  double splittable_flow = 0.0;
+  /// True when the splittable bound was actually computed by flow.
+  bool flow_bound_valid = false;
+};
+
+[[nodiscard]] LowerBounds compute_lower_bounds(const gap::Instance& instance);
+
+struct FlowRelaxRepairOptions {
+  std::uint64_t seed = 1;
+};
+
+/// Solves the splittable relaxation, rounds each device to its largest
+/// fractional server, then repairs capacity violations by cheapest-eviction
+/// moves. A strong classical baseline (Shmoys–Tardos-flavored).
+class FlowRelaxRepairSolver final : public Solver {
+ public:
+  explicit FlowRelaxRepairSolver(FlowRelaxRepairOptions options = {})
+      : options_(options) {}
+  [[nodiscard]] std::string_view name() const noexcept override {
+    return "flow-relax-repair";
+  }
+  [[nodiscard]] SolveResult solve(const gap::Instance& instance) override;
+
+ private:
+  FlowRelaxRepairOptions options_;
+};
+
+}  // namespace tacc::solvers

@@ -1,0 +1,48 @@
+// Local search over move/swap neighborhoods, and its use as a polish pass.
+//
+// First-improvement descent with a randomized scan order: from a complete
+// assignment, repeatedly apply a feasible cost-reducing single-device move
+// or two-device swap until a local optimum or the iteration budget.
+#pragma once
+
+#include <optional>
+
+#include "solvers/solver.hpp"
+#include "util/rng.hpp"
+
+namespace tacc::solvers {
+
+struct LocalSearchOptions {
+  std::uint64_t seed = 1;
+  /// Upper bound on improving steps; 0 means "until local optimum".
+  std::size_t max_improvements = 0;
+  /// Enable the two-device swap neighborhood (needed to escape capacity
+  /// deadlocks that single moves cannot fix).
+  bool use_swaps = true;
+  /// Restrict move targets to the K lowest-delay servers per device
+  /// (0 = all servers). Large instances profit; quality loss is tiny.
+  std::size_t candidate_servers = 0;
+};
+
+/// Improves `assignment` in place; returns number of improving steps.
+/// The assignment must be complete; infeasible inputs are improved only
+/// through moves that do not increase any server's overload.
+std::size_t local_search_improve(const gap::Instance& instance,
+                                 gap::Assignment& assignment,
+                                 const LocalSearchOptions& options);
+
+/// Solver wrapper: seeds with GreedyBestFit, then descends.
+class LocalSearchSolver final : public Solver {
+ public:
+  explicit LocalSearchSolver(LocalSearchOptions options = {})
+      : options_(options) {}
+  [[nodiscard]] std::string_view name() const noexcept override {
+    return "local-search";
+  }
+  [[nodiscard]] SolveResult solve(const gap::Instance& instance) override;
+
+ private:
+  LocalSearchOptions options_;
+};
+
+}  // namespace tacc::solvers

@@ -1,0 +1,87 @@
+#include "topology/failures.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "topology/shortest_paths.hpp"
+
+namespace tacc::topo {
+
+std::vector<LinkEndpoints> backbone_links(const NetworkTopology& net) {
+  std::vector<LinkEndpoints> links;
+  for (NodeId u = 0; u < net.graph.node_count(); ++u) {
+    if (net.kinds[u] != NodeKind::kRouter) continue;
+    for (const Adjacency& adj : net.graph.neighbors(u)) {
+      if (adj.to > u && net.kinds[adj.to] == NodeKind::kRouter) {
+        links.push_back({u, adj.to});
+      }
+    }
+  }
+  return links;
+}
+
+bool all_devices_served(const NetworkTopology& net) {
+  // Multi-source BFS from all edge servers at once.
+  std::vector<char> reached(net.graph.node_count(), 0);
+  std::vector<NodeId> frontier;
+  for (NodeId server : net.edge_nodes) {
+    reached[server] = 1;
+    frontier.push_back(server);
+  }
+  while (!frontier.empty()) {
+    const NodeId node = frontier.back();
+    frontier.pop_back();
+    for (const Adjacency& adj : net.graph.neighbors(node)) {
+      if (!reached[adj.to]) {
+        reached[adj.to] = 1;
+        frontier.push_back(adj.to);
+      }
+    }
+  }
+  return std::all_of(net.iot_nodes.begin(), net.iot_nodes.end(),
+                     [&](NodeId device) { return reached[device] != 0; });
+}
+
+std::vector<LinkEndpoints> sample_failable_links(const NetworkTopology& net,
+                                                 double fraction,
+                                                 util::Rng& rng) {
+  std::vector<LinkEndpoints> candidates = backbone_links(net);
+  rng.shuffle(candidates);
+  const auto budget = static_cast<std::size_t>(
+      fraction * static_cast<double>(candidates.size()));
+
+  NetworkTopology scratch = net;
+  std::vector<LinkEndpoints> chosen;
+  for (const LinkEndpoints& link : candidates) {
+    if (chosen.size() >= budget) break;
+    if (!scratch.graph.remove_edge(link.first, link.second)) continue;
+    if (all_devices_served(scratch)) {
+      chosen.push_back(link);
+    } else {
+      // Undo: this failure would strand a device.
+      const auto props = [&] {
+        // Recover the original link properties from the unmodified net.
+        for (const Adjacency& adj : net.graph.neighbors(link.first)) {
+          if (adj.to == link.second) return adj.props;
+        }
+        throw std::logic_error("sample_failable_links: lost link props");
+      }();
+      scratch.graph.add_edge(link.first, link.second, props);
+    }
+  }
+  return chosen;
+}
+
+NetworkTopology with_failed_links(const NetworkTopology& net,
+                                  const std::vector<LinkEndpoints>& links) {
+  NetworkTopology degraded = net;
+  for (const LinkEndpoints& link : links) {
+    if (!degraded.graph.remove_edge(link.first, link.second)) {
+      throw std::invalid_argument(
+          "with_failed_links: link does not exist in the network");
+    }
+  }
+  return degraded;
+}
+
+}  // namespace tacc::topo

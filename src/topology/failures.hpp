@@ -1,0 +1,39 @@
+// Failure injection: degrade a deployed network by failing backbone links
+// or edge servers, for resilience experiments (A5).
+//
+// Only router–router links are failed — cutting a device's single access
+// link would model radio loss, a different phenomenon — and a failure set
+// is rejected if it disconnects any device from every server (an assignment
+// would be undefined); sample_failable_links() only returns sets that keep
+// all device-server pairs connected.
+#pragma once
+
+#include <utility>
+#include <vector>
+
+#include "topology/network.hpp"
+#include "util/rng.hpp"
+
+namespace tacc::topo {
+
+using LinkEndpoints = std::pair<NodeId, NodeId>;
+
+/// All router–router links of the network (each undirected link once).
+[[nodiscard]] std::vector<LinkEndpoints> backbone_links(
+    const NetworkTopology& net);
+
+/// Samples up to `fraction` of the backbone links, skipping any link whose
+/// removal (together with the already-chosen ones) would disconnect some
+/// IoT device from every edge server. Deterministic in (net, fraction, rng).
+[[nodiscard]] std::vector<LinkEndpoints> sample_failable_links(
+    const NetworkTopology& net, double fraction, util::Rng& rng);
+
+/// A copy of `net` with the given links removed. Throws
+/// std::invalid_argument if any link does not exist.
+[[nodiscard]] NetworkTopology with_failed_links(
+    const NetworkTopology& net, const std::vector<LinkEndpoints>& links);
+
+/// True iff every IoT device can still reach at least one edge server.
+[[nodiscard]] bool all_devices_served(const NetworkTopology& net);
+
+}  // namespace tacc::topo

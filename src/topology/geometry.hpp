@@ -1,0 +1,22 @@
+// 2-D geometry for device placement and distance-based link models.
+#pragma once
+
+#include <cmath>
+
+namespace tacc::topo {
+
+struct Point2D {
+  double x = 0.0;
+  double y = 0.0;
+
+  friend constexpr bool operator==(const Point2D&, const Point2D&) = default;
+};
+
+[[nodiscard]] inline double euclidean_distance(const Point2D& a,
+                                               const Point2D& b) noexcept {
+  const double dx = a.x - b.x;
+  const double dy = a.y - b.y;
+  return std::sqrt(dx * dx + dy * dy);
+}
+
+}  // namespace tacc::topo

@@ -1,0 +1,60 @@
+#include "topology/graph.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace tacc::topo {
+
+NodeId Graph::add_node() {
+  adjacency_.emplace_back();
+  return static_cast<NodeId>(adjacency_.size() - 1);
+}
+
+void Graph::add_edge(NodeId u, NodeId v, EdgeProps props) {
+  if (u >= node_count() || v >= node_count()) {
+    throw std::out_of_range("Graph::add_edge: node id out of range");
+  }
+  if (u == v) {
+    throw std::invalid_argument("Graph::add_edge: self-loops not supported");
+  }
+  if (!(props.latency_ms > 0.0)) {
+    throw std::invalid_argument("Graph::add_edge: latency must be positive");
+  }
+  adjacency_[u].push_back({v, props});
+  adjacency_[v].push_back({u, props});
+  ++edges_;
+}
+
+bool Graph::has_edge(NodeId u, NodeId v) const {
+  const auto& list = adjacency_.at(u);
+  return std::any_of(list.begin(), list.end(),
+                     [v](const Adjacency& a) { return a.to == v; });
+}
+
+bool Graph::remove_edge(NodeId u, NodeId v) {
+  if (u >= node_count() || v >= node_count()) return false;
+  const auto erase_one = [this](NodeId from, NodeId to) {
+    auto& list = adjacency_[from];
+    for (auto it = list.begin(); it != list.end(); ++it) {
+      if (it->to == to) {
+        list.erase(it);
+        return true;
+      }
+    }
+    return false;
+  };
+  if (!erase_one(u, v)) return false;
+  erase_one(v, u);
+  --edges_;
+  return true;
+}
+
+double Graph::total_latency() const noexcept {
+  double total = 0.0;
+  for (const auto& list : adjacency_) {
+    for (const auto& adj : list) total += adj.props.latency_ms;
+  }
+  return total / 2.0;  // each undirected edge counted from both endpoints
+}
+
+}  // namespace tacc::topo

@@ -1,0 +1,117 @@
+#include "topology/network.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "topology/shortest_paths.hpp"
+
+namespace tacc::topo {
+
+namespace {
+
+/// Indices of the k nearest infrastructure nodes to `point`.
+[[nodiscard]] std::vector<NodeId> nearest_routers(
+    std::span<const Point2D> router_positions, Point2D point, std::size_t k) {
+  std::vector<NodeId> ids(router_positions.size());
+  for (NodeId i = 0; i < router_positions.size(); ++i) ids[i] = i;
+  k = std::min(k, ids.size());
+  std::partial_sort(ids.begin(), ids.begin() + static_cast<std::ptrdiff_t>(k),
+                    ids.end(), [&](NodeId a, NodeId b) {
+                      return euclidean_distance(router_positions[a], point) <
+                             euclidean_distance(router_positions[b], point);
+                    });
+  ids.resize(k);
+  return ids;
+}
+
+}  // namespace
+
+NetworkTopology build_network(const GeoGraph& infrastructure,
+                              std::span<const Point2D> iot_positions,
+                              std::span<const Point2D> edge_positions,
+                              const LinkDelayModel& delay,
+                              const AttachParams& attach) {
+  if (infrastructure.graph.node_count() == 0) {
+    throw std::invalid_argument("build_network: empty infrastructure");
+  }
+  if (iot_positions.empty() || edge_positions.empty()) {
+    throw std::invalid_argument(
+        "build_network: need at least one IoT device and one edge server");
+  }
+  const std::size_t attach_count = std::max<std::size_t>(1, attach.attach_count);
+
+  NetworkTopology net;
+  net.graph = infrastructure.graph;
+  net.positions = infrastructure.positions;
+  net.kinds.assign(net.graph.node_count(), NodeKind::kRouter);
+
+  const auto attach_device = [&](Point2D pos, NodeKind kind) {
+    const NodeId node = net.graph.add_node();
+    net.positions.push_back(pos);
+    net.kinds.push_back(kind);
+    for (NodeId router :
+         nearest_routers(infrastructure.positions, pos, attach_count)) {
+      net.graph.add_edge(node, router,
+                         delay.access_link(euclidean_distance(
+                             pos, infrastructure.positions[router])));
+    }
+    return node;
+  };
+
+  // Edge servers typically sit beside a router: wired attachment.
+  for (const Point2D& pos : edge_positions) {
+    const NodeId node = net.graph.add_node();
+    net.positions.push_back(pos);
+    net.kinds.push_back(NodeKind::kEdgeServer);
+    for (NodeId router :
+         nearest_routers(infrastructure.positions, pos, attach_count)) {
+      net.graph.add_edge(node, router,
+                         delay.backbone_link(euclidean_distance(
+                             pos, infrastructure.positions[router])));
+    }
+    net.edge_nodes.push_back(node);
+  }
+  for (const Point2D& pos : iot_positions) {
+    net.iot_nodes.push_back(attach_device(pos, NodeKind::kIotDevice));
+  }
+  return net;
+}
+
+DelayMatrix compute_delay_matrix(const NetworkTopology& net) {
+  DelayMatrix matrix(net.iot_count(), net.edge_count(), kUnreachable);
+  for (std::size_t j = 0; j < net.edge_count(); ++j) {
+    const ShortestPathTree tree = dijkstra(net.graph, net.edge_nodes[j]);
+    for (std::size_t i = 0; i < net.iot_count(); ++i) {
+      matrix.set(i, j, tree.distance_ms[net.iot_nodes[i]]);
+    }
+  }
+  return matrix;
+}
+
+DelayMatrix compute_hop_matrix(const NetworkTopology& net) {
+  DelayMatrix matrix(net.iot_count(), net.edge_count(), 0.0);
+  for (std::size_t j = 0; j < net.edge_count(); ++j) {
+    const auto hops = bfs_hops(net.graph, net.edge_nodes[j]);
+    for (std::size_t i = 0; i < net.iot_count(); ++i) {
+      const std::uint32_t h = hops[net.iot_nodes[i]];
+      matrix.set(i, j,
+                 h == kUnreachableHops ? kUnreachable
+                                       : static_cast<double>(h));
+    }
+  }
+  return matrix;
+}
+
+DelayMatrix compute_euclidean_matrix(const NetworkTopology& net) {
+  DelayMatrix matrix(net.iot_count(), net.edge_count(), 0.0);
+  for (std::size_t i = 0; i < net.iot_count(); ++i) {
+    for (std::size_t j = 0; j < net.edge_count(); ++j) {
+      matrix.set(i, j,
+                 euclidean_distance(net.iot_position(i),
+                                    net.edge_position(j)));
+    }
+  }
+  return matrix;
+}
+
+}  // namespace tacc::topo

@@ -1,0 +1,104 @@
+// The deployed network: infrastructure graph plus attached IoT devices and
+// edge servers, and the topology-aware delay matrix derived from it.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <stdexcept>
+#include <vector>
+
+#include "topology/delay_model.hpp"
+#include "topology/generators.hpp"
+#include "topology/geometry.hpp"
+#include "topology/graph.hpp"
+
+namespace tacc::topo {
+
+enum class NodeKind : std::uint8_t { kRouter, kIotDevice, kEdgeServer };
+
+/// Dense row-major matrix of IoT→edge values (delay in ms, or hop counts).
+class DelayMatrix {
+ public:
+  DelayMatrix() = default;
+  explicit DelayMatrix(std::size_t iot_count, std::size_t edge_count,
+                       double fill = 0.0)
+      : rows_(iot_count), cols_(edge_count), data_(iot_count * edge_count, fill) {}
+
+  [[nodiscard]] std::size_t iot_count() const noexcept { return rows_; }
+  [[nodiscard]] std::size_t edge_count() const noexcept { return cols_; }
+
+  [[nodiscard]] double at(std::size_t iot, std::size_t edge) const {
+    check(iot, edge);
+    return data_[iot * cols_ + edge];
+  }
+  void set(std::size_t iot, std::size_t edge, double value) {
+    check(iot, edge);
+    data_[iot * cols_ + edge] = value;
+  }
+
+  /// Row view: all edge-server delays for one IoT device.
+  [[nodiscard]] std::span<const double> row(std::size_t iot) const {
+    if (iot >= rows_) throw std::out_of_range("DelayMatrix row out of range");
+    return {data_.data() + iot * cols_, cols_};
+  }
+
+ private:
+  void check(std::size_t iot, std::size_t edge) const {
+    if (iot >= rows_ || edge >= cols_) {
+      throw std::out_of_range("DelayMatrix index out of range");
+    }
+  }
+
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<double> data_;
+};
+
+/// Infrastructure + devices. IoT device k lives at graph node iot_nodes[k];
+/// edge server j at edge_nodes[j].
+struct NetworkTopology {
+  Graph graph;
+  std::vector<Point2D> positions;  ///< per graph node
+  std::vector<NodeKind> kinds;     ///< per graph node
+  std::vector<NodeId> iot_nodes;   ///< device index → node id
+  std::vector<NodeId> edge_nodes;  ///< server index → node id
+
+  [[nodiscard]] std::size_t iot_count() const noexcept {
+    return iot_nodes.size();
+  }
+  [[nodiscard]] std::size_t edge_count() const noexcept {
+    return edge_nodes.size();
+  }
+  [[nodiscard]] Point2D iot_position(std::size_t device) const {
+    return positions.at(iot_nodes.at(device));
+  }
+  [[nodiscard]] Point2D edge_position(std::size_t server) const {
+    return positions.at(edge_nodes.at(server));
+  }
+};
+
+struct AttachParams {
+  /// Each device/server connects to its `attach_count` nearest routers
+  /// (multi-homing > 1 adds route diversity).
+  std::size_t attach_count = 1;
+};
+
+/// Attaches devices and servers to the infrastructure via access links.
+/// Requires non-empty infra and at least one position in each span.
+[[nodiscard]] NetworkTopology build_network(
+    const GeoGraph& infrastructure, std::span<const Point2D> iot_positions,
+    std::span<const Point2D> edge_positions, const LinkDelayModel& delay,
+    const AttachParams& attach = {});
+
+/// Shortest-path delay (ms) from every IoT device to every edge server.
+/// Runs one Dijkstra per edge server (m << n in practice).
+[[nodiscard]] DelayMatrix compute_delay_matrix(const NetworkTopology& net);
+
+/// Hop counts on the same paths; useful for diagnostics/ablation.
+[[nodiscard]] DelayMatrix compute_hop_matrix(const NetworkTopology& net);
+
+/// Straight-line distances (km); the *topology-oblivious* cost used by the
+/// geometric-nearest baseline and the A1 ablation.
+[[nodiscard]] DelayMatrix compute_euclidean_matrix(const NetworkTopology& net);
+
+}  // namespace tacc::topo

@@ -1,0 +1,49 @@
+// Shortest-path primitives over the latency metric.
+#pragma once
+
+#include <limits>
+#include <vector>
+
+#include "topology/graph.hpp"
+
+namespace tacc::topo {
+
+constexpr double kUnreachable = std::numeric_limits<double>::infinity();
+
+/// Result of a single-source run: distance (ms) and predecessor per node.
+struct ShortestPathTree {
+  std::vector<double> distance_ms;  ///< kUnreachable if disconnected
+  std::vector<NodeId> parent;       ///< kInvalidNode for source/unreached
+
+  /// Reconstructs source→target as a node sequence; empty if unreachable.
+  [[nodiscard]] std::vector<NodeId> path_to(NodeId target) const;
+};
+
+/// Dijkstra with a binary heap; O((V+E) log V).
+[[nodiscard]] ShortestPathTree dijkstra(const Graph& graph, NodeId source);
+
+/// Hop counts (BFS), ignoring latencies. SIZE_MAX-like sentinel via
+/// kUnreachableHops for disconnected nodes.
+constexpr std::uint32_t kUnreachableHops =
+    std::numeric_limits<std::uint32_t>::max();
+[[nodiscard]] std::vector<std::uint32_t> bfs_hops(const Graph& graph,
+                                                  NodeId source);
+
+/// All-pairs distances via repeated Dijkstra; row-major [source][target].
+/// Intended for tests and small graphs (O(V·E log V)).
+[[nodiscard]] std::vector<std::vector<double>> all_pairs_distances(
+    const Graph& graph);
+
+/// Floyd–Warshall reference implementation (O(V^3)); used by tests to
+/// cross-check Dijkstra.
+[[nodiscard]] std::vector<std::vector<double>> floyd_warshall(
+    const Graph& graph);
+
+/// True iff every node is reachable from node 0 (or graph is empty).
+[[nodiscard]] bool is_connected(const Graph& graph);
+
+/// Connected components as a label per node (labels are dense from 0).
+[[nodiscard]] std::vector<std::uint32_t> connected_components(
+    const Graph& graph);
+
+}  // namespace tacc::topo

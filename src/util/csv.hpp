@@ -1,0 +1,63 @@
+// Minimal CSV emission for experiment outputs.
+//
+// Every bench binary writes its series to a CSV file next to the printed
+// table so results can be re-plotted without re-running. Fields containing
+// commas/quotes/newlines are quoted per RFC 4180.
+#pragma once
+
+#include <initializer_list>
+#include <ostream>
+#include <sstream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace tacc::util {
+
+/// Escapes a single CSV field per RFC 4180.
+[[nodiscard]] std::string csv_escape(std::string_view field);
+
+/// Streams rows of mixed scalar/string cells to an std::ostream.
+class CsvWriter {
+ public:
+  /// The writer keeps a reference to `out`; the stream must outlive it.
+  explicit CsvWriter(std::ostream& out) : out_(&out) {}
+
+  void header(std::initializer_list<std::string_view> names) {
+    write_strings(std::vector<std::string_view>(names));
+  }
+
+  template <typename... Cells>
+  void row(const Cells&... cells) {
+    std::vector<std::string> rendered;
+    rendered.reserve(sizeof...(cells));
+    (rendered.push_back(render(cells)), ...);
+    std::vector<std::string_view> views(rendered.begin(), rendered.end());
+    write_strings(views);
+  }
+
+  [[nodiscard]] std::size_t rows_written() const noexcept { return rows_; }
+
+ private:
+  template <typename T>
+  [[nodiscard]] static std::string render(const T& value) {
+    if constexpr (std::is_convertible_v<T, std::string_view>) {
+      return std::string(std::string_view(value));
+    } else {
+      std::ostringstream os;
+      os << value;
+      return os.str();
+    }
+  }
+
+  void write_strings(const std::vector<std::string_view>& cells);
+
+  std::ostream* out_;
+  std::size_t rows_ = 0;
+};
+
+/// Parses one CSV line into fields (handles RFC 4180 quoting). Used by the
+/// instance (de)serializer and by tests that round-trip experiment output.
+[[nodiscard]] std::vector<std::string> csv_parse_line(std::string_view line);
+
+}  // namespace tacc::util

@@ -1,0 +1,93 @@
+#include "util/flags.hpp"
+
+#include <charconv>
+#include <stdexcept>
+
+namespace tacc::util {
+
+Flags Flags::parse(int argc, const char* const* argv) {
+  Flags flags;
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    if (!arg.starts_with("--")) {
+      flags.positional_.emplace_back(arg);
+      continue;
+    }
+    const std::string_view body = arg.substr(2);
+    if (body.empty()) {
+      throw std::invalid_argument("bare '--' is not a valid flag");
+    }
+    const std::size_t eq = body.find('=');
+    if (eq == std::string_view::npos) {
+      flags.values_[std::string(body)] = "true";
+    } else {
+      const std::string_view name = body.substr(0, eq);
+      if (name.empty()) {
+        throw std::invalid_argument("flag with empty name: " +
+                                    std::string(arg));
+      }
+      flags.values_[std::string(name)] = std::string(body.substr(eq + 1));
+    }
+  }
+  return flags;
+}
+
+std::optional<std::string> Flags::get(std::string_view name) const {
+  const auto it = values_.find(name);
+  if (it == values_.end()) return std::nullopt;
+  consumed_[it->first] = true;
+  return it->second;
+}
+
+std::string Flags::get_string(std::string_view name,
+                              std::string_view default_value) const {
+  const auto value = get(name);
+  return value ? *value : std::string(default_value);
+}
+
+std::int64_t Flags::get_int(std::string_view name,
+                            std::int64_t default_value) const {
+  const auto value = get(name);
+  if (!value) return default_value;
+  std::int64_t out = 0;
+  const auto [ptr, ec] =
+      std::from_chars(value->data(), value->data() + value->size(), out);
+  if (ec != std::errc{} || ptr != value->data() + value->size()) {
+    throw std::invalid_argument("flag --" + std::string(name) +
+                                " expects an integer, got '" + *value + "'");
+  }
+  return out;
+}
+
+double Flags::get_double(std::string_view name, double default_value) const {
+  const auto value = get(name);
+  if (!value) return default_value;
+  try {
+    std::size_t pos = 0;
+    const double out = std::stod(*value, &pos);
+    if (pos != value->size()) throw std::invalid_argument("trailing chars");
+    return out;
+  } catch (const std::exception&) {
+    throw std::invalid_argument("flag --" + std::string(name) +
+                                " expects a number, got '" + *value + "'");
+  }
+}
+
+bool Flags::get_bool(std::string_view name, bool default_value) const {
+  const auto value = get(name);
+  if (!value) return default_value;
+  if (*value == "true" || *value == "1" || *value == "yes") return true;
+  if (*value == "false" || *value == "0" || *value == "no") return false;
+  throw std::invalid_argument("flag --" + std::string(name) +
+                              " expects a boolean, got '" + *value + "'");
+}
+
+std::vector<std::string> Flags::unused() const {
+  std::vector<std::string> names;
+  for (const auto& [name, _] : values_) {
+    if (!consumed_.contains(name)) names.push_back(name);
+  }
+  return names;
+}
+
+}  // namespace tacc::util

@@ -1,0 +1,46 @@
+// Tiny --key=value command-line parser for bench/example binaries.
+//
+// Not a general CLI framework: exactly the subset the experiment harness
+// needs (typed lookups with defaults, unknown-flag detection).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace tacc::util {
+
+class Flags {
+ public:
+  /// Parses argv of the form: prog --n=500 --algo=qlearning --verbose
+  /// A bare "--name" is recorded with value "true". Positional arguments are
+  /// collected in order. Throws std::invalid_argument on malformed input.
+  static Flags parse(int argc, const char* const* argv);
+
+  [[nodiscard]] std::optional<std::string> get(std::string_view name) const;
+  [[nodiscard]] std::string get_string(std::string_view name,
+                                       std::string_view default_value) const;
+  [[nodiscard]] std::int64_t get_int(std::string_view name,
+                                     std::int64_t default_value) const;
+  [[nodiscard]] double get_double(std::string_view name,
+                                  double default_value) const;
+  [[nodiscard]] bool get_bool(std::string_view name, bool default_value) const;
+
+  [[nodiscard]] const std::vector<std::string>& positional() const noexcept {
+    return positional_;
+  }
+
+  /// Flags present on the command line but never read via a getter; benches
+  /// call this at exit to catch typos like --seeed.
+  [[nodiscard]] std::vector<std::string> unused() const;
+
+ private:
+  std::map<std::string, std::string, std::less<>> values_;
+  mutable std::map<std::string, bool, std::less<>> consumed_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace tacc::util

@@ -1,0 +1,37 @@
+#include "util/log.hpp"
+
+#include <atomic>
+#include <iostream>
+
+namespace tacc::util {
+
+namespace {
+std::atomic<LogLevel> g_level{LogLevel::kWarn};
+
+[[nodiscard]] constexpr std::string_view level_name(LogLevel level) noexcept {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "DEBUG";
+    case LogLevel::kInfo:
+      return "INFO";
+    case LogLevel::kWarn:
+      return "WARN";
+    case LogLevel::kError:
+      return "ERROR";
+    case LogLevel::kOff:
+      return "OFF";
+  }
+  return "?";
+}
+}  // namespace
+
+void set_log_level(LogLevel level) noexcept { g_level.store(level); }
+LogLevel log_level() noexcept { return g_level.load(); }
+
+namespace detail {
+void emit(LogLevel level, std::string_view message) {
+  std::cerr << "[tacc:" << level_name(level) << "] " << message << '\n';
+}
+}  // namespace detail
+
+}  // namespace tacc::util

@@ -1,0 +1,47 @@
+// Leveled logging to stderr. Intentionally tiny: the library is a batch
+// algorithm/simulation toolkit, so structured logging frameworks are
+// overkill; benches raise the level to keep output parseable.
+#pragma once
+
+#include <sstream>
+#include <string_view>
+
+namespace tacc::util {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Process-wide minimum level; defaults to kWarn so library users see only
+/// problems unless they opt in.
+void set_log_level(LogLevel level) noexcept;
+[[nodiscard]] LogLevel log_level() noexcept;
+
+namespace detail {
+void emit(LogLevel level, std::string_view message);
+}
+
+template <typename... Parts>
+void log(LogLevel level, const Parts&... parts) {
+  if (level < log_level()) return;
+  std::ostringstream os;
+  (os << ... << parts);
+  detail::emit(level, os.str());
+}
+
+template <typename... Parts>
+void log_debug(const Parts&... parts) {
+  log(LogLevel::kDebug, parts...);
+}
+template <typename... Parts>
+void log_info(const Parts&... parts) {
+  log(LogLevel::kInfo, parts...);
+}
+template <typename... Parts>
+void log_warn(const Parts&... parts) {
+  log(LogLevel::kWarn, parts...);
+}
+template <typename... Parts>
+void log_error(const Parts&... parts) {
+  log(LogLevel::kError, parts...);
+}
+
+}  // namespace tacc::util

@@ -1,0 +1,56 @@
+#include "util/table.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+namespace tacc::util {
+
+void ConsoleTable::add_row(std::vector<std::string> cells) {
+  cells.resize(columns_.size());
+  rows_.push_back(std::move(cells));
+}
+
+std::string ConsoleTable::to_string(std::string_view title) const {
+  std::vector<std::size_t> widths(columns_.size());
+  for (std::size_t c = 0; c < columns_.size(); ++c) {
+    widths[c] = columns_[c].size();
+    for (const auto& row : rows_) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  const auto rule = [&] {
+    std::string line = "+";
+    for (std::size_t w : widths) line += std::string(w + 2, '-') + "+";
+    line += "\n";
+    return line;
+  }();
+  const auto render_row = [&](const std::vector<std::string>& cells) {
+    std::ostringstream os;
+    os << "|";
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      os << ' ' << cells[c] << std::string(widths[c] - cells[c].size(), ' ')
+         << " |";
+    }
+    os << "\n";
+    return os.str();
+  };
+
+  std::ostringstream os;
+  if (!title.empty()) os << title << "\n";
+  os << rule << render_row(columns_) << rule;
+  for (const auto& row : rows_) os << render_row(row);
+  os << rule;
+  return os.str();
+}
+
+std::string format_double(double value, int precision) {
+  if (std::isnan(value)) return "-";
+  std::ostringstream os;
+  os.setf(std::ios::fixed);
+  os.precision(precision);
+  os << value;
+  return os.str();
+}
+
+}  // namespace tacc::util

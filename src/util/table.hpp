@@ -1,0 +1,32 @@
+// Fixed-width console tables for paper-style result printing.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace tacc::util {
+
+/// Collects string cells and prints an aligned, boxed table. Numeric
+/// formatting is the caller's concern (see format_double below).
+class ConsoleTable {
+ public:
+  explicit ConsoleTable(std::vector<std::string> columns)
+      : columns_(std::move(columns)) {}
+
+  void add_row(std::vector<std::string> cells);
+
+  /// Renders the table; `title` (if non-empty) becomes a caption line.
+  [[nodiscard]] std::string to_string(std::string_view title = {}) const;
+
+  [[nodiscard]] std::size_t row_count() const noexcept { return rows_.size(); }
+
+ private:
+  std::vector<std::string> columns_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Fixed-precision double rendering ("12.345"); NaN renders as "-".
+[[nodiscard]] std::string format_double(double value, int precision = 3);
+
+}  // namespace tacc::util

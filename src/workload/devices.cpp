@@ -1,0 +1,36 @@
+#include "workload/devices.hpp"
+
+namespace tacc::workload {
+
+double Workload::total_demand() const noexcept {
+  double total = 0.0;
+  for (const auto& device : iot) total += device.demand;
+  return total;
+}
+
+double Workload::total_capacity() const noexcept {
+  double total = 0.0;
+  for (const auto& server : edges) total += server.capacity;
+  return total;
+}
+
+double Workload::load_factor() const noexcept {
+  const double capacity = total_capacity();
+  return capacity > 0.0 ? total_demand() / capacity : 0.0;
+}
+
+std::vector<topo::Point2D> Workload::iot_positions() const {
+  std::vector<topo::Point2D> positions;
+  positions.reserve(iot.size());
+  for (const auto& device : iot) positions.push_back(device.position);
+  return positions;
+}
+
+std::vector<topo::Point2D> Workload::edge_positions() const {
+  std::vector<topo::Point2D> positions;
+  positions.reserve(edges.size());
+  for (const auto& server : edges) positions.push_back(server.position);
+  return positions;
+}
+
+}  // namespace tacc::workload

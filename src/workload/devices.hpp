@@ -1,0 +1,42 @@
+// Device models: IoT producers and edge servers.
+#pragma once
+
+#include <vector>
+
+#include "topology/geometry.hpp"
+
+namespace tacc::workload {
+
+/// An IoT device streaming requests to whichever edge server it is assigned.
+struct IotDevice {
+  topo::Point2D position;
+  double request_rate_hz = 10.0;  ///< mean Poisson arrival rate λ_i
+  double message_size_kb = 4.0;   ///< payload per request
+  double deadline_ms = 20.0;      ///< end-to-end deadline for its requests
+  /// Capacity units this device consumes on the server it is assigned to
+  /// (requests/sec × per-request cost). This is the GAP demand w_i.
+  double demand = 1.0;
+};
+
+/// An edge server in the cluster.
+struct EdgeServer {
+  topo::Point2D position;
+  /// Capacity units the server can host without overload (GAP capacity c_j).
+  double capacity = 100.0;
+};
+
+/// A complete workload: devices + servers, both embedded in the plane.
+struct Workload {
+  std::vector<IotDevice> iot;
+  std::vector<EdgeServer> edges;
+
+  [[nodiscard]] double total_demand() const noexcept;
+  [[nodiscard]] double total_capacity() const noexcept;
+  /// Σ demand / Σ capacity — the system load factor ρ.
+  [[nodiscard]] double load_factor() const noexcept;
+
+  [[nodiscard]] std::vector<topo::Point2D> iot_positions() const;
+  [[nodiscard]] std::vector<topo::Point2D> edge_positions() const;
+};
+
+}  // namespace tacc::workload

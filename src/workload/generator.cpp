@@ -1,0 +1,120 @@
+#include "workload/generator.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+namespace tacc::workload {
+
+std::string_view to_string(PlacementPattern pattern) noexcept {
+  switch (pattern) {
+    case PlacementPattern::kUniform:
+      return "uniform";
+    case PlacementPattern::kClustered:
+      return "clustered";
+  }
+  return "?";
+}
+
+namespace {
+
+[[nodiscard]] std::vector<topo::Point2D> sample_hotspots(
+    const WorkloadParams& params, util::Rng& rng) {
+  std::vector<topo::Point2D> hotspots(std::max<std::size_t>(
+      1, params.hotspot_count));
+  for (auto& h : hotspots) {
+    h = {rng.uniform(0.0, params.area_km), rng.uniform(0.0, params.area_km)};
+  }
+  return hotspots;
+}
+
+[[nodiscard]] topo::Point2D sample_position(
+    const WorkloadParams& params, const std::vector<topo::Point2D>& hotspots,
+    util::Rng& rng) {
+  if (params.iot_placement == PlacementPattern::kUniform) {
+    return {rng.uniform(0.0, params.area_km),
+            rng.uniform(0.0, params.area_km)};
+  }
+  const topo::Point2D& centre = hotspots[rng.index(hotspots.size())];
+  return {std::clamp(rng.normal(centre.x, params.hotspot_stddev_km), 0.0,
+                     params.area_km),
+          std::clamp(rng.normal(centre.y, params.hotspot_stddev_km), 0.0,
+                     params.area_km)};
+}
+
+}  // namespace
+
+Workload generate_workload(const WorkloadParams& params, util::Rng& rng) {
+  if (params.iot_count == 0 || params.edge_count == 0) {
+    throw std::invalid_argument(
+        "generate_workload: need at least one IoT device and edge server");
+  }
+  if (!(params.load_factor > 0.0)) {
+    throw std::invalid_argument("generate_workload: load_factor must be > 0");
+  }
+
+  Workload workload;
+  const auto hotspots = sample_hotspots(params, rng);
+
+  workload.iot.reserve(params.iot_count);
+  for (std::size_t i = 0; i < params.iot_count; ++i) {
+    IotDevice device;
+    device.position = sample_position(params, hotspots, rng);
+    // Lognormal heterogeneity with mean preserved: exp(μ + σZ) where
+    // μ = ln(mean) - σ²/2.
+    const double mu =
+        std::log(params.rate_mean_hz) -
+        params.rate_sigma * params.rate_sigma / 2.0;
+    device.request_rate_hz =
+        std::exp(mu + params.rate_sigma * rng.normal());
+    device.message_size_kb =
+        std::max(0.5, rng.normal(params.message_size_mean_kb,
+                                 params.message_size_mean_kb / 4.0));
+    device.deadline_ms =
+        rng.uniform(params.deadline_min_ms, params.deadline_max_ms);
+    device.demand = device.request_rate_hz;
+    if (params.demand_zipf_exponent > 0.0) {
+      // Popularity skew: rank-r devices get 1/r^s extra weight (normalized
+      // to keep the mean roughly unchanged by scaling below).
+      const auto rank =
+          rng.zipf(params.iot_count, params.demand_zipf_exponent);
+      device.demand *=
+          1.0 / std::pow(static_cast<double>(rank), 0.25);
+    }
+    workload.iot.push_back(device);
+  }
+
+  workload.edges.reserve(params.edge_count);
+  for (std::size_t j = 0; j < params.edge_count; ++j) {
+    EdgeServer server;
+    if (params.colocate_edges_with_hotspots && j < hotspots.size()) {
+      server.position = hotspots[j];
+    } else {
+      server.position = {rng.uniform(0.0, params.area_km),
+                         rng.uniform(0.0, params.area_km)};
+    }
+    workload.edges.push_back(server);
+  }
+
+  // Capacities: either normalized to the requested load factor (assignment
+  // studies: ρ is the controlled variable) or fixed per server
+  // (provisioning studies: capacity scales with the server count).
+  const double total_capacity =
+      params.fixed_capacity_per_server > 0.0
+          ? params.fixed_capacity_per_server *
+                static_cast<double>(params.edge_count)
+          : workload.total_demand() / params.load_factor;
+  std::vector<double> shares(params.edge_count, 1.0);
+  if (params.heterogeneous_capacity) {
+    for (auto& share : shares) share = rng.uniform(0.5, 1.5);
+  }
+  const double share_sum =
+      std::accumulate(shares.begin(), shares.end(), 0.0);
+  for (std::size_t j = 0; j < params.edge_count; ++j) {
+    workload.edges[j].capacity = total_capacity * shares[j] / share_sum;
+  }
+  return workload;
+}
+
+}  // namespace tacc::workload

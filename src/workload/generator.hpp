@@ -1,0 +1,64 @@
+// Synthetic workload generation.
+//
+// Device positions follow either a uniform scatter or a hotspot mixture
+// (IoT deployments cluster around points of interest). Demands are
+// heterogeneous (lognormal around the mean rate, optionally Zipf-skewed),
+// and server capacities are scaled so that the aggregate load factor
+// ρ = Σ demand / Σ capacity hits a requested target — the knob that the F3
+// experiment sweeps.
+#pragma once
+
+#include <string_view>
+
+#include "util/rng.hpp"
+#include "workload/devices.hpp"
+
+namespace tacc::workload {
+
+enum class PlacementPattern {
+  kUniform,   ///< i.i.d. uniform over the area
+  kClustered, ///< Gaussian hotspots (urban points of interest)
+};
+
+[[nodiscard]] std::string_view to_string(PlacementPattern pattern) noexcept;
+
+struct WorkloadParams {
+  std::size_t iot_count = 500;
+  std::size_t edge_count = 20;
+  double area_km = 10.0;
+
+  PlacementPattern iot_placement = PlacementPattern::kClustered;
+  std::size_t hotspot_count = 5;
+  double hotspot_stddev_km = 0.8;
+  /// Edge servers are placed uniformly unless colocate_edges_with_hotspots.
+  bool colocate_edges_with_hotspots = false;
+
+  double rate_mean_hz = 10.0;
+  /// Lognormal sigma of per-device rates (0 = homogeneous).
+  double rate_sigma = 0.5;
+  /// Zipf exponent mixing a popularity skew into demands (0 = off).
+  double demand_zipf_exponent = 0.0;
+
+  double message_size_mean_kb = 4.0;
+  double deadline_min_ms = 10.0;
+  double deadline_max_ms = 50.0;
+
+  /// Target ρ = Σ demand / Σ capacity; capacities are scaled to match.
+  /// Ignored when fixed_capacity_per_server > 0.
+  double load_factor = 0.7;
+  /// If true, capacities vary ×[0.5, 1.5] around the even share.
+  bool heterogeneous_capacity = true;
+  /// Provisioning mode: give every server this capacity (mean; the
+  /// heterogeneity factor still applies) instead of normalizing total
+  /// capacity to load_factor. With this set, adding servers adds capacity —
+  /// the framing capacity-planning studies need; the realized ρ then falls
+  /// with the server count.
+  double fixed_capacity_per_server = 0.0;
+};
+
+/// Generates a workload; deterministic in (params, rng state).
+/// Throws std::invalid_argument for zero devices/servers or ρ <= 0.
+[[nodiscard]] Workload generate_workload(const WorkloadParams& params,
+                                         util::Rng& rng);
+
+}  // namespace tacc::workload

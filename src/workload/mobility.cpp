@@ -1,0 +1,70 @@
+#include "workload/mobility.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace tacc::workload {
+
+RandomWaypointModel::RandomWaypointModel(const std::vector<IotDevice>& devices,
+                                         const MobilityParams& params,
+                                         util::Rng rng)
+    : params_(params), rng_(rng) {
+  positions_.reserve(devices.size());
+  for (const auto& device : devices) positions_.push_back(device.position);
+  waypoints_ = positions_;
+  speeds_km_s_.resize(devices.size());
+  pause_remaining_s_.assign(devices.size(), 0.0);
+  mobile_.resize(devices.size());
+  for (std::size_t i = 0; i < devices.size(); ++i) {
+    mobile_[i] = rng_.bernoulli(params_.mobile_fraction);
+    speeds_km_s_[i] =
+        rng_.uniform(params_.speed_min_km_s, params_.speed_max_km_s);
+    if (mobile_[i]) pick_waypoint(i);
+  }
+}
+
+void RandomWaypointModel::pick_waypoint(std::size_t device) {
+  waypoints_[device] = {rng_.uniform(0.0, params_.area_km),
+                        rng_.uniform(0.0, params_.area_km)};
+}
+
+std::vector<std::size_t> RandomWaypointModel::advance(double dt_s) {
+  std::vector<std::size_t> moved;
+  for (std::size_t i = 0; i < positions_.size(); ++i) {
+    if (!mobile_[i] || dt_s <= 0.0) continue;
+    double remaining = dt_s;
+    bool changed = false;
+    while (remaining > 0.0) {
+      if (pause_remaining_s_[i] > 0.0) {
+        const double pause = std::min(pause_remaining_s_[i], remaining);
+        pause_remaining_s_[i] -= pause;
+        remaining -= pause;
+        continue;
+      }
+      const double dx = waypoints_[i].x - positions_[i].x;
+      const double dy = waypoints_[i].y - positions_[i].y;
+      const double distance = std::sqrt(dx * dx + dy * dy);
+      const double reach = speeds_km_s_[i] * remaining;
+      if (reach >= distance) {
+        // Arrive, pause, and pick the next waypoint.
+        positions_[i] = waypoints_[i];
+        remaining -= speeds_km_s_[i] > 0.0
+                         ? distance / speeds_km_s_[i]
+                         : remaining;
+        pause_remaining_s_[i] =
+            rng_.exponential(1.0 / std::max(1e-9, params_.pause_s_mean));
+        pick_waypoint(i);
+        changed = changed || distance > 0.0;
+      } else {
+        positions_[i].x += dx / distance * reach;
+        positions_[i].y += dy / distance * reach;
+        remaining = 0.0;
+        changed = true;
+      }
+    }
+    if (changed) moved.push_back(i);
+  }
+  return moved;
+}
+
+}  // namespace tacc::workload

@@ -1,0 +1,60 @@
+// Device mobility: the random-waypoint model.
+//
+// Each device walks toward a uniformly chosen waypoint at its own speed,
+// pauses, then picks the next waypoint. advance(dt) moves every device and
+// reports which ones moved — the driver for periodic-reconfiguration
+// experiments (a static assignment degrades as devices drift away from
+// their servers; see bench_a5_resilience / examples).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "topology/geometry.hpp"
+#include "util/rng.hpp"
+#include "workload/devices.hpp"
+
+namespace tacc::workload {
+
+struct MobilityParams {
+  double area_km = 10.0;
+  double speed_min_km_s = 0.002;  ///< ~7 km/h pedestrian
+  double speed_max_km_s = 0.014;  ///< ~50 km/h vehicle
+  double pause_s_mean = 10.0;     ///< exponential pause at each waypoint
+  /// Fraction of devices that move at all (sensors are often static).
+  double mobile_fraction = 0.5;
+};
+
+class RandomWaypointModel {
+ public:
+  /// Initializes per-device state from the devices' current positions.
+  RandomWaypointModel(const std::vector<IotDevice>& devices,
+                      const MobilityParams& params, util::Rng rng);
+
+  /// Advances time by dt seconds; updates internal positions. Returns the
+  /// indices of devices whose position changed.
+  std::vector<std::size_t> advance(double dt_s);
+
+  [[nodiscard]] topo::Point2D position(std::size_t device) const {
+    return positions_.at(device);
+  }
+  [[nodiscard]] std::size_t device_count() const noexcept {
+    return positions_.size();
+  }
+  [[nodiscard]] bool is_mobile(std::size_t device) const {
+    return mobile_.at(device);
+  }
+
+ private:
+  void pick_waypoint(std::size_t device);
+
+  MobilityParams params_;
+  util::Rng rng_;
+  std::vector<topo::Point2D> positions_;
+  std::vector<topo::Point2D> waypoints_;
+  std::vector<double> speeds_km_s_;
+  std::vector<double> pause_remaining_s_;
+  std::vector<bool> mobile_;
+};
+
+}  // namespace tacc::workload

@@ -1,0 +1,79 @@
+#include "core/algorithms.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "tests/test_helpers.hpp"
+
+namespace tacc {
+namespace {
+
+TEST(AlgorithmNames, RoundTripAll) {
+  for (Algorithm a : all_algorithms()) {
+    EXPECT_EQ(algorithm_from_string(to_string(a)), a);
+  }
+  EXPECT_THROW((void)algorithm_from_string("definitely-not"),
+               std::invalid_argument);
+}
+
+TEST(AlgorithmNames, AreUnique) {
+  std::set<std::string_view> names;
+  for (Algorithm a : all_algorithms()) names.insert(to_string(a));
+  EXPECT_EQ(names.size(), all_algorithms().size());
+}
+
+TEST(AlgorithmLists, ComparisonIsSubsetWithoutExactAndFloor) {
+  const auto all = all_algorithms();
+  const std::set<Algorithm> all_set(all.begin(), all.end());
+  for (Algorithm a : comparison_algorithms()) {
+    EXPECT_TRUE(all_set.contains(a));
+    EXPECT_NE(a, Algorithm::kBranchAndBound);
+    EXPECT_NE(a, Algorithm::kRandom);
+    EXPECT_NE(a, Algorithm::kRoundRobin);
+  }
+}
+
+TEST(AlgorithmLists, RlTriad) {
+  const auto rl = rl_algorithms();
+  ASSERT_EQ(rl.size(), 3u);
+  EXPECT_EQ(rl[0], Algorithm::kQLearning);
+}
+
+TEST(MakeSolver, NamesMatchEnum) {
+  AlgorithmOptions options;
+  options.rl.episodes = 5;  // keep RL construction cheap
+  for (Algorithm a : all_algorithms()) {
+    const auto solver = make_solver(a, options);
+    ASSERT_NE(solver, nullptr);
+    EXPECT_EQ(solver->name(), to_string(a));
+  }
+}
+
+TEST(MakeSolver, EverySolverSolvesSmallInstance) {
+  const gap::Instance inst = test::small_instance(3, 12, 3, 0.6);
+  AlgorithmOptions options;
+  options.rl.episodes = 40;
+  options.ucb.rollouts_per_device = 4;
+  options.annealing.steps = 5000;
+  for (Algorithm a : all_algorithms()) {
+    const auto result = make_solver(a, options)->solve(inst);
+    ASSERT_EQ(result.assignment.size(), 12u) << to_string(a);
+    for (std::int32_t x : result.assignment) {
+      EXPECT_NE(x, gap::kUnassigned) << to_string(a);
+    }
+  }
+}
+
+TEST(AlgorithmOptions, ApplySeedPropagates) {
+  AlgorithmOptions options;
+  options.apply_seed(321);
+  EXPECT_EQ(options.seed, 321u);
+  EXPECT_EQ(options.rl.seed, 321u);
+  EXPECT_EQ(options.ucb.seed, 321u);
+  EXPECT_EQ(options.local_search.seed, 321u);
+  EXPECT_EQ(options.annealing.seed, 321u);
+}
+
+}  // namespace
+}  // namespace tacc

@@ -1,0 +1,91 @@
+#include "core/configurator.hpp"
+
+#include <gtest/gtest.h>
+
+namespace tacc {
+namespace {
+
+AlgorithmOptions cheap_options(std::uint64_t seed) {
+  AlgorithmOptions options;
+  options.apply_seed(seed);
+  options.rl.episodes = 60;
+  options.ucb.rollouts_per_device = 4;
+  options.annealing.steps = 10'000;
+  return options;
+}
+
+TEST(Configurator, ConfigureProducesConsistentView) {
+  const Scenario scenario = Scenario::smart_city(60, 6, 21);
+  const ClusterConfigurator configurator(scenario);
+  const ClusterConfiguration conf =
+      configurator.configure(Algorithm::kGreedyBestFit, cheap_options(21));
+  EXPECT_EQ(conf.algorithm(), Algorithm::kGreedyBestFit);
+  EXPECT_EQ(conf.algorithm_name(), "greedy-bestfit");
+  EXPECT_EQ(conf.assignment().size(), 60u);
+  EXPECT_TRUE(conf.feasible());
+  EXPECT_GT(conf.avg_delay_ms(), 0.0);
+  EXPECT_GE(conf.max_delay_ms(), conf.avg_delay_ms());
+  EXPECT_LE(conf.max_utilization(), 1.0 + 1e-9);
+  EXPECT_EQ(conf.overloaded_servers(), 0u);
+  EXPECT_NEAR(conf.total_cost(), conf.evaluation().total_cost, 1e-12);
+  // server_of agrees with the raw assignment.
+  EXPECT_EQ(conf.server_of(5),
+            static_cast<std::size_t>(conf.assignment()[5]));
+}
+
+TEST(Configurator, RlConfigurationIsFeasible) {
+  const Scenario scenario = Scenario::smart_city(80, 8, 22);
+  const ClusterConfigurator configurator(scenario);
+  const ClusterConfiguration conf =
+      configurator.configure(Algorithm::kQLearning, cheap_options(22));
+  EXPECT_TRUE(conf.feasible());
+}
+
+TEST(Configurator, ObliviousRealizesWorseOrEqualDelayOnAverage) {
+  // Solving on straight-line distance, evaluated on true topology delay,
+  // should on average lose to solving on the true metric. Aggregate over
+  // seeds to avoid per-instance flakiness.
+  double aware_total = 0.0;
+  double oblivious_total = 0.0;
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    const Scenario scenario = Scenario::campus(60, 6, seed);
+    const ClusterConfigurator configurator(scenario);
+    aware_total += configurator
+                       .configure(Algorithm::kGreedyBestFit,
+                                  cheap_options(seed))
+                       .total_cost();
+    oblivious_total += configurator
+                           .configure_topology_oblivious(
+                               Algorithm::kGreedyBestFit, cheap_options(seed))
+                           .total_cost();
+  }
+  EXPECT_LE(aware_total, oblivious_total);
+}
+
+TEST(Configurator, ObliviousEvaluationUsesTrueDelays) {
+  const Scenario scenario = Scenario::campus(40, 5, 8);
+  const ClusterConfigurator configurator(scenario);
+  const ClusterConfiguration conf = configurator.configure_topology_oblivious(
+      Algorithm::kGreedyBestFit, cheap_options(8));
+  // Realized avg delay must be in topology-delay units (≥ ~1 ms access
+  // latency), not Euclidean km.
+  EXPECT_GT(conf.avg_delay_ms(), 1.0);
+  EXPECT_NEAR(conf.total_cost(), conf.evaluation().total_cost, 1e-12);
+}
+
+TEST(Configurator, ProvenOptimalOnTinyScenario) {
+  const Scenario scenario = Scenario::smart_city(8, 3, 30);
+  const ClusterConfigurator configurator(scenario);
+  const ClusterConfiguration exact =
+      configurator.configure(Algorithm::kBranchAndBound, cheap_options(30));
+  EXPECT_TRUE(exact.proven_optimal());
+  const ClusterConfiguration heuristic =
+      configurator.configure(Algorithm::kQLearning, cheap_options(30));
+  EXPECT_FALSE(heuristic.proven_optimal());
+  if (heuristic.feasible()) {
+    EXPECT_GE(heuristic.total_cost(), exact.total_cost() - 1e-9);
+  }
+}
+
+}  // namespace
+}  // namespace tacc

@@ -1,0 +1,131 @@
+#include "core/dynamic.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.hpp"
+
+namespace tacc {
+namespace {
+
+AlgorithmOptions cheap_options(std::uint64_t seed) {
+  AlgorithmOptions options;
+  options.apply_seed(seed);
+  options.rl.episodes = 60;
+  return options;
+}
+
+DynamicCluster make_cluster(std::uint64_t seed,
+                            std::size_t iot = 60,
+                            std::size_t edge = 6) {
+  const Scenario scenario = Scenario::campus(iot, edge, seed);
+  return DynamicCluster(scenario, Algorithm::kGreedyBestFit,
+                        cheap_options(seed));
+}
+
+workload::IotDevice test_device(double x, double y, double rate = 10.0) {
+  workload::IotDevice device;
+  device.position = {x, y};
+  device.request_rate_hz = rate;
+  device.demand = rate;
+  return device;
+}
+
+TEST(DynamicCluster, StartsFromInitialConfiguration) {
+  DynamicCluster cluster = make_cluster(1);
+  EXPECT_EQ(cluster.active_count(), 60u);
+  EXPECT_EQ(cluster.server_count(), 6u);
+  EXPECT_TRUE(cluster.feasible());
+  EXPECT_GT(cluster.avg_delay_ms(), 0.0);
+}
+
+TEST(DynamicCluster, JoinAddsActiveDevice) {
+  DynamicCluster cluster = make_cluster(2);
+  const std::size_t index = cluster.join(test_device(1.0, 1.0));
+  EXPECT_EQ(index, 60u);
+  EXPECT_EQ(cluster.active_count(), 61u);
+  EXPECT_TRUE(cluster.is_active(index));
+  EXPECT_LT(cluster.server_of(index), cluster.server_count());
+}
+
+TEST(DynamicCluster, JoinPrefersFeasibleCheapServer) {
+  DynamicCluster cluster = make_cluster(3);
+  const std::size_t index = cluster.join(test_device(2.0, 2.0, 1.0));
+  // With tiny demand, the chosen server must be feasible.
+  EXPECT_TRUE(cluster.feasible());
+  EXPECT_TRUE(cluster.is_active(index));
+}
+
+TEST(DynamicCluster, LeaveFreesLoad) {
+  DynamicCluster cluster = make_cluster(4);
+  const std::size_t index = cluster.join(test_device(1.0, 3.0));
+  const double util_with = cluster.max_utilization();
+  cluster.leave(index);
+  EXPECT_EQ(cluster.active_count(), 60u);
+  EXPECT_FALSE(cluster.is_active(index));
+  EXPECT_LE(cluster.max_utilization(), util_with + 1e-9);
+}
+
+TEST(DynamicCluster, DoubleLeaveThrows) {
+  DynamicCluster cluster = make_cluster(5);
+  const std::size_t index = cluster.join(test_device(0.5, 0.5));
+  cluster.leave(index);
+  EXPECT_THROW(cluster.leave(index), std::invalid_argument);
+  EXPECT_THROW(cluster.leave(9999), std::invalid_argument);
+  EXPECT_THROW((void)cluster.server_of(index), std::invalid_argument);
+}
+
+TEST(DynamicCluster, RebalanceNeverIncreasesAvgDelay) {
+  DynamicCluster cluster = make_cluster(6);
+  util::Rng rng(6);
+  for (int i = 0; i < 30; ++i) {
+    cluster.join(test_device(rng.uniform(0.0, 4.0), rng.uniform(0.0, 4.0),
+                             rng.uniform(2.0, 15.0)));
+  }
+  const double before = cluster.avg_delay_ms();
+  const std::size_t moves = cluster.rebalance(100);
+  EXPECT_LE(cluster.avg_delay_ms(), before + 1e-9);
+  EXPECT_LE(moves, 100u);
+}
+
+TEST(DynamicCluster, RebalanceBudgetRespected) {
+  DynamicCluster cluster = make_cluster(7);
+  util::Rng rng(7);
+  for (int i = 0; i < 40; ++i) {
+    cluster.join(test_device(rng.uniform(0.0, 4.0), rng.uniform(0.0, 4.0)));
+  }
+  EXPECT_LE(cluster.rebalance(3), 3u);
+}
+
+TEST(DynamicCluster, ChurnStormStaysFeasible) {
+  DynamicCluster cluster = make_cluster(8);
+  util::Rng rng(8);
+  std::vector<std::size_t> joined;
+  for (int event = 0; event < 200; ++event) {
+    if (joined.empty() || rng.bernoulli(0.6)) {
+      joined.push_back(cluster.join(test_device(
+          rng.uniform(0.0, 4.0), rng.uniform(0.0, 4.0),
+          rng.uniform(1.0, 8.0))));
+    } else {
+      const std::size_t pick = rng.index(joined.size());
+      cluster.leave(joined[pick]);
+      joined[pick] = joined.back();
+      joined.pop_back();
+    }
+  }
+  // Moderate load base + small joiners: the incremental policy must keep
+  // the cluster feasible throughout.
+  EXPECT_TRUE(cluster.feasible());
+  EXPECT_EQ(cluster.active_count(), 60u + joined.size());
+}
+
+TEST(DynamicCluster, LoadsMatchAssignments) {
+  DynamicCluster cluster = make_cluster(9);
+  double total = 0.0;
+  for (double load : cluster.loads()) total += load;
+  // 60 initial devices, each demand == rate; joins none yet.
+  const Scenario scenario = Scenario::campus(60, 6, 9);
+  EXPECT_NEAR(total, scenario.workload().total_demand(), 1e-6);
+}
+
+}  // namespace
+}  // namespace tacc

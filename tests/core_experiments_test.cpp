@@ -1,0 +1,70 @@
+#include "core/experiments.hpp"
+
+#include <gtest/gtest.h>
+
+namespace tacc {
+namespace {
+
+Scenario make_scenario(std::uint64_t seed) {
+  return Scenario::smart_city(40, 5, seed);
+}
+
+TEST(RunRepeated, AggregatesAcrossScenarioSeeds) {
+  const AlgoStats stats =
+      run_repeated(make_scenario, Algorithm::kGreedyBestFit, 4, 100);
+  EXPECT_EQ(stats.runs, 4u);
+  EXPECT_EQ(stats.algorithm, Algorithm::kGreedyBestFit);
+  EXPECT_EQ(stats.total_cost.count(), 4u);
+  EXPECT_GT(stats.total_cost.mean(), 0.0);
+  EXPECT_EQ(stats.feasible_runs, 4u);
+  EXPECT_DOUBLE_EQ(stats.feasible_fraction(), 1.0);
+}
+
+TEST(RunRepeated, DeterministicAcrossCalls) {
+  const AlgoStats a =
+      run_repeated(make_scenario, Algorithm::kRegretGreedy, 3, 7);
+  const AlgoStats b =
+      run_repeated(make_scenario, Algorithm::kRegretGreedy, 3, 7);
+  EXPECT_DOUBLE_EQ(a.total_cost.mean(), b.total_cost.mean());
+  EXPECT_DOUBLE_EQ(a.avg_delay_ms.mean(), b.avg_delay_ms.mean());
+}
+
+TEST(RunRepeated, ObliviousNearestAccumulatesViolations) {
+  // High-load scenarios make capacity-oblivious nearest overload.
+  const auto tight = [](std::uint64_t seed) {
+    ScenarioParams params;
+    params.workload.iot_count = 60;
+    params.workload.edge_count = 5;
+    params.workload.load_factor = 0.9;
+    params.seed = seed;
+    return Scenario::generate(params);
+  };
+  const AlgoStats stats =
+      run_repeated(tight, Algorithm::kGreedyNearest, 3, 50);
+  EXPECT_LT(stats.feasible_fraction(), 1.0);
+  EXPECT_GT(stats.overload_violations, 0u);
+}
+
+TEST(RunRepeatedOnInstance, VariesOnlySolverSeed) {
+  const Scenario scenario = make_scenario(1);
+  AlgorithmOptions options;
+  options.rl.episodes = 40;
+  const AlgoStats stats = run_repeated_on_instance(
+      scenario.instance(), Algorithm::kQLearning, 3, 11, options);
+  EXPECT_EQ(stats.runs, 3u);
+  // Different seeds may land on different local optima, but all runs share
+  // the instance so delays stay in a tight band.
+  EXPECT_LT(stats.avg_delay_ms.stddev(), stats.avg_delay_ms.mean());
+}
+
+TEST(MeanCi, FormatsMeanAndHalfWidth) {
+  metrics::RunningStats stats;
+  stats.add(1.0);
+  stats.add(3.0);
+  const std::string text = mean_ci(stats, 1);
+  EXPECT_NE(text.find("2.0"), std::string::npos);
+  EXPECT_NE(text.find("±"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace tacc

@@ -1,0 +1,195 @@
+// DynamicCluster failure handling and mobility handovers.
+#include <gtest/gtest.h>
+
+#include "core/dynamic.hpp"
+#include "util/rng.hpp"
+#include "workload/mobility.hpp"
+
+namespace tacc {
+namespace {
+
+AlgorithmOptions cheap_options(std::uint64_t seed) {
+  AlgorithmOptions options;
+  options.apply_seed(seed);
+  options.rl.episodes = 60;
+  return options;
+}
+
+DynamicCluster make_cluster(std::uint64_t seed, std::size_t iot = 60,
+                            std::size_t edge = 6) {
+  const Scenario scenario = Scenario::campus(iot, edge, seed);
+  return DynamicCluster(scenario, Algorithm::kGreedyBestFit,
+                        cheap_options(seed));
+}
+
+// ---- Server failures ----------------------------------------------------------
+
+TEST(FailServer, EvacuatesAllResidents) {
+  DynamicCluster cluster = make_cluster(1);
+  // Find a server hosting at least one device.
+  std::size_t target = 0;
+  for (std::size_t j = 0; j < cluster.server_count(); ++j) {
+    if (cluster.loads()[j] > 0.0) {
+      target = j;
+      break;
+    }
+  }
+  const std::size_t evacuated = cluster.fail_server(target);
+  EXPECT_GT(evacuated, 0u);
+  EXPECT_TRUE(cluster.server_failed(target));
+  EXPECT_NEAR(cluster.loads()[target], 0.0, 1e-9);
+  EXPECT_EQ(cluster.active_count(), 60u);  // nobody lost
+  EXPECT_EQ(cluster.healthy_server_count(), 5u);
+  // No active device may remain on the failed server.
+  for (std::size_t i = 0; i < 60; ++i) {
+    if (cluster.is_active(i)) {
+      EXPECT_NE(cluster.server_of(i), target);
+    }
+  }
+}
+
+TEST(FailServer, DelayRisesButServiceContinues) {
+  DynamicCluster cluster = make_cluster(2);
+  const double before = cluster.avg_delay_ms();
+  (void)cluster.fail_server(0);
+  EXPECT_GE(cluster.avg_delay_ms(), before - 1e-9);
+  EXPECT_EQ(cluster.active_count(), 60u);
+}
+
+TEST(FailServer, DoubleFailureThrows) {
+  DynamicCluster cluster = make_cluster(3);
+  (void)cluster.fail_server(1);
+  EXPECT_THROW((void)cluster.fail_server(1), std::invalid_argument);
+  EXPECT_THROW((void)cluster.fail_server(99), std::invalid_argument);
+}
+
+TEST(FailServer, LastHealthyServerProtected) {
+  DynamicCluster cluster = make_cluster(4, 20, 2);
+  (void)cluster.fail_server(0);
+  EXPECT_THROW((void)cluster.fail_server(1), std::logic_error);
+}
+
+TEST(FailServer, JoinsAvoidFailedServers) {
+  DynamicCluster cluster = make_cluster(5);
+  (void)cluster.fail_server(2);
+  for (int k = 0; k < 10; ++k) {
+    workload::IotDevice device;
+    device.position = {1.0 + k * 0.1, 1.0};
+    device.request_rate_hz = 5.0;
+    device.demand = 5.0;
+    const std::size_t index = cluster.join(device);
+    EXPECT_NE(cluster.server_of(index), 2u);
+  }
+}
+
+TEST(RecoverServer, RebalanceMovesLoadBack) {
+  DynamicCluster cluster = make_cluster(6);
+  const double healthy_delay = cluster.avg_delay_ms();
+  (void)cluster.fail_server(0);
+  const double degraded_delay = cluster.avg_delay_ms();
+  cluster.recover_server(0);
+  EXPECT_FALSE(cluster.server_failed(0));
+  (void)cluster.rebalance(1000);
+  // After recovery + rebalance, delay returns to (at least) healthy level.
+  EXPECT_LE(cluster.avg_delay_ms(), degraded_delay + 1e-9);
+  EXPECT_LE(cluster.avg_delay_ms(), healthy_delay + 1e-9);
+}
+
+TEST(Repair, RestoresFeasibilityAfterCascade) {
+  // Fail enough servers that the fallback overloads the survivors; after
+  // recovery, rebalance() alone cannot fix overload (it only improves
+  // cost), repair() must.
+  DynamicCluster cluster = make_cluster(12, 80, 5);
+  (void)cluster.fail_server(0);
+  (void)cluster.fail_server(1);
+  (void)cluster.fail_server(2);
+  cluster.recover_server(0);
+  cluster.recover_server(1);
+  cluster.recover_server(2);
+  if (cluster.feasible()) GTEST_SKIP() << "cascade never overloaded";
+  (void)cluster.rebalance(10'000);
+  // rebalance is not guaranteed to restore feasibility…
+  const std::size_t moves = cluster.repair(10'000);
+  EXPECT_GT(moves, 0u);
+  EXPECT_TRUE(cluster.feasible());
+}
+
+TEST(Repair, NoopOnFeasibleCluster) {
+  DynamicCluster cluster = make_cluster(13);
+  ASSERT_TRUE(cluster.feasible());
+  EXPECT_EQ(cluster.repair(100), 0u);
+}
+
+TEST(Repair, RespectsMoveBudget) {
+  DynamicCluster cluster = make_cluster(14, 80, 5);
+  (void)cluster.fail_server(0);
+  (void)cluster.fail_server(1);
+  cluster.recover_server(0);
+  cluster.recover_server(1);
+  EXPECT_LE(cluster.repair(2), 2u);
+}
+
+TEST(RecoverServer, RecoveringHealthyThrows) {
+  DynamicCluster cluster = make_cluster(7);
+  EXPECT_THROW(cluster.recover_server(0), std::invalid_argument);
+}
+
+// ---- Mobility handovers ---------------------------------------------------------
+
+TEST(Move, ReassignsAndKeepsBookkeeping) {
+  DynamicCluster cluster = make_cluster(8);
+  const std::size_t old_index = 3;
+  ASSERT_TRUE(cluster.is_active(old_index));
+  const std::size_t new_index = cluster.move(old_index, {0.1, 0.1});
+  EXPECT_FALSE(cluster.is_active(old_index));
+  EXPECT_TRUE(cluster.is_active(new_index));
+  EXPECT_EQ(cluster.active_count(), 60u);
+  EXPECT_TRUE(cluster.feasible());
+}
+
+TEST(MovePinned, KeepsServer) {
+  DynamicCluster cluster = make_cluster(9);
+  const std::size_t old_index = 5;
+  const std::size_t server = cluster.server_of(old_index);
+  const std::size_t new_index = cluster.move_pinned(old_index, {3.9, 3.9});
+  EXPECT_EQ(cluster.server_of(new_index), server);
+  EXPECT_EQ(cluster.active_count(), 60u);
+}
+
+TEST(Move, InactiveDeviceThrows) {
+  DynamicCluster cluster = make_cluster(10);
+  cluster.leave(0);
+  EXPECT_THROW((void)cluster.move(0, {1.0, 1.0}), std::invalid_argument);
+  EXPECT_THROW((void)cluster.move_pinned(0, {1.0, 1.0}),
+               std::invalid_argument);
+}
+
+TEST(Mobility, PinnedDriftWorseThanHandover) {
+  // Drive both policies with the same mobility trace; reassigning movers
+  // must realize average delay no worse than pinning them.
+  const Scenario scenario = Scenario::campus(80, 6, 11);
+  DynamicCluster pinned(scenario, Algorithm::kGreedyBestFit,
+                        cheap_options(11));
+  DynamicCluster handover(scenario, Algorithm::kGreedyBestFit,
+                          cheap_options(11));
+  workload::MobilityParams params;
+  params.area_km = scenario.params().workload.area_km;
+  params.mobile_fraction = 1.0;
+  workload::RandomWaypointModel model(scenario.workload().iot, params,
+                                      util::Rng(11));
+
+  std::vector<std::size_t> pinned_ids(80), handover_ids(80);
+  for (std::size_t i = 0; i < 80; ++i) pinned_ids[i] = handover_ids[i] = i;
+
+  for (int epoch = 0; epoch < 5; ++epoch) {
+    for (const std::size_t mover : model.advance(60.0)) {
+      const auto p = model.position(mover);
+      pinned_ids[mover] = pinned.move_pinned(pinned_ids[mover], p);
+      handover_ids[mover] = handover.move(handover_ids[mover], p);
+    }
+  }
+  EXPECT_LE(handover.avg_delay_ms(), pinned.avg_delay_ms() + 1e-9);
+}
+
+}  // namespace
+}  // namespace tacc

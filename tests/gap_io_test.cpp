@@ -1,0 +1,113 @@
+#include "gap/io.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <sstream>
+
+#include "tests/test_helpers.hpp"
+
+namespace tacc::gap {
+namespace {
+
+TEST(InstanceIo, RoundTripExact) {
+  const Instance original = test::small_instance(42, 15, 4);
+  std::stringstream buffer;
+  save_instance(original, buffer);
+  const Instance loaded = load_instance(buffer);
+  ASSERT_EQ(loaded.device_count(), original.device_count());
+  ASSERT_EQ(loaded.server_count(), original.server_count());
+  for (DeviceIndex i = 0; i < original.device_count(); ++i) {
+    EXPECT_EQ(loaded.traffic_weight(i), original.traffic_weight(i));
+    EXPECT_EQ(loaded.demand(i, 0), original.demand(i, 0));
+    for (ServerIndex j = 0; j < original.server_count(); ++j) {
+      EXPECT_EQ(loaded.delay_ms(i, j), original.delay_ms(i, j));
+    }
+  }
+  for (ServerIndex j = 0; j < original.server_count(); ++j) {
+    EXPECT_EQ(loaded.capacity(j), original.capacity(j));
+  }
+}
+
+TEST(InstanceIo, GeneralDemandRefusesToSerialize) {
+  topo::DelayMatrix delay(1, 1, 1.0);
+  topo::DelayMatrix demand(1, 1, 1.0);
+  const Instance inst = Instance::with_demand_matrix(std::move(delay), {},
+                                                     std::move(demand), {5.0});
+  std::stringstream buffer;
+  EXPECT_THROW(save_instance(inst, buffer), std::invalid_argument);
+}
+
+TEST(InstanceIo, BadMagicThrows) {
+  std::stringstream buffer("not-an-instance\n");
+  EXPECT_THROW((void)load_instance(buffer), std::runtime_error);
+}
+
+TEST(InstanceIo, TruncatedThrows) {
+  const Instance original = test::small_instance(1, 5, 2);
+  std::stringstream buffer;
+  save_instance(original, buffer);
+  std::string text = buffer.str();
+  text.resize(text.size() / 2);
+  std::stringstream half(text);
+  EXPECT_THROW((void)load_instance(half), std::runtime_error);
+}
+
+TEST(InstanceIo, CorruptedNumberThrows) {
+  std::stringstream buffer(
+      "tacc-instance v1\n"
+      "devices,1,servers,1\n"
+      "capacities,xyz\n"
+      "weights,1\n"
+      "demands,1\n"
+      "delay,0,1\n");
+  EXPECT_THROW((void)load_instance(buffer), std::runtime_error);
+}
+
+TEST(InstanceIo, WrongRowOrderThrows) {
+  std::stringstream buffer(
+      "tacc-instance v1\n"
+      "devices,2,servers,1\n"
+      "capacities,5\n"
+      "weights,1,1\n"
+      "demands,1,1\n"
+      "delay,1,1\n"
+      "delay,0,1\n");
+  EXPECT_THROW((void)load_instance(buffer), std::runtime_error);
+}
+
+TEST(InstanceIo, FileRoundTrip) {
+  const Instance original = test::small_instance(7, 8, 3);
+  const std::string path = ::testing::TempDir() + "/tacc_io_test.inst";
+  save_instance_file(original, path);
+  const Instance loaded = load_instance_file(path);
+  EXPECT_EQ(loaded.device_count(), original.device_count());
+  EXPECT_EQ(loaded.delay_ms(3, 1), original.delay_ms(3, 1));
+  std::remove(path.c_str());
+}
+
+TEST(InstanceIo, MissingFileThrows) {
+  EXPECT_THROW((void)load_instance_file("/nonexistent/path.inst"),
+               std::runtime_error);
+}
+
+TEST(AssignmentIo, RoundTrip) {
+  const Assignment original{0, 3, kUnassigned, 1};
+  std::stringstream buffer;
+  save_assignment(original, buffer);
+  const Assignment loaded = load_assignment(buffer);
+  EXPECT_EQ(loaded, original);
+}
+
+TEST(AssignmentIo, BadMagicThrows) {
+  std::stringstream buffer("garbage\n");
+  EXPECT_THROW((void)load_assignment(buffer), std::runtime_error);
+}
+
+TEST(AssignmentIo, OutOfOrderThrows) {
+  std::stringstream buffer("tacc-assignment v1\n1,0\n0,1\n");
+  EXPECT_THROW((void)load_assignment(buffer), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace tacc::gap

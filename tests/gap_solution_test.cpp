@@ -1,0 +1,174 @@
+#include "gap/solution.hpp"
+
+#include <gtest/gtest.h>
+
+#include "gap/testgen.hpp"
+#include "tests/test_helpers.hpp"
+#include "util/rng.hpp"
+
+namespace tacc::gap {
+namespace {
+
+Instance make_3x2() {
+  topo::DelayMatrix delay(3, 2);
+  delay.set(0, 0, 1.0);
+  delay.set(0, 1, 2.0);
+  delay.set(1, 0, 3.0);
+  delay.set(1, 1, 4.0);
+  delay.set(2, 0, 5.0);
+  delay.set(2, 1, 6.0);
+  return Instance(std::move(delay), {1.0, 2.0, 1.0}, {1.0, 1.0, 1.0},
+                  {2.0, 2.0});
+}
+
+TEST(Evaluate, KnownAssignment) {
+  const Instance inst = make_3x2();
+  const Assignment x{0, 1, 0};
+  const Evaluation ev = evaluate(inst, x);
+  EXPECT_DOUBLE_EQ(ev.total_cost, 1.0 + 8.0 + 5.0);
+  EXPECT_DOUBLE_EQ(ev.avg_delay_ms, (1.0 + 4.0 + 5.0) / 3.0);
+  EXPECT_DOUBLE_EQ(ev.weighted_avg_delay_ms, 14.0 / 4.0);
+  EXPECT_DOUBLE_EQ(ev.max_delay_ms, 5.0);
+  ASSERT_EQ(ev.loads.size(), 2u);
+  EXPECT_DOUBLE_EQ(ev.loads[0], 2.0);
+  EXPECT_DOUBLE_EQ(ev.loads[1], 1.0);
+  EXPECT_TRUE(ev.feasible);
+  EXPECT_EQ(ev.overloaded_servers, 0u);
+  EXPECT_DOUBLE_EQ(ev.max_utilization, 1.0);
+}
+
+TEST(Evaluate, DetectsOverload) {
+  const Instance inst = make_3x2();
+  const Assignment x{0, 0, 0};  // 3 demand on capacity-2 server
+  const Evaluation ev = evaluate(inst, x);
+  EXPECT_FALSE(ev.feasible);
+  EXPECT_EQ(ev.overloaded_servers, 1u);
+  EXPECT_DOUBLE_EQ(ev.total_overload, 1.0);
+  EXPECT_DOUBLE_EQ(ev.max_utilization, 1.5);
+}
+
+TEST(Evaluate, CountsUnassigned) {
+  const Instance inst = make_3x2();
+  const Assignment x{0, kUnassigned, 1};
+  const Evaluation ev = evaluate(inst, x);
+  EXPECT_EQ(ev.unassigned_devices, 1u);
+  EXPECT_FALSE(ev.feasible);
+  EXPECT_DOUBLE_EQ(ev.avg_delay_ms, (1.0 + 6.0) / 2.0);
+}
+
+TEST(Evaluate, ShapeMismatchThrows) {
+  const Instance inst = make_3x2();
+  EXPECT_THROW((void)evaluate(inst, Assignment{0, 1}), std::invalid_argument);
+  EXPECT_THROW((void)evaluate(inst, Assignment{0, 1, 5}), std::out_of_range);
+}
+
+TEST(Evaluate, ToStringMentionsFeasibility) {
+  const Instance inst = make_3x2();
+  const Evaluation good = evaluate(inst, {0, 1, 0});
+  EXPECT_NE(good.to_string().find("[feasible]"), std::string::npos);
+  const Evaluation bad = evaluate(inst, {0, 0, 0});
+  EXPECT_NE(bad.to_string().find("INFEASIBLE"), std::string::npos);
+}
+
+TEST(IsFeasible, AgreesWithEvaluate) {
+  const Instance inst = make_3x2();
+  EXPECT_TRUE(is_feasible(inst, {0, 1, 0}));
+  EXPECT_FALSE(is_feasible(inst, {0, 0, 0}));
+  EXPECT_FALSE(is_feasible(inst, {0, kUnassigned, 1}));
+}
+
+TEST(ServerLoads, SumsDemands) {
+  const Instance inst = make_3x2();
+  const auto loads = server_loads(inst, {1, 1, 1});
+  EXPECT_DOUBLE_EQ(loads[0], 0.0);
+  EXPECT_DOUBLE_EQ(loads[1], 3.0);
+}
+
+TEST(IncrementalEvaluator, RequiresCompleteAssignment) {
+  const Instance inst = make_3x2();
+  EXPECT_THROW(IncrementalEvaluator(inst, {0, kUnassigned, 0}),
+               std::invalid_argument);
+}
+
+TEST(IncrementalEvaluator, MoveDeltaAndApply) {
+  const Instance inst = make_3x2();
+  IncrementalEvaluator eval(inst, {0, 1, 0});
+  EXPECT_DOUBLE_EQ(eval.total_cost(), 14.0);
+  EXPECT_DOUBLE_EQ(eval.move_cost_delta(2, 1), 1.0);  // 6 - 5
+  EXPECT_TRUE(eval.move_feasible(2, 1));
+  eval.apply_move(2, 1);
+  EXPECT_DOUBLE_EQ(eval.total_cost(), 15.0);
+  EXPECT_DOUBLE_EQ(eval.load(0), 1.0);
+  EXPECT_DOUBLE_EQ(eval.load(1), 2.0);
+}
+
+TEST(IncrementalEvaluator, MoveInfeasibleWhenFull) {
+  const Instance inst = make_3x2();
+  IncrementalEvaluator eval(inst, {0, 0, 1});  // server 0 at capacity
+  EXPECT_FALSE(eval.move_feasible(2, 0));
+  EXPECT_TRUE(eval.move_feasible(2, 1));  // staying put is feasible
+}
+
+TEST(IncrementalEvaluator, SwapDeltaAndApply) {
+  const Instance inst = make_3x2();
+  IncrementalEvaluator eval(inst, {0, 1, 0});
+  // Swap devices 1 (on s1) and 2 (on s0):
+  // delta = c(1,0)+c(2,1) - c(1,1) - c(2,0) = 6+6-8-5 = -1.
+  EXPECT_DOUBLE_EQ(eval.swap_cost_delta(1, 2), -1.0);
+  EXPECT_TRUE(eval.swap_feasible(1, 2));
+  eval.apply_swap(1, 2);
+  EXPECT_DOUBLE_EQ(eval.total_cost(), 13.0);
+  const Evaluation check = evaluate(inst, eval.assignment());
+  EXPECT_DOUBLE_EQ(check.total_cost, 13.0);
+}
+
+TEST(IncrementalEvaluator, SameServerOpsAreNoops) {
+  const Instance inst = make_3x2();
+  IncrementalEvaluator eval(inst, {0, 0, 1});
+  EXPECT_DOUBLE_EQ(eval.move_cost_delta(0, 0), 0.0);
+  eval.apply_move(0, 0);
+  EXPECT_DOUBLE_EQ(eval.swap_cost_delta(0, 1), 0.0);
+  eval.apply_swap(0, 1);
+  EXPECT_DOUBLE_EQ(eval.total_cost(),
+                   evaluate(inst, eval.assignment()).total_cost);
+}
+
+// Property: a random walk of moves/swaps stays consistent with full
+// re-evaluation.
+class IncrementalWalk : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(IncrementalWalk, MatchesFullEvaluation) {
+  util::Rng rng(GetParam());
+  const Instance inst = test::small_instance(GetParam(), 25, 5, 0.5);
+  Assignment x(inst.device_count());
+  for (auto& v : x) {
+    v = static_cast<std::int32_t>(rng.index(inst.server_count()));
+  }
+  IncrementalEvaluator eval(inst, x);
+  for (int step = 0; step < 200; ++step) {
+    if (rng.bernoulli(0.5)) {
+      const DeviceIndex i = rng.index(inst.device_count());
+      const ServerIndex j = rng.index(inst.server_count());
+      const double predicted = eval.total_cost() + eval.move_cost_delta(i, j);
+      eval.apply_move(i, j);
+      EXPECT_NEAR(eval.total_cost(), predicted, 1e-9);
+    } else {
+      const DeviceIndex a = rng.index(inst.device_count());
+      const DeviceIndex b = rng.index(inst.device_count());
+      const double predicted = eval.total_cost() + eval.swap_cost_delta(a, b);
+      eval.apply_swap(a, b);
+      EXPECT_NEAR(eval.total_cost(), predicted, 1e-9);
+    }
+  }
+  const Evaluation full = evaluate(inst, eval.assignment());
+  EXPECT_NEAR(full.total_cost, eval.total_cost(), 1e-6);
+  for (ServerIndex j = 0; j < inst.server_count(); ++j) {
+    EXPECT_NEAR(full.loads[j], eval.load(j), 1e-9);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, IncrementalWalk,
+                         ::testing::Values(1, 2, 3, 4, 5));
+
+}  // namespace
+}  // namespace tacc::gap

@@ -1,0 +1,113 @@
+// End-to-end: scenario → every algorithm → static evaluation → packet-level
+// simulation, plus cross-module consistency checks.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "core/tacc.hpp"
+#include "gap/io.hpp"
+
+namespace tacc {
+namespace {
+
+AlgorithmOptions cheap_options(std::uint64_t seed) {
+  AlgorithmOptions options;
+  options.apply_seed(seed);
+  options.rl.episodes = 80;
+  options.ucb.rollouts_per_device = 6;
+  options.annealing.steps = 20'000;
+  return options;
+}
+
+TEST(Integration, FullPipelineEveryComparisonAlgorithm) {
+  const Scenario scenario = Scenario::smart_city(80, 8, 77);
+  const ClusterConfigurator configurator(scenario);
+  sim::SimParams sim_params;
+  sim_params.duration_s = 3.0;
+  sim_params.warmup_s = 0.5;
+
+  for (Algorithm algorithm : comparison_algorithms()) {
+    const ClusterConfiguration conf =
+        configurator.configure(algorithm, cheap_options(77));
+    if (algorithm != Algorithm::kGreedyNearest) {
+      // Every capacity-aware algorithm must respect capacities; the
+      // oblivious nearest baseline is *expected* to overload.
+      EXPECT_TRUE(conf.feasible()) << to_string(algorithm);
+    }
+    const sim::SimResult sim = sim::simulate(
+        scenario.network(), scenario.workload(), conf.assignment(),
+        sim_params);
+    EXPECT_GT(sim.messages_measured, 0u) << to_string(algorithm);
+    // Simulated mean delay must exceed the static (queue-free) mean.
+    EXPECT_GT(sim.mean_delay_ms(), conf.avg_delay_ms() * 0.9)
+        << to_string(algorithm);
+  }
+}
+
+TEST(Integration, RlBeatsObliviousNearestUnderSimulation) {
+  const Scenario scenario = Scenario::smart_city(100, 8, 31);
+  const ClusterConfigurator configurator(scenario);
+  sim::SimParams sim_params;
+  sim_params.duration_s = 5.0;
+
+  const auto rl_conf =
+      configurator.configure(Algorithm::kQLearning, cheap_options(31));
+  const auto nearest_conf =
+      configurator.configure(Algorithm::kGreedyNearest, cheap_options(31));
+  const auto rl_sim = sim::simulate(scenario.network(), scenario.workload(),
+                                    rl_conf.assignment(), sim_params);
+  const auto nearest_sim =
+      sim::simulate(scenario.network(), scenario.workload(),
+                    nearest_conf.assignment(), sim_params);
+  // The abstract's claim, end to end: near-optimal delay WITHOUT overload.
+  EXPECT_TRUE(rl_conf.feasible());
+  EXPECT_FALSE(nearest_conf.feasible());
+  EXPECT_LT(rl_sim.p99_delay_ms(), nearest_sim.p99_delay_ms());
+  EXPECT_LE(rl_sim.deadline_miss_rate(), nearest_sim.deadline_miss_rate());
+}
+
+TEST(Integration, InstanceSurvivesSerializationAndResolving) {
+  const Scenario scenario = Scenario::smart_city(40, 5, 13);
+  std::stringstream buffer;
+  gap::save_instance(scenario.instance(), buffer);
+  const gap::Instance loaded = gap::load_instance(buffer);
+  AlgorithmOptions options = cheap_options(13);
+  const auto direct =
+      make_solver(Algorithm::kRegretGreedy, options)->solve(
+          scenario.instance());
+  const auto reloaded =
+      make_solver(Algorithm::kRegretGreedy, options)->solve(loaded);
+  EXPECT_EQ(direct.assignment, reloaded.assignment);
+  EXPECT_DOUBLE_EQ(direct.total_cost, reloaded.total_cost);
+}
+
+TEST(Integration, LowerBoundsHoldOnGeneratedScenarios) {
+  for (std::uint64_t seed = 1; seed <= 3; ++seed) {
+    const Scenario scenario = Scenario::campus(50, 6, seed);
+    const auto bounds = solvers::compute_lower_bounds(scenario.instance());
+    const ClusterConfigurator configurator(scenario);
+    for (Algorithm algorithm :
+         {Algorithm::kGreedyBestFit, Algorithm::kQLearning,
+          Algorithm::kFlowRelaxRepair}) {
+      const auto conf = configurator.configure(algorithm, cheap_options(seed));
+      if (conf.feasible()) {
+        EXPECT_GE(conf.total_cost(), bounds.splittable_flow - 1e-6)
+            << to_string(algorithm) << " seed " << seed;
+      }
+    }
+  }
+}
+
+TEST(Integration, DynamicClusterAgreesWithStaticEvaluation) {
+  const Scenario scenario = Scenario::campus(40, 5, 44);
+  DynamicCluster cluster(scenario, Algorithm::kGreedyBestFit,
+                         cheap_options(44));
+  const ClusterConfigurator configurator(scenario);
+  const auto conf =
+      configurator.configure(Algorithm::kGreedyBestFit, cheap_options(44));
+  EXPECT_NEAR(cluster.avg_delay_ms(), conf.avg_delay_ms(), 1e-9);
+  EXPECT_EQ(cluster.feasible(), conf.feasible());
+}
+
+}  // namespace
+}  // namespace tacc

@@ -1,0 +1,176 @@
+// Metamorphic properties: transformations of the instance with known
+// effects on the solution. These catch subtle scaling/indexing bugs that
+// point tests cannot.
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "core/algorithms.hpp"
+#include "gap/testgen.hpp"
+#include "tests/test_helpers.hpp"
+#include "util/rng.hpp"
+
+namespace tacc {
+namespace {
+
+gap::Instance scaled_delays(const gap::Instance& original, double factor) {
+  const std::size_t n = original.device_count();
+  const std::size_t m = original.server_count();
+  topo::DelayMatrix delay(n, m);
+  std::vector<double> weights(n), demands(n), capacities(m);
+  for (std::size_t i = 0; i < n; ++i) {
+    weights[i] = original.traffic_weight(i);
+    demands[i] = original.demand(i, 0);
+    for (std::size_t j = 0; j < m; ++j) {
+      delay.set(i, j, factor * original.delay_ms(i, j));
+    }
+  }
+  for (std::size_t j = 0; j < m; ++j) capacities[j] = original.capacity(j);
+  return gap::Instance(std::move(delay), std::move(weights),
+                       std::move(demands), std::move(capacities));
+}
+
+/// Instance with server columns permuted: new column j is old perm[j].
+gap::Instance permuted_servers(const gap::Instance& original,
+                               const std::vector<std::size_t>& perm) {
+  const std::size_t n = original.device_count();
+  const std::size_t m = original.server_count();
+  topo::DelayMatrix delay(n, m);
+  std::vector<double> weights(n), demands(n), capacities(m);
+  for (std::size_t i = 0; i < n; ++i) {
+    weights[i] = original.traffic_weight(i);
+    demands[i] = original.demand(i, 0);
+    for (std::size_t j = 0; j < m; ++j) {
+      delay.set(i, j, original.delay_ms(i, perm[j]));
+    }
+  }
+  for (std::size_t j = 0; j < m; ++j) {
+    capacities[j] = original.capacity(perm[j]);
+  }
+  return gap::Instance(std::move(delay), std::move(weights),
+                       std::move(demands), std::move(capacities));
+}
+
+// ---- Scale invariance -----------------------------------------------------
+// Multiplying every delay by a positive constant must not change any
+// solver's *decisions* (costs scale linearly). Every solver either works on
+// cost comparisons (greedy/regret/B&B/local search), on normalized rewards
+// (Q-learning, UCB), or on auto-scaled temperatures/penalties (SA), so the
+// returned assignment must be identical.
+
+class ScaleInvariance
+    : public ::testing::TestWithParam<std::tuple<Algorithm, std::uint64_t>> {
+};
+
+TEST_P(ScaleInvariance, AssignmentUnchangedUnderDelayScaling) {
+  const auto [algorithm, seed] = GetParam();
+  const gap::Instance base = test::small_instance(seed, 30, 5, 0.75);
+  const gap::Instance scaled = scaled_delays(base, 3.5);
+
+  AlgorithmOptions options;
+  options.apply_seed(seed);
+  options.rl.episodes = 80;
+  options.ucb.rollouts_per_device = 6;
+  options.annealing.steps = 20'000;
+  const auto original = make_solver(algorithm, options)->solve(base);
+  const auto rescaled = make_solver(algorithm, options)->solve(scaled);
+  EXPECT_EQ(original.assignment, rescaled.assignment) << to_string(algorithm);
+  EXPECT_NEAR(rescaled.total_cost, 3.5 * original.total_cost,
+              1e-6 * rescaled.total_cost);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Solvers, ScaleInvariance,
+    ::testing::Combine(
+        ::testing::Values(Algorithm::kGreedyNearest,
+                          Algorithm::kGreedyBestFit, Algorithm::kRegretGreedy,
+                          Algorithm::kLocalSearch,
+                          Algorithm::kSimulatedAnnealing,
+                          Algorithm::kFlowRelaxRepair,
+                          Algorithm::kBranchAndBound, Algorithm::kQLearning,
+                          Algorithm::kSarsa, Algorithm::kUcbRollout,
+                          Algorithm::kGrasp, Algorithm::kTabu),
+        ::testing::Values(401u, 402u)));
+
+// ---- Server-permutation equivariance ---------------------------------------
+// Relabeling the servers must relabel the solution and nothing else. Only
+// solvers whose internal randomness never draws on raw server indices
+// qualify (SA picks random server indices, so its trajectory legitimately
+// differs under relabeling).
+
+class PermutationEquivariance
+    : public ::testing::TestWithParam<std::tuple<Algorithm, std::uint64_t>> {
+};
+
+TEST_P(PermutationEquivariance, SolutionPermutesWithServers) {
+  const auto [algorithm, seed] = GetParam();
+  const gap::Instance base = test::small_instance(seed, 25, 5, 0.7);
+  util::Rng rng(seed * 13 + 5);
+  std::vector<std::size_t> perm(base.server_count());
+  std::iota(perm.begin(), perm.end(), 0);
+  rng.shuffle(perm);
+  const gap::Instance permuted = permuted_servers(base, perm);
+
+  AlgorithmOptions options;
+  options.apply_seed(seed);
+  const auto original = make_solver(algorithm, options)->solve(base);
+  const auto relabeled = make_solver(algorithm, options)->solve(permuted);
+
+  // relabeled assignment j' must satisfy perm[j'] == original j.
+  ASSERT_EQ(relabeled.assignment.size(), original.assignment.size());
+  for (std::size_t i = 0; i < original.assignment.size(); ++i) {
+    EXPECT_EQ(static_cast<std::int32_t>(
+                  perm[static_cast<std::size_t>(relabeled.assignment[i])]),
+              original.assignment[i])
+        << to_string(algorithm) << " device " << i;
+  }
+  EXPECT_NEAR(relabeled.total_cost, original.total_cost,
+              1e-9 * (1.0 + original.total_cost));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    DeterministicSolvers, PermutationEquivariance,
+    ::testing::Combine(::testing::Values(Algorithm::kGreedyNearest,
+                                         Algorithm::kGreedyBestFit,
+                                         Algorithm::kRegretGreedy,
+                                         Algorithm::kBranchAndBound),
+                       ::testing::Values(411u, 412u, 413u)));
+
+// ---- Weight scaling ----------------------------------------------------------
+// Scaling every traffic weight by a constant scales total cost linearly and
+// leaves the assignment unchanged for cost-comparison solvers.
+
+TEST(WeightScaling, GreedyFamilyInvariant) {
+  const gap::Instance base = [&] {
+    gap::RandomInstanceParams params;
+    params.device_count = 30;
+    params.server_count = 5;
+    params.rate_weighted = true;
+    util::Rng rng(42);
+    return gap::random_instance(params, rng);
+  }();
+  const std::size_t n = base.device_count();
+  const std::size_t m = base.server_count();
+  topo::DelayMatrix delay(n, m);
+  std::vector<double> weights(n), demands(n), capacities(m);
+  for (std::size_t i = 0; i < n; ++i) {
+    weights[i] = 7.0 * base.traffic_weight(i);
+    demands[i] = base.demand(i, 0);
+    for (std::size_t j = 0; j < m; ++j) delay.set(i, j, base.delay_ms(i, j));
+  }
+  for (std::size_t j = 0; j < m; ++j) capacities[j] = base.capacity(j);
+  const gap::Instance scaled(std::move(delay), std::move(weights),
+                             std::move(demands), std::move(capacities));
+
+  for (Algorithm algorithm :
+       {Algorithm::kGreedyBestFit, Algorithm::kRegretGreedy}) {
+    AlgorithmOptions options;
+    const auto a = make_solver(algorithm, options)->solve(base);
+    const auto b = make_solver(algorithm, options)->solve(scaled);
+    EXPECT_EQ(a.assignment, b.assignment) << to_string(algorithm);
+    EXPECT_NEAR(b.total_cost, 7.0 * a.total_cost, 1e-6 * b.total_cost);
+  }
+}
+
+}  // namespace
+}  // namespace tacc

@@ -1,0 +1,234 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "metrics/fairness.hpp"
+#include "metrics/histogram.hpp"
+#include "metrics/stats.hpp"
+#include "util/rng.hpp"
+
+namespace tacc::metrics {
+namespace {
+
+// ---- RunningStats ------------------------------------------------------------
+
+TEST(RunningStats, EmptyDefaults) {
+  RunningStats stats;
+  EXPECT_EQ(stats.count(), 0u);
+  EXPECT_EQ(stats.mean(), 0.0);
+  EXPECT_EQ(stats.variance(), 0.0);
+  EXPECT_TRUE(std::isnan(stats.min()));
+}
+
+TEST(RunningStats, KnownMoments) {
+  RunningStats stats;
+  for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) stats.add(v);
+  EXPECT_DOUBLE_EQ(stats.mean(), 5.0);
+  EXPECT_NEAR(stats.variance(), 32.0 / 7.0, 1e-12);  // sample variance
+  EXPECT_DOUBLE_EQ(stats.min(), 2.0);
+  EXPECT_DOUBLE_EQ(stats.max(), 9.0);
+  EXPECT_DOUBLE_EQ(stats.sum(), 40.0);
+}
+
+TEST(RunningStats, SingleSampleVarianceZero) {
+  RunningStats stats;
+  stats.add(3.0);
+  EXPECT_EQ(stats.variance(), 0.0);
+  EXPECT_EQ(stats.stddev(), 0.0);
+}
+
+TEST(RunningStats, MergeEqualsBulk) {
+  util::Rng rng(1);
+  RunningStats bulk, a, b;
+  for (int i = 0; i < 1000; ++i) {
+    const double v = rng.normal(5.0, 2.0);
+    bulk.add(v);
+    (i % 2 ? a : b).add(v);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), bulk.count());
+  EXPECT_NEAR(a.mean(), bulk.mean(), 1e-9);
+  EXPECT_NEAR(a.variance(), bulk.variance(), 1e-9);
+  EXPECT_DOUBLE_EQ(a.min(), bulk.min());
+  EXPECT_DOUBLE_EQ(a.max(), bulk.max());
+}
+
+TEST(RunningStats, MergeWithEmpty) {
+  RunningStats a, empty;
+  a.add(1.0);
+  a.add(2.0);
+  const double mean = a.mean();
+  a.merge(empty);
+  EXPECT_DOUBLE_EQ(a.mean(), mean);
+  empty.merge(a);
+  EXPECT_DOUBLE_EQ(empty.mean(), mean);
+}
+
+// ---- Percentiles --------------------------------------------------------------
+
+TEST(Percentile, EmptyIsNan) {
+  EXPECT_TRUE(std::isnan(percentile({}, 0.5)));
+}
+
+TEST(Percentile, MedianOfOddSample) {
+  const std::vector<double> v{3.0, 1.0, 2.0};
+  EXPECT_DOUBLE_EQ(percentile(v, 0.5), 2.0);
+}
+
+TEST(Percentile, InterpolatesBetweenOrderStats) {
+  const std::vector<double> v{0.0, 10.0};
+  EXPECT_DOUBLE_EQ(percentile(v, 0.5), 5.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 0.25), 2.5);
+}
+
+TEST(Percentile, ExtremesAreMinMax) {
+  const std::vector<double> v{5.0, 1.0, 9.0, 3.0};
+  EXPECT_DOUBLE_EQ(percentile(v, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 1.0), 9.0);
+}
+
+TEST(Percentile, ClampsOutOfRangeQ) {
+  const std::vector<double> v{1.0, 2.0};
+  EXPECT_DOUBLE_EQ(percentile(v, -0.5), 1.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 1.5), 2.0);
+}
+
+TEST(Summarize, AllFieldsConsistent) {
+  const std::vector<double> v{1.0, 2.0, 3.0, 4.0, 5.0};
+  const Summary s = summarize(v);
+  EXPECT_EQ(s.count, 5u);
+  EXPECT_DOUBLE_EQ(s.mean, 3.0);
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.max, 5.0);
+  EXPECT_DOUBLE_EQ(s.p50, 3.0);
+}
+
+TEST(Ci95, ShrinksWithSamples) {
+  RunningStats few, many;
+  util::Rng rng(2);
+  for (int i = 0; i < 10; ++i) few.add(rng.normal());
+  for (int i = 0; i < 1000; ++i) many.add(rng.normal());
+  EXPECT_GT(ci95_half_width(few), ci95_half_width(many));
+}
+
+TEST(Ci95, ZeroForTinySamples) {
+  RunningStats stats;
+  EXPECT_EQ(ci95_half_width(stats), 0.0);
+  stats.add(1.0);
+  EXPECT_EQ(ci95_half_width(stats), 0.0);
+}
+
+TEST(SampleSet, TracksValuesAndStats) {
+  SampleSet set;
+  for (double v : {3.0, 1.0, 2.0}) set.add(v);
+  EXPECT_EQ(set.size(), 3u);
+  EXPECT_DOUBLE_EQ(set.stats().mean(), 2.0);
+  EXPECT_DOUBLE_EQ(set.percentile(0.5), 2.0);
+  EXPECT_FALSE(set.empty());
+}
+
+// ---- Histogram -----------------------------------------------------------------
+
+TEST(Histogram, InvalidArgsThrow) {
+  EXPECT_THROW(Histogram(1.0, 1.0, 4), std::invalid_argument);
+  EXPECT_THROW(Histogram(0.0, 1.0, 0), std::invalid_argument);
+}
+
+TEST(Histogram, BinsAndBounds) {
+  Histogram h(0.0, 10.0, 5);
+  EXPECT_EQ(h.bin_count(), 5u);
+  EXPECT_DOUBLE_EQ(h.bin_lower(2), 4.0);
+  EXPECT_DOUBLE_EQ(h.bin_upper(2), 6.0);
+}
+
+TEST(Histogram, CountsLandInRightBins) {
+  Histogram h(0.0, 10.0, 5);
+  h.add(0.5);
+  h.add(4.1);
+  h.add(4.9);
+  h.add(9.9);
+  EXPECT_EQ(h.count_at(0), 1u);
+  EXPECT_EQ(h.count_at(2), 2u);
+  EXPECT_EQ(h.count_at(4), 1u);
+  EXPECT_EQ(h.total(), 4u);
+}
+
+TEST(Histogram, OutOfRangeClampsToEdges) {
+  Histogram h(0.0, 10.0, 5);
+  h.add(-5.0);
+  h.add(50.0);
+  EXPECT_EQ(h.count_at(0), 1u);
+  EXPECT_EQ(h.count_at(4), 1u);
+  EXPECT_EQ(h.total(), 2u);
+}
+
+TEST(Histogram, CdfMonotoneToOne) {
+  Histogram h(0.0, 10.0, 4);
+  for (double v : {1.0, 3.0, 5.0, 7.0, 9.0}) h.add(v);
+  double prev = 0.0;
+  for (std::size_t b = 0; b < h.bin_count(); ++b) {
+    EXPECT_GE(h.cdf_at(b), prev);
+    prev = h.cdf_at(b);
+  }
+  EXPECT_DOUBLE_EQ(h.cdf_at(h.bin_count() - 1), 1.0);
+}
+
+TEST(Histogram, RenderContainsCounts) {
+  Histogram h(0.0, 2.0, 2);
+  h.add(0.5);
+  h.add(0.6);
+  const std::string out = h.render(10);
+  EXPECT_NE(out.find("2"), std::string::npos);
+}
+
+TEST(EmpiricalCdf, SortedAndEndsAtOne) {
+  const std::vector<double> v{3.0, 1.0, 2.0, 2.0};
+  const auto cdf = empirical_cdf(v);
+  ASSERT_EQ(cdf.size(), 3u);  // duplicates collapsed
+  EXPECT_DOUBLE_EQ(cdf.front().x, 1.0);
+  EXPECT_DOUBLE_EQ(cdf.back().x, 3.0);
+  EXPECT_DOUBLE_EQ(cdf.back().fraction, 1.0);
+  EXPECT_DOUBLE_EQ(cdf[1].fraction, 0.75);  // 3 of 4 samples <= 2.0
+}
+
+// ---- Fairness --------------------------------------------------------------------
+
+TEST(Jain, PerfectlyEvenIsOne) {
+  const std::vector<double> loads{4.0, 4.0, 4.0};
+  EXPECT_DOUBLE_EQ(jain_fairness(loads), 1.0);
+}
+
+TEST(Jain, SingleHotspotIsOneOverN) {
+  const std::vector<double> loads{12.0, 0.0, 0.0, 0.0};
+  EXPECT_DOUBLE_EQ(jain_fairness(loads), 0.25);
+}
+
+TEST(Jain, EmptyAndZeroAreVacuouslyFair) {
+  EXPECT_DOUBLE_EQ(jain_fairness({}), 1.0);
+  const std::vector<double> zeros{0.0, 0.0};
+  EXPECT_DOUBLE_EQ(jain_fairness(zeros), 1.0);
+}
+
+TEST(Imbalance, BalancedIsOne) {
+  const std::vector<double> loads{2.0, 2.0};
+  EXPECT_DOUBLE_EQ(imbalance_ratio(loads), 1.0);
+}
+
+TEST(Imbalance, SkewGrowsRatio) {
+  const std::vector<double> loads{9.0, 1.0};
+  EXPECT_DOUBLE_EQ(imbalance_ratio(loads), 1.8);
+}
+
+TEST(CoefficientOfVariation, ZeroForConstant) {
+  const std::vector<double> loads{5.0, 5.0, 5.0};
+  EXPECT_DOUBLE_EQ(coefficient_of_variation(loads), 0.0);
+}
+
+TEST(CoefficientOfVariation, KnownValue) {
+  const std::vector<double> loads{2.0, 4.0};  // mean 3, pop stddev 1
+  EXPECT_NEAR(coefficient_of_variation(loads), 1.0 / 3.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace tacc::metrics

@@ -1,0 +1,77 @@
+#include "rl/ucb_rollout.hpp"
+
+#include <gtest/gtest.h>
+
+#include "gap/testgen.hpp"
+#include "solvers/constructive.hpp"
+#include "tests/test_helpers.hpp"
+
+namespace tacc::rl {
+namespace {
+
+UcbRolloutOptions fast_options(std::uint64_t seed) {
+  UcbRolloutOptions options;
+  options.rollouts_per_device = 8;
+  options.seed = seed;
+  return options;
+}
+
+TEST(UcbRollout, CompleteAndFeasibleAtModerateLoad) {
+  for (std::uint64_t seed = 1; seed <= 4; ++seed) {
+    const gap::Instance inst = test::small_instance(seed, 40, 6, 0.7);
+    UcbRolloutSolver solver(fast_options(seed));
+    const auto result = solver.solve(inst);
+    ASSERT_EQ(result.assignment.size(), inst.device_count());
+    EXPECT_TRUE(result.feasible) << "seed " << seed;
+  }
+}
+
+TEST(UcbRollout, BeatsRandomClearly) {
+  const gap::Instance inst = test::small_instance(5, 50, 6, 0.6);
+  UcbRolloutSolver ucb(fast_options(5));
+  solvers::RandomSolver random(5);
+  EXPECT_LT(ucb.solve(inst).total_cost, random.solve(inst).total_cost);
+}
+
+TEST(UcbRollout, SolvesTrapOptimally) {
+  const auto trap = gap::crafted_greedy_trap();
+  UcbRolloutSolver solver(fast_options(1));
+  const auto result = solver.solve(trap.instance);
+  EXPECT_TRUE(result.feasible);
+  EXPECT_DOUBLE_EQ(result.total_cost, trap.optimal_cost);
+}
+
+TEST(UcbRollout, DeterministicPerSeed) {
+  const gap::Instance inst = test::small_instance(6, 30, 5, 0.7);
+  UcbRolloutSolver a(fast_options(42));
+  UcbRolloutSolver b(fast_options(42));
+  EXPECT_EQ(a.solve(inst).assignment, b.solve(inst).assignment);
+}
+
+TEST(UcbRollout, RolloutBudgetScalesIterations) {
+  const gap::Instance inst = test::small_instance(7, 20, 4, 0.6);
+  UcbRolloutOptions small = fast_options(7);
+  small.rollouts_per_device = 4;
+  UcbRolloutOptions large = fast_options(7);
+  large.rollouts_per_device = 16;
+  UcbRolloutSolver a(small), b(large);
+  const auto result_small = a.solve(inst);
+  const auto result_large = b.solve(inst);
+  EXPECT_EQ(result_small.iterations, 20u * 4u);
+  EXPECT_EQ(result_large.iterations, 20u * 16u);
+}
+
+TEST(UcbRollout, NameIsStable) {
+  EXPECT_EQ(UcbRolloutSolver(fast_options(1)).name(), "ucb-rollout");
+}
+
+TEST(UcbRollout, CandidateCountClamped) {
+  const gap::Instance inst = test::small_instance(8, 15, 2, 0.5);
+  UcbRolloutOptions options = fast_options(8);
+  options.candidate_count = 99;
+  UcbRolloutSolver solver(options);
+  EXPECT_TRUE(solver.solve(inst).feasible);
+}
+
+}  // namespace
+}  // namespace tacc::rl

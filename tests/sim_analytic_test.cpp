@@ -1,0 +1,136 @@
+// Analytic (M/D/1-style) delay predictor vs the packet-level simulator.
+#include "sim/analytic.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/configurator.hpp"
+#include "sim/simulator.hpp"
+#include "solvers/constructive.hpp"
+
+namespace tacc::sim {
+namespace {
+
+struct Fixture {
+  explicit Fixture(std::uint64_t seed, std::size_t iot = 80,
+                   std::size_t edge = 6)
+      : scenario(tacc::Scenario::smart_city(iot, edge, seed)) {
+    solvers::GreedyBestFitSolver solver;
+    assignment = solver.solve(scenario.instance()).assignment;
+  }
+  tacc::Scenario scenario;
+  gap::Assignment assignment;
+};
+
+TEST(Analytic, ShapesAndPositivity) {
+  const Fixture f(1);
+  const AnalyticResult result =
+      predict_delays(f.scenario.network(), f.scenario.workload(),
+                     f.assignment);
+  ASSERT_EQ(result.device_delay_ms.size(), 80u);
+  ASSERT_EQ(result.server_utilization.size(), 6u);
+  EXPECT_FALSE(result.saturated);
+  for (double d : result.device_delay_ms) EXPECT_GT(d, 0.0);
+  EXPECT_GT(result.mean_delay_ms, 0.0);
+}
+
+TEST(Analytic, AtLeastStaticPathDelay) {
+  const Fixture f(2);
+  const AnalyticResult result =
+      predict_delays(f.scenario.network(), f.scenario.workload(),
+                     f.assignment);
+  for (std::size_t i = 0; i < 80; ++i) {
+    EXPECT_GE(result.device_delay_ms[i],
+              f.scenario.instance().delay_ms(
+                  i, static_cast<std::size_t>(f.assignment[i])));
+  }
+}
+
+TEST(Analytic, UtilizationMatchesLoadsTimesHeadroom) {
+  const Fixture f(3);
+  const AnalyticResult result =
+      predict_delays(f.scenario.network(), f.scenario.workload(),
+                     f.assignment, {.capacity_headroom = 0.75});
+  const auto loads = gap::server_loads(f.scenario.instance(), f.assignment);
+  for (std::size_t j = 0; j < 6; ++j) {
+    const double expected =
+        0.75 * loads[j] / f.scenario.workload().edges[j].capacity;
+    EXPECT_NEAR(result.server_utilization[j], expected, 1e-9);
+  }
+}
+
+TEST(Analytic, SaturationFlagsOverload) {
+  const Fixture f(4);
+  // Pile everything onto server 0.
+  const gap::Assignment pileup(f.assignment.size(), 0);
+  const AnalyticResult result = predict_delays(
+      f.scenario.network(), f.scenario.workload(), pileup);
+  EXPECT_TRUE(result.saturated);
+  EXPECT_TRUE(std::isinf(result.device_delay_ms[0]));
+}
+
+TEST(Analytic, InvalidInputsThrow) {
+  const Fixture f(5);
+  gap::Assignment short_assignment(f.assignment.begin(),
+                                   f.assignment.end() - 1);
+  EXPECT_THROW((void)predict_delays(f.scenario.network(),
+                                    f.scenario.workload(), short_assignment),
+               std::invalid_argument);
+  gap::Assignment with_hole = f.assignment;
+  with_hole[0] = gap::kUnassigned;
+  EXPECT_THROW((void)predict_delays(f.scenario.network(),
+                                    f.scenario.workload(), with_hole),
+               std::invalid_argument);
+}
+
+// The headline property: the closed form tracks the simulator.
+class AnalyticVsSimulation : public ::testing::TestWithParam<std::uint64_t> {
+};
+
+TEST_P(AnalyticVsSimulation, MeanWithinFifteenPercent) {
+  const Fixture f(GetParam(), 100, 8);
+  const AnalyticResult analytic = predict_delays(
+      f.scenario.network(), f.scenario.workload(), f.assignment);
+  SimParams sim_params;
+  sim_params.duration_s = 20.0;
+  sim_params.warmup_s = 4.0;
+  sim_params.seed = GetParam();
+  const SimResult sim = simulate(f.scenario.network(), f.scenario.workload(),
+                                 f.assignment, sim_params);
+  // The predictor ignores link queueing, so it may under-predict slightly;
+  // 15% brackets the model error across seeds comfortably.
+  EXPECT_NEAR(analytic.mean_delay_ms, sim.mean_delay_ms(),
+              0.15 * sim.mean_delay_ms())
+      << "analytic " << analytic.mean_delay_ms << " vs sim "
+      << sim.mean_delay_ms();
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, AnalyticVsSimulation,
+                         ::testing::Values(11, 22, 33, 44));
+
+TEST(Analytic, RanksAssignmentsLikeTheSimulator) {
+  // A balanced and an intentionally skewed assignment: the predictor must
+  // order them the same way the DES does.
+  const Fixture f(6, 100, 6);
+  gap::Assignment skewed = f.assignment;
+  // Push ~a third of devices onto server 0 (heavier load, worse queueing).
+  for (std::size_t i = 0; i < skewed.size(); i += 3) skewed[i] = 0;
+
+  const AnalyticResult a_good = predict_delays(
+      f.scenario.network(), f.scenario.workload(), f.assignment);
+  const AnalyticResult a_bad = predict_delays(
+      f.scenario.network(), f.scenario.workload(), skewed);
+  SimParams sim_params;
+  sim_params.duration_s = 10.0;
+  const SimResult s_good = simulate(f.scenario.network(),
+                                    f.scenario.workload(), f.assignment,
+                                    sim_params);
+  const SimResult s_bad = simulate(f.scenario.network(),
+                                   f.scenario.workload(), skewed, sim_params);
+  EXPECT_LT(a_good.mean_delay_ms, a_bad.mean_delay_ms);
+  EXPECT_LT(s_good.mean_delay_ms(), s_bad.mean_delay_ms());
+}
+
+}  // namespace
+}  // namespace tacc::sim

@@ -1,0 +1,146 @@
+// Behavioural properties of the packet-level simulator: the physics the
+// delay numbers are supposed to obey.
+#include <gtest/gtest.h>
+
+#include "core/configurator.hpp"
+#include "sim/simulator.hpp"
+#include "solvers/constructive.hpp"
+
+namespace tacc::sim {
+namespace {
+
+Scenario make_scenario(std::uint64_t seed, double load_factor = 0.7,
+                       std::size_t iot = 80, std::size_t edge = 6) {
+  ScenarioParams params;
+  params.workload.iot_count = iot;
+  params.workload.edge_count = edge;
+  params.workload.load_factor = load_factor;
+  params.seed = seed;
+  return Scenario::generate(params);
+}
+
+gap::Assignment best_fit(const Scenario& scenario) {
+  solvers::GreedyBestFitSolver solver;
+  return solver.solve(scenario.instance()).assignment;
+}
+
+TEST(SimBehavior, HigherLoadMeansHigherDelay) {
+  // Same seed and topology family; only the load factor differs.
+  const Scenario light = make_scenario(21, 0.4);
+  const Scenario heavy = make_scenario(21, 0.95);
+  SimParams params;
+  params.duration_s = 10.0;
+  const SimResult light_result = simulate(
+      light.network(), light.workload(), best_fit(light), params);
+  const SimResult heavy_result = simulate(
+      heavy.network(), heavy.workload(), best_fit(heavy), params);
+  EXPECT_GT(heavy_result.mean_delay_ms(), light_result.mean_delay_ms());
+  EXPECT_GT(heavy_result.p99_delay_ms(), light_result.p99_delay_ms());
+}
+
+TEST(SimBehavior, SmallerHeadroomMeansMoreQueueing) {
+  const Scenario scenario = make_scenario(22, 0.8);
+  const gap::Assignment assignment = best_fit(scenario);
+  SimParams roomy;
+  roomy.duration_s = 10.0;
+  roomy.capacity_headroom = 0.5;  // servers twice as fast as the constraint
+  SimParams tight = roomy;
+  tight.capacity_headroom = 0.95;  // barely faster than offered load
+  const SimResult roomy_result = simulate(scenario.network(),
+                                          scenario.workload(), assignment,
+                                          roomy);
+  const SimResult tight_result = simulate(scenario.network(),
+                                          scenario.workload(), assignment,
+                                          tight);
+  EXPECT_GT(tight_result.mean_delay_ms(), roomy_result.mean_delay_ms());
+}
+
+TEST(SimBehavior, BiggerMessagesTakeLonger) {
+  ScenarioParams small_params;
+  small_params.workload.iot_count = 60;
+  small_params.workload.edge_count = 5;
+  small_params.workload.message_size_mean_kb = 1.0;
+  small_params.seed = 23;
+  ScenarioParams big_params = small_params;
+  big_params.workload.message_size_mean_kb = 64.0;
+
+  const Scenario small_msgs = Scenario::generate(small_params);
+  const Scenario big_msgs = Scenario::generate(big_params);
+  SimParams params;
+  params.duration_s = 8.0;
+  const SimResult small_result =
+      simulate(small_msgs.network(), small_msgs.workload(),
+               best_fit(small_msgs), params);
+  const SimResult big_result = simulate(
+      big_msgs.network(), big_msgs.workload(), best_fit(big_msgs), params);
+  // Transmission delay ∝ message size on every hop.
+  EXPECT_GT(big_result.mean_delay_ms(), small_result.mean_delay_ms());
+}
+
+TEST(SimBehavior, MessageVolumeTracksRates) {
+  ScenarioParams slow_params;
+  slow_params.workload.iot_count = 50;
+  slow_params.workload.edge_count = 5;
+  slow_params.workload.rate_mean_hz = 5.0;
+  slow_params.seed = 24;
+  ScenarioParams fast_params = slow_params;
+  fast_params.workload.rate_mean_hz = 20.0;
+
+  const Scenario slow = Scenario::generate(slow_params);
+  const Scenario fast = Scenario::generate(fast_params);
+  SimParams params;
+  params.duration_s = 5.0;
+  const SimResult slow_result =
+      simulate(slow.network(), slow.workload(), best_fit(slow), params);
+  const SimResult fast_result =
+      simulate(fast.network(), fast.workload(), best_fit(fast), params);
+  // ~4x the rate → ~4x the messages (Poisson, same horizon).
+  const double ratio = static_cast<double>(fast_result.messages_generated) /
+                       static_cast<double>(slow_result.messages_generated);
+  EXPECT_NEAR(ratio, 4.0, 0.5);
+}
+
+TEST(SimBehavior, LongerHorizonMoreSamplesSimilarMean) {
+  const Scenario scenario = make_scenario(25, 0.6);
+  const gap::Assignment assignment = best_fit(scenario);
+  SimParams short_run;
+  short_run.duration_s = 5.0;
+  short_run.warmup_s = 1.0;
+  SimParams long_run = short_run;
+  long_run.duration_s = 25.0;
+  const SimResult a = simulate(scenario.network(), scenario.workload(),
+                               assignment, short_run);
+  const SimResult b = simulate(scenario.network(), scenario.workload(),
+                               assignment, long_run);
+  EXPECT_GT(b.messages_measured, 3 * a.messages_measured);
+  // Stationary process: means agree within a loose band.
+  EXPECT_NEAR(a.mean_delay_ms(), b.mean_delay_ms(),
+              0.25 * b.mean_delay_ms());
+}
+
+TEST(SimBehavior, FartherServerMeansLongerDelayForThatDevice) {
+  // Assign device 0 to its nearest vs its farthest server; everything else
+  // fixed. Its own delay must rank accordingly.
+  const Scenario scenario = make_scenario(26, 0.5);
+  gap::Assignment near_assignment = best_fit(scenario);
+  gap::Assignment far_assignment = near_assignment;
+  const auto ranked = scenario.instance().servers_by_delay(0);
+  near_assignment[0] = static_cast<std::int32_t>(ranked.front());
+  far_assignment[0] = static_cast<std::int32_t>(ranked.back());
+
+  SimParams params;
+  params.duration_s = 10.0;
+  const SimResult far_result = simulate(
+      scenario.network(), scenario.workload(), far_assignment, params);
+  // Every message of device 0 pays at least its static path delay, so the
+  // run's maximum observed delay must be at least the far static delay —
+  // which itself strictly exceeds the near static delay.
+  const double near_static = scenario.instance().delay_ms(0, ranked.front());
+  const double far_static = scenario.instance().delay_ms(0, ranked.back());
+  ASSERT_GT(far_static, near_static);
+  EXPECT_GE(far_result.delay_ms.stats().max(), far_static);
+  (void)near_assignment;
+}
+
+}  // namespace
+}  // namespace tacc::sim

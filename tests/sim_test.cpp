@@ -1,0 +1,205 @@
+#include "sim/simulator.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/scenario.hpp"
+#include "gap/builder.hpp"
+#include "sim/event_queue.hpp"
+#include "solvers/constructive.hpp"
+
+namespace tacc::sim {
+namespace {
+
+// ---- EventQueue --------------------------------------------------------------
+
+TEST(EventQueue, PopsInTimeOrder) {
+  EventQueue<int> queue;
+  queue.push(3.0, 30);
+  queue.push(1.0, 10);
+  queue.push(2.0, 20);
+  double t = 0.0;
+  EXPECT_EQ(queue.pop(&t), 10);
+  EXPECT_DOUBLE_EQ(t, 1.0);
+  EXPECT_EQ(queue.pop(&t), 20);
+  EXPECT_EQ(queue.pop(&t), 30);
+  EXPECT_TRUE(queue.empty());
+}
+
+TEST(EventQueue, StableForEqualTimes) {
+  EventQueue<int> queue;
+  for (int i = 0; i < 10; ++i) queue.push(5.0, i);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(queue.pop(), i);
+}
+
+TEST(EventQueue, SizeAndNextTime) {
+  EventQueue<int> queue;
+  queue.push(7.0, 1);
+  queue.push(4.0, 2);
+  EXPECT_EQ(queue.size(), 2u);
+  EXPECT_DOUBLE_EQ(queue.next_time(), 4.0);
+}
+
+// ---- Simulator ----------------------------------------------------------------
+
+struct SimFixture : public ::testing::Test {
+  SimFixture() : scenario(tacc::Scenario::smart_city(60, 5, 123)) {
+    solvers::GreedyBestFitSolver solver;
+    assignment = solver.solve(scenario.instance()).assignment;
+  }
+
+  tacc::Scenario scenario;
+  gap::Assignment assignment;
+};
+
+TEST_F(SimFixture, ProducesMeasurements) {
+  SimParams params;
+  params.duration_s = 5.0;
+  params.warmup_s = 0.5;
+  const SimResult result =
+      simulate(scenario.network(), scenario.workload(), assignment, params);
+  EXPECT_GT(result.messages_generated, 1000u);
+  EXPECT_GT(result.messages_measured, 0u);
+  EXPECT_LE(result.messages_measured, result.messages_generated);
+  EXPECT_EQ(result.delay_ms.size(), result.messages_measured);
+}
+
+TEST_F(SimFixture, DelaysExceedStaticShortestPath) {
+  SimParams params;
+  params.duration_s = 5.0;
+  const SimResult result =
+      simulate(scenario.network(), scenario.workload(), assignment, params);
+  // Static delay is propagation+forwarding only; realized delay adds
+  // transmission and queueing, so even the minimum observed delay must be
+  // at least the smallest static delay among assigned pairs.
+  double min_static = 1e18;
+  for (std::size_t i = 0; i < assignment.size(); ++i) {
+    min_static = std::min(min_static,
+                          scenario.instance().delay_ms(
+                              i, static_cast<std::size_t>(assignment[i])));
+  }
+  EXPECT_GE(result.delay_ms.stats().min(), min_static);
+}
+
+TEST_F(SimFixture, DeterministicPerSeed) {
+  SimParams params;
+  params.duration_s = 2.0;
+  params.seed = 9;
+  const SimResult a =
+      simulate(scenario.network(), scenario.workload(), assignment, params);
+  const SimResult b =
+      simulate(scenario.network(), scenario.workload(), assignment, params);
+  EXPECT_EQ(a.messages_generated, b.messages_generated);
+  EXPECT_EQ(a.messages_measured, b.messages_measured);
+  EXPECT_DOUBLE_EQ(a.mean_delay_ms(), b.mean_delay_ms());
+}
+
+TEST_F(SimFixture, DifferentSeedsDiffer) {
+  SimParams a_params, b_params;
+  a_params.duration_s = b_params.duration_s = 2.0;
+  a_params.seed = 1;
+  b_params.seed = 2;
+  const SimResult a =
+      simulate(scenario.network(), scenario.workload(), assignment, a_params);
+  const SimResult b =
+      simulate(scenario.network(), scenario.workload(), assignment, b_params);
+  EXPECT_NE(a.messages_generated, b.messages_generated);
+}
+
+TEST_F(SimFixture, UtilizationBoundedAndPositive) {
+  SimParams params;
+  params.duration_s = 5.0;
+  const SimResult result =
+      simulate(scenario.network(), scenario.workload(), assignment, params);
+  double total = 0.0;
+  for (double u : result.server_utilization) {
+    EXPECT_GE(u, 0.0);
+    EXPECT_LE(u, 1.0 + 1e-9);
+    total += u;
+  }
+  EXPECT_GT(total, 0.0);
+}
+
+TEST_F(SimFixture, WarmupReducesMeasuredCount) {
+  SimParams no_warmup;
+  no_warmup.duration_s = 4.0;
+  no_warmup.warmup_s = 0.0;
+  SimParams with_warmup = no_warmup;
+  with_warmup.warmup_s = 2.0;
+  const SimResult a = simulate(scenario.network(), scenario.workload(),
+                               assignment, no_warmup);
+  const SimResult b = simulate(scenario.network(), scenario.workload(),
+                               assignment, with_warmup);
+  EXPECT_GT(a.messages_measured, b.messages_measured);
+}
+
+TEST_F(SimFixture, InvalidAssignmentsThrow) {
+  SimParams params;
+  gap::Assignment short_assignment(assignment.begin(), assignment.end() - 1);
+  EXPECT_THROW((void)simulate(scenario.network(), scenario.workload(),
+                              short_assignment, params),
+               std::invalid_argument);
+  gap::Assignment with_hole = assignment;
+  with_hole[3] = gap::kUnassigned;
+  EXPECT_THROW((void)simulate(scenario.network(), scenario.workload(),
+                              with_hole, params),
+               std::invalid_argument);
+  gap::Assignment bad_server = assignment;
+  bad_server[3] = 999;
+  EXPECT_THROW((void)simulate(scenario.network(), scenario.workload(),
+                              bad_server, params),
+               std::invalid_argument);
+}
+
+TEST(Simulator, OverloadedServerDivergesVsBalanced) {
+  // Same scenario, two assignments: everything on one server vs best-fit.
+  const tacc::Scenario scenario = tacc::Scenario::smart_city(80, 4, 7);
+  solvers::GreedyBestFitSolver solver;
+  const gap::Assignment balanced =
+      solver.solve(scenario.instance()).assignment;
+  gap::Assignment pileup(balanced.size(), 0);  // all onto server 0
+
+  SimParams params;
+  params.duration_s = 8.0;
+  const SimResult good = simulate(scenario.network(), scenario.workload(),
+                                  balanced, params);
+  const SimResult bad = simulate(scenario.network(), scenario.workload(),
+                                 pileup, params);
+  EXPECT_GT(bad.mean_delay_ms(), 5.0 * good.mean_delay_ms());
+  EXPECT_GT(bad.deadline_miss_rate(), good.deadline_miss_rate());
+}
+
+TEST(Simulator, MissRateFallsWithLooserDeadlines) {
+  tacc::ScenarioParams params_a;
+  params_a.workload.iot_count = 60;
+  params_a.workload.edge_count = 5;
+  params_a.workload.deadline_min_ms = 1.0;
+  params_a.workload.deadline_max_ms = 2.0;
+  params_a.seed = 5;
+  tacc::ScenarioParams params_b = params_a;
+  params_b.workload.deadline_min_ms = 500.0;
+  params_b.workload.deadline_max_ms = 600.0;
+
+  const tacc::Scenario tight = tacc::Scenario::generate(params_a);
+  const tacc::Scenario loose = tacc::Scenario::generate(params_b);
+  solvers::GreedyBestFitSolver solver;
+  SimParams sim_params;
+  sim_params.duration_s = 5.0;
+  const SimResult tight_result =
+      simulate(tight.network(), tight.workload(),
+               solver.solve(tight.instance()).assignment, sim_params);
+  const SimResult loose_result =
+      simulate(loose.network(), loose.workload(),
+               solver.solve(loose.instance()).assignment, sim_params);
+  EXPECT_GT(tight_result.deadline_miss_rate(),
+            loose_result.deadline_miss_rate());
+  EXPECT_LT(loose_result.deadline_miss_rate(), 0.05);
+}
+
+TEST(SimResult, EmptyAccessorsSafe) {
+  SimResult result;
+  EXPECT_DOUBLE_EQ(result.deadline_miss_rate(), 0.0);
+  EXPECT_DOUBLE_EQ(result.mean_delay_ms(), 0.0);
+}
+
+}  // namespace
+}  // namespace tacc::sim

@@ -1,0 +1,128 @@
+// Bottleneck (min-max-delay) solver.
+#include "solvers/bottleneck.hpp"
+
+#include <gtest/gtest.h>
+
+#include "gap/testgen.hpp"
+#include "solvers/constructive.hpp"
+#include "tests/test_helpers.hpp"
+
+namespace tacc::solvers {
+namespace {
+
+/// Brute-force minimum achievable max delay over all feasible assignments.
+double brute_force_bottleneck(const gap::Instance& instance) {
+  const std::size_t n = instance.device_count();
+  const std::size_t m = instance.server_count();
+  double best = std::numeric_limits<double>::infinity();
+  std::vector<std::size_t> choice(n, 0);
+  while (true) {
+    std::vector<double> loads(m, 0.0);
+    double max_delay = 0.0;
+    bool feasible = true;
+    for (std::size_t i = 0; i < n && feasible; ++i) {
+      loads[choice[i]] += instance.demand(i, choice[i]);
+      max_delay = std::max(max_delay, instance.delay_ms(i, choice[i]));
+      if (loads[choice[i]] > instance.capacity(choice[i]) + 1e-9) {
+        feasible = false;
+      }
+    }
+    if (feasible) best = std::min(best, max_delay);
+    std::size_t d = 0;
+    while (d < n && ++choice[d] == m) {
+      choice[d] = 0;
+      ++d;
+    }
+    if (d == n) break;
+  }
+  return best;
+}
+
+TEST(Bottleneck, OptimalOnCraftedTrap) {
+  const auto trap = gap::crafted_greedy_trap();
+  const BottleneckResult result = solve_bottleneck(trap.instance);
+  // Feasible assignments: {s1,s0} max=5 or {s0,s1} max=100 → optimum 5.
+  EXPECT_TRUE(result.solve_result.feasible);
+  EXPECT_DOUBLE_EQ(result.max_delay_ms, 5.0);
+  EXPECT_LE(result.lower_bound_ms, result.max_delay_ms + 1e-9);
+}
+
+// Property: matches brute force on tiny instances (uniform unit demands
+// make the splittable bound tight, so the search is exact there; with
+// heterogeneous demands the result may exceed the bound but must bracket).
+class BottleneckEquivalence : public ::testing::TestWithParam<std::uint64_t> {
+};
+
+TEST_P(BottleneckEquivalence, BracketsBruteForce) {
+  const gap::Instance inst = test::tiny_instance(GetParam(), 7, 3, 0.7);
+  const double brute = brute_force_bottleneck(inst);
+  ASSERT_TRUE(std::isfinite(brute));
+  const BottleneckResult result = solve_bottleneck(inst);
+  EXPECT_TRUE(result.solve_result.feasible);
+  // Lower bound ≤ true optimum ≤ achieved.
+  EXPECT_LE(result.lower_bound_ms, brute + 1e-9);
+  EXPECT_GE(result.max_delay_ms, brute - 1e-9);
+  // Achieved value must equal the evaluation's max delay.
+  EXPECT_NEAR(result.max_delay_ms,
+              gap::evaluate(inst, result.solve_result.assignment).max_delay_ms,
+              1e-12);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BottleneckEquivalence,
+                         ::testing::Values(301, 302, 303, 304, 305, 306));
+
+TEST(Bottleneck, BeatsCostGreedyOnMaxDelay) {
+  // The min-total-cost greedy may sacrifice one device's delay; the
+  // bottleneck solver must never realize a larger max delay than best-fit.
+  int wins_or_ties = 0;
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    const gap::Instance inst = test::small_instance(seed, 40, 6, 0.8);
+    GreedyBestFitSolver greedy;
+    const double greedy_max =
+        gap::evaluate(inst, greedy.solve(inst).assignment).max_delay_ms;
+    const BottleneckResult result = solve_bottleneck(inst);
+    if (result.max_delay_ms <= greedy_max + 1e-9) ++wins_or_ties;
+  }
+  EXPECT_GE(wins_or_ties, 7);
+}
+
+TEST(Bottleneck, FeasibleAtHighLoad) {
+  for (std::uint64_t seed = 1; seed <= 4; ++seed) {
+    const gap::Instance inst = test::small_instance(seed, 50, 6, 0.9);
+    const BottleneckResult result = solve_bottleneck(inst);
+    EXPECT_TRUE(result.solve_result.feasible) << "seed " << seed;
+  }
+}
+
+TEST(Bottleneck, GeneralDemandFallbackStillCompletes) {
+  topo::DelayMatrix delay(2, 2);
+  delay.set(0, 0, 1.0);
+  delay.set(0, 1, 2.0);
+  delay.set(1, 0, 3.0);
+  delay.set(1, 1, 4.0);
+  topo::DelayMatrix demand(2, 2, 1.0);
+  const gap::Instance inst = gap::Instance::with_demand_matrix(
+      std::move(delay), {}, std::move(demand), {2.0, 2.0});
+  const BottleneckResult result = solve_bottleneck(inst);
+  EXPECT_TRUE(result.solve_result.feasible);
+}
+
+TEST(Bottleneck, SolverInterfaceName) {
+  EXPECT_EQ(BottleneckSolver().name(), "bottleneck");
+  const gap::Instance inst = test::small_instance(9, 20, 4, 0.6);
+  BottleneckSolver solver;
+  EXPECT_TRUE(solver.solve(inst).feasible);
+}
+
+TEST(Bottleneck, InfeasibleInstanceBestEffort) {
+  topo::DelayMatrix delay(3, 1, 2.0);
+  const gap::Instance inst(std::move(delay), {},
+                           std::vector<double>{1.0, 1.0, 1.0},
+                           std::vector<double>{2.0});
+  const BottleneckResult result = solve_bottleneck(inst);
+  EXPECT_FALSE(result.solve_result.feasible);
+  ASSERT_EQ(result.solve_result.assignment.size(), 3u);
+}
+
+}  // namespace
+}  // namespace tacc::solvers

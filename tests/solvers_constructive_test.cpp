@@ -1,0 +1,162 @@
+#include "solvers/constructive.hpp"
+
+#include <gtest/gtest.h>
+
+#include "gap/testgen.hpp"
+#include "solvers/flow_based.hpp"
+#include "tests/test_helpers.hpp"
+
+namespace tacc::solvers {
+namespace {
+
+TEST(RandomSolver, CompleteAssignment) {
+  const gap::Instance inst = test::small_instance(1);
+  RandomSolver solver(7);
+  const SolveResult result = solver.solve(inst);
+  ASSERT_EQ(result.assignment.size(), inst.device_count());
+  for (std::int32_t x : result.assignment) {
+    EXPECT_NE(x, gap::kUnassigned);
+    EXPECT_LT(static_cast<std::size_t>(x), inst.server_count());
+  }
+}
+
+TEST(RandomSolver, SeededDeterminism) {
+  const gap::Instance inst = test::small_instance(2);
+  RandomSolver a(9);
+  RandomSolver b(9);
+  EXPECT_EQ(a.solve(inst).assignment, b.solve(inst).assignment);
+}
+
+TEST(RoundRobin, DealsCyclically) {
+  const gap::Instance inst = test::small_instance(3, 10, 3);
+  RoundRobinSolver solver;
+  const SolveResult result = solver.solve(inst);
+  for (std::size_t i = 0; i < 10; ++i) {
+    EXPECT_EQ(result.assignment[i], static_cast<std::int32_t>(i % 3));
+  }
+}
+
+TEST(GreedyNearest, AchievesUnconstrainedMinimum) {
+  const gap::Instance inst = test::small_instance(4, 40, 6);
+  GreedyNearestSolver solver;
+  const SolveResult result = solver.solve(inst);
+  const LowerBounds bounds = compute_lower_bounds(inst);
+  // Capacity-oblivious nearest IS the per-device minimum cost.
+  EXPECT_NEAR(result.total_cost, bounds.min_cost, 1e-9);
+}
+
+TEST(GreedyNearest, FallsIntoCraftedTrap) {
+  const auto trap = gap::crafted_greedy_trap();
+  GreedyNearestSolver solver;
+  const SolveResult result = solver.solve(trap.instance);
+  // Both devices pile onto server 0 (capacity 1): infeasible.
+  EXPECT_FALSE(result.feasible);
+}
+
+TEST(GreedyBestFit, FeasibleAtModerateLoad) {
+  for (std::uint64_t seed : {1u, 2u, 3u, 4u, 5u}) {
+    const gap::Instance inst = test::small_instance(seed, 40, 6, 0.7);
+    GreedyBestFitSolver solver;
+    EXPECT_TRUE(solver.solve(inst).feasible) << "seed " << seed;
+  }
+}
+
+TEST(GreedyBestFit, SolvesCapacitySqueeze) {
+  const auto squeeze = gap::crafted_capacity_squeeze();
+  GreedyBestFitSolver solver;
+  const SolveResult result = solver.solve(squeeze.instance);
+  EXPECT_TRUE(result.feasible);
+}
+
+TEST(RegretGreedy, SolvesGreedyTrapOptimally) {
+  const auto trap = gap::crafted_greedy_trap();
+  RegretGreedySolver solver;
+  const SolveResult result = solver.solve(trap.instance);
+  EXPECT_TRUE(result.feasible);
+  // Regret prioritizes device 1 (regret 98) so it takes server 0 first.
+  EXPECT_DOUBLE_EQ(result.total_cost, trap.optimal_cost);
+  EXPECT_EQ(result.assignment, trap.optimal_assignment);
+}
+
+TEST(RegretGreedy, SolvesCapacitySqueezeOptimally) {
+  const auto squeeze = gap::crafted_capacity_squeeze();
+  RegretGreedySolver solver;
+  const SolveResult result = solver.solve(squeeze.instance);
+  EXPECT_TRUE(result.feasible);
+  EXPECT_DOUBLE_EQ(result.total_cost, squeeze.optimal_cost);
+}
+
+TEST(RegretGreedy, NoWorseThanBestFitUsually) {
+  // Not a theorem, but across seeds the regret heuristic should win or tie
+  // most of the time; assert the aggregate rather than per-seed.
+  int regret_wins_or_ties = 0;
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    const gap::Instance inst = test::small_instance(seed, 50, 6, 0.8);
+    RegretGreedySolver regret;
+    GreedyBestFitSolver bestfit;
+    if (regret.solve(inst).total_cost <=
+        bestfit.solve(inst).total_cost + 1e-9) {
+      ++regret_wins_or_ties;
+    }
+  }
+  EXPECT_GE(regret_wins_or_ties, 7);
+}
+
+// Property: every capacity-aware constructive solver returns feasible
+// solutions at low load, and always complete assignments at any load.
+struct SolverCase {
+  const char* name;
+  SolverPtr (*make)();
+};
+
+class ConstructiveProperties
+    : public ::testing::TestWithParam<std::tuple<int, std::uint64_t>> {};
+
+SolverPtr make_by_index(int index, std::uint64_t seed) {
+  switch (index) {
+    case 0:
+      return std::make_unique<RandomSolver>(seed);
+    case 1:
+      return std::make_unique<RoundRobinSolver>();
+    case 2:
+      return std::make_unique<GreedyNearestSolver>();
+    case 3:
+      return std::make_unique<GreedyBestFitSolver>();
+    default:
+      return std::make_unique<RegretGreedySolver>();
+  }
+}
+
+TEST_P(ConstructiveProperties, AlwaysComplete) {
+  const auto [index, seed] = GetParam();
+  const gap::Instance inst = test::small_instance(seed, 30, 5, 0.9);
+  const SolveResult result = make_by_index(index, seed)->solve(inst);
+  ASSERT_EQ(result.assignment.size(), inst.device_count());
+  for (std::int32_t x : result.assignment) EXPECT_NE(x, gap::kUnassigned);
+  // total_cost must equal a fresh evaluation.
+  EXPECT_NEAR(result.total_cost,
+              gap::evaluate(inst, result.assignment).total_cost, 1e-9);
+}
+
+TEST_P(ConstructiveProperties, CapacityAwareFeasibleAtLowLoad) {
+  const auto [index, seed] = GetParam();
+  if (index < 3) GTEST_SKIP() << "capacity-oblivious baseline";
+  const gap::Instance inst = test::small_instance(seed, 30, 5, 0.4);
+  EXPECT_TRUE(make_by_index(index, seed)->solve(inst).feasible);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, ConstructiveProperties,
+    ::testing::Combine(::testing::Values(0, 1, 2, 3, 4),
+                       ::testing::Values(11u, 22u, 33u)));
+
+TEST(SolverNames, AreStable) {
+  EXPECT_EQ(RandomSolver(1).name(), "random");
+  EXPECT_EQ(RoundRobinSolver().name(), "round-robin");
+  EXPECT_EQ(GreedyNearestSolver().name(), "greedy-nearest");
+  EXPECT_EQ(GreedyBestFitSolver().name(), "greedy-bestfit");
+  EXPECT_EQ(RegretGreedySolver().name(), "regret-greedy");
+}
+
+}  // namespace
+}  // namespace tacc::solvers

@@ -1,0 +1,195 @@
+// GRASP, Tabu search, and the genetic algorithm.
+#include <gtest/gtest.h>
+
+#include "gap/testgen.hpp"
+#include "solvers/constructive.hpp"
+#include "solvers/genetic.hpp"
+#include "solvers/grasp.hpp"
+#include "solvers/tabu.hpp"
+#include "tests/test_helpers.hpp"
+
+namespace tacc::solvers {
+namespace {
+
+// ---- GRASP -----------------------------------------------------------------
+
+TEST(Grasp, FeasibleAndNoWorseThanPlainGreedy) {
+  for (std::uint64_t seed = 1; seed <= 4; ++seed) {
+    const gap::Instance inst = test::small_instance(seed, 50, 6, 0.8);
+    GreedyBestFitSolver greedy;
+    GraspOptions grasp_options;
+    grasp_options.seed = seed;
+    GraspSolver grasp(grasp_options);
+    const SolveResult grasp_result = grasp.solve(inst);
+    EXPECT_TRUE(grasp_result.feasible) << "seed " << seed;
+    EXPECT_LE(grasp_result.total_cost,
+              greedy.solve(inst).total_cost + 1e-9)
+        << "seed " << seed;
+  }
+}
+
+TEST(Grasp, SolvesTrapOptimally) {
+  const auto trap = gap::crafted_greedy_trap();
+  GraspOptions solver_options;
+  solver_options.seed = 3;
+  GraspSolver solver(solver_options);
+  const SolveResult result = solver.solve(trap.instance);
+  EXPECT_TRUE(result.feasible);
+  EXPECT_DOUBLE_EQ(result.total_cost, trap.optimal_cost);
+}
+
+TEST(Grasp, DeterministicPerSeed) {
+  const gap::Instance inst = test::small_instance(9, 30, 5, 0.7);
+  GraspOptions options;
+  options.seed = 11;
+  GraspSolver a(options);
+  GraspSolver b(options);
+  EXPECT_EQ(a.solve(inst).assignment, b.solve(inst).assignment);
+}
+
+TEST(Grasp, MoreIterationsNeverWorse) {
+  const gap::Instance inst = test::small_instance(10, 60, 8, 0.8);
+  GraspOptions few;
+  few.seed = 5;
+  few.iterations = 2;
+  GraspOptions many = few;
+  many.iterations = 30;
+  // Multi-start keeps its best: a superset of starts can only improve.
+  // (Same seed → iteration k is identical in both runs.)
+  EXPECT_LE(GraspSolver(many).solve(inst).total_cost,
+            GraspSolver(few).solve(inst).total_cost + 1e-9);
+}
+
+TEST(Grasp, DegenerateOptionsStillWork) {
+  const gap::Instance inst = test::small_instance(11, 20, 4, 0.6);
+  GraspOptions options;
+  options.iterations = 0;  // clamped to 1
+  options.rcl_size = 0;    // clamped to 1 (pure greedy)
+  GraspSolver solver(options);
+  EXPECT_TRUE(solver.solve(inst).feasible);
+}
+
+// ---- Tabu ------------------------------------------------------------------
+
+TEST(Tabu, FeasibleAndNoWorseThanSeed) {
+  for (std::uint64_t seed = 1; seed <= 4; ++seed) {
+    const gap::Instance inst = test::small_instance(seed, 50, 6, 0.8);
+    GreedyBestFitSolver greedy;
+    TabuSolver tabu({.seed = seed});
+    const SolveResult result = tabu.solve(inst);
+    EXPECT_TRUE(result.feasible) << "seed " << seed;
+    EXPECT_LE(result.total_cost, greedy.solve(inst).total_cost + 1e-9)
+        << "seed " << seed;
+  }
+}
+
+TEST(Tabu, EscapesLocalOptimaBeyondPlainDescent) {
+  // Aggregate: tabu should match or beat plain local search on most seeds.
+  int wins_or_ties = 0;
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    const gap::Instance inst = test::small_instance(seed, 60, 6, 0.85);
+    LocalSearchSolver descent({.seed = seed});
+    TabuSolver tabu({.seed = seed});
+    if (tabu.solve(inst).total_cost <=
+        descent.solve(inst).total_cost + 1e-9) {
+      ++wins_or_ties;
+    }
+  }
+  EXPECT_GE(wins_or_ties, 6);
+}
+
+TEST(Tabu, IterationBudgetBoundsWork) {
+  const gap::Instance inst = test::small_instance(5, 40, 5, 0.7);
+  TabuOptions options;
+  options.iterations = 10;
+  TabuSolver solver(options);
+  EXPECT_LE(solver.solve(inst).iterations, 10u);
+}
+
+TEST(Tabu, StallLimitTerminatesEarly) {
+  const gap::Instance inst = test::small_instance(6, 30, 4, 0.6);
+  TabuOptions options;
+  options.iterations = 100'000;
+  options.stall_limit = 25;
+  TabuSolver solver(options);
+  // Must terminate far before the nominal budget.
+  EXPECT_LT(solver.solve(inst).iterations, 10'000u);
+}
+
+TEST(Tabu, SolvesCapacitySqueezeOptimally) {
+  const auto squeeze = gap::crafted_capacity_squeeze();
+  TabuSolver solver({.seed = 1});
+  const SolveResult result = solver.solve(squeeze.instance);
+  EXPECT_TRUE(result.feasible);
+  EXPECT_DOUBLE_EQ(result.total_cost, squeeze.optimal_cost);
+}
+
+// ---- Genetic ----------------------------------------------------------------
+
+TEST(Genetic, FeasibleAtModerateLoad) {
+  for (std::uint64_t seed = 1; seed <= 4; ++seed) {
+    const gap::Instance inst = test::small_instance(seed, 40, 6, 0.7);
+    GeneticOptions options;
+    options.seed = seed;
+    options.generations = 60;
+    GeneticSolver solver(options);
+    EXPECT_TRUE(solver.solve(inst).feasible) << "seed " << seed;
+  }
+}
+
+TEST(Genetic, BeatsRandomClearly) {
+  const gap::Instance inst = test::small_instance(5, 50, 6, 0.6);
+  GeneticSolver genetic({.seed = 5, .generations = 60});
+  RandomSolver random(5);
+  EXPECT_LT(genetic.solve(inst).total_cost, random.solve(inst).total_cost);
+}
+
+TEST(Genetic, DeterministicPerSeed) {
+  const gap::Instance inst = test::small_instance(6, 30, 5, 0.7);
+  GeneticOptions options;
+  options.seed = 77;
+  options.generations = 40;
+  GeneticSolver a(options);
+  GeneticSolver b(options);
+  EXPECT_EQ(a.solve(inst).assignment, b.solve(inst).assignment);
+}
+
+TEST(Genetic, SolvesTrap) {
+  const auto trap = gap::crafted_greedy_trap();
+  GeneticSolver solver({.seed = 2, .generations = 80});
+  const SolveResult result = solver.solve(trap.instance);
+  EXPECT_TRUE(result.feasible);
+  EXPECT_DOUBLE_EQ(result.total_cost, trap.optimal_cost);
+}
+
+TEST(Genetic, EvaluationCountReported) {
+  const gap::Instance inst = test::small_instance(7, 20, 4, 0.6);
+  GeneticOptions options;
+  options.population = 10;
+  options.generations = 5;
+  options.elite = 2;
+  GeneticSolver solver(options);
+  const SolveResult result = solver.solve(inst);
+  // pop + gens × (pop − elite) scored children.
+  EXPECT_EQ(result.iterations, 10u + 5u * 8u);
+}
+
+TEST(Genetic, RepairFixesOverloadedWinner) {
+  // High mutation + zero penalty would drift infeasible; repair saves it.
+  const gap::Instance inst = test::small_instance(8, 40, 5, 0.6);
+  GeneticOptions options;
+  options.seed = 8;
+  options.generations = 10;
+  options.mutation_rate = 0.3;
+  GeneticSolver solver(options);
+  EXPECT_TRUE(solver.solve(inst).feasible);
+}
+
+TEST(Names, AreStable) {
+  EXPECT_EQ(GraspSolver().name(), "grasp");
+  EXPECT_EQ(TabuSolver().name(), "tabu");
+  EXPECT_EQ(GeneticSolver().name(), "genetic");
+}
+
+}  // namespace
+}  // namespace tacc::solvers

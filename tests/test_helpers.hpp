@@ -1,0 +1,86 @@
+// Shared fixtures/builders for the TACC test suite.
+#pragma once
+
+#include <vector>
+
+#include "gap/instance.hpp"
+#include "gap/testgen.hpp"
+#include "topology/generators.hpp"
+#include "util/rng.hpp"
+
+namespace tacc::test {
+
+/// Small random instance tuned so every capacity-aware solver can find a
+/// feasible solution (moderate load factor).
+inline gap::Instance small_instance(std::uint64_t seed,
+                                    std::size_t devices = 20,
+                                    std::size_t servers = 4,
+                                    double load_factor = 0.6) {
+  gap::RandomInstanceParams params;
+  params.device_count = devices;
+  params.server_count = servers;
+  params.load_factor = load_factor;
+  util::Rng rng(seed);
+  return gap::random_instance(params, rng);
+}
+
+/// Tiny instance where brute force over all m^n assignments is tractable.
+inline gap::Instance tiny_instance(std::uint64_t seed, std::size_t devices = 7,
+                                   std::size_t servers = 3,
+                                   double load_factor = 0.7) {
+  return small_instance(seed, devices, servers, load_factor);
+}
+
+/// Exhaustive optimum by enumerating all server^device assignments.
+/// Returns infinity if no feasible assignment exists.
+inline double brute_force_optimum(const gap::Instance& instance) {
+  const std::size_t n = instance.device_count();
+  const std::size_t m = instance.server_count();
+  double best = std::numeric_limits<double>::infinity();
+  std::vector<std::size_t> choice(n, 0);
+  while (true) {
+    std::vector<double> loads(m, 0.0);
+    double cost = 0.0;
+    bool feasible = true;
+    for (std::size_t i = 0; i < n && feasible; ++i) {
+      loads[choice[i]] += instance.demand(i, choice[i]);
+      cost += instance.cost(i, choice[i]);
+      if (loads[choice[i]] > instance.capacity(choice[i]) + 1e-9) {
+        feasible = false;
+      }
+    }
+    if (feasible) best = std::min(best, cost);
+    // Odometer increment.
+    std::size_t d = 0;
+    while (d < n && ++choice[d] == m) {
+      choice[d] = 0;
+      ++d;
+    }
+    if (d == n) break;
+  }
+  return best;
+}
+
+/// A connected 6-node test graph with known shortest paths.
+///
+///     0 --1ms-- 1 --1ms-- 2
+///     |         |         |
+///    4ms       1ms       1ms
+///     |         |         |
+///     3 --1ms-- 4 --6ms-- 5
+inline topo::Graph known_graph() {
+  topo::Graph g(6);
+  const auto link = [&](topo::NodeId u, topo::NodeId v, double ms) {
+    g.add_edge(u, v, {ms, 100.0});
+  };
+  link(0, 1, 1.0);
+  link(1, 2, 1.0);
+  link(0, 3, 4.0);
+  link(1, 4, 1.0);
+  link(2, 5, 1.0);
+  link(3, 4, 1.0);
+  link(4, 5, 6.0);
+  return g;
+}
+
+}  // namespace tacc::test

@@ -1,0 +1,116 @@
+#include "topology/failures.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/scenario.hpp"
+#include "topology/shortest_paths.hpp"
+
+namespace tacc::topo {
+namespace {
+
+NetworkTopology test_net(std::uint64_t seed = 5) {
+  return tacc::Scenario::smart_city(40, 5, seed).network();
+}
+
+TEST(RemoveEdge, RemovesBothDirections) {
+  Graph g(3);
+  g.add_edge(0, 1, {1.0, 1.0});
+  g.add_edge(1, 2, {1.0, 1.0});
+  EXPECT_TRUE(g.remove_edge(0, 1));
+  EXPECT_FALSE(g.has_edge(0, 1));
+  EXPECT_FALSE(g.has_edge(1, 0));
+  EXPECT_EQ(g.edge_count(), 1u);
+  EXPECT_FALSE(g.remove_edge(0, 1));  // already gone
+  EXPECT_FALSE(g.remove_edge(0, 9));  // bad node
+}
+
+TEST(RemoveEdge, ParallelEdgesRemovedOneAtATime) {
+  Graph g(2);
+  g.add_edge(0, 1, {1.0, 1.0});
+  g.add_edge(0, 1, {2.0, 1.0});
+  EXPECT_TRUE(g.remove_edge(0, 1));
+  EXPECT_TRUE(g.has_edge(0, 1));
+  EXPECT_EQ(g.edge_count(), 1u);
+}
+
+TEST(BackboneLinks, OnlyRouterRouterLinks) {
+  const NetworkTopology net = test_net();
+  const auto links = backbone_links(net);
+  EXPECT_FALSE(links.empty());
+  for (const auto& [u, v] : links) {
+    EXPECT_EQ(net.kinds[u], NodeKind::kRouter);
+    EXPECT_EQ(net.kinds[v], NodeKind::kRouter);
+    EXPECT_LT(u, v);  // each undirected link reported once
+    EXPECT_TRUE(net.graph.has_edge(u, v));
+  }
+}
+
+TEST(AllDevicesServed, HoldsOnFreshNetwork) {
+  EXPECT_TRUE(all_devices_served(test_net()));
+}
+
+TEST(AllDevicesServed, DetectsStrandedDevice) {
+  NetworkTopology net = test_net();
+  // Cut a device's only access link.
+  const NodeId device = net.iot_nodes[0];
+  const NodeId router = net.graph.neighbors(device)[0].to;
+  ASSERT_TRUE(net.graph.remove_edge(device, router));
+  EXPECT_FALSE(all_devices_served(net));
+}
+
+TEST(SampleFailableLinks, RespectsBudgetAndService) {
+  util::Rng rng(7);
+  const NetworkTopology net = test_net();
+  const auto all = backbone_links(net);
+  const auto failed = sample_failable_links(net, 0.2, rng);
+  EXPECT_LE(failed.size(),
+            static_cast<std::size_t>(0.2 * static_cast<double>(all.size())));
+  const NetworkTopology degraded = with_failed_links(net, failed);
+  EXPECT_TRUE(all_devices_served(degraded));
+}
+
+TEST(SampleFailableLinks, ZeroFractionIsEmpty) {
+  util::Rng rng(8);
+  EXPECT_TRUE(sample_failable_links(test_net(), 0.0, rng).empty());
+}
+
+TEST(SampleFailableLinks, DeterministicPerSeed) {
+  const NetworkTopology net = test_net();
+  util::Rng rng1(9), rng2(9);
+  EXPECT_EQ(sample_failable_links(net, 0.3, rng1),
+            sample_failable_links(net, 0.3, rng2));
+}
+
+TEST(WithFailedLinks, DelaysNeverImprove) {
+  util::Rng rng(10);
+  const NetworkTopology net = test_net();
+  const auto failed = sample_failable_links(net, 0.25, rng);
+  if (failed.empty()) GTEST_SKIP() << "nothing failable in this topology";
+  const NetworkTopology degraded = with_failed_links(net, failed);
+  const DelayMatrix before = compute_delay_matrix(net);
+  const DelayMatrix after = compute_delay_matrix(degraded);
+  for (std::size_t i = 0; i < net.iot_count(); ++i) {
+    for (std::size_t j = 0; j < net.edge_count(); ++j) {
+      EXPECT_GE(after.at(i, j), before.at(i, j) - 1e-12);
+    }
+  }
+}
+
+TEST(WithFailedLinks, NonexistentLinkThrows) {
+  const NetworkTopology net = test_net();
+  EXPECT_THROW((void)with_failed_links(net, {{net.iot_nodes[0],
+                                              net.iot_nodes[1]}}),
+               std::invalid_argument);
+}
+
+TEST(WithFailedLinks, OriginalUntouched) {
+  util::Rng rng(11);
+  const NetworkTopology net = test_net();
+  const std::size_t edges_before = net.graph.edge_count();
+  const auto failed = sample_failable_links(net, 0.2, rng);
+  (void)with_failed_links(net, failed);
+  EXPECT_EQ(net.graph.edge_count(), edges_before);
+}
+
+}  // namespace
+}  // namespace tacc::topo

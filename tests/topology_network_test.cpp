@@ -1,0 +1,145 @@
+#include "topology/network.hpp"
+
+#include <gtest/gtest.h>
+
+#include "topology/shortest_paths.hpp"
+#include "util/rng.hpp"
+
+namespace tacc::topo {
+namespace {
+
+const LinkDelayModel kDelay;
+
+GeoGraph two_router_line() {
+  // Two routers 4 km apart.
+  GeoGraph geo{Graph(2), {{0.0, 0.0}, {4.0, 0.0}}};
+  geo.graph.add_edge(0, 1, kDelay.backbone_link(4.0));
+  return geo;
+}
+
+TEST(DelayMatrix, ShapeAndAccess) {
+  DelayMatrix m(3, 2, 1.5);
+  EXPECT_EQ(m.iot_count(), 3u);
+  EXPECT_EQ(m.edge_count(), 2u);
+  EXPECT_DOUBLE_EQ(m.at(2, 1), 1.5);
+  m.set(2, 1, 9.0);
+  EXPECT_DOUBLE_EQ(m.at(2, 1), 9.0);
+  EXPECT_THROW((void)m.at(3, 0), std::out_of_range);
+  EXPECT_THROW(m.set(0, 2, 1.0), std::out_of_range);
+  const auto row = m.row(2);
+  EXPECT_DOUBLE_EQ(row[1], 9.0);
+  EXPECT_THROW((void)m.row(5), std::out_of_range);
+}
+
+TEST(BuildNetwork, NodeBookkeeping) {
+  const GeoGraph infra = two_router_line();
+  const std::vector<Point2D> iot{{0.5, 0.0}, {3.5, 0.0}};
+  const std::vector<Point2D> edges{{0.0, 0.5}};
+  const auto net = build_network(infra, iot, edges, kDelay);
+  EXPECT_EQ(net.iot_count(), 2u);
+  EXPECT_EQ(net.edge_count(), 1u);
+  EXPECT_EQ(net.graph.node_count(), 5u);  // 2 routers + 1 server + 2 iot
+  EXPECT_EQ(net.kinds[net.iot_nodes[0]], NodeKind::kIotDevice);
+  EXPECT_EQ(net.kinds[net.edge_nodes[0]], NodeKind::kEdgeServer);
+  EXPECT_EQ(net.kinds[0], NodeKind::kRouter);
+  EXPECT_EQ(net.iot_position(1).x, 3.5);
+  EXPECT_EQ(net.edge_position(0).y, 0.5);
+}
+
+TEST(BuildNetwork, DevicesAttachToNearestRouter) {
+  const GeoGraph infra = two_router_line();
+  const std::vector<Point2D> iot{{3.9, 0.0}};
+  const std::vector<Point2D> edges{{0.1, 0.0}};
+  const auto net = build_network(infra, iot, edges, kDelay);
+  EXPECT_TRUE(net.graph.has_edge(net.iot_nodes[0], 1));   // right router
+  EXPECT_TRUE(net.graph.has_edge(net.edge_nodes[0], 0));  // left router
+  EXPECT_FALSE(net.graph.has_edge(net.iot_nodes[0], 0));
+}
+
+TEST(BuildNetwork, MultiHomingAddsLinks) {
+  const GeoGraph infra = two_router_line();
+  const std::vector<Point2D> iot{{2.0, 0.0}};
+  const std::vector<Point2D> edges{{2.0, 1.0}};
+  AttachParams attach;
+  attach.attach_count = 2;
+  const auto net = build_network(infra, iot, edges, kDelay, attach);
+  EXPECT_EQ(net.graph.degree(net.iot_nodes[0]), 2u);
+  EXPECT_EQ(net.graph.degree(net.edge_nodes[0]), 2u);
+}
+
+TEST(BuildNetwork, InvalidInputsThrow) {
+  const GeoGraph infra = two_router_line();
+  const std::vector<Point2D> one{{0.0, 0.0}};
+  EXPECT_THROW(build_network(GeoGraph{}, one, one, kDelay),
+               std::invalid_argument);
+  EXPECT_THROW(build_network(infra, {}, one, kDelay), std::invalid_argument);
+  EXPECT_THROW(build_network(infra, one, {}, kDelay), std::invalid_argument);
+}
+
+TEST(ComputeDelayMatrix, MatchesManualDijkstra) {
+  const GeoGraph infra = two_router_line();
+  const std::vector<Point2D> iot{{0.5, 0.0}, {3.5, 0.0}};
+  const std::vector<Point2D> edges{{0.0, 0.5}, {4.0, 0.5}};
+  const auto net = build_network(infra, iot, edges, kDelay);
+  const auto matrix = compute_delay_matrix(net);
+  for (std::size_t j = 0; j < net.edge_count(); ++j) {
+    const auto tree = dijkstra(net.graph, net.edge_nodes[j]);
+    for (std::size_t i = 0; i < net.iot_count(); ++i) {
+      EXPECT_DOUBLE_EQ(matrix.at(i, j), tree.distance_ms[net.iot_nodes[i]]);
+    }
+  }
+}
+
+TEST(ComputeDelayMatrix, NearerServerIsCheaper) {
+  const GeoGraph infra = two_router_line();
+  const std::vector<Point2D> iot{{0.2, 0.0}};
+  const std::vector<Point2D> edges{{0.0, 0.1}, {4.0, 0.1}};
+  const auto net = build_network(infra, iot, edges, kDelay);
+  const auto matrix = compute_delay_matrix(net);
+  EXPECT_LT(matrix.at(0, 0), matrix.at(0, 1));
+}
+
+TEST(ComputeDelayMatrix, AtLeastAccessLatency) {
+  const GeoGraph infra = two_router_line();
+  const std::vector<Point2D> iot{{1.0, 1.0}};
+  const std::vector<Point2D> edges{{3.0, 1.0}};
+  const auto net = build_network(infra, iot, edges, kDelay);
+  const auto matrix = compute_delay_matrix(net);
+  // Any IoT→server path crosses one wireless access link.
+  EXPECT_GE(matrix.at(0, 0),
+            kDelay.per_hop_forwarding_ms + kDelay.wireless_access_extra_ms);
+}
+
+TEST(ComputeHopMatrix, CountsHops) {
+  const GeoGraph infra = two_router_line();
+  const std::vector<Point2D> iot{{0.1, 0.0}};
+  const std::vector<Point2D> edges{{3.9, 0.0}};
+  const auto net = build_network(infra, iot, edges, kDelay);
+  const auto hops = compute_hop_matrix(net);
+  // iot → router0 → router1 → server = 3 hops.
+  EXPECT_DOUBLE_EQ(hops.at(0, 0), 3.0);
+}
+
+TEST(ComputeEuclideanMatrix, StraightLineDistances) {
+  const GeoGraph infra = two_router_line();
+  const std::vector<Point2D> iot{{0.0, 0.0}};
+  const std::vector<Point2D> edges{{3.0, 4.0}};
+  const auto net = build_network(infra, iot, edges, kDelay);
+  const auto euclid = compute_euclidean_matrix(net);
+  EXPECT_DOUBLE_EQ(euclid.at(0, 0), 5.0);
+}
+
+TEST(DelayModel, AccessSlowerThanBackbone) {
+  EXPECT_GT(kDelay.access_link(1.0).latency_ms,
+            kDelay.backbone_link(1.0).latency_ms);
+  EXPECT_LT(kDelay.access_link(1.0).bandwidth_mbps,
+            kDelay.backbone_link(1.0).bandwidth_mbps);
+}
+
+TEST(DelayModel, LatencyGrowsWithDistance) {
+  EXPECT_GT(kDelay.backbone_link(10.0).latency_ms,
+            kDelay.backbone_link(1.0).latency_ms);
+}
+
+}  // namespace
+}  // namespace tacc::topo

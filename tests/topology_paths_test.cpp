@@ -1,0 +1,147 @@
+#include "topology/shortest_paths.hpp"
+
+#include <gtest/gtest.h>
+
+#include "tests/test_helpers.hpp"
+#include "topology/generators.hpp"
+#include "util/rng.hpp"
+
+namespace tacc::topo {
+namespace {
+
+TEST(Dijkstra, KnownGraphDistances) {
+  const Graph g = test::known_graph();
+  const auto tree = dijkstra(g, 0);
+  EXPECT_DOUBLE_EQ(tree.distance_ms[0], 0.0);
+  EXPECT_DOUBLE_EQ(tree.distance_ms[1], 1.0);
+  EXPECT_DOUBLE_EQ(tree.distance_ms[2], 2.0);
+  EXPECT_DOUBLE_EQ(tree.distance_ms[4], 2.0);  // 0-1-4
+  EXPECT_DOUBLE_EQ(tree.distance_ms[3], 3.0);  // 0-1-4-3 beats direct 4.0
+  EXPECT_DOUBLE_EQ(tree.distance_ms[5], 3.0);  // 0-1-2-5
+}
+
+TEST(Dijkstra, PathReconstruction) {
+  const Graph g = test::known_graph();
+  const auto tree = dijkstra(g, 0);
+  const auto path = tree.path_to(3);
+  const std::vector<NodeId> expected{0, 1, 4, 3};
+  EXPECT_EQ(path, expected);
+}
+
+TEST(Dijkstra, PathToSourceIsItself) {
+  const Graph g = test::known_graph();
+  const auto tree = dijkstra(g, 2);
+  const std::vector<NodeId> expected{2};
+  EXPECT_EQ(tree.path_to(2), expected);
+}
+
+TEST(Dijkstra, DisconnectedIsUnreachable) {
+  Graph g(3);
+  g.add_edge(0, 1, {1.0, 1.0});
+  const auto tree = dijkstra(g, 0);
+  EXPECT_EQ(tree.distance_ms[2], kUnreachable);
+  EXPECT_TRUE(tree.path_to(2).empty());
+}
+
+TEST(Dijkstra, BadSourceYieldsAllUnreachable) {
+  Graph g(2);
+  const auto tree = dijkstra(g, 9);
+  EXPECT_EQ(tree.distance_ms[0], kUnreachable);
+}
+
+TEST(BfsHops, KnownGraph) {
+  const Graph g = test::known_graph();
+  const auto hops = bfs_hops(g, 0);
+  EXPECT_EQ(hops[0], 0u);
+  EXPECT_EQ(hops[1], 1u);
+  EXPECT_EQ(hops[3], 1u);  // direct edge, hops ignore latency
+  EXPECT_EQ(hops[5], 3u);  // 0-1-2-5 (and 0-·-4-5) are all 3 hops
+}
+
+TEST(BfsHops, Disconnected) {
+  Graph g(2);
+  const auto hops = bfs_hops(g, 0);
+  EXPECT_EQ(hops[1], kUnreachableHops);
+}
+
+TEST(Connectivity, DetectsConnectedAndNot) {
+  Graph connected(2);
+  connected.add_edge(0, 1, {1.0, 1.0});
+  EXPECT_TRUE(is_connected(connected));
+  Graph disconnected(2);
+  EXPECT_FALSE(is_connected(disconnected));
+  EXPECT_TRUE(is_connected(Graph{}));
+}
+
+TEST(Components, LabelsAreDense) {
+  Graph g(5);
+  g.add_edge(0, 1, {1.0, 1.0});
+  g.add_edge(2, 3, {1.0, 1.0});
+  const auto labels = connected_components(g);
+  EXPECT_EQ(labels[0], labels[1]);
+  EXPECT_EQ(labels[2], labels[3]);
+  EXPECT_NE(labels[0], labels[2]);
+  EXPECT_NE(labels[4], labels[0]);
+  EXPECT_NE(labels[4], labels[2]);
+}
+
+// Property: Dijkstra agrees with Floyd–Warshall on random graphs.
+class PathEquivalence : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(PathEquivalence, DijkstraMatchesFloydWarshall) {
+  util::Rng rng(GetParam());
+  GeneratorParams params;
+  params.node_count = 24;
+  params.er_edge_probability = 0.12;
+  const LinkDelayModel delay;
+  const GeoGraph geo = generate_erdos_renyi(params, delay, rng);
+  const auto fw = floyd_warshall(geo.graph);
+  for (NodeId s = 0; s < geo.graph.node_count(); s += 3) {
+    const auto tree = dijkstra(geo.graph, s);
+    for (NodeId t = 0; t < geo.graph.node_count(); ++t) {
+      if (fw[s][t] == kUnreachable) {
+        EXPECT_EQ(tree.distance_ms[t], kUnreachable);
+      } else {
+        EXPECT_NEAR(tree.distance_ms[t], fw[s][t], 1e-9);
+      }
+    }
+  }
+}
+
+TEST_P(PathEquivalence, PathCostMatchesDistance) {
+  util::Rng rng(GetParam() + 1000);
+  GeneratorParams params;
+  params.node_count = 20;
+  const LinkDelayModel delay;
+  GeoGraph geo = generate_waxman(params, delay, rng);
+  ensure_connected(geo, delay);
+  const auto tree = dijkstra(geo.graph, 0);
+  for (NodeId t = 0; t < geo.graph.node_count(); ++t) {
+    const auto path = tree.path_to(t);
+    ASSERT_FALSE(path.empty());
+    double cost = 0.0;
+    for (std::size_t h = 0; h + 1 < path.size(); ++h) {
+      double best = kUnreachable;
+      for (const auto& adj : geo.graph.neighbors(path[h])) {
+        if (adj.to == path[h + 1]) best = std::min(best, adj.props.latency_ms);
+      }
+      cost += best;
+    }
+    EXPECT_NEAR(cost, tree.distance_ms[t], 1e-9);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PathEquivalence,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+TEST(AllPairs, MatchesPerSourceDijkstra) {
+  const Graph g = test::known_graph();
+  const auto all = all_pairs_distances(g);
+  for (NodeId s = 0; s < g.node_count(); ++s) {
+    const auto tree = dijkstra(g, s);
+    EXPECT_EQ(all[s], tree.distance_ms);
+  }
+}
+
+}  // namespace
+}  // namespace tacc::topo

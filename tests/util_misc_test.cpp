@@ -1,0 +1,180 @@
+// CSV, table, flags, logging, timer.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+#include <stdexcept>
+
+#include "util/csv.hpp"
+#include "util/flags.hpp"
+#include "util/log.hpp"
+#include "util/table.hpp"
+#include "util/timer.hpp"
+
+namespace tacc::util {
+namespace {
+
+// ---- CSV -------------------------------------------------------------------
+
+TEST(CsvEscape, PlainFieldUnchanged) {
+  EXPECT_EQ(csv_escape("hello"), "hello");
+}
+
+TEST(CsvEscape, CommaQuoted) { EXPECT_EQ(csv_escape("a,b"), "\"a,b\""); }
+
+TEST(CsvEscape, QuoteDoubled) {
+  EXPECT_EQ(csv_escape("say \"hi\""), "\"say \"\"hi\"\"\"");
+}
+
+TEST(CsvEscape, NewlineQuoted) { EXPECT_EQ(csv_escape("a\nb"), "\"a\nb\""); }
+
+TEST(CsvWriter, HeaderAndTypedRows) {
+  std::ostringstream out;
+  CsvWriter writer(out);
+  writer.header({"name", "value"});
+  writer.row("x", 1);
+  writer.row("y", 2.5);
+  EXPECT_EQ(out.str(), "name,value\nx,1\ny,2.5\n");
+  EXPECT_EQ(writer.rows_written(), 3u);
+}
+
+TEST(CsvParse, SimpleFields) {
+  const auto fields = csv_parse_line("a,b,c");
+  ASSERT_EQ(fields.size(), 3u);
+  EXPECT_EQ(fields[0], "a");
+  EXPECT_EQ(fields[2], "c");
+}
+
+TEST(CsvParse, QuotedFieldWithComma) {
+  const auto fields = csv_parse_line("\"a,b\",c");
+  ASSERT_EQ(fields.size(), 2u);
+  EXPECT_EQ(fields[0], "a,b");
+}
+
+TEST(CsvParse, EscapedQuote) {
+  const auto fields = csv_parse_line("\"say \"\"hi\"\"\"");
+  ASSERT_EQ(fields.size(), 1u);
+  EXPECT_EQ(fields[0], "say \"hi\"");
+}
+
+TEST(CsvParse, EmptyFields) {
+  const auto fields = csv_parse_line("a,,b,");
+  ASSERT_EQ(fields.size(), 4u);
+  EXPECT_EQ(fields[1], "");
+  EXPECT_EQ(fields[3], "");
+}
+
+TEST(CsvParse, RoundTripThroughEscape) {
+  const std::string nasty = "x\"y,z\nw";
+  const auto fields = csv_parse_line(csv_escape(nasty));
+  ASSERT_EQ(fields.size(), 1u);
+  EXPECT_EQ(fields[0], nasty);
+}
+
+// ---- Table -----------------------------------------------------------------
+
+TEST(ConsoleTable, AlignsColumns) {
+  ConsoleTable table({"a", "long-header"});
+  table.add_row({"wide-cell", "x"});
+  const std::string rendered = table.to_string();
+  EXPECT_NE(rendered.find("| wide-cell | x           |"), std::string::npos);
+}
+
+TEST(ConsoleTable, TitleIncluded) {
+  ConsoleTable table({"c"});
+  table.add_row({"1"});
+  EXPECT_EQ(table.to_string("My Title").find("My Title"), 0u);
+  EXPECT_EQ(table.row_count(), 1u);
+}
+
+TEST(ConsoleTable, ShortRowsPadded) {
+  ConsoleTable table({"a", "b"});
+  table.add_row({"only-one"});
+  EXPECT_NE(table.to_string().find("only-one"), std::string::npos);
+}
+
+TEST(FormatDouble, FixedPrecision) {
+  EXPECT_EQ(format_double(1.23456, 2), "1.23");
+  EXPECT_EQ(format_double(1.0, 3), "1.000");
+}
+
+TEST(FormatDouble, NanRendersDash) {
+  EXPECT_EQ(format_double(std::nan(""), 2), "-");
+}
+
+// ---- Flags -----------------------------------------------------------------
+
+TEST(Flags, ParsesKeyValueAndBare) {
+  const char* argv[] = {"prog", "--n=5", "--verbose", "pos1"};
+  const Flags flags = Flags::parse(4, argv);
+  EXPECT_EQ(flags.get_int("n", 0), 5);
+  EXPECT_TRUE(flags.get_bool("verbose", false));
+  ASSERT_EQ(flags.positional().size(), 1u);
+  EXPECT_EQ(flags.positional()[0], "pos1");
+}
+
+TEST(Flags, DefaultsWhenAbsent) {
+  const char* argv[] = {"prog"};
+  const Flags flags = Flags::parse(1, argv);
+  EXPECT_EQ(flags.get_int("n", 7), 7);
+  EXPECT_EQ(flags.get_double("x", 1.5), 1.5);
+  EXPECT_EQ(flags.get_string("s", "d"), "d");
+  EXPECT_FALSE(flags.get_bool("b", false));
+}
+
+TEST(Flags, TypedParsing) {
+  const char* argv[] = {"prog", "--x=2.75", "--b=false", "--s=hello"};
+  const Flags flags = Flags::parse(4, argv);
+  EXPECT_DOUBLE_EQ(flags.get_double("x", 0.0), 2.75);
+  EXPECT_FALSE(flags.get_bool("b", true));
+  EXPECT_EQ(flags.get_string("s", ""), "hello");
+}
+
+TEST(Flags, BadIntegerThrows) {
+  const char* argv[] = {"prog", "--n=abc"};
+  const Flags flags = Flags::parse(2, argv);
+  EXPECT_THROW((void)flags.get_int("n", 0), std::invalid_argument);
+}
+
+TEST(Flags, BadBooleanThrows) {
+  const char* argv[] = {"prog", "--b=maybe"};
+  const Flags flags = Flags::parse(2, argv);
+  EXPECT_THROW((void)flags.get_bool("b", false), std::invalid_argument);
+}
+
+TEST(Flags, BareDoubleDashThrows) {
+  const char* argv[] = {"prog", "--"};
+  EXPECT_THROW(Flags::parse(2, argv), std::invalid_argument);
+}
+
+TEST(Flags, UnusedDetection) {
+  const char* argv[] = {"prog", "--used=1", "--typo=2"};
+  const Flags flags = Flags::parse(3, argv);
+  (void)flags.get_int("used", 0);
+  const auto unused = flags.unused();
+  ASSERT_EQ(unused.size(), 1u);
+  EXPECT_EQ(unused[0], "typo");
+}
+
+// ---- Log / Timer -----------------------------------------------------------
+
+TEST(Log, LevelGateHoldsAndRestores) {
+  const LogLevel before = log_level();
+  set_log_level(LogLevel::kError);
+  EXPECT_EQ(log_level(), LogLevel::kError);
+  log_info("suppressed at error level");  // must not crash
+  set_log_level(before);
+}
+
+TEST(Timer, ElapsedIsMonotonicNonNegative) {
+  WallTimer timer;
+  const double a = timer.elapsed_seconds();
+  const double b = timer.elapsed_seconds();
+  EXPECT_GE(a, 0.0);
+  EXPECT_GE(b, a);
+  timer.reset();
+  EXPECT_GE(timer.elapsed_ms(), 0.0);
+}
+
+}  // namespace
+}  // namespace tacc::util

@@ -1,0 +1,258 @@
+#include "util/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <set>
+#include <vector>
+
+namespace tacc::util {
+namespace {
+
+TEST(Splitmix64, DeterministicSequence) {
+  std::uint64_t s1 = 42;
+  std::uint64_t s2 = 42;
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(splitmix64(s1), splitmix64(s2));
+  }
+}
+
+TEST(Xoshiro256, SameSeedSameStream) {
+  Xoshiro256 a(7);
+  Xoshiro256 b(7);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Xoshiro256, DifferentSeedsDiverge) {
+  Xoshiro256 a(7);
+  Xoshiro256 b(8);
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.next() == b.next()) ++equal;
+  }
+  EXPECT_LT(equal, 2);
+}
+
+TEST(Xoshiro256, LongJumpChangesStream) {
+  Xoshiro256 a(7);
+  Xoshiro256 b(7);
+  b.long_jump();
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.next() == b.next()) ++equal;
+  }
+  EXPECT_LT(equal, 2);
+}
+
+TEST(Rng, ForkIsDeterministicAndIndependent) {
+  Rng parent(123);
+  Rng childA = parent.fork(1);
+  Rng childA2 = Rng(123).fork(1);
+  Rng childB = parent.fork(2);
+  EXPECT_EQ(childA.next_below(1'000'000), childA2.next_below(1'000'000));
+  // Different streams should not track each other.
+  int equal = 0;
+  Rng a = parent.fork(1);
+  Rng b = parent.fork(2);
+  for (int i = 0; i < 64; ++i) {
+    if (a.next_below(1u << 30) == b.next_below(1u << 30)) ++equal;
+  }
+  EXPECT_LT(equal, 3);
+}
+
+TEST(Rng, NextBelowRespectsBound) {
+  Rng rng(5);
+  for (std::uint64_t bound : {1ull, 2ull, 3ull, 10ull, 1000ull}) {
+    for (int i = 0; i < 200; ++i) {
+      EXPECT_LT(rng.next_below(bound), bound);
+    }
+  }
+}
+
+TEST(Rng, NextBelowOneIsAlwaysZero) {
+  Rng rng(5);
+  for (int i = 0; i < 50; ++i) EXPECT_EQ(rng.next_below(1), 0u);
+}
+
+TEST(Rng, UniformIntCoversClosedRange) {
+  Rng rng(9);
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 2000; ++i) {
+    const auto v = rng.uniform_int(-2, 2);
+    EXPECT_GE(v, -2);
+    EXPECT_LE(v, 2);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 5u);
+}
+
+TEST(Rng, UniformIntDegenerateRange) {
+  Rng rng(9);
+  EXPECT_EQ(rng.uniform_int(3, 3), 3);
+  EXPECT_EQ(rng.uniform_int(5, 2), 5);  // lo >= hi returns lo
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng(11);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformMeanNearHalf) {
+  Rng rng(13);
+  double sum = 0.0;
+  const int kSamples = 20000;
+  for (int i = 0; i < kSamples; ++i) sum += rng.uniform();
+  EXPECT_NEAR(sum / kSamples, 0.5, 0.02);
+}
+
+TEST(Rng, BernoulliFrequency) {
+  Rng rng(17);
+  int hits = 0;
+  const int kSamples = 20000;
+  for (int i = 0; i < kSamples; ++i) hits += rng.bernoulli(0.3) ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(hits) / kSamples, 0.3, 0.02);
+}
+
+TEST(Rng, BernoulliExtremes) {
+  Rng rng(17);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.bernoulli(0.0));
+    EXPECT_TRUE(rng.bernoulli(1.0));
+  }
+}
+
+TEST(Rng, NormalMoments) {
+  Rng rng(19);
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  const int kSamples = 50000;
+  for (int i = 0; i < kSamples; ++i) {
+    const double z = rng.normal();
+    sum += z;
+    sum_sq += z * z;
+  }
+  EXPECT_NEAR(sum / kSamples, 0.0, 0.03);
+  EXPECT_NEAR(sum_sq / kSamples, 1.0, 0.05);
+}
+
+TEST(Rng, NormalShifted) {
+  Rng rng(19);
+  double sum = 0.0;
+  const int kSamples = 20000;
+  for (int i = 0; i < kSamples; ++i) sum += rng.normal(10.0, 2.0);
+  EXPECT_NEAR(sum / kSamples, 10.0, 0.1);
+}
+
+TEST(Rng, ExponentialMean) {
+  Rng rng(23);
+  double sum = 0.0;
+  const int kSamples = 50000;
+  for (int i = 0; i < kSamples; ++i) sum += rng.exponential(4.0);
+  EXPECT_NEAR(sum / kSamples, 0.25, 0.01);
+}
+
+TEST(Rng, ExponentialPositive) {
+  Rng rng(23);
+  for (int i = 0; i < 1000; ++i) EXPECT_GE(rng.exponential(0.5), 0.0);
+}
+
+TEST(Rng, PoissonSmallMean) {
+  Rng rng(29);
+  double sum = 0.0;
+  const int kSamples = 30000;
+  for (int i = 0; i < kSamples; ++i) {
+    sum += static_cast<double>(rng.poisson(3.5));
+  }
+  EXPECT_NEAR(sum / kSamples, 3.5, 0.1);
+}
+
+TEST(Rng, PoissonLargeMeanUsesNormalApprox) {
+  Rng rng(31);
+  double sum = 0.0;
+  const int kSamples = 20000;
+  for (int i = 0; i < kSamples; ++i) {
+    sum += static_cast<double>(rng.poisson(200.0));
+  }
+  EXPECT_NEAR(sum / kSamples, 200.0, 2.0);
+}
+
+TEST(Rng, PoissonZeroMean) {
+  Rng rng(31);
+  EXPECT_EQ(rng.poisson(0.0), 0u);
+  EXPECT_EQ(rng.poisson(-1.0), 0u);
+}
+
+TEST(Rng, ZipfRanksInRange) {
+  Rng rng(37);
+  for (int i = 0; i < 2000; ++i) {
+    const std::size_t rank = rng.zipf(50, 1.0);
+    EXPECT_GE(rank, 1u);
+    EXPECT_LE(rank, 50u);
+  }
+}
+
+TEST(Rng, ZipfSkewFavorsLowRanks) {
+  Rng rng(41);
+  int rank1 = 0;
+  const int kSamples = 20000;
+  for (int i = 0; i < kSamples; ++i) {
+    if (rng.zipf(100, 1.2) == 1) ++rank1;
+  }
+  // With s=1.2, rank 1 holds a large share (≈ 1/H ≈ 18%).
+  EXPECT_GT(rank1, kSamples / 10);
+}
+
+TEST(Rng, ZipfExponentZeroIsUniformish) {
+  Rng rng(43);
+  double sum = 0.0;
+  const int kSamples = 20000;
+  for (int i = 0; i < kSamples; ++i) {
+    sum += static_cast<double>(rng.zipf(9, 0.0));
+  }
+  EXPECT_NEAR(sum / kSamples, 5.0, 0.15);  // mean of 1..9
+}
+
+TEST(Rng, ZipfCacheRebuildsOnParamChange) {
+  Rng rng(47);
+  (void)rng.zipf(10, 1.0);
+  const std::size_t r = rng.zipf(3, 2.0);
+  EXPECT_GE(r, 1u);
+  EXPECT_LE(r, 3u);
+}
+
+TEST(Rng, ShuffleIsPermutation) {
+  Rng rng(53);
+  std::vector<int> values(100);
+  std::iota(values.begin(), values.end(), 0);
+  rng.shuffle(values);
+  std::vector<int> sorted = values;
+  std::sort(sorted.begin(), sorted.end());
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(sorted[static_cast<size_t>(i)], i);
+}
+
+TEST(Rng, ShuffleActuallyShuffles) {
+  Rng rng(59);
+  std::vector<int> values(100);
+  std::iota(values.begin(), values.end(), 0);
+  const std::vector<int> original = values;
+  rng.shuffle(values);
+  EXPECT_NE(values, original);
+}
+
+TEST(Rng, PickReturnsElement) {
+  Rng rng(61);
+  const std::vector<int> values{5, 6, 7};
+  for (int i = 0; i < 50; ++i) {
+    const int v = rng.pick(std::span<const int>(values));
+    EXPECT_TRUE(v == 5 || v == 6 || v == 7);
+  }
+}
+
+}  // namespace
+}  // namespace tacc::util

@@ -1,0 +1,110 @@
+#include "workload/mobility.hpp"
+
+#include <gtest/gtest.h>
+
+#include "workload/generator.hpp"
+
+namespace tacc::workload {
+namespace {
+
+std::vector<IotDevice> make_devices(std::size_t count, std::uint64_t seed) {
+  WorkloadParams params;
+  params.iot_count = count;
+  params.edge_count = 2;
+  util::Rng rng(seed);
+  return generate_workload(params, rng).iot;
+}
+
+MobilityParams all_mobile() {
+  MobilityParams params;
+  params.mobile_fraction = 1.0;
+  params.pause_s_mean = 0.001;  // effectively no pauses
+  return params;
+}
+
+TEST(RandomWaypoint, PositionsStayInArea) {
+  const auto devices = make_devices(50, 1);
+  RandomWaypointModel model(devices, all_mobile(), util::Rng(1));
+  for (int step = 0; step < 50; ++step) {
+    (void)model.advance(10.0);
+    for (std::size_t i = 0; i < model.device_count(); ++i) {
+      const auto p = model.position(i);
+      EXPECT_GE(p.x, 0.0);
+      EXPECT_LE(p.x, 10.0);
+      EXPECT_GE(p.y, 0.0);
+      EXPECT_LE(p.y, 10.0);
+    }
+  }
+}
+
+TEST(RandomWaypoint, MobileDevicesActuallyMove) {
+  const auto devices = make_devices(30, 2);
+  RandomWaypointModel model(devices, all_mobile(), util::Rng(2));
+  const auto moved = model.advance(30.0);
+  EXPECT_EQ(moved.size(), 30u);
+  for (std::size_t i = 0; i < 30; ++i) {
+    EXPECT_NE(model.position(i).x, devices[i].position.x);
+  }
+}
+
+TEST(RandomWaypoint, StaticFractionStaysPut) {
+  const auto devices = make_devices(40, 3);
+  MobilityParams params;
+  params.mobile_fraction = 0.0;
+  RandomWaypointModel model(devices, params, util::Rng(3));
+  EXPECT_TRUE(model.advance(100.0).empty());
+  for (std::size_t i = 0; i < 40; ++i) {
+    EXPECT_EQ(model.position(i).x, devices[i].position.x);
+    EXPECT_FALSE(model.is_mobile(i));
+  }
+}
+
+TEST(RandomWaypoint, SpeedBoundsDisplacement) {
+  const auto devices = make_devices(20, 4);
+  MobilityParams params = all_mobile();
+  params.speed_max_km_s = 0.01;
+  RandomWaypointModel model(devices, params, util::Rng(4));
+  const double dt = 5.0;
+  (void)model.advance(dt);
+  for (std::size_t i = 0; i < 20; ++i) {
+    const double d =
+        topo::euclidean_distance(model.position(i), devices[i].position);
+    EXPECT_LE(d, params.speed_max_km_s * dt + 1e-9);
+  }
+}
+
+TEST(RandomWaypoint, ZeroDtIsNoop) {
+  const auto devices = make_devices(10, 5);
+  RandomWaypointModel model(devices, all_mobile(), util::Rng(5));
+  EXPECT_TRUE(model.advance(0.0).empty());
+}
+
+TEST(RandomWaypoint, DeterministicPerSeed) {
+  const auto devices = make_devices(25, 6);
+  RandomWaypointModel a(devices, all_mobile(), util::Rng(7));
+  RandomWaypointModel b(devices, all_mobile(), util::Rng(7));
+  (void)a.advance(20.0);
+  (void)b.advance(20.0);
+  for (std::size_t i = 0; i < 25; ++i) {
+    EXPECT_EQ(a.position(i).x, b.position(i).x);
+    EXPECT_EQ(a.position(i).y, b.position(i).y);
+  }
+}
+
+TEST(RandomWaypoint, PausesDelayDeparture) {
+  const auto devices = make_devices(15, 8);
+  MobilityParams pausing = all_mobile();
+  pausing.pause_s_mean = 1e6;  // effectively parked after first waypoint
+  MobilityParams moving = all_mobile();
+  RandomWaypointModel parked(devices, pausing, util::Rng(9));
+  RandomWaypointModel walker(devices, moving, util::Rng(9));
+  // Run long enough that everyone reaches the first waypoint and pauses.
+  (void)parked.advance(3000.0);
+  (void)walker.advance(3000.0);
+  const auto parked_now = parked.advance(50.0);
+  const auto walking_now = walker.advance(50.0);
+  EXPECT_LT(parked_now.size(), walking_now.size());
+}
+
+}  // namespace
+}  // namespace tacc::workload

@@ -1,0 +1,256 @@
+#include "workload/generator.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "util/rng.hpp"
+
+namespace tacc::workload {
+namespace {
+
+WorkloadParams base_params() {
+  WorkloadParams params;
+  params.iot_count = 200;
+  params.edge_count = 10;
+  params.area_km = 10.0;
+  return params;
+}
+
+TEST(Workload, CountsMatchParams) {
+  util::Rng rng(1);
+  const Workload w = generate_workload(base_params(), rng);
+  EXPECT_EQ(w.iot.size(), 200u);
+  EXPECT_EQ(w.edges.size(), 10u);
+}
+
+TEST(Workload, LoadFactorHitsTargetExactly) {
+  for (double target : {0.4, 0.7, 0.95}) {
+    WorkloadParams params = base_params();
+    params.load_factor = target;
+    util::Rng rng(2);
+    const Workload w = generate_workload(params, rng);
+    EXPECT_NEAR(w.load_factor(), target, 1e-9);
+  }
+}
+
+TEST(Workload, PositionsInsideArea) {
+  util::Rng rng(3);
+  const Workload w = generate_workload(base_params(), rng);
+  for (const auto& d : w.iot) {
+    EXPECT_GE(d.position.x, 0.0);
+    EXPECT_LE(d.position.x, 10.0);
+    EXPECT_GE(d.position.y, 0.0);
+    EXPECT_LE(d.position.y, 10.0);
+  }
+  for (const auto& s : w.edges) {
+    EXPECT_GE(s.position.x, 0.0);
+    EXPECT_LE(s.position.x, 10.0);
+  }
+}
+
+TEST(Workload, AllQuantitiesPositive) {
+  util::Rng rng(4);
+  const Workload w = generate_workload(base_params(), rng);
+  for (const auto& d : w.iot) {
+    EXPECT_GT(d.request_rate_hz, 0.0);
+    EXPECT_GT(d.message_size_kb, 0.0);
+    EXPECT_GT(d.demand, 0.0);
+    EXPECT_GT(d.deadline_ms, 0.0);
+  }
+  for (const auto& s : w.edges) EXPECT_GT(s.capacity, 0.0);
+}
+
+TEST(Workload, DeadlinesWithinConfiguredRange) {
+  WorkloadParams params = base_params();
+  params.deadline_min_ms = 7.0;
+  params.deadline_max_ms = 9.0;
+  util::Rng rng(5);
+  const Workload w = generate_workload(params, rng);
+  for (const auto& d : w.iot) {
+    EXPECT_GE(d.deadline_ms, 7.0);
+    EXPECT_LE(d.deadline_ms, 9.0);
+  }
+}
+
+TEST(Workload, RateMeanApproximatelyPreserved) {
+  WorkloadParams params = base_params();
+  params.iot_count = 5000;
+  params.rate_mean_hz = 12.0;
+  params.rate_sigma = 0.5;
+  util::Rng rng(6);
+  const Workload w = generate_workload(params, rng);
+  double sum = 0.0;
+  for (const auto& d : w.iot) sum += d.request_rate_hz;
+  EXPECT_NEAR(sum / 5000.0, 12.0, 0.5);
+}
+
+TEST(Workload, ZeroSigmaIsHomogeneous) {
+  WorkloadParams params = base_params();
+  params.rate_sigma = 0.0;
+  util::Rng rng(7);
+  const Workload w = generate_workload(params, rng);
+  for (const auto& d : w.iot) {
+    EXPECT_NEAR(d.request_rate_hz, params.rate_mean_hz, 1e-9);
+  }
+}
+
+TEST(Workload, HomogeneousCapacityWhenDisabled) {
+  WorkloadParams params = base_params();
+  params.heterogeneous_capacity = false;
+  util::Rng rng(8);
+  const Workload w = generate_workload(params, rng);
+  for (const auto& s : w.edges) {
+    EXPECT_NEAR(s.capacity, w.edges[0].capacity, 1e-9);
+  }
+}
+
+TEST(Workload, HeterogeneousCapacityVaries) {
+  util::Rng rng(9);
+  const Workload w = generate_workload(base_params(), rng);
+  const auto [lo, hi] = std::minmax_element(
+      w.edges.begin(), w.edges.end(),
+      [](const EdgeServer& a, const EdgeServer& b) {
+        return a.capacity < b.capacity;
+      });
+  EXPECT_GT(hi->capacity, lo->capacity * 1.1);
+}
+
+TEST(Workload, ClusteredTighterThanUniform) {
+  WorkloadParams clustered = base_params();
+  clustered.iot_placement = PlacementPattern::kClustered;
+  clustered.hotspot_count = 1;  // single hotspot: dispersion strictly lower
+  clustered.hotspot_stddev_km = 0.3;
+  WorkloadParams uniform = base_params();
+  uniform.iot_placement = PlacementPattern::kUniform;
+
+  const auto spread = [](const Workload& w) {
+    double cx = 0.0, cy = 0.0;
+    for (const auto& d : w.iot) {
+      cx += d.position.x;
+      cy += d.position.y;
+    }
+    cx /= static_cast<double>(w.iot.size());
+    cy /= static_cast<double>(w.iot.size());
+    // Mean distance to the nearest *other* device ≈ clustering proxy:
+    // use variance of positions instead (cheap, monotone in dispersion).
+    double var = 0.0;
+    for (const auto& d : w.iot) {
+      var += (d.position.x - cx) * (d.position.x - cx) +
+             (d.position.y - cy) * (d.position.y - cy);
+    }
+    return var / static_cast<double>(w.iot.size());
+  };
+  util::Rng rng1(10), rng2(10);
+  EXPECT_LT(spread(generate_workload(clustered, rng1)),
+            spread(generate_workload(uniform, rng2)));
+}
+
+TEST(Workload, ColocatedEdgesSitOnHotspots) {
+  WorkloadParams params = base_params();
+  params.colocate_edges_with_hotspots = true;
+  params.hotspot_count = 10;
+  util::Rng rng1(11), rng2(11);
+  const Workload a = generate_workload(params, rng1);
+  const Workload b = generate_workload(params, rng2);
+  // Determinism implies identical server positions for the same seed.
+  for (std::size_t j = 0; j < a.edges.size(); ++j) {
+    EXPECT_EQ(a.edges[j].position.x, b.edges[j].position.x);
+  }
+}
+
+TEST(Workload, DeterministicPerSeed) {
+  util::Rng rng1(12), rng2(12), rng3(13);
+  const Workload a = generate_workload(base_params(), rng1);
+  const Workload b = generate_workload(base_params(), rng2);
+  const Workload c = generate_workload(base_params(), rng3);
+  EXPECT_EQ(a.iot[5].position.x, b.iot[5].position.x);
+  EXPECT_EQ(a.iot[5].demand, b.iot[5].demand);
+  EXPECT_NE(a.iot[5].position.x, c.iot[5].position.x);
+}
+
+TEST(Workload, InvalidParamsThrow) {
+  util::Rng rng(14);
+  WorkloadParams no_iot = base_params();
+  no_iot.iot_count = 0;
+  EXPECT_THROW(generate_workload(no_iot, rng), std::invalid_argument);
+  WorkloadParams no_edge = base_params();
+  no_edge.edge_count = 0;
+  EXPECT_THROW(generate_workload(no_edge, rng), std::invalid_argument);
+  WorkloadParams bad_load = base_params();
+  bad_load.load_factor = 0.0;
+  EXPECT_THROW(generate_workload(bad_load, rng), std::invalid_argument);
+}
+
+TEST(Workload, TotalsConsistent) {
+  util::Rng rng(15);
+  const Workload w = generate_workload(base_params(), rng);
+  double demand = 0.0;
+  for (const auto& d : w.iot) demand += d.demand;
+  EXPECT_NEAR(w.total_demand(), demand, 1e-9);
+  EXPECT_GT(w.total_capacity(), w.total_demand());
+}
+
+TEST(Workload, PositionHelpersMatch) {
+  util::Rng rng(16);
+  const Workload w = generate_workload(base_params(), rng);
+  const auto iot_pos = w.iot_positions();
+  const auto edge_pos = w.edge_positions();
+  ASSERT_EQ(iot_pos.size(), w.iot.size());
+  ASSERT_EQ(edge_pos.size(), w.edges.size());
+  EXPECT_EQ(iot_pos[3].x, w.iot[3].position.x);
+  EXPECT_EQ(edge_pos[2].y, w.edges[2].position.y);
+}
+
+TEST(Workload, FixedCapacityPerServerScalesWithCount) {
+  WorkloadParams params = base_params();
+  params.fixed_capacity_per_server = 50.0;
+  params.heterogeneous_capacity = false;
+  util::Rng rng1(20), rng2(20);
+  const Workload small = generate_workload(params, rng1);
+  params.edge_count = 20;
+  const Workload big = generate_workload(params, rng2);
+  EXPECT_NEAR(small.total_capacity(), 50.0 * 10.0, 1e-6);
+  EXPECT_NEAR(big.total_capacity(), 50.0 * 20.0, 1e-6);
+  // More servers of the same size → lower realized load factor.
+  EXPECT_LT(big.load_factor(), small.load_factor());
+}
+
+TEST(Workload, FixedCapacityIgnoresLoadFactor) {
+  WorkloadParams params = base_params();
+  params.fixed_capacity_per_server = 100.0;
+  params.load_factor = 0.1;  // would imply huge capacity if honored
+  params.heterogeneous_capacity = false;
+  util::Rng rng(21);
+  const Workload w = generate_workload(params, rng);
+  for (const auto& s_ : w.edges) EXPECT_NEAR(s_.capacity, 100.0, 1e-9);
+}
+
+TEST(Workload, ZipfSkewWidensDemandSpread) {
+  WorkloadParams flat = base_params();
+  flat.iot_count = 2000;
+  flat.rate_sigma = 0.0;  // isolate the Zipf effect
+  WorkloadParams skewed = flat;
+  skewed.demand_zipf_exponent = 1.2;
+  util::Rng rng1(22), rng2(22);
+  const Workload a = generate_workload(flat, rng1);
+  const Workload b = generate_workload(skewed, rng2);
+  const auto spread = [](const Workload& w) {
+    double lo = 1e18, hi = 0.0;
+    for (const auto& d : w.iot) {
+      lo = std::min(lo, d.demand);
+      hi = std::max(hi, d.demand);
+    }
+    return hi / lo;
+  };
+  EXPECT_NEAR(spread(a), 1.0, 1e-9);  // homogeneous without skew
+  EXPECT_GT(spread(b), 1.5);
+}
+
+TEST(PlacementPattern, Names) {
+  EXPECT_EQ(to_string(PlacementPattern::kUniform), "uniform");
+  EXPECT_EQ(to_string(PlacementPattern::kClustered), "clustered");
+}
+
+}  // namespace
+}  // namespace tacc::workload

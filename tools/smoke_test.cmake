@@ -1,0 +1,26 @@
+# Generates an instance, solves it with two algorithms, checks outputs.
+set(inst "${WORKDIR}/smoke.inst")
+set(assign "${WORKDIR}/smoke.assign")
+execute_process(COMMAND "${GEN}" --out=${inst} --preset=smart-city
+                        --iot=60 --edge=5 --seed=3
+                RESULT_VARIABLE rc OUTPUT_VARIABLE out)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "tacc_gen failed: ${rc} ${out}")
+endif()
+execute_process(COMMAND "${SOLVE}" --instance=${inst} --algo=greedy-bestfit
+                        --out=${assign} --bounds
+                RESULT_VARIABLE rc OUTPUT_VARIABLE out)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "tacc_solve greedy failed: ${rc} ${out}")
+endif()
+if(NOT out MATCHES "feasible")
+  message(FATAL_ERROR "tacc_solve output missing evaluation: ${out}")
+endif()
+if(NOT EXISTS "${assign}")
+  message(FATAL_ERROR "assignment file not written")
+endif()
+execute_process(COMMAND "${SOLVE}" --instance=${inst} --algo=q-learning
+                RESULT_VARIABLE rc OUTPUT_VARIABLE out)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "tacc_solve q-learning failed: ${rc} ${out}")
+endif()

@@ -1,0 +1,84 @@
+// tacc_solve — solve a TACC instance file and report/emit the assignment.
+//
+//   tacc_solve --instance=city.inst [--algo=q-learning] [--seed=1]
+//              [--out=assignment.txt] [--bounds]
+//
+// Prints the static evaluation (cost, delays, utilization, feasibility);
+// --bounds additionally computes the lower bounds and the optimality gap.
+#include <fstream>
+#include <iostream>
+
+#include "core/tacc.hpp"
+#include "gap/io.hpp"
+#include "util/flags.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace tacc;
+
+int run(int argc, char** argv) {
+  const auto flags = util::Flags::parse(argc, argv);
+  const std::string path = flags.get_string("instance", "");
+  if (path.empty()) {
+    std::cerr << "usage: tacc_solve --instance=<path> [--algo=q-learning] "
+                 "[--seed=S] [--out=<assignment path>] [--bounds]\n"
+              << "algorithms:";
+    for (Algorithm a : all_algorithms()) std::cerr << ' ' << to_string(a);
+    std::cerr << "\n";
+    return 2;
+  }
+  const gap::Instance instance = gap::load_instance_file(path);
+  const Algorithm algorithm =
+      algorithm_from_string(flags.get_string("algo", "q-learning"));
+  AlgorithmOptions options;
+  options.apply_seed(static_cast<std::uint64_t>(flags.get_int("seed", 1)));
+
+  const auto result = make_solver(algorithm, options)->solve(instance);
+  const gap::Evaluation ev = gap::evaluate(instance, result.assignment);
+
+  std::cout << "instance:   " << instance.device_count() << " devices x "
+            << instance.server_count() << " servers (load factor "
+            << util::format_double(instance.load_factor(), 3) << ")\n"
+            << "algorithm:  " << to_string(algorithm) << " (seed "
+            << options.seed << ", " << util::format_double(result.wall_ms, 1)
+            << " ms)\n"
+            << "result:     " << ev.to_string() << "\n";
+  if (result.proven_optimal) std::cout << "optimality: proven optimal\n";
+
+  if (flags.get_bool("bounds", false)) {
+    const auto bounds = solvers::compute_lower_bounds(instance);
+    std::cout << "lower bounds: min-cost "
+              << util::format_double(bounds.min_cost, 2)
+              << ", splittable-flow "
+              << util::format_double(bounds.splittable_flow, 2)
+              << " -> gap "
+              << util::format_double(
+                     (ev.total_cost / bounds.splittable_flow - 1.0) * 100.0,
+                     2)
+              << "%\n";
+  }
+
+  const std::string out = flags.get_string("out", "");
+  if (!out.empty()) {
+    std::ofstream stream(out);
+    if (!stream) throw std::runtime_error("cannot open for write: " + out);
+    gap::save_assignment(result.assignment, stream);
+    std::cout << "assignment written to " << out << "\n";
+  }
+  for (const std::string& name : flags.unused()) {
+    std::cerr << "warning: unknown flag --" << name << " ignored\n";
+  }
+  return ev.feasible ? 0 : 3;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    return run(argc, argv);
+  } catch (const std::exception& error) {
+    std::cerr << "tacc_solve: " << error.what() << "\n";
+    return 1;
+  }
+}
