@@ -44,9 +44,10 @@ int run(int argc, char** argv) {
         AlgorithmOptions options = bench::experiment_options(config.quick);
         options.apply_seed(seed);
         aware_stats.add(
-            configurator.configure(algorithm, options).avg_delay_ms());
+            configurator.configure({algorithm, options}).avg_delay_ms());
         oblivious_stats.add(
-            configurator.configure_topology_oblivious(algorithm, options)
+            configurator
+                .configure({algorithm, options, CostModel::kEuclidean})
                 .avg_delay_ms());
       }
       const double penalty_pct =

@@ -112,7 +112,7 @@ void BM_Simulation(benchmark::State& state) {
   const Scenario scenario = Scenario::smart_city(100, 8, 7);
   AlgorithmOptions options;
   const auto conf = ClusterConfigurator(scenario).configure(
-      Algorithm::kGreedyBestFit, options);
+      {Algorithm::kGreedyBestFit, options});
   sim::SimParams params;
   params.duration_s = 1.0;
   params.warmup_s = 0.1;

@@ -42,7 +42,7 @@ int run(int argc, char** argv) {
 
       const ClusterConfigurator configurator(scenario);
       const auto conf =
-          configurator.configure(Algorithm::kQLearning, options);
+          configurator.configure({Algorithm::kQLearning, options});
       healthy.add(conf.avg_delay_ms());
 
       util::Rng rng(seed * 7 + 1);

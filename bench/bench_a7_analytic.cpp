@@ -37,7 +37,7 @@ int run(int argc, char** argv) {
       AlgorithmOptions options = bench::experiment_options(config.quick);
       options.apply_seed(seed);
       const auto conf =
-          ClusterConfigurator(scenario).configure(algorithm, options);
+          ClusterConfigurator(scenario).configure({algorithm, options});
 
       util::WallTimer analytic_timer;
       const sim::AnalyticResult analytic = sim::predict_delays(

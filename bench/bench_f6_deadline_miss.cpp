@@ -40,7 +40,7 @@ int run(int argc, char** argv) {
     AlgorithmOptions options = bench::experiment_options(config.quick);
     options.apply_seed(config.base_seed);
     const ClusterConfiguration conf =
-        configurator.configure(algorithm, options);
+        configurator.configure({algorithm, options});
     sim::SimParams sim_params;
     sim_params.duration_s = duration_s;
     sim_params.warmup_s = duration_s / 10.0;

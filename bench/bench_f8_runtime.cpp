@@ -1,6 +1,11 @@
 // F8 (reconstructed): solver wall-clock time vs instance size — the
 // scalability figure, plus branch-and-bound blow-up on a small prefix.
+//
+// --parallel=N fans the repeated runs (scenario generation + solve) over the
+// portfolio runtime's worker pool; per-solver wall times and all aggregated
+// statistics are bit-identical to the serial loop.
 #include "bench/bench_common.hpp"
+#include "runtime/portfolio.hpp"
 
 namespace {
 
@@ -9,6 +14,22 @@ using namespace tacc;
 int run(int argc, char** argv) {
   const auto flags = util::Flags::parse(argc, argv);
   const auto config = bench::BenchConfig::from_flags(flags);
+  const auto parallel = static_cast<std::size_t>(
+      std::max<std::int64_t>(0, flags.get_int("parallel", 1)));
+  runtime::PortfolioRunner runner(parallel);
+
+  // Serial and parallel paths share the seed schedule, so the CSV is
+  // identical either way; only this bench's own wall clock changes.
+  const auto repeated = [&](const std::function<Scenario(std::uint64_t)>& gen,
+                            Algorithm algorithm, std::size_t repeats,
+                            const AlgorithmOptions& options) {
+    return runner.threads() > 1
+               ? runtime::run_repeated_parallel(gen, algorithm, repeats,
+                                                config.base_seed, options,
+                                                runner)
+               : run_repeated(gen, algorithm, repeats, config.base_seed,
+                              options);
+  };
 
   bench::CsvFile csv("f8_runtime");
   csv.writer().header({"iot_count", "edge_count", "algorithm",
@@ -38,12 +59,12 @@ int run(int argc, char** argv) {
           n > 2000) {
         continue;
       }
-      const AlgoStats stats = run_repeated(
+      const AlgoStats stats = repeated(
           [&](std::uint64_t seed) {
             return Scenario::smart_city(n, m, seed);
           },
           algorithm, std::max<std::size_t>(2, config.repeats / 2),
-          config.base_seed, bench::experiment_options(config.quick));
+          bench::experiment_options(config.quick));
       csv.writer().row(n, m, to_string(algorithm), stats.wall_ms.mean(),
                        metrics::ci95_half_width(stats.wall_ms));
       table.add_row({std::to_string(n), std::to_string(m),
@@ -54,7 +75,7 @@ int run(int argc, char** argv) {
 
   // Branch-and-bound blow-up on a small prefix (exponential worst case).
   for (std::size_t n : {8u, 12u, 16u, 20u}) {
-    const AlgoStats stats = run_repeated(
+    const AlgoStats stats = repeated(
         [&](std::uint64_t seed) {
           ScenarioParams params;
           params.workload.iot_count = n;
@@ -63,7 +84,7 @@ int run(int argc, char** argv) {
           params.seed = seed;
           return Scenario::generate(params);
         },
-        Algorithm::kBranchAndBound, 3, config.base_seed,
+        Algorithm::kBranchAndBound, 3,
         bench::experiment_options(config.quick));
     csv.writer().row(n, 4, "branch-and-bound", stats.wall_ms.mean(),
                      metrics::ci95_half_width(stats.wall_ms));

@@ -1,0 +1,117 @@
+// M1: portfolio runtime measurement — serial vs parallel portfolio solve
+// over the comparison set, with a hard bit-identity check between the two.
+//
+// Reports per-task wall time, queue latency, total wall, and the observed
+// speedup (sum of task times / elapsed). On a single-core container the
+// speedup hovers near 1; with 4+ cores the portfolio fan-out lands >= 2x.
+#include <cmath>
+
+#include "bench/bench_common.hpp"
+#include "runtime/portfolio.hpp"
+
+namespace {
+
+using namespace tacc;
+
+/// Two configurations are bit-identical when every assignment entry and the
+/// evaluated cost match exactly (no tolerance: determinism is exact).
+bool identical(const ClusterConfiguration& a, const ClusterConfiguration& b) {
+  return a.assignment() == b.assignment() &&
+         a.total_cost() == b.total_cost() && a.feasible() == b.feasible() &&
+         a.scenario_fingerprint() == b.scenario_fingerprint();
+}
+
+int run(int argc, char** argv) {
+  const auto flags = util::Flags::parse(argc, argv);
+  const auto config = bench::BenchConfig::from_flags(flags);
+  const auto iot = static_cast<std::size_t>(
+      flags.get_int("iot", config.quick ? 150 : 400));
+  const auto edge = static_cast<std::size_t>(flags.get_int("edge", 16));
+  // <= 0 picks the hardware concurrency.
+  const auto parallel = static_cast<std::size_t>(
+      std::max<std::int64_t>(0, flags.get_int("parallel", 0)));
+
+  const Scenario scenario = Scenario::smart_city(iot, edge, config.base_seed);
+  const ClusterConfigurator configurator(scenario);
+
+  // One request per comparison algorithm, deterministically seeded the same
+  // way in both runs (run_seeded derives per-task seeds from base_seed).
+  std::vector<ConfigureRequest> requests;
+  for (Algorithm algorithm : comparison_algorithms()) {
+    ConfigureRequest request;
+    request.algorithm = algorithm;
+    request.options = bench::experiment_options(config.quick);
+    requests.push_back(std::move(request));
+  }
+
+  runtime::PortfolioRunner serial(1);
+  const PortfolioOutcome serial_out =
+      serial.run_seeded(configurator, requests, config.base_seed);
+
+  runtime::PortfolioRunner fanned(parallel);
+  const PortfolioOutcome parallel_out =
+      fanned.run_seeded(configurator, requests, config.base_seed);
+
+  // Hard determinism gate: the parallel portfolio must reproduce the serial
+  // one bit for bit (same winner, same assignments, same costs).
+  bool bit_identical =
+      serial_out.winner_index == parallel_out.winner_index &&
+      serial_out.configurations.size() == parallel_out.configurations.size();
+  for (std::size_t i = 0; bit_identical && i < requests.size(); ++i) {
+    bit_identical = identical(serial_out.configurations[i],
+                              parallel_out.configurations[i]);
+  }
+  if (!bit_identical) {
+    std::cerr << "FAIL: parallel portfolio diverged from serial run\n";
+    return 1;
+  }
+
+  bench::CsvFile csv("m1_portfolio");
+  csv.writer().header({"algorithm", "cost", "feasible", "task_wall_ms",
+                       "queue_ms_parallel"});
+  util::ConsoleTable table(
+      {"algorithm", "cost", "feasible", "wall (ms)", "queue (ms)"});
+  for (std::size_t i = 0; i < requests.size(); ++i) {
+    const ClusterConfiguration& conf = parallel_out.configurations[i];
+    csv.writer().row(to_string(requests[i].algorithm), conf.total_cost(),
+                     conf.feasible() ? 1 : 0,
+                     parallel_out.stats.per_task[i].wall_ms,
+                     parallel_out.stats.per_task[i].queue_ms);
+    table.add_row(
+        {std::string(to_string(requests[i].algorithm)),
+         util::format_double(conf.total_cost(), 0),
+         conf.feasible() ? "yes" : "no",
+         util::format_double(parallel_out.stats.per_task[i].wall_ms, 1),
+         util::format_double(parallel_out.stats.per_task[i].queue_ms, 2)});
+  }
+
+  const double speedup = serial_out.stats.total_wall_ms /
+                         std::max(parallel_out.stats.total_wall_ms, 1e-9);
+  std::cout << table.to_string(
+                   "M1 — portfolio over comparison set (n=" +
+                   std::to_string(iot) + ", m=" + std::to_string(edge) + "):")
+            << "winner:   "
+            << to_string(requests[parallel_out.winner_index].algorithm)
+            << " (cost "
+            << util::format_double(parallel_out.winner().total_cost(), 0)
+            << ")\n"
+            << "serial:   " << util::format_double(
+                                   serial_out.stats.total_wall_ms, 1)
+            << " ms on 1 thread\n"
+            << "parallel: " << util::format_double(
+                                   parallel_out.stats.total_wall_ms, 1)
+            << " ms on " << parallel_out.stats.threads
+            << " threads (pool speedup "
+            << util::format_double(parallel_out.stats.parallel_speedup(), 2)
+            << "x, vs-serial " << util::format_double(speedup, 2)
+            << "x, mean queue "
+            << util::format_double(parallel_out.stats.mean_queue_ms(), 2)
+            << " ms)\n"
+            << "bit-identity: serial and parallel portfolios match exactly\n";
+  bench::check_unused_flags(flags);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) { return run(argc, argv); }

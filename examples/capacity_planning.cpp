@@ -26,7 +26,7 @@ int main(int argc, char** argv) {
   tacc::Scenario chosen_scenario = tacc::Scenario::smart_city(iot, 4, seed);
   tacc::ClusterConfiguration chosen_conf =
       tacc::ClusterConfigurator(chosen_scenario)
-          .configure(tacc::Algorithm::kGreedyBestFit);
+          .configure({tacc::Algorithm::kGreedyBestFit});
 
   // Provisioning framing: each edge server has a FIXED capacity (sized so
   // that ~16 servers run at 70% load); adding servers adds capacity.
@@ -46,7 +46,7 @@ int main(int argc, char** argv) {
     tacc::AlgorithmOptions options;
     options.apply_seed(seed);
     const auto conf = tacc::ClusterConfigurator(scenario).configure(
-        tacc::Algorithm::kQLearning, options);
+        {tacc::Algorithm::kQLearning, options});
     const auto prediction = tacc::sim::predict_delays(
         scenario.network(), scenario.workload(), conf.assignment());
     const bool ok =

@@ -35,7 +35,7 @@ int main(int argc, char** argv) {
         tacc::Algorithm::kUcbRollout, tacc::Algorithm::kQLearning}) {
     tacc::AlgorithmOptions options;
     options.apply_seed(seed);
-    const auto conf = configurator.configure(algorithm, options);
+    const auto conf = configurator.configure({algorithm, options});
     tacc::sim::SimResult sim = tacc::sim::simulate(
         scenario.network(), scenario.workload(), conf.assignment(),
         {/*duration_s=*/20.0, /*warmup_s=*/2.0, seed});

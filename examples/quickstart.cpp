@@ -36,7 +36,7 @@ int main(int argc, char** argv) {
     tacc::AlgorithmOptions options;
     options.apply_seed(seed);
     const tacc::ClusterConfiguration conf =
-        configurator.configure(algorithm, options);
+        configurator.configure({algorithm, options});
     const tacc::sim::SimResult sim = tacc::sim::simulate(
         scenario.network(), scenario.workload(), conf.assignment(),
         {/*duration_s=*/20.0, /*warmup_s=*/2.0, seed});

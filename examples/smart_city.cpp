@@ -29,7 +29,7 @@ int main(int argc, char** argv) {
   for (const tacc::Algorithm algorithm : tacc::comparison_algorithms()) {
     tacc::AlgorithmOptions options;
     options.apply_seed(seed);
-    const auto conf = configurator.configure(algorithm, options);
+    const auto conf = configurator.configure({algorithm, options});
     const double gap_pct =
         (conf.total_cost() / bounds.splittable_flow - 1.0) * 100.0;
     table.add_row({std::string(conf.algorithm_name()),
@@ -49,7 +49,7 @@ int main(int argc, char** argv) {
   tacc::AlgorithmOptions options;
   options.apply_seed(seed);
   const auto conf =
-      configurator.configure(tacc::Algorithm::kQLearning, options);
+      configurator.configure({tacc::Algorithm::kQLearning, options});
   std::cout << "\nPer-server utilization under q-learning:\n";
   const auto& ev = conf.evaluation();
   for (std::size_t j = 0; j < ev.loads.size(); ++j) {

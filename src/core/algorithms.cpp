@@ -1,11 +1,29 @@
 #include "core/algorithms.hpp"
 
+#include <cctype>
 #include <stdexcept>
 
 #include "solvers/constructive.hpp"
 #include "solvers/flow_based.hpp"
 
 namespace tacc {
+
+namespace {
+
+/// ASCII case-insensitive equality (algorithm names are pure ASCII).
+[[nodiscard]] bool iequals(std::string_view a, std::string_view b) noexcept {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const auto lower = [](char c) {
+      return static_cast<char>(
+          std::tolower(static_cast<unsigned char>(c)));
+    };
+    if (lower(a[i]) != lower(b[i])) return false;
+  }
+  return true;
+}
+
+}  // namespace
 
 std::string_view to_string(Algorithm algorithm) noexcept {
   switch (algorithm) {
@@ -47,7 +65,7 @@ std::string_view to_string(Algorithm algorithm) noexcept {
 
 Algorithm algorithm_from_string(std::string_view name) {
   for (Algorithm a : all_algorithms()) {
-    if (to_string(a) == name) return a;
+    if (iequals(to_string(a), name)) return a;
   }
   throw std::invalid_argument("unknown algorithm: " + std::string(name));
 }

@@ -41,7 +41,8 @@ enum class Algorithm {
 };
 
 [[nodiscard]] std::string_view to_string(Algorithm algorithm) noexcept;
-/// Parses the names printed by to_string; throws std::invalid_argument.
+/// Parses the names printed by to_string, ignoring ASCII case
+/// ("Q-Learning" == "q-learning"); throws std::invalid_argument.
 [[nodiscard]] Algorithm algorithm_from_string(std::string_view name);
 
 /// Every algorithm (including the exact solver).

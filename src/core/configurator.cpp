@@ -1,41 +1,57 @@
 #include "core/configurator.hpp"
 
+#include <cassert>
+
 namespace tacc {
 
 ClusterConfiguration ClusterConfigurator::configure(
-    Algorithm algorithm, const AlgorithmOptions& options) const {
-  const gap::Instance& instance = scenario_->instance();
-  solvers::SolverPtr solver = make_solver(algorithm, options);
-  solvers::SolveResult result = solver->solve(instance);
-  gap::Evaluation evaluation = gap::evaluate(instance, result.assignment);
-  return {algorithm, std::move(result), std::move(evaluation)};
-}
-
-ClusterConfiguration ClusterConfigurator::configure_topology_oblivious(
-    Algorithm algorithm, const AlgorithmOptions& options) const {
-  // Solve against straight-line costs…
-  solvers::SolverPtr solver = make_solver(algorithm, options);
-  solvers::SolveResult result =
-      solver->solve(scenario_->oblivious_instance());
-  // …but report what that decision *really* costs on the topology.
+    const ConfigureRequest& request) const {
+  assert(scenario_ != nullptr && "ClusterConfigurator: scenario outlived");
   const gap::Instance& truth = scenario_->instance();
+  solvers::SolverPtr solver = make_solver(request.algorithm, request.options);
+
+  solvers::SolveResult result;
+  switch (request.cost_model) {
+    case CostModel::kTopologyAware:
+      result = solver->solve(truth);
+      break;
+    case CostModel::kEuclidean:
+      result = solver->solve(scenario_->oblivious_instance());
+      break;
+    case CostModel::kDeadlinePenalized:
+      result = solver->solve(truth.with_deadline_penalty(
+          request.penalty_factor));
+      break;
+  }
+
+  // Whatever matrix the solver saw, report what the decision *really* costs
+  // on the topology.
   gap::Evaluation evaluation = gap::evaluate(truth, result.assignment);
   result.total_cost = evaluation.total_cost;
   result.feasible = evaluation.feasible;
-  return {algorithm, std::move(result), std::move(evaluation)};
+  return {request.algorithm, std::move(result), std::move(evaluation),
+          scenario_->fingerprint()};
+}
+
+// Deprecated wrappers forward to the request-based entry point; suppress the
+// self-referential deprecation warnings their definitions would emit.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+
+ClusterConfiguration ClusterConfigurator::configure_topology_oblivious(
+    Algorithm algorithm, const AlgorithmOptions& options) const {
+  return configure(
+      ConfigureRequest{algorithm, options, CostModel::kEuclidean});
 }
 
 ClusterConfiguration ClusterConfigurator::configure_deadline_aware(
     Algorithm algorithm, const AlgorithmOptions& options,
     double penalty_factor) const {
-  const gap::Instance& truth = scenario_->instance();
-  const gap::Instance penalized = truth.with_deadline_penalty(penalty_factor);
-  solvers::SolverPtr solver = make_solver(algorithm, options);
-  solvers::SolveResult result = solver->solve(penalized);
-  gap::Evaluation evaluation = gap::evaluate(truth, result.assignment);
-  result.total_cost = evaluation.total_cost;
-  result.feasible = evaluation.feasible;
-  return {algorithm, std::move(result), std::move(evaluation)};
+  return configure(ConfigureRequest{algorithm, options,
+                                    CostModel::kDeadlinePenalized,
+                                    penalty_factor});
 }
+
+#pragma GCC diagnostic pop
 
 }  // namespace tacc

@@ -29,7 +29,8 @@ DynamicCluster::DynamicCluster(const Scenario& scenario, Algorithm initial,
   for (const auto& server : wl.edges) capacities_.push_back(server.capacity);
 
   const ClusterConfigurator configurator(scenario);
-  const ClusterConfiguration conf = configurator.configure(initial, options);
+  const ClusterConfiguration conf =
+      configurator.configure({initial, options});
   assignment_ = conf.assignment();
 
   const auto& instance = scenario.instance();

@@ -1,6 +1,52 @@
 #include "core/scenario.hpp"
 
+#include <bit>
+
 namespace tacc {
+
+namespace {
+
+/// Order-sensitive 64-bit mix over the values fed in; splitmix64-based so it
+/// replays identically on every platform.
+class FingerprintMixer {
+ public:
+  void mix(std::uint64_t value) noexcept {
+    state_ ^= value;
+    digest_ = util::splitmix64(state_);
+  }
+  void mix(double value) noexcept { mix(std::bit_cast<std::uint64_t>(value)); }
+  [[nodiscard]] std::uint64_t digest() const noexcept { return digest_; }
+
+ private:
+  std::uint64_t state_ = 0x7ACC5EEDULL;  // arbitrary nonzero start
+  std::uint64_t digest_ = 0;
+};
+
+[[nodiscard]] std::uint64_t compute_fingerprint(const ScenarioParams& params,
+                                                const gap::Instance& inst) {
+  FingerprintMixer mixer;
+  mixer.mix(params.seed);
+  mixer.mix(static_cast<std::uint64_t>(params.family));
+  mixer.mix(static_cast<std::uint64_t>(params.topology.node_count));
+  mixer.mix(params.topology.area_km);
+  mixer.mix(static_cast<std::uint64_t>(params.workload.iot_count));
+  mixer.mix(static_cast<std::uint64_t>(params.workload.edge_count));
+  mixer.mix(params.workload.load_factor);
+  const std::size_t n = inst.device_count();
+  const std::size_t m = inst.server_count();
+  mixer.mix(static_cast<std::uint64_t>(n));
+  mixer.mix(static_cast<std::uint64_t>(m));
+  mixer.mix(inst.total_capacity());
+  // A strided sample of the delay matrix ties the digest to the realized
+  // topology, not just the knobs that produced it.
+  const std::size_t stride = std::max<std::size_t>(1, (n * m) / 64);
+  for (std::size_t flat = 0; flat < n * m; flat += stride) {
+    mixer.mix(inst.delay_ms(flat / m, flat % m));
+  }
+  return mixer.digest();
+}
+
+}  // namespace
 
 Scenario Scenario::generate(const ScenarioParams& params) {
   Scenario scenario;
@@ -17,19 +63,17 @@ Scenario Scenario::generate(const ScenarioParams& params) {
   scenario.network_ = topo::build_network(
       infra, scenario.workload_.iot_positions(),
       scenario.workload_.edge_positions(), params.delay_model, params.attach);
+  gap::BuilderOptions builder;
+  builder.threads = params.build_threads;
   scenario.instance_ = std::make_shared<const gap::Instance>(
-      gap::build_instance(scenario.network_, scenario.workload_));
+      gap::build_instance(scenario.network_, scenario.workload_, builder));
+  gap::BuilderOptions oblivious = builder;
+  oblivious.topology_oblivious_costs = true;
+  scenario.oblivious_instance_ = std::make_shared<const gap::Instance>(
+      gap::build_instance(scenario.network_, scenario.workload_, oblivious));
+  scenario.fingerprint_ =
+      compute_fingerprint(params, *scenario.instance_);
   return scenario;
-}
-
-const gap::Instance& Scenario::oblivious_instance() const {
-  if (!oblivious_instance_) {
-    gap::BuilderOptions options;
-    options.topology_oblivious_costs = true;
-    oblivious_instance_ = std::make_shared<const gap::Instance>(
-        gap::build_instance(network_, workload_, options));
-  }
-  return *oblivious_instance_;
 }
 
 Scenario Scenario::smart_city(std::size_t iot_count, std::size_t edge_count,

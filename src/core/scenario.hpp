@@ -20,6 +20,10 @@ struct ScenarioParams {
   topo::AttachParams attach;
   workload::WorkloadParams workload;
   std::uint64_t seed = 42;
+  /// Worker threads for the delay-matrix build (per-source Dijkstra
+  /// fan-out); 1 = serial, 0 = hardware concurrency. The generated scenario
+  /// is bit-identical for any value.
+  std::size_t build_threads = 1;
 };
 
 /// Immutable after construction; the instance and its topology-oblivious
@@ -58,8 +62,22 @@ class Scenario {
   [[nodiscard]] const gap::Instance& instance() const noexcept {
     return *instance_;
   }
-  /// Euclidean-cost twin for the A1 ablation; built on first use.
-  [[nodiscard]] const gap::Instance& oblivious_instance() const;
+  /// Euclidean-cost twin for the A1 ablation. Built eagerly in generate()
+  /// (it needs no shortest paths, so it is cheap) — accessors stay const and
+  /// data-race-free under concurrent portfolio solves.
+  [[nodiscard]] const gap::Instance& oblivious_instance() const noexcept {
+    return *oblivious_instance_;
+  }
+
+  /// Deterministic 64-bit digest of the scenario's identity: generation
+  /// parameters plus sampled instance data. Two scenarios generated from the
+  /// same params share a fingerprint; any change to seed, sizes, family, or
+  /// the derived instance changes it (with overwhelming probability). Stamped
+  /// onto every ClusterConfiguration so mismatched evaluations are
+  /// detectable.
+  [[nodiscard]] std::uint64_t fingerprint() const noexcept {
+    return fingerprint_;
+  }
 
  private:
   Scenario() = default;
@@ -68,7 +86,8 @@ class Scenario {
   topo::NetworkTopology network_;
   workload::Workload workload_;
   std::shared_ptr<const gap::Instance> instance_;
-  mutable std::shared_ptr<const gap::Instance> oblivious_instance_;
+  std::shared_ptr<const gap::Instance> oblivious_instance_;
+  std::uint64_t fingerprint_ = 0;
 };
 
 }  // namespace tacc

@@ -12,5 +12,6 @@
 #include "core/dynamic.hpp"       // DynamicCluster (join/leave/rebalance)
 #include "core/experiments.hpp"   // repeated-run harness
 #include "core/scenario.hpp"      // Scenario presets & generation
+#include "runtime/portfolio.hpp"  // parallel portfolio solve runtime
 #include "sim/simulator.hpp"      // packet-level discrete-event simulation
 #include "solvers/flow_based.hpp" // lower bounds

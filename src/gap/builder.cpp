@@ -15,9 +15,10 @@ Instance build_instance(const topo::NetworkTopology& net,
         "build_instance: topology/workload device counts differ");
   }
 
-  topo::DelayMatrix delay = options.topology_oblivious_costs
-                                ? topo::compute_euclidean_matrix(net)
-                                : topo::compute_delay_matrix(net);
+  topo::DelayMatrix delay =
+      options.topology_oblivious_costs
+          ? topo::compute_euclidean_matrix(net)
+          : topo::compute_delay_matrix(net, options.threads);
   if (options.unreachable_delay_ms > 0.0) {
     for (std::size_t i = 0; i < delay.iot_count(); ++i) {
       for (std::size_t j = 0; j < delay.edge_count(); ++j) {

@@ -25,6 +25,9 @@ struct BuilderOptions {
   /// finite value keeps all arithmetic well-behaved while still making
   /// unreachable servers unattractive.
   double unreachable_delay_ms = 0.0;
+  /// Worker threads for the delay-matrix Dijkstra fan-out (1 = serial,
+  /// 0 = hardware concurrency). The instance is bit-identical either way.
+  std::size_t threads = 1;
 };
 
 /// `net` must have the same device/server counts (and order) as `workload`.

@@ -4,6 +4,7 @@
 #include <limits>
 #include <numeric>
 #include <stdexcept>
+#include <utility>
 
 namespace tacc::gap {
 
@@ -24,6 +25,60 @@ Instance::Instance(topo::DelayMatrix delay, std::vector<double> weights,
       throw std::invalid_argument("Instance: demands must be positive");
     }
   }
+}
+
+Instance::Instance(const Instance& other)
+    : delay_(other.delay_),
+      weights_(other.weights_),
+      demands_(other.demands_),
+      demand_matrix_(other.demand_matrix_),
+      has_demand_matrix_(other.has_demand_matrix_),
+      capacities_(other.capacities_),
+      deadlines_(other.deadlines_) {
+  const std::lock_guard<std::mutex> lock(other.rank_mutex_);
+  rank_cache_ = other.rank_cache_;
+  rank_cache_built_.store(
+      other.rank_cache_built_.load(std::memory_order_acquire),
+      std::memory_order_release);
+}
+
+Instance::Instance(Instance&& other) noexcept
+    : delay_(std::move(other.delay_)),
+      weights_(std::move(other.weights_)),
+      demands_(std::move(other.demands_)),
+      demand_matrix_(std::move(other.demand_matrix_)),
+      has_demand_matrix_(other.has_demand_matrix_),
+      capacities_(std::move(other.capacities_)),
+      deadlines_(std::move(other.deadlines_)),
+      rank_cache_(std::move(other.rank_cache_)) {
+  rank_cache_built_.store(
+      other.rank_cache_built_.load(std::memory_order_acquire),
+      std::memory_order_release);
+  other.rank_cache_built_.store(false, std::memory_order_release);
+}
+
+Instance& Instance::operator=(const Instance& other) {
+  if (this == &other) return *this;
+  Instance copy(other);
+  *this = std::move(copy);
+  return *this;
+}
+
+Instance& Instance::operator=(Instance&& other) noexcept {
+  if (this == &other) return *this;
+  delay_ = std::move(other.delay_);
+  weights_ = std::move(other.weights_);
+  demands_ = std::move(other.demands_);
+  demand_matrix_ = std::move(other.demand_matrix_);
+  has_demand_matrix_ = other.has_demand_matrix_;
+  capacities_ = std::move(other.capacities_);
+  deadlines_ = std::move(other.deadlines_);
+  rank_cache_ = std::move(other.rank_cache_);
+  rank_cache_built_.store(
+      other.rank_cache_built_.load(std::memory_order_acquire),
+      std::memory_order_release);
+  other.rank_cache_built_.store(false, std::memory_order_release);
+  return *this;
 }
 
 Instance Instance::with_demand_matrix(topo::DelayMatrix delay,
@@ -98,7 +153,12 @@ double Instance::load_factor() const noexcept {
 
 std::span<const std::uint32_t> Instance::servers_by_delay(
     DeviceIndex i) const {
-  if (!rank_cache_built_) build_rank_cache();
+  if (!rank_cache_built_.load(std::memory_order_acquire)) {
+    const std::lock_guard<std::mutex> lock(rank_mutex_);
+    if (!rank_cache_built_.load(std::memory_order_relaxed)) {
+      build_rank_cache();
+    }
+  }
   const std::size_t m = server_count();
   if (i >= device_count()) {
     throw std::out_of_range("Instance::servers_by_delay: bad device index");
@@ -169,7 +229,7 @@ void Instance::build_rank_cache() const {
       return da != db ? da < db : a < b;
     });
   }
-  rank_cache_built_ = true;
+  rank_cache_built_.store(true, std::memory_order_release);
 }
 
 }  // namespace tacc::gap

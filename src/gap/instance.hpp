@@ -6,7 +6,9 @@
 // derived from the network topology (see topology/network.hpp).
 #pragma once
 
+#include <atomic>
 #include <cstdint>
+#include <mutex>
 #include <span>
 #include <vector>
 
@@ -32,6 +34,15 @@ class Instance {
   [[nodiscard]] static Instance with_demand_matrix(
       topo::DelayMatrix delay, std::vector<double> weights,
       topo::DelayMatrix demand_matrix, std::vector<double> capacities);
+
+  // Copies and moves are explicit because the lazily built rank cache is
+  // guarded by a (non-copyable) mutex; the cache contents transfer, the
+  // guard does not.
+  Instance(const Instance& other);
+  Instance(Instance&& other) noexcept;
+  Instance& operator=(const Instance& other);
+  Instance& operator=(Instance&& other) noexcept;
+  ~Instance() = default;
 
   [[nodiscard]] std::size_t device_count() const noexcept {
     return delay_.iot_count();
@@ -72,7 +83,9 @@ class Instance {
   [[nodiscard]] double load_factor() const noexcept;
 
   /// Servers sorted by ascending delay for device i (the "K nearest
-  /// candidates" used by RL and greedy solvers). Cached on first use.
+  /// candidates" used by RL and greedy solvers). Cached on first use;
+  /// safe to call concurrently (double-checked build under a mutex), as
+  /// portfolio solves share one instance across worker threads.
   [[nodiscard]] std::span<const std::uint32_t> servers_by_delay(
       DeviceIndex i) const;
 
@@ -115,8 +128,11 @@ class Instance {
   std::vector<double> deadlines_;  // empty = no deadlines attached
 
   // Lazily built: n×m server indices, row i sorted by delay_ms(i, ·).
+  // rank_mutex_ guards the one-time build; the acquire/release flag makes
+  // the fast path lock-free once built.
   mutable std::vector<std::uint32_t> rank_cache_;
-  mutable bool rank_cache_built_ = false;
+  mutable std::atomic<bool> rank_cache_built_{false};
+  mutable std::mutex rank_mutex_;
 };
 
 }  // namespace tacc::gap

@@ -1,0 +1,216 @@
+#include "runtime/portfolio.hpp"
+
+#include <algorithm>
+#include <optional>
+#include <stdexcept>
+
+#include "util/rng.hpp"
+#include "util/timer.hpp"
+
+namespace tacc::runtime {
+
+std::uint64_t derive_task_seed(std::uint64_t base_seed,
+                               std::size_t task_index) noexcept {
+  // Affine-then-mix: neighboring task indices land far apart in seed space
+  // while the result stays a pure function of (base_seed, index).
+  std::uint64_t state =
+      base_seed +
+      0x9E3779B97F4A7C15ULL * (static_cast<std::uint64_t>(task_index) + 1);
+  return util::splitmix64(state);
+}
+
+namespace {
+
+/// Generic winner scan: feasible beats infeasible, then lower cost, then
+/// lower index (strict < keeps the first of a tie).
+template <typename T, typename FeasibleFn, typename CostFn>
+std::size_t scan_winner(std::span<const T> items, FeasibleFn feasible,
+                        CostFn cost) {
+  std::size_t best = PortfolioOutcome::kNoWinner;
+  for (std::size_t i = 0; i < items.size(); ++i) {
+    if (best == PortfolioOutcome::kNoWinner) {
+      best = i;
+      continue;
+    }
+    const bool i_feasible = feasible(items[i]);
+    const bool best_feasible = feasible(items[best]);
+    if (i_feasible != best_feasible) {
+      if (i_feasible) best = i;
+      continue;
+    }
+    if (cost(items[i]) < cost(items[best])) best = i;
+  }
+  return best;
+}
+
+}  // namespace
+
+std::size_t pick_winner(std::span<const TaskOutcome> outcomes) {
+  return scan_winner(
+      outcomes, [](const TaskOutcome& o) { return o.evaluation.feasible; },
+      [](const TaskOutcome& o) { return o.evaluation.total_cost; });
+}
+
+std::size_t pick_winner(std::span<const ClusterConfiguration> configurations) {
+  return scan_winner(
+      configurations,
+      [](const ClusterConfiguration& c) { return c.feasible(); },
+      [](const ClusterConfiguration& c) { return c.total_cost(); });
+}
+
+PortfolioRunner::PortfolioRunner(std::size_t threads)
+    : threads_(std::min(threads == 0 ? default_thread_count() : threads,
+                        kMaxThreads)) {
+  if (threads_ > 1) pool_ = std::make_unique<ThreadPool>(threads_);
+}
+
+PortfolioRunner::~PortfolioRunner() = default;
+
+RunStats PortfolioRunner::fan_out(
+    std::size_t count, const std::function<void(std::size_t)>& fn) {
+  RunStats stats;
+  stats.threads = threads_;
+  stats.tasks = count;
+  stats.per_task.resize(count);
+  const util::WallTimer total;
+  if (!pool_ || count <= 1) {
+    for (std::size_t i = 0; i < count; ++i) {
+      const util::WallTimer task;
+      fn(i);
+      stats.per_task[i].wall_ms = task.elapsed_ms();
+    }
+  } else {
+    for (std::size_t i = 0; i < count; ++i) {
+      pool_->submit([&fn, &stats, i, enqueued = util::WallTimer()] {
+        stats.per_task[i].queue_ms = enqueued.elapsed_ms();
+        const util::WallTimer task;
+        fn(i);
+        stats.per_task[i].wall_ms = task.elapsed_ms();
+      });
+    }
+    pool_->wait_idle();
+  }
+  stats.total_wall_ms = total.elapsed_ms();
+  return stats;
+}
+
+PortfolioOutcome PortfolioRunner::run(
+    const ClusterConfigurator& configurator,
+    std::span<const ConfigureRequest> requests) {
+  std::vector<std::optional<ClusterConfiguration>> slots(requests.size());
+  RunStats stats = fan_out(requests.size(), [&](std::size_t i) {
+    slots[i] = configurator.configure(requests[i]);
+  });
+
+  PortfolioOutcome outcome;
+  outcome.stats = std::move(stats);
+  outcome.configurations.reserve(slots.size());
+  for (std::optional<ClusterConfiguration>& slot : slots) {
+    outcome.configurations.push_back(std::move(*slot));
+  }
+  outcome.winner_index = pick_winner(
+      std::span<const ClusterConfiguration>(outcome.configurations));
+  return outcome;
+}
+
+PortfolioOutcome PortfolioRunner::run_seeded(
+    const ClusterConfigurator& configurator,
+    std::span<const ConfigureRequest> requests, std::uint64_t base_seed) {
+  std::vector<ConfigureRequest> seeded(requests.begin(), requests.end());
+  for (std::size_t i = 0; i < seeded.size(); ++i) {
+    seeded[i].options.apply_seed(derive_task_seed(base_seed, i));
+  }
+  return run(configurator, seeded);
+}
+
+std::vector<ClusterConfiguration> PortfolioRunner::run_batch(
+    std::span<const Scenario> scenarios,
+    std::span<const ConfigureRequest> requests, RunStats* stats) {
+  if (requests.size() != 1 && requests.size() != scenarios.size()) {
+    throw std::invalid_argument(
+        "PortfolioRunner::run_batch: need one request per scenario or a "
+        "single broadcast request");
+  }
+  std::vector<std::optional<ClusterConfiguration>> slots(scenarios.size());
+  RunStats run_stats = fan_out(scenarios.size(), [&](std::size_t k) {
+    const ConfigureRequest& request =
+        requests.size() == 1 ? requests[0] : requests[k];
+    slots[k] = ClusterConfigurator(scenarios[k]).configure(request);
+  });
+  if (stats) *stats = std::move(run_stats);
+
+  std::vector<ClusterConfiguration> configurations;
+  configurations.reserve(slots.size());
+  for (std::optional<ClusterConfiguration>& slot : slots) {
+    configurations.push_back(std::move(*slot));
+  }
+  return configurations;
+}
+
+std::vector<TaskOutcome> PortfolioRunner::run_tasks(
+    const gap::Instance& instance, std::span<const SolveTask> tasks,
+    RunStats* stats) {
+  std::vector<TaskOutcome> outcomes(tasks.size());
+  RunStats run_stats = fan_out(tasks.size(), [&](std::size_t i) {
+    TaskOutcome& out = outcomes[i];
+    out.algorithm = tasks[i].algorithm;
+    out.result = make_solver(tasks[i].algorithm, tasks[i].options)
+                     ->solve(instance);
+    out.evaluation = gap::evaluate(instance, out.result.assignment);
+  });
+  if (stats) *stats = std::move(run_stats);
+  return outcomes;
+}
+
+AlgoStats run_repeated_parallel(
+    const std::function<Scenario(std::uint64_t)>& make_scenario,
+    Algorithm algorithm, std::size_t repeats, std::uint64_t base_seed,
+    const AlgorithmOptions& options, PortfolioRunner& runner,
+    RunStats* stats) {
+  // Generate the per-repeat scenarios concurrently (each is a pure function
+  // of its seed), then batch-solve them over the same pool.
+  std::vector<std::optional<Scenario>> slots(repeats);
+  parallel_for(repeats, runner.threads(), [&](std::size_t r) {
+    slots[r] = make_scenario(base_seed + r);
+  });
+  std::vector<Scenario> scenarios;
+  std::vector<ConfigureRequest> requests;
+  scenarios.reserve(repeats);
+  requests.reserve(repeats);
+  for (std::size_t r = 0; r < repeats; ++r) {
+    scenarios.push_back(std::move(*slots[r]));
+    ConfigureRequest request{algorithm, options};
+    request.options.apply_seed((base_seed + r) * 1000 + 1);
+    requests.push_back(std::move(request));
+  }
+
+  const std::vector<ClusterConfiguration> configurations =
+      runner.run_batch(scenarios, requests, stats);
+
+  AlgoStats algo_stats;
+  algo_stats.algorithm = algorithm;
+  for (const ClusterConfiguration& conf : configurations) {
+    const gap::Evaluation& ev = conf.evaluation();
+    algo_stats.total_cost.add(ev.total_cost);
+    algo_stats.avg_delay_ms.add(ev.avg_delay_ms);
+    algo_stats.max_delay_ms.add(ev.max_delay_ms);
+    algo_stats.max_utilization.add(ev.max_utilization);
+    algo_stats.wall_ms.add(conf.solve_wall_ms());
+    if (ev.feasible) ++algo_stats.feasible_runs;
+    algo_stats.overload_violations += ev.overloaded_servers;
+    ++algo_stats.runs;
+  }
+  return algo_stats;
+}
+
+}  // namespace tacc::runtime
+
+namespace tacc {
+
+PortfolioOutcome ClusterConfigurator::configure_portfolio(
+    std::span<const ConfigureRequest> requests, std::size_t threads) const {
+  runtime::PortfolioRunner runner(threads);
+  return runner.run(*this, requests);
+}
+
+}  // namespace tacc

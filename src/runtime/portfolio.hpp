@@ -1,0 +1,110 @@
+// Portfolio solve runtime: fan {algorithm × options} tasks over a worker
+// pool and keep the feasible winner.
+//
+// Determinism contract: every result is a pure function of its task inputs
+// (request + derived seed), each task writes only its own output slot, and
+// winner selection is a deterministic scan — so a portfolio run is
+// bit-identical for threads = 1, 2, 8, … regardless of scheduling order.
+//
+//   PortfolioRunner runner(/*threads=*/8);
+//   PortfolioOutcome out = runner.run_seeded(configurator, requests,
+//                                            /*base_seed=*/1000);
+//   const ClusterConfiguration& best = out.winner();
+//   log << out.stats.total_wall_ms << out.stats.parallel_speedup();
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "core/configurator.hpp"
+#include "core/experiments.hpp"
+#include "runtime/run_stats.hpp"
+#include "runtime/thread_pool.hpp"
+
+namespace tacc::runtime {
+
+/// Deterministic per-task seed: a splitmix64 mix of (base_seed, task_index).
+/// Depends only on its arguments, never on thread count or scheduling, so
+/// reruns with any worker count replay the exact same solver streams.
+[[nodiscard]] std::uint64_t derive_task_seed(std::uint64_t base_seed,
+                                             std::size_t task_index) noexcept;
+
+/// Instance-level task: one algorithm over a raw GAP instance (no Scenario
+/// required — this is what tools/tacc_solve fans out).
+struct SolveTask {
+  Algorithm algorithm = Algorithm::kQLearning;
+  AlgorithmOptions options;
+};
+
+/// Instance-level outcome: the raw solver result plus its static evaluation.
+struct TaskOutcome {
+  Algorithm algorithm = Algorithm::kQLearning;
+  solvers::SolveResult result;
+  gap::Evaluation evaluation;
+};
+
+/// Winner rule shared by every portfolio mode: cheapest feasible outcome,
+/// falling back to cheapest overall; ties break toward the lower index.
+/// Returns PortfolioOutcome::kNoWinner on an empty span.
+[[nodiscard]] std::size_t pick_winner(std::span<const TaskOutcome> outcomes);
+[[nodiscard]] std::size_t pick_winner(
+    std::span<const ClusterConfiguration> configurations);
+
+class PortfolioRunner {
+ public:
+  /// `threads` = 0 picks the hardware concurrency; 1 runs inline (no worker
+  /// threads), which is also the fallback whenever a fan-out has one task.
+  explicit PortfolioRunner(std::size_t threads = 0);
+  ~PortfolioRunner();
+
+  PortfolioRunner(const PortfolioRunner&) = delete;
+  PortfolioRunner& operator=(const PortfolioRunner&) = delete;
+
+  [[nodiscard]] std::size_t threads() const noexcept { return threads_; }
+
+  /// Portfolio mode: every request against one scenario. Request options are
+  /// honored verbatim (callers manage seeds).
+  [[nodiscard]] PortfolioOutcome run(
+      const ClusterConfigurator& configurator,
+      std::span<const ConfigureRequest> requests);
+
+  /// Portfolio mode with deterministic per-task seeding: task i runs with
+  /// its options reseeded to derive_task_seed(base_seed, i).
+  [[nodiscard]] PortfolioOutcome run_seeded(
+      const ClusterConfigurator& configurator,
+      std::span<const ConfigureRequest> requests, std::uint64_t base_seed);
+
+  /// Batch mode: request k against scenario k (a single request broadcasts
+  /// to every scenario). Returns one configuration per scenario, in order.
+  [[nodiscard]] std::vector<ClusterConfiguration> run_batch(
+      std::span<const Scenario> scenarios,
+      std::span<const ConfigureRequest> requests, RunStats* stats = nullptr);
+
+  /// Instance-level fan-out (no Scenario): solve + evaluate each task
+  /// against `instance`. Results are in task order.
+  [[nodiscard]] std::vector<TaskOutcome> run_tasks(
+      const gap::Instance& instance, std::span<const SolveTask> tasks,
+      RunStats* stats = nullptr);
+
+ private:
+  /// Runs fn(0..count-1) over the pool (inline when serial), filling
+  /// per-task wall/queue-latency counters.
+  RunStats fan_out(std::size_t count,
+                   const std::function<void(std::size_t)>& fn);
+
+  std::size_t threads_;
+  std::unique_ptr<ThreadPool> pool_;  // null when running inline
+};
+
+/// Parallel twin of tacc::run_repeated: identical seed schedule (scenario
+/// seed base_seed + r, solver seed (base_seed + r) * 1000 + 1), so the
+/// aggregated statistics match the serial harness bit for bit; the repeats —
+/// scenario generation included — are fanned over the runner's pool.
+[[nodiscard]] AlgoStats run_repeated_parallel(
+    const std::function<Scenario(std::uint64_t)>& make_scenario,
+    Algorithm algorithm, std::size_t repeats, std::uint64_t base_seed,
+    const AlgorithmOptions& options, PortfolioRunner& runner,
+    RunStats* stats = nullptr);
+
+}  // namespace tacc::runtime

@@ -1,0 +1,53 @@
+// Per-task timing counters surfaced by the portfolio runtime.
+//
+// Standalone (std-only) so core headers can embed RunStats in their return
+// types without depending on the runtime library.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <vector>
+
+namespace tacc::runtime {
+
+/// Timing of one fan-out task.
+struct TaskTiming {
+  double queue_ms = 0.0;  ///< enqueue → start of execution (queue latency)
+  double wall_ms = 0.0;   ///< start → finish (solve + evaluate)
+};
+
+/// Aggregate counters for one fan-out (portfolio or batch run).
+struct RunStats {
+  std::size_t threads = 1;      ///< worker count the run used
+  std::size_t tasks = 0;        ///< tasks fanned out
+  double total_wall_ms = 0.0;   ///< first enqueue → last task completion
+  std::vector<TaskTiming> per_task;  ///< indexed by task id
+
+  [[nodiscard]] double task_wall_ms_sum() const noexcept {
+    double sum = 0.0;
+    for (const TaskTiming& t : per_task) sum += t.wall_ms;
+    return sum;
+  }
+  [[nodiscard]] double max_task_wall_ms() const noexcept {
+    double max = 0.0;
+    for (const TaskTiming& t : per_task) max = std::max(max, t.wall_ms);
+    return max;
+  }
+  [[nodiscard]] double mean_queue_ms() const noexcept {
+    if (per_task.empty()) return 0.0;
+    double sum = 0.0;
+    for (const TaskTiming& t : per_task) sum += t.queue_ms;
+    return sum / static_cast<double>(per_task.size());
+  }
+  [[nodiscard]] double max_queue_ms() const noexcept {
+    double max = 0.0;
+    for (const TaskTiming& t : per_task) max = std::max(max, t.queue_ms);
+    return max;
+  }
+  /// Aggregate task time over elapsed time; >1 means real parallel overlap.
+  [[nodiscard]] double parallel_speedup() const noexcept {
+    return total_wall_ms > 0.0 ? task_wall_ms_sum() / total_wall_ms : 0.0;
+  }
+};
+
+}  // namespace tacc::runtime

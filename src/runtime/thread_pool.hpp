@@ -1,0 +1,74 @@
+// Fixed-size worker pool for the portfolio solve runtime.
+//
+// A ThreadPool owns N std::jthread workers draining a FIFO work queue.
+// Determinism contract: the pool never reorders *results* — callers index
+// their output slots by task id, so scheduling order can only change wall
+// time, never values. Exceptions thrown by jobs are captured and rethrown
+// from wait_idle() (the first one in submission order).
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace tacc::runtime {
+
+/// Worker count to use when the caller passes 0 ("pick for me"):
+/// hardware_concurrency, clamped to at least 1.
+[[nodiscard]] std::size_t default_thread_count() noexcept;
+
+/// Hard ceiling on worker counts everywhere in the runtime. Guards against
+/// wrapped negatives (size_t(-1)) and absurd requests from CLI flags; more
+/// workers than this never helps a portfolio fan-out.
+inline constexpr std::size_t kMaxThreads = 256;
+
+class ThreadPool {
+ public:
+  /// Spawns `threads` workers (0 = default_thread_count(); values above
+  /// kMaxThreads are clamped to it).
+  explicit ThreadPool(std::size_t threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  [[nodiscard]] std::size_t thread_count() const noexcept {
+    return workers_.size();
+  }
+
+  /// Enqueues a job. Jobs must not submit to the same pool recursively from
+  /// a worker and then wait_idle() on it (deadlock).
+  void submit(std::function<void()> job);
+
+  /// Blocks until the queue is empty and every worker is idle, then rethrows
+  /// the first captured job exception (submission order), if any.
+  void wait_idle();
+
+ private:
+  void worker_loop(const std::stop_token& stop);
+
+  mutable std::mutex mutex_;
+  std::condition_variable_any work_cv_;   // queue became non-empty / stopping
+  std::condition_variable idle_cv_;       // a job finished
+  std::deque<std::pair<std::size_t, std::function<void()>>> queue_;
+  std::size_t active_ = 0;        // jobs currently executing
+  std::size_t next_ticket_ = 0;   // submission order for exception ranking
+  std::size_t error_ticket_ = 0;
+  std::exception_ptr error_;      // first (lowest-ticket) job exception
+  std::vector<std::jthread> workers_;  // last member: joins before the rest die
+};
+
+/// Runs fn(0), …, fn(count-1), spread over up to `threads` workers
+/// (0 = default). Inline (no threads spawned) when threads <= 1 or
+/// count <= 1. Blocks until all calls finish; rethrows the first exception
+/// by index. Each index is invoked exactly once; fn must be safe to call
+/// concurrently from different threads on different indices.
+void parallel_for(std::size_t count, std::size_t threads,
+                  const std::function<void(std::size_t)>& fn);
+
+}  // namespace tacc::runtime

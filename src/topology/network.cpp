@@ -77,12 +77,17 @@ NetworkTopology build_network(const GeoGraph& infrastructure,
   return net;
 }
 
-DelayMatrix compute_delay_matrix(const NetworkTopology& net) {
+DelayMatrix compute_delay_matrix(const NetworkTopology& net,
+                                 std::size_t threads) {
   DelayMatrix matrix(net.iot_count(), net.edge_count(), kUnreachable);
+  // One Dijkstra per edge server — the hot precomputation when building
+  // instances. Each tree fills a disjoint column, so the fan-out is
+  // deterministic for any thread count.
+  const std::vector<ShortestPathTree> trees =
+      dijkstra_fan_out(net.graph, net.edge_nodes, threads);
   for (std::size_t j = 0; j < net.edge_count(); ++j) {
-    const ShortestPathTree tree = dijkstra(net.graph, net.edge_nodes[j]);
     for (std::size_t i = 0; i < net.iot_count(); ++i) {
-      matrix.set(i, j, tree.distance_ms[net.iot_nodes[i]]);
+      matrix.set(i, j, trees[j].distance_ms[net.iot_nodes[i]]);
     }
   }
   return matrix;

@@ -92,7 +92,11 @@ struct AttachParams {
 
 /// Shortest-path delay (ms) from every IoT device to every edge server.
 /// Runs one Dijkstra per edge server (m << n in practice).
-[[nodiscard]] DelayMatrix compute_delay_matrix(const NetworkTopology& net);
+/// `threads` spreads the per-server Dijkstra runs over a worker pool
+/// (1 = serial, 0 = hardware concurrency); the matrix is bit-identical for
+/// any thread count.
+[[nodiscard]] DelayMatrix compute_delay_matrix(const NetworkTopology& net,
+                                               std::size_t threads = 1);
 
 /// Hop counts on the same paths; useful for diagnostics/ablation.
 [[nodiscard]] DelayMatrix compute_hop_matrix(const NetworkTopology& net);

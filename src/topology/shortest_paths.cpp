@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <queue>
 
+#include "runtime/thread_pool.hpp"
+
 namespace tacc::topo {
 
 std::vector<NodeId> ShortestPathTree::path_to(NodeId target) const {
@@ -65,12 +67,24 @@ std::vector<std::uint32_t> bfs_hops(const Graph& graph, NodeId source) {
   return hops;
 }
 
-std::vector<std::vector<double>> all_pairs_distances(const Graph& graph) {
-  std::vector<std::vector<double>> result;
-  result.reserve(graph.node_count());
-  for (NodeId s = 0; s < graph.node_count(); ++s) {
-    result.push_back(dijkstra(graph, s).distance_ms);
-  }
+std::vector<std::vector<double>> all_pairs_distances(const Graph& graph,
+                                                     std::size_t threads) {
+  std::vector<std::vector<double>> result(graph.node_count());
+  runtime::parallel_for(graph.node_count(), threads, [&](std::size_t s) {
+    result[s] = dijkstra(graph, static_cast<NodeId>(s)).distance_ms;
+  });
+  return result;
+}
+
+std::vector<ShortestPathTree> dijkstra_fan_out(const Graph& graph,
+                                               std::span<const NodeId> sources,
+                                               std::size_t threads) {
+  std::vector<ShortestPathTree> result(sources.size());
+  // Each task writes only its own slot, so any schedule yields the same
+  // trees.
+  runtime::parallel_for(sources.size(), threads, [&](std::size_t k) {
+    result[k] = dijkstra(graph, sources[k]);
+  });
   return result;
 }
 

@@ -2,7 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <cctype>
 #include <set>
+#include <string>
 
 #include "tests/test_helpers.hpp"
 
@@ -14,6 +16,29 @@ TEST(AlgorithmNames, RoundTripAll) {
     EXPECT_EQ(algorithm_from_string(to_string(a)), a);
   }
   EXPECT_THROW((void)algorithm_from_string("definitely-not"),
+               std::invalid_argument);
+}
+
+TEST(AlgorithmNames, RoundTripIsCaseInsensitive) {
+  // Exhaustive: every algorithm must parse back from its upper-cased and
+  // alternating-cased spellings, not just the canonical lowercase one.
+  for (Algorithm a : all_algorithms()) {
+    std::string upper(to_string(a));
+    for (char& c : upper) {
+      c = static_cast<char>(std::toupper(static_cast<unsigned char>(c)));
+    }
+    EXPECT_EQ(algorithm_from_string(upper), a) << upper;
+
+    std::string mixed(to_string(a));
+    for (std::size_t i = 0; i < mixed.size(); i += 2) {
+      mixed[i] = static_cast<char>(
+          std::toupper(static_cast<unsigned char>(mixed[i])));
+    }
+    EXPECT_EQ(algorithm_from_string(mixed), a) << mixed;
+  }
+  EXPECT_EQ(algorithm_from_string("Q-Learning"), Algorithm::kQLearning);
+  // Case folding must not widen what parses: near-misses still throw.
+  EXPECT_THROW((void)algorithm_from_string("Q LEARNING"),
                std::invalid_argument);
 }
 

@@ -18,7 +18,7 @@ TEST(Configurator, ConfigureProducesConsistentView) {
   const Scenario scenario = Scenario::smart_city(60, 6, 21);
   const ClusterConfigurator configurator(scenario);
   const ClusterConfiguration conf =
-      configurator.configure(Algorithm::kGreedyBestFit, cheap_options(21));
+      configurator.configure({Algorithm::kGreedyBestFit, cheap_options(21)});
   EXPECT_EQ(conf.algorithm(), Algorithm::kGreedyBestFit);
   EXPECT_EQ(conf.algorithm_name(), "greedy-bestfit");
   EXPECT_EQ(conf.assignment().size(), 60u);
@@ -33,11 +33,27 @@ TEST(Configurator, ConfigureProducesConsistentView) {
             static_cast<std::size_t>(conf.assignment()[5]));
 }
 
+TEST(Configurator, ConfigurationCarriesScenarioFingerprint) {
+  const Scenario scenario = Scenario::smart_city(40, 5, 33);
+  const ClusterConfigurator configurator(scenario);
+  const ClusterConfiguration conf =
+      configurator.configure({Algorithm::kGreedyBestFit, cheap_options(33)});
+  EXPECT_NE(conf.scenario_fingerprint(), 0u);
+  EXPECT_EQ(conf.scenario_fingerprint(), scenario.fingerprint());
+
+  // A different seed must produce a different scenario fingerprint; the same
+  // seed must reproduce it exactly.
+  const Scenario other = Scenario::smart_city(40, 5, 34);
+  EXPECT_NE(other.fingerprint(), scenario.fingerprint());
+  const Scenario twin = Scenario::smart_city(40, 5, 33);
+  EXPECT_EQ(twin.fingerprint(), scenario.fingerprint());
+}
+
 TEST(Configurator, RlConfigurationIsFeasible) {
   const Scenario scenario = Scenario::smart_city(80, 8, 22);
   const ClusterConfigurator configurator(scenario);
   const ClusterConfiguration conf =
-      configurator.configure(Algorithm::kQLearning, cheap_options(22));
+      configurator.configure({Algorithm::kQLearning, cheap_options(22)});
   EXPECT_TRUE(conf.feasible());
 }
 
@@ -51,12 +67,13 @@ TEST(Configurator, ObliviousRealizesWorseOrEqualDelayOnAverage) {
     const Scenario scenario = Scenario::campus(60, 6, seed);
     const ClusterConfigurator configurator(scenario);
     aware_total += configurator
-                       .configure(Algorithm::kGreedyBestFit,
-                                  cheap_options(seed))
+                       .configure({Algorithm::kGreedyBestFit,
+                                   cheap_options(seed)})
                        .total_cost();
     oblivious_total += configurator
-                           .configure_topology_oblivious(
-                               Algorithm::kGreedyBestFit, cheap_options(seed))
+                           .configure({Algorithm::kGreedyBestFit,
+                                       cheap_options(seed),
+                                       CostModel::kEuclidean})
                            .total_cost();
   }
   EXPECT_LE(aware_total, oblivious_total);
@@ -65,8 +82,8 @@ TEST(Configurator, ObliviousRealizesWorseOrEqualDelayOnAverage) {
 TEST(Configurator, ObliviousEvaluationUsesTrueDelays) {
   const Scenario scenario = Scenario::campus(40, 5, 8);
   const ClusterConfigurator configurator(scenario);
-  const ClusterConfiguration conf = configurator.configure_topology_oblivious(
-      Algorithm::kGreedyBestFit, cheap_options(8));
+  const ClusterConfiguration conf = configurator.configure(
+      {Algorithm::kGreedyBestFit, cheap_options(8), CostModel::kEuclidean});
   // Realized avg delay must be in topology-delay units (≥ ~1 ms access
   // latency), not Euclidean km.
   EXPECT_GT(conf.avg_delay_ms(), 1.0);
@@ -77,13 +94,57 @@ TEST(Configurator, ProvenOptimalOnTinyScenario) {
   const Scenario scenario = Scenario::smart_city(8, 3, 30);
   const ClusterConfigurator configurator(scenario);
   const ClusterConfiguration exact =
-      configurator.configure(Algorithm::kBranchAndBound, cheap_options(30));
+      configurator.configure({Algorithm::kBranchAndBound, cheap_options(30)});
   EXPECT_TRUE(exact.proven_optimal());
   const ClusterConfiguration heuristic =
-      configurator.configure(Algorithm::kQLearning, cheap_options(30));
+      configurator.configure({Algorithm::kQLearning, cheap_options(30)});
   EXPECT_FALSE(heuristic.proven_optimal());
   if (heuristic.feasible()) {
     EXPECT_GE(heuristic.total_cost(), exact.total_cost() - 1e-9);
+  }
+}
+
+// The pre-ConfigureRequest entry points must keep compiling and produce the
+// exact same configurations as their request-form replacements.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+TEST(Configurator, DeprecatedWrappersMatchRequestForm) {
+  const Scenario scenario = Scenario::smart_city(50, 5, 41);
+  const ClusterConfigurator configurator(scenario);
+
+  const ClusterConfiguration via_wrapper =
+      configurator.configure(Algorithm::kGreedyBestFit, cheap_options(41));
+  const ClusterConfiguration via_request =
+      configurator.configure({Algorithm::kGreedyBestFit, cheap_options(41)});
+  EXPECT_EQ(via_wrapper.assignment(), via_request.assignment());
+  EXPECT_EQ(via_wrapper.total_cost(), via_request.total_cost());
+
+  const ClusterConfiguration oblivious_wrapper =
+      configurator.configure_topology_oblivious(Algorithm::kGreedyBestFit,
+                                                cheap_options(41));
+  const ClusterConfiguration oblivious_request = configurator.configure(
+      {Algorithm::kGreedyBestFit, cheap_options(41), CostModel::kEuclidean});
+  EXPECT_EQ(oblivious_wrapper.assignment(), oblivious_request.assignment());
+}
+#pragma GCC diagnostic pop
+
+TEST(Configurator, PortfolioPicksCheapestFeasible) {
+  const Scenario scenario = Scenario::smart_city(60, 6, 55);
+  const ClusterConfigurator configurator(scenario);
+  const std::vector<ConfigureRequest> requests = {
+      {Algorithm::kGreedyBestFit, cheap_options(55)},
+      {Algorithm::kLocalSearch, cheap_options(55)},
+      {Algorithm::kQLearning, cheap_options(55)},
+  };
+  const PortfolioOutcome out = configurator.configure_portfolio(requests, 2);
+  ASSERT_TRUE(out.has_winner());
+  ASSERT_EQ(out.configurations.size(), requests.size());
+  const ClusterConfiguration& best = out.winner();
+  for (const ClusterConfiguration& conf : out.configurations) {
+    if (conf.feasible()) {
+      EXPECT_TRUE(best.feasible());
+      EXPECT_LE(best.total_cost(), conf.total_cost() + 1e-12);
+    }
   }
 }
 

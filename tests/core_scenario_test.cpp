@@ -34,6 +34,26 @@ TEST(Scenario, DeterministicForSeed) {
   EXPECT_NE(a.instance().delay_ms(3, 1), c.instance().delay_ms(3, 1));
 }
 
+TEST(Scenario, ParallelDelayMatrixBuildIsBitIdentical) {
+  ScenarioParams params;
+  params.workload.iot_count = 40;
+  params.workload.edge_count = 5;
+  params.seed = 12;
+  const Scenario serial = Scenario::generate(params);
+  params.build_threads = 4;
+  const Scenario parallel = Scenario::generate(params);
+  for (std::size_t i = 0; i < 40; ++i) {
+    for (std::size_t j = 0; j < 5; ++j) {
+      EXPECT_EQ(serial.instance().delay_ms(i, j),
+                parallel.instance().delay_ms(i, j))
+          << i << "," << j;
+    }
+  }
+  // build_threads is a build knob, not a scenario parameter: the fingerprint
+  // must not change with it.
+  EXPECT_EQ(serial.fingerprint(), parallel.fingerprint());
+}
+
 TEST(Scenario, NetworkIsConnected) {
   const Scenario scenario = Scenario::smart_city(40, 5, 3);
   EXPECT_TRUE(topo::is_connected(scenario.network().graph));

@@ -123,13 +123,13 @@ TEST(Deadlines, DeadlineAwareConfigurationReducesViolations) {
     tacc::AlgorithmOptions options;
     options.apply_seed(seed);
     plain_violations +=
-        configurator.configure(tacc::Algorithm::kGreedyBestFit, options)
+        configurator.configure({tacc::Algorithm::kGreedyBestFit, options})
             .evaluation()
             .deadline_violations;
     aware_violations +=
         configurator
-            .configure_deadline_aware(tacc::Algorithm::kGreedyBestFit,
-                                      options)
+            .configure({tacc::Algorithm::kGreedyBestFit, options,
+                        tacc::CostModel::kDeadlinePenalized})
             .evaluation()
             .deadline_violations;
   }

@@ -28,7 +28,7 @@ TEST(Integration, FullPipelineEveryComparisonAlgorithm) {
 
   for (Algorithm algorithm : comparison_algorithms()) {
     const ClusterConfiguration conf =
-        configurator.configure(algorithm, cheap_options(77));
+        configurator.configure({algorithm, cheap_options(77)});
     if (algorithm != Algorithm::kGreedyNearest) {
       // Every capacity-aware algorithm must respect capacities; the
       // oblivious nearest baseline is *expected* to overload.
@@ -51,9 +51,9 @@ TEST(Integration, RlBeatsObliviousNearestUnderSimulation) {
   sim_params.duration_s = 5.0;
 
   const auto rl_conf =
-      configurator.configure(Algorithm::kQLearning, cheap_options(31));
+      configurator.configure({Algorithm::kQLearning, cheap_options(31)});
   const auto nearest_conf =
-      configurator.configure(Algorithm::kGreedyNearest, cheap_options(31));
+      configurator.configure({Algorithm::kGreedyNearest, cheap_options(31)});
   const auto rl_sim = sim::simulate(scenario.network(), scenario.workload(),
                                     rl_conf.assignment(), sim_params);
   const auto nearest_sim =
@@ -89,7 +89,7 @@ TEST(Integration, LowerBoundsHoldOnGeneratedScenarios) {
     for (Algorithm algorithm :
          {Algorithm::kGreedyBestFit, Algorithm::kQLearning,
           Algorithm::kFlowRelaxRepair}) {
-      const auto conf = configurator.configure(algorithm, cheap_options(seed));
+      const auto conf = configurator.configure({algorithm, cheap_options(seed)});
       if (conf.feasible()) {
         EXPECT_GE(conf.total_cost(), bounds.splittable_flow - 1e-6)
             << to_string(algorithm) << " seed " << seed;
@@ -104,7 +104,7 @@ TEST(Integration, DynamicClusterAgreesWithStaticEvaluation) {
                          cheap_options(44));
   const ClusterConfigurator configurator(scenario);
   const auto conf =
-      configurator.configure(Algorithm::kGreedyBestFit, cheap_options(44));
+      configurator.configure({Algorithm::kGreedyBestFit, cheap_options(44)});
   EXPECT_NEAR(cluster.avg_delay_ms(), conf.avg_delay_ms(), 1e-9);
   EXPECT_EQ(cluster.feasible(), conf.feasible());
 }

@@ -57,7 +57,7 @@ TEST(Regression, SimulationPinned) {
   AlgorithmOptions options;
   options.apply_seed(1);
   const auto conf = ClusterConfigurator(scenario).configure(
-      Algorithm::kGreedyBestFit, options);
+      {Algorithm::kGreedyBestFit, options});
   sim::SimParams params;
   params.duration_s = 5.0;
   params.warmup_s = 1.0;

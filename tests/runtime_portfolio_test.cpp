@@ -1,0 +1,192 @@
+#include "runtime/portfolio.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+#include "core/experiments.hpp"
+
+namespace tacc::runtime {
+namespace {
+
+AlgorithmOptions cheap_options(std::uint64_t seed) {
+  AlgorithmOptions options;
+  options.apply_seed(seed);
+  options.rl.episodes = 60;
+  options.ucb.rollouts_per_device = 4;
+  options.annealing.steps = 10'000;
+  return options;
+}
+
+std::vector<ConfigureRequest> comparison_requests(std::uint64_t seed) {
+  std::vector<ConfigureRequest> requests;
+  for (Algorithm a : {Algorithm::kGreedyBestFit, Algorithm::kLocalSearch,
+                      Algorithm::kSimulatedAnnealing, Algorithm::kQLearning,
+                      Algorithm::kSarsa}) {
+    requests.push_back({a, cheap_options(seed)});
+  }
+  return requests;
+}
+
+TEST(RuntimePortfolio, DeriveTaskSeedIsPureAndSpreads) {
+  EXPECT_EQ(derive_task_seed(1000, 0), derive_task_seed(1000, 0));
+  std::set<std::uint64_t> seeds;
+  for (std::size_t i = 0; i < 100; ++i) seeds.insert(derive_task_seed(7, i));
+  EXPECT_EQ(seeds.size(), 100u);  // no collisions among neighbors
+  EXPECT_NE(derive_task_seed(1, 0), derive_task_seed(2, 0));
+}
+
+TEST(RuntimePortfolio, BitIdenticalAcrossThreadCounts) {
+  const Scenario scenario = Scenario::smart_city(60, 6, 91);
+  const ClusterConfigurator configurator(scenario);
+  const auto requests = comparison_requests(91);
+
+  PortfolioRunner baseline(1);
+  const PortfolioOutcome serial =
+      baseline.run_seeded(configurator, requests, 91);
+  ASSERT_EQ(serial.configurations.size(), requests.size());
+
+  for (std::size_t threads : {std::size_t{2}, std::size_t{8}}) {
+    PortfolioRunner runner(threads);
+    const PortfolioOutcome out =
+        runner.run_seeded(configurator, requests, 91);
+    ASSERT_EQ(out.configurations.size(), requests.size());
+    EXPECT_EQ(out.winner_index, serial.winner_index) << threads;
+    for (std::size_t i = 0; i < requests.size(); ++i) {
+      EXPECT_EQ(out.configurations[i].assignment(),
+                serial.configurations[i].assignment())
+          << "threads=" << threads << " task=" << i;
+      EXPECT_EQ(out.configurations[i].total_cost(),
+                serial.configurations[i].total_cost());
+      EXPECT_EQ(out.configurations[i].feasible(),
+                serial.configurations[i].feasible());
+      EXPECT_EQ(out.configurations[i].scenario_fingerprint(),
+                serial.configurations[i].scenario_fingerprint());
+    }
+  }
+}
+
+TEST(RuntimePortfolio, WinnerPrefersFeasibleOverCheaperInfeasible) {
+  // Craft outcomes directly: the infeasible one is cheaper, the feasible one
+  // must still win; among feasible, cheapest wins; ties keep the lower index.
+  const auto make = [](double cost, bool feasible) {
+    solvers::SolveResult result;
+    result.total_cost = cost;
+    result.feasible = feasible;
+    gap::Evaluation ev;
+    ev.total_cost = cost;
+    ev.feasible = feasible;
+    return ClusterConfiguration(Algorithm::kGreedyBestFit, result, ev);
+  };
+  const std::vector<ClusterConfiguration> configurations = {
+      make(10.0, false), make(50.0, true), make(40.0, true), make(40.0, true)};
+  EXPECT_EQ(pick_winner(std::span<const ClusterConfiguration>(configurations)),
+            2u);
+
+  const std::vector<ClusterConfiguration> none_feasible = {
+      make(30.0, false), make(20.0, false)};
+  EXPECT_EQ(pick_winner(std::span<const ClusterConfiguration>(none_feasible)),
+            1u);  // falls back to cheapest overall
+}
+
+TEST(RuntimePortfolio, EmptyAndSingleRequestAreSane) {
+  const Scenario scenario = Scenario::smart_city(40, 5, 17);
+  const ClusterConfigurator configurator(scenario);
+  PortfolioRunner runner(4);
+
+  const PortfolioOutcome empty =
+      runner.run(configurator, std::span<const ConfigureRequest>{});
+  EXPECT_TRUE(empty.configurations.empty());
+  EXPECT_FALSE(empty.has_winner());
+  EXPECT_THROW((void)empty.winner(), std::logic_error);
+
+  const std::vector<ConfigureRequest> one = {
+      {Algorithm::kGreedyBestFit, cheap_options(17)}};
+  const PortfolioOutcome single = runner.run(configurator, one);
+  ASSERT_EQ(single.configurations.size(), 1u);
+  EXPECT_EQ(single.winner_index, 0u);
+  EXPECT_EQ(single.stats.tasks, 1u);
+}
+
+TEST(RuntimePortfolio, RunStatsCountTasksAndTime) {
+  const Scenario scenario = Scenario::smart_city(40, 5, 18);
+  const ClusterConfigurator configurator(scenario);
+  PortfolioRunner runner(2);
+  const auto requests = comparison_requests(18);
+  const PortfolioOutcome out = runner.run_seeded(configurator, requests, 18);
+  EXPECT_EQ(out.stats.threads, 2u);
+  EXPECT_EQ(out.stats.tasks, requests.size());
+  ASSERT_EQ(out.stats.per_task.size(), requests.size());
+  EXPECT_GT(out.stats.total_wall_ms, 0.0);
+  EXPECT_GT(out.stats.task_wall_ms_sum(), 0.0);
+  EXPECT_GE(out.stats.max_task_wall_ms(), 0.0);
+  EXPECT_GE(out.stats.mean_queue_ms(), 0.0);
+  EXPECT_GT(out.stats.parallel_speedup(), 0.0);
+}
+
+TEST(RuntimePortfolio, RunTasksMatchesDirectSolverLoop) {
+  const Scenario scenario = Scenario::smart_city(50, 5, 23);
+  const gap::Instance& instance = scenario.instance();
+  std::vector<SolveTask> tasks;
+  for (Algorithm a : {Algorithm::kGreedyBestFit, Algorithm::kQLearning}) {
+    SolveTask task;
+    task.algorithm = a;
+    task.options = cheap_options(derive_task_seed(23, tasks.size()));
+    tasks.push_back(std::move(task));
+  }
+
+  PortfolioRunner runner(2);
+  RunStats stats;
+  const std::vector<TaskOutcome> outcomes =
+      runner.run_tasks(instance, tasks, &stats);
+  ASSERT_EQ(outcomes.size(), tasks.size());
+  EXPECT_EQ(stats.tasks, tasks.size());
+
+  for (std::size_t i = 0; i < tasks.size(); ++i) {
+    const auto direct =
+        make_solver(tasks[i].algorithm, tasks[i].options)->solve(instance);
+    EXPECT_EQ(outcomes[i].algorithm, tasks[i].algorithm);
+    EXPECT_EQ(outcomes[i].result.assignment, direct.assignment) << i;
+    EXPECT_EQ(outcomes[i].evaluation.total_cost,
+              gap::evaluate(instance, direct.assignment).total_cost);
+  }
+}
+
+TEST(RuntimePortfolio, RunBatchBroadcastsAndMatchesSerialHarness) {
+  const auto make_scenario = [](std::uint64_t seed) {
+    return Scenario::smart_city(40, 5, seed);
+  };
+  constexpr std::uint64_t kBase = 400;
+  constexpr std::size_t kRepeats = 3;
+
+  PortfolioRunner runner(4);
+  RunStats stats;
+  const AlgoStats parallel_stats = run_repeated_parallel(
+      make_scenario, Algorithm::kGreedyBestFit, kRepeats, kBase,
+      cheap_options(0), runner, &stats);
+  const AlgoStats serial_stats = run_repeated(
+      make_scenario, Algorithm::kGreedyBestFit, kRepeats, kBase,
+      cheap_options(0));
+
+  EXPECT_EQ(stats.tasks, kRepeats);
+  EXPECT_EQ(parallel_stats.runs, serial_stats.runs);
+  EXPECT_EQ(parallel_stats.feasible_runs, serial_stats.feasible_runs);
+  EXPECT_EQ(parallel_stats.total_cost.mean(), serial_stats.total_cost.mean());
+  EXPECT_EQ(parallel_stats.avg_delay_ms.mean(),
+            serial_stats.avg_delay_ms.mean());
+  EXPECT_EQ(parallel_stats.max_utilization.mean(),
+            serial_stats.max_utilization.mean());
+
+  // Mismatched request/scenario counts must be rejected loudly.
+  const std::vector<Scenario> scenarios = {make_scenario(1), make_scenario(2)};
+  const std::vector<ConfigureRequest> requests = {
+      {Algorithm::kGreedyBestFit, cheap_options(1)},
+      {Algorithm::kGreedyBestFit, cheap_options(2)},
+      {Algorithm::kGreedyBestFit, cheap_options(3)}};
+  EXPECT_THROW((void)runner.run_batch(scenarios, requests),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace tacc::runtime

@@ -1,0 +1,109 @@
+#include "runtime/thread_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+namespace tacc::runtime {
+namespace {
+
+TEST(RuntimeThreadPool, DefaultThreadCountIsAtLeastOne) {
+  EXPECT_GE(default_thread_count(), 1u);
+}
+
+TEST(RuntimeThreadPool, RunsEverySubmittedJobExactlyOnce) {
+  constexpr std::size_t kJobs = 200;
+  std::vector<std::atomic<int>> hits(kJobs);
+  ThreadPool pool(4);
+  for (std::size_t i = 0; i < kJobs; ++i) {
+    pool.submit([&hits, i] { hits[i].fetch_add(1); });
+  }
+  pool.wait_idle();
+  for (std::size_t i = 0; i < kJobs; ++i) {
+    EXPECT_EQ(hits[i].load(), 1) << "job " << i;
+  }
+}
+
+TEST(RuntimeThreadPool, WaitIdleIsReusable) {
+  ThreadPool pool(2);
+  std::atomic<int> counter{0};
+  pool.submit([&] { counter.fetch_add(1); });
+  pool.wait_idle();
+  EXPECT_EQ(counter.load(), 1);
+  pool.submit([&] { counter.fetch_add(1); });
+  pool.submit([&] { counter.fetch_add(1); });
+  pool.wait_idle();
+  EXPECT_EQ(counter.load(), 3);
+  pool.wait_idle();  // idempotent on an empty queue
+  EXPECT_EQ(counter.load(), 3);
+}
+
+TEST(RuntimeThreadPool, RethrowsFirstExceptionBySubmissionOrder) {
+  ThreadPool pool(4);
+  std::atomic<int> survivors{0};
+  pool.submit([&] { survivors.fetch_add(1); });
+  pool.submit([] { throw std::runtime_error("first"); });
+  pool.submit([] { throw std::runtime_error("second"); });
+  pool.submit([&] { survivors.fetch_add(1); });
+  try {
+    pool.wait_idle();
+    FAIL() << "wait_idle should rethrow";
+  } catch (const std::runtime_error& error) {
+    EXPECT_STREQ(error.what(), "first");
+  }
+  EXPECT_EQ(survivors.load(), 2);  // non-throwing jobs still ran
+  // The pool stays usable after an exception.
+  pool.submit([&] { survivors.fetch_add(1); });
+  pool.wait_idle();
+  EXPECT_EQ(survivors.load(), 3);
+}
+
+TEST(RuntimeThreadPool, DestructorDrainsWithoutWaitIdle) {
+  std::atomic<int> counter{0};
+  {
+    ThreadPool pool(3);
+    for (int i = 0; i < 50; ++i) {
+      pool.submit([&] { counter.fetch_add(1); });
+    }
+  }  // destructor must join without losing queued work or deadlocking
+  EXPECT_EQ(counter.load(), 50);
+}
+
+TEST(RuntimeParallelFor, CoversEveryIndexOnceAtAnyWidth) {
+  constexpr std::size_t kCount = 137;
+  for (std::size_t threads : {std::size_t{1}, std::size_t{2}, std::size_t{8}}) {
+    std::vector<std::atomic<int>> hits(kCount);
+    parallel_for(kCount, threads, [&](std::size_t i) { hits[i].fetch_add(1); });
+    for (std::size_t i = 0; i < kCount; ++i) {
+      EXPECT_EQ(hits[i].load(), 1) << "threads=" << threads << " i=" << i;
+    }
+  }
+}
+
+TEST(RuntimeParallelFor, ZeroAndSingleCountsAreSafe) {
+  parallel_for(0, 8, [](std::size_t) { FAIL() << "must not be called"; });
+  int calls = 0;
+  parallel_for(1, 8, [&](std::size_t i) {
+    EXPECT_EQ(i, 0u);
+    ++calls;
+  });
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(RuntimeParallelFor, RethrowsFirstExceptionByIndex) {
+  try {
+    parallel_for(64, 4, [](std::size_t i) {
+      if (i == 7) throw std::runtime_error("seven");
+      if (i == 40) throw std::runtime_error("forty");
+    });
+    FAIL() << "parallel_for should rethrow";
+  } catch (const std::runtime_error& error) {
+    EXPECT_STREQ(error.what(), "seven");
+  }
+}
+
+}  // namespace
+}  // namespace tacc::runtime

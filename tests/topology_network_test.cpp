@@ -90,6 +90,20 @@ TEST(ComputeDelayMatrix, MatchesManualDijkstra) {
   }
 }
 
+TEST(ComputeDelayMatrix, ParallelBuildMatchesSerialExactly) {
+  const GeoGraph infra = two_router_line();
+  const std::vector<Point2D> iot{{0.5, 0.0}, {3.5, 0.0}, {1.5, 0.3}};
+  const std::vector<Point2D> edges{{0.0, 0.5}, {4.0, 0.5}};
+  const auto net = build_network(infra, iot, edges, kDelay);
+  const auto serial = compute_delay_matrix(net, 1);
+  const auto parallel = compute_delay_matrix(net, 4);
+  for (std::size_t i = 0; i < net.iot_count(); ++i) {
+    for (std::size_t j = 0; j < net.edge_count(); ++j) {
+      EXPECT_EQ(parallel.at(i, j), serial.at(i, j)) << i << "," << j;
+    }
+  }
+}
+
 TEST(ComputeDelayMatrix, NearerServerIsCheaper) {
   const GeoGraph infra = two_router_line();
   const std::vector<Point2D> iot{{0.2, 0.0}};

@@ -24,3 +24,32 @@ execute_process(COMMAND "${SOLVE}" --instance=${inst} --algo=q-learning
 if(NOT rc EQUAL 0)
   message(FATAL_ERROR "tacc_solve q-learning failed: ${rc} ${out}")
 endif()
+# Portfolio mode must pick a winner and stay deterministic across thread
+# counts: compare serial vs 4-worker output line by line.
+execute_process(COMMAND "${SOLVE}" --instance=${inst} --portfolio --parallel=1
+                RESULT_VARIABLE rc OUTPUT_VARIABLE serial_out)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "tacc_solve portfolio (serial) failed: ${rc} ${serial_out}")
+endif()
+if(NOT serial_out MATCHES "winner:")
+  message(FATAL_ERROR "portfolio output missing winner: ${serial_out}")
+endif()
+execute_process(COMMAND "${SOLVE}" --instance=${inst} --portfolio --parallel=4
+                RESULT_VARIABLE rc OUTPUT_VARIABLE parallel_out)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "tacc_solve portfolio (parallel) failed: ${rc} ${parallel_out}")
+endif()
+# Wall-clock numbers (and the padding they drive in the table) are the only
+# nondeterministic text: blank out decimals, collapse runs of spaces/dashes,
+# then demand the rest — winner, costs, feasibility — matches exactly.
+foreach(side serial parallel)
+  string(REGEX REPLACE "[0-9]+\\.[0-9]+" "#" norm "${${side}_out}")
+  string(REGEX REPLACE "threads: [0-9]+" "threads: #" norm "${norm}")
+  string(REGEX REPLACE "\\([0-9]+ threads" "(# threads" norm "${norm}")
+  string(REGEX REPLACE "  +" " " norm "${norm}")
+  string(REGEX REPLACE "--+" "-" norm "${norm}")
+  set(${side}_norm "${norm}")
+endforeach()
+if(NOT serial_norm STREQUAL parallel_norm)
+  message(FATAL_ERROR "portfolio output differs across thread counts:\n--- serial ---\n${serial_out}\n--- parallel ---\n${parallel_out}")
+endif()

@@ -2,9 +2,14 @@
 //
 //   tacc_solve --instance=city.inst [--algo=q-learning] [--seed=1]
 //              [--out=assignment.txt] [--bounds]
+//              [--portfolio] [--parallel=N]
 //
 // Prints the static evaluation (cost, delays, utilization, feasibility);
 // --bounds additionally computes the lower bounds and the optimality gap.
+// --portfolio races every comparison algorithm over the instance (fanned
+// across --parallel=N workers) and reports the cheapest feasible winner;
+// results are bit-identical for any N.
+#include <algorithm>
 #include <fstream>
 #include <iostream>
 
@@ -22,7 +27,8 @@ int run(int argc, char** argv) {
   const std::string path = flags.get_string("instance", "");
   if (path.empty()) {
     std::cerr << "usage: tacc_solve --instance=<path> [--algo=q-learning] "
-                 "[--seed=S] [--out=<assignment path>] [--bounds]\n"
+                 "[--seed=S] [--out=<assignment path>] [--bounds] "
+                 "[--portfolio] [--parallel=N]\n"
               << "algorithms:";
     for (Algorithm a : all_algorithms()) std::cerr << ' ' << to_string(a);
     std::cerr << "\n";
@@ -31,16 +37,58 @@ int run(int argc, char** argv) {
   const gap::Instance instance = gap::load_instance_file(path);
   const Algorithm algorithm =
       algorithm_from_string(flags.get_string("algo", "q-learning"));
+  const auto seed = static_cast<std::uint64_t>(flags.get_int("seed", 1));
+  const bool portfolio = flags.get_bool("portfolio", false);
+  // Negative means "pick for me", same as 0 (hardware concurrency).
+  const auto parallel = static_cast<std::size_t>(
+      std::max<std::int64_t>(0, flags.get_int("parallel", 1)));
   AlgorithmOptions options;
-  options.apply_seed(static_cast<std::uint64_t>(flags.get_int("seed", 1)));
+  options.apply_seed(seed);
 
-  const auto result = make_solver(algorithm, options)->solve(instance);
-  const gap::Evaluation ev = gap::evaluate(instance, result.assignment);
+  solvers::SolveResult result;
+  gap::Evaluation ev;
+  Algorithm reported = algorithm;
+  if (portfolio) {
+    // Race the comparison set; each entry gets a deterministic per-task seed
+    // so reruns replay exactly, regardless of worker count.
+    std::vector<runtime::SolveTask> tasks;
+    for (Algorithm a : comparison_algorithms()) {
+      runtime::SolveTask task;
+      task.algorithm = a;
+      task.options = options;
+      task.options.apply_seed(runtime::derive_task_seed(seed, tasks.size()));
+      tasks.push_back(std::move(task));
+    }
+    runtime::PortfolioRunner runner(parallel);
+    runtime::RunStats stats;
+    const std::vector<runtime::TaskOutcome> outcomes =
+        runner.run_tasks(instance, tasks, &stats);
+    util::ConsoleTable table({"algorithm", "cost", "feasible", "wall (ms)"});
+    for (const runtime::TaskOutcome& out : outcomes) {
+      table.add_row({std::string(to_string(out.algorithm)),
+                     util::format_double(out.evaluation.total_cost, 2),
+                     out.evaluation.feasible ? "yes" : "no",
+                     util::format_double(out.result.wall_ms, 1)});
+    }
+    std::cout << table.to_string("portfolio (" +
+                                 std::to_string(stats.threads) + " threads, " +
+                                 util::format_double(stats.total_wall_ms, 1) +
+                                 " ms total):");
+    const std::size_t winner = runtime::pick_winner(
+        std::span<const runtime::TaskOutcome>(outcomes));
+    reported = outcomes[winner].algorithm;
+    result = outcomes[winner].result;
+    ev = outcomes[winner].evaluation;
+    std::cout << "winner:     " << to_string(reported) << "\n";
+  } else {
+    result = make_solver(algorithm, options)->solve(instance);
+    ev = gap::evaluate(instance, result.assignment);
+  }
 
   std::cout << "instance:   " << instance.device_count() << " devices x "
             << instance.server_count() << " servers (load factor "
             << util::format_double(instance.load_factor(), 3) << ")\n"
-            << "algorithm:  " << to_string(algorithm) << " (seed "
+            << "algorithm:  " << to_string(reported) << " (seed "
             << options.seed << ", " << util::format_double(result.wall_ms, 1)
             << " ms)\n"
             << "result:     " << ev.to_string() << "\n";
