@@ -65,10 +65,11 @@ int run(int argc, char** argv) {
       std::size_t moves = 0;
       for (const std::size_t mover : movers) {
         const auto p = model.position(mover);
-        policy.ids[mover] = policy.handover
-                                ? policy.cluster.move(policy.ids[mover], p)
-                                : policy.cluster.move_pinned(
-                                      policy.ids[mover], p);
+        policy.ids[mover] =
+            policy.handover
+                ? policy.cluster.move(policy.ids[mover], p).device_index
+                : policy.cluster.move_pinned(policy.ids[mover], p)
+                      .device_index;
       }
       if (policy.rebalance) moves = policy.cluster.rebalance(64);
       csv.writer().row(epoch, policy.name, policy.cluster.avg_delay_ms(),

@@ -1,0 +1,226 @@
+// M2: long-horizon churn soak for the dynamic reconfiguration engine.
+//
+// Drives O(100k) join/move/move_pinned/leave/fail/recover events against a
+// random-waypoint mobility trace and HARD-GATES the two properties that make
+// sustained churn viable:
+//   1. Zero net growth: graph node count and device-slot (delay-row) storage
+//      return exactly to baseline across move cycles — the engine recycles
+//      departed nodes/slots instead of leaking one per event.
+//   2. Flat per-event latency: the mean event latency late in the run stays
+//      within a small factor of the early mean (a leak shows up here too —
+//      every Dijkstra pays for dead nodes).
+// Exit code 1 if a gate fails, so CI can run it as a regression check.
+//
+//   ./bench_m2_churn [--events=100000] [--iot=200] [--edge=10] [--seed=...]
+//   --quick shrinks to 20k events for sanitizer/CI runs.
+#include <cstdint>
+
+#include "bench/bench_common.hpp"
+#include "core/dynamic.hpp"
+#include "util/rng.hpp"
+#include "util/timer.hpp"
+#include "workload/mobility.hpp"
+
+namespace {
+
+using namespace tacc;
+
+double mean(const std::vector<double>& v, std::size_t lo, std::size_t hi) {
+  double sum = 0.0;
+  for (std::size_t i = lo; i < hi; ++i) sum += v[i];
+  return hi > lo ? sum / static_cast<double>(hi - lo) : 0.0;
+}
+
+int run(int argc, char** argv) {
+  const auto flags = util::Flags::parse(argc, argv);
+  const auto config = bench::BenchConfig::from_flags(flags);
+  const auto iot = static_cast<std::size_t>(
+      flags.get_int("iot", config.quick ? 120 : 200));
+  const auto edge = static_cast<std::size_t>(flags.get_int("edge", 10));
+  const auto events = static_cast<std::size_t>(
+      flags.get_int("events", config.quick ? 20'000 : 100'000));
+
+  const Scenario scenario = Scenario::smart_city(iot, edge, config.base_seed);
+  AlgorithmOptions options = bench::experiment_options(config.quick);
+  options.apply_seed(config.base_seed);
+  // Greedy keeps startup cheap; the soak exercises the dynamic path, not
+  // the initial configuration.
+  DynamicCluster cluster(scenario, Algorithm::kGreedyBestFit, options);
+
+  workload::MobilityParams mobility;
+  mobility.area_km = scenario.params().workload.area_km;
+  mobility.mobile_fraction = 0.8;
+  workload::RandomWaypointModel model(scenario.workload().iot, mobility,
+                                      util::Rng(config.base_seed * 3 + 1));
+  util::Rng rng(config.base_seed * 7 + 5);
+  const double area = scenario.params().workload.area_km;
+
+  bench::CsvFile csv("m2_churn");
+  csv.writer().header({"event", "event_type", "window_mean_us",
+                       "graph_nodes", "device_slots", "active",
+                       "avg_delay_ms"});
+
+  // ---- Gate 1a: a pure move cycle must not grow anything. ------------------
+  const std::size_t baseline_nodes = cluster.graph_node_count();
+  const std::size_t baseline_slots = cluster.device_slot_count();
+  for (int cycle = 0; cycle < 1'000; ++cycle) {
+    for (const std::size_t mover : model.advance(5.0)) {
+      (void)cluster.move(mover, model.position(mover));
+    }
+    if (cluster.graph_node_count() != baseline_nodes ||
+        cluster.device_slot_count() != baseline_slots) {
+      std::cerr << "GATE FAILED: move cycle " << cycle << " grew storage ("
+                << cluster.graph_node_count() << " nodes vs "
+                << baseline_nodes << ", " << cluster.device_slot_count()
+                << " slots vs " << baseline_slots << ")\n";
+      return 1;
+    }
+  }
+
+  // ---- Mixed soak ----------------------------------------------------------
+  std::vector<std::size_t> extra;        // devices joined on top of the base
+  std::size_t peak_extra = 0;
+  std::vector<double> latency_us;
+  latency_us.reserve(events);
+  std::vector<const char*> types;
+  types.reserve(events);
+
+  const auto record = [&](const char* type, double us) {
+    latency_us.push_back(us);
+    types.push_back(type);
+  };
+
+  util::ConsoleTable table({"events", "window mean (us)", "graph nodes",
+                            "device slots", "active", "avg delay (ms)"});
+  const std::size_t window = std::max<std::size_t>(events / 20, 1);
+  std::size_t next_emit = window;
+  std::size_t emitted = 0;
+
+  while (latency_us.size() < events) {
+    const double roll = rng.uniform(0.0, 1.0);
+    util::WallTimer timer;
+    if (roll < 0.12) {
+      workload::IotDevice device;
+      device.position = {rng.uniform(0.0, area), rng.uniform(0.0, area)};
+      device.request_rate_hz = rng.uniform(2.0, 10.0);
+      device.demand = device.request_rate_hz;
+      timer.reset();
+      const JoinResult joined = cluster.join(device);
+      record("join", timer.elapsed_ms() * 1e3);
+      extra.push_back(joined.device_index);
+      peak_extra = std::max(peak_extra, extra.size());
+    } else if (roll < 0.24 && !extra.empty()) {
+      const std::size_t pick = rng.index(extra.size());
+      timer.reset();
+      cluster.leave(extra[pick]);
+      record("leave", timer.elapsed_ms() * 1e3);
+      extra[pick] = extra.back();
+      extra.pop_back();
+    } else if (roll < 0.26) {
+      if (cluster.healthy_server_count() > 2) {
+        std::size_t j = rng.index(cluster.server_count());
+        while (cluster.server_failed(j)) j = rng.index(cluster.server_count());
+        timer.reset();
+        (void)cluster.fail_server(j, /*evacuate=*/rng.bernoulli(0.5));
+        record("fail", timer.elapsed_ms() * 1e3);
+      } else {
+        for (std::size_t j = 0; j < cluster.server_count(); ++j) {
+          if (cluster.server_failed(j)) {
+            timer.reset();
+            (void)cluster.evacuate_server(j);
+            cluster.recover_server(j);
+            record("recover", timer.elapsed_ms() * 1e3);
+            break;
+          }
+        }
+      }
+    } else if (roll < 0.28) {
+      timer.reset();
+      (void)cluster.repair(16);
+      (void)cluster.rebalance(16);
+      record("rebalance", timer.elapsed_ms() * 1e3);
+    } else {
+      // Mobility burst: every mover is one handover event (10% pinned).
+      for (const std::size_t mover : model.advance(5.0)) {
+        if (latency_us.size() >= events) break;
+        const auto p = model.position(mover);
+        const bool pinned =
+            rng.bernoulli(0.1) &&
+            !cluster.server_failed(cluster.server_of(mover));
+        timer.reset();
+        if (pinned) {
+          (void)cluster.move_pinned(mover, p);
+        } else {
+          (void)cluster.move(mover, p);
+        }
+        record(pinned ? "move_pinned" : "move", timer.elapsed_ms() * 1e3);
+      }
+    }
+
+    // Emit one CSV/table row per completed window (bursts may cross a
+    // boundary mid-iteration, so catch up here).
+    const std::size_t done = latency_us.size();
+    if (done >= next_emit || done == events) {
+      const std::size_t lo = done > window ? done - window : 0;
+      const double window_mean = mean(latency_us, lo, done);
+      csv.writer().row(done, types.back(), window_mean,
+                       cluster.graph_node_count(),
+                       cluster.device_slot_count(), cluster.active_count(),
+                       cluster.avg_delay_ms());
+      if (emitted % 4 == 0 || done == events) {
+        table.add_row({std::to_string(done),
+                       util::format_double(window_mean, 2),
+                       std::to_string(cluster.graph_node_count()),
+                       std::to_string(cluster.device_slot_count()),
+                       std::to_string(cluster.active_count()),
+                       util::format_double(cluster.avg_delay_ms(), 2)});
+      }
+      ++emitted;
+      while (next_emit <= done) next_emit += window;
+    }
+  }
+
+  std::cout << table.to_string(
+      "M2 — churn soak (" + std::to_string(events) + " events, " +
+      std::to_string(iot) + " base devices, " + std::to_string(edge) +
+      " servers):");
+
+  // ---- Gate 1b: storage tracks peak population, not cumulative events. -----
+  const std::size_t expected_slots = iot + peak_extra;
+  const std::size_t expected_nodes = baseline_nodes + peak_extra;
+  bool ok = true;
+  if (cluster.device_slot_count() != expected_slots ||
+      cluster.graph_node_count() != expected_nodes) {
+    std::cerr << "GATE FAILED: storage grew past peak population ("
+              << cluster.device_slot_count() << " slots, expected "
+              << expected_slots << "; " << cluster.graph_node_count()
+              << " nodes, expected " << expected_nodes << ")\n";
+    ok = false;
+  }
+
+  // ---- Gate 2: flat per-event latency (early decile vs late decile). -------
+  // Skip the first decile entirely: allocator warm-up makes it artificially
+  // cheap or noisy depending on the platform.
+  const std::size_t decile = events / 10;
+  const double early = mean(latency_us, decile, 2 * decile);
+  const double late = mean(latency_us, events - decile, events);
+  std::cout << "\nPer-event latency: early mean "
+            << util::format_double(early, 2) << " us, late mean "
+            << util::format_double(late, 2) << " us\n";
+  if (late > early * 2.0 + 1.0) {
+    std::cerr << "GATE FAILED: per-event latency drifted (" << late
+              << " us late vs " << early << " us early)\n";
+    ok = false;
+  }
+
+  if (ok) {
+    std::cout << "All churn gates passed: zero net storage growth, flat "
+                 "latency.\n";
+  }
+  bench::check_unused_flags(flags);
+  return ok ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) { return run(argc, argv); }

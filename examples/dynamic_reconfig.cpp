@@ -42,7 +42,7 @@ int main(int argc, char** argv) {
       device.request_rate_hz = rng.uniform(5.0, 20.0);
       device.demand = device.request_rate_hz;
       device.deadline_ms = rng.uniform(10.0, 40.0);
-      joinable.push_back(cluster.join(device));
+      joinable.push_back(cluster.join(device).device_index);
     } else {
       const std::size_t pick = rng.index(joinable.size());
       cluster.leave(joinable[pick]);

@@ -53,9 +53,13 @@ int main(int argc, char** argv) {
         busiest = j;
       }
     }
-    const std::size_t evacuated = cluster.fail_server(busiest);
+    const tacc::EvacuationReport report = cluster.fail_server(busiest);
     downed.push_back(busiest);
-    snapshot("fail server " + std::to_string(busiest), evacuated);
+    snapshot("fail server " + std::to_string(busiest) +
+                 (report.clean() ? ""
+                                 : " (" + std::to_string(report.overloaded) +
+                                       " overloaded)"),
+             report.evacuated);
   }
 
   // Staged recovery: repair() first restores capacity feasibility (it

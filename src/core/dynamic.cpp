@@ -46,17 +46,16 @@ DynamicCluster::DynamicCluster(const Scenario& scenario, Algorithm initial,
   active_ = devices_.size();
 }
 
-std::vector<double> DynamicCluster::delay_row_for_node(
-    topo::NodeId device_node) const {
-  const auto tree = topo::dijkstra(net_.graph, device_node);
-  std::vector<double> row(net_.edge_count());
+void DynamicCluster::refresh_delay_row(std::size_t slot) {
+  const auto tree = topo::dijkstra(net_.graph, net_.iot_nodes[slot]);
+  auto& row = delay_rows_[slot];
+  row.resize(net_.edge_count());
   for (std::size_t j = 0; j < net_.edge_count(); ++j) {
     row[j] = tree.distance_ms[net_.edge_nodes[j]];
   }
-  return row;
 }
 
-std::size_t DynamicCluster::cheapest_feasible_server(
+DynamicCluster::ServerChoice DynamicCluster::cheapest_feasible_server(
     std::size_t device_index) const {
   const auto& row = delay_rows_[device_index];
   const double demand = devices_[device_index].demand;
@@ -64,9 +63,8 @@ std::size_t DynamicCluster::cheapest_feasible_server(
 
   std::size_t best = capacities_.size();
   double best_cost = std::numeric_limits<double>::infinity();
-  std::size_t least_loaded = 0;
+  std::size_t least_loaded = capacities_.size();
   double least_utilization = std::numeric_limits<double>::infinity();
-  bool any_healthy_seen = false;
   for (std::size_t j = 0; j < capacities_.size(); ++j) {
     if (failed_[j]) continue;
     const double new_load = loads_[j] + demand;
@@ -76,16 +74,21 @@ std::size_t DynamicCluster::cheapest_feasible_server(
       best_cost = cost;
     }
     const double utilization = new_load / capacities_[j];
-    if (!any_healthy_seen || utilization < least_utilization) {
+    if (utilization < least_utilization) {
       least_utilization = utilization;
       least_loaded = j;
-      any_healthy_seen = true;
     }
   }
-  return best != capacities_.size() ? best : least_loaded;
+  if (best != capacities_.size()) return {best, true};
+  if (least_loaded == capacities_.size()) {
+    throw std::logic_error(
+        "DynamicCluster::cheapest_feasible_server: every server has failed");
+  }
+  return {least_loaded, false};
 }
 
-std::size_t DynamicCluster::attach_device(const workload::IotDevice& device) {
+void DynamicCluster::attach_device(std::size_t slot,
+                                   const workload::IotDevice& device) {
   // Attach to the nearest router with a wireless access link.
   topo::NodeId nearest = router_nodes_.front();
   double nearest_distance = std::numeric_limits<double>::infinity();
@@ -97,53 +100,81 @@ std::size_t DynamicCluster::attach_device(const workload::IotDevice& device) {
       nearest = router_nodes_[r];
     }
   }
-  const topo::NodeId node = net_.graph.add_node();
-  net_.positions.push_back(device.position);
-  net_.kinds.push_back(topo::NodeKind::kIotDevice);
+  const topo::NodeId node =
+      net_.acquire_node(device.position, topo::NodeKind::kIotDevice);
   net_.graph.add_edge(node, nearest,
                       delay_model_.access_link(nearest_distance));
-  net_.iot_nodes.push_back(node);
 
-  devices_.push_back(device);
-  delay_rows_.push_back(delay_row_for_node(node));
-  assignment_.push_back(gap::kUnassigned);
-  return devices_.size() - 1;
+  if (slot == devices_.size()) {
+    devices_.push_back(device);
+    delay_rows_.emplace_back();
+    assignment_.push_back(gap::kUnassigned);
+    net_.iot_nodes.push_back(node);
+  } else {
+    devices_[slot] = device;
+    assignment_[slot] = gap::kUnassigned;
+    net_.iot_nodes[slot] = node;
+  }
+  refresh_delay_row(slot);
 }
 
-std::size_t DynamicCluster::join(const workload::IotDevice& device) {
-  const std::size_t index = attach_device(device);
-  const std::size_t server = cheapest_feasible_server(index);
-  assignment_[index] = static_cast<std::int32_t>(server);
-  loads_[server] += device.demand;
+void DynamicCluster::detach_device(std::size_t slot) {
+  net_.release_node(net_.iot_nodes[slot]);
+  net_.iot_nodes[slot] = topo::kInvalidNode;
+}
+
+JoinResult DynamicCluster::place_device(std::size_t slot) {
+  const ServerChoice choice = cheapest_feasible_server(slot);
+  assignment_[slot] = static_cast<std::int32_t>(choice.server);
+  loads_[choice.server] += devices_[slot].demand;
+  return {slot, choice.server, choice.feasible, !choice.feasible};
+}
+
+JoinResult DynamicCluster::join(const workload::IotDevice& device) {
+  std::size_t slot = devices_.size();
+  if (!free_slots_.empty()) {
+    slot = free_slots_.back();
+    free_slots_.pop_back();
+  }
+  attach_device(slot, device);
+  const JoinResult result = place_device(slot);
   ++active_;
-  return index;
+  return result;
 }
 
-std::size_t DynamicCluster::move(std::size_t device_index,
-                                 topo::Point2D new_position) {
+JoinResult DynamicCluster::move(std::size_t device_index,
+                                topo::Point2D new_position) {
   if (!is_active(device_index)) {
     throw std::invalid_argument("DynamicCluster::move: not active");
   }
+  const auto from = static_cast<std::size_t>(assignment_[device_index]);
+  loads_[from] -= devices_[device_index].demand;
   workload::IotDevice device = devices_[device_index];
   device.position = new_position;
-  leave(device_index);
-  return join(device);
+  detach_device(device_index);
+  attach_device(device_index, device);
+  return place_device(device_index);
 }
 
-std::size_t DynamicCluster::move_pinned(std::size_t device_index,
-                                        topo::Point2D new_position) {
+JoinResult DynamicCluster::move_pinned(std::size_t device_index,
+                                       topo::Point2D new_position) {
   if (!is_active(device_index)) {
     throw std::invalid_argument("DynamicCluster::move_pinned: not active");
   }
-  const auto server = static_cast<std::size_t>(assignment_[device_index]);
+  const auto pinned = static_cast<std::size_t>(assignment_[device_index]);
   workload::IotDevice device = devices_[device_index];
   device.position = new_position;
-  leave(device_index);
-  const std::size_t index = attach_device(device);
-  assignment_[index] = static_cast<std::int32_t>(server);
-  loads_[server] += device.demand;
-  ++active_;
-  return index;
+  detach_device(device_index);
+  attach_device(device_index, device);
+  if (failed_[pinned]) {
+    // The pinned server went down (deferred evacuation): a handover must
+    // never land a device back on a failed server.
+    loads_[pinned] -= device.demand;
+    return place_device(device_index);
+  }
+  assignment_[device_index] = static_cast<std::int32_t>(pinned);
+  return {device_index, pinned,
+          loads_[pinned] <= capacities_[pinned] + kEps, false};
 }
 
 void DynamicCluster::leave(std::size_t device_index) {
@@ -154,6 +185,8 @@ void DynamicCluster::leave(std::size_t device_index) {
   const auto j = static_cast<std::size_t>(assignment_[device_index]);
   loads_[j] -= devices_[device_index].demand;
   assignment_[device_index] = gap::kUnassigned;
+  detach_device(device_index);
+  free_slots_.push_back(device_index);
   --active_;
 }
 
@@ -227,7 +260,8 @@ std::size_t DynamicCluster::repair(std::size_t max_moves) {
   return moves;
 }
 
-std::size_t DynamicCluster::fail_server(std::size_t server) {
+EvacuationReport DynamicCluster::fail_server(std::size_t server,
+                                             bool evacuate) {
   if (server >= capacities_.size() || failed_[server]) {
     throw std::invalid_argument("DynamicCluster::fail_server: bad server");
   }
@@ -236,19 +270,26 @@ std::size_t DynamicCluster::fail_server(std::size_t server) {
         "DynamicCluster::fail_server: cannot fail the last healthy server");
   }
   failed_[server] = true;
-  std::size_t evacuated = 0;
+  return evacuate ? evacuate_server(server) : EvacuationReport{};
+}
+
+EvacuationReport DynamicCluster::evacuate_server(std::size_t server) {
+  if (server >= capacities_.size() || !failed_[server]) {
+    throw std::invalid_argument(
+        "DynamicCluster::evacuate_server: server not failed");
+  }
+  EvacuationReport report;
   for (std::size_t i = 0; i < devices_.size(); ++i) {
     if (assignment_[i] == gap::kUnassigned ||
         static_cast<std::size_t>(assignment_[i]) != server) {
       continue;
     }
     loads_[server] -= devices_[i].demand;
-    const std::size_t target = cheapest_feasible_server(i);
-    assignment_[i] = static_cast<std::int32_t>(target);
-    loads_[target] += devices_[i].demand;
-    ++evacuated;
+    const JoinResult placed = place_device(i);
+    ++report.evacuated;
+    if (placed.overload_fallback) ++report.overloaded;
   }
-  return evacuated;
+  return report;
 }
 
 void DynamicCluster::recover_server(std::size_t server) {

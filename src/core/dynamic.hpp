@@ -1,4 +1,5 @@
-// Dynamic reconfiguration: devices join and leave a running cluster.
+// Dynamic reconfiguration: devices join, move and leave a running cluster;
+// edge servers fail and recover under it.
 //
 // Full re-optimization on every arrival is wasteful and churns existing
 // sessions; DynamicCluster instead applies an incremental policy — joiners
@@ -7,14 +8,48 @@
 // rebalance() pass to drain the accumulated suboptimality. This implements
 // the "cluster configuration" lifecycle the paper's title refers to beyond
 // the one-shot assignment.
+//
+// The engine is churn-hardened for long horizons:
+//  - Node recycling: leave() releases the device's graph node and access
+//    link back to the topology's free list, and its device slot (delay row
+//    included) is reused by the next join. Memory footprint tracks *peak*
+//    population, not cumulative arrivals.
+//  - Stable indices: move()/move_pinned() re-attach in place, so a device
+//    keeps its index across handovers (no old-index invalidation).
+//  - Incremental delay rows: only the moved/joined device's row is
+//    recomputed (one Dijkstra), written into recycled storage.
+//  - Explicit outcomes: join/move return a JoinResult and failure
+//    evacuations return an EvacuationReport instead of silently falling
+//    back onto an overloaded server.
+//
+// Slot-reuse caveat: after leave(i), index i is inactive until a later
+// join() recycles it for a *new* device; stale indices held across joins
+// may therefore alias a different device (classic ABA), just like fd or
+// pid reuse.
 #pragma once
-
-#include <optional>
 
 #include "core/configurator.hpp"
 #include "core/scenario.hpp"
 
 namespace tacc {
+
+/// Outcome of placing one device (join, handover, or evacuation).
+struct JoinResult {
+  std::size_t device_index = 0;
+  std::size_t server = 0;
+  /// Placed within capacity on a healthy server.
+  bool feasible = false;
+  /// No healthy server had room: placed on the least-utilized healthy one,
+  /// overloading it. repair() can restore feasibility later.
+  bool overload_fallback = false;
+};
+
+/// Aggregate outcome of draining a failed server.
+struct EvacuationReport {
+  std::size_t evacuated = 0;   ///< devices relocated off the server
+  std::size_t overloaded = 0;  ///< of which via the overload fallback
+  [[nodiscard]] bool clean() const noexcept { return overloaded == 0; }
+};
 
 class DynamicCluster {
  public:
@@ -24,24 +59,29 @@ class DynamicCluster {
                  Algorithm initial = Algorithm::kQLearning,
                  const AlgorithmOptions& options = {});
 
-  /// Attaches a new device at its position, assigns it to the cheapest
-  /// feasible server (least-utilized fallback), returns its device index.
-  std::size_t join(const workload::IotDevice& device);
+  /// Attaches a new device at its position (recycling a departed device's
+  /// slot + graph node when available) and assigns it to the cheapest
+  /// feasible server. The result carries the index, the server, and whether
+  /// the overload fallback fired.
+  JoinResult join(const workload::IotDevice& device);
 
-  /// Removes a device; its load is freed. Throws if already inactive.
+  /// Removes a device: frees its load, releases its graph node + access
+  /// link, and recycles its slot and delay row for future joins. Throws if
+  /// already inactive.
   void leave(std::size_t device_index);
 
   // ---- Mobility -------------------------------------------------------------
   /// Radio handover: re-attaches an active device at `new_position` (fresh
-  /// access link + recomputed delay row) and reassigns it to the cheapest
-  /// feasible server. Returns the device's NEW index; the old one becomes
-  /// inactive.
-  std::size_t move(std::size_t device_index, topo::Point2D new_position);
+  /// access link + recomputed delay row, in place — the index is stable)
+  /// and reassigns it to the cheapest feasible server.
+  JoinResult move(std::size_t device_index, topo::Point2D new_position);
   /// Same handover but the device stays pinned to its current server — the
   /// "no reconfiguration" baseline that lets mobility experiments measure
-  /// how much a static assignment degrades as devices drift.
-  std::size_t move_pinned(std::size_t device_index,
-                          topo::Point2D new_position);
+  /// how much a static assignment degrades as devices drift. If the pinned
+  /// server has failed (deferred evacuation), falls back to the cheapest
+  /// feasible healthy server; the result says which server was used.
+  JoinResult move_pinned(std::size_t device_index,
+                         topo::Point2D new_position);
 
   /// Bounded best-improvement repair over active devices: applies up to
   /// `max_moves` feasible cost-reducing reassignments. Returns moves made.
@@ -55,11 +95,15 @@ class DynamicCluster {
   std::size_t repair(std::size_t max_moves);
 
   // ---- Server failures ------------------------------------------------------
-  /// Takes server `j` out of service and evacuates its devices to their
-  /// cheapest feasible healthy servers (least-utilized fallback). Returns
-  /// the number of devices evacuated. Throws if already failed or if it is
-  /// the last healthy server.
-  std::size_t fail_server(std::size_t server);
+  /// Takes server `j` out of service. With `evacuate` (default) its devices
+  /// move immediately to their cheapest feasible healthy servers; with
+  /// `evacuate == false` residents stay assigned (deferred drain — call
+  /// evacuate_server() later; handovers and joins already avoid the failed
+  /// server). Throws if already failed or if it is the last healthy server.
+  EvacuationReport fail_server(std::size_t server, bool evacuate = true);
+  /// Drains every device still assigned to failed server `j` to its
+  /// cheapest feasible healthy server. Throws if `j` is not failed.
+  EvacuationReport evacuate_server(std::size_t server);
   /// Returns a failed server to service (devices migrate back only via
   /// rebalance()). Throws if not failed.
   void recover_server(std::size_t server);
@@ -87,23 +131,57 @@ class DynamicCluster {
     return loads_;
   }
 
- private:
-  [[nodiscard]] std::vector<double> delay_row_for_node(
-      topo::NodeId device_node) const;
-  /// Adds the device's node + access link + delay row; no assignment yet.
-  std::size_t attach_device(const workload::IotDevice& device);
-  [[nodiscard]] std::size_t cheapest_feasible_server(
-      std::size_t device_index) const;
+  // Churn bookkeeping (leak regression gates key off these: slot and node
+  // counts must track peak population, never cumulative arrivals).
+  /// Device slots ever allocated (== delay rows held).
+  [[nodiscard]] std::size_t device_slot_count() const noexcept {
+    return devices_.size();
+  }
+  /// Departed slots awaiting reuse.
+  [[nodiscard]] std::size_t free_slot_count() const noexcept {
+    return free_slots_.size();
+  }
+  [[nodiscard]] std::size_t graph_node_count() const noexcept {
+    return net_.graph.node_count();
+  }
+  [[nodiscard]] std::size_t live_graph_node_count() const noexcept {
+    return net_.graph.live_node_count();
+  }
 
-  topo::NetworkTopology net_;   // grows as devices join
+ private:
+  struct ServerChoice {
+    std::size_t server;
+    bool feasible;  ///< false => overload fallback (least-utilized healthy)
+  };
+
+  /// Recomputes `slot`'s delay row (one Dijkstra from its node) into the
+  /// row's existing storage.
+  void refresh_delay_row(std::size_t slot);
+  /// Acquires a graph node at `device`'s position (recycled when possible),
+  /// wires the access link to the nearest router, and installs the device
+  /// into `slot` with a fresh delay row. No assignment yet.
+  void attach_device(std::size_t slot, const workload::IotDevice& device);
+  /// Releases `slot`'s graph node + access link back to the free list.
+  void detach_device(std::size_t slot);
+  /// Cheapest feasible healthy server, else the least-utilized healthy one
+  /// (feasible == false). Throws std::logic_error if every server is
+  /// failed — callers must be told rather than silently given server 0.
+  [[nodiscard]] ServerChoice cheapest_feasible_server(
+      std::size_t device_index) const;
+  /// Assigns `slot` per cheapest_feasible_server and applies the load.
+  JoinResult place_device(std::size_t slot);
+
+  topo::NetworkTopology net_;   // bounded by peak population (node recycling)
   topo::LinkDelayModel delay_model_;
   std::vector<topo::NodeId> router_nodes_;
   std::vector<topo::Point2D> router_positions_;
 
-  // Per device (index-stable; leavers keep their slot, marked kUnassigned):
+  // Per device slot. Active slots hold a served device; departed slots are
+  // parked on free_slots_ (assignment kUnassigned) and recycled by join().
   std::vector<workload::IotDevice> devices_;
   std::vector<std::vector<double>> delay_rows_;  // device → per-server ms
   gap::Assignment assignment_;
+  std::vector<std::size_t> free_slots_;  // recycled LIFO
 
   std::vector<double> capacities_;
   std::vector<double> loads_;

@@ -15,11 +15,23 @@ Histogram::Histogram(double lo, double hi, std::size_t bins)
 }
 
 void Histogram::add(double value) noexcept {
-  const double width = (hi_ - lo_) / static_cast<double>(counts_.size());
-  auto bin = static_cast<std::ptrdiff_t>(std::floor((value - lo_) / width));
-  bin = std::clamp<std::ptrdiff_t>(
-      bin, 0, static_cast<std::ptrdiff_t>(counts_.size()) - 1);
-  ++counts_[static_cast<std::size_t>(bin)];
+  if (std::isnan(value)) {
+    // Casting floor(NaN) to an integer is UB; NaN has no bin — count it
+    // aside so callers can still detect poisoned series.
+    ++nan_;
+    return;
+  }
+  // Compare before casting: ±inf (also UB to cast) clamps to the boundary
+  // bins like any other out-of-range sample.
+  std::size_t bin = 0;
+  if (value >= hi_) {
+    bin = counts_.size() - 1;
+  } else if (value > lo_) {
+    const double width = (hi_ - lo_) / static_cast<double>(counts_.size());
+    bin = std::min(static_cast<std::size_t>((value - lo_) / width),
+                   counts_.size() - 1);
+  }
+  ++counts_[bin];
   ++total_;
 }
 

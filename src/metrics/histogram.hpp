@@ -8,8 +8,10 @@
 
 namespace tacc::metrics {
 
-/// Equal-width bins over [lo, hi); samples outside are clamped to the
-/// boundary bins so no observation is silently dropped.
+/// Equal-width bins over [lo, hi); finite samples outside (and ±inf) are
+/// clamped to the boundary bins so no observation is silently dropped. NaN
+/// has no meaningful bin: it is excluded from total() and reported via
+/// nan_count() instead.
 class Histogram {
  public:
   Histogram(double lo, double hi, std::size_t bins);
@@ -20,6 +22,8 @@ class Histogram {
     return counts_.size();
   }
   [[nodiscard]] std::size_t total() const noexcept { return total_; }
+  /// NaN samples seen by add(); they land in no bin.
+  [[nodiscard]] std::size_t nan_count() const noexcept { return nan_; }
   [[nodiscard]] std::size_t count_at(std::size_t bin) const {
     return counts_.at(bin);
   }
@@ -37,6 +41,7 @@ class Histogram {
   double hi_;
   std::vector<std::size_t> counts_;
   std::size_t total_ = 0;
+  std::size_t nan_ = 0;
 };
 
 /// (x, F(x)) points of the empirical CDF of `values` evaluated at each

@@ -7,7 +7,41 @@ namespace tacc::topo {
 
 NodeId Graph::add_node() {
   adjacency_.emplace_back();
+  released_.push_back(false);
   return static_cast<NodeId>(adjacency_.size() - 1);
+}
+
+NodeId Graph::acquire_node() {
+  if (free_list_.empty()) return add_node();
+  const NodeId node = free_list_.back();
+  free_list_.pop_back();
+  released_[node] = false;
+  return node;
+}
+
+void Graph::release_node(NodeId node) {
+  if (node >= node_count()) {
+    throw std::out_of_range("Graph::release_node: node id out of range");
+  }
+  if (released_[node]) {
+    throw std::invalid_argument("Graph::release_node: already released");
+  }
+  // Each entry in our list is one undirected edge; drop its mirror entry at
+  // the other endpoint (one mirror per entry, so parallel edges stay paired).
+  for (const Adjacency& adj : adjacency_[node]) {
+    auto& list = adjacency_[adj.to];
+    for (auto it = list.begin(); it != list.end(); ++it) {
+      if (it->to == node) {
+        list.erase(it);
+        break;
+      }
+    }
+    --edges_;
+  }
+  adjacency_[node].clear();
+  adjacency_[node].shrink_to_fit();
+  released_[node] = true;
+  free_list_.push_back(node);
 }
 
 void Graph::add_edge(NodeId u, NodeId v, EdgeProps props) {
@@ -16,6 +50,9 @@ void Graph::add_edge(NodeId u, NodeId v, EdgeProps props) {
   }
   if (u == v) {
     throw std::invalid_argument("Graph::add_edge: self-loops not supported");
+  }
+  if (released_[u] || released_[v]) {
+    throw std::invalid_argument("Graph::add_edge: endpoint is released");
   }
   if (!(props.latency_ms > 0.0)) {
     throw std::invalid_argument("Graph::add_edge: latency must be positive");

@@ -26,6 +26,18 @@ namespace {
 
 }  // namespace
 
+NodeId NetworkTopology::acquire_node(Point2D pos, NodeKind kind) {
+  const NodeId node = graph.acquire_node();
+  if (node == positions.size()) {
+    positions.push_back(pos);
+    kinds.push_back(kind);
+  } else {
+    positions[node] = pos;
+    kinds[node] = kind;
+  }
+  return node;
+}
+
 NetworkTopology build_network(const GeoGraph& infrastructure,
                               std::span<const Point2D> iot_positions,
                               std::span<const Point2D> edge_positions,

@@ -75,6 +75,13 @@ struct NetworkTopology {
   [[nodiscard]] Point2D edge_position(std::size_t server) const {
     return positions.at(edge_nodes.at(server));
   }
+
+  /// Acquires a graph node (recycling a released one when available) and
+  /// records its position/kind. Callers wire the access links themselves.
+  NodeId acquire_node(Point2D pos, NodeKind kind);
+  /// Drops `node`'s access links and returns it to the graph's free list;
+  /// its position/kind slots are reused by the next acquire_node().
+  void release_node(NodeId node) { graph.release_node(node); }
 };
 
 struct AttachParams {

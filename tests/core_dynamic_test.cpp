@@ -40,24 +40,38 @@ TEST(DynamicCluster, StartsFromInitialConfiguration) {
 
 TEST(DynamicCluster, JoinAddsActiveDevice) {
   DynamicCluster cluster = make_cluster(2);
-  const std::size_t index = cluster.join(test_device(1.0, 1.0));
-  EXPECT_EQ(index, 60u);
+  const JoinResult joined = cluster.join(test_device(1.0, 1.0));
+  EXPECT_EQ(joined.device_index, 60u);
+  EXPECT_EQ(joined.server, cluster.server_of(joined.device_index));
   EXPECT_EQ(cluster.active_count(), 61u);
-  EXPECT_TRUE(cluster.is_active(index));
-  EXPECT_LT(cluster.server_of(index), cluster.server_count());
+  EXPECT_TRUE(cluster.is_active(joined.device_index));
+  EXPECT_LT(cluster.server_of(joined.device_index), cluster.server_count());
 }
 
 TEST(DynamicCluster, JoinPrefersFeasibleCheapServer) {
   DynamicCluster cluster = make_cluster(3);
-  const std::size_t index = cluster.join(test_device(2.0, 2.0, 1.0));
+  const JoinResult joined = cluster.join(test_device(2.0, 2.0, 1.0));
   // With tiny demand, the chosen server must be feasible.
+  EXPECT_TRUE(joined.feasible);
+  EXPECT_FALSE(joined.overload_fallback);
   EXPECT_TRUE(cluster.feasible());
-  EXPECT_TRUE(cluster.is_active(index));
+  EXPECT_TRUE(cluster.is_active(joined.device_index));
+}
+
+TEST(DynamicCluster, JoinReportsOverloadFallback) {
+  DynamicCluster cluster = make_cluster(3);
+  // A device far beyond any server's remaining capacity cannot be placed
+  // feasibly; the report must say so instead of silently overloading.
+  const JoinResult joined = cluster.join(test_device(2.0, 2.0, 1e6));
+  EXPECT_FALSE(joined.feasible);
+  EXPECT_TRUE(joined.overload_fallback);
+  EXPECT_FALSE(cluster.feasible());
+  EXPECT_FALSE(cluster.server_failed(joined.server));
 }
 
 TEST(DynamicCluster, LeaveFreesLoad) {
   DynamicCluster cluster = make_cluster(4);
-  const std::size_t index = cluster.join(test_device(1.0, 3.0));
+  const std::size_t index = cluster.join(test_device(1.0, 3.0)).device_index;
   const double util_with = cluster.max_utilization();
   cluster.leave(index);
   EXPECT_EQ(cluster.active_count(), 60u);
@@ -67,11 +81,56 @@ TEST(DynamicCluster, LeaveFreesLoad) {
 
 TEST(DynamicCluster, DoubleLeaveThrows) {
   DynamicCluster cluster = make_cluster(5);
-  const std::size_t index = cluster.join(test_device(0.5, 0.5));
+  const std::size_t index = cluster.join(test_device(0.5, 0.5)).device_index;
   cluster.leave(index);
   EXPECT_THROW(cluster.leave(index), std::invalid_argument);
   EXPECT_THROW(cluster.leave(9999), std::invalid_argument);
   EXPECT_THROW((void)cluster.server_of(index), std::invalid_argument);
+}
+
+TEST(DynamicCluster, LeaveRecyclesSlotAndGraphNode) {
+  DynamicCluster cluster = make_cluster(5);
+  const std::size_t slots = cluster.device_slot_count();
+  const std::size_t nodes = cluster.graph_node_count();
+  const std::size_t index = cluster.join(test_device(0.5, 0.5)).device_index;
+  EXPECT_EQ(cluster.device_slot_count(), slots + 1);
+  EXPECT_EQ(cluster.graph_node_count(), nodes + 1);
+  cluster.leave(index);
+  EXPECT_EQ(cluster.free_slot_count(), 1u);
+  EXPECT_EQ(cluster.live_graph_node_count(), nodes);
+  // The next join reuses the departed slot and node: no growth.
+  const JoinResult joined = cluster.join(test_device(3.0, 3.0));
+  EXPECT_EQ(joined.device_index, index);
+  EXPECT_EQ(cluster.device_slot_count(), slots + 1);
+  EXPECT_EQ(cluster.graph_node_count(), nodes + 1);
+  EXPECT_EQ(cluster.free_slot_count(), 0u);
+}
+
+TEST(DynamicCluster, ChurnLeakRegression) {
+  // N join/leave/move cycles must leave slot, row, and node storage exactly
+  // at baseline — the old implementation leaked one node + access edge +
+  // delay row per move.
+  DynamicCluster cluster = make_cluster(6);
+  util::Rng rng(99);
+  const std::size_t slots = cluster.device_slot_count();
+  const std::size_t nodes = cluster.graph_node_count();
+  for (int cycle = 0; cycle < 50; ++cycle) {
+    const std::size_t index =
+        cluster
+            .join(test_device(rng.uniform(0.0, 4.0), rng.uniform(0.0, 4.0)))
+            .device_index;
+    for (int m = 0; m < 4; ++m) {
+      const JoinResult moved = cluster.move(
+          index, {rng.uniform(0.0, 4.0), rng.uniform(0.0, 4.0)});
+      EXPECT_EQ(moved.device_index, index);  // indices are stable
+    }
+    cluster.leave(index);
+    EXPECT_EQ(cluster.device_slot_count(), slots + 1);
+    EXPECT_EQ(cluster.graph_node_count(), nodes + 1);
+    EXPECT_EQ(cluster.live_graph_node_count(), nodes);
+  }
+  EXPECT_EQ(cluster.free_slot_count(), 1u);
+  EXPECT_EQ(cluster.active_count(), 60u);
 }
 
 TEST(DynamicCluster, RebalanceNeverIncreasesAvgDelay) {
@@ -102,9 +161,11 @@ TEST(DynamicCluster, ChurnStormStaysFeasible) {
   std::vector<std::size_t> joined;
   for (int event = 0; event < 200; ++event) {
     if (joined.empty() || rng.bernoulli(0.6)) {
-      joined.push_back(cluster.join(test_device(
-          rng.uniform(0.0, 4.0), rng.uniform(0.0, 4.0),
-          rng.uniform(1.0, 8.0))));
+      joined.push_back(cluster
+                           .join(test_device(rng.uniform(0.0, 4.0),
+                                             rng.uniform(0.0, 4.0),
+                                             rng.uniform(1.0, 8.0)))
+                           .device_index);
     } else {
       const std::size_t pick = rng.index(joined.size());
       cluster.leave(joined[pick]);

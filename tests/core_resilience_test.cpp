@@ -34,8 +34,8 @@ TEST(FailServer, EvacuatesAllResidents) {
       break;
     }
   }
-  const std::size_t evacuated = cluster.fail_server(target);
-  EXPECT_GT(evacuated, 0u);
+  const EvacuationReport report = cluster.fail_server(target);
+  EXPECT_GT(report.evacuated, 0u);
   EXPECT_TRUE(cluster.server_failed(target));
   EXPECT_NEAR(cluster.loads()[target], 0.0, 1e-9);
   EXPECT_EQ(cluster.active_count(), 60u);  // nobody lost
@@ -77,8 +77,9 @@ TEST(FailServer, JoinsAvoidFailedServers) {
     device.position = {1.0 + k * 0.1, 1.0};
     device.request_rate_hz = 5.0;
     device.demand = 5.0;
-    const std::size_t index = cluster.join(device);
-    EXPECT_NE(cluster.server_of(index), 2u);
+    const JoinResult joined = cluster.join(device);
+    EXPECT_NE(joined.server, 2u);
+    EXPECT_NE(cluster.server_of(joined.device_index), 2u);
   }
 }
 
@@ -136,23 +137,28 @@ TEST(RecoverServer, RecoveringHealthyThrows) {
 
 // ---- Mobility handovers ---------------------------------------------------------
 
-TEST(Move, ReassignsAndKeepsBookkeeping) {
+TEST(Move, ReassignsInPlaceAndKeepsBookkeeping) {
   DynamicCluster cluster = make_cluster(8);
-  const std::size_t old_index = 3;
-  ASSERT_TRUE(cluster.is_active(old_index));
-  const std::size_t new_index = cluster.move(old_index, {0.1, 0.1});
-  EXPECT_FALSE(cluster.is_active(old_index));
-  EXPECT_TRUE(cluster.is_active(new_index));
+  const std::size_t index = 3;
+  ASSERT_TRUE(cluster.is_active(index));
+  const std::size_t nodes = cluster.graph_node_count();
+  const JoinResult moved = cluster.move(index, {0.1, 0.1});
+  EXPECT_EQ(moved.device_index, index);  // handover keeps the index
+  EXPECT_TRUE(cluster.is_active(index));
+  EXPECT_EQ(cluster.server_of(index), moved.server);
   EXPECT_EQ(cluster.active_count(), 60u);
+  EXPECT_EQ(cluster.graph_node_count(), nodes);  // node recycled, not leaked
   EXPECT_TRUE(cluster.feasible());
 }
 
 TEST(MovePinned, KeepsServer) {
   DynamicCluster cluster = make_cluster(9);
-  const std::size_t old_index = 5;
-  const std::size_t server = cluster.server_of(old_index);
-  const std::size_t new_index = cluster.move_pinned(old_index, {3.9, 3.9});
-  EXPECT_EQ(cluster.server_of(new_index), server);
+  const std::size_t index = 5;
+  const std::size_t server = cluster.server_of(index);
+  const JoinResult moved = cluster.move_pinned(index, {3.9, 3.9});
+  EXPECT_EQ(moved.device_index, index);
+  EXPECT_EQ(moved.server, server);
+  EXPECT_EQ(cluster.server_of(index), server);
   EXPECT_EQ(cluster.active_count(), 60u);
 }
 
@@ -162,6 +168,124 @@ TEST(Move, InactiveDeviceThrows) {
   EXPECT_THROW((void)cluster.move(0, {1.0, 1.0}), std::invalid_argument);
   EXPECT_THROW((void)cluster.move_pinned(0, {1.0, 1.0}),
                std::invalid_argument);
+}
+
+TEST(MovePinned, FallsBackOffFailedServer) {
+  DynamicCluster cluster = make_cluster(15);
+  // Deferred evacuation leaves residents on the failed server; a pinned
+  // handover must still refuse to land there.
+  std::size_t target = 0;
+  for (std::size_t j = 0; j < cluster.server_count(); ++j) {
+    if (cluster.loads()[j] > 0.0) {
+      target = j;
+      break;
+    }
+  }
+  std::size_t resident = cluster.active_count();
+  for (std::size_t i = 0; i < cluster.active_count(); ++i) {
+    if (cluster.server_of(i) == target) {
+      resident = i;
+      break;
+    }
+  }
+  ASSERT_LT(resident, cluster.active_count());
+  const EvacuationReport deferred = cluster.fail_server(target, false);
+  EXPECT_EQ(deferred.evacuated, 0u);
+  ASSERT_EQ(cluster.server_of(resident), target);  // still parked there
+  const JoinResult moved = cluster.move_pinned(resident, {2.0, 2.0});
+  EXPECT_NE(moved.server, target);
+  EXPECT_FALSE(cluster.server_failed(moved.server));
+  EXPECT_EQ(cluster.server_of(resident), moved.server);
+}
+
+TEST(FailServer, DeferredEvacuationDrainsOnDemand) {
+  DynamicCluster cluster = make_cluster(16);
+  std::size_t target = 0;
+  for (std::size_t j = 0; j < cluster.server_count(); ++j) {
+    if (cluster.loads()[j] > 0.0) {
+      target = j;
+      break;
+    }
+  }
+  (void)cluster.fail_server(target, false);
+  EXPECT_GT(cluster.loads()[target], 0.0);  // residents still assigned
+  const EvacuationReport report = cluster.evacuate_server(target);
+  EXPECT_GT(report.evacuated, 0u);
+  EXPECT_NEAR(cluster.loads()[target], 0.0, 1e-9);
+  for (std::size_t i = 0; i < 60; ++i) {
+    if (cluster.is_active(i)) {
+      EXPECT_NE(cluster.server_of(i), target);
+    }
+  }
+  const std::size_t healthy = target == 0 ? 1 : 0;
+  EXPECT_THROW((void)cluster.evacuate_server(healthy), std::invalid_argument);
+}
+
+TEST(FailServer, CascadeReportsOverloadFallback) {
+  // Fail servers until the survivors cannot absorb the load feasibly; the
+  // evacuation report must surface the overload instead of hiding it.
+  DynamicCluster cluster = make_cluster(17, 80, 5);
+  std::size_t overloaded = 0;
+  for (std::size_t j = 0; j + 2 < cluster.server_count(); ++j) {
+    overloaded += cluster.fail_server(j).overloaded;
+  }
+  if (cluster.feasible()) GTEST_SKIP() << "cascade never overloaded";
+  EXPECT_GT(overloaded, 0u);
+}
+
+TEST(ChurnWithFailures, NeverLandsOnFailedServer) {
+  // Property soak: through joins, handovers, pinned handovers, failures
+  // (half of them deferred) and recoveries, no placement may ever return a
+  // failed server.
+  DynamicCluster cluster = make_cluster(18, 60, 6);
+  util::Rng rng(18);
+  std::vector<std::size_t> alive(60);
+  for (std::size_t i = 0; i < alive.size(); ++i) alive[i] = i;
+  for (int event = 0; event < 400; ++event) {
+    const double roll = rng.uniform(0.0, 1.0);
+    if (roll < 0.25) {
+      workload::IotDevice device;
+      device.position = {rng.uniform(0.0, 4.0), rng.uniform(0.0, 4.0)};
+      device.request_rate_hz = rng.uniform(1.0, 6.0);
+      device.demand = device.request_rate_hz;
+      const JoinResult joined = cluster.join(device);
+      EXPECT_FALSE(cluster.server_failed(joined.server));
+      alive.push_back(joined.device_index);
+    } else if (roll < 0.5 && !alive.empty()) {
+      const std::size_t pick = rng.index(alive.size());
+      const JoinResult moved = cluster.move(
+          alive[pick], {rng.uniform(0.0, 4.0), rng.uniform(0.0, 4.0)});
+      EXPECT_FALSE(cluster.server_failed(moved.server));
+    } else if (roll < 0.7 && !alive.empty()) {
+      const std::size_t pick = rng.index(alive.size());
+      const JoinResult moved = cluster.move_pinned(
+          alive[pick], {rng.uniform(0.0, 4.0), rng.uniform(0.0, 4.0)});
+      EXPECT_FALSE(cluster.server_failed(moved.server));
+    } else if (roll < 0.8 && !alive.empty()) {
+      const std::size_t pick = rng.index(alive.size());
+      cluster.leave(alive[pick]);
+      alive[pick] = alive.back();
+      alive.pop_back();
+    } else if (roll < 0.9) {
+      if (cluster.healthy_server_count() > 2) {
+        std::size_t j = rng.index(cluster.server_count());
+        while (cluster.server_failed(j)) j = rng.index(cluster.server_count());
+        (void)cluster.fail_server(j, rng.bernoulli(0.5));
+      }
+    } else {
+      for (std::size_t j = 0; j < cluster.server_count(); ++j) {
+        if (cluster.server_failed(j)) {
+          (void)cluster.evacuate_server(j);
+          cluster.recover_server(j);
+          break;
+        }
+      }
+    }
+  }
+  // Whatever the final failure set, no active device sits on a failed
+  // server that has been evacuated, and every *immediate* placement above
+  // was checked against the failure set at the time.
+  SUCCEED();
 }
 
 TEST(Mobility, PinnedDriftWorseThanHandover) {
@@ -184,8 +308,9 @@ TEST(Mobility, PinnedDriftWorseThanHandover) {
   for (int epoch = 0; epoch < 5; ++epoch) {
     for (const std::size_t mover : model.advance(60.0)) {
       const auto p = model.position(mover);
-      pinned_ids[mover] = pinned.move_pinned(pinned_ids[mover], p);
-      handover_ids[mover] = handover.move(handover_ids[mover], p);
+      pinned_ids[mover] =
+          pinned.move_pinned(pinned_ids[mover], p).device_index;
+      handover_ids[mover] = handover.move(handover_ids[mover], p).device_index;
     }
   }
   EXPECT_LE(handover.avg_delay_ms(), pinned.avg_delay_ms() + 1e-9);

@@ -1,6 +1,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
 #include <vector>
 
 #include "metrics/fairness.hpp"
@@ -161,6 +162,29 @@ TEST(Histogram, OutOfRangeClampsToEdges) {
   EXPECT_EQ(h.count_at(0), 1u);
   EXPECT_EQ(h.count_at(4), 1u);
   EXPECT_EQ(h.total(), 2u);
+}
+
+TEST(Histogram, NanIsCountedAsideNotBinned) {
+  Histogram h(0.0, 10.0, 5);
+  h.add(std::numeric_limits<double>::quiet_NaN());
+  h.add(5.0);
+  h.add(std::numeric_limits<double>::quiet_NaN());
+  EXPECT_EQ(h.nan_count(), 2u);
+  EXPECT_EQ(h.total(), 1u);  // NaN never lands in a bin
+  std::size_t binned = 0;
+  for (std::size_t b = 0; b < h.bin_count(); ++b) binned += h.count_at(b);
+  EXPECT_EQ(binned, 1u);
+  EXPECT_DOUBLE_EQ(h.cdf_at(h.bin_count() - 1), 1.0);
+}
+
+TEST(Histogram, InfinitiesClampToBoundaryBins) {
+  Histogram h(0.0, 10.0, 5);
+  h.add(std::numeric_limits<double>::infinity());
+  h.add(-std::numeric_limits<double>::infinity());
+  EXPECT_EQ(h.count_at(4), 1u);
+  EXPECT_EQ(h.count_at(0), 1u);
+  EXPECT_EQ(h.total(), 2u);
+  EXPECT_EQ(h.nan_count(), 0u);
 }
 
 TEST(Histogram, CdfMonotoneToOne) {
