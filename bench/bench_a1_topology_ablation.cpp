@@ -16,7 +16,7 @@ int run(int argc, char** argv) {
       flags.get_int("iot", config.quick ? 150 : 400));
   const auto edge = static_cast<std::size_t>(flags.get_int("edge", 16));
 
-  bench::CsvFile csv("a1_topology_ablation");
+  bench::CsvFile csv(flags, "a1_topology_ablation");
   csv.writer().header({"family", "algorithm", "aware_avg_delay_ms",
                        "oblivious_avg_delay_ms", "penalty_pct"});
 

@@ -25,7 +25,7 @@ int run(int argc, char** argv) {
                                                     // feasibility machinery
                                                     // earn its keep
 
-  bench::CsvFile csv("a2_rl_ablation");
+  bench::CsvFile csv(flags, "a2_rl_ablation");
   csv.writer().header({"variant", "seed", "gap_pct", "feasible", "wall_ms"});
 
   std::vector<Variant> variants;

@@ -21,7 +21,7 @@ int run(int argc, char** argv) {
   const auto edge = static_cast<std::size_t>(flags.get_int("edge", 20));
   const std::size_t targets = config.quick ? 3 : 8;
 
-  bench::CsvFile csv("a4_transfer");
+  bench::CsvFile csv(flags, "a4_transfer");
   csv.writer().header({"target_seed", "method", "gap_pct", "feasible",
                        "wall_ms"});
 

@@ -19,7 +19,7 @@ int run(int argc, char** argv) {
       flags.get_int("iot", config.quick ? 200 : 400));
   const auto edge = static_cast<std::size_t>(flags.get_int("edge", 16));
 
-  bench::CsvFile csv("a5_resilience");
+  bench::CsvFile csv(flags, "a5_resilience");
   csv.writer().header({"fail_fraction", "seed", "healthy_delay_ms",
                        "degraded_same_assignment_ms",
                        "degraded_reconfigured_ms"});

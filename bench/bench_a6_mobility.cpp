@@ -22,7 +22,7 @@ int run(int argc, char** argv) {
       flags.get_int("epochs", config.quick ? 6 : 15));
   const double epoch_s = flags.get_double("epoch_s", 60.0);
 
-  bench::CsvFile csv("a6_mobility");
+  bench::CsvFile csv(flags, "a6_mobility");
   csv.writer().header({"epoch", "policy", "avg_delay_ms", "max_util",
                        "moves"});
 

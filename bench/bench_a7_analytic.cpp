@@ -18,7 +18,7 @@ int run(int argc, char** argv) {
   const double duration_s =
       flags.get_double("duration", config.quick ? 8.0 : 20.0);
 
-  bench::CsvFile csv("a7_analytic");
+  bench::CsvFile csv(flags, "a7_analytic");
   csv.writer().header({"algorithm", "seed", "analytic_ms", "simulated_ms",
                        "error_pct", "analytic_wall_ms", "sim_wall_ms"});
 

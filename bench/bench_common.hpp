@@ -1,10 +1,11 @@
-// Shared glue for the experiment binaries in bench/: CSV emission beside the
-// process working directory, standard flag handling, and algorithm labels.
+// Shared glue for the experiment binaries in bench/: CSV emission into the
+// --out directory, standard flag handling, and algorithm labels.
 //
 // Every bench prints a paper-style table to stdout AND writes the raw series
-// to <name>.csv so results can be re-plotted without re-running.
+// to <out>/<name>.csv so results can be re-plotted without re-running.
 #pragma once
 
+#include <filesystem>
 #include <fstream>
 #include <iostream>
 #include <stdexcept>
@@ -17,11 +18,24 @@
 
 namespace tacc::bench {
 
-/// Opens <name>.csv in the working directory and announces it on stdout.
+/// Output directory for generated CSVs: --out=DIR, defaulting to results/
+/// (relative to the working directory) so runs from the repo root land next
+/// to the committed experiment outputs instead of littering the root.
+inline std::string csv_out_dir(const util::Flags& flags) {
+  return flags.get_string("out", "results");
+}
+
+/// Opens <out>/<name>.csv (creating the directory if needed) and announces
+/// it on stdout.
 class CsvFile {
  public:
-  explicit CsvFile(const std::string& name) : path_(name + ".csv"),
-                                              stream_(path_) {
+  CsvFile(const util::Flags& flags, const std::string& name)
+      : path_((std::filesystem::path(csv_out_dir(flags)) / (name + ".csv"))
+                  .string()) {
+    const std::filesystem::path dir =
+        std::filesystem::path(path_).parent_path();
+    if (!dir.empty()) std::filesystem::create_directories(dir);
+    stream_.open(path_);
     if (!stream_) {
       throw std::runtime_error("cannot open " + path_ + " for writing");
     }

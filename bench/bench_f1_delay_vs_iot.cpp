@@ -11,7 +11,7 @@ int run(int argc, char** argv) {
   const auto config = bench::BenchConfig::from_flags(flags);
   const auto edge = static_cast<std::size_t>(flags.get_int("edge", 20));
 
-  bench::CsvFile csv("f1_delay_vs_iot");
+  bench::CsvFile csv(flags, "f1_delay_vs_iot");
   csv.writer().header({"iot_count", "algorithm", "mean_avg_delay_ms",
                        "ci95", "feasible_fraction"});
 

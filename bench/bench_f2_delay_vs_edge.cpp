@@ -12,7 +12,7 @@ int run(int argc, char** argv) {
   const auto iot = static_cast<std::size_t>(
       flags.get_int("iot", config.quick ? 200 : 500));
 
-  bench::CsvFile csv("f2_delay_vs_edge");
+  bench::CsvFile csv(flags, "f2_delay_vs_edge");
   csv.writer().header({"edge_count", "algorithm", "mean_avg_delay_ms",
                        "ci95", "feasible_fraction"});
 

@@ -13,7 +13,7 @@ int run(int argc, char** argv) {
       flags.get_int("iot", config.quick ? 200 : 500));
   const auto edge = static_cast<std::size_t>(flags.get_int("edge", 20));
 
-  bench::CsvFile csv("f3_load_factor");
+  bench::CsvFile csv(flags, "f3_load_factor");
   csv.writer().header({"load_factor", "algorithm", "feasible_fraction",
                        "mean_max_util", "mean_overloaded_servers",
                        "mean_avg_delay_ms"});

@@ -17,7 +17,7 @@ int run(int argc, char** argv) {
   const auto episodes = static_cast<std::size_t>(
       flags.get_int("episodes", config.quick ? 200 : 600));
 
-  bench::CsvFile csv("f4_convergence");
+  bench::CsvFile csv(flags, "f4_convergence");
   csv.writer().header({"scenario", "variant", "episode", "total_reward",
                        "episode_cost", "best_cost", "epsilon", "feasible"});
 

@@ -16,7 +16,7 @@ int run(int argc, char** argv) {
   const double duration_s =
       flags.get_double("duration", config.quick ? 8.0 : 20.0);
 
-  bench::CsvFile csv("f5_delay_cdf");
+  bench::CsvFile csv(flags, "f5_delay_cdf");
   csv.writer().header({"algorithm", "delay_ms", "cdf"});
 
   const Scenario scenario = Scenario::smart_city(iot, edge, config.base_seed);

@@ -21,7 +21,7 @@ int run(int argc, char** argv) {
   const double duration_s =
       flags.get_double("duration", config.quick ? 8.0 : 20.0);
 
-  bench::CsvFile csv("f6_deadline_miss");
+  bench::CsvFile csv(flags, "f6_deadline_miss");
   csv.writer().header({"deadline_ms", "algorithm", "miss_rate"});
 
   // Factory preset: tight capacity, small area — the stringent regime.

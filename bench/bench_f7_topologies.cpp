@@ -14,7 +14,7 @@ int run(int argc, char** argv) {
       flags.get_int("iot", config.quick ? 150 : 400));
   const auto edge = static_cast<std::size_t>(flags.get_int("edge", 16));
 
-  bench::CsvFile csv("f7_topologies");
+  bench::CsvFile csv(flags, "f7_topologies");
   csv.writer().header({"family", "algorithm", "mean_avg_delay_ms", "ci95",
                        "feasible_fraction"});
 

@@ -31,7 +31,7 @@ int run(int argc, char** argv) {
                               options);
   };
 
-  bench::CsvFile csv("f8_runtime");
+  bench::CsvFile csv(flags, "f8_runtime");
   csv.writer().header({"iot_count", "edge_count", "algorithm",
                        "mean_wall_ms", "ci95"});
 

@@ -66,7 +66,7 @@ int run(int argc, char** argv) {
     return 1;
   }
 
-  bench::CsvFile csv("m1_portfolio");
+  bench::CsvFile csv(flags, "m1_portfolio");
   csv.writer().header({"algorithm", "cost", "feasible", "task_wall_ms",
                        "queue_ms_parallel"});
   util::ConsoleTable table(

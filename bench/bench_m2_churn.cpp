@@ -55,7 +55,7 @@ int run(int argc, char** argv) {
   util::Rng rng(config.base_seed * 7 + 5);
   const double area = scenario.params().workload.area_km;
 
-  bench::CsvFile csv("m2_churn");
+  bench::CsvFile csv(flags, "m2_churn");
   csv.writer().header({"event", "event_type", "window_mean_us",
                        "graph_nodes", "device_slots", "active",
                        "avg_delay_ms"});

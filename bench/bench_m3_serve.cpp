@@ -1,0 +1,375 @@
+// M3: closed-loop load benchmark for the taccd service stack.
+//
+// Boots a service::Server (Unix-domain socket) in-process, CONFIGUREs one
+// warm session, then drives it with N concurrent closed-loop connections
+// (each waits for its response before sending the next request) over a
+// JOIN/MOVE/LEAVE/STATS mix. Reports throughput, p50/p99/p999 client-side
+// latency, and the rejection rate, then HARD-GATES the serving contract:
+//   1. Accounting: every submitted request receives exactly one terminal
+//      response (OK, OVERLOADED, or DEADLINE_EXCEEDED) — no silent drops,
+//      no unexpected protocol errors.
+//   2. Throughput: sustained rate >= --min-rps (default 10000) against the
+//      warm session.
+//   3. Graceful drain: SIGTERM under load lets every in-flight request
+//      finish, closes every connection cleanly, and the process exits 0.
+// Exit code 1 if a gate fails, so CI can run it as a regression check.
+//
+//   ./bench_m3_serve [--connections=8] [--requests=5000] [--iot=120]
+//                    [--edge=10] [--threads=0] [--max-queue=512]
+//                    [--timeout-ms=2000] [--min-rps=10000] [--no-sigterm]
+//   --quick shrinks the request count for sanitizer/CI runs.
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <csignal>
+#include <cstring>
+#include <thread>
+
+#include "bench/bench_common.hpp"
+#include "metrics/stats.hpp"
+#include "service/server.hpp"
+#include "util/rng.hpp"
+#include "util/timer.hpp"
+
+namespace {
+
+using namespace tacc;
+
+/// Minimal blocking line client for the bench's closed loop.
+class Client {
+ public:
+  explicit Client(const std::string& unix_path) {
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    std::strncpy(addr.sun_path, unix_path.c_str(),
+                 sizeof addr.sun_path - 1);
+    fd_ = ::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
+    if (fd_ < 0 ||
+        ::connect(fd_, reinterpret_cast<const sockaddr*>(&addr),
+                  sizeof addr) != 0) {
+      throw std::runtime_error("bench_m3_serve: cannot connect to " +
+                               unix_path);
+    }
+  }
+  ~Client() {
+    if (fd_ >= 0) ::close(fd_);
+  }
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+
+  /// Sends one request and blocks for its response. Returns false on
+  /// connection loss (only legitimate during the SIGTERM drain phase).
+  bool roundtrip(const std::string& request, std::string& response) {
+    std::string out = request;
+    out += '\n';
+    std::string_view data = out;
+    while (!data.empty()) {
+      const ssize_t n = ::send(fd_, data.data(), data.size(), MSG_NOSIGNAL);
+      if (n <= 0) return false;
+      data.remove_prefix(static_cast<std::size_t>(n));
+    }
+    for (;;) {
+      const std::size_t pos = buffer_.find('\n');
+      if (pos != std::string::npos) {
+        response = buffer_.substr(0, pos);
+        buffer_.erase(0, pos + 1);
+        return true;
+      }
+      char chunk[4096];
+      const ssize_t n = ::read(fd_, chunk, sizeof chunk);
+      if (n <= 0) return false;
+      buffer_.append(chunk, static_cast<std::size_t>(n));
+    }
+  }
+
+ private:
+  int fd_ = -1;
+  std::string buffer_;
+};
+
+/// Extracts an integer field ("device=42") from an OK response line.
+std::size_t parse_field(const std::string& line, const std::string& key) {
+  const std::size_t pos = line.find(key + "=");
+  if (pos == std::string::npos) return 0;
+  return static_cast<std::size_t>(
+      std::strtoull(line.c_str() + pos + key.size() + 1, nullptr, 10));
+}
+
+struct ConnStats {
+  std::size_t sent = 0;
+  std::size_t ok = 0;
+  std::size_t overloaded = 0;
+  std::size_t deadline = 0;
+  std::size_t shutting_down = 0;
+  std::size_t unexpected_err = 0;  // BAD_REQUEST/NOT_FOUND/INTERNAL — a bug
+  std::size_t lost = 0;            // sent but the connection dropped
+  std::vector<double> latency_us;
+
+  [[nodiscard]] std::size_t responses() const {
+    return ok + overloaded + deadline + shutting_down + unexpected_err;
+  }
+  void classify(const std::string& response) {
+    if (response.rfind("OK", 0) == 0) {
+      ++ok;
+    } else if (response.find("OVERLOADED") != std::string::npos) {
+      ++overloaded;
+    } else if (response.find("DEADLINE_EXCEEDED") != std::string::npos) {
+      ++deadline;
+    } else if (response.find("SHUTTING_DOWN") != std::string::npos) {
+      ++shutting_down;
+    } else {
+      ++unexpected_err;
+    }
+  }
+};
+
+/// One closed-loop worker: `requests` rounds of the JOIN/MOVE/LEAVE/STATS
+/// mix against the warm session.
+ConnStats drive_connection(const std::string& unix_path,
+                           const std::string& session, std::size_t requests,
+                           std::size_t base_iot, double area,
+                           std::uint64_t seed) {
+  Client client(unix_path);
+  util::Rng rng(seed);
+  ConnStats stats;
+  stats.latency_us.reserve(requests);
+  std::vector<std::size_t> owned;  // devices this connection joined
+  std::string request;
+  std::string response;
+  for (std::size_t i = 0; i < requests; ++i) {
+    const double roll = rng.uniform(0.0, 1.0);
+    const double x = rng.uniform(0.0, area);
+    const double y = rng.uniform(0.0, area);
+    bool joined = false;
+    // JOIN and LEAVE are equally likely so the session hovers near its base
+    // size; an unbalanced mix would grow the cluster (and the per-request
+    // cost) without bound over a long run.
+    if (roll < 0.15) {
+      request = "JOIN " + session + " " + std::to_string(x) + " " +
+                std::to_string(y);
+      joined = true;
+    } else if (roll < 0.30 && !owned.empty()) {
+      const std::size_t pick = rng.index(owned.size());
+      request = "LEAVE " + session + " " + std::to_string(owned[pick]);
+      owned[pick] = owned.back();
+      owned.pop_back();
+    } else if (roll < 0.35) {
+      request = "STATS " + session;
+    } else {
+      request = "MOVE " + session + " " +
+                std::to_string(rng.index(base_iot)) + " " +
+                std::to_string(x) + " " + std::to_string(y);
+    }
+    util::WallTimer timer;
+    ++stats.sent;
+    if (!client.roundtrip(request, response)) {
+      ++stats.lost;
+      break;
+    }
+    stats.latency_us.push_back(timer.elapsed_ms() * 1e3);
+    stats.classify(response);
+    if (joined && response.rfind("OK", 0) == 0) {
+      owned.push_back(parse_field(response, "device"));
+    }
+  }
+  return stats;
+}
+
+int run(int argc, char** argv) {
+  const auto flags = util::Flags::parse(argc, argv);
+  const auto config = bench::BenchConfig::from_flags(flags);
+  const auto connections = static_cast<std::size_t>(
+      flags.get_int("connections", 8));
+  const auto requests = static_cast<std::size_t>(
+      flags.get_int("requests", config.quick ? 1'500 : 5'000));
+  const auto iot =
+      static_cast<std::size_t>(flags.get_int("iot", config.quick ? 80 : 120));
+  const auto edge = static_cast<std::size_t>(flags.get_int("edge", 10));
+  // --quick is a machinery smoke for small CI runners; the full 10k req/s
+  // acceptance gate applies to the default run.
+  const double min_rps =
+      flags.get_double("min-rps", config.quick ? 2'000.0 : 10'000.0);
+  const bool sigterm_phase = !flags.get_bool("no-sigterm", false);
+
+  service::ServerOptions options;
+  options.unix_path = "/tmp/tacc_m3_serve_" + std::to_string(::getpid()) +
+                      ".sock";
+  options.engine.threads =
+      static_cast<std::size_t>(flags.get_int("threads", 0));
+  options.engine.max_queue =
+      static_cast<std::size_t>(flags.get_int("max-queue", 512));
+  options.engine.default_timeout_ms = flags.get_double("timeout-ms", 2000.0);
+
+  service::Server server(std::move(options));
+  server.install_signal_handlers();
+  std::jthread server_thread([&server] { server.run(); });
+
+  const std::string session = "m3";
+  const double area = 10.0;
+  bool ok = true;
+
+  {
+    // Warm the session: CONFIGURE builds the topology, delay matrix, and
+    // the initial assignment once; the load phase reuses them.
+    Client warm(server.unix_path());
+    std::string response;
+    const std::string configure =
+        "CONFIGURE " + session + " " + std::to_string(iot) + " " +
+        std::to_string(edge) + " seed=" + std::to_string(config.base_seed) +
+        " timeout_ms=60000";
+    if (!warm.roundtrip(configure, response) ||
+        response.rfind("OK", 0) != 0) {
+      std::cerr << "GATE FAILED: CONFIGURE failed: " << response << "\n";
+      server.request_shutdown();
+      return 1;
+    }
+    std::cout << "warm session: " << response << "\n";
+  }
+
+  // ---- Steady closed-loop phase --------------------------------------------
+  std::vector<ConnStats> per_conn(connections);
+  util::WallTimer phase_timer;
+  {
+    std::vector<std::jthread> workers;
+    workers.reserve(connections);
+    for (std::size_t c = 0; c < connections; ++c) {
+      workers.emplace_back([&, c] {
+        per_conn[c] = drive_connection(server.unix_path(), session, requests,
+                                       iot, area,
+                                       config.base_seed * 1'000 + c);
+      });
+    }
+  }
+  const double steady_s = phase_timer.elapsed_seconds();
+
+  ConnStats total;
+  std::vector<double> all_latencies;
+  for (const ConnStats& c : per_conn) {
+    total.sent += c.sent;
+    total.ok += c.ok;
+    total.overloaded += c.overloaded;
+    total.deadline += c.deadline;
+    total.shutting_down += c.shutting_down;
+    total.unexpected_err += c.unexpected_err;
+    total.lost += c.lost;
+    all_latencies.insert(all_latencies.end(), c.latency_us.begin(),
+                         c.latency_us.end());
+  }
+  const double rps = static_cast<double>(total.responses()) / steady_s;
+  const double p50 = metrics::percentile(all_latencies, 0.50);
+  const double p99 = metrics::percentile(all_latencies, 0.99);
+  const double p999 = metrics::percentile(all_latencies, 0.999);
+  const double rejection_rate =
+      total.sent == 0
+          ? 0.0
+          : static_cast<double>(total.overloaded + total.deadline) /
+                static_cast<double>(total.sent);
+
+  util::ConsoleTable table({"connections", "requests", "responses", "rps",
+                            "p50 (us)", "p99 (us)", "p999 (us)",
+                            "rejected"});
+  table.add_row({std::to_string(connections),
+                 std::to_string(total.sent),
+                 std::to_string(total.responses()),
+                 util::format_double(rps, 0),
+                 util::format_double(p50, 1), util::format_double(p99, 1),
+                 util::format_double(p999, 1),
+                 util::format_double(rejection_rate * 100.0, 3) + "%"});
+  std::cout << table.to_string("M3 — taccd closed-loop serve (" +
+                               std::to_string(iot) + " base devices, " +
+                               std::to_string(edge) + " servers):");
+
+  bench::CsvFile csv(flags, "m3_serve");
+  csv.writer().header({"connections", "requests", "responses", "ok",
+                       "overloaded", "deadline", "rps", "p50_us", "p99_us",
+                       "p999_us", "rejection_rate"});
+  csv.writer().row(connections, total.sent, total.responses(), total.ok,
+                   total.overloaded, total.deadline, rps, p50, p99, p999,
+                   rejection_rate);
+
+  // ---- Gate 1: exactly one terminal response per submitted request. --------
+  if (total.lost != 0 || total.responses() != total.sent ||
+      total.unexpected_err != 0 || total.shutting_down != 0) {
+    std::cerr << "GATE FAILED: response accounting (sent=" << total.sent
+              << " responses=" << total.responses() << " lost=" << total.lost
+              << " unexpected_err=" << total.unexpected_err
+              << " shutting_down=" << total.shutting_down << ")\n";
+    ok = false;
+  }
+
+  // ---- Gate 2: sustained throughput. ---------------------------------------
+  if (rps < min_rps) {
+    std::cerr << "GATE FAILED: throughput " << util::format_double(rps, 0)
+              << " rps < required " << util::format_double(min_rps, 0)
+              << "\n";
+    ok = false;
+  }
+
+  // ---- Gate 3: SIGTERM under load drains cleanly. --------------------------
+  if (sigterm_phase) {
+    std::atomic<std::size_t> drain_sent{0};
+    std::atomic<std::size_t> drain_responded{0};
+    std::atomic<bool> drain_anomaly{false};
+    {
+      std::vector<std::jthread> workers;
+      for (std::size_t c = 0; c < connections; ++c) {
+        workers.emplace_back([&, c] {
+          try {
+            Client client(server.unix_path());
+            util::Rng rng(config.base_seed * 7'000 + c);
+            std::string response;
+            // Loop until the drain cuts the connection; 60s safety cap so a
+            // wedged shutdown fails the gate instead of hanging the bench.
+            util::WallTimer guard;
+            while (guard.elapsed_seconds() < 60.0) {
+              const std::string request =
+                  "MOVE m3 " + std::to_string(rng.index(iot)) + " " +
+                  std::to_string(rng.uniform(0.0, area)) + " " +
+                  std::to_string(rng.uniform(0.0, area));
+              drain_sent.fetch_add(1);
+              if (!client.roundtrip(request, response)) return;
+              drain_responded.fetch_add(1);
+            }
+            drain_anomaly.store(true);  // never saw the shutdown cut
+          } catch (const std::exception&) {
+            drain_anomaly.store(true);
+          }
+        });
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(50));
+      ::raise(SIGTERM);
+      server_thread.join();  // run() returns only after a full drain
+    }
+    const std::size_t unanswered =
+        drain_sent.load() - drain_responded.load();
+    std::cout << "\nSIGTERM drain: " << drain_responded.load() << "/"
+              << drain_sent.load() << " requests answered during shutdown ("
+              << unanswered << " cut at the final socket close)\n";
+    // Each connection may lose at most its single in-flight request to the
+    // post-drain socket close; more means requests vanished while admitted.
+    if (drain_anomaly.load() || unanswered > connections) {
+      std::cerr << "GATE FAILED: SIGTERM drain (anomaly="
+                << drain_anomaly.load() << ", unanswered=" << unanswered
+                << " > connections=" << connections << ")\n";
+      ok = false;
+    }
+  } else {
+    server.request_shutdown();
+    server_thread.join();
+  }
+
+  if (ok) {
+    std::cout << "All serve gates passed: full response accounting, "
+              << util::format_double(rps, 0) << " rps >= "
+              << util::format_double(min_rps, 0)
+              << (sigterm_phase ? ", graceful SIGTERM drain.\n" : ".\n");
+  }
+  bench::check_unused_flags(flags);
+  return ok ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) { return run(argc, argv); }

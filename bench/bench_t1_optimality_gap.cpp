@@ -14,7 +14,7 @@ using namespace tacc;
 int run(int argc, char** argv) {
   const auto flags = util::Flags::parse(argc, argv);
   const auto config = bench::BenchConfig::from_flags(flags);
-  bench::CsvFile csv("t1_optimality_gap");
+  bench::CsvFile csv(flags, "t1_optimality_gap");
   csv.writer().header({"n", "m", "seed", "algorithm", "cost", "opt",
                        "gap_pct", "feasible"});
 

@@ -22,7 +22,7 @@ int run(int argc, char** argv) {
   const auto parallel = static_cast<std::size_t>(
       std::max<std::int64_t>(0, flags.get_int("parallel", 1)));
 
-  bench::CsvFile csv("t2_headline");
+  bench::CsvFile csv(flags, "t2_headline");
   csv.writer().header({"algorithm", "mean_cost", "ci95_cost",
                        "mean_avg_delay_ms", "mean_max_util",
                        "feasible_fraction", "mean_wall_ms", "mean_lb_gap_pct"});

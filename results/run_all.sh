@@ -1,14 +1,16 @@
 #!/bin/bash
 # Regenerates every experiment (tables T1-T2, figures F1-F8, ablations A1-A3).
-cd "$(dirname "$0")"
+# Runs from the repo root; benches write their CSVs into results/ by default
+# (override with --out=DIR, which is forwarded along with any other flags).
+cd "$(dirname "$0")/.."
 for b in bench_t1_optimality_gap bench_t2_headline bench_f1_delay_vs_iot \
          bench_f2_delay_vs_edge bench_f3_load_factor bench_f4_convergence \
          bench_f5_delay_cdf bench_f6_deadline_miss bench_f7_topologies \
          bench_f8_runtime bench_a1_topology_ablation bench_a2_rl_ablation bench_a4_transfer \
          bench_a5_resilience bench_a6_mobility bench_a7_analytic \
-         bench_m1_portfolio bench_m2_churn; do
+         bench_m1_portfolio bench_m2_churn bench_m3_serve; do
   echo "##### $b #####"
-  ../build/bench/$b "$@" || exit 1
+  ./build/bench/$b "$@" || exit 1
 done
 echo "##### bench_a3_micro #####"
-../build/bench/bench_a3_micro --benchmark_min_time=0.2 || exit 1
+./build/bench/bench_a3_micro --benchmark_min_time=0.2 || exit 1

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 #include <sstream>
 #include <stdexcept>
 
@@ -51,6 +52,27 @@ double Histogram::cdf_at(std::size_t bin) const noexcept {
     cumulative += counts_[b];
   }
   return static_cast<double>(cumulative) / static_cast<double>(total_);
+}
+
+double Histogram::quantile(double q) const noexcept {
+  if (total_ == 0) return std::numeric_limits<double>::quiet_NaN();
+  q = std::clamp(q, 0.0, 1.0);
+  const double target = q * static_cast<double>(total_);
+  std::size_t cumulative = 0;
+  for (std::size_t b = 0; b < counts_.size(); ++b) {
+    if (counts_[b] == 0) continue;
+    const double before = static_cast<double>(cumulative);
+    cumulative += counts_[b];
+    if (static_cast<double>(cumulative) >= target) {
+      // Interpolate the crossing point inside this bin.
+      const double inside =
+          counts_[b] == 0 ? 0.0
+                          : (target - before) / static_cast<double>(counts_[b]);
+      const double width = (hi_ - lo_) / static_cast<double>(counts_.size());
+      return bin_lower(b) + std::clamp(inside, 0.0, 1.0) * width;
+    }
+  }
+  return bin_upper(counts_.size() - 1);
 }
 
 std::string Histogram::render(std::size_t width) const {

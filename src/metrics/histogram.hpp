@@ -33,6 +33,13 @@ class Histogram {
   /// Cumulative fraction of samples with value < bin_upper(bin).
   [[nodiscard]] double cdf_at(std::size_t bin) const noexcept;
 
+  /// Approximate q-quantile (q in [0,1]) from the binned counts, linearly
+  /// interpolated within the bin that crosses the target rank — resolution
+  /// is one bin width. NaN for an empty histogram; q is clamped to [0,1].
+  /// Lets long-running services report p50/p99/p999 from O(bins) memory
+  /// instead of retaining every sample.
+  [[nodiscard]] double quantile(double q) const noexcept;
+
   /// ASCII rendering for example programs ("#" bars, one bin per line).
   [[nodiscard]] std::string render(std::size_t width = 50) const;
 

@@ -1,0 +1,369 @@
+#include "service/engine.hpp"
+
+#include <stdexcept>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "core/dynamic.hpp"
+#include "core/scenario.hpp"
+
+namespace tacc::service {
+
+Engine::Engine(EngineOptions options)
+    : options_(std::move(options)), pool_(options_.threads) {}
+
+Engine::~Engine() {
+  begin_shutdown();
+  drain();
+}
+
+void Engine::begin_shutdown() {
+  const std::scoped_lock lock(mutex_);
+  shutting_down_ = true;
+}
+
+void Engine::drain() {
+  std::unique_lock lock(mutex_);
+  drained_cv_.wait(lock, [this] { return in_flight_ == 0; });
+}
+
+std::size_t Engine::queue_depth() const {
+  const std::scoped_lock lock(mutex_);
+  return in_flight_;
+}
+
+EngineCounters Engine::counters() const {
+  const std::scoped_lock lock(mutex_);
+  return counters_;
+}
+
+std::size_t Engine::session_count() const {
+  const std::scoped_lock lock(mutex_);
+  return sessions_.size();
+}
+
+void Engine::submit(const Request& request, Responder respond) {
+  switch (request.verb) {
+    case Verb::kPing:
+    case Verb::kShutdown:
+      // Transport-level verbs; the socket server answers them before the
+      // engine ever sees them.
+      respond(err_line(ErrorCode::kBadRequest,
+                       "verb is handled by the transport"));
+      return;
+    case Verb::kStats:
+      respond(stats_line(request.session));
+      return;
+    default:
+      break;
+  }
+
+  const Clock::time_point now = Clock::now();
+  const double timeout_ms =
+      request.timeout_ms.value_or(options_.default_timeout_ms);
+  Event event{request, std::move(respond), now,
+              now + std::chrono::duration_cast<Clock::duration>(
+                        std::chrono::duration<double, std::milli>(timeout_ms))};
+
+  enum class Outcome { kAccepted, kOverloaded, kNotFound, kShuttingDown };
+  Outcome outcome = Outcome::kShuttingDown;
+  std::shared_ptr<Session> session;
+  bool schedule = false;
+  {
+    const std::scoped_lock lock(mutex_);
+    if (shutting_down_) {
+      ++counters_.rejected_shutdown;
+      outcome = Outcome::kShuttingDown;
+    } else if (in_flight_ >= options_.max_queue) {
+      ++counters_.rejected_overload;
+      const auto it = sessions_.find(request.session);
+      if (it != sessions_.end()) session = it->second;
+      outcome = Outcome::kOverloaded;
+    } else {
+      const auto it = sessions_.find(request.session);
+      if (it != sessions_.end()) {
+        session = it->second;
+      } else if (request.verb == Verb::kConfigure) {
+        session = std::make_shared<Session>(request.session, options_);
+        sessions_.emplace(request.session, session);
+      } else {
+        ++counters_.failed;
+        outcome = Outcome::kNotFound;
+      }
+      if (session) {
+        ++in_flight_;
+        ++counters_.accepted;
+        session->pending.push_back(std::move(event));
+        if (!session->draining) {
+          session->draining = true;
+          schedule = true;
+        }
+        outcome = Outcome::kAccepted;
+      }
+    }
+  }
+
+  // Everything below runs unlocked so responders and the pool can't deadlock
+  // back into submit().
+  switch (outcome) {
+    case Outcome::kAccepted: {
+      {
+        const std::scoped_lock metrics(session->metrics_mutex);
+        ++session->counters.accepted;
+      }
+      if (schedule) {
+        pool_.submit([this, session] { drain_session(session); });
+      }
+      return;
+    }
+    case Outcome::kShuttingDown:
+      event.respond(err_line(ErrorCode::kShuttingDown, "daemon is draining"));
+      return;
+    case Outcome::kNotFound:
+      event.respond(err_line(ErrorCode::kNotFound,
+                             "unknown session '" + request.session + "'"));
+      return;
+    case Outcome::kOverloaded:
+      if (session) {
+        const std::scoped_lock metrics(session->metrics_mutex);
+        ++session->counters.rejected_overload;
+      }
+      event.respond(err_line(ErrorCode::kOverloaded,
+                             "admission queue full (max_queue=" +
+                                 std::to_string(options_.max_queue) + ")"));
+      return;
+  }
+}
+
+void Engine::drain_session(const std::shared_ptr<Session>& session) {
+  for (;;) {
+    std::vector<Event> batch;
+    {
+      const std::scoped_lock lock(mutex_);
+      const std::size_t n =
+          std::min(session->pending.size(), options_.max_batch);
+      if (n == 0) {
+        session->draining = false;
+        return;
+      }
+      batch.reserve(n);
+      for (std::size_t i = 0; i < n; ++i) {
+        batch.push_back(std::move(session->pending.front()));
+        session->pending.pop_front();
+      }
+    }
+
+    std::uint64_t completed = 0;
+    std::uint64_t failed = 0;
+    std::uint64_t expired = 0;
+    std::vector<double> latencies;
+    latencies.reserve(batch.size());
+    for (Event& event : batch) {
+      if (Clock::now() > event.deadline) {
+        ++expired;
+        event.respond(err_line(ErrorCode::kDeadlineExceeded,
+                               "expired after queueing"));
+        continue;
+      }
+      std::string line = apply(*session, event.request);
+      const bool ok = line.rfind("OK", 0) == 0;
+      (ok ? completed : failed) += 1;
+      latencies.push_back(
+          std::chrono::duration<double, std::micro>(Clock::now() -
+                                                    event.enqueued)
+              .count());
+      event.respond(std::move(line));
+    }
+
+    // One metrics flush per batch (micro-batching's second dividend).
+    SessionSnapshot snapshot;
+    snapshot.configured = session->cluster != nullptr;
+    if (session->cluster) {
+      const DynamicCluster& cluster = *session->cluster;
+      snapshot.devices = cluster.active_count();
+      snapshot.servers = cluster.server_count();
+      snapshot.healthy_servers = cluster.healthy_server_count();
+      snapshot.avg_delay_ms = cluster.avg_delay_ms();
+      snapshot.max_utilization = cluster.max_utilization();
+      snapshot.feasible = cluster.feasible();
+    }
+    {
+      const std::scoped_lock metrics(session->metrics_mutex);
+      session->counters.completed += completed;
+      session->counters.failed += failed;
+      session->counters.rejected_deadline += expired;
+      ++session->batches;
+      for (const double us : latencies) session->latency_us.add(us);
+      session->snapshot = snapshot;
+    }
+    {
+      const std::scoped_lock lock(mutex_);
+      counters_.completed += completed;
+      counters_.failed += failed;
+      counters_.rejected_deadline += expired;
+      in_flight_ -= batch.size();
+      if (in_flight_ == 0) drained_cv_.notify_all();
+    }
+  }
+}
+
+std::string Engine::apply(Session& session, const Request& request) {
+  try {
+    if (request.verb == Verb::kConfigure) {
+      Scenario scenario = [&] {
+        switch (request.preset) {
+          case ScenarioPreset::kFactory:
+            return Scenario::factory(request.iot, request.edge, request.seed);
+          case ScenarioPreset::kCampus:
+            return Scenario::campus(request.iot, request.edge, request.seed);
+          case ScenarioPreset::kSmartCity:
+          default:
+            return Scenario::smart_city(request.iot, request.edge,
+                                        request.seed);
+        }
+      }();
+      AlgorithmOptions algorithm_options;
+      algorithm_options.apply_seed(request.seed);
+      session.cluster = std::make_unique<DynamicCluster>(
+          scenario, request.algorithm, algorithm_options);
+      return OkLine()
+          .field("session", session.name)
+          .field("preset", to_string(request.preset))
+          .field("devices", session.cluster->active_count())
+          .field("servers", session.cluster->server_count())
+          .field("algo", tacc::to_string(request.algorithm))
+          .field("avg_delay_ms", session.cluster->avg_delay_ms())
+          .field("feasible", session.cluster->feasible())
+          .str();
+    }
+    if (request.verb == Verb::kSleep) {
+      std::this_thread::sleep_for(
+          std::chrono::duration<double, std::milli>(request.sleep_ms));
+      return OkLine().field("slept_ms", request.sleep_ms).str();
+    }
+    if (!session.cluster) {
+      return err_line(ErrorCode::kNotFound,
+                      "session '" + session.name + "' is not configured");
+    }
+    DynamicCluster& cluster = *session.cluster;
+    switch (request.verb) {
+      case Verb::kJoin: {
+        workload::IotDevice device;
+        device.position = {request.x, request.y};
+        device.request_rate_hz = request.rate_hz;
+        device.demand = request.demand;
+        const JoinResult joined = cluster.join(device);
+        return OkLine()
+            .field("device", joined.device_index)
+            .field("server", joined.server)
+            .field("feasible", joined.feasible)
+            .field("overload", joined.overload_fallback)
+            .str();
+      }
+      case Verb::kMove: {
+        const topo::Point2D position{request.x, request.y};
+        const JoinResult moved = request.pinned
+                                     ? cluster.move_pinned(request.index,
+                                                           position)
+                                     : cluster.move(request.index, position);
+        return OkLine()
+            .field("device", moved.device_index)
+            .field("server", moved.server)
+            .field("feasible", moved.feasible)
+            .field("overload", moved.overload_fallback)
+            .str();
+      }
+      case Verb::kLeave:
+        cluster.leave(request.index);
+        return OkLine().field("device", request.index).str();
+      case Verb::kFail: {
+        const EvacuationReport report =
+            cluster.fail_server(request.index, request.evacuate);
+        return OkLine()
+            .field("server", request.index)
+            .field("evacuated", report.evacuated)
+            .field("overloaded", report.overloaded)
+            .str();
+      }
+      case Verb::kRecover:
+        cluster.recover_server(request.index);
+        return OkLine().field("server", request.index).str();
+      case Verb::kEvacuate: {
+        const EvacuationReport report = cluster.evacuate_server(request.index);
+        return OkLine()
+            .field("server", request.index)
+            .field("evacuated", report.evacuated)
+            .field("overloaded", report.overloaded)
+            .str();
+      }
+      default:
+        return err_line(ErrorCode::kInternal, "unroutable verb");
+    }
+  } catch (const std::logic_error& error) {
+    // DynamicCluster signals precondition violations (inactive device, bad
+    // server, last healthy server) via logic_error/invalid_argument.
+    return err_line(ErrorCode::kBadRequest, error.what());
+  } catch (const std::exception& error) {
+    return err_line(ErrorCode::kInternal, error.what());
+  }
+}
+
+std::string Engine::stats_line(const std::string& session_name) const {
+  if (session_name.empty()) {
+    const std::scoped_lock lock(mutex_);
+    return OkLine()
+        .field("sessions", sessions_.size())
+        .field("queue_depth", in_flight_)
+        .field("max_queue", options_.max_queue)
+        .field("accepted", static_cast<std::size_t>(counters_.accepted))
+        .field("completed", static_cast<std::size_t>(counters_.completed))
+        .field("failed", static_cast<std::size_t>(counters_.failed))
+        .field("rejected_overload",
+               static_cast<std::size_t>(counters_.rejected_overload))
+        .field("rejected_deadline",
+               static_cast<std::size_t>(counters_.rejected_deadline))
+        .field("rejected_shutdown",
+               static_cast<std::size_t>(counters_.rejected_shutdown))
+        .str();
+  }
+
+  std::shared_ptr<Session> session;
+  {
+    const std::scoped_lock lock(mutex_);
+    const auto it = sessions_.find(session_name);
+    if (it == sessions_.end()) {
+      return err_line(ErrorCode::kNotFound,
+                      "unknown session '" + session_name + "'");
+    }
+    session = it->second;
+  }
+  const std::scoped_lock metrics(session->metrics_mutex);
+  const EngineCounters& c = session->counters;
+  const metrics::Histogram& h = session->latency_us;
+  const SessionSnapshot& s = session->snapshot;
+  return OkLine()
+      .field("session", session->name)
+      .field("configured", s.configured)
+      .field("devices", s.devices)
+      .field("servers", s.servers)
+      .field("healthy_servers", s.healthy_servers)
+      .field("avg_delay_ms", s.avg_delay_ms)
+      .field("max_utilization", s.max_utilization)
+      .field("feasible", s.feasible)
+      .field("accepted", static_cast<std::size_t>(c.accepted))
+      .field("completed", static_cast<std::size_t>(c.completed))
+      .field("failed", static_cast<std::size_t>(c.failed))
+      .field("rejected_overload",
+             static_cast<std::size_t>(c.rejected_overload))
+      .field("rejected_deadline",
+             static_cast<std::size_t>(c.rejected_deadline))
+      .field("batches", static_cast<std::size_t>(session->batches))
+      .field("latency_count", h.total())
+      .field("p50_us", h.quantile(0.50))
+      .field("p99_us", h.quantile(0.99))
+      .field("p999_us", h.quantile(0.999))
+      .str();
+}
+
+}  // namespace tacc::service

@@ -1,0 +1,163 @@
+// The taccd request engine: named DynamicCluster sessions driven through a
+// bounded admission queue by the shared runtime::ThreadPool, independent of
+// any transport.
+//
+// Execution model:
+//  - Every mutation request (CONFIGURE/JOIN/MOVE/LEAVE/FAIL/RECOVER/
+//    EVACUATE/SLEEP) is admitted into its session's FIFO and stamped with a
+//    deadline (per-request timeout_ms or the engine default). Admission is
+//    bounded across ALL sessions: when `max_queue` requests are queued or
+//    executing, submit() answers ERR OVERLOADED immediately instead of
+//    queuing unboundedly.
+//  - Micro-batching: one pool task drains a session's FIFO up to
+//    `max_batch` events per pass, so a burst of compatible mutations pays
+//    for one task dispatch and one metrics flush instead of N. Events on
+//    one session always execute sequentially (single drainer per session);
+//    different sessions execute concurrently on the pool.
+//  - A request whose deadline passed while queued answers
+//    ERR DEADLINE_EXCEEDED without touching the cluster. Deadlines are
+//    checked at execution start; an event that has begun executing runs to
+//    completion.
+//  - STATS bypasses admission entirely and answers synchronously from a
+//    lock-protected snapshot refreshed after every batch, so health checks
+//    stay fast even when sessions are busy.
+//
+// Every submitted request receives exactly one terminal response: the
+// responder callback is invoked exactly once, with an OK line or an ERR
+// line, on the submitting thread (rejections, STATS) or a worker thread.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "core/dynamic.hpp"
+#include "metrics/histogram.hpp"
+#include "runtime/thread_pool.hpp"
+#include "service/protocol.hpp"
+
+namespace tacc::service {
+
+struct EngineOptions {
+  /// Worker pool size (0 = hardware concurrency).
+  std::size_t threads = 0;
+  /// Admission bound: max requests queued or executing across all sessions
+  /// before submit() rejects with OVERLOADED.
+  std::size_t max_queue = 256;
+  /// Default per-request deadline when the request carries no timeout_ms.
+  double default_timeout_ms = 1000.0;
+  /// Max events one drain pass executes before re-checking the queue.
+  std::size_t max_batch = 32;
+  /// Service-latency histogram range/resolution (microseconds).
+  double histogram_max_us = 20'000.0;
+  std::size_t histogram_bins = 2'000;
+};
+
+/// Aggregate counters across the engine's lifetime.
+struct EngineCounters {
+  std::uint64_t accepted = 0;           ///< admitted into a session queue
+  std::uint64_t completed = 0;          ///< executed, responded OK
+  std::uint64_t failed = 0;             ///< executed, responded ERR
+  std::uint64_t rejected_overload = 0;  ///< bounced at admission
+  std::uint64_t rejected_deadline = 0;  ///< expired in the queue
+  std::uint64_t rejected_shutdown = 0;  ///< bounced while draining
+};
+
+class Engine {
+ public:
+  /// Exactly-once terminal response callback. May be invoked from the
+  /// submitting thread or a pool worker; must not block for long and must
+  /// not call back into the engine.
+  using Responder = std::function<void(std::string)>;
+
+  explicit Engine(EngineOptions options = {});
+  /// Drains all admitted work before returning.
+  ~Engine();
+
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+
+  /// Routes one parsed request. PING/SHUTDOWN are transport-level verbs and
+  /// are answered BAD_REQUEST here. Never blocks on cluster work.
+  void submit(const Request& request, Responder respond);
+
+  /// Stops admitting new requests (they answer ERR SHUTTING_DOWN); already
+  /// admitted requests still execute.
+  void begin_shutdown();
+  /// Blocks until every admitted request has received its response.
+  void drain();
+
+  [[nodiscard]] std::size_t queue_depth() const;
+  [[nodiscard]] EngineCounters counters() const;
+  [[nodiscard]] std::size_t session_count() const;
+  [[nodiscard]] const EngineOptions& options() const noexcept {
+    return options_;
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+
+  struct Event {
+    Request request;
+    Responder respond;
+    Clock::time_point enqueued;
+    Clock::time_point deadline;
+  };
+
+  /// Cheap cluster-state numbers re-sampled after every batch so STATS
+  /// never waits on an executing session.
+  struct SessionSnapshot {
+    bool configured = false;
+    std::size_t devices = 0;
+    std::size_t servers = 0;
+    std::size_t healthy_servers = 0;
+    double avg_delay_ms = 0.0;
+    double max_utilization = 0.0;
+    bool feasible = true;
+  };
+
+  struct Session {
+    explicit Session(std::string session_name, const EngineOptions& options)
+        : name(std::move(session_name)),
+          latency_us(0.0, options.histogram_max_us, options.histogram_bins) {}
+
+    const std::string name;
+
+    // Queue state — guarded by Engine::mutex_.
+    std::deque<Event> pending;
+    bool draining = false;
+
+    // Cluster — touched only by the (single) active drain task.
+    std::unique_ptr<DynamicCluster> cluster;
+
+    // Metrics — guarded by metrics_mutex (never held across cluster work).
+    mutable std::mutex metrics_mutex;
+    EngineCounters counters;
+    std::uint64_t batches = 0;
+    metrics::Histogram latency_us;
+    SessionSnapshot snapshot;
+  };
+
+  void drain_session(const std::shared_ptr<Session>& session);
+  /// Executes one event against the session's cluster; returns the response
+  /// line. Never throws.
+  std::string apply(Session& session, const Request& request);
+  [[nodiscard]] std::string stats_line(const std::string& session_name) const;
+
+  const EngineOptions options_;
+  mutable std::mutex mutex_;
+  std::condition_variable drained_cv_;  ///< signalled when in_flight_ drops
+  std::map<std::string, std::shared_ptr<Session>, std::less<>> sessions_;
+  std::size_t in_flight_ = 0;  ///< admitted, not yet responded
+  bool shutting_down_ = false;
+  EngineCounters counters_;
+  runtime::ThreadPool pool_;  // last member: workers stop before state dies
+};
+
+}  // namespace tacc::service

@@ -1,0 +1,132 @@
+// Wire protocol for taccd: line-delimited, space-separated text requests.
+//
+// One request per line, one response line per request:
+//
+//   CONFIGURE <session> <iot> <edge> [seed=N] [algo=NAME] [preset=NAME]
+//   JOIN      <session> <x> <y> [demand=D] [rate=HZ]
+//   MOVE      <session> <device> <x> <y> [pinned=0|1]
+//   LEAVE     <session> <device>
+//   FAIL      <session> <server> [evacuate=0|1]
+//   RECOVER   <session> <server>
+//   EVACUATE  <session> <server>
+//   SLEEP     <session> <ms>               (diagnostic: occupies the session)
+//   STATS     [<session>]
+//   PING
+//   SHUTDOWN
+//
+// Every session verb additionally accepts timeout_ms=T, overriding the
+// server's default admission deadline for that request. Responses are
+// either "OK key=value ..." or "ERR <CODE> <message>"; see DESIGN.md for
+// the full grammar and semantics.
+//
+// This header is pure parsing/formatting — no sockets, no sessions — so the
+// protocol is unit-testable in isolation.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "core/algorithms.hpp"
+
+namespace tacc::service {
+
+enum class Verb {
+  kConfigure,
+  kJoin,
+  kMove,
+  kLeave,
+  kFail,
+  kRecover,
+  kEvacuate,
+  kSleep,
+  kStats,
+  kPing,
+  kShutdown,
+};
+[[nodiscard]] std::string_view to_string(Verb verb) noexcept;
+
+/// Error codes a response line can carry. OVERLOADED and DEADLINE_EXCEEDED
+/// are the two admission-control rejections the paper-level deadlines call
+/// for; the rest are protocol/session errors.
+enum class ErrorCode {
+  kBadRequest,        ///< unparseable or precondition-violating request
+  kNotFound,          ///< unknown session
+  kOverloaded,        ///< admission queue full — retry later
+  kDeadlineExceeded,  ///< request expired before a worker reached it
+  kShuttingDown,      ///< daemon is draining; no new work admitted
+  kInternal,          ///< unexpected server-side failure
+};
+[[nodiscard]] std::string_view to_string(ErrorCode code) noexcept;
+
+enum class ScenarioPreset { kSmartCity, kFactory, kCampus };
+[[nodiscard]] std::string_view to_string(ScenarioPreset preset) noexcept;
+
+/// One parsed request. Only the fields relevant to `verb` are meaningful;
+/// the rest keep their defaults.
+struct Request {
+  Verb verb = Verb::kPing;
+  std::string session;  ///< empty only for PING/SHUTDOWN/global STATS
+
+  // CONFIGURE
+  std::size_t iot = 0;
+  std::size_t edge = 0;
+  std::uint64_t seed = 1;
+  Algorithm algorithm = Algorithm::kGreedyBestFit;
+  ScenarioPreset preset = ScenarioPreset::kSmartCity;
+
+  // JOIN / MOVE coordinates and device load
+  double x = 0.0;
+  double y = 0.0;
+  double demand = 1.0;
+  double rate_hz = 5.0;
+  bool pinned = false;
+
+  // MOVE/LEAVE device index; FAIL/RECOVER/EVACUATE server index
+  std::size_t index = 0;
+  bool evacuate = true;
+
+  // SLEEP
+  double sleep_ms = 0.0;
+
+  /// Per-request admission deadline override (timeout_ms=T).
+  std::optional<double> timeout_ms;
+};
+
+/// Outcome of parse_request: either a request or a human-readable error.
+struct ParseResult {
+  std::optional<Request> request;
+  std::string error;
+  [[nodiscard]] bool ok() const noexcept { return request.has_value(); }
+};
+
+/// Parses one wire line (without the trailing newline; a trailing '\r' is
+/// tolerated). Never throws.
+[[nodiscard]] ParseResult parse_request(std::string_view line);
+
+/// Formats "ERR <CODE> <message>".
+[[nodiscard]] std::string err_line(ErrorCode code, std::string_view message);
+
+/// Assembles "OK key=value ..." response lines with consistent numeric
+/// formatting (doubles use %.6g so lines stay short).
+class OkLine {
+ public:
+  OkLine& field(std::string_view key, std::string_view value);
+  OkLine& field(std::string_view key, const std::string& value) {
+    return field(key, std::string_view(value));
+  }
+  OkLine& field(std::string_view key, const char* value) {
+    return field(key, std::string_view(value));
+  }
+  OkLine& field(std::string_view key, std::size_t value);
+  OkLine& field(std::string_view key, double value);
+  OkLine& field(std::string_view key, bool value);
+
+  [[nodiscard]] std::string str() const { return line_; }
+
+ private:
+  std::string line_ = "OK";
+};
+
+}  // namespace tacc::service

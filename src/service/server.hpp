@@ -1,0 +1,131 @@
+// Socket front-end for the taccd engine: Unix-domain (and optional TCP)
+// listeners speaking the line protocol in protocol.hpp.
+//
+// Threading: run() owns the accept loop (poll over the listeners plus a
+// self-pipe wakeup); each accepted connection gets a reader thread that
+// parses lines and submits them to the Engine. Responses are written back
+// strictly in per-connection request order — a response sequencer holds
+// out-of-order completions until their predecessors flush — so pipelined
+// clients can match responses to requests positionally.
+//
+// Shutdown (SIGINT/SIGTERM via install_signal_handlers(), the SHUTDOWN
+// verb, or request_shutdown()):
+//   1. listeners close — no new connections;
+//   2. the engine stops admitting — late requests answer SHUTTING_DOWN;
+//   3. every admitted request drains to its terminal response;
+//   4. connections are shut down and reader threads joined.
+// run() then returns; in-flight work is never abandoned.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "service/engine.hpp"
+
+namespace tacc::service {
+
+struct ServerOptions {
+  /// Filesystem path for the Unix-domain listener; empty disables it. A
+  /// stale socket file at the path is unlinked before binding.
+  std::string unix_path;
+  /// TCP listener port; negative disables, 0 binds an ephemeral port (read
+  /// it back with tcp_port()).
+  int tcp_port = -1;
+  std::string tcp_host = "127.0.0.1";
+  /// Requests longer than this (bytes, excluding the newline) answer
+  /// BAD_REQUEST and the connection is closed.
+  std::size_t max_line = 4096;
+  EngineOptions engine;
+};
+
+class Server {
+ public:
+  /// Binds the listeners (throws std::runtime_error on failure) but does
+  /// not serve until run().
+  explicit Server(ServerOptions options);
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Serves until a shutdown is requested, then drains and returns.
+  void run();
+
+  /// Wakes run() and starts the graceful shutdown. Safe from any thread and
+  /// from signal handlers (one write to a pipe).
+  void request_shutdown() noexcept;
+
+  /// Routes SIGINT/SIGTERM to request_shutdown() on this server and ignores
+  /// SIGPIPE (writes to dead clients must not kill the daemon). At most one
+  /// server per process can hold the handlers.
+  void install_signal_handlers() noexcept;
+
+  [[nodiscard]] Engine& engine() noexcept { return engine_; }
+  /// Actual TCP port (after ephemeral bind); -1 when TCP is disabled.
+  [[nodiscard]] int tcp_port() const noexcept { return bound_tcp_port_; }
+  [[nodiscard]] const std::string& unix_path() const noexcept {
+    return options_.unix_path;
+  }
+  /// Connections accepted over the server's lifetime.
+  [[nodiscard]] std::uint64_t connections_accepted() const noexcept {
+    return connections_accepted_.load();
+  }
+
+ private:
+  /// Per-connection state shared between its reader thread and the engine
+  /// responders (which may run on pool workers).
+  struct Connection {
+    explicit Connection(int socket_fd) : fd(socket_fd) {}
+    ~Connection();
+
+    const int fd;
+    std::atomic<bool> reader_done{false};
+
+    // Response sequencing — all guarded by write_mutex.
+    std::mutex write_mutex;
+    std::uint64_t next_write = 0;  ///< seq whose response flushes next
+    std::map<std::uint64_t, std::string> ready;  ///< completed out of order
+    /// One past the last seq the reader allocated; UINT64_MAX while the
+    /// reader is still accepting requests. Once every seq below it has
+    /// flushed, the socket is shut down so the client sees a clean EOF.
+    std::uint64_t seq_end = UINT64_MAX;
+    bool write_failed = false;  ///< client gone; drop further writes
+
+    /// Queues `line` for seq and flushes every contiguous completed
+    /// response. Write errors (client gone) are ignored.
+    void respond(std::uint64_t seq, std::string line);
+    /// Reader is done allocating seqs; closes the socket once drained.
+    void finish_requests(std::uint64_t total_seqs);
+
+   private:
+    void flush_locked();
+  };
+
+  void accept_loop();
+  void reader_loop(const std::shared_ptr<Connection>& connection);
+  void handle_line(const std::shared_ptr<Connection>& connection,
+                   std::uint64_t seq, std::string_view line);
+  void reap_finished_connections();
+  void shutdown_sequence();
+  void close_listeners() noexcept;
+
+  ServerOptions options_;
+  Engine engine_;
+  int unix_fd_ = -1;
+  int tcp_fd_ = -1;
+  int bound_tcp_port_ = -1;
+  int wake_fds_[2] = {-1, -1};  ///< self-pipe: [0] polled, [1] written
+  std::atomic<std::uint64_t> connections_accepted_{0};
+
+  std::mutex connections_mutex_;
+  std::vector<std::shared_ptr<Connection>> connections_;
+  std::vector<std::jthread> readers_;  // index-aligned with connections_
+};
+
+}  // namespace tacc::service

@@ -126,6 +126,54 @@ TEST(Configurator, DeprecatedWrappersMatchRequestForm) {
       {Algorithm::kGreedyBestFit, cheap_options(41), CostModel::kEuclidean});
   EXPECT_EQ(oblivious_wrapper.assignment(), oblivious_request.assignment());
 }
+
+TEST(Configurator, DeprecatedDeadlineAwareMatchesRequestForm) {
+  const Scenario scenario = Scenario::smart_city(50, 5, 43);
+  const ClusterConfigurator configurator(scenario);
+  for (const double penalty : {5.0, 10.0, 25.0}) {
+    const ClusterConfiguration via_wrapper =
+        configurator.configure_deadline_aware(Algorithm::kGreedyBestFit,
+                                              cheap_options(43), penalty);
+    const ClusterConfiguration via_request = configurator.configure(
+        {Algorithm::kGreedyBestFit, cheap_options(43),
+         CostModel::kDeadlinePenalized, penalty});
+    EXPECT_EQ(via_wrapper.assignment(), via_request.assignment())
+        << "penalty_factor=" << penalty;
+    EXPECT_EQ(via_wrapper.total_cost(), via_request.total_cost());
+    EXPECT_EQ(via_wrapper.avg_delay_ms(), via_request.avg_delay_ms());
+    EXPECT_EQ(via_wrapper.scenario_fingerprint(),
+              via_request.scenario_fingerprint());
+  }
+}
+
+TEST(Configurator, DeprecatedWrappersMatchAcrossAlgorithmsAndSeeds) {
+  // Stochastic solvers exercise the seed plumbing: a wrapper that dropped or
+  // reordered options would diverge immediately.
+  for (const std::uint64_t seed : {11ULL, 12ULL}) {
+    const Scenario scenario = Scenario::factory(40, 5, seed);
+    const ClusterConfigurator configurator(scenario);
+    for (const Algorithm algorithm :
+         {Algorithm::kGreedyBestFit, Algorithm::kLocalSearch,
+          Algorithm::kQLearning}) {
+      const ClusterConfiguration via_wrapper =
+          configurator.configure(algorithm, cheap_options(seed));
+      const ClusterConfiguration via_request =
+          configurator.configure({algorithm, cheap_options(seed)});
+      EXPECT_EQ(via_wrapper.assignment(), via_request.assignment())
+          << to_string(algorithm) << " seed=" << seed;
+      EXPECT_EQ(via_wrapper.total_cost(), via_request.total_cost());
+
+      const ClusterConfiguration oblivious_wrapper =
+          configurator.configure_topology_oblivious(algorithm,
+                                                    cheap_options(seed));
+      const ClusterConfiguration oblivious_request = configurator.configure(
+          {algorithm, cheap_options(seed), CostModel::kEuclidean});
+      EXPECT_EQ(oblivious_wrapper.assignment(),
+                oblivious_request.assignment())
+          << to_string(algorithm) << " seed=" << seed;
+    }
+  }
+}
 #pragma GCC diagnostic pop
 
 TEST(Configurator, PortfolioPicksCheapestFeasible) {

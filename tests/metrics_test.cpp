@@ -206,6 +206,47 @@ TEST(Histogram, RenderContainsCounts) {
   EXPECT_NE(out.find("2"), std::string::npos);
 }
 
+TEST(Histogram, QuantileEmptyIsNan) {
+  const Histogram h(0.0, 10.0, 5);
+  EXPECT_TRUE(std::isnan(h.quantile(0.5)));
+}
+
+TEST(Histogram, QuantileInterpolatesWithinBin) {
+  Histogram h(0.0, 10.0, 10);
+  h.add(5.5);  // lone sample in bin [5, 6)
+  EXPECT_DOUBLE_EQ(h.quantile(0.5), 5.5);
+  EXPECT_DOUBLE_EQ(h.quantile(0.0), 5.0);  // bin lower edge
+  EXPECT_DOUBLE_EQ(h.quantile(1.0), 6.0);  // bin upper edge
+}
+
+TEST(Histogram, QuantileMatchesUniformSamples) {
+  Histogram h(0.0, 100.0, 100);
+  for (int v = 0; v < 100; ++v) h.add(static_cast<double>(v) + 0.5);
+  EXPECT_NEAR(h.quantile(0.50), 50.0, 1.0);  // resolution = one bin width
+  EXPECT_NEAR(h.quantile(0.99), 99.0, 1.0);
+  EXPECT_DOUBLE_EQ(h.quantile(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(h.quantile(1.0), 100.0);
+}
+
+TEST(Histogram, QuantileMonotoneInQ) {
+  util::Rng rng(7);
+  Histogram h(0.0, 1.0, 50);
+  for (int i = 0; i < 1'000; ++i) h.add(rng.uniform());
+  double prev = -1.0;
+  for (double q : {0.0, 0.1, 0.5, 0.9, 0.99, 0.999, 1.0}) {
+    const double value = h.quantile(q);
+    EXPECT_GE(value, prev) << "q=" << q;
+    prev = value;
+  }
+}
+
+TEST(Histogram, QuantileClampsQOutsideUnitInterval) {
+  Histogram h(0.0, 10.0, 5);
+  h.add(3.0);
+  EXPECT_DOUBLE_EQ(h.quantile(-1.0), h.quantile(0.0));
+  EXPECT_DOUBLE_EQ(h.quantile(2.0), h.quantile(1.0));
+}
+
 TEST(EmpiricalCdf, SortedAndEndsAtOne) {
   const std::vector<double> v{3.0, 1.0, 2.0, 2.0};
   const auto cdf = empirical_cdf(v);

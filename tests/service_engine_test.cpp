@@ -1,0 +1,298 @@
+// Engine tests: session lifecycle, admission control (OVERLOADED /
+// DEADLINE_EXCEEDED / SHUTTING_DOWN), micro-batching counters, and the
+// exactly-one-terminal-response invariant — all without sockets.
+#include "service/engine.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <future>
+#include <string>
+#include <vector>
+
+#include "service/protocol.hpp"
+#include "util/timer.hpp"
+
+namespace tacc::service {
+namespace {
+
+Request must_parse(const std::string& line) {
+  ParseResult result = parse_request(line);
+  EXPECT_TRUE(result.ok()) << "'" << line << "': " << result.error;
+  return result.request.value_or(Request{});
+}
+
+/// Submits one request and blocks for its terminal response.
+std::string call(Engine& engine, const std::string& line) {
+  std::promise<std::string> promise;
+  std::future<std::string> future = promise.get_future();
+  engine.submit(must_parse(line), [&promise](std::string response) {
+    promise.set_value(std::move(response));
+  });
+  return future.get();
+}
+
+EngineOptions small_options() {
+  EngineOptions options;
+  options.threads = 2;
+  options.max_queue = 64;
+  options.default_timeout_ms = 5'000.0;
+  return options;
+}
+
+TEST(Engine, ConfigureJoinMoveLeaveRoundTrip) {
+  Engine engine(small_options());
+  const std::string configured = call(engine, "CONFIGURE city 40 5 seed=9");
+  ASSERT_EQ(configured.rfind("OK", 0), 0u) << configured;
+  EXPECT_NE(configured.find("session=city"), std::string::npos);
+  EXPECT_NE(configured.find("devices=40"), std::string::npos);
+  EXPECT_NE(configured.find("servers=5"), std::string::npos);
+
+  const std::string joined = call(engine, "JOIN city 1.0 2.0");
+  ASSERT_EQ(joined.rfind("OK", 0), 0u) << joined;
+  EXPECT_NE(joined.find("device=40"), std::string::npos);  // first new slot
+
+  EXPECT_EQ(call(engine, "MOVE city 0 3.0 3.0").rfind("OK", 0), 0u);
+  EXPECT_EQ(call(engine, "LEAVE city 40").rfind("OK", 0), 0u);
+  EXPECT_EQ(engine.session_count(), 1u);
+}
+
+TEST(Engine, FailEvacuateRecoverRoundTrip) {
+  Engine engine(small_options());
+  ASSERT_EQ(call(engine, "CONFIGURE f 30 4 seed=3").rfind("OK", 0), 0u);
+  const std::string failed = call(engine, "FAIL f 1");
+  EXPECT_EQ(failed.rfind("OK", 0), 0u) << failed;
+  EXPECT_NE(failed.find("evacuated="), std::string::npos);
+  EXPECT_EQ(call(engine, "RECOVER f 1").rfind("OK", 0), 0u);
+  // EVACUATE applies to an already-failed server (FAIL evacuate=0 leaves
+  // the devices stranded for a later explicit evacuation).
+  ASSERT_EQ(call(engine, "FAIL f 2 evacuate=0").rfind("OK", 0), 0u);
+  EXPECT_EQ(call(engine, "EVACUATE f 2").rfind("OK", 0), 0u);
+  // Evacuating a healthy server is a precondition violation, not a crash.
+  EXPECT_EQ(call(engine, "EVACUATE f 0").rfind("ERR BAD_REQUEST", 0), 0u);
+}
+
+TEST(Engine, MutationOnUnknownSessionIsNotFound) {
+  Engine engine(small_options());
+  const std::string response = call(engine, "JOIN nosuch 1.0 1.0");
+  EXPECT_EQ(response.rfind("ERR NOT_FOUND", 0), 0u) << response;
+  // NOT_FOUND is a terminal response: it must not leak in-flight slots.
+  EXPECT_EQ(engine.queue_depth(), 0u);
+}
+
+TEST(Engine, ClusterPreconditionViolationIsBadRequest) {
+  Engine engine(small_options());
+  ASSERT_EQ(call(engine, "CONFIGURE c 20 3 seed=5").rfind("OK", 0), 0u);
+  // Device 999 does not exist; DynamicCluster throws, the engine maps it.
+  const std::string response = call(engine, "MOVE c 999 1.0 1.0");
+  EXPECT_EQ(response.rfind("ERR BAD_REQUEST", 0), 0u) << response;
+  // The session survives a failed request.
+  EXPECT_EQ(call(engine, "MOVE c 0 1.0 1.0").rfind("OK", 0), 0u);
+}
+
+TEST(Engine, PingAndShutdownBelongToTransport) {
+  Engine engine(small_options());
+  EXPECT_EQ(call(engine, "PING").rfind("ERR BAD_REQUEST", 0), 0u);
+  EXPECT_EQ(call(engine, "SHUTDOWN").rfind("ERR BAD_REQUEST", 0), 0u);
+}
+
+TEST(Engine, GlobalAndSessionStats) {
+  Engine engine(small_options());
+  ASSERT_EQ(call(engine, "CONFIGURE s 25 4 seed=2").rfind("OK", 0), 0u);
+  ASSERT_EQ(call(engine, "JOIN s 0.5 0.5").rfind("OK", 0), 0u);
+  engine.drain();  // counters/snapshot flush with the batch, post-response
+
+  const std::string global = call(engine, "STATS");
+  EXPECT_NE(global.find("sessions=1"), std::string::npos) << global;
+  EXPECT_NE(global.find("accepted=2"), std::string::npos);
+  EXPECT_NE(global.find("completed=2"), std::string::npos);
+
+  const std::string session = call(engine, "STATS s");
+  EXPECT_NE(session.find("configured=1"), std::string::npos) << session;
+  EXPECT_NE(session.find("devices=26"), std::string::npos);
+  EXPECT_NE(session.find("latency_count=2"), std::string::npos);
+  EXPECT_NE(session.find("p50_us="), std::string::npos);
+
+  EXPECT_EQ(call(engine, "STATS nosuch").rfind("ERR NOT_FOUND", 0), 0u);
+}
+
+TEST(Engine, StatsAnswersWhileSessionIsBusy) {
+  Engine engine(small_options());
+  ASSERT_EQ(call(engine, "CONFIGURE busy 20 3 seed=4").rfind("OK", 0), 0u);
+
+  std::promise<std::string> slept;
+  std::future<std::string> slept_future = slept.get_future();
+  engine.submit(must_parse("SLEEP busy 300"), [&slept](std::string r) {
+    slept.set_value(std::move(r));
+  });
+
+  // STATS bypasses admission and answers from the snapshot immediately.
+  const util::WallTimer timer;
+  const std::string stats = call(engine, "STATS busy");
+  EXPECT_LT(timer.elapsed_ms(), 250.0) << "STATS blocked behind SLEEP";
+  EXPECT_EQ(stats.rfind("OK", 0), 0u);
+
+  EXPECT_EQ(slept_future.get().rfind("OK", 0), 0u);
+}
+
+TEST(Engine, OverflowRejectsWithOverloaded) {
+  EngineOptions options = small_options();
+  options.max_queue = 1;
+  Engine engine(options);
+  ASSERT_EQ(call(engine, "CONFIGURE o 20 3 seed=6").rfind("OK", 0), 0u);
+  engine.drain();  // the CONFIGURE's admission slot frees after its response
+
+  // The SLEEP occupies the single admission slot until it completes...
+  std::promise<std::string> slept;
+  std::future<std::string> slept_future = slept.get_future();
+  engine.submit(must_parse("SLEEP o 300"), [&slept](std::string r) {
+    slept.set_value(std::move(r));
+  });
+
+  // ...so every request submitted meanwhile bounces synchronously.
+  for (int i = 0; i < 3; ++i) {
+    const std::string rejected = call(engine, "JOIN o 1.0 1.0");
+    EXPECT_EQ(rejected.rfind("ERR OVERLOADED", 0), 0u) << rejected;
+  }
+  EXPECT_EQ(slept_future.get().rfind("OK", 0), 0u);
+  engine.drain();  // the in-flight slot frees shortly AFTER the response
+  EXPECT_EQ(engine.counters().rejected_overload, 3u);
+
+  // Capacity freed: the same request is admitted again.
+  EXPECT_EQ(call(engine, "JOIN o 1.0 1.0").rfind("OK", 0), 0u);
+}
+
+TEST(Engine, ExpiredQueuedRequestAnswersDeadlineExceeded) {
+  Engine engine(small_options());
+  ASSERT_EQ(call(engine, "CONFIGURE d 20 3 seed=8").rfind("OK", 0), 0u);
+
+  // The SLEEP holds the session's single drainer for 200ms; a 1ms-deadline
+  // request queued behind it must expire before execution.
+  std::promise<std::string> slept;
+  std::future<std::string> slept_future = slept.get_future();
+  engine.submit(must_parse("SLEEP d 200"), [&slept](std::string r) {
+    slept.set_value(std::move(r));
+  });
+  const std::string expired = call(engine, "JOIN d 1.0 1.0 timeout_ms=1");
+  EXPECT_EQ(expired.rfind("ERR DEADLINE_EXCEEDED", 0), 0u) << expired;
+  EXPECT_EQ(slept_future.get().rfind("OK", 0), 0u);
+  engine.drain();  // counters flush with the batch, after the responses
+  EXPECT_EQ(engine.counters().rejected_deadline, 1u);
+}
+
+TEST(Engine, ShutdownRejectsNewWorkButDrainsAdmitted) {
+  Engine engine(small_options());
+  ASSERT_EQ(call(engine, "CONFIGURE z 20 3 seed=1").rfind("OK", 0), 0u);
+
+  std::promise<std::string> slept;
+  std::future<std::string> slept_future = slept.get_future();
+  engine.submit(must_parse("SLEEP z 150"), [&slept](std::string r) {
+    slept.set_value(std::move(r));
+  });
+  engine.begin_shutdown();
+
+  const std::string rejected = call(engine, "JOIN z 1.0 1.0");
+  EXPECT_EQ(rejected.rfind("ERR SHUTTING_DOWN", 0), 0u) << rejected;
+
+  engine.drain();
+  // The admitted SLEEP still got its real response, not a shutdown error.
+  EXPECT_EQ(slept_future.get().rfind("OK", 0), 0u);
+  EXPECT_EQ(engine.counters().rejected_shutdown, 1u);
+  EXPECT_EQ(engine.queue_depth(), 0u);
+}
+
+TEST(Engine, EveryRequestGetsExactlyOneResponse) {
+  EngineOptions options = small_options();
+  options.max_queue = 8;  // small enough that the burst trips OVERLOADED
+  Engine engine(options);
+  ASSERT_EQ(call(engine, "CONFIGURE a 30 4 seed=11").rfind("OK", 0), 0u);
+
+  constexpr std::size_t kBurst = 200;
+  std::atomic<std::size_t> responses{0};
+  std::atomic<std::size_t> ok{0};
+  for (std::size_t i = 0; i < kBurst; ++i) {
+    engine.submit(must_parse("MOVE a " + std::to_string(i % 30) + " 1.0 1.0"),
+                  [&responses, &ok](const std::string& response) {
+                    responses.fetch_add(1);
+                    if (response.rfind("OK", 0) == 0) ok.fetch_add(1);
+                  });
+  }
+  engine.begin_shutdown();
+  engine.drain();
+  EXPECT_EQ(responses.load(), kBurst);
+  EXPECT_GT(ok.load(), 0u);
+
+  // Ledger closes: every accepted request completed or failed, every other
+  // submission was rejected with a terminal error.
+  const EngineCounters counters = engine.counters();
+  // Every accepted request (the CONFIGURE included) ends as completed,
+  // failed, or expired...
+  EXPECT_EQ(counters.completed + counters.failed + counters.rejected_deadline,
+            counters.accepted);
+  // ...and every burst submission was either accepted or bounced.
+  EXPECT_EQ(counters.accepted - 1 + counters.rejected_overload +
+                counters.rejected_shutdown,
+            kBurst);
+}
+
+TEST(Engine, BatchingCoalescesBurstsIntoFewerDrains) {
+  EngineOptions options = small_options();
+  options.threads = 1;  // one worker: the burst piles up behind the sleep
+  options.max_batch = 16;
+  options.max_queue = 128;
+  Engine engine(options);
+  ASSERT_EQ(call(engine, "CONFIGURE b 20 3 seed=13").rfind("OK", 0), 0u);
+
+  constexpr std::size_t kBurst = 64;
+  std::atomic<std::size_t> responses{0};
+  // Park the lone worker first so every MOVE queues up behind it; without
+  // this the drainer can keep pace with the submission loop and legitimately
+  // take one pass per event.
+  engine.submit(must_parse("SLEEP b 100"), [](const std::string&) {});
+  for (std::size_t i = 0; i < kBurst; ++i) {
+    engine.submit(must_parse("MOVE b " + std::to_string(i % 20) + " 2.0 2.0"),
+                  [&responses](const std::string&) {
+                    responses.fetch_add(1);
+                  });
+  }
+  engine.begin_shutdown();
+  engine.drain();
+  ASSERT_EQ(responses.load(), kBurst);
+
+  // batches is visible via STATS; with max_batch=16 the 64 MOVEs need at
+  // least 4 passes but far fewer than 64 if batching works at all.
+  const std::string stats = call(engine, "STATS b");
+  const std::size_t pos = stats.find("batches=");
+  ASSERT_NE(pos, std::string::npos) << stats;
+  const std::size_t batches =
+      static_cast<std::size_t>(std::stoul(stats.substr(pos + 8)));
+  EXPECT_LT(batches, kBurst) << "no coalescing happened: " << stats;
+}
+
+TEST(Engine, SessionsDrainConcurrently) {
+  EngineOptions options = small_options();
+  options.threads = 2;
+  Engine engine(options);
+  ASSERT_EQ(call(engine, "CONFIGURE s1 20 3 seed=21").rfind("OK", 0), 0u);
+  ASSERT_EQ(call(engine, "CONFIGURE s2 20 3 seed=22").rfind("OK", 0), 0u);
+
+  // Two 200ms sleeps on different sessions should overlap on the two
+  // workers: total wall time well under the 400ms serial bound.
+  const util::WallTimer timer;
+  std::promise<std::string> first;
+  std::promise<std::string> second;
+  std::future<std::string> first_future = first.get_future();
+  std::future<std::string> second_future = second.get_future();
+  engine.submit(must_parse("SLEEP s1 200"), [&first](std::string r) {
+    first.set_value(std::move(r));
+  });
+  engine.submit(must_parse("SLEEP s2 200"), [&second](std::string r) {
+    second.set_value(std::move(r));
+  });
+  EXPECT_EQ(first_future.get().rfind("OK", 0), 0u);
+  EXPECT_EQ(second_future.get().rfind("OK", 0), 0u);
+  EXPECT_LT(timer.elapsed_ms(), 390.0) << "sessions serialized";
+}
+
+}  // namespace
+}  // namespace tacc::service

@@ -1,0 +1,197 @@
+// Wire-protocol unit tests: parse_request over every verb, the malformed
+// lines a hostile or buggy client can send, and the response formatters.
+#include "service/protocol.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace tacc::service {
+namespace {
+
+Request parse_ok(const std::string& line) {
+  const ParseResult result = parse_request(line);
+  EXPECT_TRUE(result.ok()) << "'" << line << "': " << result.error;
+  return result.request.value_or(Request{});
+}
+
+std::string parse_error(const std::string& line) {
+  const ParseResult result = parse_request(line);
+  EXPECT_FALSE(result.ok()) << "'" << line << "' parsed unexpectedly";
+  EXPECT_FALSE(result.error.empty());
+  return result.error;
+}
+
+// ---- Happy paths -----------------------------------------------------------
+
+TEST(Protocol, ConfigureDefaults) {
+  const Request r = parse_ok("CONFIGURE city 200 10");
+  EXPECT_EQ(r.verb, Verb::kConfigure);
+  EXPECT_EQ(r.session, "city");
+  EXPECT_EQ(r.iot, 200u);
+  EXPECT_EQ(r.edge, 10u);
+  EXPECT_EQ(r.seed, 1u);
+  EXPECT_EQ(r.algorithm, Algorithm::kGreedyBestFit);
+  EXPECT_EQ(r.preset, ScenarioPreset::kSmartCity);
+  EXPECT_FALSE(r.timeout_ms.has_value());
+}
+
+TEST(Protocol, ConfigureWithAllOptions) {
+  const Request r = parse_ok(
+      "CONFIGURE f1 50 5 seed=42 algo=local-search preset=factory "
+      "timeout_ms=250");
+  EXPECT_EQ(r.seed, 42u);
+  EXPECT_EQ(r.algorithm, Algorithm::kLocalSearch);
+  EXPECT_EQ(r.preset, ScenarioPreset::kFactory);
+  ASSERT_TRUE(r.timeout_ms.has_value());
+  EXPECT_DOUBLE_EQ(*r.timeout_ms, 250.0);
+}
+
+TEST(Protocol, JoinParsesCoordinatesAndLoad) {
+  const Request r = parse_ok("JOIN city 1.5 -2.25 demand=2.5 rate=10");
+  EXPECT_EQ(r.verb, Verb::kJoin);
+  EXPECT_DOUBLE_EQ(r.x, 1.5);
+  EXPECT_DOUBLE_EQ(r.y, -2.25);
+  EXPECT_DOUBLE_EQ(r.demand, 2.5);
+  EXPECT_DOUBLE_EQ(r.rate_hz, 10.0);
+}
+
+TEST(Protocol, MoveParsesDeviceAndPinned) {
+  const Request r = parse_ok("MOVE city 17 3.0 4.0 pinned=1");
+  EXPECT_EQ(r.verb, Verb::kMove);
+  EXPECT_EQ(r.index, 17u);
+  EXPECT_TRUE(r.pinned);
+  EXPECT_FALSE(parse_ok("MOVE city 17 3.0 4.0").pinned);
+}
+
+TEST(Protocol, ServerVerbsParseIndex) {
+  EXPECT_EQ(parse_ok("LEAVE s 3").verb, Verb::kLeave);
+  EXPECT_EQ(parse_ok("FAIL s 2").verb, Verb::kFail);
+  EXPECT_TRUE(parse_ok("FAIL s 2").evacuate);  // evacuation is the default
+  EXPECT_FALSE(parse_ok("FAIL s 2 evacuate=0").evacuate);
+  EXPECT_EQ(parse_ok("RECOVER s 2").verb, Verb::kRecover);
+  EXPECT_EQ(parse_ok("EVACUATE s 2").verb, Verb::kEvacuate);
+  EXPECT_EQ(parse_ok("EVACUATE s 2").index, 2u);
+}
+
+TEST(Protocol, SleepStatsPingShutdown) {
+  const Request sleep = parse_ok("SLEEP s 250");
+  EXPECT_EQ(sleep.verb, Verb::kSleep);
+  EXPECT_DOUBLE_EQ(sleep.sleep_ms, 250.0);
+
+  EXPECT_EQ(parse_ok("STATS").session, "");
+  EXPECT_EQ(parse_ok("STATS city").session, "city");
+  EXPECT_EQ(parse_ok("PING").verb, Verb::kPing);
+  EXPECT_EQ(parse_ok("SHUTDOWN").verb, Verb::kShutdown);
+}
+
+TEST(Protocol, ToleratesWhitespaceAndCarriageReturn) {
+  const Request r = parse_ok("  JOIN \t city   1.0  2.0 \r");
+  EXPECT_EQ(r.verb, Verb::kJoin);
+  EXPECT_EQ(r.session, "city");
+}
+
+TEST(Protocol, SessionNameAcceptsFullAlphabet) {
+  EXPECT_EQ(parse_ok("STATS a-b_c.d:e9").session, "a-b_c.d:e9");
+  EXPECT_EQ(parse_ok("STATS " + std::string(64, 'x')).session,
+            std::string(64, 'x'));
+}
+
+// ---- Malformed requests ----------------------------------------------------
+
+TEST(Protocol, RejectsEmptyAndUnknown) {
+  parse_error("");
+  parse_error("   ");
+  EXPECT_NE(parse_error("FROBNICATE x").find("unknown verb"),
+            std::string::npos);
+  parse_error("configure city 10 2");  // verbs are case-sensitive
+}
+
+TEST(Protocol, RejectsMissingAndNonNumericArguments) {
+  parse_error("CONFIGURE");
+  parse_error("CONFIGURE city");
+  parse_error("CONFIGURE city 10");
+  parse_error("CONFIGURE city ten 2");
+  parse_error("CONFIGURE city 0 5");  // zero-sized scenario
+  parse_error("CONFIGURE city 5 0");
+  parse_error("JOIN city 1.0");
+  parse_error("JOIN city abc 2.0");
+  parse_error("MOVE city 1 2.0");
+  parse_error("MOVE city -1 2.0 3.0");  // negative index
+  parse_error("LEAVE city");
+  parse_error("FAIL city x");
+}
+
+TEST(Protocol, RejectsBadSessionNames) {
+  parse_error("STATS bad/name");
+  parse_error("STATS " + std::string(65, 'x'));
+  parse_error("JOIN 'quoted' 1 2");
+}
+
+TEST(Protocol, RejectsBadOptions) {
+  // Unknown key, valid key on the wrong verb, malformed value, bare token.
+  EXPECT_NE(parse_error("JOIN city 1 2 bogus=1").find("unknown option"),
+            std::string::npos);
+  parse_error("JOIN city 1 2 seed=7");  // seed is CONFIGURE-only
+  parse_error("CONFIGURE city 10 2 algo=does-not-exist");
+  parse_error("CONFIGURE city 10 2 preset=moonbase");
+  parse_error("CONFIGURE city 10 2 seed=abc");
+  parse_error("JOIN city 1 2 demand=-1");
+  parse_error("JOIN city 1 2 rate=0");
+  parse_error("MOVE city 1 2 3 pinned=maybe");
+  parse_error("JOIN city 1 2 =5");
+  parse_error("JOIN city 1 2 trailing");
+  parse_error("JOIN city 1 2 timeout_ms=0");  // deadline must be positive
+  parse_error("JOIN city 1 2 timeout_ms=-5");
+}
+
+TEST(Protocol, RejectsArgumentsOnArgumentlessVerbs) {
+  parse_error("PING now");
+  parse_error("SHUTDOWN please");
+  parse_error("STATS one two");
+  parse_error("SLEEP s 250 extra");
+}
+
+TEST(Protocol, SleepRangeIsBounded) {
+  parse_error("SLEEP s -1");
+  parse_error("SLEEP s 10001");
+  EXPECT_DOUBLE_EQ(parse_ok("SLEEP s 10000").sleep_ms, 10'000.0);
+  EXPECT_DOUBLE_EQ(parse_ok("SLEEP s 0").sleep_ms, 0.0);
+}
+
+// ---- Response formatting ---------------------------------------------------
+
+TEST(Protocol, ErrLineFormat) {
+  EXPECT_EQ(err_line(ErrorCode::kOverloaded, "queue full"),
+            "ERR OVERLOADED queue full");
+  EXPECT_EQ(err_line(ErrorCode::kBadRequest, ""), "ERR BAD_REQUEST");
+  EXPECT_EQ(err_line(ErrorCode::kDeadlineExceeded, "expired"),
+            "ERR DEADLINE_EXCEEDED expired");
+}
+
+TEST(Protocol, OkLineFormatsEveryFieldType) {
+  const std::string line = OkLine()
+                               .field("name", "city")
+                               .field("count", std::size_t{42})
+                               .field("delay", 5.25)
+                               .field("feasible", true)
+                               .field("pinned", false)
+                               .str();
+  EXPECT_EQ(line, "OK name=city count=42 delay=5.25 feasible=1 pinned=0");
+}
+
+TEST(Protocol, OkLineDoublesUseCompactPrecision) {
+  // %.6g keeps lines short and round-trippable to ~6 significant digits.
+  EXPECT_EQ(OkLine().field("v", 0.000125).str(), "OK v=0.000125");
+  EXPECT_EQ(OkLine().field("v", 1234567.0).str(), "OK v=1.23457e+06");
+}
+
+TEST(Protocol, EnumNamesRoundTrip) {
+  EXPECT_EQ(to_string(Verb::kConfigure), "CONFIGURE");
+  EXPECT_EQ(to_string(Verb::kShutdown), "SHUTDOWN");
+  EXPECT_EQ(to_string(ErrorCode::kShuttingDown), "SHUTTING_DOWN");
+  EXPECT_EQ(to_string(ScenarioPreset::kCampus), "campus");
+}
+
+}  // namespace
+}  // namespace tacc::service

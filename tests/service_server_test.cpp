@@ -1,0 +1,311 @@
+// Socket-level tests for the taccd server: real Unix-domain/TCP clients
+// driving malformed lines, oversized lines, mid-request disconnects,
+// SHUTDOWN with work in flight, and admission-queue overflow.
+#include "service/server.hpp"
+
+#include <gtest/gtest.h>
+
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <csignal>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace tacc::service {
+namespace {
+
+std::string unique_socket_path() {
+  static std::atomic<int> counter{0};
+  return "/tmp/tacc_server_test_" + std::to_string(::getpid()) + "_" +
+         std::to_string(counter.fetch_add(1)) + ".sock";
+}
+
+/// Blocking line-oriented test client over an already-connected fd.
+class LineClient {
+ public:
+  explicit LineClient(int fd) : fd_(fd) {}
+  ~LineClient() { close(); }
+  LineClient(const LineClient&) = delete;
+  LineClient& operator=(const LineClient&) = delete;
+
+  static LineClient connect_unix(const std::string& path) {
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    std::strncpy(addr.sun_path, path.c_str(), sizeof addr.sun_path - 1);
+    const int fd = ::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
+    EXPECT_GE(fd, 0);
+    EXPECT_EQ(::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                        sizeof addr),
+              0)
+        << path << ": " << std::strerror(errno);
+    return LineClient(fd);
+  }
+
+  static LineClient connect_tcp(int port) {
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(static_cast<std::uint16_t>(port));
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    const int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+    EXPECT_GE(fd, 0);
+    EXPECT_EQ(::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                        sizeof addr),
+              0)
+        << "port " << port << ": " << std::strerror(errno);
+    return LineClient(fd);
+  }
+
+  bool send_raw(std::string_view data) {
+    while (!data.empty()) {
+      const ssize_t n = ::send(fd_, data.data(), data.size(), MSG_NOSIGNAL);
+      if (n <= 0) return false;
+      data.remove_prefix(static_cast<std::size_t>(n));
+    }
+    return true;
+  }
+
+  bool send_line(const std::string& line) { return send_raw(line + "\n"); }
+
+  /// Reads one response line; false on EOF/error.
+  bool read_line(std::string& line) {
+    for (;;) {
+      const std::size_t pos = buffer_.find('\n');
+      if (pos != std::string::npos) {
+        line = buffer_.substr(0, pos);
+        buffer_.erase(0, pos + 1);
+        return true;
+      }
+      char chunk[4096];
+      const ssize_t n = ::read(fd_, chunk, sizeof chunk);
+      if (n <= 0) return false;
+      buffer_.append(chunk, static_cast<std::size_t>(n));
+    }
+  }
+
+  /// One request, one response; fails the test on connection loss.
+  std::string roundtrip(const std::string& request) {
+    EXPECT_TRUE(send_line(request));
+    std::string response;
+    EXPECT_TRUE(read_line(response)) << "no response to: " << request;
+    return response;
+  }
+
+  void close() {
+    if (fd_ >= 0) ::close(fd_);
+    fd_ = -1;
+  }
+
+ private:
+  int fd_;
+  std::string buffer_;
+};
+
+/// Boots a server on a fresh Unix socket and tears it down with the test.
+class ServerFixture {
+ public:
+  explicit ServerFixture(ServerOptions options = {}) {
+    if (options.unix_path.empty() && options.tcp_port < 0) {
+      options.unix_path = unique_socket_path();
+    }
+    options.engine.threads =
+        options.engine.threads == 0 ? 2 : options.engine.threads;
+    server_ = std::make_unique<Server>(std::move(options));
+    thread_ = std::jthread([this] { server_->run(); });
+  }
+
+  ~ServerFixture() { stop(); }
+
+  void stop() {
+    if (server_ && thread_.joinable()) {
+      server_->request_shutdown();
+      thread_.join();
+    }
+  }
+
+  /// Blocks until run() returns (e.g. after a SHUTDOWN verb).
+  void wait_stopped() {
+    if (thread_.joinable()) thread_.join();
+  }
+
+  Server& server() { return *server_; }
+  LineClient client() {
+    return LineClient::connect_unix(server_->unix_path());
+  }
+
+ private:
+  std::unique_ptr<Server> server_;
+  std::jthread thread_;
+};
+
+TEST(Server, PingConfigureJoinOverUnixSocket) {
+  ServerFixture fixture;
+  LineClient client = fixture.client();
+  EXPECT_EQ(client.roundtrip("PING"), "OK pong");
+  EXPECT_EQ(client.roundtrip("CONFIGURE u 20 3 seed=5").rfind("OK", 0), 0u);
+  EXPECT_EQ(client.roundtrip("JOIN u 1.0 1.0").rfind("OK", 0), 0u);
+  EXPECT_EQ(client.roundtrip("STATS u").rfind("OK", 0), 0u);
+  EXPECT_EQ(fixture.server().connections_accepted(), 1u);
+}
+
+TEST(Server, PingOverEphemeralTcpPort) {
+  ServerOptions options;
+  options.tcp_port = 0;  // ephemeral; unix listener disabled
+  ServerFixture fixture(std::move(options));
+  ASSERT_GT(fixture.server().tcp_port(), 0);
+  LineClient client = LineClient::connect_tcp(fixture.server().tcp_port());
+  EXPECT_EQ(client.roundtrip("PING"), "OK pong");
+  EXPECT_EQ(client.roundtrip("FROB x").rfind("ERR BAD_REQUEST", 0), 0u);
+}
+
+TEST(Server, MalformedLinesAnswerBadRequestAndKeepTheConnection) {
+  ServerFixture fixture;
+  LineClient client = fixture.client();
+  EXPECT_EQ(client.roundtrip("NOT A VERB").rfind("ERR BAD_REQUEST", 0), 0u);
+  EXPECT_EQ(client.roundtrip("JOIN").rfind("ERR BAD_REQUEST", 0), 0u);
+  EXPECT_EQ(client.roundtrip("MOVE s abc 1 2").rfind("ERR BAD_REQUEST", 0),
+            0u);
+  // The connection survives garbage: a valid request still works.
+  EXPECT_EQ(client.roundtrip("PING"), "OK pong");
+}
+
+TEST(Server, OversizedLineAnswersBadRequestThenCloses) {
+  ServerOptions options;
+  options.max_line = 64;
+  ServerFixture fixture(std::move(options));
+  LineClient client = fixture.client();
+
+  ASSERT_TRUE(client.send_line(std::string(500, 'A')));
+  std::string response;
+  ASSERT_TRUE(client.read_line(response));
+  EXPECT_EQ(response.rfind("ERR BAD_REQUEST", 0), 0u) << response;
+  EXPECT_NE(response.find("exceeds"), std::string::npos);
+  // The server cannot resynchronize inside an oversized line, so the
+  // connection must close (clean EOF, not a hang).
+  EXPECT_FALSE(client.read_line(response));
+
+  // The server itself stays healthy for new connections.
+  LineClient second = fixture.client();
+  EXPECT_EQ(second.roundtrip("PING"), "OK pong");
+}
+
+TEST(Server, ClientDisconnectMidRequestLeavesServerHealthy) {
+  ServerFixture fixture;
+  {
+    LineClient client = fixture.client();
+    ASSERT_EQ(client.roundtrip("CONFIGURE gone 20 3 seed=2").rfind("OK", 0),
+              0u);
+    // Fire a slow request and vanish without reading the response.
+    ASSERT_TRUE(client.send_line("SLEEP gone 200"));
+    client.close();
+  }
+  // The orphaned request still executes; its response write is dropped.
+  LineClient client = fixture.client();
+  EXPECT_EQ(client.roundtrip("PING"), "OK pong");
+  // Poll until the orphaned SLEEP completes; its slot must be reclaimed.
+  std::string stats;
+  for (int i = 0; i < 100; ++i) {
+    stats = client.roundtrip("STATS");
+    if (stats.find("completed=2") != std::string::npos) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+  EXPECT_NE(stats.find("completed=2"), std::string::npos) << stats;
+  EXPECT_NE(stats.find("queue_depth=0"), std::string::npos) << stats;
+}
+
+TEST(Server, PartialLineWithoutNewlineIsNotARequest) {
+  ServerFixture fixture;
+  LineClient client = fixture.client();
+  // No newline: the server must wait, not parse a partial request.
+  ASSERT_TRUE(client.send_raw("PI"));
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  ASSERT_TRUE(client.send_raw("NG\n"));
+  std::string response;
+  ASSERT_TRUE(client.read_line(response));
+  EXPECT_EQ(response, "OK pong");
+}
+
+TEST(Server, ShutdownVerbDrainsInFlightWorkFirst) {
+  ServerFixture fixture;
+  LineClient client = fixture.client();
+  ASSERT_EQ(client.roundtrip("CONFIGURE s 20 3 seed=3").rfind("OK", 0), 0u);
+
+  // Pipeline: a slow request, then SHUTDOWN. Responses flush in request
+  // order, so the SLEEP's real response must arrive before the shutdown
+  // acknowledgement — in-flight work is never abandoned.
+  ASSERT_TRUE(client.send_raw("SLEEP s 300\nSHUTDOWN\n"));
+  std::string response;
+  ASSERT_TRUE(client.read_line(response));
+  EXPECT_EQ(response.rfind("OK slept_ms=", 0), 0u) << response;
+  ASSERT_TRUE(client.read_line(response));
+  EXPECT_EQ(response.rfind("OK draining", 0), 0u) << response;
+  // Then the server cuts the connection and run() returns.
+  EXPECT_FALSE(client.read_line(response));
+  fixture.wait_stopped();
+}
+
+TEST(Server, AdmissionOverflowAnswersOverloadedForEveryRequest) {
+  ServerOptions options;
+  options.engine.max_queue = 2;
+  options.engine.default_timeout_ms = 5'000.0;
+  ServerFixture fixture(std::move(options));
+  LineClient client = fixture.client();
+  ASSERT_EQ(client.roundtrip("CONFIGURE o 20 3 seed=4").rfind("OK", 0), 0u);
+
+  // One SLEEP to occupy the session plus 5 JOINs against a 2-deep queue:
+  // every request must get a response, and at least one must be OVERLOADED.
+  ASSERT_TRUE(client.send_raw(
+      "SLEEP o 400\nJOIN o 1 1\nJOIN o 1 2\nJOIN o 2 1\nJOIN o 2 2\n"
+      "JOIN o 3 3\n"));
+  std::vector<std::string> responses(6);
+  std::size_t overloaded = 0;
+  for (std::string& response : responses) {
+    ASSERT_TRUE(client.read_line(response)) << "response dropped";
+    if (response.rfind("ERR OVERLOADED", 0) == 0) ++overloaded;
+  }
+  EXPECT_EQ(responses.front().rfind("OK slept_ms=", 0), 0u)
+      << responses.front();
+  EXPECT_GE(overloaded, 1u);
+  // No silent drops: the connection is still in sync afterwards.
+  EXPECT_EQ(client.roundtrip("PING"), "OK pong");
+}
+
+TEST(Server, ResponsesFlushInRequestOrderAcrossSessions) {
+  ServerFixture fixture;
+  LineClient client = fixture.client();
+  ASSERT_EQ(client.roundtrip("CONFIGURE slow 20 3 seed=6").rfind("OK", 0),
+            0u);
+  ASSERT_EQ(client.roundtrip("CONFIGURE fast 20 3 seed=7").rfind("OK", 0),
+            0u);
+
+  // The fast session's MOVE completes long before the slow session's SLEEP,
+  // but the sequencer must still deliver responses in request order.
+  ASSERT_TRUE(client.send_raw("SLEEP slow 250\nMOVE fast 0 1.0 1.0\n"));
+  std::string first;
+  std::string second;
+  ASSERT_TRUE(client.read_line(first));
+  ASSERT_TRUE(client.read_line(second));
+  EXPECT_EQ(first.rfind("OK slept_ms=", 0), 0u) << first;
+  EXPECT_EQ(second.rfind("OK device=0", 0), 0u) << second;
+}
+
+TEST(Server, SocketFileIsUnlinkedOnShutdown) {
+  const std::string path = unique_socket_path();
+  {
+    ServerOptions options;
+    options.unix_path = path;
+    ServerFixture fixture(std::move(options));
+    LineClient client = fixture.client();
+    EXPECT_EQ(client.roundtrip("PING"), "OK pong");
+    fixture.stop();
+  }
+  EXPECT_NE(::access(path.c_str(), F_OK), 0) << path << " left behind";
+}
+
+}  // namespace
+}  // namespace tacc::service

@@ -1,0 +1,87 @@
+// taccd — the topology-aware cluster-configuration daemon.
+//
+// Serves named, long-lived DynamicCluster sessions over a Unix-domain
+// socket (and optionally TCP), speaking the line protocol in
+// src/service/protocol.hpp:
+//
+//   taccd --socket=/tmp/taccd.sock [--port=7433] [--host=127.0.0.1]
+//         [--threads=N] [--max-queue=256] [--timeout-ms=1000]
+//         [--max-batch=32] [--max-line=4096] [--verbose]
+//
+// Admission is bounded (--max-queue) and every request carries a deadline
+// (--timeout-ms default, timeout_ms= per request); excess load answers
+// OVERLOADED / DEADLINE_EXCEEDED instead of queuing unboundedly. SIGINT or
+// SIGTERM (or the SHUTDOWN verb) drains in-flight requests and exits 0.
+#include <iostream>
+
+#include "service/server.hpp"
+#include "util/flags.hpp"
+#include "util/log.hpp"
+
+namespace {
+
+using namespace tacc;
+
+int run(int argc, char** argv) {
+  const auto flags = util::Flags::parse(argc, argv);
+  service::ServerOptions options;
+  options.unix_path = flags.get_string("socket", "");
+  options.tcp_port = static_cast<int>(flags.get_int("port", -1));
+  options.tcp_host = flags.get_string("host", "127.0.0.1");
+  options.max_line =
+      static_cast<std::size_t>(flags.get_int("max-line", 4096));
+  options.engine.threads =
+      static_cast<std::size_t>(flags.get_int("threads", 0));
+  options.engine.max_queue =
+      static_cast<std::size_t>(flags.get_int("max-queue", 256));
+  options.engine.default_timeout_ms =
+      flags.get_double("timeout-ms", 1000.0);
+  options.engine.max_batch =
+      static_cast<std::size_t>(flags.get_int("max-batch", 32));
+  if (flags.get_bool("verbose", false)) {
+    util::set_log_level(util::LogLevel::kInfo);
+  }
+  if (options.unix_path.empty() && options.tcp_port < 0) {
+    std::cerr << "usage: taccd --socket=<path> [--port=N] [--host=ADDR] "
+                 "[--threads=N] [--max-queue=N] [--timeout-ms=T] "
+                 "[--max-batch=N] [--max-line=BYTES] [--verbose]\n"
+                 "at least one of --socket / --port is required\n";
+    return 2;
+  }
+  for (const std::string& name : flags.unused()) {
+    std::cerr << "warning: unknown flag --" << name << " ignored\n";
+  }
+
+  service::Server server(std::move(options));
+  server.install_signal_handlers();
+  std::cout << "taccd: listening";
+  if (!server.unix_path().empty()) {
+    std::cout << " on unix:" << server.unix_path();
+  }
+  if (server.tcp_port() >= 0) {
+    std::cout << " on tcp:" << server.tcp_port();
+  }
+  std::cout << std::endl;  // flush so launch scripts can wait on this line
+
+  server.run();
+
+  const service::EngineCounters counters = server.engine().counters();
+  std::cout << "taccd: exiting (accepted=" << counters.accepted
+            << " completed=" << counters.completed
+            << " failed=" << counters.failed
+            << " rejected_overload=" << counters.rejected_overload
+            << " rejected_deadline=" << counters.rejected_deadline
+            << " rejected_shutdown=" << counters.rejected_shutdown << ")\n";
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    return run(argc, argv);
+  } catch (const std::exception& error) {
+    std::cerr << "taccd: " << error.what() << "\n";
+    return 1;
+  }
+}

@@ -1,0 +1,68 @@
+#!/usr/bin/env bash
+# End-to-end daemon smoke: start taccd, drive a CONFIGURE/JOIN/MOVE/STATS
+# sequence plus one forced OVERLOADED rejection through tacc_client, then
+# SIGTERM and assert a graceful zero-exit drain. CI runs this against the
+# ASan+UBSan build, so a clean exit is also a zero-leak assertion.
+#
+#   taccd_smoke.sh <path-to-taccd> <path-to-tacc_client>
+set -euo pipefail
+
+TACCD=${1:?usage: taccd_smoke.sh <taccd> <tacc_client>}
+CLIENT=${2:?usage: taccd_smoke.sh <taccd> <tacc_client>}
+SOCK=$(mktemp -u "${TMPDIR:-/tmp}/taccd_smoke_XXXXXX.sock")
+OUT=$(mktemp "${TMPDIR:-/tmp}/taccd_smoke_out_XXXXXX")
+
+cleanup() {
+  kill -9 "$DAEMON_PID" 2>/dev/null || true
+  rm -f "$SOCK" "$OUT"
+}
+trap cleanup EXIT
+
+# Tiny admission queue so the forced-overload phase overflows reliably.
+"$TACCD" --socket="$SOCK" --threads=2 --max-queue=2 --timeout-ms=5000 &
+DAEMON_PID=$!
+
+for _ in $(seq 1 100); do
+  [ -S "$SOCK" ] && break
+  sleep 0.1
+done
+[ -S "$SOCK" ] || { echo "FAIL: daemon never bound $SOCK"; exit 1; }
+
+expect_ok() {
+  echo "-> $*"
+  "$CLIENT" --socket="$SOCK" "$@" | tee -a "$OUT" | grep -q '^OK' \
+    || { echo "FAIL: expected OK from: $*"; exit 1; }
+}
+
+expect_ok PING
+expect_ok CONFIGURE smoke 80 6 seed=7
+expect_ok JOIN smoke 1.5 2.0
+expect_ok MOVE smoke 0 2.5 1.5
+expect_ok STATS smoke
+expect_ok STATS
+
+# Forced OVERLOADED: pipeline a SLEEP that occupies the session plus more
+# JOINs than the 2-deep admission queue can hold. The client exits 3 (some
+# ERR responses) — what matters is that every request got exactly one
+# response and at least one was OVERLOADED.
+PIPELINE=$'SLEEP smoke 500\nJOIN smoke 1 1\nJOIN smoke 1 2\nJOIN smoke 2 1\nJOIN smoke 2 2\nJOIN smoke 3 3'
+set +e
+printf '%s\n' "$PIPELINE" | "$CLIENT" --socket="$SOCK" --stdin > "$OUT.pipeline"
+PIPELINE_RC=$?
+set -e
+cat "$OUT.pipeline"
+[ "$PIPELINE_RC" -eq 3 ] || { echo "FAIL: pipelined client exited $PIPELINE_RC (want 3: all responses received, some ERR)"; exit 1; }
+[ "$(wc -l < "$OUT.pipeline")" -eq 6 ] || { echo "FAIL: expected 6 responses"; exit 1; }
+grep -q 'ERR OVERLOADED' "$OUT.pipeline" || { echo "FAIL: no OVERLOADED rejection"; exit 1; }
+rm -f "$OUT.pipeline"
+
+# Graceful drain: SIGTERM must exit 0 (under ASan this asserts no leaks).
+kill -TERM "$DAEMON_PID"
+set +e
+wait "$DAEMON_PID"
+DAEMON_RC=$?
+set -e
+[ "$DAEMON_RC" -eq 0 ] || { echo "FAIL: taccd exited $DAEMON_RC on SIGTERM"; exit 1; }
+[ ! -S "$SOCK" ] || { echo "FAIL: socket file not unlinked on shutdown"; exit 1; }
+
+echo "taccd smoke passed"
