@@ -4,6 +4,12 @@
 // (b) the delay after reconfiguring on the degraded topology — i.e. what a
 // failure costs and how much reconfiguration claws back. Also: edge-server
 // failures handled by DynamicCluster evacuation.
+//
+// Failures are injected in place (fail_links/restore_links) on one working
+// copy per repeat; the scenario and its pre-failure configuration are
+// computed once per seed and shared across fail fractions.
+#include <array>
+
 #include "bench/bench_common.hpp"
 #include "gap/builder.hpp"
 #include "topology/failures.hpp"
@@ -11,6 +17,13 @@
 namespace {
 
 using namespace tacc;
+
+struct FractionAgg {
+  metrics::RunningStats healthy, stale, reconfigured;
+  std::size_t total_disconnected = 0;
+  /// Buffered CSV cells so rows stay grouped by fraction in the output.
+  std::vector<std::array<double, 5>> rows;
+};
 
 int run(int argc, char** argv) {
   const auto flags = util::Flags::parse(argc, argv);
@@ -27,33 +40,36 @@ int run(int argc, char** argv) {
   const std::vector<double> fractions =
       config.quick ? std::vector<double>{0.1, 0.3}
                    : std::vector<double>{0.05, 0.1, 0.2, 0.3};
+  std::vector<FractionAgg> aggs(fractions.size());
 
-  util::ConsoleTable table({"fail fraction", "healthy (ms)",
-                            "same assignment (ms)", "reconfigured (ms)",
-                            "recovered", "disconnected"});
-  for (double fraction : fractions) {
-    metrics::RunningStats healthy, stale, reconfigured;
-    std::size_t total_disconnected = 0;
-    for (std::size_t r = 0; r < config.repeats; ++r) {
-      const std::uint64_t seed = config.base_seed + r;
-      const Scenario scenario = Scenario::smart_city(iot, edge, seed);
-      AlgorithmOptions options = bench::experiment_options(config.quick);
-      options.apply_seed(seed);
+  for (std::size_t r = 0; r < config.repeats; ++r) {
+    const std::uint64_t seed = config.base_seed + r;
+    const Scenario scenario = Scenario::smart_city(iot, edge, seed);
+    AlgorithmOptions options = bench::experiment_options(config.quick);
+    options.apply_seed(seed);
 
-      const ClusterConfigurator configurator(scenario);
-      const auto conf =
-          configurator.configure({Algorithm::kQLearning, options});
-      healthy.add(conf.avg_delay_ms());
+    const ClusterConfigurator configurator(scenario);
+    const auto conf =
+        configurator.configure({Algorithm::kQLearning, options});
+
+    // One mutable copy per seed; each fraction fails its sampled links in
+    // place and restores them afterwards (delays are a function of the edge
+    // set, so the restored copy is equivalent to a fresh one).
+    topo::NetworkTopology net = scenario.network();
+    for (std::size_t f = 0; f < fractions.size(); ++f) {
+      const double fraction = fractions[f];
+      FractionAgg& agg = aggs[f];
+      agg.healthy.add(conf.avg_delay_ms());
 
       util::Rng rng(seed * 7 + 1);
       const auto failed_links =
           topo::sample_failable_links(scenario.network(), fraction, rng);
-      const topo::NetworkTopology degraded =
-          topo::with_failed_links(scenario.network(), failed_links);
+      topo::fail_links(net, failed_links);
       gap::BuilderOptions builder_options;
       builder_options.unreachable_delay_ms = 1e5;  // finite "disconnected"
       const gap::Instance degraded_instance =
-          gap::build_instance(degraded, scenario.workload(), builder_options);
+          gap::build_instance(net, scenario.workload(), builder_options);
+      topo::restore_links(net, failed_links);
 
       // (a) keep the pre-failure assignment on the degraded topology —
       // averaged over devices that can still reach their old server;
@@ -71,30 +87,42 @@ int run(int argc, char** argv) {
           ++stale_connected;
         }
       }
-      stale.add(stale_connected
-                    ? stale_sum / static_cast<double>(stale_connected)
-                    : 0.0);
-      total_disconnected += disconnected;
+      agg.stale.add(stale_connected
+                        ? stale_sum / static_cast<double>(stale_connected)
+                        : 0.0);
+      agg.total_disconnected += disconnected;
       // (b) …vs reconfiguring against the degraded delays.
       const auto fresh = make_solver(Algorithm::kQLearning, options)
                              ->solve(degraded_instance);
       const auto fresh_ev = gap::evaluate(degraded_instance,
                                           fresh.assignment);
-      reconfigured.add(fresh_ev.avg_delay_ms);
-      csv.writer().row(fraction, seed, healthy.max(), stale.max(),
-                       fresh_ev.avg_delay_ms);
+      agg.reconfigured.add(fresh_ev.avg_delay_ms);
+      agg.rows.push_back({fraction, static_cast<double>(seed),
+                          agg.healthy.max(), agg.stale.max(),
+                          fresh_ev.avg_delay_ms});
+    }
+  }
+
+  util::ConsoleTable table({"fail fraction", "healthy (ms)",
+                            "same assignment (ms)", "reconfigured (ms)",
+                            "recovered", "disconnected"});
+  for (std::size_t f = 0; f < fractions.size(); ++f) {
+    const FractionAgg& agg = aggs[f];
+    for (const auto& row : agg.rows) {
+      csv.writer().row(row[0], static_cast<std::uint64_t>(row[1]), row[2],
+                       row[3], row[4]);
     }
     const double recovered =
-        stale.mean() > healthy.mean()
-            ? (stale.mean() - reconfigured.mean()) /
-                  (stale.mean() - healthy.mean())
+        agg.stale.mean() > agg.healthy.mean()
+            ? (agg.stale.mean() - agg.reconfigured.mean()) /
+                  (agg.stale.mean() - agg.healthy.mean())
             : 0.0;
-    table.add_row({util::format_double(fraction, 2),
-                   util::format_double(healthy.mean(), 2),
-                   util::format_double(stale.mean(), 2),
-                   util::format_double(reconfigured.mean(), 2),
+    table.add_row({util::format_double(fractions[f], 2),
+                   util::format_double(agg.healthy.mean(), 2),
+                   util::format_double(agg.stale.mean(), 2),
+                   util::format_double(agg.reconfigured.mean(), 2),
                    util::format_double(recovered * 100.0, 0) + "%",
-                   std::to_string(total_disconnected)});
+                   std::to_string(agg.total_disconnected)});
   }
   std::cout << table.to_string(
                    "A5 — backbone-link failures (q-learning config, n=" +

@@ -4,6 +4,8 @@
 //   pinned      — devices keep their original server (static assignment)
 //   handover    — each mover is reassigned to its cheapest feasible server
 //   handover+rb — handover plus a bounded rebalance pass per epoch
+#include <memory>
+
 #include "bench/bench_common.hpp"
 #include "core/dynamic.hpp"
 #include "workload/mobility.hpp"
@@ -32,7 +34,9 @@ int run(int argc, char** argv) {
 
   struct Policy {
     const char* name;
-    DynamicCluster cluster;
+    // Heap-allocated: DynamicCluster is pinned to one address (its delay
+    // engine points into its own topology copy).
+    std::unique_ptr<DynamicCluster> cluster;
     std::vector<std::size_t> ids;
     bool handover;
     bool rebalance;
@@ -43,7 +47,8 @@ int run(int argc, char** argv) {
         std::tuple{"handover", true, false},
         std::tuple{"handover+rebalance", true, true}}) {
     Policy policy{name,
-                  DynamicCluster(scenario, Algorithm::kQLearning, options),
+                  std::make_unique<DynamicCluster>(
+                      scenario, Algorithm::kQLearning, options),
                   std::vector<std::size_t>(iot),
                   handover,
                   rebalance};
@@ -67,18 +72,18 @@ int run(int argc, char** argv) {
         const auto p = model.position(mover);
         policy.ids[mover] =
             policy.handover
-                ? policy.cluster.move(policy.ids[mover], p).device_index
-                : policy.cluster.move_pinned(policy.ids[mover], p)
+                ? policy.cluster->move(policy.ids[mover], p).device_index
+                : policy.cluster->move_pinned(policy.ids[mover], p)
                       .device_index;
       }
-      if (policy.rebalance) moves = policy.cluster.rebalance(64);
-      csv.writer().row(epoch, policy.name, policy.cluster.avg_delay_ms(),
-                       policy.cluster.max_utilization(), moves);
+      if (policy.rebalance) moves = policy.cluster->rebalance(64);
+      csv.writer().row(epoch, policy.name, policy.cluster->avg_delay_ms(),
+                       policy.cluster->max_utilization(), moves);
       if (epoch == 1 || epoch == epochs || epoch % 5 == 0) {
         table.add_row({std::to_string(epoch), policy.name,
-                       util::format_double(policy.cluster.avg_delay_ms(), 2),
+                       util::format_double(policy.cluster->avg_delay_ms(), 2),
                        util::format_double(
-                           policy.cluster.max_utilization(), 2),
+                           policy.cluster->max_utilization(), 2),
                        std::to_string(moves)});
       }
     }

@@ -1,0 +1,234 @@
+// M4: backbone link churn vs the incremental delay engine.
+//
+// Flaps a small set of backbone links (5% by default — fail when live,
+// restore when failed, occasionally reweight) against an
+// IncrementalDelayEngine + DelayMatrixCache and HARD-GATES the three
+// properties the engine exists for:
+//   1. Exactness: at sampled epochs the engine's per-server distances are
+//      bit-identical to a from-scratch dijkstra_fan_out on the same graph.
+//   2. Speed: the median incremental update (engine + cache refresh) beats
+//      the median full recompute (fan-out + rebuilding every device row) by
+//      at least 10x. Skipped under --quick: sanitizers skew timings.
+//   3. Flat memory: engine + cache scratch stays flat across the whole run
+//      (100k link events by default) — repairs must reuse epoch-marked
+//      scratch, not allocate per event.
+// Exit code 1 if a gate fails, so CI can run it as a regression check.
+//
+//   ./bench_m4_linkchurn [--events=100000] [--iot=200] [--edge=10]
+//                        [--flap=0.05] [--seed=...]
+//   --quick shrinks to 10k events and drops the timing gate.
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "bench/bench_common.hpp"
+#include "core/scenario.hpp"
+#include "metrics/stats.hpp"
+#include "topology/failures.hpp"
+#include "topology/incremental/cache.hpp"
+#include "topology/shortest_paths.hpp"
+#include "util/rng.hpp"
+#include "util/timer.hpp"
+
+namespace {
+
+using namespace tacc;
+
+/// One full recompute, the baseline the engine replaces: fan-out Dijkstra
+/// from every server plus rewriting every device row. Returns the trees so
+/// the equivalence gate can reuse them.
+std::vector<topo::ShortestPathTree> full_recompute(
+    const topo::NetworkTopology& net, std::vector<std::vector<double>>& rows) {
+  std::vector<topo::ShortestPathTree> trees =
+      topo::dijkstra_fan_out(net.graph, net.edge_nodes);
+  for (std::size_t i = 0; i < net.iot_nodes.size(); ++i) {
+    for (std::size_t j = 0; j < trees.size(); ++j) {
+      rows[i][j] = trees[j].distance_ms[net.iot_nodes[i]];
+    }
+  }
+  return trees;
+}
+
+bool trees_match(const topo::incr::IncrementalDelayEngine& engine,
+                 const std::vector<topo::ShortestPathTree>& reference,
+                 std::size_t node_count) {
+  for (std::size_t j = 0; j < reference.size(); ++j) {
+    for (topo::NodeId n = 0; n < node_count; ++n) {
+      const double expected = reference[j].distance_ms[n];
+      const double actual = engine.tree(j).distance_ms(n);
+      // Bitwise agreement, except both-unreachable compares equal.
+      if (actual != expected &&
+          !(actual == topo::kUnreachable && expected == topo::kUnreachable)) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+int run(int argc, char** argv) {
+  const auto flags = util::Flags::parse(argc, argv);
+  const auto config = bench::BenchConfig::from_flags(flags);
+  const auto iot = static_cast<std::size_t>(
+      flags.get_int("iot", config.quick ? 120 : 200));
+  const auto edge = static_cast<std::size_t>(flags.get_int("edge", 10));
+  const auto events = static_cast<std::size_t>(
+      flags.get_int("events", config.quick ? 10'000 : 100'000));
+  const double flap_fraction = flags.get_double("flap", 0.05);
+
+  const Scenario scenario = Scenario::smart_city(iot, edge, config.base_seed);
+  topo::NetworkTopology net = scenario.network();
+  topo::incr::IncrementalDelayEngine engine(net);
+  topo::incr::DelayMatrixCache cache(engine);
+  for (std::size_t i = 0; i < net.iot_nodes.size(); ++i) {
+    cache.bind_row(i, net.iot_nodes[i]);
+  }
+
+  // The flap set: a fixed random sample of the backbone. Links toggle
+  // between live and failed; a third of the toggles reweight instead.
+  const auto backbone = topo::backbone_links(net);
+  util::Rng rng(config.base_seed * 11 + 3);
+  std::vector<std::size_t> order(backbone.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  rng.shuffle(order);
+  const std::size_t flap_count = std::max<std::size_t>(
+      1, static_cast<std::size_t>(flap_fraction *
+                                  static_cast<double>(backbone.size())));
+  std::vector<topo::LinkEndpoints> flapping;
+  std::vector<bool> failed(flap_count, false);
+  for (std::size_t i = 0; i < flap_count; ++i) {
+    flapping.push_back(backbone[order[i]]);
+  }
+
+  bench::CsvFile csv(flags, "m4_linkchurn");
+  csv.writer().header({"event", "kind", "inc_us", "scratch_bytes",
+                       "dirty_rows"});
+
+  std::vector<double> inc_us;
+  inc_us.reserve(events);
+  std::vector<double> full_us;
+  std::vector<std::vector<double>> reference_rows(
+      iot, std::vector<double>(edge, 0.0));
+  // ~50 full-recompute samples paired with equivalence checks.
+  const std::size_t sample_every = std::max<std::size_t>(1, events / 50);
+  std::size_t scratch_early = 0;
+  std::size_t scratch_peak = 0;
+  std::uint64_t equivalence_checks = 0;
+  bool ok = true;
+
+  for (std::size_t event = 0; event < events; ++event) {
+    const std::size_t pick = rng.index(flapping.size());
+    const auto [u, v] = flapping[pick];
+    const char* kind;
+    util::WallTimer timer;
+    if (failed[pick]) {
+      kind = "restore";
+      timer.reset();
+      engine.restore_link(u, v);
+      failed[pick] = false;
+    } else if (rng.bernoulli(1.0 / 3.0)) {
+      kind = "reweight";
+      const double latency =
+          net.graph.edge_props(u, v)->latency_ms * rng.uniform(0.5, 2.0);
+      timer.reset();
+      engine.set_link_latency(u, v, latency);
+    } else {
+      kind = "fail";
+      timer.reset();
+      engine.fail_link(u, v);
+      failed[pick] = true;
+    }
+    const std::size_t refreshed = cache.refresh();
+    inc_us.push_back(timer.elapsed_ms() * 1e3);
+
+    const std::size_t scratch = engine.scratch_bytes();
+    scratch_peak = std::max(scratch_peak, scratch);
+    if (event == events / 100) scratch_early = scratch;
+
+    if (event % sample_every == 0 || event + 1 == events) {
+      csv.writer().row(event, kind, inc_us.back(), scratch, refreshed);
+      timer.reset();
+      const auto reference = full_recompute(net, reference_rows);
+      full_us.push_back(timer.elapsed_ms() * 1e3);
+      ++equivalence_checks;
+      if (!trees_match(engine, reference, net.graph.node_count())) {
+        std::cerr << "GATE FAILED: engine diverged from full recompute at "
+                  << "event " << event << " (" << kind << " " << u << "-" << v
+                  << ")\n";
+        ok = false;
+        break;
+      }
+      for (std::size_t i = 0; i < iot; ++i) {
+        if (cache.row(i) != reference_rows[i]) {
+          std::cerr << "GATE FAILED: cached delay row " << i
+                    << " diverged at event " << event << "\n";
+          ok = false;
+          break;
+        }
+      }
+      if (!ok) break;
+    }
+  }
+
+  const double inc_median = metrics::percentile(inc_us, 0.5);
+  const double full_median = metrics::percentile(full_us, 0.5);
+  const double speedup = inc_median > 0.0 ? full_median / inc_median : 0.0;
+  const auto& stats = engine.stats();
+
+  util::ConsoleTable table({"metric", "value"});
+  table.add_row({"link events", std::to_string(stats.link_updates)});
+  table.add_row({"flapping links",
+                 std::to_string(flap_count) + " / " +
+                     std::to_string(backbone.size())});
+  table.add_row({"median incremental (us)",
+                 util::format_double(inc_median, 2)});
+  table.add_row({"median full recompute (us)",
+                 util::format_double(full_median, 2)});
+  table.add_row({"speedup", util::format_double(speedup, 1) + "x"});
+  table.add_row({"nodes affected",
+                 std::to_string(stats.nodes_affected)});
+  table.add_row({"node visits saved", std::to_string(stats.nodes_saved)});
+  table.add_row({"rows refreshed",
+                 std::to_string(cache.rows_refreshed())});
+  table.add_row({"rows saved", std::to_string(cache.rows_saved())});
+  table.add_row({"scratch bytes (early/peak)",
+                 std::to_string(scratch_early) + " / " +
+                     std::to_string(scratch_peak)});
+  table.add_row({"equivalence checks", std::to_string(equivalence_checks)});
+  std::cout << table.to_string(
+      "M4 — incremental engine vs full recompute (" +
+      std::to_string(events) + " link events, " + std::to_string(iot) +
+      " devices, " + std::to_string(edge) + " servers):");
+
+  // ---- Gate 2: >=10x median speedup (timing gates are meaningless under
+  // sanitizers, so --quick only reports the number). --------------------------
+  if (!config.quick && speedup < 10.0) {
+    std::cerr << "GATE FAILED: incremental speedup " << speedup
+              << "x is below the 10x floor (" << inc_median << " us vs "
+              << full_median << " us)\n";
+    ok = false;
+  }
+
+  // ---- Gate 3: flat scratch memory across the run. -------------------------
+  // Node count never changes during link churn, so scratch must not grow
+  // beyond its early size (small slack for lazily-grown heap storage).
+  if (scratch_early > 0 &&
+      scratch_peak > scratch_early + scratch_early / 4) {
+    std::cerr << "GATE FAILED: engine scratch grew from " << scratch_early
+              << " to " << scratch_peak << " bytes during link churn\n";
+    ok = false;
+  }
+
+  if (ok) {
+    std::cout << "All link-churn gates passed: bit-exact vs recompute, "
+              << (config.quick ? "timing gate skipped (--quick), "
+                               : "10x+ median speedup, ")
+              << "flat scratch memory.\n";
+  }
+  bench::check_unused_flags(flags);
+  return ok ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) { return run(argc, argv); }

@@ -8,7 +8,8 @@ for b in bench_t1_optimality_gap bench_t2_headline bench_f1_delay_vs_iot \
          bench_f5_delay_cdf bench_f6_deadline_miss bench_f7_topologies \
          bench_f8_runtime bench_a1_topology_ablation bench_a2_rl_ablation bench_a4_transfer \
          bench_a5_resilience bench_a6_mobility bench_a7_analytic \
-         bench_m1_portfolio bench_m2_churn bench_m3_serve; do
+         bench_m1_portfolio bench_m2_churn bench_m3_serve \
+         bench_m4_linkchurn; do
   echo "##### $b #####"
   ./build/bench/$b "$@" || exit 1
 done

@@ -15,6 +15,8 @@ constexpr double kEps = 1e-9;
 DynamicCluster::DynamicCluster(const Scenario& scenario, Algorithm initial,
                                const AlgorithmOptions& options)
     : net_(scenario.network()),
+      engine_(net_),
+      cache_(engine_),
       delay_model_(scenario.params().delay_model) {
   for (topo::NodeId node = 0; node < net_.graph.node_count(); ++node) {
     if (net_.kinds[node] == topo::NodeKind::kRouter) {
@@ -33,13 +35,12 @@ DynamicCluster::DynamicCluster(const Scenario& scenario, Algorithm initial,
       configurator.configure({initial, options});
   assignment_ = conf.assignment();
 
-  const auto& instance = scenario.instance();
-  delay_rows_.resize(devices_.size());
   loads_.assign(capacities_.size(), 0.0);
   failed_.assign(capacities_.size(), false);
   for (std::size_t i = 0; i < devices_.size(); ++i) {
-    delay_rows_[i].assign(instance.delay_matrix().row(i).begin(),
-                          instance.delay_matrix().row(i).end());
+    // Filled from the engine's server trees — the same Dijkstra values the
+    // scenario's instance matrix was built from.
+    cache_.bind_row(i, net_.iot_nodes[i]);
     const auto j = static_cast<std::size_t>(assignment_[i]);
     loads_[j] += devices_[i].demand;
   }
@@ -47,17 +48,17 @@ DynamicCluster::DynamicCluster(const Scenario& scenario, Algorithm initial,
 }
 
 void DynamicCluster::refresh_delay_row(std::size_t slot) {
-  const auto tree = topo::dijkstra(net_.graph, net_.iot_nodes[slot]);
-  auto& row = delay_rows_[slot];
-  row.resize(net_.edge_count());
-  for (std::size_t j = 0; j < net_.edge_count(); ++j) {
-    row[j] = tree.distance_ms[net_.edge_nodes[j]];
-  }
+  cache_.bind_row(slot, net_.iot_nodes[slot]);
+}
+
+void DynamicCluster::absorb_device_churn() {
+  churn_scratch_.clear();
+  engine_.drain_dirty(churn_scratch_);
 }
 
 DynamicCluster::ServerChoice DynamicCluster::cheapest_feasible_server(
     std::size_t device_index) const {
-  const auto& row = delay_rows_[device_index];
+  const auto& row = cache_.row(device_index);
   const double demand = devices_[device_index].demand;
   const double weight = devices_[device_index].request_rate_hz;
 
@@ -101,13 +102,13 @@ void DynamicCluster::attach_device(std::size_t slot,
     }
   }
   const topo::NodeId node =
-      net_.acquire_node(device.position, topo::NodeKind::kIotDevice);
-  net_.graph.add_edge(node, nearest,
-                      delay_model_.access_link(nearest_distance));
+      engine_.acquire_node(device.position, topo::NodeKind::kIotDevice);
+  engine_.add_link(node, nearest,
+                   delay_model_.access_link(nearest_distance));
+  absorb_device_churn();
 
   if (slot == devices_.size()) {
     devices_.push_back(device);
-    delay_rows_.emplace_back();
     assignment_.push_back(gap::kUnassigned);
     net_.iot_nodes.push_back(node);
   } else {
@@ -119,7 +120,9 @@ void DynamicCluster::attach_device(std::size_t slot,
 }
 
 void DynamicCluster::detach_device(std::size_t slot) {
-  net_.release_node(net_.iot_nodes[slot]);
+  cache_.unbind_row(slot);
+  engine_.release_node(net_.iot_nodes[slot]);
+  absorb_device_churn();
   net_.iot_nodes[slot] = topo::kInvalidNode;
 }
 
@@ -200,12 +203,13 @@ std::size_t DynamicCluster::rebalance(std::size_t max_moves) {
       const auto from = static_cast<std::size_t>(assignment_[i]);
       const double weight = devices_[i].request_rate_hz;
       const double demand = devices_[i].demand;
+      const auto& row = cache_.row(i);
       std::size_t best = from;
-      double best_cost = weight * delay_rows_[i][from];
+      double best_cost = weight * row[from];
       for (std::size_t j = 0; j < capacities_.size(); ++j) {
         if (j == from || failed_[j]) continue;
         if (loads_[j] + demand > capacities_[j] + kEps) continue;
-        const double cost = weight * delay_rows_[i][j];
+        const double cost = weight * row[j];
         if (cost < best_cost - kEps) {
           best_cost = cost;
           best = j;
@@ -238,11 +242,11 @@ std::size_t DynamicCluster::repair(std::size_t max_moves) {
         }
         const double demand = devices_[i].demand;
         const double weight = devices_[i].request_rate_hz;
+        const auto& row = cache_.row(i);
         for (std::size_t k = 0; k < capacities_.size(); ++k) {
           if (k == j || failed_[k]) continue;
           if (loads_[k] + demand > capacities_[k] + kEps) continue;
-          const double delta =
-              weight * (delay_rows_[i][k] - delay_rows_[i][j]);
+          const double delta = weight * (row[k] - row[j]);
           if (delta < best_delta) {
             best_delta = delta;
             victim = i;
@@ -320,7 +324,7 @@ double DynamicCluster::avg_delay_ms() const noexcept {
   double sum = 0.0;
   for (std::size_t i = 0; i < devices_.size(); ++i) {
     if (assignment_[i] == gap::kUnassigned) continue;
-    sum += delay_rows_[i][static_cast<std::size_t>(assignment_[i])];
+    sum += cache_.row(i)[static_cast<std::size_t>(assignment_[i])];
   }
   return sum / static_cast<double>(active_);
 }
@@ -332,6 +336,50 @@ double DynamicCluster::max_utilization() const noexcept {
     peak = std::max(peak, loads_[j] / capacities_[j]);
   }
   return peak;
+}
+
+void DynamicCluster::require_backbone(topo::NodeId u, topo::NodeId v) const {
+  if (u >= net_.kinds.size() || v >= net_.kinds.size() ||
+      net_.kinds[u] != topo::NodeKind::kRouter ||
+      net_.kinds[v] != topo::NodeKind::kRouter) {
+    throw std::invalid_argument(
+        "DynamicCluster: link endpoints must be router nodes");
+  }
+}
+
+LinkUpdateReport DynamicCluster::finish_link_update(
+    const topo::incr::EngineStats& before, double latency_ms) {
+  LinkUpdateReport report;
+  report.rows_refreshed = cache_.refresh();
+  const topo::incr::EngineStats& after = engine_.stats();
+  report.epoch = after.epoch;
+  report.nodes_affected = after.nodes_affected - before.nodes_affected;
+  report.nodes_saved = after.nodes_saved - before.nodes_saved;
+  report.latency_ms = latency_ms;
+  return report;
+}
+
+LinkUpdateReport DynamicCluster::fail_link(topo::NodeId u, topo::NodeId v) {
+  require_backbone(u, v);
+  const topo::incr::EngineStats before = engine_.stats();
+  const topo::EdgeProps props = engine_.fail_link(u, v);
+  return finish_link_update(before, props.latency_ms);
+}
+
+LinkUpdateReport DynamicCluster::restore_link(topo::NodeId u, topo::NodeId v) {
+  require_backbone(u, v);
+  const topo::incr::EngineStats before = engine_.stats();
+  const topo::EdgeProps props = engine_.restore_link(u, v);
+  return finish_link_update(before, props.latency_ms);
+}
+
+LinkUpdateReport DynamicCluster::set_link_latency(topo::NodeId u,
+                                                  topo::NodeId v,
+                                                  double latency_ms) {
+  require_backbone(u, v);
+  const topo::incr::EngineStats before = engine_.stats();
+  const topo::EdgeProps previous = engine_.set_link_latency(u, v, latency_ms);
+  return finish_link_update(before, previous.latency_ms);
 }
 
 bool DynamicCluster::feasible() const noexcept {

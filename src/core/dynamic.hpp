@@ -30,6 +30,7 @@
 
 #include "core/configurator.hpp"
 #include "core/scenario.hpp"
+#include "topology/incremental/cache.hpp"
 
 namespace tacc {
 
@@ -51,6 +52,15 @@ struct EvacuationReport {
   [[nodiscard]] bool clean() const noexcept { return overloaded == 0; }
 };
 
+/// Outcome of one in-place backbone-link mutation.
+struct LinkUpdateReport {
+  std::uint64_t epoch = 0;           ///< engine epoch after the update
+  std::uint64_t nodes_affected = 0;  ///< Σ per-tree affected-region sizes
+  std::uint64_t nodes_saved = 0;     ///< full-recompute visits avoided
+  std::size_t rows_refreshed = 0;    ///< device delay rows rewritten
+  double latency_ms = 0.0;           ///< the link's (previous) latency
+};
+
 class DynamicCluster {
  public:
   /// Starts from `scenario` configured with `initial` (default: the RL
@@ -58,6 +68,12 @@ class DynamicCluster {
   DynamicCluster(const Scenario& scenario,
                  Algorithm initial = Algorithm::kQLearning,
                  const AlgorithmOptions& options = {});
+
+  // The incremental delay engine points into net_, so the cluster must stay
+  // at one address. Factory-style `return DynamicCluster(...)` still works
+  // via guaranteed elision; heap-allocate to store in containers.
+  DynamicCluster(const DynamicCluster&) = delete;
+  DynamicCluster& operator=(const DynamicCluster&) = delete;
 
   /// Attaches a new device at its position (recycling a departed device's
   /// slot + graph node when available) and assigns it to the cheapest
@@ -112,6 +128,50 @@ class DynamicCluster {
   }
   [[nodiscard]] std::size_t healthy_server_count() const noexcept;
 
+  // ---- Backbone link churn --------------------------------------------------
+  // In-place router–router link mutations. Each one repairs every server's
+  // shortest-path tree incrementally (cost O(affected region), not a full
+  // recompute) and rewrites only the delay rows of devices whose distances
+  // actually moved. Assignments are NOT changed — call rebalance() to react.
+  // Throws std::invalid_argument if an endpoint is not a router or the link
+  // precondition fails (fail: link must exist; restore: must be failed).
+
+  /// Takes the u–v backbone link out of service. Devices may become
+  /// unreachable from some servers (their row entries go infinite).
+  LinkUpdateReport fail_link(topo::NodeId u, topo::NodeId v);
+  /// Returns a previously failed backbone link to service.
+  LinkUpdateReport restore_link(topo::NodeId u, topo::NodeId v);
+  /// Rewrites a live backbone link's latency (ms, must be positive);
+  /// the report carries the previous latency.
+  LinkUpdateReport set_link_latency(topo::NodeId u, topo::NodeId v,
+                                    double latency_ms);
+
+  /// The live topology (failed_links lists currently failed backbone links).
+  [[nodiscard]] const topo::NetworkTopology& network() const noexcept {
+    return net_;
+  }
+  /// Cumulative incremental-engine counters (epoch, link updates, affected
+  /// and saved node visits).
+  [[nodiscard]] const topo::incr::EngineStats& link_stats() const noexcept {
+    return engine_.stats();
+  }
+  /// Bumps on every distance-relevant topology change.
+  [[nodiscard]] std::uint64_t delay_epoch() const noexcept {
+    return engine_.epoch();
+  }
+  [[nodiscard]] std::uint64_t delay_rows_refreshed() const noexcept {
+    return cache_.rows_refreshed();
+  }
+  [[nodiscard]] std::uint64_t delay_rows_saved() const noexcept {
+    return cache_.rows_saved();
+  }
+  /// Digest of the cached delay view; distinguishes every epoch, so stale
+  /// consumers detect reconfigurations they slept through even when a
+  /// fail/restore pair returned the values to their start state.
+  [[nodiscard]] std::uint64_t delay_fingerprint() const {
+    return cache_.fingerprint();
+  }
+
   // ---- Introspection ------------------------------------------------------
   [[nodiscard]] std::size_t active_count() const noexcept { return active_; }
   [[nodiscard]] std::size_t server_count() const noexcept {
@@ -154,9 +214,18 @@ class DynamicCluster {
     bool feasible;  ///< false => overload fallback (least-utilized healthy)
   };
 
-  /// Recomputes `slot`'s delay row (one Dijkstra from its node) into the
-  /// row's existing storage.
+  /// (Re)binds `slot`'s delay row to its graph node; the cache fills it
+  /// from the engine's per-server trees in O(servers).
   void refresh_delay_row(std::size_t slot);
+  /// Throws std::invalid_argument unless u and v are router nodes.
+  void require_backbone(topo::NodeId u, topo::NodeId v) const;
+  /// Refreshes the cache and packages the per-update engine deltas.
+  LinkUpdateReport finish_link_update(const topo::incr::EngineStats& before,
+                                      double latency_ms);
+  /// Discards dirty notifications caused by device attach/detach: a device
+  /// is a single-access-link leaf, so only its own distances move, and its
+  /// row is (re)bound or unbound explicitly by the caller.
+  void absorb_device_churn();
   /// Acquires a graph node at `device`'s position (recycled when possible),
   /// wires the access link to the nearest router, and installs the device
   /// into `slot` with a fresh delay row. No assignment yet.
@@ -172,6 +241,11 @@ class DynamicCluster {
   JoinResult place_device(std::size_t slot);
 
   topo::NetworkTopology net_;   // bounded by peak population (node recycling)
+  // Per-server shortest-path trees + versioned delay rows over net_; all
+  // topology mutations route through engine_ so the trees stay exact.
+  // Declared right after net_ (initialization order matters).
+  topo::incr::IncrementalDelayEngine engine_;
+  topo::incr::DelayMatrixCache cache_;  // row i == device slot i
   topo::LinkDelayModel delay_model_;
   std::vector<topo::NodeId> router_nodes_;
   std::vector<topo::Point2D> router_positions_;
@@ -179,9 +253,9 @@ class DynamicCluster {
   // Per device slot. Active slots hold a served device; departed slots are
   // parked on free_slots_ (assignment kUnassigned) and recycled by join().
   std::vector<workload::IotDevice> devices_;
-  std::vector<std::vector<double>> delay_rows_;  // device → per-server ms
   gap::Assignment assignment_;
   std::vector<std::size_t> free_slots_;  // recycled LIFO
+  std::vector<topo::NodeId> churn_scratch_;
 
   std::vector<double> capacities_;
   std::vector<double> loads_;

@@ -7,6 +7,7 @@
 
 #include "core/dynamic.hpp"
 #include "core/scenario.hpp"
+#include "topology/failures.hpp"
 
 namespace tacc::service {
 
@@ -187,6 +188,13 @@ void Engine::drain_session(const std::shared_ptr<Session>& session) {
       snapshot.avg_delay_ms = cluster.avg_delay_ms();
       snapshot.max_utilization = cluster.max_utilization();
       snapshot.feasible = cluster.feasible();
+      const topo::incr::EngineStats& link_stats = cluster.link_stats();
+      snapshot.delay_epoch = link_stats.epoch;
+      snapshot.link_updates = link_stats.link_updates;
+      snapshot.link_nodes_affected = link_stats.nodes_affected;
+      snapshot.link_nodes_saved = link_stats.nodes_saved;
+      snapshot.delay_rows_refreshed = cluster.delay_rows_refreshed();
+      snapshot.delay_rows_saved = cluster.delay_rows_saved();
     }
     {
       const std::scoped_lock metrics(session->metrics_mutex);
@@ -297,6 +305,44 @@ std::string Engine::apply(Session& session, const Request& request) {
             .field("overloaded", report.overloaded)
             .str();
       }
+      case Verb::kLinkFail:
+      case Verb::kLinkRestore:
+      case Verb::kLinkSet: {
+        const auto u = static_cast<topo::NodeId>(request.link_u);
+        const auto v = static_cast<topo::NodeId>(request.link_v);
+        const LinkUpdateReport report =
+            request.verb == Verb::kLinkFail ? cluster.fail_link(u, v)
+            : request.verb == Verb::kLinkRestore
+                ? cluster.restore_link(u, v)
+                : cluster.set_link_latency(u, v, request.latency_ms);
+        return OkLine()
+            .field("u", request.link_u)
+            .field("v", request.link_v)
+            .field("epoch", static_cast<std::size_t>(report.epoch))
+            .field("affected", static_cast<std::size_t>(report.nodes_affected))
+            .field("saved", static_cast<std::size_t>(report.nodes_saved))
+            .field("rows_refreshed", report.rows_refreshed)
+            // For LINK_SET this is the latency the link had before.
+            .field("latency_ms", report.latency_ms)
+            .field("avg_delay_ms", cluster.avg_delay_ms())
+            .str();
+      }
+      case Verb::kLinks: {
+        const auto links = topo::backbone_links(cluster.network());
+        std::string list;
+        const std::size_t shown = std::min(request.limit, links.size());
+        for (std::size_t i = 0; i < shown; ++i) {
+          if (i > 0) list += ',';
+          list += std::to_string(links[i].first);
+          list += '-';
+          list += std::to_string(links[i].second);
+        }
+        return OkLine()
+            .field("count", links.size())
+            .field("failed", cluster.network().failed_links.size())
+            .field("links", list)
+            .str();
+      }
       default:
         return err_line(ErrorCode::kInternal, "unroutable verb");
     }
@@ -351,6 +397,16 @@ std::string Engine::stats_line(const std::string& session_name) const {
       .field("avg_delay_ms", s.avg_delay_ms)
       .field("max_utilization", s.max_utilization)
       .field("feasible", s.feasible)
+      .field("delay_epoch", static_cast<std::size_t>(s.delay_epoch))
+      .field("link_updates", static_cast<std::size_t>(s.link_updates))
+      .field("link_nodes_affected",
+             static_cast<std::size_t>(s.link_nodes_affected))
+      .field("link_nodes_saved",
+             static_cast<std::size_t>(s.link_nodes_saved))
+      .field("delay_rows_refreshed",
+             static_cast<std::size_t>(s.delay_rows_refreshed))
+      .field("delay_rows_saved",
+             static_cast<std::size_t>(s.delay_rows_saved))
       .field("accepted", static_cast<std::size_t>(c.accepted))
       .field("completed", static_cast<std::size_t>(c.completed))
       .field("failed", static_cast<std::size_t>(c.failed))

@@ -120,6 +120,13 @@ class Engine {
     double avg_delay_ms = 0.0;
     double max_utilization = 0.0;
     bool feasible = true;
+    // Incremental delay engine counters (LINK_* verbs).
+    std::uint64_t delay_epoch = 0;
+    std::uint64_t link_updates = 0;
+    std::uint64_t link_nodes_affected = 0;
+    std::uint64_t link_nodes_saved = 0;
+    std::uint64_t delay_rows_refreshed = 0;
+    std::uint64_t delay_rows_saved = 0;
   };
 
   struct Session {

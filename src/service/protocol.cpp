@@ -126,6 +126,10 @@ bool apply_option(Request& request, std::string_view key,
     const auto v = parse_bool(value);
     if (!v) return bad_value();
     request.evacuate = *v;
+  } else if (key == "limit") {
+    const auto v = parse_size(value);
+    if (!v || *v == 0) return bad_value();
+    request.limit = *v;
   } else {
     error = "unhandled option '" + std::string(key) + "'";
     return false;
@@ -164,6 +168,10 @@ std::string_view to_string(Verb verb) noexcept {
     case Verb::kFail: return "FAIL";
     case Verb::kRecover: return "RECOVER";
     case Verb::kEvacuate: return "EVACUATE";
+    case Verb::kLinkFail: return "LINK_FAIL";
+    case Verb::kLinkRestore: return "LINK_RESTORE";
+    case Verb::kLinkSet: return "LINK_SET";
+    case Verb::kLinks: return "LINKS";
     case Verb::kSleep: return "SLEEP";
     case Verb::kStats: return "STATS";
     case Verb::kPing: return "PING";
@@ -297,6 +305,35 @@ ParseResult parse_request(std::string_view line) {
         verb == "FAIL" ? "evacuate timeout_ms" : "timeout_ms";
     if (!session_at(1) || !size_at(2, request.index, "server index") ||
         !options_from(3, allowed)) {
+      return fail(std::move(error));
+    }
+    return done();
+  }
+  if (verb == "LINK_FAIL" || verb == "LINK_RESTORE") {
+    request.verb = verb == "LINK_FAIL" ? Verb::kLinkFail : Verb::kLinkRestore;
+    if (!session_at(1) || !size_at(2, request.link_u, "link endpoint u") ||
+        !size_at(3, request.link_v, "link endpoint v") ||
+        !options_from(4, "timeout_ms")) {
+      return fail(std::move(error));
+    }
+    return done();
+  }
+  if (verb == "LINK_SET") {
+    request.verb = Verb::kLinkSet;
+    if (!session_at(1) || !size_at(2, request.link_u, "link endpoint u") ||
+        !size_at(3, request.link_v, "link endpoint v") ||
+        !double_at(4, request.latency_ms, "latency ms") ||
+        !options_from(5, "timeout_ms")) {
+      return fail(std::move(error));
+    }
+    if (request.latency_ms <= 0.0) {
+      return fail("latency ms must be positive");
+    }
+    return done();
+  }
+  if (verb == "LINKS") {
+    request.verb = Verb::kLinks;
+    if (!session_at(1) || !options_from(2, "limit timeout_ms")) {
       return fail(std::move(error));
     }
     return done();

@@ -9,6 +9,10 @@
 //   FAIL      <session> <server> [evacuate=0|1]
 //   RECOVER   <session> <server>
 //   EVACUATE  <session> <server>
+//   LINK_FAIL    <session> <u> <v>         (backbone link churn; u, v are
+//   LINK_RESTORE <session> <u> <v>          router node ids — see LINKS)
+//   LINK_SET     <session> <u> <v> <latency_ms>
+//   LINKS     <session> [limit=K]          (list live backbone links)
 //   SLEEP     <session> <ms>               (diagnostic: occupies the session)
 //   STATS     [<session>]
 //   PING
@@ -40,6 +44,10 @@ enum class Verb {
   kFail,
   kRecover,
   kEvacuate,
+  kLinkFail,
+  kLinkRestore,
+  kLinkSet,
+  kLinks,
   kSleep,
   kStats,
   kPing,
@@ -86,6 +94,14 @@ struct Request {
   // MOVE/LEAVE device index; FAIL/RECOVER/EVACUATE server index
   std::size_t index = 0;
   bool evacuate = true;
+
+  // LINK_FAIL / LINK_RESTORE / LINK_SET endpoints (router node ids, as
+  // reported by LINKS) and the new latency for LINK_SET.
+  std::size_t link_u = 0;
+  std::size_t link_v = 0;
+  double latency_ms = 0.0;
+  // LINKS: max links listed per response line.
+  std::size_t limit = 16;
 
   // SLEEP
   double sleep_ms = 0.0;

@@ -54,33 +54,37 @@ std::vector<LinkEndpoints> sample_failable_links(const NetworkTopology& net,
   std::vector<LinkEndpoints> chosen;
   for (const LinkEndpoints& link : candidates) {
     if (chosen.size() >= budget) break;
-    if (!scratch.graph.remove_edge(link.first, link.second)) continue;
+    if (!scratch.graph.has_edge(link.first, link.second)) continue;
+    // fail_link remembers the props, so a stranding failure is undone with
+    // restore_link instead of hunting the original properties down.
+    scratch.fail_link(link.first, link.second);
     if (all_devices_served(scratch)) {
       chosen.push_back(link);
     } else {
-      // Undo: this failure would strand a device.
-      const auto props = [&] {
-        // Recover the original link properties from the unmodified net.
-        for (const Adjacency& adj : net.graph.neighbors(link.first)) {
-          if (adj.to == link.second) return adj.props;
-        }
-        throw std::logic_error("sample_failable_links: lost link props");
-      }();
-      scratch.graph.add_edge(link.first, link.second, props);
+      scratch.restore_link(link.first, link.second);
     }
   }
   return chosen;
 }
 
+void fail_links(NetworkTopology& net,
+                const std::vector<LinkEndpoints>& links) {
+  for (const LinkEndpoints& link : links) {
+    net.fail_link(link.first, link.second);
+  }
+}
+
+void restore_links(NetworkTopology& net,
+                   const std::vector<LinkEndpoints>& links) {
+  for (auto it = links.rbegin(); it != links.rend(); ++it) {
+    net.restore_link(it->first, it->second);
+  }
+}
+
 NetworkTopology with_failed_links(const NetworkTopology& net,
                                   const std::vector<LinkEndpoints>& links) {
   NetworkTopology degraded = net;
-  for (const LinkEndpoints& link : links) {
-    if (!degraded.graph.remove_edge(link.first, link.second)) {
-      throw std::invalid_argument(
-          "with_failed_links: link does not exist in the network");
-    }
-  }
+  fail_links(degraded, links);
   return degraded;
 }
 

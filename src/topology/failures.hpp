@@ -28,10 +28,23 @@ using LinkEndpoints = std::pair<NodeId, NodeId>;
 [[nodiscard]] std::vector<LinkEndpoints> sample_failable_links(
     const NetworkTopology& net, double fraction, util::Rng& rng);
 
+/// Fails each link in place (NetworkTopology::fail_link), recording it for
+/// restore_links(). Throws std::invalid_argument if any link does not
+/// exist; links before the bad one stay failed.
+void fail_links(NetworkTopology& net, const std::vector<LinkEndpoints>& links);
+
+/// Restores each link in place (NetworkTopology::restore_link), in reverse
+/// order. Throws std::invalid_argument if any link is not failed.
+void restore_links(NetworkTopology& net,
+                   const std::vector<LinkEndpoints>& links);
+
 /// A copy of `net` with the given links removed. Throws
 /// std::invalid_argument if any link does not exist.
-[[nodiscard]] NetworkTopology with_failed_links(
-    const NetworkTopology& net, const std::vector<LinkEndpoints>& links);
+[[deprecated(
+    "copies the whole network per failure set; use fail_links/restore_links "
+    "in place (or an incr::IncrementalDelayEngine) instead")]] [[nodiscard]]
+NetworkTopology with_failed_links(const NetworkTopology& net,
+                                  const std::vector<LinkEndpoints>& links);
 
 /// True iff every IoT device can still reach at least one edge server.
 [[nodiscard]] bool all_devices_served(const NetworkTopology& net);

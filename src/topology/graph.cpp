@@ -68,6 +68,36 @@ bool Graph::has_edge(NodeId u, NodeId v) const {
                      [v](const Adjacency& a) { return a.to == v; });
 }
 
+const EdgeProps* Graph::edge_props(NodeId u, NodeId v) const {
+  for (const Adjacency& adj : adjacency_.at(u)) {
+    if (adj.to == v) return &adj.props;
+  }
+  return nullptr;
+}
+
+bool Graph::set_edge_latency(NodeId u, NodeId v, double latency_ms) {
+  if (!(latency_ms > 0.0)) {
+    throw std::invalid_argument(
+        "Graph::set_edge_latency: latency must be positive");
+  }
+  if (u >= node_count() || v >= node_count()) return false;
+  // Mirror entries are kept in matching insertion order (add_edge appends to
+  // both lists; remove_edge/release_node erase the first match from both), so
+  // rewriting the first match on each side updates one undirected edge.
+  const auto rewrite_one = [this, latency_ms](NodeId from, NodeId to) {
+    for (Adjacency& adj : adjacency_[from]) {
+      if (adj.to == to) {
+        adj.props.latency_ms = latency_ms;
+        return true;
+      }
+    }
+    return false;
+  };
+  if (!rewrite_one(u, v)) return false;
+  rewrite_one(v, u);
+  return true;
+}
+
 bool Graph::remove_edge(NodeId u, NodeId v) {
   if (u >= node_count() || v >= node_count()) return false;
   const auto erase_one = [this](NodeId from, NodeId to) {

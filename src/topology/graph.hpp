@@ -77,9 +77,18 @@ class Graph {
 
   [[nodiscard]] bool has_edge(NodeId u, NodeId v) const;
 
+  /// Properties of the first u–v edge, or nullptr if absent. The pointer is
+  /// invalidated by any mutation of u's adjacency.
+  [[nodiscard]] const EdgeProps* edge_props(NodeId u, NodeId v) const;
+
   /// Removes one undirected edge u–v (the first match if parallel edges
   /// exist). Returns false if no such edge. Supports failure injection.
   bool remove_edge(NodeId u, NodeId v);
+
+  /// Rewrites the latency of the first u–v edge in place (both mirror
+  /// entries). Returns false if no such edge; throws std::invalid_argument
+  /// for non-positive latency. Supports live link reweighting.
+  bool set_edge_latency(NodeId u, NodeId v, double latency_ms);
 
   /// Degree of `node` (number of incident undirected edges).
   [[nodiscard]] std::size_t degree(NodeId node) const {

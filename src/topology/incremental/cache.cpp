@@ -1,0 +1,108 @@
+#include "topology/incremental/cache.hpp"
+
+#include <bit>
+
+#include "util/rng.hpp"
+
+namespace tacc::topo::incr {
+
+DelayMatrixCache::DelayMatrixCache(IncrementalDelayEngine& engine)
+    : engine_(&engine) {}
+
+void DelayMatrixCache::fill_row(std::size_t row) {
+  const NodeId node = nodes_[row];
+  auto& values = rows_[row];
+  values.resize(engine_->server_count());
+  for (std::size_t j = 0; j < values.size(); ++j) {
+    values[j] = engine_->delay_ms(j, node);
+  }
+  row_epochs_[row] = engine_->epoch();
+}
+
+void DelayMatrixCache::bind_row(std::size_t row, NodeId node) {
+  if (row >= rows_.size()) {
+    rows_.resize(row + 1);
+    nodes_.resize(row + 1, kInvalidNode);
+    row_epochs_.resize(row + 1, 0);
+  }
+  if (node >= node_to_row_.size()) {
+    node_to_row_.resize(node + 1, kUnbound);
+  }
+  if (nodes_[row] != kInvalidNode) {
+    node_to_row_[nodes_[row]] = kUnbound;
+  } else {
+    ++bound_;
+  }
+  nodes_[row] = node;
+  node_to_row_[node] = row;
+  fill_row(row);
+}
+
+void DelayMatrixCache::unbind_row(std::size_t row) {
+  if (row >= rows_.size() || nodes_[row] == kInvalidNode) return;
+  node_to_row_[nodes_[row]] = kUnbound;
+  nodes_[row] = kInvalidNode;
+  --bound_;
+}
+
+std::size_t DelayMatrixCache::refresh() {
+  drain_scratch_.clear();
+  engine_->drain_dirty(drain_scratch_);
+  std::size_t refreshed = 0;
+  for (const NodeId node : drain_scratch_) {
+    if (node >= node_to_row_.size()) continue;
+    const std::size_t row = node_to_row_[node];
+    if (row == kUnbound) continue;
+    fill_row(row);
+    ++refreshed;
+  }
+  rows_refreshed_ += refreshed;
+  rows_saved_ += bound_ - refreshed;
+  return refreshed;
+}
+
+void DelayMatrixCache::refresh_all() {
+  drain_scratch_.clear();
+  engine_->drain_dirty(drain_scratch_);
+  for (std::size_t row = 0; row < rows_.size(); ++row) {
+    if (nodes_[row] == kInvalidNode) continue;
+    fill_row(row);
+    ++rows_refreshed_;
+  }
+}
+
+DelayMatrix DelayMatrixCache::materialize() const {
+  DelayMatrix matrix(rows_.size(), engine_->server_count(), kUnreachable);
+  for (std::size_t i = 0; i < rows_.size(); ++i) {
+    if (nodes_[i] == kInvalidNode) continue;
+    for (std::size_t j = 0; j < rows_[i].size(); ++j) {
+      matrix.set(i, j, rows_[i][j]);
+    }
+  }
+  return matrix;
+}
+
+std::uint64_t DelayMatrixCache::fingerprint() const {
+  // Same splitmix64 chaining as Scenario::fingerprint(): order-sensitive,
+  // platform-stable. The epoch ties the digest to the mutation history even
+  // when a fail/restore pair returns the values to their start state.
+  std::uint64_t state = 0x7ACC5EEDULL;
+  std::uint64_t digest = 0;
+  const auto mix = [&state, &digest](std::uint64_t value) {
+    state ^= value;
+    digest = util::splitmix64(state);
+  };
+  mix(engine_->epoch());
+  mix(static_cast<std::uint64_t>(bound_));
+  for (std::size_t i = 0; i < rows_.size(); ++i) {
+    if (nodes_[i] == kInvalidNode) continue;
+    mix(static_cast<std::uint64_t>(i));
+    mix(static_cast<std::uint64_t>(nodes_[i]));
+    for (const double value : rows_[i]) {
+      mix(std::bit_cast<std::uint64_t>(value));
+    }
+  }
+  return digest;
+}
+
+}  // namespace tacc::topo::incr

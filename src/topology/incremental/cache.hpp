@@ -1,0 +1,92 @@
+// DelayMatrixCache: versioned per-device delay rows over an
+// IncrementalDelayEngine.
+//
+// A row holds one node's delay to every edge server, read from the engine's
+// trees. Rows carry the engine epoch they were last written at; refresh()
+// drains the engine's dirty set and rewrites only the rows whose node
+// actually moved, so a link event that strands 2% of the network touches 2%
+// of the bound rows. fingerprint() digests the epoch together with the bound
+// row values, so equal fingerprints mean identical cached delays even as the
+// topology churns.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "topology/incremental/engine.hpp"
+
+namespace tacc::topo::incr {
+
+class DelayMatrixCache {
+ public:
+  static constexpr std::size_t kUnbound = static_cast<std::size_t>(-1);
+
+  /// The engine must outlive the cache.
+  explicit DelayMatrixCache(IncrementalDelayEngine& engine);
+
+  [[nodiscard]] std::size_t row_count() const noexcept {
+    return rows_.size();
+  }
+  [[nodiscard]] std::size_t bound_count() const noexcept { return bound_; }
+
+  /// Binds `row` (growing storage as needed) to `node` and fills it from
+  /// the engine's trees. Rebinds in place if the row was already bound.
+  void bind_row(std::size_t row, NodeId node);
+  /// Detaches `row` from its node; the values become stale and the row is
+  /// skipped by refresh() until bound again.
+  void unbind_row(std::size_t row);
+  [[nodiscard]] NodeId row_node(std::size_t row) const {
+    return nodes_.at(row);
+  }
+
+  /// The cached per-server delays for `row` (valid after bind/refresh).
+  [[nodiscard]] const std::vector<double>& row(std::size_t row) const {
+    return rows_[row];
+  }
+  /// Engine epoch at which `row` was last written.
+  [[nodiscard]] std::uint64_t row_epoch(std::size_t row) const {
+    return row_epochs_.at(row);
+  }
+  [[nodiscard]] std::uint64_t epoch() const noexcept {
+    return engine_->epoch();
+  }
+
+  /// Drains the engine's dirty nodes and rewrites the bound rows among
+  /// them. Returns the number of rows rewritten; the rest were saved.
+  std::size_t refresh();
+
+  /// Rewrites every bound row unconditionally (recovery hatch after an
+  /// engine rebuild()); counts toward rows_refreshed.
+  void refresh_all();
+
+  /// Cached rows as a dense DelayMatrix in row order (unbound rows filled
+  /// with kUnreachable).
+  [[nodiscard]] DelayMatrix materialize() const;
+
+  /// Digest of (engine epoch, bindings, bound row values); identical iff
+  /// the cached view is identical. Stable across platforms.
+  [[nodiscard]] std::uint64_t fingerprint() const;
+
+  // Cumulative refresh() accounting for STATS reporting.
+  [[nodiscard]] std::uint64_t rows_refreshed() const noexcept {
+    return rows_refreshed_;
+  }
+  [[nodiscard]] std::uint64_t rows_saved() const noexcept {
+    return rows_saved_;
+  }
+
+ private:
+  void fill_row(std::size_t row);
+
+  IncrementalDelayEngine* engine_;
+  std::vector<std::vector<double>> rows_;
+  std::vector<NodeId> nodes_;             ///< per row; kInvalidNode if unbound
+  std::vector<std::uint64_t> row_epochs_;
+  std::vector<std::size_t> node_to_row_;  ///< per node; kUnbound if none
+  std::size_t bound_ = 0;
+  std::vector<NodeId> drain_scratch_;
+  std::uint64_t rows_refreshed_ = 0;
+  std::uint64_t rows_saved_ = 0;
+};
+
+}  // namespace tacc::topo::incr

@@ -1,0 +1,183 @@
+#include "topology/incremental/dynamic_sssp.hpp"
+
+#include <algorithm>
+
+namespace tacc::topo::incr {
+
+DynamicSsspTree::DynamicSsspTree(const Graph& graph, NodeId source)
+    : source_(source) {
+  ShortestPathTree tree = dijkstra(graph, source);
+  dist_ = std::move(tree.distance_ms);
+  parent_ = std::move(tree.parent);
+  mark_.assign(dist_.size(), 0);
+  cmark_.assign(dist_.size(), 0);
+}
+
+void DynamicSsspTree::ensure_node_count(std::size_t count) {
+  if (count <= dist_.size()) return;
+  dist_.resize(count, kUnreachable);
+  parent_.resize(count, kInvalidNode);
+  mark_.resize(count, 0);
+  cmark_.resize(count, 0);
+}
+
+void DynamicSsspTree::bump_epochs() {
+  if (++mark_epoch_ == 0) {
+    std::fill(mark_.begin(), mark_.end(), 0);
+    mark_epoch_ = 1;
+  }
+  if (++cmark_epoch_ == 0) {
+    std::fill(cmark_.begin(), cmark_.end(), 0);
+    cmark_epoch_ = 1;
+  }
+}
+
+void DynamicSsspTree::improve(NodeId node, double dist, NodeId via,
+                              std::vector<NodeId>* changed) {
+  if (changed != nullptr && cmark_[node] != cmark_epoch_) {
+    cmark_[node] = cmark_epoch_;
+    changed->push_back(node);
+  }
+  dist_[node] = dist;
+  parent_[node] = via;
+  heap_.push_back({dist, node});
+  std::push_heap(heap_.begin(), heap_.end());
+}
+
+std::size_t DynamicSsspTree::run_heap(const Graph& graph, bool orphan_only,
+                                      std::vector<NodeId>* changed) {
+  std::size_t settled = 0;
+  while (!heap_.empty()) {
+    std::pop_heap(heap_.begin(), heap_.end());
+    const HeapEntry top = heap_.back();
+    heap_.pop_back();
+    if (top.dist > dist_[top.node]) continue;  // stale entry
+    ++settled;
+    for (const Adjacency& adj : graph.neighbors(top.node)) {
+      if (orphan_only && !marked(adj.to)) continue;
+      const double candidate = top.dist + adj.props.latency_ms;
+      if (candidate < dist_[adj.to]) {
+        improve(adj.to, candidate, top.node, changed);
+      }
+    }
+  }
+  return settled;
+}
+
+SsspUpdateStats DynamicSsspTree::on_edge_added(const Graph& graph, NodeId u,
+                                               NodeId v, double latency_ms,
+                                               std::vector<NodeId>& changed) {
+  ensure_node_count(graph.node_count());
+  bump_epochs();
+  heap_.clear();
+  const std::size_t before = changed.size();
+
+  const double via_u = dist_[u] + latency_ms;
+  if (via_u < dist_[v]) improve(v, via_u, u, &changed);
+  const double via_v = dist_[v] + latency_ms;
+  if (via_v < dist_[u]) improve(u, via_v, v, &changed);
+
+  SsspUpdateStats stats;
+  stats.nodes_affected = run_heap(graph, /*orphan_only=*/false, &changed);
+  stats.nodes_changed = changed.size() - before;
+  return stats;
+}
+
+SsspUpdateStats DynamicSsspTree::on_edge_removed(const Graph& graph, NodeId u,
+                                                 NodeId v,
+                                                 std::vector<NodeId>& changed) {
+  ensure_node_count(graph.node_count());
+  // Only the tree edge's child-side subtree can be affected: every other
+  // node's shortest path survives intact, and deletion never shortens one.
+  if (parent_[v] == u) return repair_orphans(graph, v, changed);
+  if (parent_[u] == v) return repair_orphans(graph, u, changed);
+  return {};
+}
+
+SsspUpdateStats DynamicSsspTree::on_edge_latency_changed(
+    const Graph& graph, NodeId u, NodeId v, double old_latency_ms,
+    double new_latency_ms, std::vector<NodeId>& changed) {
+  ensure_node_count(graph.node_count());
+  if (new_latency_ms < old_latency_ms) {
+    // A cheaper edge behaves exactly like a fresh insertion: only paths
+    // through it can improve.
+    return on_edge_added(graph, u, v, new_latency_ms, changed);
+  }
+  if (new_latency_ms > old_latency_ms) {
+    // A costlier non-tree edge changes nothing; a costlier tree edge is a
+    // deletion followed by re-relaxation in which the (still present,
+    // reweighted) edge competes like any other frontier edge.
+    if (parent_[v] == u) return repair_orphans(graph, v, changed);
+    if (parent_[u] == v) return repair_orphans(graph, u, changed);
+  }
+  return {};
+}
+
+SsspUpdateStats DynamicSsspTree::repair_orphans(const Graph& graph,
+                                                NodeId child,
+                                                std::vector<NodeId>& changed) {
+  bump_epochs();
+
+  // Collect the subtree below `child` by scanning each orphan's neighbors
+  // for nodes parented to it — tree children are always graph neighbors, so
+  // this costs O(Σ deg(orphan)) without maintaining child lists.
+  orphans_.clear();
+  old_dist_.clear();
+  mark_[child] = mark_epoch_;
+  orphans_.push_back(child);
+  for (std::size_t i = 0; i < orphans_.size(); ++i) {
+    const NodeId x = orphans_[i];
+    for (const Adjacency& adj : graph.neighbors(x)) {
+      if (!marked(adj.to) && parent_[adj.to] == x) {
+        mark_[adj.to] = mark_epoch_;
+        orphans_.push_back(adj.to);
+      }
+    }
+  }
+
+  for (const NodeId x : orphans_) {
+    old_dist_.push_back(dist_[x]);
+    dist_[x] = kUnreachable;
+    parent_[x] = kInvalidNode;
+  }
+
+  // Seed each orphan with its best non-orphan neighbor (those distances are
+  // final — deletion/increase can only lengthen paths), then settle the
+  // orphan region with a Dijkstra that never leaves it.
+  heap_.clear();
+  for (const NodeId x : orphans_) {
+    for (const Adjacency& adj : graph.neighbors(x)) {
+      if (marked(adj.to) || dist_[adj.to] == kUnreachable) continue;
+      const double candidate = dist_[adj.to] + adj.props.latency_ms;
+      if (candidate < dist_[x]) {
+        dist_[x] = candidate;
+        parent_[x] = adj.to;
+      }
+    }
+    if (dist_[x] != kUnreachable) {
+      heap_.push_back({dist_[x], x});
+      std::push_heap(heap_.begin(), heap_.end());
+    }
+  }
+  run_heap(graph, /*orphan_only=*/true, nullptr);
+
+  SsspUpdateStats stats;
+  stats.nodes_affected = orphans_.size();
+  for (std::size_t i = 0; i < orphans_.size(); ++i) {
+    if (dist_[orphans_[i]] != old_dist_[i]) {
+      changed.push_back(orphans_[i]);
+      ++stats.nodes_changed;
+    }
+  }
+  return stats;
+}
+
+std::size_t DynamicSsspTree::scratch_bytes() const noexcept {
+  return heap_.capacity() * sizeof(HeapEntry) +
+         mark_.capacity() * sizeof(std::uint32_t) +
+         cmark_.capacity() * sizeof(std::uint32_t) +
+         orphans_.capacity() * sizeof(NodeId) +
+         old_dist_.capacity() * sizeof(double);
+}
+
+}  // namespace tacc::topo::incr

@@ -38,6 +38,64 @@ NodeId NetworkTopology::acquire_node(Point2D pos, NodeKind kind) {
   return node;
 }
 
+namespace {
+
+[[nodiscard]] bool same_link(const FailedLink& link, NodeId u,
+                             NodeId v) noexcept {
+  return (link.u == u && link.v == v) || (link.u == v && link.v == u);
+}
+
+}  // namespace
+
+EdgeProps NetworkTopology::fail_link(NodeId u, NodeId v) {
+  const EdgeProps* props = graph.edge_props(u, v);
+  if (props == nullptr) {
+    throw std::invalid_argument(
+        "NetworkTopology::fail_link: link does not exist");
+  }
+  const EdgeProps saved = *props;
+  graph.remove_edge(u, v);
+  failed_links.push_back({u, v, saved});
+  return saved;
+}
+
+EdgeProps NetworkTopology::restore_link(NodeId u, NodeId v) {
+  for (auto it = failed_links.begin(); it != failed_links.end(); ++it) {
+    if (!same_link(*it, u, v)) continue;
+    const EdgeProps props = it->props;
+    // Re-add with the original endpoint order so restore is the exact
+    // inverse of fail_link (edge direction is cosmetic; the graph is
+    // undirected).
+    graph.add_edge(it->u, it->v, props);
+    failed_links.erase(it);
+    return props;
+  }
+  throw std::invalid_argument(
+      "NetworkTopology::restore_link: link is not failed");
+}
+
+EdgeProps NetworkTopology::set_link_latency(NodeId u, NodeId v,
+                                            double latency_ms) {
+  const EdgeProps* props = graph.edge_props(u, v);
+  if (props == nullptr) {
+    throw std::invalid_argument(
+        "NetworkTopology::set_link_latency: link does not exist");
+  }
+  const EdgeProps previous = *props;
+  if (!graph.set_edge_latency(u, v, latency_ms)) {
+    throw std::invalid_argument(
+        "NetworkTopology::set_link_latency: link does not exist");
+  }
+  return previous;
+}
+
+bool NetworkTopology::link_failed(NodeId u, NodeId v) const noexcept {
+  for (const FailedLink& link : failed_links) {
+    if (same_link(link, u, v)) return true;
+  }
+  return false;
+}
+
 NetworkTopology build_network(const GeoGraph& infrastructure,
                               std::span<const Point2D> iot_positions,
                               std::span<const Point2D> edge_positions,

@@ -54,6 +54,14 @@ class DelayMatrix {
   std::vector<double> data_;
 };
 
+/// A link taken out of service in place, with the properties needed to put
+/// it back. Endpoints are stored unordered (matched either way).
+struct FailedLink {
+  NodeId u = kInvalidNode;
+  NodeId v = kInvalidNode;
+  EdgeProps props;
+};
+
 /// Infrastructure + devices. IoT device k lives at graph node iot_nodes[k];
 /// edge server j at edge_nodes[j].
 struct NetworkTopology {
@@ -62,6 +70,7 @@ struct NetworkTopology {
   std::vector<NodeKind> kinds;     ///< per graph node
   std::vector<NodeId> iot_nodes;   ///< device index → node id
   std::vector<NodeId> edge_nodes;  ///< server index → node id
+  std::vector<FailedLink> failed_links;  ///< links failed in place
 
   [[nodiscard]] std::size_t iot_count() const noexcept {
     return iot_nodes.size();
@@ -82,6 +91,26 @@ struct NetworkTopology {
   /// Drops `node`'s access links and returns it to the graph's free list;
   /// its position/kind slots are reused by the next acquire_node().
   void release_node(NodeId node) { graph.release_node(node); }
+
+  // ---- In-place link mutation (live topology churn) -----------------------
+  // These mutate THIS network instead of copying it (contrast the deprecated
+  // topo::with_failed_links). Callers that maintain derived state (delay
+  // matrices, shortest-path trees) should route mutations through an
+  // incr::IncrementalDelayEngine so that state is updated incrementally.
+
+  /// Takes the u–v link out of service: removes the edge and records its
+  /// properties on `failed_links` for restore_link(). Throws
+  /// std::invalid_argument if no such link exists.
+  EdgeProps fail_link(NodeId u, NodeId v);
+  /// Puts a previously failed u–v link back with its recorded properties.
+  /// Throws std::invalid_argument if the link is not in `failed_links`.
+  EdgeProps restore_link(NodeId u, NodeId v);
+  /// Rewrites the latency of a live u–v link in place; returns the previous
+  /// properties. Throws std::invalid_argument if no such link exists or the
+  /// latency is not positive.
+  EdgeProps set_link_latency(NodeId u, NodeId v, double latency_ms);
+  /// True iff u–v is currently recorded as failed.
+  [[nodiscard]] bool link_failed(NodeId u, NodeId v) const noexcept;
 };
 
 struct AttachParams {

@@ -69,10 +69,16 @@ std::vector<std::uint32_t> bfs_hops(const Graph& graph, NodeId source) {
 
 std::vector<std::vector<double>> all_pairs_distances(const Graph& graph,
                                                      std::size_t threads) {
-  std::vector<std::vector<double>> result(graph.node_count());
-  runtime::parallel_for(graph.node_count(), threads, [&](std::size_t s) {
-    result[s] = dijkstra(graph, static_cast<NodeId>(s)).distance_ms;
-  });
+  // Delegate to the fan-out runner so there is exactly one parallel
+  // Dijkstra loop in the library.
+  std::vector<NodeId> sources(graph.node_count());
+  for (NodeId s = 0; s < sources.size(); ++s) sources[s] = s;
+  std::vector<ShortestPathTree> trees =
+      dijkstra_fan_out(graph, sources, threads);
+  std::vector<std::vector<double>> result(trees.size());
+  for (std::size_t s = 0; s < trees.size(); ++s) {
+    result[s] = std::move(trees[s].distance_ms);
+  }
   return result;
 }
 

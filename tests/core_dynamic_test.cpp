@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include "topology/failures.hpp"
 #include "util/rng.hpp"
 
 namespace tacc {
@@ -177,6 +178,98 @@ TEST(DynamicCluster, ChurnStormStaysFeasible) {
   // the cluster feasible throughout.
   EXPECT_TRUE(cluster.feasible());
   EXPECT_EQ(cluster.active_count(), 60u + joined.size());
+}
+
+TEST(DynamicClusterLinks, FailRestoreRoundTripRestoresDelaysExactly) {
+  DynamicCluster cluster = make_cluster(10);
+  const double baseline = cluster.avg_delay_ms();
+  const std::uint64_t fp0 = cluster.delay_fingerprint();
+  const auto links = topo::backbone_links(cluster.network());
+  ASSERT_FALSE(links.empty());
+
+  util::Rng rng(10);
+  const auto failable =
+      topo::sample_failable_links(cluster.network(), 0.2, rng);
+  ASSERT_FALSE(failable.empty());
+  std::uint64_t epoch = cluster.delay_epoch();
+  for (const auto& [u, v] : failable) {
+    const LinkUpdateReport report = cluster.fail_link(u, v);
+    EXPECT_GT(report.epoch, epoch);
+    epoch = report.epoch;
+    EXPECT_GT(report.latency_ms, 0.0);
+  }
+  EXPECT_EQ(cluster.link_stats().link_updates, failable.size());
+  for (auto it = failable.rbegin(); it != failable.rend(); ++it) {
+    cluster.restore_link(it->first, it->second);
+  }
+  // Delays return to their exact pre-failure values (bit-identical)…
+  EXPECT_EQ(cluster.avg_delay_ms(), baseline);
+  // …but the fingerprint still records that the topology churned.
+  EXPECT_NE(cluster.delay_fingerprint(), fp0);
+  EXPECT_EQ(cluster.link_stats().link_updates, 2 * failable.size());
+}
+
+TEST(DynamicClusterLinks, SetLinkLatencyReportsPreviousAndMovesDelays) {
+  DynamicCluster cluster = make_cluster(11);
+  const double baseline = cluster.avg_delay_ms();
+  const auto links = topo::backbone_links(cluster.network());
+  ASSERT_FALSE(links.empty());
+
+  std::vector<double> original(links.size());
+  for (std::size_t i = 0; i < links.size(); ++i) {
+    const auto* props =
+        cluster.network().graph.edge_props(links[i].first, links[i].second);
+    ASSERT_NE(props, nullptr);
+    original[i] = props->latency_ms;
+    const LinkUpdateReport report = cluster.set_link_latency(
+        links[i].first, links[i].second, original[i] * 10.0);
+    EXPECT_DOUBLE_EQ(report.latency_ms, original[i]);
+  }
+  // Every backbone link 10x slower: the mean delay must strictly rise.
+  EXPECT_GT(cluster.avg_delay_ms(), baseline);
+  for (std::size_t i = 0; i < links.size(); ++i) {
+    cluster.set_link_latency(links[i].first, links[i].second, original[i]);
+  }
+  EXPECT_EQ(cluster.avg_delay_ms(), baseline);
+}
+
+TEST(DynamicClusterLinks, LinkVerbsRequireRouterEndpoints) {
+  DynamicCluster cluster = make_cluster(12);
+  const topo::NodeId device = cluster.network().iot_nodes.front();
+  const topo::NodeId server = cluster.network().edge_nodes.front();
+  const auto links = topo::backbone_links(cluster.network());
+  ASSERT_FALSE(links.empty());
+  const auto [u, v] = links.front();
+
+  EXPECT_THROW(cluster.fail_link(device, v), std::invalid_argument);
+  EXPECT_THROW(cluster.fail_link(u, server), std::invalid_argument);
+  EXPECT_THROW(cluster.set_link_latency(device, server, 1.0),
+               std::invalid_argument);
+  // Restoring a link that is not failed (or failing one twice) throws too.
+  EXPECT_THROW(cluster.restore_link(u, v), std::invalid_argument);
+  cluster.fail_link(u, v);
+  EXPECT_THROW(cluster.fail_link(u, v), std::invalid_argument);
+  cluster.restore_link(u, v);
+}
+
+TEST(DynamicClusterLinks, StatsCountSavingsAndRefreshes) {
+  DynamicCluster cluster = make_cluster(13);
+  const auto links = topo::backbone_links(cluster.network());
+  ASSERT_FALSE(links.empty());
+  const auto [u, v] = links.front();
+
+  const LinkUpdateReport failed = cluster.fail_link(u, v);
+  const LinkUpdateReport restored = cluster.restore_link(u, v);
+  // Incrementality: each update must leave some tree nodes untouched
+  // relative to a full recompute.
+  EXPECT_GT(failed.nodes_saved + restored.nodes_saved, 0u);
+  // Every bound row is either refreshed or saved on each of the 2 updates.
+  EXPECT_EQ(cluster.delay_rows_saved() + cluster.delay_rows_refreshed(),
+            2 * cluster.device_slot_count());
+  EXPECT_EQ(cluster.delay_rows_refreshed(),
+            failed.rows_refreshed + restored.rows_refreshed);
+  EXPECT_EQ(cluster.link_stats().nodes_affected,
+            failed.nodes_affected + restored.nodes_affected);
 }
 
 TEST(DynamicCluster, LoadsMatchAssignments) {

@@ -116,6 +116,52 @@ TEST(Engine, GlobalAndSessionStats) {
   EXPECT_EQ(call(engine, "STATS nosuch").rfind("ERR NOT_FOUND", 0), 0u);
 }
 
+TEST(Engine, LinkChurnRoundTripThroughWireVerbs) {
+  Engine engine(small_options());
+  ASSERT_EQ(call(engine, "CONFIGURE net 30 4 seed=5").rfind("OK", 0), 0u);
+
+  // Discover a live backbone link via the LINKS diagnostic verb.
+  const std::string links = call(engine, "LINKS net limit=1");
+  ASSERT_EQ(links.rfind("OK", 0), 0u) << links;
+  ASSERT_NE(links.find("failed=0"), std::string::npos) << links;
+  const std::size_t at = links.find("links=");
+  ASSERT_NE(at, std::string::npos) << links;
+  const std::size_t dash = links.find('-', at);
+  const std::size_t end = links.find_first_of(", ", dash);
+  ASSERT_NE(dash, std::string::npos) << links;
+  const std::string u = links.substr(at + 6, dash - (at + 6));
+  const std::string v = links.substr(dash + 1, end - (dash + 1));
+
+  const std::string failed = call(engine, "LINK_FAIL net " + u + " " + v);
+  ASSERT_EQ(failed.rfind("OK", 0), 0u) << failed;
+  EXPECT_NE(failed.find("epoch="), std::string::npos);
+  EXPECT_NE(failed.find("rows_refreshed="), std::string::npos);
+  EXPECT_NE(call(engine, "LINKS net limit=1").find("failed=1"),
+            std::string::npos);
+
+  // Failing the same link twice is a precondition violation.
+  EXPECT_EQ(call(engine, "LINK_FAIL net " + u + " " + v)
+                .rfind("ERR BAD_REQUEST", 0),
+            0u);
+  ASSERT_EQ(call(engine, "LINK_RESTORE net " + u + " " + v).rfind("OK", 0),
+            0u);
+  const std::string set = call(engine, "LINK_SET net " + u + " " + v + " 9.5");
+  ASSERT_EQ(set.rfind("OK", 0), 0u) << set;
+  EXPECT_NE(set.find("latency_ms="), std::string::npos);  // previous latency
+
+  // An out-of-range endpoint is rejected before touching the topology.
+  EXPECT_EQ(call(engine, "LINK_FAIL net 999999 0").rfind("ERR BAD_REQUEST", 0),
+            0u);
+
+  engine.drain();
+  const std::string stats = call(engine, "STATS net");
+  // 3 successful updates (fail, restore, set); rejected ones don't count.
+  EXPECT_NE(stats.find("link_updates=3"), std::string::npos) << stats;
+  EXPECT_NE(stats.find("delay_epoch="), std::string::npos);
+  EXPECT_NE(stats.find("link_nodes_affected="), std::string::npos);
+  EXPECT_NE(stats.find("delay_rows_refreshed="), std::string::npos);
+}
+
 TEST(Engine, StatsAnswersWhileSessionIsBusy) {
   Engine engine(small_options());
   ASSERT_EQ(call(engine, "CONFIGURE busy 20 3 seed=4").rfind("OK", 0), 0u);

@@ -74,6 +74,36 @@ TEST(Protocol, ServerVerbsParseIndex) {
   EXPECT_EQ(parse_ok("EVACUATE s 2").index, 2u);
 }
 
+TEST(Protocol, LinkVerbsParseEndpoints) {
+  const Request failed = parse_ok("LINK_FAIL s 12 34");
+  EXPECT_EQ(failed.verb, Verb::kLinkFail);
+  EXPECT_EQ(failed.link_u, 12u);
+  EXPECT_EQ(failed.link_v, 34u);
+  EXPECT_EQ(parse_ok("LINK_RESTORE s 12 34").verb, Verb::kLinkRestore);
+
+  const Request set = parse_ok("LINK_SET s 12 34 7.5 timeout_ms=100");
+  EXPECT_EQ(set.verb, Verb::kLinkSet);
+  EXPECT_DOUBLE_EQ(set.latency_ms, 7.5);
+  ASSERT_TRUE(set.timeout_ms.has_value());
+  EXPECT_DOUBLE_EQ(*set.timeout_ms, 100.0);
+
+  EXPECT_EQ(parse_ok("LINKS s").verb, Verb::kLinks);
+  EXPECT_EQ(parse_ok("LINKS s").limit, 16u);  // default
+  EXPECT_EQ(parse_ok("LINKS s limit=3").limit, 3u);
+}
+
+TEST(Protocol, LinkVerbsRejectMalformedArguments) {
+  parse_error("LINK_FAIL s 12");          // missing endpoint
+  parse_error("LINK_FAIL s a b");         // non-numeric endpoints
+  parse_error("LINK_RESTORE s -1 2");     // negative endpoint
+  parse_error("LINK_SET s 1 2");          // missing latency
+  parse_error("LINK_SET s 1 2 0");        // latency must be positive
+  parse_error("LINK_SET s 1 2 -3.5");
+  parse_error("LINK_FAIL s 1 2 limit=4");  // limit is LINKS-only
+  parse_error("LINKS s limit=0");
+  parse_error("LINKS s 5");  // bare token, not key=value
+}
+
 TEST(Protocol, SleepStatsPingShutdown) {
   const Request sleep = parse_ok("SLEEP s 250");
   EXPECT_EQ(sleep.verb, Verb::kSleep);

@@ -5,6 +5,9 @@
 #include "core/scenario.hpp"
 #include "topology/shortest_paths.hpp"
 
+// The deprecated copying helper stays covered until it is removed.
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+
 namespace tacc::topo {
 namespace {
 
@@ -94,6 +97,78 @@ TEST(WithFailedLinks, DelaysNeverImprove) {
       EXPECT_GE(after.at(i, j), before.at(i, j) - 1e-12);
     }
   }
+}
+
+TEST(FailLinks, InPlaceRoundTripRestoresDelaysExactly) {
+  util::Rng rng(12);
+  NetworkTopology net = test_net();
+  const auto failed = sample_failable_links(net, 0.25, rng);
+  if (failed.empty()) GTEST_SKIP() << "nothing failable in this topology";
+  const std::size_t edges_before = net.graph.edge_count();
+  const DelayMatrix before = compute_delay_matrix(net);
+
+  fail_links(net, failed);
+  EXPECT_EQ(net.graph.edge_count(), edges_before - failed.size());
+  EXPECT_EQ(net.failed_links.size(), failed.size());
+  for (const auto& [u, v] : failed) {
+    EXPECT_TRUE(net.link_failed(u, v));
+    EXPECT_TRUE(net.link_failed(v, u));  // endpoints match unordered
+    EXPECT_FALSE(net.graph.has_edge(u, v));
+  }
+
+  restore_links(net, failed);
+  EXPECT_EQ(net.graph.edge_count(), edges_before);
+  EXPECT_TRUE(net.failed_links.empty());
+  // Shortest-path delays are a function of the edge set, not adjacency
+  // order, so the round trip restores them bit-exactly.
+  const DelayMatrix after = compute_delay_matrix(net);
+  for (std::size_t i = 0; i < net.iot_count(); ++i) {
+    for (std::size_t j = 0; j < net.edge_count(); ++j) {
+      EXPECT_EQ(after.at(i, j), before.at(i, j));
+    }
+  }
+}
+
+TEST(FailLinks, MatchesDeprecatedCopyingHelper) {
+  util::Rng rng(13);
+  NetworkTopology net = test_net();
+  const auto failed = sample_failable_links(net, 0.2, rng);
+  const NetworkTopology degraded = with_failed_links(net, failed);
+  fail_links(net, failed);
+  const DelayMatrix copy_based = compute_delay_matrix(degraded);
+  const DelayMatrix in_place = compute_delay_matrix(net);
+  for (std::size_t i = 0; i < net.iot_count(); ++i) {
+    for (std::size_t j = 0; j < net.edge_count(); ++j) {
+      EXPECT_EQ(in_place.at(i, j), copy_based.at(i, j));
+    }
+  }
+}
+
+TEST(FailLinks, FailingUnknownOrRestoringLiveLinkThrows) {
+  NetworkTopology net = test_net();
+  EXPECT_THROW((void)net.fail_link(net.iot_nodes[0], net.iot_nodes[1]),
+               std::invalid_argument);
+  const auto [u, v] = backbone_links(net).front();
+  EXPECT_THROW((void)net.restore_link(u, v), std::invalid_argument);
+  EXPECT_THROW((void)net.set_link_latency(net.iot_nodes[0], net.iot_nodes[1],
+                                          1.0),
+               std::invalid_argument);
+  EXPECT_THROW((void)net.set_link_latency(u, v, 0.0), std::invalid_argument);
+}
+
+TEST(SetLinkLatency, RewritesInPlaceAndReturnsPrevious) {
+  NetworkTopology net = test_net();
+  const auto [u, v] = backbone_links(net).front();
+  const EdgeProps* before = net.graph.edge_props(u, v);
+  ASSERT_NE(before, nullptr);
+  const double old_latency = before->latency_ms;
+  const double old_bandwidth = before->bandwidth_mbps;
+  const EdgeProps previous = net.set_link_latency(u, v, old_latency * 2.0);
+  EXPECT_EQ(previous.latency_ms, old_latency);
+  const EdgeProps* after = net.graph.edge_props(v, u);  // mirror entry
+  ASSERT_NE(after, nullptr);
+  EXPECT_EQ(after->latency_ms, old_latency * 2.0);
+  EXPECT_EQ(after->bandwidth_mbps, old_bandwidth);  // bandwidth untouched
 }
 
 TEST(WithFailedLinks, NonexistentLinkThrows) {

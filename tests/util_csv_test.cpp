@@ -1,0 +1,86 @@
+#include "util/csv.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace tacc::util {
+namespace {
+
+TEST(CsvEscape, PlainFieldPassesThrough) {
+  EXPECT_EQ(csv_escape("hello"), "hello");
+  EXPECT_EQ(csv_escape(""), "");
+  EXPECT_EQ(csv_escape("3.14"), "3.14");
+}
+
+TEST(CsvEscape, QuotesFieldsWithSpecials) {
+  EXPECT_EQ(csv_escape("a,b"), "\"a,b\"");
+  EXPECT_EQ(csv_escape("line\nbreak"), "\"line\nbreak\"");
+  EXPECT_EQ(csv_escape("cr\rhere"), "\"cr\rhere\"");
+  EXPECT_EQ(csv_escape("say \"hi\""), "\"say \"\"hi\"\"\"");
+}
+
+TEST(CsvParseLine, SplitsPlainFields) {
+  EXPECT_EQ(csv_parse_line("a,b,c"),
+            (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_EQ(csv_parse_line(""), (std::vector<std::string>{""}));
+  EXPECT_EQ(csv_parse_line("a,,c"), (std::vector<std::string>{"a", "", "c"}));
+  EXPECT_EQ(csv_parse_line("trailing,"),
+            (std::vector<std::string>{"trailing", ""}));
+}
+
+TEST(CsvParseLine, HandlesQuotingAndEscapedQuotes) {
+  EXPECT_EQ(csv_parse_line("\"a,b\",c"),
+            (std::vector<std::string>{"a,b", "c"}));
+  EXPECT_EQ(csv_parse_line("\"say \"\"hi\"\"\""),
+            (std::vector<std::string>{"say \"hi\""}));
+  EXPECT_EQ(csv_parse_line("x,\"\",y"),
+            (std::vector<std::string>{"x", "", "y"}));
+}
+
+TEST(CsvParseLine, StripsCarriageReturnOutsideQuotes) {
+  EXPECT_EQ(csv_parse_line("a,b\r"), (std::vector<std::string>{"a", "b"}));
+  // Inside quotes a CR is data, not a line terminator.
+  EXPECT_EQ(csv_parse_line("\"a\rb\""), (std::vector<std::string>{"a\rb"}));
+}
+
+TEST(CsvRoundTrip, EscapeThenParseRecoversEveryField) {
+  const std::vector<std::string> fields = {
+      "plain", "", "with,comma", "with \"quotes\"", "multi\nline",
+      "\r", ",,,", "\"", "tail "};
+  std::string line;
+  for (std::size_t i = 0; i < fields.size(); ++i) {
+    if (i > 0) line.push_back(',');
+    line += csv_escape(fields[i]);
+  }
+  EXPECT_EQ(csv_parse_line(line), fields);
+}
+
+TEST(CsvWriter, WritesHeaderAndMixedRows) {
+  std::ostringstream out;
+  CsvWriter writer(out);
+  writer.header({"name", "count", "note"});
+  writer.row("alpha", 3, 1.5);
+  writer.row("needs,quoting", 0, "q\"q");
+  EXPECT_EQ(writer.rows_written(), 3u);
+  EXPECT_EQ(out.str(),
+            "name,count,note\n"
+            "alpha,3,1.5\n"
+            "\"needs,quoting\",0,\"q\"\"q\"\n");
+}
+
+TEST(CsvWriter, RowsRoundTripThroughParser) {
+  std::ostringstream out;
+  CsvWriter writer(out);
+  writer.row("a,b", "c\nd", "e\"f");
+  std::string line = out.str();
+  // One logical row: the embedded newline stays inside quotes; drop only
+  // the final terminator.
+  ASSERT_FALSE(line.empty());
+  line.pop_back();
+  EXPECT_EQ(csv_parse_line(line),
+            (std::vector<std::string>{"a,b", "c\nd", "e\"f"}));
+}
+
+}  // namespace
+}  // namespace tacc::util

@@ -1,0 +1,76 @@
+#include "util/flags.hpp"
+
+#include <gtest/gtest.h>
+
+namespace tacc::util {
+namespace {
+
+Flags parse(std::initializer_list<const char*> args) {
+  std::vector<const char*> argv = {"prog"};
+  argv.insert(argv.end(), args.begin(), args.end());
+  return Flags::parse(static_cast<int>(argv.size()), argv.data());
+}
+
+TEST(Flags, TypedGettersAndDefaults) {
+  const Flags flags =
+      parse({"--n=500", "--rate=2.5", "--algo=qlearning", "--verbose"});
+  EXPECT_EQ(flags.get_int("n", 0), 500);
+  EXPECT_DOUBLE_EQ(flags.get_double("rate", 0.0), 2.5);
+  EXPECT_EQ(flags.get_string("algo", "greedy"), "qlearning");
+  EXPECT_TRUE(flags.get_bool("verbose", false));  // bare flag reads as true
+  EXPECT_EQ(flags.get_int("missing", 42), 42);
+  EXPECT_EQ(flags.get_string("missing", "fallback"), "fallback");
+  EXPECT_FALSE(flags.get("missing").has_value());
+}
+
+TEST(Flags, BoolSpellings) {
+  const Flags flags = parse({"--a=1", "--b=yes", "--c=0", "--d=no",
+                             "--e=false", "--f=true"});
+  EXPECT_TRUE(flags.get_bool("a", false));
+  EXPECT_TRUE(flags.get_bool("b", false));
+  EXPECT_FALSE(flags.get_bool("c", true));
+  EXPECT_FALSE(flags.get_bool("d", true));
+  EXPECT_FALSE(flags.get_bool("e", true));
+  EXPECT_TRUE(flags.get_bool("f", false));
+}
+
+TEST(Flags, MalformedValuesThrow) {
+  const Flags flags = parse({"--n=12x", "--rate=fast", "--flag=maybe"});
+  EXPECT_THROW((void)flags.get_int("n", 0), std::invalid_argument);
+  EXPECT_THROW((void)flags.get_double("rate", 0.0), std::invalid_argument);
+  EXPECT_THROW((void)flags.get_bool("flag", false), std::invalid_argument);
+}
+
+TEST(Flags, MalformedFlagsThrowAtParse) {
+  EXPECT_THROW(parse({"--"}), std::invalid_argument);
+  EXPECT_THROW(parse({"--=value"}), std::invalid_argument);
+}
+
+TEST(Flags, DuplicateFlagLastOccurrenceWins) {
+  const Flags flags = parse({"--seed=1", "--seed=2", "--seed=3"});
+  EXPECT_EQ(flags.get_int("seed", 0), 3);
+}
+
+TEST(Flags, PositionalsKeepOrder) {
+  const Flags flags = parse({"first", "--n=1", "second", "-x", "third"});
+  // A single dash is not a flag prefix; it stays positional.
+  EXPECT_EQ(flags.positional(),
+            (std::vector<std::string>{"first", "second", "-x", "third"}));
+}
+
+TEST(Flags, UnusedReportsOnlyNeverReadFlags) {
+  const Flags flags = parse({"--seed=7", "--seeed=8", "--quick"});
+  EXPECT_EQ(flags.get_int("seed", 0), 7);
+  EXPECT_EQ(flags.unused(), (std::vector<std::string>{"quick", "seeed"}));
+  // Reading (even via a default-returning getter) consumes the flag.
+  EXPECT_TRUE(flags.get_bool("quick", false));
+  EXPECT_EQ(flags.unused(), (std::vector<std::string>{"seeed"}));
+}
+
+TEST(Flags, EmptyValueIsKeptVerbatim) {
+  const Flags flags = parse({"--tag="});
+  EXPECT_EQ(flags.get_string("tag", "default"), "");
+}
+
+}  // namespace
+}  // namespace tacc::util

@@ -41,6 +41,27 @@ expect_ok MOVE smoke 0 2.5 1.5
 expect_ok STATS smoke
 expect_ok STATS
 
+# Backbone link churn: discover a live router-router link via LINKS, fail
+# and restore it in place, and check STATS reports the engine epoch moving.
+LINKS_LINE=$("$CLIENT" --socket="$SOCK" LINKS smoke limit=1)
+echo "-> LINKS smoke limit=1: $LINKS_LINE"
+LINK=$(printf '%s\n' "$LINKS_LINE" | sed -n 's/.*links=\([0-9]*-[0-9]*\).*/\1/p')
+[ -n "$LINK" ] || { echo "FAIL: LINKS returned no backbone link"; exit 1; }
+U=${LINK%-*}
+V=${LINK#*-}
+printf 'LINK_FAIL smoke %s %s\nLINK_RESTORE smoke %s %s\n' \
+  "$U" "$V" "$U" "$V" | "$CLIENT" --socket="$SOCK" --stdin > "$OUT.links"
+cat "$OUT.links"
+[ "$(grep -c '^OK' "$OUT.links")" -eq 2 ] \
+  || { echo "FAIL: LINK_FAIL/LINK_RESTORE round trip failed"; exit 1; }
+# STATS snapshots flush per batch; query on a fresh connection after the
+# link batch has fully responded.
+STATS_LINE=$("$CLIENT" --socket="$SOCK" STATS smoke)
+echo "-> STATS smoke: $STATS_LINE"
+printf '%s\n' "$STATS_LINE" | grep -q 'link_updates=2' \
+  || { echo "FAIL: STATS did not report link_updates=2"; exit 1; }
+rm -f "$OUT.links"
+
 # Forced OVERLOADED: pipeline a SLEEP that occupies the session plus more
 # JOINs than the 2-deep admission queue can hold. The client exits 3 (some
 # ERR responses) — what matters is that every request got exactly one
