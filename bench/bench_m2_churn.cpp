@@ -161,6 +161,11 @@ int run(int argc, char** argv) {
     // boundary mid-iteration, so catch up here).
     const std::size_t done = latency_us.size();
     if (done >= next_emit || done == events) {
+      // Deep invariant sweep once per window: slot/row/load accounting, node
+      // recycling, and one shortest-path tree spot-checked against a fresh
+      // Dijkstra (rotating through servers across windows). The default
+      // abort handler makes any violation a hard bench failure.
+      cluster.check_invariants();
       const std::size_t lo = done > window ? done - window : 0;
       const double window_mean = mean(latency_us, lo, done);
       csv.writer().row(done, types.back(), window_mean,

@@ -167,6 +167,13 @@ int run(int argc, char** argv) {
         }
       }
       if (!ok) break;
+      // Deep validators at the same sampled epochs: dirty-set bookkeeping,
+      // row-epoch coherence, and dirty-set soundness of the cache. Spot
+      // checks are 0 here — the gate above already compared every tree
+      // against the fresh fan-out. The default abort handler makes any
+      // violation a hard bench failure.
+      engine.check_invariants(/*spot_check_trees=*/0);
+      cache.check_invariants();
     }
   }
 

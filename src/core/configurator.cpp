@@ -1,12 +1,12 @@
 #include "core/configurator.hpp"
 
-#include <cassert>
+#include "util/contracts.hpp"
 
 namespace tacc {
 
 ClusterConfiguration ClusterConfigurator::configure(
     const ConfigureRequest& request) const {
-  assert(scenario_ != nullptr && "ClusterConfigurator: scenario outlived");
+  TACC_ASSERT(scenario_ != nullptr, "ClusterConfigurator: scenario outlived");
   const gap::Instance& truth = scenario_->instance();
   solvers::SolverPtr solver = make_solver(request.algorithm, request.options);
 

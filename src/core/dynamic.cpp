@@ -1,10 +1,13 @@
 #include "core/dynamic.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <limits>
 #include <stdexcept>
+#include <string>
 
 #include "topology/shortest_paths.hpp"
+#include "util/contracts.hpp"
 
 namespace tacc {
 
@@ -127,9 +130,15 @@ void DynamicCluster::detach_device(std::size_t slot) {
 }
 
 JoinResult DynamicCluster::place_device(std::size_t slot) {
+  TACC_REQUIRE(slot < devices_.size());
   const ServerChoice choice = cheapest_feasible_server(slot);
+  TACC_ENSURE(choice.server < capacities_.size() && !failed_[choice.server],
+              "placement must land on a healthy server");
   assignment_[slot] = static_cast<std::int32_t>(choice.server);
   loads_[choice.server] += devices_[slot].demand;
+  TACC_ENSURE(!choice.feasible ||
+                  loads_[choice.server] <= capacities_[choice.server] + kEps,
+              "feasible placement overloaded its server");
   return {slot, choice.server, choice.feasible, !choice.feasible};
 }
 
@@ -187,6 +196,8 @@ void DynamicCluster::leave(std::size_t device_index) {
   }
   const auto j = static_cast<std::size_t>(assignment_[device_index]);
   loads_[j] -= devices_[device_index].demand;
+  TACC_ENSURE(loads_[j] >= -kEps,
+              "leave drove a server's load negative — double free?");
   assignment_[device_index] = gap::kUnassigned;
   detach_device(device_index);
   free_slots_.push_back(device_index);
@@ -380,6 +391,93 @@ LinkUpdateReport DynamicCluster::set_link_latency(topo::NodeId u,
   const topo::incr::EngineStats before = engine_.stats();
   const topo::EdgeProps previous = engine_.set_link_latency(u, v, latency_ms);
   return finish_link_update(before, previous.latency_ms);
+}
+
+void DynamicCluster::check_invariants(const InvariantOptions& options) const {
+  // ---- Slot accounting -----------------------------------------------------
+  TACC_CHECK_INVARIANT(assignment_.size() == devices_.size(),
+                       "assignment must cover every device slot");
+  TACC_CHECK_INVARIANT(net_.iot_nodes.size() == devices_.size(),
+                       "iot_nodes must cover every device slot");
+  TACC_CHECK_INVARIANT(
+      loads_.size() == capacities_.size() && failed_.size() == loads_.size(),
+      "per-server arrays must stay parallel");
+
+  std::vector<bool> on_free_list(devices_.size(), false);
+  for (const std::size_t slot : free_slots_) {
+    TACC_CHECK_INVARIANT(slot < devices_.size(),
+                         "free slot out of range: " + std::to_string(slot));
+    TACC_CHECK_INVARIANT(!on_free_list[slot], "slot on the free list twice: " +
+                                                  std::to_string(slot));
+    on_free_list[slot] = true;
+    TACC_CHECK_INVARIANT(assignment_[slot] == gap::kUnassigned,
+                         "free slot still assigned: " + std::to_string(slot));
+    TACC_CHECK_INVARIANT(net_.iot_nodes[slot] == topo::kInvalidNode,
+                         "free slot still holds a graph node: " +
+                             std::to_string(slot));
+  }
+
+  // ---- Load accounting + slot<->row binding --------------------------------
+  std::size_t active_seen = 0;
+  std::vector<double> recomputed(capacities_.size(), 0.0);
+  for (std::size_t i = 0; i < devices_.size(); ++i) {
+    if (assignment_[i] == gap::kUnassigned) {
+      TACC_CHECK_INVARIANT(on_free_list[i],
+                           "inactive slot missing from the free list: " +
+                               std::to_string(i));
+      TACC_CHECK_INVARIANT(
+          i >= cache_.row_count() || cache_.row_node(i) == topo::kInvalidNode,
+          "inactive slot still bound to a delay row: " + std::to_string(i));
+      continue;
+    }
+    ++active_seen;
+    TACC_CHECK_INVARIANT(!on_free_list[i],
+                         "active slot sits on the free list: " +
+                             std::to_string(i));
+    const auto j = static_cast<std::size_t>(assignment_[i]);
+    TACC_CHECK_INVARIANT(j < capacities_.size(),
+                         "assignment points past the server table: slot " +
+                             std::to_string(i));
+    TACC_CHECK_INVARIANT(devices_[i].demand >= 0.0,
+                         "negative demand on slot " + std::to_string(i));
+    recomputed[j] += devices_[i].demand;
+    TACC_CHECK_INVARIANT(i < cache_.row_count() &&
+                             cache_.row_node(i) == net_.iot_nodes[i],
+                         "delay row bound to the wrong graph node: slot " +
+                             std::to_string(i));
+    if (options.forbid_failed_residents) {
+      TACC_CHECK_INVARIANT(!failed_[j], "device assigned to failed server " +
+                                            std::to_string(j));
+    }
+  }
+  TACC_CHECK_INVARIANT(active_seen == active_,
+                       "active count out of sync with assignments");
+  TACC_CHECK_INVARIANT(active_ + free_slots_.size() == devices_.size(),
+                       "slots must be exactly active or free");
+
+  for (std::size_t j = 0; j < capacities_.size(); ++j) {
+    TACC_CHECK_INVARIANT(std::abs(loads_[j] - recomputed[j]) <= 1e-6,
+                         "load accounting drifted on server " +
+                             std::to_string(j) + " (recorded " +
+                             std::to_string(loads_[j]) + ", actual " +
+                             std::to_string(recomputed[j]) + ")");
+    if (options.require_feasible && !failed_[j]) {
+      TACC_CHECK_INVARIANT(loads_[j] <= capacities_[j] + kEps,
+                           "server " + std::to_string(j) +
+                               " past capacity with require_feasible set");
+    }
+  }
+
+  // ---- Node recycling ------------------------------------------------------
+  TACC_CHECK_INVARIANT(
+      net_.graph.live_node_count() ==
+          router_nodes_.size() + net_.edge_count() + active_,
+      "live graph nodes must be exactly routers + servers + active devices");
+
+  // ---- Underlying topology / engine / cache --------------------------------
+  net_.check_invariants();
+  engine_.check_invariants(options.delay_spot_checks);
+  cache_.check_invariants();
 }
 
 bool DynamicCluster::feasible() const noexcept {

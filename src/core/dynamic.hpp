@@ -191,6 +191,43 @@ class DynamicCluster {
     return loads_;
   }
 
+  // ---- Deep validation -----------------------------------------------------
+  /// What check_invariants() additionally enforces beyond the always-true
+  /// structural invariants. The two opt-in flags exist because the engine
+  /// deliberately relaxes them in documented states: the overload fallback
+  /// places past capacity when no healthy server has room, and deferred
+  /// drain (fail_server(j, false)) leaves residents on a failed server
+  /// until evacuate_server().
+  struct InvariantOptions {
+    /// Every healthy server within capacity (the paper's "no edge device
+    /// overloaded" guarantee). Assert only when no overload fallback is in
+    /// play.
+    bool require_feasible = false;
+    /// No device assigned to a failed server. Assert only when no deferred
+    /// drain is pending.
+    bool forbid_failed_residents = false;
+    /// Engine trees spot-checked bit-for-bit against from-scratch Dijkstra
+    /// (rotated by epoch). 0 skips the Dijkstra work.
+    std::size_t delay_spot_checks = 1;
+  };
+
+  /// Deep cross-subsystem validation, reported through the contracts
+  /// failure handler (src/util/contracts.hpp). Always checked:
+  ///  - slot accounting: devices/assignment/delay rows stay parallel;
+  ///    every slot is either active or parked on the free list exactly
+  ///    once; active_ matches;
+  ///  - load accounting: loads_[j] equals the demand sum of j's residents,
+  ///    and assignments point at real servers;
+  ///  - slot<->row binding: an active slot's delay row is bound to its
+  ///    graph node, a free slot's row is unbound;
+  ///  - node recycling: live graph nodes == routers + servers + active
+  ///    devices (a leak here is what bench_m2's gates watch);
+  ///  - the underlying NetworkTopology, IncrementalDelayEngine and
+  ///    DelayMatrixCache invariants (see their check_invariants()).
+  /// Cold path; meant for tests and sampled bench epochs.
+  void check_invariants(const InvariantOptions& options) const;
+  void check_invariants() const { check_invariants(InvariantOptions()); }
+
   // Churn bookkeeping (leak regression gates key off these: slot and node
   // counts must track peak population, never cumulative arrivals).
   /// Device slots ever allocated (== delay rows held).
@@ -209,6 +246,8 @@ class DynamicCluster {
   }
 
  private:
+  friend struct DynamicClusterTestPeer;  ///< corruption hook for tests
+
   struct ServerChoice {
     std::size_t server;
     bool feasible;  ///< false => overload fallback (least-utilized healthy)

@@ -91,7 +91,7 @@ TrainedPolicy load_policy(std::istream& in) {
     return fail("bad magic line");
   }
   TrainedPolicy policy;
-  if (!std::getline(in, line) || line.rfind("env,", 0) != 0) {
+  if (!std::getline(in, line) || !line.starts_with("env,")) {
     return fail("expected env line");
   }
   {
@@ -106,7 +106,7 @@ TrainedPolicy load_policy(std::istream& in) {
     }
     policy.env.shuffle_order = shuffle != 0;
   }
-  if (!std::getline(in, line) || line.rfind("table,", 0) != 0) {
+  if (!std::getline(in, line) || !line.starts_with("table,")) {
     return fail("expected table line");
   }
   std::size_t states = 0;

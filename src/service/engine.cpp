@@ -1,6 +1,7 @@
 #include "service/engine.hpp"
 
 #include <stdexcept>
+#include <string>
 #include <thread>
 #include <utility>
 #include <vector>
@@ -8,6 +9,7 @@
 #include "core/dynamic.hpp"
 #include "core/scenario.hpp"
 #include "topology/failures.hpp"
+#include "util/contracts.hpp"
 
 namespace tacc::service {
 
@@ -42,6 +44,42 @@ EngineCounters Engine::counters() const {
 std::size_t Engine::session_count() const {
   const std::scoped_lock lock(mutex_);
   return sessions_.size();
+}
+
+void Engine::check_invariants() const {
+  // Snapshot under the mutex, then check unlocked: the failure handler may
+  // throw, and must not do so while holding the engine lock.
+  EngineCounters counters;
+  std::size_t in_flight = 0;
+  std::size_t pending_total = 0;
+  std::size_t draining_sessions = 0;
+  {
+    const std::scoped_lock lock(mutex_);
+    counters = counters_;
+    in_flight = in_flight_;
+    for (const auto& [name, session] : sessions_) {
+      pending_total += session->pending.size();
+      if (session->draining) ++draining_sessions;
+    }
+  }
+  // Every admitted request is exactly one of: completed, failed, expired in
+  // the queue, or still in flight. Rejections never enter the identity —
+  // they were never admitted.
+  TACC_CHECK_INVARIANT(
+      counters.accepted == counters.completed + counters.failed +
+                               counters.rejected_deadline + in_flight,
+      "request accounting broke: accepted " +
+          std::to_string(counters.accepted) + " != completed " +
+          std::to_string(counters.completed) + " + failed " +
+          std::to_string(counters.failed) + " + expired " +
+          std::to_string(counters.rejected_deadline) + " + in-flight " +
+          std::to_string(in_flight));
+  TACC_CHECK_INVARIANT(pending_total <= in_flight,
+                       "queued events exceed the in-flight count");
+  TACC_CHECK_INVARIANT(in_flight <= options_.max_queue,
+                       "admission exceeded max_queue");
+  TACC_CHECK_INVARIANT(pending_total == 0 || draining_sessions > 0,
+                       "events queued with no drainer scheduled");
 }
 
 void Engine::submit(const Request& request, Responder respond) {
@@ -168,7 +206,7 @@ void Engine::drain_session(const std::shared_ptr<Session>& session) {
         continue;
       }
       std::string line = apply(*session, event.request);
-      const bool ok = line.rfind("OK", 0) == 0;
+      const bool ok = line.starts_with("OK");
       (ok ? completed : failed) += 1;
       latencies.push_back(
           std::chrono::duration<double, std::micro>(Clock::now() -

@@ -100,7 +100,19 @@ class Engine {
     return options_;
   }
 
+  /// Deep validation of the request-accounting invariants, reported through
+  /// the contracts failure handler. Under the engine mutex it must hold
+  /// that every admitted request is exactly one of: responded OK
+  /// (completed), responded ERR (failed), expired in the queue
+  /// (rejected_deadline), or still in flight — i.e.
+  ///   accepted == completed + failed + rejected_deadline + in_flight,
+  /// that queued events never exceed the in-flight count, and that
+  /// admission respects max_queue. Safe to call concurrently with traffic
+  /// (takes the mutex; holds it only to snapshot).
+  void check_invariants() const;
+
  private:
+  friend struct ServiceEngineTestPeer;  ///< corruption hook for tests
   using Clock = std::chrono::steady_clock;
 
   struct Event {

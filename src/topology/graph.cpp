@@ -2,6 +2,9 @@
 
 #include <algorithm>
 #include <stdexcept>
+#include <string>
+
+#include "util/contracts.hpp"
 
 namespace tacc::topo {
 
@@ -30,12 +33,15 @@ void Graph::release_node(NodeId node) {
   // the other endpoint (one mirror per entry, so parallel edges stay paired).
   for (const Adjacency& adj : adjacency_[node]) {
     auto& list = adjacency_[adj.to];
+    bool erased = false;
     for (auto it = list.begin(); it != list.end(); ++it) {
       if (it->to == node) {
         list.erase(it);
+        erased = true;
         break;
       }
     }
+    TACC_ASSERT(erased, "released node's edge had no mirror entry");
     --edges_;
   }
   adjacency_[node].clear();
@@ -114,6 +120,81 @@ bool Graph::remove_edge(NodeId u, NodeId v) {
   erase_one(v, u);
   --edges_;
   return true;
+}
+
+void Graph::check_invariants() const {
+  TACC_CHECK_INVARIANT(released_.size() == adjacency_.size(),
+                       "released bitmap must cover every node");
+  TACC_CHECK_INVARIANT(free_list_.size() <= adjacency_.size(),
+                       "free list larger than the node table");
+
+  // Free list vs released bitmap: same set, no duplicates, empty adjacency.
+  std::vector<bool> on_free_list(adjacency_.size(), false);
+  for (const NodeId node : free_list_) {
+    TACC_CHECK_INVARIANT(node < adjacency_.size(),
+                         "free-list id out of range: " + std::to_string(node));
+    TACC_CHECK_INVARIANT(!on_free_list[node],
+                         "node on the free list twice: " +
+                             std::to_string(node));
+    on_free_list[node] = true;
+    TACC_CHECK_INVARIANT(released_[node],
+                         "free-list node not marked released: " +
+                             std::to_string(node));
+    TACC_CHECK_INVARIANT(adjacency_[node].empty(),
+                         "released node still has edges: " +
+                             std::to_string(node));
+  }
+  for (NodeId node = 0; node < adjacency_.size(); ++node) {
+    TACC_CHECK_INVARIANT(released_[node] == on_free_list[node],
+                         "released node missing from the free list: " +
+                             std::to_string(node));
+  }
+
+  // Adjacency symmetry: mirror entries are kept in matching insertion order
+  // (see set_edge_latency), so the k-th u->v entry must pair with the k-th
+  // v->u entry, carrying identical properties.
+  std::size_t directed_entries = 0;
+  for (NodeId u = 0; u < adjacency_.size(); ++u) {
+    std::size_t own_rank = 0;  // rank of each u->v among u's entries to v
+    for (const Adjacency& adj : adjacency_[u]) {
+      ++directed_entries;
+      const NodeId v = adj.to;
+      TACC_CHECK_INVARIANT(v < adjacency_.size(),
+                           "edge endpoint out of range");
+      TACC_CHECK_INVARIANT(v != u, "self-loop at node " + std::to_string(u));
+      TACC_CHECK_INVARIANT(!released_[u] && !released_[v],
+                           "edge touches a released node");
+      TACC_CHECK_INVARIANT(adj.props.latency_ms > 0.0,
+                           "non-positive edge latency");
+      // Rank of this u->v entry among u's edges to v.
+      std::size_t rank = 0;
+      for (const Adjacency& prior : adjacency_[u]) {
+        if (&prior == &adj) break;
+        if (prior.to == v) ++rank;
+      }
+      own_rank = rank;
+      // Find the mirror of the same rank.
+      const Adjacency* mirror = nullptr;
+      std::size_t seen = 0;
+      for (const Adjacency& back : adjacency_[v]) {
+        if (back.to != u) continue;
+        if (seen == own_rank) {
+          mirror = &back;
+          break;
+        }
+        ++seen;
+      }
+      TACC_CHECK_INVARIANT(mirror != nullptr,
+                           "asymmetric adjacency: " + std::to_string(u) +
+                               "->" + std::to_string(v) + " has no mirror");
+      TACC_CHECK_INVARIANT(
+          mirror->props.latency_ms == adj.props.latency_ms &&
+              mirror->props.bandwidth_mbps == adj.props.bandwidth_mbps,
+          "mirror entries disagree on edge properties");
+    }
+  }
+  TACC_CHECK_INVARIANT(directed_entries == 2 * edges_,
+                       "edge count out of sync with adjacency storage");
 }
 
 double Graph::total_latency() const noexcept {

@@ -98,7 +98,20 @@ class Graph {
   /// Total latency-weighted size; useful as a quick structural fingerprint.
   [[nodiscard]] double total_latency() const noexcept;
 
+  /// Deep structural validation, reported through the contracts failure
+  /// handler (src/util/contracts.hpp):
+  ///  - free list / live nodes are disjoint, with consistent bookkeeping
+  ///    (every free-list id is marked released exactly once, released nodes
+  ///    have empty adjacency);
+  ///  - adjacency is symmetric: the k-th u->v entry mirrors the k-th v->u
+  ///    entry with identical properties, and edge_count() matches;
+  ///  - no self-loops, no edges touching released nodes, all latencies
+  ///    positive.
+  /// Cold path (O(V + E·deg)); meant for tests and sampled bench epochs.
+  void check_invariants() const;
+
  private:
+  friend struct GraphTestPeer;  ///< corruption hook for invariant tests
   std::vector<std::vector<Adjacency>> adjacency_;
   std::vector<bool> released_;      ///< per node: on the free list?
   std::vector<NodeId> free_list_;   ///< released ids, reused LIFO

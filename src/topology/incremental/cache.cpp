@@ -1,7 +1,9 @@
 #include "topology/incremental/cache.hpp"
 
 #include <bit>
+#include <string>
 
+#include "util/contracts.hpp"
 #include "util/rng.hpp"
 
 namespace tacc::topo::incr {
@@ -80,6 +82,50 @@ DelayMatrix DelayMatrixCache::materialize() const {
     }
   }
   return matrix;
+}
+
+void DelayMatrixCache::check_invariants() const {
+  TACC_CHECK_INVARIANT(
+      nodes_.size() == rows_.size() && row_epochs_.size() == rows_.size(),
+      "row/node/epoch arrays must stay parallel");
+
+  const std::uint64_t engine_epoch = engine_->epoch();
+  std::size_t bound_seen = 0;
+  for (std::size_t row = 0; row < rows_.size(); ++row) {
+    const NodeId node = nodes_[row];
+    if (node == kInvalidNode) continue;
+    ++bound_seen;
+    TACC_CHECK_INVARIANT(node < node_to_row_.size() &&
+                             node_to_row_[node] == row,
+                         "bound row missing from the node->row index: row " +
+                             std::to_string(row));
+    TACC_CHECK_INVARIANT(row_epochs_[row] <= engine_epoch,
+                         "row stamped with an epoch from the future: row " +
+                             std::to_string(row));
+    TACC_CHECK_INVARIANT(rows_[row].size() == engine_->server_count(),
+                         "bound row has the wrong width: row " +
+                             std::to_string(row));
+    // Dirty-set soundness: values that drifted from the engine's trees are
+    // only acceptable while the node is queued for the next refresh().
+    if (!engine_->is_dirty(node)) {
+      for (std::size_t j = 0; j < rows_[row].size(); ++j) {
+        TACC_CHECK_INVARIANT(
+            rows_[row][j] == engine_->delay_ms(j, node),
+            "stale cached delay with a clean dirty set: row " +
+                std::to_string(row) + ", server " + std::to_string(j));
+      }
+    }
+  }
+  TACC_CHECK_INVARIANT(bound_seen == bound_,
+                       "bound-row count out of sync with bindings");
+  for (std::size_t node = 0; node < node_to_row_.size(); ++node) {
+    const std::size_t row = node_to_row_[node];
+    if (row == kUnbound) continue;
+    TACC_CHECK_INVARIANT(row < nodes_.size() && nodes_[row] == node,
+                         "node->row index points at a row bound elsewhere: "
+                         "node " +
+                             std::to_string(node));
+  }
 }
 
 std::uint64_t DelayMatrixCache::fingerprint() const {

@@ -75,7 +75,19 @@ class DelayMatrixCache {
     return rows_saved_;
   }
 
+  /// Deep validation, reported through the contracts failure handler:
+  ///  - row/node/epoch arrays stay parallel, bound_ matches the bindings,
+  ///    and node_to_row_ is the exact inverse of nodes_;
+  ///  - per-row epoch coherence: no row is stamped past the engine epoch;
+  ///  - dirty-set soundness: a bound row whose cached values differ from
+  ///    the engine's current tree values must have its node in the engine's
+  ///    dirty set (i.e. a refresh() would rewrite it) — otherwise the cache
+  ///    is serving stale delays it believes are current.
+  /// Cold path; for tests and sampled bench epochs.
+  void check_invariants() const;
+
  private:
+  friend struct CacheTestPeer;  ///< corruption hook for invariant tests
   void fill_row(std::size_t row);
 
   IncrementalDelayEngine* engine_;

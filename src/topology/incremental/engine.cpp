@@ -1,6 +1,10 @@
 #include "topology/incremental/engine.hpp"
 
+#include <algorithm>
+#include <string>
+
 #include "runtime/thread_pool.hpp"
+#include "util/contracts.hpp"
 
 namespace tacc::topo::incr {
 
@@ -127,6 +131,51 @@ void IncrementalDelayEngine::rebuild() {
     if (in_dirty_[node] == 0) {
       in_dirty_[node] = 1;
       dirty_.push_back(node);
+    }
+  }
+}
+
+void IncrementalDelayEngine::check_invariants(
+    std::size_t spot_check_trees) const {
+  TACC_CHECK_INVARIANT(trees_.size() == net_->edge_count(),
+                       "one tree per edge server");
+  TACC_CHECK_INVARIANT(in_dirty_.size() >= net_->graph.node_count(),
+                       "dirty bitmap must cover every node");
+
+  // Dirty list and membership bitmap must describe the same set.
+  std::size_t flagged = 0;
+  for (const std::uint8_t flag : in_dirty_) flagged += flag != 0 ? 1 : 0;
+  TACC_CHECK_INVARIANT(flagged == dirty_.size(),
+                       "dirty list and bitmap disagree");
+  for (const NodeId node : dirty_) {
+    TACC_CHECK_INVARIANT(node < in_dirty_.size() && in_dirty_[node] != 0,
+                         "dirty node not flagged in the bitmap");
+  }
+
+  for (std::size_t j = 0; j < trees_.size(); ++j) {
+    TACC_CHECK_INVARIANT(trees_[j].source() == net_->edge_nodes[j],
+                         "tree rooted at the wrong server node");
+    TACC_CHECK_INVARIANT(trees_[j].node_count() >= net_->graph.node_count(),
+                         "tree not grown to the graph's node count");
+  }
+
+  // Exactness spot-check vs from-scratch Dijkstra, rotated by epoch so
+  // repeated calls (e.g. sampled bench epochs) sweep across servers.
+  const std::size_t checks = std::min(spot_check_trees, trees_.size());
+  for (std::size_t k = 0; k < checks; ++k) {
+    const std::size_t j =
+        (static_cast<std::size_t>(stats_.epoch) + k) % trees_.size();
+    const ShortestPathTree reference =
+        dijkstra(net_->graph, net_->edge_nodes[j]);
+    for (NodeId node = 0; node < net_->graph.node_count(); ++node) {
+      const double expected = reference.distance_ms[node];
+      const double actual = trees_[j].distance_ms(node);
+      // Bitwise agreement, except both-unreachable compares equal.
+      TACC_CHECK_INVARIANT(
+          actual == expected ||
+              (actual == kUnreachable && expected == kUnreachable),
+          "tree " + std::to_string(j) + " diverged from Dijkstra at node " +
+              std::to_string(node));
     }
   }
 }

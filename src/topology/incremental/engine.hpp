@@ -80,6 +80,26 @@ class IncrementalDelayEngine {
   /// Appends the dirty nodes to `out`, clears the set, returns the count.
   std::size_t drain_dirty(std::vector<NodeId>& out);
 
+  /// True iff `node` is currently in the dirty set (distance changed since
+  /// the last drain). Used by DelayMatrixCache::check_invariants to prove
+  /// stale rows are excused by dirtiness.
+  [[nodiscard]] bool is_dirty(NodeId node) const noexcept {
+    return node < in_dirty_.size() && in_dirty_[node] != 0;
+  }
+
+  /// Deep validation, reported through the contracts failure handler:
+  ///  - one tree per edge server, rooted at that server's node, sized to
+  ///    the graph;
+  ///  - dirty-set bookkeeping (dirty list and membership bitmap agree);
+  ///  - exactness spot-check: up to `spot_check_trees` trees (rotated by
+  ///    epoch so successive calls cover different servers) are compared
+  ///    bit-for-bit against a from-scratch Dijkstra on the live graph —
+  ///    the Ramalingam–Reps-style repair must be indistinguishable from a
+  ///    full recompute.
+  /// Cold path (each spot check is one Dijkstra); for tests and sampled
+  /// bench epochs.
+  void check_invariants(std::size_t spot_check_trees = 1) const;
+
   /// From-scratch reconstruction of every tree (and dirties every node).
   /// Recovery hatch for out-of-band topology edits; also used by tests.
   void rebuild();

@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <limits>
+#include <string>
 
 #include "topology/shortest_paths.hpp"
+#include "util/contracts.hpp"
 
 namespace tacc::topo {
 
@@ -94,6 +96,55 @@ bool NetworkTopology::link_failed(NodeId u, NodeId v) const noexcept {
     if (same_link(link, u, v)) return true;
   }
   return false;
+}
+
+void NetworkTopology::check_invariants() const {
+  graph.check_invariants();
+  TACC_CHECK_INVARIANT(positions.size() == graph.node_count(),
+                       "positions must cover every graph node");
+  TACC_CHECK_INVARIANT(kinds.size() == graph.node_count(),
+                       "kinds must cover every graph node");
+
+  for (const NodeId node : edge_nodes) {
+    TACC_CHECK_INVARIANT(node < graph.node_count(),
+                         "edge server node out of range");
+    TACC_CHECK_INVARIANT(!graph.node_released(node),
+                         "edge server node is on the free list");
+    TACC_CHECK_INVARIANT(kinds[node] == NodeKind::kEdgeServer,
+                         "edge server node has the wrong kind");
+  }
+  for (const NodeId node : iot_nodes) {
+    if (node == kInvalidNode) continue;  // detached device slot
+    TACC_CHECK_INVARIANT(node < graph.node_count(),
+                         "IoT device node out of range");
+    TACC_CHECK_INVARIANT(!graph.node_released(node),
+                         "IoT device node is on the free list");
+    TACC_CHECK_INVARIANT(kinds[node] == NodeKind::kIotDevice,
+                         "IoT device node has the wrong kind");
+  }
+
+  // Failed-link bookkeeping vs the live edge set. Pairs recorded more than
+  // once (possible with parallel links) are skipped for the absence check:
+  // one instance may legitimately still be live.
+  for (std::size_t a = 0; a < failed_links.size(); ++a) {
+    const FailedLink& link = failed_links[a];
+    TACC_CHECK_INVARIANT(
+        link.u < graph.node_count() && link.v < graph.node_count(),
+        "failed link endpoint out of range");
+    TACC_CHECK_INVARIANT(link.props.latency_ms > 0.0,
+                         "failed link saved with non-positive latency");
+    bool duplicated = false;
+    for (std::size_t b = 0; b < failed_links.size(); ++b) {
+      if (b != a && same_link(failed_links[b], link.u, link.v)) {
+        duplicated = true;
+        break;
+      }
+    }
+    TACC_CHECK_INVARIANT(
+        duplicated || !graph.has_edge(link.u, link.v),
+        "link recorded as failed but still present in the graph: " +
+            std::to_string(link.u) + "-" + std::to_string(link.v));
+  }
 }
 
 NetworkTopology build_network(const GeoGraph& infrastructure,

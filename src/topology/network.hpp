@@ -111,6 +111,18 @@ struct NetworkTopology {
   EdgeProps set_link_latency(NodeId u, NodeId v, double latency_ms);
   /// True iff u–v is currently recorded as failed.
   [[nodiscard]] bool link_failed(NodeId u, NodeId v) const noexcept;
+
+  /// Deep validation, reported through the contracts failure handler:
+  ///  - graph.check_invariants();
+  ///  - positions/kinds cover every graph node;
+  ///  - edge_nodes are live kEdgeServer nodes; iot_nodes are live
+  ///    kIotDevice nodes (kInvalidNode marks a detached device slot);
+  ///  - failed-link bookkeeping matches the edge set: a recorded failed
+  ///    link must NOT be present as a live edge (else restore_link would
+  ///    double it), its endpoints must be valid, and its saved properties
+  ///    restorable (positive latency).
+  /// Cold path; meant for tests and sampled bench epochs.
+  void check_invariants() const;
 };
 
 struct AttachParams {

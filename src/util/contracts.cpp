@@ -1,0 +1,57 @@
+#include "util/contracts.hpp"
+
+#include <atomic>
+#include <cstdlib>
+
+#include "util/log.hpp"
+
+namespace tacc::contracts {
+
+namespace {
+
+std::atomic<FailureHandler> g_handler{&abort_handler};
+
+}  // namespace
+
+std::string describe(const Violation& violation) {
+  std::string text = violation.kind;
+  text += " violated: ";
+  text += violation.condition;
+  if (!violation.message.empty()) {
+    text += " — ";
+    text += violation.message;
+  }
+  text += " [";
+  text += violation.file;
+  text += ':';
+  text += std::to_string(violation.line);
+  text += ']';
+  return text;
+}
+
+void abort_handler(const Violation& violation) {
+  util::log_error("contract ", describe(violation));
+  std::abort();
+}
+
+void throw_handler(const Violation& violation) {
+  throw ContractViolation(violation);
+}
+
+FailureHandler set_failure_handler(FailureHandler handler) noexcept {
+  if (handler == nullptr) handler = &abort_handler;
+  return g_handler.exchange(handler);
+}
+
+FailureHandler failure_handler() noexcept { return g_handler.load(); }
+
+void fail(const char* kind, const char* condition, const char* file, int line,
+          std::string message) {
+  const Violation violation{kind, condition, file, line, std::move(message)};
+  failure_handler()(violation);
+  // A handler that returns must not let execution continue past the broken
+  // contract — the guarded code would run on state known to be corrupt.
+  std::abort();
+}
+
+}  // namespace tacc::contracts

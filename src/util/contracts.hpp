@@ -1,0 +1,119 @@
+// Runtime contracts: TACC_ASSERT / TACC_REQUIRE / TACC_ENSURE macros plus
+// the always-on TACC_CHECK_INVARIANT used by the deep check_invariants()
+// validators.
+//
+// The three contract macros compile to nothing unless the build defines
+// TACC_ENABLE_CONTRACTS (the CMake option of the same name; ON by default
+// for Debug builds, OFF for Release hot paths). When compiled out the
+// condition is still type-checked via sizeof but never evaluated, so a
+// contract can never change Release behavior. TACC_CHECK_INVARIANT is NOT
+// gated: the validators it backs are cold-path, explicitly invoked
+// (tests, sampled bench epochs), and must work in every build type.
+//
+// What fires on violation is pluggable per process: the default handler
+// logs and aborts (the right behavior inside taccd — a broken invariant
+// means derived state is lies), while tests install throw_handler via
+// ScopedFailureHandler and assert on the ContractViolation. A handler that
+// returns is followed by std::abort(), so a violated contract never falls
+// through into the code it guards.
+//
+// Conditions containing unparenthesized commas (template arguments, braced
+// initializers) must be wrapped in parentheses, as with standard assert.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace tacc::contracts {
+
+/// Everything a failure handler learns about one violated contract.
+struct Violation {
+  const char* kind = "";       ///< "REQUIRE", "ENSURE", "ASSERT", "INVARIANT"
+  const char* condition = "";  ///< stringified condition text
+  const char* file = "";
+  int line = 0;
+  std::string message;  ///< optional caller-supplied context
+};
+
+/// Human-readable one-line rendering of a violation.
+[[nodiscard]] std::string describe(const Violation& violation);
+
+/// Thrown by throw_handler; what tests catch.
+class ContractViolation : public std::logic_error {
+ public:
+  explicit ContractViolation(const Violation& violation)
+      : std::logic_error(describe(violation)), kind_(violation.kind) {}
+
+  [[nodiscard]] const char* kind() const noexcept { return kind_; }
+
+ private:
+  const char* kind_;
+};
+
+using FailureHandler = void (*)(const Violation&);
+
+/// Default: log the violation at error level and std::abort(). Right for
+/// daemons, where continuing past a broken invariant serves corrupt state.
+void abort_handler(const Violation& violation);
+
+/// Throws ContractViolation. Right for tests, which assert on the throw.
+void throw_handler(const Violation& violation);
+
+/// Installs `handler` process-wide and returns the previous one. Passing
+/// nullptr restores abort_handler.
+FailureHandler set_failure_handler(FailureHandler handler) noexcept;
+[[nodiscard]] FailureHandler failure_handler() noexcept;
+
+/// RAII handler swap for test scopes.
+class ScopedFailureHandler {
+ public:
+  explicit ScopedFailureHandler(FailureHandler handler)
+      : previous_(set_failure_handler(handler)) {}
+  ~ScopedFailureHandler() { set_failure_handler(previous_); }
+  ScopedFailureHandler(const ScopedFailureHandler&) = delete;
+  ScopedFailureHandler& operator=(const ScopedFailureHandler&) = delete;
+
+ private:
+  FailureHandler previous_;
+};
+
+/// Invokes the installed handler; if it returns, aborts. Never returns.
+[[noreturn]] void fail(const char* kind, const char* condition,
+                       const char* file, int line, std::string message = {});
+
+#ifdef TACC_ENABLE_CONTRACTS
+#define TACC_CONTRACTS_ENABLED 1
+#else
+#define TACC_CONTRACTS_ENABLED 0
+#endif
+
+/// True when the contract macros are compiled in (build-time constant).
+[[nodiscard]] constexpr bool enabled() noexcept {
+  return TACC_CONTRACTS_ENABLED != 0;
+}
+
+}  // namespace tacc::contracts
+
+// Always-on check: backs check_invariants() validators and other cold-path
+// verification that must hold in every build type.
+#define TACC_CHECK_INVARIANT(cond, ...)                              \
+  ((cond) ? (void)0                                                  \
+          : ::tacc::contracts::fail("INVARIANT", #cond, __FILE__,    \
+                                    __LINE__ __VA_OPT__(, ) __VA_ARGS__))
+
+#if TACC_CONTRACTS_ENABLED
+#define TACC_CONTRACT_IMPL_(kind, cond, ...)                   \
+  ((cond) ? (void)0                                            \
+          : ::tacc::contracts::fail(kind, #cond, __FILE__,     \
+                                    __LINE__ __VA_OPT__(, ) __VA_ARGS__))
+#else
+// Type-check but never evaluate: a disabled contract cannot change behavior.
+#define TACC_CONTRACT_IMPL_(kind, cond, ...) ((void)sizeof(!(cond)))
+#endif
+
+/// Precondition at a function's entry (caller broke the deal).
+#define TACC_REQUIRE(...) TACC_CONTRACT_IMPL_("REQUIRE", __VA_ARGS__)
+/// Postcondition at a function's exit (we broke the deal).
+#define TACC_ENSURE(...) TACC_CONTRACT_IMPL_("ENSURE", __VA_ARGS__)
+/// Internal consistency mid-function.
+#define TACC_ASSERT(...) TACC_CONTRACT_IMPL_("ASSERT", __VA_ARGS__)

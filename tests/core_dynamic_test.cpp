@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include "topology/failures.hpp"
+#include "util/contracts.hpp"
 #include "util/rng.hpp"
 
 namespace tacc {
@@ -111,6 +112,7 @@ TEST(DynamicCluster, ChurnLeakRegression) {
   // N join/leave/move cycles must leave slot, row, and node storage exactly
   // at baseline — the old implementation leaked one node + access edge +
   // delay row per move.
+  const contracts::ScopedFailureHandler guard(&contracts::throw_handler);
   DynamicCluster cluster = make_cluster(6);
   util::Rng rng(99);
   const std::size_t slots = cluster.device_slot_count();
@@ -129,9 +131,11 @@ TEST(DynamicCluster, ChurnLeakRegression) {
     EXPECT_EQ(cluster.device_slot_count(), slots + 1);
     EXPECT_EQ(cluster.graph_node_count(), nodes + 1);
     EXPECT_EQ(cluster.live_graph_node_count(), nodes);
+    if (cycle % 10 == 0) cluster.check_invariants();
   }
   EXPECT_EQ(cluster.free_slot_count(), 1u);
   EXPECT_EQ(cluster.active_count(), 60u);
+  cluster.check_invariants();
 }
 
 TEST(DynamicCluster, RebalanceNeverIncreasesAvgDelay) {
@@ -157,6 +161,7 @@ TEST(DynamicCluster, RebalanceBudgetRespected) {
 }
 
 TEST(DynamicCluster, ChurnStormStaysFeasible) {
+  const contracts::ScopedFailureHandler guard(&contracts::throw_handler);
   DynamicCluster cluster = make_cluster(8);
   util::Rng rng(8);
   std::vector<std::size_t> joined;
@@ -178,6 +183,10 @@ TEST(DynamicCluster, ChurnStormStaysFeasible) {
   // the cluster feasible throughout.
   EXPECT_TRUE(cluster.feasible());
   EXPECT_EQ(cluster.active_count(), 60u + joined.size());
+  DynamicCluster::InvariantOptions strict;
+  strict.require_feasible = true;
+  strict.forbid_failed_residents = true;
+  cluster.check_invariants(strict);
 }
 
 TEST(DynamicClusterLinks, FailRestoreRoundTripRestoresDelaysExactly) {

@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "service/protocol.hpp"
+#include "util/contracts.hpp"
 #include "util/timer.hpp"
 
 namespace tacc::service {
@@ -55,6 +56,8 @@ TEST(Engine, ConfigureJoinMoveLeaveRoundTrip) {
   EXPECT_EQ(call(engine, "MOVE city 0 3.0 3.0").rfind("OK", 0), 0u);
   EXPECT_EQ(call(engine, "LEAVE city 40").rfind("OK", 0), 0u);
   EXPECT_EQ(engine.session_count(), 1u);
+  const contracts::ScopedFailureHandler guard(&contracts::throw_handler);
+  engine.check_invariants();
 }
 
 TEST(Engine, FailEvacuateRecoverRoundTrip) {
@@ -279,6 +282,8 @@ TEST(Engine, EveryRequestGetsExactlyOneResponse) {
   EXPECT_EQ(counters.accepted - 1 + counters.rejected_overload +
                 counters.rejected_shutdown,
             kBurst);
+  const contracts::ScopedFailureHandler guard(&contracts::throw_handler);
+  engine.check_invariants();
 }
 
 TEST(Engine, BatchingCoalescesBurstsIntoFewerDrains) {

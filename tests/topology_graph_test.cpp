@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include "tests/test_helpers.hpp"
+#include "util/contracts.hpp"
 
 namespace tacc::topo {
 namespace {
@@ -97,14 +98,17 @@ TEST(Graph, ReleaseNodeRemovesParallelEdges) {
 }
 
 TEST(Graph, AcquireReusesReleasedIdsLifo) {
+  const contracts::ScopedFailureHandler guard(&contracts::throw_handler);
   Graph g(3);
   g.release_node(1);
   g.release_node(2);
+  g.check_invariants();
   EXPECT_EQ(g.acquire_node(), 2u);  // most recently released first
   EXPECT_EQ(g.acquire_node(), 1u);
   EXPECT_EQ(g.acquire_node(), 3u);  // free list empty: append
   EXPECT_EQ(g.node_count(), 4u);
   EXPECT_EQ(g.released_node_count(), 0u);
+  g.check_invariants();
 }
 
 TEST(Graph, ReleasedNodesRejectEdgesAndDoubleRelease) {
@@ -121,6 +125,7 @@ TEST(Graph, ReleasedNodesRejectEdgesAndDoubleRelease) {
 }
 
 TEST(Graph, ReleaseCycleKeepsTotalLatencyConsistent) {
+  const contracts::ScopedFailureHandler guard(&contracts::throw_handler);
   Graph g(3);
   g.add_edge(0, 1, {2.0, 1.0});
   g.add_edge(1, 2, {3.0, 1.0});
@@ -129,6 +134,7 @@ TEST(Graph, ReleaseCycleKeepsTotalLatencyConsistent) {
   const NodeId node = g.acquire_node();
   g.add_edge(node, 1, {5.0, 1.0});
   EXPECT_DOUBLE_EQ(g.total_latency(), 7.0);
+  g.check_invariants();
 }
 
 TEST(KnownGraph, HelperShape) {

@@ -10,6 +10,7 @@
 #include "topology/failures.hpp"
 #include "topology/incremental/cache.hpp"
 #include "topology/shortest_paths.hpp"
+#include "util/contracts.hpp"
 #include "util/rng.hpp"
 
 namespace tacc::topo::incr {
@@ -97,6 +98,11 @@ TEST_P(IncrementalEquivalence, ThousandEventChurnMatchesFromScratch) {
   EXPECT_EQ(engine.stats().link_updates, fails + restores + reweights);
   EXPECT_EQ(engine.epoch(), engine.stats().link_updates);
 
+  // The deep validator agrees: dirty bookkeeping sound, every tree
+  // bit-identical to a from-scratch Dijkstra.
+  const contracts::ScopedFailureHandler guard(&contracts::throw_handler);
+  engine.check_invariants(net.edge_count());
+
   // Cross-check the final state against the O(V^3) reference as well
   // (tolerance: Floyd–Warshall associates sums differently).
   const auto reference = floyd_warshall(net.graph);
@@ -160,6 +166,8 @@ TEST(IncrementalDelayEngine, DeviceChurnKeepsTreesExact) {
     }
     ASSERT_TRUE(trees_match_rebuild(engine, net)) << "step " << step;
   }
+  const contracts::ScopedFailureHandler guard(&contracts::throw_handler);
+  engine.check_invariants(net.edge_count());
 }
 
 TEST(IncrementalDelayEngine, DirtyNodesDrainOnceAndCoverChanges) {
@@ -235,6 +243,12 @@ TEST(DelayMatrixCache, RefreshRewritesExactlyTheDirtyBoundRows) {
   EXPECT_LE(refreshed, cache.bound_count());
   EXPECT_EQ(cache.rows_refreshed(), refreshed);
   EXPECT_EQ(cache.rows_saved(), cache.bound_count() - refreshed);
+  {
+    // Post-refresh the cache must be provably current (dirty-set empty, all
+    // bound rows equal to the engine's trees).
+    const contracts::ScopedFailureHandler guard(&contracts::throw_handler);
+    cache.check_invariants();
+  }
 
   const DelayMatrix degraded = compute_delay_matrix(net);
   for (std::size_t i = 0; i < net.iot_count(); ++i) {

@@ -1,0 +1,137 @@
+// The contracts layer itself: handler plumbing, macro semantics in both
+// build configurations (TACC_ENABLE_CONTRACTS on and off), and the
+// always-on TACC_CHECK_INVARIANT that backs the check_invariants()
+// validators.
+#include "util/contracts.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace tacc::contracts {
+namespace {
+
+void ignoring_handler(const Violation&) {}
+
+TEST(Contracts, DescribeCarriesEveryField) {
+  const Violation violation{"REQUIRE", "x > 0", "core/foo.cpp", 42,
+                            "x was -3"};
+  const std::string text = describe(violation);
+  EXPECT_NE(text.find("REQUIRE"), std::string::npos);
+  EXPECT_NE(text.find("x > 0"), std::string::npos);
+  EXPECT_NE(text.find("core/foo.cpp:42"), std::string::npos);
+  EXPECT_NE(text.find("x was -3"), std::string::npos);
+}
+
+TEST(Contracts, SetFailureHandlerReturnsPrevious) {
+  const FailureHandler original = failure_handler();
+  EXPECT_EQ(set_failure_handler(&throw_handler), original);
+  EXPECT_EQ(failure_handler(), &throw_handler);
+  EXPECT_EQ(set_failure_handler(&ignoring_handler), &throw_handler);
+  // nullptr restores the default abort handler rather than installing a
+  // null callee.
+  EXPECT_EQ(set_failure_handler(nullptr), &ignoring_handler);
+  EXPECT_EQ(failure_handler(), &abort_handler);
+  set_failure_handler(original);
+}
+
+TEST(Contracts, ScopedFailureHandlerRestoresOnExit) {
+  const FailureHandler original = failure_handler();
+  {
+    ScopedFailureHandler guard(&throw_handler);
+    EXPECT_EQ(failure_handler(), &throw_handler);
+    {
+      ScopedFailureHandler inner(&ignoring_handler);
+      EXPECT_EQ(failure_handler(), &ignoring_handler);
+    }
+    EXPECT_EQ(failure_handler(), &throw_handler);
+  }
+  EXPECT_EQ(failure_handler(), original);
+}
+
+TEST(Contracts, CheckInvariantFiresInEveryBuildType) {
+  // TACC_CHECK_INVARIANT backs the check_invariants() validators and is NOT
+  // gated on TACC_ENABLE_CONTRACTS.
+  ScopedFailureHandler guard(&throw_handler);
+  TACC_CHECK_INVARIANT(1 + 1 == 2);  // true: no effect
+  bool threw = false;
+  try {
+    TACC_CHECK_INVARIANT(1 + 1 == 3, "arithmetic broke");
+  } catch (const ContractViolation& violation) {
+    threw = true;
+    EXPECT_STREQ(violation.kind(), "INVARIANT");
+    const std::string what = violation.what();
+    EXPECT_NE(what.find("1 + 1 == 3"), std::string::npos);
+    EXPECT_NE(what.find("arithmetic broke"), std::string::npos);
+  }
+  EXPECT_TRUE(threw);
+}
+
+TEST(Contracts, MacrosFireExactlyWhenEnabled) {
+  ScopedFailureHandler guard(&throw_handler);
+  if (enabled()) {
+    EXPECT_THROW(TACC_REQUIRE(false), ContractViolation);
+    EXPECT_THROW(TACC_ENSURE(false), ContractViolation);
+    EXPECT_THROW(TACC_ASSERT(false), ContractViolation);
+  } else {
+    EXPECT_NO_THROW(TACC_REQUIRE(false));
+    EXPECT_NO_THROW(TACC_ENSURE(false));
+    EXPECT_NO_THROW(TACC_ASSERT(false));
+  }
+  // A passing contract is silent in both configurations.
+  EXPECT_NO_THROW(TACC_REQUIRE(true));
+  EXPECT_NO_THROW(TACC_ENSURE(true));
+  EXPECT_NO_THROW(TACC_ASSERT(true));
+}
+
+TEST(Contracts, MacroKindsAreDistinguishable) {
+  if (!enabled()) GTEST_SKIP() << "contracts compiled out in this build";
+  ScopedFailureHandler guard(&throw_handler);
+  try {
+    TACC_REQUIRE(2 < 1, "caller handed us nonsense");
+    FAIL() << "TACC_REQUIRE(false) did not fire";
+  } catch (const ContractViolation& violation) {
+    EXPECT_STREQ(violation.kind(), "REQUIRE");
+    const std::string what = violation.what();
+    EXPECT_NE(what.find("2 < 1"), std::string::npos);
+    EXPECT_NE(what.find("caller handed us nonsense"), std::string::npos);
+  }
+  try {
+    TACC_ENSURE(false);
+    FAIL() << "TACC_ENSURE(false) did not fire";
+  } catch (const ContractViolation& violation) {
+    EXPECT_STREQ(violation.kind(), "ENSURE");
+  }
+}
+
+TEST(Contracts, DisabledConditionIsNeverEvaluated) {
+  // The compiled-out form must type-check the condition without running it:
+  // a contract can have no side effects in a Release binary.
+  ScopedFailureHandler guard(&throw_handler);
+  int evaluations = 0;
+  const auto probe = [&evaluations] {
+    ++evaluations;
+    return true;
+  };
+  TACC_ASSERT(probe());
+  TACC_REQUIRE(probe());
+  TACC_ENSURE(probe());
+  EXPECT_EQ(evaluations, enabled() ? 3 : 0);
+}
+
+using ContractsDeathTest = testing::Test;
+
+TEST(ContractsDeathTest, DefaultHandlerAborts) {
+  // No handler swap: the process-default abort_handler logs and aborts.
+  EXPECT_DEATH(fail("INVARIANT", "false", "here.cpp", 7, "boom"), "");
+}
+
+TEST(ContractsDeathTest, ReturningHandlerStillAborts) {
+  // fail() never returns even if a (buggy or custom) handler does: the code
+  // after a violated contract must not run on corrupt state.
+  ScopedFailureHandler guard(&ignoring_handler);
+  EXPECT_DEATH(fail("ASSERT", "x == y", "here.cpp", 9), "");
+}
+
+}  // namespace
+}  // namespace tacc::contracts

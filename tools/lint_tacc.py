@@ -1,0 +1,188 @@
+#!/usr/bin/env python3
+"""Project-rule linter for the tacc repo.
+
+Enforces the conventions clang-tidy cannot express:
+
+  R1  no raw assert() in src/ — use TACC_ASSERT/TACC_REQUIRE/TACC_ENSURE
+      (src/util/contracts.hpp) so checks route through the pluggable
+      failure handler and compile out consistently.
+  R2  no console I/O (std::cout/std::cerr/printf/puts) in src/ — library
+      code reports through util::log or return values; only util/log.cpp
+      (the sink itself) writes to a stream. Benches/tools/examples are
+      exempt: they ARE console programs.
+  R3  deprecated call sites: with_failed_links and
+      configure_topology_oblivious/configure_deadline_aware may appear only
+      in their defining files and their own tests. Everything else must use
+      the in-place mutation path / ConfigureRequest API.
+  R4  include hygiene: no uphill-relative includes ("../"), no
+      <bits/stdc++.h>, every header starts with #pragma once, and every
+      src/ .cpp includes its own header first (self-contained headers).
+  R5  NOLINT markers must carry a justification: "NOLINT(check): reason"
+      or a NOLINTNEXTLINE with a trailing explanation.
+
+Run from the repo root (or via the `lint` CMake target):
+    python3 tools/lint_tacc.py
+Exits 1 if any finding is reported, printing file:line: rule: message.
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parent.parent
+SRC_DIRS = ["src"]
+ALL_CODE_DIRS = ["src", "bench", "examples", "tools", "tests"]
+
+# R3: symbol -> files (relative to repo root) that may legitimately mention
+# it: the definition, its own tests, and the deprecation notices themselves.
+DEPRECATED_ALLOWLIST = {
+    "with_failed_links": {
+        "src/topology/failures.hpp",
+        "src/topology/failures.cpp",
+        "tests/topology_failures_test.cpp",
+    },
+    "configure_topology_oblivious": {
+        "src/core/configurator.hpp",
+        "src/core/configurator.cpp",
+        "tests/core_configurator_test.cpp",
+    },
+    "configure_deadline_aware": {
+        "src/core/configurator.hpp",
+        "src/core/configurator.cpp",
+        "tests/core_configurator_test.cpp",
+    },
+}
+
+# R2: the logging sink is the one legitimate stream writer in src/.
+CONSOLE_IO_ALLOWLIST = {"src/util/log.cpp"}
+
+RAW_ASSERT = re.compile(r"(?<![A-Za-z0-9_])assert\s*\(")
+CONSOLE_IO = re.compile(
+    r"std::(cout|cerr|printf|puts)\b|(?<![A-Za-z0-9_:.])(printf|puts)\s*\(")
+UPHILL_INCLUDE = re.compile(r'#\s*include\s*"\.\./')
+BITS_INCLUDE = re.compile(r"#\s*include\s*<bits/stdc\+\+\.h>")
+INCLUDE_LINE = re.compile(r'#\s*include\s*"([^"]+)"')
+NOLINT = re.compile(r"//\s*NOLINT(NEXTLINE)?(\(([^)]*)\))?(.*)")
+
+
+def strip_comments_and_strings(line: str) -> str:
+    """Crude single-line scrub: drops // comments and string literals so
+    rules don't fire on prose or formatted messages."""
+    line = re.sub(r'"(\\.|[^"\\])*"', '""', line)
+    line = re.sub(r"//.*$", "", line)
+    return line
+
+
+def iter_files(dirs: list[str], suffixes: tuple[str, ...]) -> list[Path]:
+    files: list[Path] = []
+    for d in dirs:
+        base = ROOT / d
+        if base.is_dir():
+            files.extend(p for p in sorted(base.rglob("*"))
+                         if p.suffix in suffixes and p.is_file())
+    return files
+
+
+def main() -> int:
+    findings: list[str] = []
+
+    def report(path: Path, line_no: int, rule: str, message: str) -> None:
+        rel = path.relative_to(ROOT)
+        findings.append(f"{rel}:{line_no}: {rule}: {message}")
+
+    # ---- src/-only rules (R1, R2, R4 self-include) --------------------------
+    for path in iter_files(SRC_DIRS, (".cpp", ".hpp")):
+        rel = str(path.relative_to(ROOT))
+        text = path.read_text(encoding="utf-8")
+        lines = text.splitlines()
+        in_block_comment = False
+
+        for i, raw in enumerate(lines, start=1):
+            line = raw
+            if in_block_comment:
+                if "*/" in line:
+                    line = line.split("*/", 1)[1]
+                    in_block_comment = False
+                else:
+                    continue
+            if "/*" in line and "*/" not in line:
+                in_block_comment = True
+                line = line.split("/*", 1)[0]
+            code = strip_comments_and_strings(line)
+
+            if rel != "src/util/contracts.hpp":
+                m = RAW_ASSERT.search(code)
+                if m and "static_assert" not in code:
+                    report(path, i, "R1",
+                           "raw assert() in library code; use TACC_ASSERT/"
+                           "TACC_REQUIRE/TACC_ENSURE (util/contracts.hpp)")
+            if rel not in CONSOLE_IO_ALLOWLIST and CONSOLE_IO.search(code):
+                if "snprintf" not in code:  # bounded formatting, not console IO
+                    report(path, i, "R2",
+                           "console I/O in library code; report via "
+                           "util::log or return values")
+
+        # R4: self-contained headers — a src/ .cpp includes its header first.
+        if path.suffix == ".cpp":
+            own = rel[len("src/"):-len(".cpp")] + ".hpp"
+            if (ROOT / "src" / own).exists():
+                first = next((m.group(1) for line in lines
+                              if (m := INCLUDE_LINE.match(line.strip()))),
+                             None)
+                if first != own:
+                    report(path, 1, "R4",
+                           f'first project include must be own header "{own}" '
+                           f'(found {first!r})')
+
+    # ---- Repo-wide rules (R3, R4 includes, R5) ------------------------------
+    for path in iter_files(ALL_CODE_DIRS, (".cpp", ".hpp")):
+        rel = str(path.relative_to(ROOT))
+        lines = path.read_text(encoding="utf-8").splitlines()
+
+        if path.suffix == ".hpp":
+            first_code = next((ln.strip() for ln in lines
+                               if ln.strip() and not ln.strip().startswith("//")),
+                              "")
+            if first_code != "#pragma once":
+                report(path, 1, "R4", "header must open with #pragma once "
+                                      "(after the file comment)")
+
+        for i, raw in enumerate(lines, start=1):
+            # Include rules look at the raw line: the string-stripper would
+            # erase the quoted include path itself.
+            if UPHILL_INCLUDE.search(raw):
+                report(path, i, "R4", 'uphill-relative include ("../"); use a '
+                                      "root-relative path")
+            if BITS_INCLUDE.search(raw):
+                report(path, i, "R4", "<bits/stdc++.h> is non-standard")
+            code = strip_comments_and_strings(raw)
+
+            for symbol, allowed in DEPRECATED_ALLOWLIST.items():
+                if symbol in code and rel not in allowed:
+                    report(path, i, "R3",
+                           f"call site of deprecated {symbol}; use the "
+                           "replacement named in its [[deprecated]] notice")
+
+            m = NOLINT.search(raw)
+            if m:
+                checks, trailer = m.group(3), (m.group(4) or "").strip()
+                if not checks:
+                    report(path, i, "R5",
+                           "bare NOLINT; name the check: NOLINT(check): why")
+                elif not (trailer.lstrip(":").strip()):
+                    report(path, i, "R5",
+                           f"NOLINT({checks}) without a justification comment")
+
+    if findings:
+        print(f"lint_tacc: {len(findings)} finding(s)")
+        for f in findings:
+            print("  " + f)
+        return 1
+    print("lint_tacc: clean")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
