@@ -10,13 +10,12 @@ namespace {
 using namespace tacc;
 
 int run(int argc, char** argv) {
-  const auto flags = util::Flags::parse(argc, argv);
-  const auto config = bench::BenchConfig::from_flags(flags);
+  const auto config = bench::BenchConfig::parse(argc, argv);
   const auto iot = static_cast<std::size_t>(
-      flags.get_int("iot", config.quick ? 150 : 400));
-  const auto edge = static_cast<std::size_t>(flags.get_int("edge", 16));
+      config.flags.get_int("iot", config.quick ? 150 : 400));
+  const auto edge = static_cast<std::size_t>(config.flags.get_int("edge", 16));
 
-  bench::CsvFile csv(flags, "a1_topology_ablation");
+  bench::CsvFile csv(config, "a1_topology_ablation");
   csv.writer().header({"family", "algorithm", "aware_avg_delay_ms",
                        "oblivious_avg_delay_ms", "penalty_pct"});
 
@@ -68,7 +67,7 @@ int run(int argc, char** argv) {
             << "\nExpected shape: solving on straight-line distance realizes "
                "strictly worse\ndelay everywhere; the penalty is largest on "
                "hierarchical and BA families.\n";
-  bench::check_unused_flags(flags);
+  config.check_unused();
   return 0;
 }
 

@@ -16,16 +16,15 @@ struct Variant {
 };
 
 int run(int argc, char** argv) {
-  const auto flags = util::Flags::parse(argc, argv);
-  const auto config = bench::BenchConfig::from_flags(flags);
+  const auto config = bench::BenchConfig::parse(argc, argv);
   const auto iot = static_cast<std::size_t>(
-      flags.get_int("iot", config.quick ? 200 : 500));
-  const auto edge = static_cast<std::size_t>(flags.get_int("edge", 20));
-  const double rho = flags.get_double("rho", 0.9);  // tight: make the
+      config.flags.get_int("iot", config.quick ? 200 : 500));
+  const auto edge = static_cast<std::size_t>(config.flags.get_int("edge", 20));
+  const double rho = config.flags.get_double("rho", 0.9);  // tight: make the
                                                     // feasibility machinery
                                                     // earn its keep
 
-  bench::CsvFile csv(flags, "a2_rl_ablation");
+  bench::CsvFile csv(config, "a2_rl_ablation");
   csv.writer().header({"variant", "seed", "gap_pct", "feasible", "wall_ms"});
 
   std::vector<Variant> variants;
@@ -110,7 +109,7 @@ int run(int argc, char** argv) {
                "removing the\noverload penalty or exploration hurts "
                "feasibility/quality; K and B show\ndiminishing returns "
                "beyond the defaults.\n";
-  bench::check_unused_flags(flags);
+  config.check_unused();
   return 0;
 }
 

@@ -14,14 +14,13 @@ namespace {
 using namespace tacc;
 
 int run(int argc, char** argv) {
-  const auto flags = util::Flags::parse(argc, argv);
-  const auto config = bench::BenchConfig::from_flags(flags);
+  const auto config = bench::BenchConfig::parse(argc, argv);
   const auto iot = static_cast<std::size_t>(
-      flags.get_int("iot", config.quick ? 200 : 500));
-  const auto edge = static_cast<std::size_t>(flags.get_int("edge", 20));
+      config.flags.get_int("iot", config.quick ? 200 : 500));
+  const auto edge = static_cast<std::size_t>(config.flags.get_int("edge", 20));
   const std::size_t targets = config.quick ? 3 : 8;
 
-  bench::CsvFile csv(flags, "a4_transfer");
+  bench::CsvFile csv(config, "a4_transfer");
   csv.writer().header({"target_seed", "method", "gap_pct", "feasible",
                        "wall_ms"});
 
@@ -90,7 +89,7 @@ int run(int argc, char** argv) {
             << "\nExpected shape: transfer lands between greedy and "
                "per-scenario training in\nquality at a fraction of the "
                "per-target cost — the state abstraction carries.\n";
-  bench::check_unused_flags(flags);
+  config.check_unused();
   return 0;
 }
 

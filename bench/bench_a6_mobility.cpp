@@ -1,30 +1,36 @@
 // A6 (extension): device mobility vs reconfiguration policy. Devices follow
-// a random-waypoint walk; three handover policies are compared over the
-// same mobility trace:
+// a mobility workload provider (random-waypoint trace by default); three
+// handover policies are compared over the same event stream:
 //   pinned      — devices keep their original server (static assignment)
 //   handover    — each mover is reassigned to its cheapest feasible server
 //   handover+rb — handover plus a bounded rebalance pass per epoch
+//
+// One provider instance drives all three policies, so every policy sees the
+// byte-identical move sequence (--workload=SPEC overrides the trace, e.g.
+// hotspot_adversary to measure policies under adversarial drift).
 #include <memory>
 
 #include "bench/bench_common.hpp"
 #include "core/dynamic.hpp"
-#include "workload/mobility.hpp"
 
 namespace {
 
 using namespace tacc;
 
 int run(int argc, char** argv) {
-  const auto flags = util::Flags::parse(argc, argv);
-  const auto config = bench::BenchConfig::from_flags(flags);
+  const auto config = bench::BenchConfig::parse(argc, argv);
   const auto iot = static_cast<std::size_t>(
-      flags.get_int("iot", config.quick ? 100 : 200));
-  const auto edge = static_cast<std::size_t>(flags.get_int("edge", 10));
+      config.flags.get_int("iot", config.quick ? 100 : 200));
+  const auto edge = static_cast<std::size_t>(config.flags.get_int("edge", 10));
   const auto epochs = static_cast<std::size_t>(
-      flags.get_int("epochs", config.quick ? 6 : 15));
-  const double epoch_s = flags.get_double("epoch_s", 60.0);
+      config.flags.get_int("epochs", config.quick ? 6 : 15));
+  const double epoch_s = config.flags.get_double("epoch_s", 60.0);
+  const std::string workload_spec =
+      config.workload_or("mobility_trace,mobile_fraction=0.6");
 
-  bench::CsvFile csv(flags, "a6_mobility");
+  bench::BenchReport report(config, "a6_mobility");
+  report.set_provider(workload_spec);
+  bench::CsvFile csv(config, "a6_mobility");
   csv.writer().header({"epoch", "policy", "avg_delay_ms", "max_util",
                        "moves"});
 
@@ -56,24 +62,24 @@ int run(int argc, char** argv) {
     policies.push_back(std::move(policy));
   }
 
-  workload::MobilityParams mobility;
-  mobility.area_km = scenario.params().workload.area_km;
-  mobility.mobile_fraction = 0.6;
-  workload::RandomWaypointModel model(scenario.workload().iot, mobility,
-                                      util::Rng(config.base_seed * 3 + 1));
+  auto provider = workload::make_provider(
+      workload_spec, bench::provider_context(scenario, config.base_seed));
 
   util::ConsoleTable table(
       {"epoch", "policy", "avg delay (ms)", "max util", "moves"});
   for (std::size_t epoch = 1; epoch <= epochs; ++epoch) {
-    const auto movers = model.advance(epoch_s);
+    const std::vector<workload::Event> events = provider->step(epoch_s);
     for (Policy& policy : policies) {
       std::size_t moves = 0;
-      for (const std::size_t mover : movers) {
-        const auto p = model.position(mover);
-        policy.ids[mover] =
+      for (const workload::Event& event : events) {
+        if (event.kind != workload::EventKind::kMove) continue;
+        policy.ids[event.device] =
             policy.handover
-                ? policy.cluster->move(policy.ids[mover], p).device_index
-                : policy.cluster->move_pinned(policy.ids[mover], p)
+                ? policy.cluster->move(policy.ids[event.device],
+                                       event.position)
+                      .device_index
+                : policy.cluster
+                      ->move_pinned(policy.ids[event.device], event.position)
                       .device_index;
       }
       if (policy.rebalance) moves = policy.cluster->rebalance(64);
@@ -86,16 +92,24 @@ int run(int argc, char** argv) {
                            policy.cluster->max_utilization(), 2),
                        std::to_string(moves)});
       }
+      if (epoch == epochs) {
+        report.metric(std::string(policy.name == std::string("handover+rebalance")
+                                      ? "final_delay_ms_handover_rb"
+                                      : std::string("final_delay_ms_") +
+                                            policy.name),
+                      policy.cluster->avg_delay_ms());
+      }
     }
   }
+  report.write();
   std::cout << table.to_string(
-                   "A6 — mobility (random waypoint, 60% mobile, " +
+                   "A6 — mobility (provider " + workload_spec + ", " +
                    std::to_string(epochs) + " epochs x " +
                    util::format_double(epoch_s, 0) + "s):")
             << "\nExpected shape: pinned delay drifts upward epoch over "
                "epoch; handover keeps\nit near the initial level; rebalance "
                "adds a further small improvement.\n";
-  bench::check_unused_flags(flags);
+  config.check_unused();
   return 0;
 }
 

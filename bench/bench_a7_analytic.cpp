@@ -10,15 +10,14 @@ namespace {
 using namespace tacc;
 
 int run(int argc, char** argv) {
-  const auto flags = util::Flags::parse(argc, argv);
-  const auto config = bench::BenchConfig::from_flags(flags);
+  const auto config = bench::BenchConfig::parse(argc, argv);
   const auto iot = static_cast<std::size_t>(
-      flags.get_int("iot", config.quick ? 150 : 400));
-  const auto edge = static_cast<std::size_t>(flags.get_int("edge", 16));
+      config.flags.get_int("iot", config.quick ? 150 : 400));
+  const auto edge = static_cast<std::size_t>(config.flags.get_int("edge", 16));
   const double duration_s =
-      flags.get_double("duration", config.quick ? 8.0 : 20.0);
+      config.flags.get_double("duration", config.quick ? 8.0 : 20.0);
 
-  bench::CsvFile csv(flags, "a7_analytic");
+  bench::CsvFile csv(config, "a7_analytic");
   csv.writer().header({"algorithm", "seed", "analytic_ms", "simulated_ms",
                        "error_pct", "analytic_wall_ms", "sim_wall_ms"});
 
@@ -79,7 +78,7 @@ int run(int argc, char** argv) {
             << "\nExpected shape: analytic mean within ~10% of simulated "
                "(slight underestimate:\nlink queueing ignored) at a "
                "hundreds-to-thousands-fold speedup.\n";
-  bench::check_unused_flags(flags);
+  config.check_unused();
   return 0;
 }
 

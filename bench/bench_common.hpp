@@ -1,36 +1,90 @@
-// Shared glue for the experiment binaries in bench/: CSV emission into the
-// --out directory, standard flag handling, and algorithm labels.
+// Shared glue for the experiment binaries in bench/: unified CLI parsing,
+// CSV emission into the --out directory, workload-provider wiring, and the
+// machine-readable BENCH_<name>.json perf reports.
 //
 // Every bench prints a paper-style table to stdout AND writes the raw series
 // to <out>/<name>.csv so results can be re-plotted without re-running.
+// Gated benches additionally write <out>/BENCH_<name>.json (schema below)
+// so the perf trajectory — throughput, tail latency, gate outcomes — can be
+// tracked across PRs without scraping console tables.
 #pragma once
 
+#include <cstdio>
 #include <filesystem>
 #include <fstream>
 #include <iostream>
+#include <sstream>
 #include <stdexcept>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "core/tacc.hpp"
 #include "util/csv.hpp"
 #include "util/flags.hpp"
+#include "util/json.hpp"
 #include "util/table.hpp"
+#include "workload/provider.hpp"
 
 namespace tacc::bench {
 
-/// Output directory for generated CSVs: --out=DIR, defaulting to results/
-/// (relative to the working directory) so runs from the repo root land next
-/// to the committed experiment outputs instead of littering the root.
-inline std::string csv_out_dir(const util::Flags& flags) {
-  return flags.get_string("out", "results");
+/// The one bench CLI entry point: every bench parses argc/argv through
+/// BenchConfig::parse and reads its extra flags off `flags`. Shared flags:
+///   --quick           shrink sizes/repeats so the suite stays minutes-scale
+///   --seed=N          base seed (default 1000)
+///   --repeats=N       per-experiment repeats (default 5, 2 under --quick)
+///   --out=DIR         output directory for CSVs/JSON (default results/)
+///   --workload=SPEC   WorkloadProvider spec "NAME[,k=v...]" for the
+///                     event-driven benches (each has its own default)
+struct BenchConfig {
+  bool quick = false;
+  std::uint64_t base_seed = 1000;
+  std::size_t repeats = 5;
+  std::string out_dir = "results";
+  std::string workload_spec;  ///< empty => the bench's default provider
+  util::Flags flags;          ///< for bench-specific flags
+
+  static BenchConfig parse(int argc, const char* const* argv) {
+    BenchConfig config;
+    config.flags = util::Flags::parse(argc, argv);
+    config.quick = config.flags.get_bool("quick", false);
+    config.base_seed =
+        static_cast<std::uint64_t>(config.flags.get_int("seed", 1000));
+    config.repeats = static_cast<std::size_t>(
+        config.flags.get_int("repeats", config.quick ? 2 : 5));
+    config.out_dir = config.flags.get_string("out", "results");
+    config.workload_spec = config.flags.get_string("workload", "");
+    return config;
+  }
+
+  /// The provider spec this run uses: --workload, or the bench's default.
+  [[nodiscard]] std::string workload_or(std::string_view fallback) const {
+    return workload_spec.empty() ? std::string(fallback) : workload_spec;
+  }
+
+  /// Warn about mistyped flags (call at the end of main).
+  void check_unused() const {
+    for (const std::string& name : flags.unused()) {
+      std::cerr << "warning: unknown flag --" << name << " ignored\n";
+    }
+  }
+};
+
+/// ProviderContext for a scenario, seeded with the bench's base seed. The
+/// helper lives here (not in workload/) because Scenario sits above the
+/// workload library in the dependency order.
+inline workload::ProviderContext provider_context(const Scenario& scenario,
+                                                  std::uint64_t seed) {
+  return workload::make_context(scenario.network(), scenario.workload(),
+                                scenario.params().workload.area_km, seed);
 }
 
 /// Opens <out>/<name>.csv (creating the directory if needed) and announces
 /// it on stdout.
 class CsvFile {
  public:
-  CsvFile(const util::Flags& flags, const std::string& name)
-      : path_((std::filesystem::path(csv_out_dir(flags)) / (name + ".csv"))
+  CsvFile(const BenchConfig& config, const std::string& name)
+      : path_((std::filesystem::path(config.out_dir) / (name + ".csv"))
                   .string()) {
     const std::filesystem::path dir =
         std::filesystem::path(path_).parent_path();
@@ -55,30 +109,125 @@ class CsvFile {
   util::CsvWriter writer_{stream_};
 };
 
-/// Shared "fast mode" knob: `--quick` shrinks repeats/sizes so the whole
-/// bench suite stays minutes-scale; default parameters match DESIGN.md.
-struct BenchConfig {
-  bool quick = false;
-  std::uint64_t base_seed = 1000;
-  std::size_t repeats = 5;
-
-  static BenchConfig from_flags(const util::Flags& flags) {
-    BenchConfig config;
-    config.quick = flags.get_bool("quick", false);
-    config.base_seed =
-        static_cast<std::uint64_t>(flags.get_int("seed", 1000));
-    config.repeats = static_cast<std::size_t>(
-        flags.get_int("repeats", config.quick ? 2 : 5));
-    return config;
+/// `git describe --always --dirty` of the working tree, or "unknown" when
+/// git is unavailable — stamps BENCH_*.json so artifact series line up with
+/// commits.
+inline std::string git_describe() {
+  std::FILE* pipe = ::popen("git describe --always --dirty 2>/dev/null", "r");
+  if (pipe == nullptr) return "unknown";
+  char buffer[128];
+  std::string out;
+  while (std::fgets(buffer, sizeof(buffer), pipe) != nullptr) out += buffer;
+  ::pclose(pipe);
+  while (!out.empty() && (out.back() == '\n' || out.back() == '\r')) {
+    out.pop_back();
   }
-};
-
-/// Warn about mistyped flags (call at the end of main).
-inline void check_unused_flags(const util::Flags& flags) {
-  for (const std::string& name : flags.unused()) {
-    std::cerr << "warning: unknown flag --" << name << " ignored\n";
-  }
+  return out.empty() ? "unknown" : out;
 }
+
+/// Machine-readable per-bench report, written to <out>/BENCH_<name>.json.
+/// Schema (schema_version 1, validated by tools/check_bench_json.py):
+///   {
+///     "schema_version": 1,
+///     "bench": "m2_churn",            // bench name, matches the file name
+///     "provider": "steady",           // workload spec, "" for static benches
+///     "seed": 1000, "quick": true,
+///     "git_describe": "ee1494f",
+///     "metrics": { "<key>": <number>, ... },
+///     "gates": [ {"name": "...", "passed": true}, ... ]
+///   }
+/// Metrics keys are bench-specific (throughput_per_s, p50_us, p99_us, ...);
+/// insertion order is preserved. The destructor writes the file if write()
+/// was never called, so early-return paths still leave an artifact behind.
+class BenchReport {
+ public:
+  BenchReport(const BenchConfig& config, std::string name)
+      : name_(std::move(name)),
+        out_dir_(config.out_dir),
+        seed_(config.base_seed),
+        quick_(config.quick) {}
+
+  ~BenchReport() {
+    if (!written_) {
+      try {
+        write();
+      } catch (const std::exception& e) {
+        std::cerr << "BENCH_" << name_ << ".json: " << e.what() << "\n";
+      }
+    }
+  }
+
+  BenchReport(const BenchReport&) = delete;
+  BenchReport& operator=(const BenchReport&) = delete;
+
+  void set_provider(std::string spec) { provider_ = std::move(spec); }
+
+  void metric(std::string key, double value) {
+    metrics_.emplace_back(std::move(key), value);
+  }
+
+  void gate(std::string gate_name, bool passed) {
+    gates_.emplace_back(std::move(gate_name), passed);
+    if (!passed) {
+      std::cerr << "GATE FAILED: " << gates_.back().first << "\n";
+    }
+  }
+
+  [[nodiscard]] bool all_gates_passed() const {
+    for (const auto& [unused_name, passed] : gates_) {
+      if (!passed) return false;
+    }
+    return true;
+  }
+
+  /// Writes the JSON artifact and announces it; returns the path. Idempotent
+  /// (later calls rewrite with the then-current contents).
+  std::string write() {
+    const std::filesystem::path path =
+        std::filesystem::path(out_dir_) / ("BENCH_" + name_ + ".json");
+    if (!path.parent_path().empty()) {
+      std::filesystem::create_directories(path.parent_path());
+    }
+    std::ofstream stream(path);
+    if (!stream) {
+      throw std::runtime_error("cannot open " + path.string() +
+                               " for writing");
+    }
+    util::JsonWriter json(stream);
+    json.begin_object()
+        .field("schema_version", 1)
+        .field("bench", name_)
+        .field("provider", provider_)
+        .field("seed", static_cast<std::uint64_t>(seed_))
+        .field("quick", quick_)
+        .field("git_describe", git_describe());
+    json.key("metrics").begin_object();
+    for (const auto& [key, value] : metrics_) json.field(key, value);
+    json.end_object();
+    json.key("gates").begin_array();
+    for (const auto& [gate_name, passed] : gates_) {
+      json.begin_object()
+          .field("name", gate_name)
+          .field("passed", passed)
+          .end_object();
+    }
+    json.end_array().end_object();
+    stream << "\n";
+    written_ = true;
+    std::cout << "[json] wrote " << path.string() << "\n";
+    return path.string();
+  }
+
+ private:
+  std::string name_;
+  std::string out_dir_;
+  std::uint64_t seed_;
+  bool quick_;
+  std::string provider_;
+  std::vector<std::pair<std::string, double>> metrics_;
+  std::vector<std::pair<std::string, bool>> gates_;
+  bool written_ = false;
+};
 
 /// Default AlgorithmOptions for experiments (tuned per DESIGN.md; the seed
 /// is applied per run by the harness).

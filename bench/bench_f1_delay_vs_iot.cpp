@@ -7,11 +7,10 @@ namespace {
 using namespace tacc;
 
 int run(int argc, char** argv) {
-  const auto flags = util::Flags::parse(argc, argv);
-  const auto config = bench::BenchConfig::from_flags(flags);
-  const auto edge = static_cast<std::size_t>(flags.get_int("edge", 20));
+  const auto config = bench::BenchConfig::parse(argc, argv);
+  const auto edge = static_cast<std::size_t>(config.flags.get_int("edge", 20));
 
-  bench::CsvFile csv(flags, "f1_delay_vs_iot");
+  bench::CsvFile csv(config, "f1_delay_vs_iot");
   csv.writer().header({"iot_count", "algorithm", "mean_avg_delay_ms",
                        "ci95", "feasible_fraction"});
 
@@ -46,7 +45,7 @@ int run(int argc, char** argv) {
             << "\nExpected shape: delay grows with n for capacity-aware "
                "methods as servers\nfill; RL stays lowest among feasible; "
                "oblivious nearest is flat but infeasible.\n";
-  bench::check_unused_flags(flags);
+  config.check_unused();
   return 0;
 }
 

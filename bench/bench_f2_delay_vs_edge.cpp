@@ -7,12 +7,11 @@ namespace {
 using namespace tacc;
 
 int run(int argc, char** argv) {
-  const auto flags = util::Flags::parse(argc, argv);
-  const auto config = bench::BenchConfig::from_flags(flags);
+  const auto config = bench::BenchConfig::parse(argc, argv);
   const auto iot = static_cast<std::size_t>(
-      flags.get_int("iot", config.quick ? 200 : 500));
+      config.flags.get_int("iot", config.quick ? 200 : 500));
 
-  bench::CsvFile csv(flags, "f2_delay_vs_edge");
+  bench::CsvFile csv(config, "f2_delay_vs_edge");
   csv.writer().header({"edge_count", "algorithm", "mean_avg_delay_ms",
                        "ci95", "feasible_fraction"});
 
@@ -47,7 +46,7 @@ int run(int argc, char** argv) {
             << "\nExpected shape: delay falls as servers densify; RL keeps "
                "its lead; with\nabundant servers all capacity-aware methods "
                "converge toward the nearest policy.\n";
-  bench::check_unused_flags(flags);
+  config.check_unused();
   return 0;
 }
 

@@ -7,13 +7,12 @@ namespace {
 using namespace tacc;
 
 int run(int argc, char** argv) {
-  const auto flags = util::Flags::parse(argc, argv);
-  const auto config = bench::BenchConfig::from_flags(flags);
+  const auto config = bench::BenchConfig::parse(argc, argv);
   const auto iot = static_cast<std::size_t>(
-      flags.get_int("iot", config.quick ? 200 : 500));
-  const auto edge = static_cast<std::size_t>(flags.get_int("edge", 20));
+      config.flags.get_int("iot", config.quick ? 200 : 500));
+  const auto edge = static_cast<std::size_t>(config.flags.get_int("edge", 20));
 
-  bench::CsvFile csv(flags, "f3_load_factor");
+  bench::CsvFile csv(config, "f3_load_factor");
   csv.writer().header({"load_factor", "algorithm", "feasible_fraction",
                        "mean_max_util", "mean_overloaded_servers",
                        "mean_avg_delay_ms"});
@@ -62,7 +61,7 @@ int run(int argc, char** argv) {
             << "\nExpected shape: capacity-aware methods stay feasible up to "
                "rho=0.95 while\ntheir delay rises; oblivious nearest "
                "overloads more servers as rho grows.\n";
-  bench::check_unused_flags(flags);
+  config.check_unused();
   return 0;
 }
 

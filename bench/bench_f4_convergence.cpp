@@ -9,15 +9,14 @@ namespace {
 using namespace tacc;
 
 int run(int argc, char** argv) {
-  const auto flags = util::Flags::parse(argc, argv);
-  const auto config = bench::BenchConfig::from_flags(flags);
+  const auto config = bench::BenchConfig::parse(argc, argv);
   const auto iot = static_cast<std::size_t>(
-      flags.get_int("iot", config.quick ? 150 : 400));
-  const auto edge = static_cast<std::size_t>(flags.get_int("edge", 16));
+      config.flags.get_int("iot", config.quick ? 150 : 400));
+  const auto edge = static_cast<std::size_t>(config.flags.get_int("edge", 16));
   const auto episodes = static_cast<std::size_t>(
-      flags.get_int("episodes", config.quick ? 200 : 600));
+      config.flags.get_int("episodes", config.quick ? 200 : 600));
 
-  bench::CsvFile csv(flags, "f4_convergence");
+  bench::CsvFile csv(config, "f4_convergence");
   csv.writer().header({"scenario", "variant", "episode", "total_reward",
                        "episode_cost", "best_cost", "epsilon", "feasible"});
 
@@ -78,7 +77,7 @@ int run(int argc, char** argv) {
             << "\nExpected shape: episode reward rises then plateaus as "
                "epsilon decays;\nbest-so-far cost is monotone "
                "non-increasing on every scenario.\n";
-  bench::check_unused_flags(flags);
+  config.check_unused();
   return 0;
 }
 

@@ -8,15 +8,14 @@ namespace {
 using namespace tacc;
 
 int run(int argc, char** argv) {
-  const auto flags = util::Flags::parse(argc, argv);
-  const auto config = bench::BenchConfig::from_flags(flags);
+  const auto config = bench::BenchConfig::parse(argc, argv);
   const auto iot = static_cast<std::size_t>(
-      flags.get_int("iot", config.quick ? 200 : 500));
-  const auto edge = static_cast<std::size_t>(flags.get_int("edge", 20));
+      config.flags.get_int("iot", config.quick ? 200 : 500));
+  const auto edge = static_cast<std::size_t>(config.flags.get_int("edge", 20));
   const double duration_s =
-      flags.get_double("duration", config.quick ? 8.0 : 20.0);
+      config.flags.get_double("duration", config.quick ? 8.0 : 20.0);
 
-  bench::CsvFile csv(flags, "f5_delay_cdf");
+  bench::CsvFile csv(config, "f5_delay_cdf");
   csv.writer().header({"algorithm", "delay_ms", "cdf"});
 
   const Scenario scenario = Scenario::smart_city(iot, edge, config.base_seed);
@@ -67,7 +66,7 @@ int run(int argc, char** argv) {
             << "\nExpected shape: the RL configuration's CDF sits left of "
                "the baselines,\nwith the gap largest in the tail (p99); "
                "oblivious nearest explodes (overloaded queues).\n";
-  bench::check_unused_flags(flags);
+  config.check_unused();
   return 0;
 }
 

@@ -13,15 +13,14 @@ namespace {
 using namespace tacc;
 
 int run(int argc, char** argv) {
-  const auto flags = util::Flags::parse(argc, argv);
-  const auto config = bench::BenchConfig::from_flags(flags);
+  const auto config = bench::BenchConfig::parse(argc, argv);
   const auto iot = static_cast<std::size_t>(
-      flags.get_int("iot", config.quick ? 200 : 400));
-  const auto edge = static_cast<std::size_t>(flags.get_int("edge", 12));
+      config.flags.get_int("iot", config.quick ? 200 : 400));
+  const auto edge = static_cast<std::size_t>(config.flags.get_int("edge", 12));
   const double duration_s =
-      flags.get_double("duration", config.quick ? 8.0 : 20.0);
+      config.flags.get_double("duration", config.quick ? 8.0 : 20.0);
 
-  bench::CsvFile csv(flags, "f6_deadline_miss");
+  bench::CsvFile csv(config, "f6_deadline_miss");
   csv.writer().header({"deadline_ms", "algorithm", "miss_rate"});
 
   // Factory preset: tight capacity, small area — the stringent regime.
@@ -73,7 +72,7 @@ int run(int argc, char** argv) {
             << "\nExpected shape: RL lowest miss rate at every deadline; "
                "the advantage is\nlargest at the most stringent deadlines; "
                "oblivious nearest misses nearly always.\n";
-  bench::check_unused_flags(flags);
+  config.check_unused();
   return 0;
 }
 

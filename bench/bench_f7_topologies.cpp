@@ -8,13 +8,12 @@ namespace {
 using namespace tacc;
 
 int run(int argc, char** argv) {
-  const auto flags = util::Flags::parse(argc, argv);
-  const auto config = bench::BenchConfig::from_flags(flags);
+  const auto config = bench::BenchConfig::parse(argc, argv);
   const auto iot = static_cast<std::size_t>(
-      flags.get_int("iot", config.quick ? 150 : 400));
-  const auto edge = static_cast<std::size_t>(flags.get_int("edge", 16));
+      config.flags.get_int("iot", config.quick ? 150 : 400));
+  const auto edge = static_cast<std::size_t>(config.flags.get_int("edge", 16));
 
-  bench::CsvFile csv(flags, "f7_topologies");
+  bench::CsvFile csv(config, "f7_topologies");
   csv.writer().header({"family", "algorithm", "mean_avg_delay_ms", "ci95",
                        "feasible_fraction"});
 
@@ -59,7 +58,7 @@ int run(int argc, char** argv) {
                "the margin over\ngeometric-nearest is largest on "
                "hierarchical/BA topologies where hop count\nand straight-line "
                "distance diverge most.\n";
-  bench::check_unused_flags(flags);
+  config.check_unused();
   return 0;
 }
 

@@ -12,10 +12,9 @@ namespace {
 using namespace tacc;
 
 int run(int argc, char** argv) {
-  const auto flags = util::Flags::parse(argc, argv);
-  const auto config = bench::BenchConfig::from_flags(flags);
+  const auto config = bench::BenchConfig::parse(argc, argv);
   const auto parallel = static_cast<std::size_t>(
-      std::max<std::int64_t>(0, flags.get_int("parallel", 1)));
+      std::max<std::int64_t>(0, config.flags.get_int("parallel", 1)));
   runtime::PortfolioRunner runner(parallel);
 
   // Serial and parallel paths share the seed schedule, so the CSV is
@@ -31,7 +30,7 @@ int run(int argc, char** argv) {
                               options);
   };
 
-  bench::CsvFile csv(flags, "f8_runtime");
+  bench::CsvFile csv(config, "f8_runtime");
   csv.writer().header({"iot_count", "edge_count", "algorithm",
                        "mean_wall_ms", "ci95"});
 
@@ -96,7 +95,7 @@ int run(int argc, char** argv) {
             << "\nExpected shape: constructive heuristics ms-scale and "
                "near-linear; RL seconds-scale,\nlinear in n·episodes; "
                "branch-and-bound explodes beyond ~16 devices.\n";
-  bench::check_unused_flags(flags);
+  config.check_unused();
   return 0;
 }
 

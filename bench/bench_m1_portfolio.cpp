@@ -22,14 +22,13 @@ bool identical(const ClusterConfiguration& a, const ClusterConfiguration& b) {
 }
 
 int run(int argc, char** argv) {
-  const auto flags = util::Flags::parse(argc, argv);
-  const auto config = bench::BenchConfig::from_flags(flags);
+  const auto config = bench::BenchConfig::parse(argc, argv);
   const auto iot = static_cast<std::size_t>(
-      flags.get_int("iot", config.quick ? 150 : 400));
-  const auto edge = static_cast<std::size_t>(flags.get_int("edge", 16));
+      config.flags.get_int("iot", config.quick ? 150 : 400));
+  const auto edge = static_cast<std::size_t>(config.flags.get_int("edge", 16));
   // <= 0 picks the hardware concurrency.
   const auto parallel = static_cast<std::size_t>(
-      std::max<std::int64_t>(0, flags.get_int("parallel", 0)));
+      std::max<std::int64_t>(0, config.flags.get_int("parallel", 0)));
 
   const Scenario scenario = Scenario::smart_city(iot, edge, config.base_seed);
   const ClusterConfigurator configurator(scenario);
@@ -66,7 +65,7 @@ int run(int argc, char** argv) {
     return 1;
   }
 
-  bench::CsvFile csv(flags, "m1_portfolio");
+  bench::CsvFile csv(config, "m1_portfolio");
   csv.writer().header({"algorithm", "cost", "feasible", "task_wall_ms",
                        "queue_ms_parallel"});
   util::ConsoleTable table(
@@ -108,7 +107,7 @@ int run(int argc, char** argv) {
             << util::format_double(parallel_out.stats.mean_queue_ms(), 2)
             << " ms)\n"
             << "bit-identity: serial and parallel portfolios match exactly\n";
-  bench::check_unused_flags(flags);
+  config.check_unused();
   return 0;
 }
 

@@ -1,25 +1,39 @@
 // M2: long-horizon churn soak for the dynamic reconfiguration engine.
 //
-// Drives O(100k) join/move/move_pinned/leave/fail/recover events against a
-// random-waypoint mobility trace and HARD-GATES the two properties that make
-// sustained churn viable:
+// Drives O(100k) workload-provider events (join/leave/move/demand-pulse,
+// plus backbone link churn if the provider emits it) against a
+// DynamicCluster, interleaved with bench-local server fail/recover/rebalance
+// stress, and HARD-GATES the properties that make sustained churn viable:
 //   1. Zero net growth: graph node count and device-slot (delay-row) storage
-//      return exactly to baseline across move cycles — the engine recycles
-//      departed nodes/slots instead of leaking one per event.
+//      return exactly to baseline across move cycles, and track the *peak*
+//      live population across the soak — the engine recycles departed
+//      nodes/slots instead of leaking one per event.
 //   2. Flat per-event latency: the mean event latency late in the run stays
 //      within a small factor of the early mean (a leak shows up here too —
 //      every Dijkstra pays for dead nodes).
 // Exit code 1 if a gate fails, so CI can run it as a regression check.
 //
+// The event stream comes from a pluggable WorkloadProvider
+// (--workload=NAME[,k=v...], default "steady"); --stream-out=FILE dumps the
+// exact taccd wire rendering of the stream (byte-identical across runs with
+// the same seed and spec) for replay via `tacc_client --stdin`. The soak
+// applies every event through the same WireAdapter slot mapping the replay
+// uses, so in-process and replayed runs agree on device indices by
+// construction (demand pulses are applied as leave+join for the same
+// reason — the wire has no in-place demand verb).
+//
 //   ./bench_m2_churn [--events=100000] [--iot=200] [--edge=10] [--seed=...]
+//                    [--workload=steady] [--stream-out=FILE]
 //   --quick shrinks to 20k events for sanitizer/CI runs.
 #include <cstdint>
+#include <fstream>
 
 #include "bench/bench_common.hpp"
 #include "core/dynamic.hpp"
+#include "metrics/stats.hpp"
 #include "util/rng.hpp"
 #include "util/timer.hpp"
-#include "workload/mobility.hpp"
+#include "workload/wire.hpp"
 
 namespace {
 
@@ -32,13 +46,14 @@ double mean(const std::vector<double>& v, std::size_t lo, std::size_t hi) {
 }
 
 int run(int argc, char** argv) {
-  const auto flags = util::Flags::parse(argc, argv);
-  const auto config = bench::BenchConfig::from_flags(flags);
+  const auto config = bench::BenchConfig::parse(argc, argv);
   const auto iot = static_cast<std::size_t>(
-      flags.get_int("iot", config.quick ? 120 : 200));
-  const auto edge = static_cast<std::size_t>(flags.get_int("edge", 10));
+      config.flags.get_int("iot", config.quick ? 120 : 200));
+  const auto edge = static_cast<std::size_t>(config.flags.get_int("edge", 10));
   const auto events = static_cast<std::size_t>(
-      flags.get_int("events", config.quick ? 20'000 : 100'000));
+      config.flags.get_int("events", config.quick ? 20'000 : 100'000));
+  const std::string workload_spec = config.workload_or("steady");
+  const std::string stream_out = config.flags.get_string("stream-out", "");
 
   const Scenario scenario = Scenario::smart_city(iot, edge, config.base_seed);
   AlgorithmOptions options = bench::experiment_options(config.quick);
@@ -47,47 +62,73 @@ int run(int argc, char** argv) {
   // the initial configuration.
   DynamicCluster cluster(scenario, Algorithm::kGreedyBestFit, options);
 
-  workload::MobilityParams mobility;
-  mobility.area_km = scenario.params().workload.area_km;
-  mobility.mobile_fraction = 0.8;
-  workload::RandomWaypointModel model(scenario.workload().iot, mobility,
-                                      util::Rng(config.base_seed * 3 + 1));
+  const workload::ProviderContext ctx =
+      bench::provider_context(scenario, config.base_seed);
+  // Bench-local stress (server failures, rebalance, pinned handovers) uses
+  // its own rng so the provider stream stays replay-identical.
   util::Rng rng(config.base_seed * 7 + 5);
-  const double area = scenario.params().workload.area_km;
 
-  bench::CsvFile csv(flags, "m2_churn");
+  bench::BenchReport report(config, "m2_churn");
+  report.set_provider(workload_spec);
+  bench::CsvFile csv(config, "m2_churn");
   csv.writer().header({"event", "event_type", "window_mean_us",
                        "graph_nodes", "device_slots", "active",
                        "avg_delay_ms"});
 
-  // ---- Gate 1a: a pure move cycle must not grow anything. ------------------
-  const std::size_t baseline_nodes = cluster.graph_node_count();
-  const std::size_t baseline_slots = cluster.device_slot_count();
-  for (int cycle = 0; cycle < 1'000; ++cycle) {
-    for (const std::size_t mover : model.advance(5.0)) {
-      (void)cluster.move(mover, model.position(mover));
-    }
-    if (cluster.graph_node_count() != baseline_nodes ||
-        cluster.device_slot_count() != baseline_slots) {
-      std::cerr << "GATE FAILED: move cycle " << cycle << " grew storage ("
-                << cluster.graph_node_count() << " nodes vs "
-                << baseline_nodes << ", " << cluster.device_slot_count()
-                << " slots vs " << baseline_slots << ")\n";
+  std::ofstream stream_file;
+  if (!stream_out.empty()) {
+    stream_file.open(stream_out);
+    if (!stream_file) {
+      std::cerr << "cannot open " << stream_out << " for writing\n";
       return 1;
     }
   }
 
+  // ---- Gate 1a: a pure move cycle must not grow anything. ------------------
+  // A dedicated mobility_trace provider walks only the base devices, whose
+  // provider ids coincide with their cluster indices.
+  const std::size_t baseline_nodes = cluster.graph_node_count();
+  const std::size_t baseline_slots = cluster.device_slot_count();
+  {
+    auto mobility = workload::make_provider("mobility_trace", ctx);
+    bool grew = false;
+    for (int cycle = 0; cycle < 1'000 && !grew; ++cycle) {
+      for (const workload::Event& event : mobility->step(5.0)) {
+        (void)cluster.move(event.device, event.position);
+      }
+      if (cluster.graph_node_count() != baseline_nodes ||
+          cluster.device_slot_count() != baseline_slots) {
+        std::cerr << "move cycle " << cycle << " grew storage ("
+                  << cluster.graph_node_count() << " nodes vs "
+                  << baseline_nodes << ", " << cluster.device_slot_count()
+                  << " slots vs " << baseline_slots << ")\n";
+        grew = true;
+      }
+    }
+    report.gate("move_cycle_zero_growth", !grew);
+    if (grew) return 1;
+  }
+
   // ---- Mixed soak ----------------------------------------------------------
-  std::vector<std::size_t> extra;        // devices joined on top of the base
-  std::size_t peak_extra = 0;
+  auto provider = workload::make_provider(workload_spec, ctx);
+  workload::WireAdapter adapter(ctx, "m2");
+  if (stream_file.is_open()) {
+    stream_file << adapter.configure_line(iot, edge, config.base_seed,
+                                          "greedy-bestfit", "smart_city")
+                << "\n";
+  }
+
+  std::size_t peak_active = cluster.active_count();
   std::vector<double> latency_us;
   latency_us.reserve(events);
   std::vector<const char*> types;
   types.reserve(events);
+  bool index_parity = true;
 
   const auto record = [&](const char* type, double us) {
     latency_us.push_back(us);
     types.push_back(type);
+    peak_active = std::max(peak_active, cluster.active_count());
   };
 
   util::ConsoleTable table({"events", "window mean (us)", "graph nodes",
@@ -95,72 +136,133 @@ int run(int argc, char** argv) {
   const std::size_t window = std::max<std::size_t>(events / 20, 1);
   std::size_t next_emit = window;
   std::size_t emitted = 0;
+  util::WallTimer soak_timer;
 
-  while (latency_us.size() < events) {
-    const double roll = rng.uniform(0.0, 1.0);
-    util::WallTimer timer;
-    if (roll < 0.12) {
-      workload::IotDevice device;
-      device.position = {rng.uniform(0.0, area), rng.uniform(0.0, area)};
-      device.request_rate_hz = rng.uniform(2.0, 10.0);
-      device.demand = device.request_rate_hz;
-      timer.reset();
-      const JoinResult joined = cluster.join(device);
-      record("join", timer.elapsed_ms() * 1e3);
-      extra.push_back(joined.device_index);
-      peak_extra = std::max(peak_extra, extra.size());
-    } else if (roll < 0.24 && !extra.empty()) {
-      const std::size_t pick = rng.index(extra.size());
-      timer.reset();
-      cluster.leave(extra[pick]);
-      record("leave", timer.elapsed_ms() * 1e3);
-      extra[pick] = extra.back();
-      extra.pop_back();
-    } else if (roll < 0.26) {
+  while (latency_us.size() < events && index_parity) {
+    for (const workload::Event& event : provider->step(1.0)) {
+      if (latency_us.size() >= events) break;
+      // A LEAVE retires the device inside the adapter, so its slot has to be
+      // read before rendering.
+      const std::size_t leave_slot =
+          event.kind == workload::EventKind::kLeave
+              ? adapter.slot_of(event.device)
+              : 0;
+      // Render first: the adapter predicts the slot the cluster is about to
+      // assign, and the dump must contain every event the cluster sees.
+      if (stream_file.is_open()) {
+        for (const std::string& line : adapter.render(event)) {
+          stream_file << line << "\n";
+        }
+      } else {
+        (void)adapter.render(event);
+      }
+      util::WallTimer timer;
+      switch (event.kind) {
+        case workload::EventKind::kJoin: {
+          workload::IotDevice device;
+          device.position = event.position;
+          device.request_rate_hz = event.rate_hz;
+          device.demand = event.demand;
+          timer.reset();
+          const JoinResult joined = cluster.join(device);
+          record("join", timer.elapsed_ms() * 1e3);
+          if (joined.device_index != adapter.slot_of(event.device)) {
+            std::cerr << "wire adapter predicted slot "
+                      << adapter.slot_of(event.device) << " but join got "
+                      << joined.device_index << "\n";
+            index_parity = false;
+          }
+          break;
+        }
+        case workload::EventKind::kLeave: {
+          timer.reset();
+          cluster.leave(leave_slot);
+          record("leave", timer.elapsed_ms() * 1e3);
+          break;
+        }
+        case workload::EventKind::kMove: {
+          const std::size_t slot = adapter.slot_of(event.device);
+          const bool pinned =
+              rng.bernoulli(0.1) &&
+              !cluster.server_failed(cluster.server_of(slot));
+          timer.reset();
+          if (pinned) {
+            (void)cluster.move_pinned(slot, event.position);
+          } else {
+            (void)cluster.move(slot, event.position);
+          }
+          record(pinned ? "move_pinned" : "move", timer.elapsed_ms() * 1e3);
+          break;
+        }
+        case workload::EventKind::kDemandPulse: {
+          // Applied exactly as the wire replays it: leave + join back into
+          // the same (LIFO-recycled) slot with the new demand.
+          const std::size_t slot = adapter.slot_of(event.device);
+          workload::IotDevice device;
+          device.position = event.position;
+          device.request_rate_hz = event.rate_hz;
+          device.demand = event.demand;
+          timer.reset();
+          cluster.leave(slot);
+          const JoinResult rejoined = cluster.join(device);
+          record("demand_pulse", timer.elapsed_ms() * 1e3);
+          if (rejoined.device_index != slot) {
+            std::cerr << "demand pulse left slot " << slot
+                      << " but rejoined at " << rejoined.device_index << "\n";
+            index_parity = false;
+          }
+          break;
+        }
+        case workload::EventKind::kLinkFail: {
+          const auto& [u, v] = ctx.links[event.link];
+          timer.reset();
+          (void)cluster.fail_link(u, v);
+          record("link_fail", timer.elapsed_ms() * 1e3);
+          break;
+        }
+        case workload::EventKind::kLinkRestore: {
+          const auto& [u, v] = ctx.links[event.link];
+          timer.reset();
+          (void)cluster.restore_link(u, v);
+          record("link_restore", timer.elapsed_ms() * 1e3);
+          break;
+        }
+        case workload::EventKind::kLinkSetLatency: {
+          const auto& [u, v] = ctx.links[event.link];
+          timer.reset();
+          (void)cluster.set_link_latency(u, v, event.latency_ms);
+          record("link_set", timer.elapsed_ms() * 1e3);
+          break;
+        }
+      }
+    }
+
+    // Bench-local stress, outside the replayable stream: occasional server
+    // failures and a bounded repair/rebalance pass.
+    if (rng.bernoulli(0.10)) {
       if (cluster.healthy_server_count() > 2) {
         std::size_t j = rng.index(cluster.server_count());
         while (cluster.server_failed(j)) j = rng.index(cluster.server_count());
-        timer.reset();
         (void)cluster.fail_server(j, /*evacuate=*/rng.bernoulli(0.5));
-        record("fail", timer.elapsed_ms() * 1e3);
       } else {
         for (std::size_t j = 0; j < cluster.server_count(); ++j) {
           if (cluster.server_failed(j)) {
-            timer.reset();
             (void)cluster.evacuate_server(j);
             cluster.recover_server(j);
-            record("recover", timer.elapsed_ms() * 1e3);
             break;
           }
         }
       }
-    } else if (roll < 0.28) {
-      timer.reset();
+    }
+    if (rng.bernoulli(0.10)) {
       (void)cluster.repair(16);
       (void)cluster.rebalance(16);
-      record("rebalance", timer.elapsed_ms() * 1e3);
-    } else {
-      // Mobility burst: every mover is one handover event (10% pinned).
-      for (const std::size_t mover : model.advance(5.0)) {
-        if (latency_us.size() >= events) break;
-        const auto p = model.position(mover);
-        const bool pinned =
-            rng.bernoulli(0.1) &&
-            !cluster.server_failed(cluster.server_of(mover));
-        timer.reset();
-        if (pinned) {
-          (void)cluster.move_pinned(mover, p);
-        } else {
-          (void)cluster.move(mover, p);
-        }
-        record(pinned ? "move_pinned" : "move", timer.elapsed_ms() * 1e3);
-      }
     }
 
-    // Emit one CSV/table row per completed window (bursts may cross a
+    // Emit one CSV/table row per completed window (steps may cross a
     // boundary mid-iteration, so catch up here).
     const std::size_t done = latency_us.size();
-    if (done >= next_emit || done == events) {
+    if (done > 0 && (done >= next_emit || done == events)) {
       // Deep invariant sweep once per window: slot/row/load accounting, node
       // recycling, and one shortest-path tree spot-checked against a fresh
       // Dijkstra (rotating through servers across windows). The default
@@ -184,24 +286,27 @@ int run(int argc, char** argv) {
       while (next_emit <= done) next_emit += window;
     }
   }
+  const double soak_s = soak_timer.elapsed_seconds();
 
   std::cout << table.to_string(
-      "M2 — churn soak (" + std::to_string(events) + " events, " +
-      std::to_string(iot) + " base devices, " + std::to_string(edge) +
-      " servers):");
+      "M2 — churn soak (" + std::to_string(events) + " events, provider " +
+      workload_spec + ", " + std::to_string(iot) + " base devices, " +
+      std::to_string(edge) + " servers):");
+
+  report.gate("wire_index_parity", index_parity);
 
   // ---- Gate 1b: storage tracks peak population, not cumulative events. -----
-  const std::size_t expected_slots = iot + peak_extra;
-  const std::size_t expected_nodes = baseline_nodes + peak_extra;
-  bool ok = true;
-  if (cluster.device_slot_count() != expected_slots ||
-      cluster.graph_node_count() != expected_nodes) {
-    std::cerr << "GATE FAILED: storage grew past peak population ("
+  const std::size_t expected_slots = peak_active;
+  const std::size_t expected_nodes = baseline_nodes + (peak_active - iot);
+  const bool storage_ok = cluster.device_slot_count() == expected_slots &&
+                          cluster.graph_node_count() == expected_nodes;
+  if (!storage_ok) {
+    std::cerr << "storage grew past peak population ("
               << cluster.device_slot_count() << " slots, expected "
               << expected_slots << "; " << cluster.graph_node_count()
               << " nodes, expected " << expected_nodes << ")\n";
-    ok = false;
   }
+  report.gate("storage_tracks_peak", storage_ok);
 
   // ---- Gate 2: flat per-event latency (early decile vs late decile). -------
   // Skip the first decile entirely: allocator warm-up makes it artificially
@@ -212,17 +317,36 @@ int run(int argc, char** argv) {
   std::cout << "\nPer-event latency: early mean "
             << util::format_double(early, 2) << " us, late mean "
             << util::format_double(late, 2) << " us\n";
-  if (late > early * 2.0 + 1.0) {
-    std::cerr << "GATE FAILED: per-event latency drifted (" << late
-              << " us late vs " << early << " us early)\n";
-    ok = false;
+  const bool latency_ok = !(late > early * 2.0 + 1.0);
+  if (!latency_ok) {
+    std::cerr << "per-event latency drifted (" << late << " us late vs "
+              << early << " us early)\n";
   }
+  report.gate("flat_latency", latency_ok);
 
+  report.metric("events", static_cast<double>(latency_us.size()));
+  report.metric("throughput_per_s",
+                soak_s > 0.0 ? static_cast<double>(latency_us.size()) / soak_s
+                             : 0.0);
+  report.metric("early_mean_us", early);
+  report.metric("late_mean_us", late);
+  report.metric("p50_us", metrics::percentile(latency_us, 0.5));
+  report.metric("p99_us", metrics::percentile(latency_us, 0.99));
+  report.metric("peak_active", static_cast<double>(peak_active));
+  report.metric("device_slots",
+                static_cast<double>(cluster.device_slot_count()));
+  report.metric("graph_nodes", static_cast<double>(cluster.graph_node_count()));
+  report.write();
+
+  const bool ok = report.all_gates_passed();
   if (ok) {
-    std::cout << "All churn gates passed: zero net storage growth, flat "
-                 "latency.\n";
+    std::cout << "All churn gates passed: zero net storage growth, wire "
+                 "index parity, flat latency.\n";
   }
-  bench::check_unused_flags(flags);
+  if (stream_file.is_open()) {
+    std::cout << "[wire] wrote " << stream_out << "\n";
+  }
+  config.check_unused();
   return ok ? 0 : 1;
 }
 

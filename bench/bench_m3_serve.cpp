@@ -2,9 +2,16 @@
 //
 // Boots a service::Server (Unix-domain socket) in-process, CONFIGUREs one
 // warm session, then drives it with N concurrent closed-loop connections
-// (each waits for its response before sending the next request) over a
-// JOIN/MOVE/LEAVE/STATS mix. Reports throughput, p50/p99/p999 client-side
-// latency, and the rejection rate, then HARD-GATES the serving contract:
+// (each waits for its response before sending the next request). The request
+// mix comes from a WorkloadProvider fork per connection (--workload=SPEC,
+// default "steady"): kJoin -> JOIN (the wire-assigned index is learned from
+// the response), kLeave -> LEAVE of a device this connection joined,
+// kMove -> MOVE on a base device, everything else -> STATS. Provider ids
+// cannot be predicted across concurrently interleaved connections, so the
+// mix — not the indices — is what the provider supplies here; single-stream
+// index-exact replay is bench_m2_churn's WireAdapter job. Reports
+// throughput, p50/p99/p999 client-side latency, and the rejection rate, then
+// HARD-GATES the serving contract:
 //   1. Accounting: every submitted request receives exactly one terminal
 //      response (OK, OVERLOADED, or DEADLINE_EXCEEDED) — no silent drops,
 //      no unexpected protocol errors.
@@ -17,6 +24,7 @@
 //   ./bench_m3_serve [--connections=8] [--requests=5000] [--iot=120]
 //                    [--edge=10] [--threads=0] [--max-queue=512]
 //                    [--timeout-ms=2000] [--min-rps=10000] [--no-sigterm]
+//                    [--workload=SPEC]
 //   --quick shrinks the request count for sanitizer/CI runs.
 #include <sys/socket.h>
 #include <sys/un.h>
@@ -25,12 +33,14 @@
 #include <atomic>
 #include <csignal>
 #include <cstring>
+#include <deque>
 #include <thread>
 
 #include "bench/bench_common.hpp"
 #include "metrics/stats.hpp"
 #include "service/server.hpp"
 #include "util/rng.hpp"
+#include "workload/wire.hpp"
 #include "util/timer.hpp"
 
 namespace {
@@ -125,42 +135,64 @@ struct ConnStats {
   }
 };
 
-/// One closed-loop worker: `requests` rounds of the JOIN/MOVE/LEAVE/STATS
-/// mix against the warm session.
+/// One closed-loop worker: `requests` rounds of a provider-generated mix
+/// against the warm session. The provider fork is seeded per connection, so
+/// the mix each connection sends is deterministic even though the server-side
+/// interleaving across connections is not.
 ConnStats drive_connection(const std::string& unix_path,
-                           const std::string& session, std::size_t requests,
-                           std::size_t base_iot, double area,
+                           const std::string& session,
+                           const std::string& workload_spec,
+                           workload::ProviderContext ctx,
+                           std::size_t requests, std::size_t base_iot,
                            std::uint64_t seed) {
   Client client(unix_path);
-  util::Rng rng(seed);
+  ctx.seed = seed;
+  auto provider = workload::make_provider(workload_spec, ctx);
+  std::deque<workload::Event> pending;
   ConnStats stats;
   stats.latency_us.reserve(requests);
-  std::vector<std::size_t> owned;  // devices this connection joined
+  std::vector<std::size_t> owned;  // wire indices this connection joined
   std::string request;
   std::string response;
   for (std::size_t i = 0; i < requests; ++i) {
-    const double roll = rng.uniform(0.0, 1.0);
-    const double x = rng.uniform(0.0, area);
-    const double y = rng.uniform(0.0, area);
+    while (pending.empty()) {
+      for (workload::Event& event : provider->step(1.0)) {
+        pending.push_back(std::move(event));
+      }
+    }
+    const workload::Event event = std::move(pending.front());
+    pending.pop_front();
     bool joined = false;
-    // JOIN and LEAVE are equally likely so the session hovers near its base
-    // size; an unbalanced mix would grow the cluster (and the per-request
-    // cost) without bound over a long run.
-    if (roll < 0.15) {
-      request = "JOIN " + session + " " + std::to_string(x) + " " +
-                std::to_string(y);
-      joined = true;
-    } else if (roll < 0.30 && !owned.empty()) {
-      const std::size_t pick = rng.index(owned.size());
-      request = "LEAVE " + session + " " + std::to_string(owned[pick]);
-      owned[pick] = owned.back();
-      owned.pop_back();
-    } else if (roll < 0.35) {
-      request = "STATS " + session;
-    } else {
-      request = "MOVE " + session + " " +
-                std::to_string(rng.index(base_iot)) + " " +
-                std::to_string(x) + " " + std::to_string(y);
+    switch (event.kind) {
+      case workload::EventKind::kJoin:
+        request = "JOIN " + session + " " +
+                  workload::wire_double(event.position.x) + " " +
+                  workload::wire_double(event.position.y);
+        joined = true;
+        break;
+      case workload::EventKind::kLeave:
+        // LEAVE only what this connection joined; nothing owned yet -> the
+        // event degrades to a STATS probe so the closed loop keeps its beat.
+        if (!owned.empty()) {
+          request = "LEAVE " + session + " " + std::to_string(owned.back());
+          owned.pop_back();
+        } else {
+          request = "STATS " + session;
+        }
+        break;
+      case workload::EventKind::kMove:
+        // Move a base device: base ids exist for every connection, while the
+        // provider's minted ids only map to wire indices via `owned`.
+        request = "MOVE " + session + " " +
+                  std::to_string(event.device % base_iot) + " " +
+                  workload::wire_double(event.position.x) + " " +
+                  workload::wire_double(event.position.y);
+        break;
+      default:
+        // Demand pulses and link events would race across connections (link
+        // preconditions are global); they become read-only STATS probes.
+        request = "STATS " + session;
+        break;
     }
     util::WallTimer timer;
     ++stats.sent;
@@ -178,37 +210,41 @@ ConnStats drive_connection(const std::string& unix_path,
 }
 
 int run(int argc, char** argv) {
-  const auto flags = util::Flags::parse(argc, argv);
-  const auto config = bench::BenchConfig::from_flags(flags);
+  const auto config = bench::BenchConfig::parse(argc, argv);
   const auto connections = static_cast<std::size_t>(
-      flags.get_int("connections", 8));
+      config.flags.get_int("connections", 8));
   const auto requests = static_cast<std::size_t>(
-      flags.get_int("requests", config.quick ? 1'500 : 5'000));
-  const auto iot =
-      static_cast<std::size_t>(flags.get_int("iot", config.quick ? 80 : 120));
-  const auto edge = static_cast<std::size_t>(flags.get_int("edge", 10));
+      config.flags.get_int("requests", config.quick ? 1'500 : 5'000));
+  const auto iot = static_cast<std::size_t>(
+      config.flags.get_int("iot", config.quick ? 80 : 120));
+  const auto edge = static_cast<std::size_t>(config.flags.get_int("edge", 10));
   // --quick is a machinery smoke for small CI runners; the full 10k req/s
   // acceptance gate applies to the default run.
   const double min_rps =
-      flags.get_double("min-rps", config.quick ? 2'000.0 : 10'000.0);
-  const bool sigterm_phase = !flags.get_bool("no-sigterm", false);
+      config.flags.get_double("min-rps", config.quick ? 2'000.0 : 10'000.0);
+  const bool sigterm_phase = !config.flags.get_bool("no-sigterm", false);
+  const std::string workload_spec = config.workload_or("steady");
 
   service::ServerOptions options;
   options.unix_path = "/tmp/tacc_m3_serve_" + std::to_string(::getpid()) +
                       ".sock";
   options.engine.threads =
-      static_cast<std::size_t>(flags.get_int("threads", 0));
+      static_cast<std::size_t>(config.flags.get_int("threads", 0));
   options.engine.max_queue =
-      static_cast<std::size_t>(flags.get_int("max-queue", 512));
-  options.engine.default_timeout_ms = flags.get_double("timeout-ms", 2000.0);
+      static_cast<std::size_t>(config.flags.get_int("max-queue", 512));
+  options.engine.default_timeout_ms =
+      config.flags.get_double("timeout-ms", 2000.0);
 
   service::Server server(std::move(options));
   server.install_signal_handlers();
   std::jthread server_thread([&server] { server.run(); });
 
   const std::string session = "m3";
-  const double area = 10.0;
-  bool ok = true;
+  const Scenario scenario = Scenario::smart_city(iot, edge, config.base_seed);
+  const workload::ProviderContext ctx =
+      bench::provider_context(scenario, config.base_seed);
+  bench::BenchReport report(config, "m3_serve");
+  report.set_provider(workload_spec);
 
   {
     // Warm the session: CONFIGURE builds the topology, delay matrix, and
@@ -222,6 +258,7 @@ int run(int argc, char** argv) {
     if (!warm.roundtrip(configure, response) ||
         response.rfind("OK", 0) != 0) {
       std::cerr << "GATE FAILED: CONFIGURE failed: " << response << "\n";
+      report.gate("configure", false);
       server.request_shutdown();
       return 1;
     }
@@ -236,8 +273,8 @@ int run(int argc, char** argv) {
     workers.reserve(connections);
     for (std::size_t c = 0; c < connections; ++c) {
       workers.emplace_back([&, c] {
-        per_conn[c] = drive_connection(server.unix_path(), session, requests,
-                                       iot, area,
+        per_conn[c] = drive_connection(server.unix_path(), session,
+                                       workload_spec, ctx, requests, iot,
                                        config.base_seed * 1'000 + c);
       });
     }
@@ -279,9 +316,10 @@ int run(int argc, char** argv) {
                  util::format_double(rejection_rate * 100.0, 3) + "%"});
   std::cout << table.to_string("M3 — taccd closed-loop serve (" +
                                std::to_string(iot) + " base devices, " +
-                               std::to_string(edge) + " servers):");
+                               std::to_string(edge) + " servers, provider " +
+                               workload_spec + "):");
 
-  bench::CsvFile csv(flags, "m3_serve");
+  bench::CsvFile csv(config, "m3_serve");
   csv.writer().header({"connections", "requests", "responses", "ok",
                        "overloaded", "deadline", "rps", "p50_us", "p99_us",
                        "p999_us", "rejection_rate"});
@@ -290,22 +328,24 @@ int run(int argc, char** argv) {
                    rejection_rate);
 
   // ---- Gate 1: exactly one terminal response per submitted request. --------
-  if (total.lost != 0 || total.responses() != total.sent ||
-      total.unexpected_err != 0 || total.shutting_down != 0) {
-    std::cerr << "GATE FAILED: response accounting (sent=" << total.sent
+  const bool accounting_ok =
+      total.lost == 0 && total.responses() == total.sent &&
+      total.unexpected_err == 0 && total.shutting_down == 0;
+  if (!accounting_ok) {
+    std::cerr << "response accounting (sent=" << total.sent
               << " responses=" << total.responses() << " lost=" << total.lost
               << " unexpected_err=" << total.unexpected_err
               << " shutting_down=" << total.shutting_down << ")\n";
-    ok = false;
   }
+  report.gate("response_accounting", accounting_ok);
 
   // ---- Gate 2: sustained throughput. ---------------------------------------
   if (rps < min_rps) {
-    std::cerr << "GATE FAILED: throughput " << util::format_double(rps, 0)
+    std::cerr << "throughput " << util::format_double(rps, 0)
               << " rps < required " << util::format_double(min_rps, 0)
               << "\n";
-    ok = false;
   }
+  report.gate("min_throughput", rps >= min_rps);
 
   // ---- Gate 3: SIGTERM under load drains cleanly. --------------------------
   if (sigterm_phase) {
@@ -326,8 +366,8 @@ int run(int argc, char** argv) {
             while (guard.elapsed_seconds() < 60.0) {
               const std::string request =
                   "MOVE m3 " + std::to_string(rng.index(iot)) + " " +
-                  std::to_string(rng.uniform(0.0, area)) + " " +
-                  std::to_string(rng.uniform(0.0, area));
+                  std::to_string(rng.uniform(0.0, ctx.area_km)) + " " +
+                  std::to_string(rng.uniform(0.0, ctx.area_km));
               drain_sent.fetch_add(1);
               if (!client.roundtrip(request, response)) return;
               drain_responded.fetch_add(1);
@@ -349,24 +389,35 @@ int run(int argc, char** argv) {
               << unanswered << " cut at the final socket close)\n";
     // Each connection may lose at most its single in-flight request to the
     // post-drain socket close; more means requests vanished while admitted.
-    if (drain_anomaly.load() || unanswered > connections) {
-      std::cerr << "GATE FAILED: SIGTERM drain (anomaly="
-                << drain_anomaly.load() << ", unanswered=" << unanswered
+    const bool drain_ok =
+        !drain_anomaly.load() && unanswered <= connections;
+    if (!drain_ok) {
+      std::cerr << "SIGTERM drain (anomaly=" << drain_anomaly.load()
+                << ", unanswered=" << unanswered
                 << " > connections=" << connections << ")\n";
-      ok = false;
     }
+    report.gate("sigterm_drain", drain_ok);
   } else {
     server.request_shutdown();
     server_thread.join();
   }
 
+  report.metric("rps", rps);
+  report.metric("p50_us", p50);
+  report.metric("p99_us", p99);
+  report.metric("p999_us", p999);
+  report.metric("rejection_rate", rejection_rate);
+  report.metric("requests", static_cast<double>(total.sent));
+  report.write();
+
+  const bool ok = report.all_gates_passed();
   if (ok) {
     std::cout << "All serve gates passed: full response accounting, "
               << util::format_double(rps, 0) << " rps >= "
               << util::format_double(min_rps, 0)
               << (sigterm_phase ? ", graceful SIGTERM drain.\n" : ".\n");
   }
-  bench::check_unused_flags(flags);
+  config.check_unused();
   return ok ? 0 : 1;
 }
 

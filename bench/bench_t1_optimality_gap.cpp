@@ -12,9 +12,8 @@ namespace {
 using namespace tacc;
 
 int run(int argc, char** argv) {
-  const auto flags = util::Flags::parse(argc, argv);
-  const auto config = bench::BenchConfig::from_flags(flags);
-  bench::CsvFile csv(flags, "t1_optimality_gap");
+  const auto config = bench::BenchConfig::parse(argc, argv);
+  bench::CsvFile csv(config, "t1_optimality_gap");
   csv.writer().header({"n", "m", "seed", "algorithm", "cost", "opt",
                        "gap_pct", "feasible"});
 
@@ -82,7 +81,7 @@ int run(int argc, char** argv) {
             << "\nExpected shape: RL heuristics within a few percent of OPT;"
                "\ncapacity-oblivious nearest is infeasible on tight "
                "instances.\n";
-  bench::check_unused_flags(flags);
+  config.check_unused();
   return 0;
 }
 

@@ -14,15 +14,14 @@ namespace {
 using namespace tacc;
 
 int run(int argc, char** argv) {
-  const auto flags = util::Flags::parse(argc, argv);
-  const auto config = bench::BenchConfig::from_flags(flags);
+  const auto config = bench::BenchConfig::parse(argc, argv);
   const auto iot = static_cast<std::size_t>(
-      flags.get_int("iot", config.quick ? 200 : 500));
-  const auto edge = static_cast<std::size_t>(flags.get_int("edge", 20));
+      config.flags.get_int("iot", config.quick ? 200 : 500));
+  const auto edge = static_cast<std::size_t>(config.flags.get_int("edge", 20));
   const auto parallel = static_cast<std::size_t>(
-      std::max<std::int64_t>(0, flags.get_int("parallel", 1)));
+      std::max<std::int64_t>(0, config.flags.get_int("parallel", 1)));
 
-  bench::CsvFile csv(flags, "t2_headline");
+  bench::CsvFile csv(config, "t2_headline");
   csv.writer().header({"algorithm", "mean_cost", "ci95_cost",
                        "mean_avg_delay_ms", "mean_max_util",
                        "feasible_fraction", "mean_wall_ms", "mean_lb_gap_pct"});
@@ -101,7 +100,7 @@ int run(int argc, char** argv) {
             << "\nExpected shape: RL heuristics feasible with the lowest "
                "delay among\nfeasible methods; oblivious nearest overloads "
                "(max util > 1, feasible 0).\n";
-  bench::check_unused_flags(flags);
+  config.check_unused();
   return 0;
 }
 

@@ -1,8 +1,22 @@
 #!/bin/bash
-# Regenerates every experiment (tables T1-T2, figures F1-F8, ablations A1-A3).
-# Runs from the repo root; benches write their CSVs into results/ by default
-# (override with --out=DIR, which is forwarded along with any other flags).
+# Regenerates every experiment (tables T1-T2, figures F1-F8, ablations,
+# machinery gates M1-M4). Runs from the repo root; benches write their CSVs
+# and BENCH_*.json perf artifacts into results/ by default (override with
+# --out=DIR, which is forwarded along with any other flags). After the
+# sweep, every BENCH_*.json in the output directory is schema-validated by
+# tools/check_bench_json.py, so a bench that emits a malformed artifact
+# fails the run even if its own gates passed.
+set -o pipefail
 cd "$(dirname "$0")/.."
+
+# Mirror the benches' --out handling so validation looks where they wrote.
+OUT_DIR=results
+for arg in "$@"; do
+  case "$arg" in
+    --out=*) OUT_DIR=${arg#--out=} ;;
+  esac
+done
+
 for b in bench_t1_optimality_gap bench_t2_headline bench_f1_delay_vs_iot \
          bench_f2_delay_vs_edge bench_f3_load_factor bench_f4_convergence \
          bench_f5_delay_cdf bench_f6_deadline_miss bench_f7_topologies \
@@ -15,3 +29,6 @@ for b in bench_t1_optimality_gap bench_t2_headline bench_f1_delay_vs_iot \
 done
 echo "##### bench_a3_micro #####"
 ./build/bench/bench_a3_micro --benchmark_min_time=0.2 || exit 1
+
+echo "##### validate BENCH_*.json #####"
+python3 tools/check_bench_json.py "$OUT_DIR" || exit 1

@@ -33,25 +33,4 @@ ClusterConfiguration ClusterConfigurator::configure(
           scenario_->fingerprint()};
 }
 
-// Deprecated wrappers forward to the request-based entry point; suppress the
-// self-referential deprecation warnings their definitions would emit.
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-
-ClusterConfiguration ClusterConfigurator::configure_topology_oblivious(
-    Algorithm algorithm, const AlgorithmOptions& options) const {
-  return configure(
-      ConfigureRequest{algorithm, options, CostModel::kEuclidean});
-}
-
-ClusterConfiguration ClusterConfigurator::configure_deadline_aware(
-    Algorithm algorithm, const AlgorithmOptions& options,
-    double penalty_factor) const {
-  return configure(ConfigureRequest{algorithm, options,
-                                    CostModel::kDeadlinePenalized,
-                                    penalty_factor});
-}
-
-#pragma GCC diagnostic pop
-
 }  // namespace tacc

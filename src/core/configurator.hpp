@@ -174,37 +174,6 @@ class ClusterConfigurator {
       std::span<const ConfigureRequest> requests,
       std::size_t threads = 0) const;
 
-  // ---- Deprecated entry points (pre-ConfigureRequest API) ------------------
-
-  /// Runs `algorithm` on the scenario's topology-aware instance.
-  /// Templated so a braced request (`configure({Algorithm::kX})`) can never
-  /// select this overload — braced-init-lists don't deduce, so they always
-  /// resolve to configure(const ConfigureRequest&) above.
-  template <typename Alg,
-            std::enable_if_t<std::is_same_v<Alg, Algorithm>, int> = 0>
-  [[deprecated("use configure(const ConfigureRequest&)")]] [[nodiscard]]
-  ClusterConfiguration configure(Alg algorithm,
-                                 const AlgorithmOptions& options = {}) const {
-    return configure(ConfigureRequest{algorithm, options});
-  }
-
-  /// A1 ablation: solve on Euclidean costs, evaluate on true delays.
-  [[deprecated(
-      "use configure({algorithm, options, CostModel::kEuclidean})")]]
-  [[nodiscard]] ClusterConfiguration configure_topology_oblivious(
-      Algorithm algorithm, const AlgorithmOptions& options = {}) const;
-
-  /// Deadline-aware configuration: solves on a deadline-penalized cost
-  /// matrix (servers whose delay exceeds a device's deadline look
-  /// `penalty_factor`× worse), then evaluates on the true instance.
-  /// Requires the scenario's instance to carry deadlines.
-  [[deprecated(
-      "use configure({algorithm, options, CostModel::kDeadlinePenalized, "
-      "penalty_factor})")]]
-  [[nodiscard]] ClusterConfiguration configure_deadline_aware(
-      Algorithm algorithm, const AlgorithmOptions& options = {},
-      double penalty_factor = 10.0) const;
-
   [[nodiscard]] const Scenario& scenario() const noexcept {
     return *scenario_;
   }

@@ -81,11 +81,4 @@ void restore_links(NetworkTopology& net,
   }
 }
 
-NetworkTopology with_failed_links(const NetworkTopology& net,
-                                  const std::vector<LinkEndpoints>& links) {
-  NetworkTopology degraded = net;
-  fail_links(degraded, links);
-  return degraded;
-}
-
 }  // namespace tacc::topo

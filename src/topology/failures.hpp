@@ -38,14 +38,6 @@ void fail_links(NetworkTopology& net, const std::vector<LinkEndpoints>& links);
 void restore_links(NetworkTopology& net,
                    const std::vector<LinkEndpoints>& links);
 
-/// A copy of `net` with the given links removed. Throws
-/// std::invalid_argument if any link does not exist.
-[[deprecated(
-    "copies the whole network per failure set; use fail_links/restore_links "
-    "in place (or an incr::IncrementalDelayEngine) instead")]] [[nodiscard]]
-NetworkTopology with_failed_links(const NetworkTopology& net,
-                                  const std::vector<LinkEndpoints>& links);
-
 /// True iff every IoT device can still reach at least one edge server.
 [[nodiscard]] bool all_devices_served(const NetworkTopology& net);
 

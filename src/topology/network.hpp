@@ -93,10 +93,10 @@ struct NetworkTopology {
   void release_node(NodeId node) { graph.release_node(node); }
 
   // ---- In-place link mutation (live topology churn) -----------------------
-  // These mutate THIS network instead of copying it (contrast the deprecated
-  // topo::with_failed_links). Callers that maintain derived state (delay
-  // matrices, shortest-path trees) should route mutations through an
-  // incr::IncrementalDelayEngine so that state is updated incrementally.
+  // These mutate THIS network instead of copying it. Callers that maintain
+  // derived state (delay matrices, shortest-path trees) should route
+  // mutations through an incr::IncrementalDelayEngine so that state is
+  // updated incrementally.
 
   /// Takes the u–v link out of service: removes the edge and records its
   /// properties on `failed_links` for restore_link(). Throws

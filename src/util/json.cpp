@@ -1,0 +1,192 @@
+#include "util/json.hpp"
+
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+#include <stdexcept>
+
+namespace tacc::util {
+
+std::string json_escape(std::string_view text) {
+  std::string out;
+  out.reserve(text.size());
+  for (const char c : text) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\b':
+        out += "\\b";
+        break;
+      case '\f':
+        out += "\\f";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buffer[8];
+          std::snprintf(buffer, sizeof buffer, "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buffer;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string json_number(double value) {
+  if (!std::isfinite(value)) return "null";
+  char buffer[64];
+  const auto [ptr, ec] =
+      std::to_chars(buffer, buffer + sizeof buffer, value);
+  if (ec != std::errc()) return "null";  // unreachable: 64 bytes suffice
+  return std::string(buffer, ptr);
+}
+
+void JsonWriter::indent() {
+  raw("\n");
+  for (std::size_t i = 0; i < stack_.size(); ++i) raw("  ");
+}
+
+void JsonWriter::begin_token(bool is_key) {
+  if (stack_.empty()) {
+    if (wrote_anything_) {
+      throw std::logic_error("JsonWriter: document already complete");
+    }
+    wrote_anything_ = true;
+    return;
+  }
+  Level& top = stack_.back();
+  if (top.container == Container::kObject) {
+    if (is_key == top.key_pending) {
+      throw std::logic_error(is_key
+                                 ? "JsonWriter: key after key"
+                                 : "JsonWriter: object member needs a key");
+    }
+    if (is_key) {
+      if (top.entries > 0) raw(",");
+      indent();
+      top.key_pending = true;
+    } else {
+      top.key_pending = false;
+      ++top.entries;
+    }
+  } else {
+    if (is_key) {
+      throw std::logic_error("JsonWriter: key inside an array");
+    }
+    if (top.entries > 0) raw(",");
+    indent();
+    ++top.entries;
+  }
+  wrote_anything_ = true;
+}
+
+JsonWriter& JsonWriter::begin_object() {
+  begin_token(/*is_key=*/false);
+  raw("{");
+  stack_.push_back({Container::kObject});
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_object() {
+  if (stack_.empty() || stack_.back().container != Container::kObject ||
+      stack_.back().key_pending) {
+    throw std::logic_error("JsonWriter: unbalanced end_object");
+  }
+  const bool had_entries = stack_.back().entries > 0;
+  stack_.pop_back();
+  if (had_entries) indent();
+  raw("}");
+  if (stack_.empty()) raw("\n");
+  return *this;
+}
+
+JsonWriter& JsonWriter::begin_array() {
+  begin_token(/*is_key=*/false);
+  raw("[");
+  stack_.push_back({Container::kArray});
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_array() {
+  if (stack_.empty() || stack_.back().container != Container::kArray) {
+    throw std::logic_error("JsonWriter: unbalanced end_array");
+  }
+  const bool had_entries = stack_.back().entries > 0;
+  stack_.pop_back();
+  if (had_entries) indent();
+  raw("]");
+  if (stack_.empty()) raw("\n");
+  return *this;
+}
+
+JsonWriter& JsonWriter::key(std::string_view name) {
+  if (stack_.empty() || stack_.back().container != Container::kObject) {
+    throw std::logic_error("JsonWriter: key outside an object");
+  }
+  begin_token(/*is_key=*/true);
+  raw("\"");
+  raw(json_escape(name));
+  raw("\": ");
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::string_view text) {
+  begin_token(/*is_key=*/false);
+  raw("\"");
+  raw(json_escape(text));
+  raw("\"");
+  if (stack_.empty()) raw("\n");
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(double number) {
+  begin_token(/*is_key=*/false);
+  raw(json_number(number));
+  if (stack_.empty()) raw("\n");
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::int64_t number) {
+  begin_token(/*is_key=*/false);
+  raw(std::to_string(number));
+  if (stack_.empty()) raw("\n");
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::uint64_t number) {
+  begin_token(/*is_key=*/false);
+  raw(std::to_string(number));
+  if (stack_.empty()) raw("\n");
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(bool flag) {
+  begin_token(/*is_key=*/false);
+  raw(flag ? "true" : "false");
+  if (stack_.empty()) raw("\n");
+  return *this;
+}
+
+JsonWriter& JsonWriter::null() {
+  begin_token(/*is_key=*/false);
+  raw("null");
+  if (stack_.empty()) raw("\n");
+  return *this;
+}
+
+}  // namespace tacc::util

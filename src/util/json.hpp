@@ -1,0 +1,95 @@
+// Minimal streaming JSON emission for machine-readable artifacts.
+//
+// The bench harness writes one BENCH_<name>.json per gated bench so the
+// perf trajectory (throughput, tail latency, gate outcomes) can be tracked
+// across PRs without scraping console tables. The writer is strictly
+// streaming — begin/end pairs with comma bookkeeping — because the
+// documents are small and flat; there is deliberately no DOM.
+//
+// Formatting contract (so artifacts diff cleanly across runs):
+//  - strings escaped per RFC 8259 (quote, backslash, and control characters;
+//    everything else, UTF-8 included, passes through untouched);
+//  - doubles use the shortest round-trip form (std::to_chars); non-finite
+//    values become null — JSON has no NaN/Infinity;
+//  - two-space indentation, keys in insertion order.
+#pragma once
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace tacc::util {
+
+/// Escapes `text` for inclusion inside a JSON string literal (no quotes
+/// added). Control characters below 0x20 use \uXXXX unless they have a
+/// short form (\n, \t, \r, \b, \f).
+[[nodiscard]] std::string json_escape(std::string_view text);
+
+/// Renders a double as a JSON number token: shortest form that round-trips
+/// the exact value. Non-finite values render as "null".
+[[nodiscard]] std::string json_number(double value);
+
+/// Streams one JSON document to an std::ostream. Misuse (value without a
+/// pending key inside an object, unbalanced end_*) throws std::logic_error
+/// so bugs surface in tests rather than as silently malformed artifacts.
+class JsonWriter {
+ public:
+  /// The writer keeps a reference to `out`; the stream must outlive it.
+  explicit JsonWriter(std::ostream& out) : out_(&out) {}
+
+  JsonWriter& begin_object();
+  JsonWriter& end_object();
+  JsonWriter& begin_array();
+  JsonWriter& end_array();
+
+  /// Object member key; must be followed by exactly one value or container.
+  JsonWriter& key(std::string_view name);
+
+  JsonWriter& value(std::string_view text);
+  JsonWriter& value(const std::string& text) {
+    return value(std::string_view(text));
+  }
+  JsonWriter& value(const char* text) { return value(std::string_view(text)); }
+  JsonWriter& value(double number);
+  JsonWriter& value(std::int64_t number);
+  JsonWriter& value(std::uint64_t number);
+  JsonWriter& value(int number) {
+    return value(static_cast<std::int64_t>(number));
+  }
+  JsonWriter& value(bool flag);
+  JsonWriter& null();
+
+  /// key() + value() in one call.
+  template <typename T>
+  JsonWriter& field(std::string_view name, const T& v) {
+    key(name);
+    return value(v);
+  }
+
+  /// True once every opened container has been closed (and at least one
+  /// token was written) — the document is complete.
+  [[nodiscard]] bool complete() const noexcept {
+    return wrote_anything_ && stack_.empty();
+  }
+
+ private:
+  enum class Container : std::uint8_t { kObject, kArray };
+  struct Level {
+    Container container;
+    std::size_t entries = 0;
+    bool key_pending = false;  ///< object: key emitted, value owed
+  };
+
+  /// Comma/newline/indent bookkeeping before any value or container start.
+  void begin_token(bool is_key);
+  void raw(std::string_view text) { *out_ << text; }
+  void indent();
+
+  std::ostream* out_;
+  std::vector<Level> stack_;
+  bool wrote_anything_ = false;
+};
+
+}  // namespace tacc::util

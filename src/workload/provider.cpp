@@ -1,0 +1,784 @@
+#include "workload/provider.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <numbers>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <utility>
+
+#include "util/contracts.hpp"
+#include "util/rng.hpp"
+#include "workload/mobility.hpp"
+
+namespace tacc::workload {
+
+std::string_view to_string(EventKind kind) noexcept {
+  switch (kind) {
+    case EventKind::kJoin:
+      return "join";
+    case EventKind::kLeave:
+      return "leave";
+    case EventKind::kMove:
+      return "move";
+    case EventKind::kLinkFail:
+      return "link_fail";
+    case EventKind::kLinkRestore:
+      return "link_restore";
+    case EventKind::kLinkSetLatency:
+      return "link_set_latency";
+    case EventKind::kDemandPulse:
+      return "demand_pulse";
+  }
+  return "unknown";
+}
+
+ProviderContext make_context(const topo::NetworkTopology& net,
+                             const Workload& workload, double area_km,
+                             std::uint64_t seed) {
+  if (workload.iot.size() != net.iot_count()) {
+    throw std::invalid_argument(
+        "make_context: workload/topology device count mismatch");
+  }
+  ProviderContext ctx;
+  ctx.seed = seed;
+  ctx.area_km = area_km;
+  ctx.base_positions = workload.iot_positions();
+  ctx.base_demands.reserve(workload.iot.size());
+  ctx.base_rates_hz.reserve(workload.iot.size());
+  for (const IotDevice& device : workload.iot) {
+    ctx.base_demands.push_back(device.demand);
+    ctx.base_rates_hz.push_back(device.request_rate_hz);
+  }
+  ctx.links = topo::backbone_links(net);
+  ctx.link_midpoints.reserve(ctx.links.size());
+  ctx.link_latency_ms.reserve(ctx.links.size());
+  for (const auto& [u, v] : ctx.links) {
+    const topo::Point2D a = net.positions.at(u);
+    const topo::Point2D b = net.positions.at(v);
+    ctx.link_midpoints.push_back({(a.x + b.x) / 2.0, (a.y + b.y) / 2.0});
+    const topo::EdgeProps* props = net.graph.edge_props(u, v);
+    TACC_CHECK_INVARIANT(props != nullptr,
+                         "backbone_links returned a non-edge");
+    ctx.link_latency_ms.push_back(props->latency_ms);
+  }
+  return ctx;
+}
+
+WorkloadProvider::~WorkloadProvider() = default;
+
+namespace {
+
+using Params = std::map<std::string, double, std::less<>>;
+
+/// Looks up `key` in the parsed parameter map, falling back to the default.
+/// Collects consumed keys so unknown ones can be rejected at the end.
+class ParamReader {
+ public:
+  explicit ParamReader(const Params& params) : params_(&params) {}
+
+  double get(std::string_view key, double fallback) {
+    consumed_.emplace_back(key);
+    const auto it = params_->find(key);
+    return it == params_->end() ? fallback : it->second;
+  }
+
+  /// Throws for any parameter the provider never consumed.
+  void reject_unknown(std::string_view provider) const {
+    for (const auto& [key, value] : *params_) {
+      if (std::find(consumed_.begin(), consumed_.end(), key) ==
+          consumed_.end()) {
+        std::string valid;
+        for (const std::string& name : consumed_) {
+          if (!valid.empty()) valid += ", ";
+          valid += name;
+        }
+        throw std::invalid_argument("workload provider '" +
+                                    std::string(provider) +
+                                    "': unknown parameter '" + key +
+                                    "' (valid: " + valid + ")");
+      }
+    }
+  }
+
+ private:
+  const Params* params_;
+  std::vector<std::string> consumed_;
+};
+
+/// Shared provider machinery: the simulated clock, per-device and per-link
+/// bookkeeping that keeps emitted streams legal, and emission helpers that
+/// stamp times and update that bookkeeping. Subclasses implement
+/// fill_step() in terms of the emit_* helpers only.
+class ProviderBase : public WorkloadProvider {
+ public:
+  ProviderBase(const ProviderContext& context, std::uint64_t stream)
+      : ctx_(context), rng_(util::Rng(context.seed).fork(stream)) {
+    const std::size_t n = ctx_.base_devices();
+    position_.assign(ctx_.base_positions.begin(), ctx_.base_positions.end());
+    demand_ = ctx_.base_demands;
+    base_demand_ = ctx_.base_demands;
+    rate_ = ctx_.base_rates_hz;
+    alive_.assign(n, true);
+    live_.resize(n);
+    live_slot_.resize(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      live_[i] = i;
+      live_slot_[i] = i;
+    }
+    next_id_ = n;
+    link_failed_.assign(ctx_.links.size(), false);
+    link_latency_ = ctx_.link_latency_ms;
+  }
+
+  [[nodiscard]] std::vector<Event> step(double dt_s) final {
+    if (!(dt_s > 0.0)) {
+      throw std::invalid_argument("WorkloadProvider::step: dt must be > 0");
+    }
+    std::vector<Event> events;
+    fill_step(dt_s, events);
+    now_ += dt_s;
+    return events;
+  }
+
+  [[nodiscard]] double now_s() const noexcept final { return now_; }
+  [[nodiscard]] std::size_t live_devices() const noexcept final {
+    return live_.size();
+  }
+
+ protected:
+  virtual void fill_step(double dt_s, std::vector<Event>& events) = 0;
+
+  [[nodiscard]] const ProviderContext& context() const noexcept {
+    return ctx_;
+  }
+  [[nodiscard]] util::Rng& rng() noexcept { return rng_; }
+  [[nodiscard]] double clock() const noexcept { return now_; }
+
+  [[nodiscard]] topo::Point2D random_position() {
+    return {rng_.uniform(0.0, ctx_.area_km), rng_.uniform(0.0, ctx_.area_km)};
+  }
+
+  /// Normal scatter around `center`, clamped into the area.
+  [[nodiscard]] topo::Point2D scatter(topo::Point2D center, double stddev_km) {
+    const double x = center.x + rng_.normal(0.0, stddev_km);
+    const double y = center.y + rng_.normal(0.0, stddev_km);
+    return {std::clamp(x, 0.0, ctx_.area_km), std::clamp(y, 0.0, ctx_.area_km)};
+  }
+
+  [[nodiscard]] bool any_live() const noexcept { return !live_.empty(); }
+  [[nodiscard]] std::size_t sample_live() {
+    TACC_CHECK_INVARIANT(!live_.empty(), "sample_live on empty population");
+    return live_[rng_.index(live_.size())];
+  }
+  [[nodiscard]] bool is_live(std::size_t id) const {
+    return id < alive_.size() && alive_[id];
+  }
+  [[nodiscard]] topo::Point2D position_of(std::size_t id) const {
+    return position_.at(id);
+  }
+  [[nodiscard]] double base_demand_of(std::size_t id) const {
+    return base_demand_.at(id);
+  }
+
+  /// Mints a new device id and emits its kJoin.
+  std::size_t emit_join(std::vector<Event>& events, topo::Point2D position,
+                        double rate_hz, double demand) {
+    const std::size_t id = next_id_++;
+    position_.push_back(position);
+    demand_.push_back(demand);
+    base_demand_.push_back(demand);
+    rate_.push_back(rate_hz);
+    alive_.push_back(true);
+    live_slot_.push_back(live_.size());
+    live_.push_back(id);
+    Event event;
+    event.kind = EventKind::kJoin;
+    event.time_s = now_;
+    event.device = id;
+    event.position = position;
+    event.rate_hz = rate_hz;
+    event.demand = demand;
+    events.push_back(event);
+    return id;
+  }
+
+  void emit_leave(std::vector<Event>& events, std::size_t id) {
+    TACC_CHECK_INVARIANT(is_live(id), "emit_leave of a dead device");
+    alive_[id] = false;
+    const std::size_t slot = live_slot_[id];
+    live_[slot] = live_.back();
+    live_slot_[live_.back()] = slot;
+    live_.pop_back();
+    Event event;
+    event.kind = EventKind::kLeave;
+    event.time_s = now_;
+    event.device = id;
+    events.push_back(event);
+  }
+
+  void emit_move(std::vector<Event>& events, std::size_t id,
+                 topo::Point2D position) {
+    TACC_CHECK_INVARIANT(is_live(id), "emit_move of a dead device");
+    position_[id] = position;
+    Event event;
+    event.kind = EventKind::kMove;
+    event.time_s = now_;
+    event.device = id;
+    event.position = position;
+    events.push_back(event);
+  }
+
+  void emit_demand_pulse(std::vector<Event>& events, std::size_t id,
+                         double demand) {
+    TACC_CHECK_INVARIANT(is_live(id), "emit_demand_pulse of a dead device");
+    TACC_CHECK_INVARIANT(demand > 0.0, "demand pulse must stay positive");
+    demand_[id] = demand;
+    Event event;
+    event.kind = EventKind::kDemandPulse;
+    event.time_s = now_;
+    event.device = id;
+    event.position = position_[id];
+    event.rate_hz = rate_[id];
+    event.demand = demand;
+    events.push_back(event);
+  }
+
+  [[nodiscard]] std::size_t link_count() const noexcept {
+    return ctx_.links.size();
+  }
+  [[nodiscard]] bool link_failed(std::size_t link) const {
+    return link_failed_.at(link);
+  }
+
+  void emit_link_fail(std::vector<Event>& events, std::size_t link) {
+    TACC_CHECK_INVARIANT(!link_failed_.at(link), "failing a failed link");
+    link_failed_[link] = true;
+    Event event;
+    event.kind = EventKind::kLinkFail;
+    event.time_s = now_;
+    event.link = link;
+    events.push_back(event);
+  }
+
+  void emit_link_restore(std::vector<Event>& events, std::size_t link) {
+    TACC_CHECK_INVARIANT(link_failed_.at(link), "restoring a live link");
+    link_failed_[link] = false;
+    Event event;
+    event.kind = EventKind::kLinkRestore;
+    event.time_s = now_;
+    event.link = link;
+    events.push_back(event);
+  }
+
+  void emit_link_reweight(std::vector<Event>& events, std::size_t link,
+                          double latency_ms) {
+    TACC_CHECK_INVARIANT(!link_failed_.at(link), "reweighting a failed link");
+    TACC_CHECK_INVARIANT(latency_ms > 0.0, "latency must stay positive");
+    link_latency_[link] = latency_ms;
+    Event event;
+    event.kind = EventKind::kLinkSetLatency;
+    event.time_s = now_;
+    event.link = link;
+    event.latency_ms = latency_ms;
+    events.push_back(event);
+  }
+
+  [[nodiscard]] double link_latency(std::size_t link) const {
+    return link_latency_.at(link);
+  }
+
+ private:
+  ProviderContext ctx_;
+  util::Rng rng_;
+  double now_ = 0.0;
+
+  // Per device id (grows with joins; never shrinks).
+  std::vector<topo::Point2D> position_;
+  std::vector<double> demand_;
+  std::vector<double> base_demand_;
+  std::vector<double> rate_;
+  std::vector<bool> alive_;
+  // Live ids with O(1) sampling and swap-removal.
+  std::vector<std::size_t> live_;
+  std::vector<std::size_t> live_slot_;  ///< id -> index in live_
+  std::size_t next_id_ = 0;
+
+  std::vector<bool> link_failed_;
+  std::vector<double> link_latency_;
+};
+
+// ---------------------------------------------------------------------------
+// steady: balanced Poisson join/leave keeping the population near its base,
+// random-jump moves, occasional demand pulses, optional link flaps.
+class SteadyProvider : public ProviderBase {
+ public:
+  SteadyProvider(const ProviderContext& context, ParamReader& params)
+      : ProviderBase(context, /*stream=*/0x5745ADULL),
+        join_rate_(params.get("join_rate", 1.0)),
+        move_rate_(params.get("move_rate", 10.0)),
+        pulse_rate_(params.get("pulse_rate", 0.2)),
+        link_rate_(params.get("link_rate", 0.0)),
+        jump_km_(params.get("jump_km", 1.0)) {}
+
+  [[nodiscard]] std::string_view name() const noexcept override {
+    return "steady";
+  }
+
+ protected:
+  void fill_step(double dt_s, std::vector<Event>& events) override {
+    const std::size_t base = context().base_devices();
+    for (std::uint64_t k = rng().poisson(join_rate_ * dt_s); k > 0; --k) {
+      const double rate = rng().uniform(2.0, 10.0);
+      (void)emit_join(events, random_position(), rate, rate);
+    }
+    for (std::uint64_t k = rng().poisson(join_rate_ * dt_s); k > 0; --k) {
+      // Leaves match the join rate but stop at half the base population so
+      // the stream never drains the cluster.
+      if (live_devices() <= std::max<std::size_t>(base / 2, 1)) break;
+      emit_leave(events, sample_live());
+    }
+    for (std::uint64_t k = rng().poisson(move_rate_ * dt_s); k > 0; --k) {
+      if (!any_live()) break;
+      const std::size_t id = sample_live();
+      emit_move(events, id, scatter(position_of(id), jump_km_));
+    }
+    for (std::uint64_t k = rng().poisson(pulse_rate_ * dt_s); k > 0; --k) {
+      if (!any_live()) break;
+      const std::size_t id = sample_live();
+      emit_demand_pulse(events, id,
+                        base_demand_of(id) * rng().uniform(0.5, 3.0));
+    }
+    if (link_count() > 0) {
+      for (std::uint64_t k = rng().poisson(link_rate_ * dt_s); k > 0; --k) {
+        const std::size_t link = rng().index(link_count());
+        if (link_failed(link)) {
+          emit_link_restore(events, link);
+        } else if (rng().bernoulli(1.0 / 3.0)) {
+          emit_link_reweight(events, link,
+                             link_latency(link) * rng().uniform(0.5, 2.0));
+        } else {
+          emit_link_fail(events, link);
+        }
+      }
+    }
+  }
+
+ private:
+  double join_rate_;
+  double move_rate_;
+  double pulse_rate_;
+  double link_rate_;
+  double jump_km_;
+};
+
+// ---------------------------------------------------------------------------
+// diurnal: join/leave rates modulated in antiphase by a sine wave, so the
+// population breathes with a configurable period (traffic waves).
+class DiurnalProvider : public ProviderBase {
+ public:
+  DiurnalProvider(const ProviderContext& context, ParamReader& params)
+      : ProviderBase(context, /*stream=*/0xD1114AULL),
+        period_s_(params.get("period_s", 600.0)),
+        amplitude_(std::clamp(params.get("amplitude", 0.8), 0.0, 1.0)),
+        join_rate_(params.get("join_rate", 2.0)),
+        move_rate_(params.get("move_rate", 10.0)),
+        pulse_rate_(params.get("pulse_rate", 0.2)) {
+    if (period_s_ <= 0.0) {
+      throw std::invalid_argument("diurnal: period_s must be > 0");
+    }
+  }
+
+  [[nodiscard]] std::string_view name() const noexcept override {
+    return "diurnal";
+  }
+
+ protected:
+  void fill_step(double dt_s, std::vector<Event>& events) override {
+    const double phase =
+        std::sin(2.0 * std::numbers::pi * clock() / period_s_);
+    const double wave_up = 1.0 + amplitude_ * phase;    // daytime: arrivals
+    const double wave_down = 1.0 - amplitude_ * phase;  // nighttime: churn-off
+    const std::size_t base = context().base_devices();
+    for (std::uint64_t k = rng().poisson(join_rate_ * wave_up * dt_s); k > 0;
+         --k) {
+      const double rate = rng().uniform(2.0, 10.0);
+      (void)emit_join(events, random_position(), rate, rate);
+    }
+    for (std::uint64_t k = rng().poisson(join_rate_ * wave_down * dt_s);
+         k > 0; --k) {
+      if (live_devices() <= std::max<std::size_t>(base / 2, 1)) break;
+      emit_leave(events, sample_live());
+    }
+    for (std::uint64_t k = rng().poisson(move_rate_ * dt_s); k > 0; --k) {
+      if (!any_live()) break;
+      const std::size_t id = sample_live();
+      emit_move(events, id, scatter(position_of(id), 1.0));
+    }
+    for (std::uint64_t k = rng().poisson(pulse_rate_ * wave_up * dt_s);
+         k > 0; --k) {
+      if (!any_live()) break;
+      const std::size_t id = sample_live();
+      emit_demand_pulse(events, id,
+                        base_demand_of(id) * rng().uniform(0.5, 3.0));
+    }
+  }
+
+ private:
+  double period_s_;
+  double amplitude_;
+  double join_rate_;
+  double move_rate_;
+  double pulse_rate_;
+};
+
+// ---------------------------------------------------------------------------
+// flash_crowd: a steady background plus periodic bursts — joins arrive at
+// burst_rate clustered around a per-burst hotspot for burst_s seconds, then
+// the cohort drains over drain_s.
+class FlashCrowdProvider : public ProviderBase {
+ public:
+  FlashCrowdProvider(const ProviderContext& context, ParamReader& params)
+      : ProviderBase(context, /*stream=*/0xF1A54ULL),
+        background_rate_(params.get("background_rate", 0.5)),
+        move_rate_(params.get("move_rate", 10.0)),
+        burst_every_s_(params.get("burst_every_s", 120.0)),
+        burst_s_(params.get("burst_s", 20.0)),
+        burst_rate_(params.get("burst_rate", 20.0)),
+        burst_stddev_km_(params.get("burst_stddev_km", 0.5)),
+        drain_s_(params.get("drain_s", 40.0)) {
+    if (burst_every_s_ <= 0.0 || burst_s_ <= 0.0 || drain_s_ <= 0.0) {
+      throw std::invalid_argument(
+          "flash_crowd: burst_every_s/burst_s/drain_s must be > 0");
+    }
+    next_burst_s_ = burst_every_s_;
+  }
+
+  [[nodiscard]] std::string_view name() const noexcept override {
+    return "flash_crowd";
+  }
+
+ protected:
+  void fill_step(double dt_s, std::vector<Event>& events) override {
+    // Background churn, same shape as steady at a lower rate.
+    const std::size_t base = context().base_devices();
+    for (std::uint64_t k = rng().poisson(background_rate_ * dt_s); k > 0;
+         --k) {
+      const double rate = rng().uniform(2.0, 10.0);
+      (void)emit_join(events, random_position(), rate, rate);
+    }
+    for (std::uint64_t k = rng().poisson(background_rate_ * dt_s); k > 0;
+         --k) {
+      if (live_devices() <= std::max<std::size_t>(base / 2, 1)) break;
+      emit_leave(events, sample_live());
+    }
+    for (std::uint64_t k = rng().poisson(move_rate_ * dt_s); k > 0; --k) {
+      if (!any_live()) break;
+      const std::size_t id = sample_live();
+      emit_move(events, id, scatter(position_of(id), 1.0));
+    }
+
+    // Burst lifecycle.
+    if (!bursting_ && clock() >= next_burst_s_) {
+      bursting_ = true;
+      burst_end_s_ = clock() + burst_s_;
+      center_ = random_position();
+      next_burst_s_ += burst_every_s_;
+    }
+    if (bursting_) {
+      for (std::uint64_t k = rng().poisson(burst_rate_ * dt_s); k > 0; --k) {
+        const double rate = rng().uniform(4.0, 12.0);
+        cohort_.push_back(
+            emit_join(events, scatter(center_, burst_stddev_km_), rate, rate));
+      }
+      if (clock() >= burst_end_s_) bursting_ = false;
+    }
+    if (!bursting_ && !cohort_.empty()) {
+      // Drain the cohort at a rate that empties it in ~drain_s.
+      const double leave_rate =
+          std::max(1.0, static_cast<double>(cohort_.size()) / drain_s_);
+      for (std::uint64_t k = rng().poisson(leave_rate * dt_s);
+           k > 0 && !cohort_.empty(); --k) {
+        const std::size_t pick = rng().index(cohort_.size());
+        const std::size_t id = cohort_[pick];
+        cohort_[pick] = cohort_.back();
+        cohort_.pop_back();
+        if (is_live(id)) emit_leave(events, id);
+      }
+    }
+  }
+
+ private:
+  double background_rate_;
+  double move_rate_;
+  double burst_every_s_;
+  double burst_s_;
+  double burst_rate_;
+  double burst_stddev_km_;
+  double drain_s_;
+
+  bool bursting_ = false;
+  double next_burst_s_ = 0.0;
+  double burst_end_s_ = 0.0;
+  topo::Point2D center_{};
+  std::vector<std::size_t> cohort_;
+};
+
+// ---------------------------------------------------------------------------
+// mobility_trace: wraps the random-waypoint model over the base devices;
+// emits only kMove events (no churn).
+class MobilityTraceProvider : public ProviderBase {
+ public:
+  MobilityTraceProvider(const ProviderContext& context, ParamReader& params)
+      : ProviderBase(context, /*stream=*/0x40B111ULL) {
+    MobilityParams mobility;
+    mobility.area_km = context.area_km;
+    mobility.mobile_fraction = params.get("mobile_fraction", 0.6);
+    mobility.speed_min_km_s = params.get("speed_min_km_s", 0.002);
+    mobility.speed_max_km_s = params.get("speed_max_km_s", 0.014);
+    mobility.pause_s_mean = params.get("pause_s_mean", 10.0);
+    std::vector<IotDevice> devices(context.base_devices());
+    for (std::size_t i = 0; i < devices.size(); ++i) {
+      devices[i].position = context.base_positions[i];
+    }
+    model_.emplace(devices, mobility, rng().fork(1));
+  }
+
+  [[nodiscard]] std::string_view name() const noexcept override {
+    return "mobility_trace";
+  }
+
+ protected:
+  void fill_step(double dt_s, std::vector<Event>& events) override {
+    for (const std::size_t mover : model_->advance(dt_s)) {
+      emit_move(events, mover, model_->position(mover));
+    }
+  }
+
+ private:
+  std::optional<RandomWaypointModel> model_;
+};
+
+// ---------------------------------------------------------------------------
+// regional_link_failure: correlated outages. Every outage_every_s, an
+// epicenter is chosen at a random backbone link and every live link whose
+// midpoint lies within radius_km fails together; the region restores
+// outage_s later (reverse order). A background reweight rate models routing
+// cost drift on the surviving links.
+class RegionalLinkFailureProvider : public ProviderBase {
+ public:
+  RegionalLinkFailureProvider(const ProviderContext& context,
+                              ParamReader& params)
+      : ProviderBase(context, /*stream=*/0x4E610ULL),
+        outage_every_s_(params.get("outage_every_s", 60.0)),
+        outage_s_(params.get("outage_s", 20.0)),
+        radius_km_(params.get("radius_km", 2.0)),
+        reweight_rate_(params.get("reweight_rate", 0.5)) {
+    if (outage_every_s_ <= 0.0 || outage_s_ <= 0.0) {
+      throw std::invalid_argument(
+          "regional_link_failure: outage_every_s/outage_s must be > 0");
+    }
+    if (context.links.empty()) {
+      throw std::invalid_argument(
+          "regional_link_failure: scenario has no backbone links");
+    }
+    next_outage_s_ = outage_every_s_;
+  }
+
+  [[nodiscard]] std::string_view name() const noexcept override {
+    return "regional_link_failure";
+  }
+
+ protected:
+  void fill_step(double dt_s, std::vector<Event>& events) override {
+    if (outage_.empty() && clock() >= next_outage_s_) {
+      // Epicenter on a random link midpoint: guarantees a non-empty region.
+      const auto& midpoints = context().link_midpoints;
+      const topo::Point2D epicenter = midpoints[rng().index(midpoints.size())];
+      for (std::size_t link = 0; link < link_count(); ++link) {
+        if (!link_failed(link) &&
+            topo::euclidean_distance(midpoints[link], epicenter) <=
+                radius_km_) {
+          emit_link_fail(events, link);
+          outage_.push_back(link);
+        }
+      }
+      restore_at_s_ = clock() + outage_s_;
+      next_outage_s_ += outage_every_s_;
+    } else if (!outage_.empty() && clock() >= restore_at_s_) {
+      for (auto it = outage_.rbegin(); it != outage_.rend(); ++it) {
+        emit_link_restore(events, *it);
+      }
+      outage_.clear();
+    }
+
+    for (std::uint64_t k = rng().poisson(reweight_rate_ * dt_s); k > 0; --k) {
+      const std::size_t link = rng().index(link_count());
+      if (!link_failed(link)) {
+        emit_link_reweight(events, link,
+                           link_latency(link) * rng().uniform(0.5, 2.0));
+      }
+    }
+  }
+
+ private:
+  double outage_every_s_;
+  double outage_s_;
+  double radius_km_;
+  double reweight_rate_;
+
+  double next_outage_s_ = 0.0;
+  double restore_at_s_ = 0.0;
+  std::vector<std::size_t> outage_;  ///< links failed by the current outage
+};
+
+// ---------------------------------------------------------------------------
+// hotspot_adversary: demand concentrates on one shifting region — clustered
+// joins, existing devices pulled toward the hotspot, and demand pulses that
+// inflate nearby devices. The hotspot re-picks every shift_every_s, chasing
+// whatever configuration the solver just settled on.
+class HotspotAdversaryProvider : public ProviderBase {
+ public:
+  HotspotAdversaryProvider(const ProviderContext& context, ParamReader& params)
+      : ProviderBase(context, /*stream=*/0xAD5A17ULL),
+        shift_every_s_(params.get("shift_every_s", 60.0)),
+        join_rate_(params.get("join_rate", 2.0)),
+        move_rate_(params.get("move_rate", 15.0)),
+        pulse_rate_(params.get("pulse_rate", 1.0)),
+        stddev_km_(params.get("stddev_km", 0.4)),
+        pulse_factor_max_(params.get("pulse_factor_max", 5.0)) {
+    if (shift_every_s_ <= 0.0) {
+      throw std::invalid_argument(
+          "hotspot_adversary: shift_every_s must be > 0");
+    }
+    hotspot_ = random_position();
+    next_shift_s_ = shift_every_s_;
+  }
+
+  [[nodiscard]] std::string_view name() const noexcept override {
+    return "hotspot_adversary";
+  }
+
+ protected:
+  void fill_step(double dt_s, std::vector<Event>& events) override {
+    if (clock() >= next_shift_s_) {
+      hotspot_ = random_position();
+      next_shift_s_ += shift_every_s_;
+    }
+    const std::size_t base = context().base_devices();
+    for (std::uint64_t k = rng().poisson(join_rate_ * dt_s); k > 0; --k) {
+      const double rate = rng().uniform(4.0, 12.0);
+      (void)emit_join(events, scatter(hotspot_, stddev_km_), rate, rate);
+    }
+    for (std::uint64_t k = rng().poisson(join_rate_ * dt_s); k > 0; --k) {
+      if (live_devices() <= std::max<std::size_t>(base / 2, 1)) break;
+      emit_leave(events, sample_live());
+    }
+    for (std::uint64_t k = rng().poisson(move_rate_ * dt_s); k > 0; --k) {
+      if (!any_live()) break;
+      // Pull a random device toward the hotspot.
+      emit_move(events, sample_live(), scatter(hotspot_, stddev_km_));
+    }
+    for (std::uint64_t k = rng().poisson(pulse_rate_ * dt_s); k > 0; --k) {
+      if (!any_live()) break;
+      const std::size_t id = sample_live();
+      emit_demand_pulse(
+          events, id,
+          base_demand_of(id) * rng().uniform(2.0, pulse_factor_max_));
+    }
+  }
+
+ private:
+  double shift_every_s_;
+  double join_rate_;
+  double move_rate_;
+  double pulse_rate_;
+  double stddev_km_;
+  double pulse_factor_max_;
+
+  topo::Point2D hotspot_{};
+  double next_shift_s_ = 0.0;
+};
+
+Params parse_params(std::string_view spec, std::string_view name) {
+  Params params;
+  std::size_t start = 0;
+  while (start < spec.size()) {
+    std::size_t end = spec.find(',', start);
+    if (end == std::string_view::npos) end = spec.size();
+    const std::string_view item = spec.substr(start, end - start);
+    start = end + 1;
+    if (item.empty()) continue;
+    const std::size_t eq = item.find('=');
+    if (eq == std::string_view::npos || eq == 0) {
+      throw std::invalid_argument("workload provider '" + std::string(name) +
+                                  "': malformed parameter '" +
+                                  std::string(item) + "' (want key=value)");
+    }
+    const std::string key(item.substr(0, eq));
+    const std::string text(item.substr(eq + 1));
+    std::size_t parsed = 0;
+    double value = 0.0;
+    try {
+      value = std::stod(text, &parsed);
+    } catch (const std::exception&) {
+      parsed = 0;
+    }
+    if (parsed != text.size() || text.empty()) {
+      throw std::invalid_argument("workload provider '" + std::string(name) +
+                                  "': parameter '" + key +
+                                  "' is not a number: '" + text + "'");
+    }
+    params[key] = value;
+  }
+  return params;
+}
+
+}  // namespace
+
+std::vector<std::string_view> provider_names() {
+  return {"steady",         "diurnal",
+          "flash_crowd",    "mobility_trace",
+          "regional_link_failure", "hotspot_adversary"};
+}
+
+std::unique_ptr<WorkloadProvider> make_provider(
+    std::string_view spec, const ProviderContext& context) {
+  const std::size_t comma = spec.find(',');
+  const std::string_view name = spec.substr(0, comma);
+  const std::string_view rest =
+      comma == std::string_view::npos ? std::string_view{}
+                                      : spec.substr(comma + 1);
+  const Params params = parse_params(rest, name);
+  ParamReader reader(params);
+
+  std::unique_ptr<WorkloadProvider> provider;
+  if (name == "steady") {
+    provider = std::make_unique<SteadyProvider>(context, reader);
+  } else if (name == "diurnal") {
+    provider = std::make_unique<DiurnalProvider>(context, reader);
+  } else if (name == "flash_crowd") {
+    provider = std::make_unique<FlashCrowdProvider>(context, reader);
+  } else if (name == "mobility_trace") {
+    provider = std::make_unique<MobilityTraceProvider>(context, reader);
+  } else if (name == "regional_link_failure") {
+    provider = std::make_unique<RegionalLinkFailureProvider>(context, reader);
+  } else if (name == "hotspot_adversary") {
+    provider = std::make_unique<HotspotAdversaryProvider>(context, reader);
+  } else {
+    std::string known;
+    for (const std::string_view n : provider_names()) {
+      if (!known.empty()) known += ", ";
+      known += n;
+    }
+    throw std::invalid_argument("unknown workload provider '" +
+                                std::string(name) + "' (known: " + known +
+                                ")");
+  }
+  reader.reject_unknown(name);
+  return provider;
+}
+
+}  // namespace tacc::workload

@@ -1,0 +1,134 @@
+#include "workload/wire.hpp"
+
+#include <cstdio>
+#include <stdexcept>
+#include <utility>
+
+#include "util/contracts.hpp"
+
+namespace tacc::workload {
+
+std::string wire_double(double value) {
+  char buffer[64];
+  const int n = std::snprintf(buffer, sizeof(buffer), "%.17g", value);
+  TACC_CHECK_INVARIANT(n > 0 && static_cast<std::size_t>(n) < sizeof(buffer),
+                       "wire_double formatting failed");
+  return std::string(buffer, static_cast<std::size_t>(n));
+}
+
+WireAdapter::WireAdapter(const ProviderContext& context, std::string session)
+    : ctx_(context), session_(std::move(session)) {
+  const std::size_t n = ctx_.base_devices();
+  slot_of_.resize(n);
+  live_.assign(n, true);
+  for (std::size_t i = 0; i < n; ++i) slot_of_[i] = i;
+  slots_ = n;
+}
+
+std::string WireAdapter::configure_line(std::size_t iot, std::size_t edge,
+                                        std::uint64_t seed,
+                                        std::string_view algo,
+                                        std::string_view preset) const {
+  std::string line = "CONFIGURE " + session_ + " " + std::to_string(iot) +
+                     " " + std::to_string(edge) +
+                     " seed=" + std::to_string(seed);
+  if (!algo.empty()) line += " algo=" + std::string(algo);
+  if (!preset.empty()) line += " preset=" + std::string(preset);
+  return line;
+}
+
+std::size_t WireAdapter::allocate_slot() {
+  if (!free_slots_.empty()) {
+    const std::size_t slot = free_slots_.back();
+    free_slots_.pop_back();
+    return slot;
+  }
+  return slots_++;
+}
+
+std::size_t WireAdapter::slot_of(std::size_t device) const {
+  if (device >= live_.size() || !live_[device]) {
+    throw std::out_of_range("WireAdapter::slot_of: device not live");
+  }
+  return slot_of_[device];
+}
+
+std::vector<std::string> WireAdapter::render(const Event& event) {
+  std::vector<std::string> lines;
+  switch (event.kind) {
+    case EventKind::kJoin: {
+      TACC_CHECK_INVARIANT(event.device == live_.size(),
+                           "join ids must be minted densely in stream order");
+      const std::size_t slot = allocate_slot();
+      slot_of_.push_back(slot);
+      live_.push_back(true);
+      lines.push_back("JOIN " + session_ + " " + wire_double(event.position.x) +
+                      " " + wire_double(event.position.y) +
+                      " demand=" + wire_double(event.demand) +
+                      " rate=" + wire_double(event.rate_hz));
+      break;
+    }
+    case EventKind::kLeave: {
+      const std::size_t slot = slot_of(event.device);
+      live_[event.device] = false;
+      free_slots_.push_back(slot);
+      lines.push_back("LEAVE " + session_ + " " + std::to_string(slot));
+      break;
+    }
+    case EventKind::kMove: {
+      const std::size_t slot = slot_of(event.device);
+      lines.push_back("MOVE " + session_ + " " + std::to_string(slot) + " " +
+                      wire_double(event.position.x) + " " +
+                      wire_double(event.position.y));
+      break;
+    }
+    case EventKind::kDemandPulse: {
+      // No wire verb for an in-place demand change: re-join with the new
+      // demand. LIFO recycling puts the device back into the same slot.
+      const std::size_t slot = slot_of(event.device);
+      live_[event.device] = false;
+      free_slots_.push_back(slot);
+      lines.push_back("LEAVE " + session_ + " " + std::to_string(slot));
+      const std::size_t reused = allocate_slot();
+      TACC_CHECK_INVARIANT(reused == slot,
+                           "LIFO recycling must reuse the pulsed slot");
+      slot_of_[event.device] = reused;
+      live_[event.device] = true;
+      lines.push_back("JOIN " + session_ + " " + wire_double(event.position.x) +
+                      " " + wire_double(event.position.y) +
+                      " demand=" + wire_double(event.demand) +
+                      " rate=" + wire_double(event.rate_hz));
+      break;
+    }
+    case EventKind::kLinkFail: {
+      const auto& [u, v] = ctx_.links.at(event.link);
+      lines.push_back("LINK_FAIL " + session_ + " " + std::to_string(u) + " " +
+                      std::to_string(v));
+      break;
+    }
+    case EventKind::kLinkRestore: {
+      const auto& [u, v] = ctx_.links.at(event.link);
+      lines.push_back("LINK_RESTORE " + session_ + " " + std::to_string(u) +
+                      " " + std::to_string(v));
+      break;
+    }
+    case EventKind::kLinkSetLatency: {
+      const auto& [u, v] = ctx_.links.at(event.link);
+      lines.push_back("LINK_SET " + session_ + " " + std::to_string(u) + " " +
+                      std::to_string(v) + " " + wire_double(event.latency_ms));
+      break;
+    }
+  }
+  return lines;
+}
+
+std::vector<std::string> WireAdapter::render(
+    const std::vector<Event>& events) {
+  std::vector<std::string> lines;
+  for (const Event& event : events) {
+    for (std::string& line : render(event)) lines.push_back(std::move(line));
+  }
+  return lines;
+}
+
+}  // namespace tacc::workload

@@ -104,77 +104,75 @@ TEST(Configurator, ProvenOptimalOnTinyScenario) {
   }
 }
 
-// The pre-ConfigureRequest entry points must keep compiling and produce the
-// exact same configurations as their request-form replacements.
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-TEST(Configurator, DeprecatedWrappersMatchRequestForm) {
+// The request-based entry point is the only one (the pre-ConfigureRequest
+// wrappers are gone); the same request must reproduce the same
+// configuration bit for bit, per cost model.
+TEST(Configurator, RepeatedRequestsAreDeterministic) {
   const Scenario scenario = Scenario::smart_city(50, 5, 41);
   const ClusterConfigurator configurator(scenario);
 
-  const ClusterConfiguration via_wrapper =
-      configurator.configure(Algorithm::kGreedyBestFit, cheap_options(41));
-  const ClusterConfiguration via_request =
+  const ClusterConfiguration first =
       configurator.configure({Algorithm::kGreedyBestFit, cheap_options(41)});
-  EXPECT_EQ(via_wrapper.assignment(), via_request.assignment());
-  EXPECT_EQ(via_wrapper.total_cost(), via_request.total_cost());
+  const ClusterConfiguration second =
+      configurator.configure({Algorithm::kGreedyBestFit, cheap_options(41)});
+  EXPECT_EQ(first.assignment(), second.assignment());
+  EXPECT_EQ(first.total_cost(), second.total_cost());
 
-  const ClusterConfiguration oblivious_wrapper =
-      configurator.configure_topology_oblivious(Algorithm::kGreedyBestFit,
-                                                cheap_options(41));
-  const ClusterConfiguration oblivious_request = configurator.configure(
+  const ClusterConfiguration oblivious_first = configurator.configure(
       {Algorithm::kGreedyBestFit, cheap_options(41), CostModel::kEuclidean});
-  EXPECT_EQ(oblivious_wrapper.assignment(), oblivious_request.assignment());
+  const ClusterConfiguration oblivious_second = configurator.configure(
+      {Algorithm::kGreedyBestFit, cheap_options(41), CostModel::kEuclidean});
+  EXPECT_EQ(oblivious_first.assignment(), oblivious_second.assignment());
+  // The Euclidean cost model solves on different costs, so it must be able
+  // to produce a different configuration object — same fingerprint though.
+  EXPECT_EQ(oblivious_first.scenario_fingerprint(),
+            first.scenario_fingerprint());
 }
 
-TEST(Configurator, DeprecatedDeadlineAwareMatchesRequestForm) {
+TEST(Configurator, DeadlinePenaltyFactorReachesTheSolver) {
   const Scenario scenario = Scenario::smart_city(50, 5, 43);
   const ClusterConfigurator configurator(scenario);
   for (const double penalty : {5.0, 10.0, 25.0}) {
-    const ClusterConfiguration via_wrapper =
-        configurator.configure_deadline_aware(Algorithm::kGreedyBestFit,
-                                              cheap_options(43), penalty);
-    const ClusterConfiguration via_request = configurator.configure(
+    const ClusterConfiguration first = configurator.configure(
         {Algorithm::kGreedyBestFit, cheap_options(43),
          CostModel::kDeadlinePenalized, penalty});
-    EXPECT_EQ(via_wrapper.assignment(), via_request.assignment())
+    const ClusterConfiguration second = configurator.configure(
+        {Algorithm::kGreedyBestFit, cheap_options(43),
+         CostModel::kDeadlinePenalized, penalty});
+    EXPECT_EQ(first.assignment(), second.assignment())
         << "penalty_factor=" << penalty;
-    EXPECT_EQ(via_wrapper.total_cost(), via_request.total_cost());
-    EXPECT_EQ(via_wrapper.avg_delay_ms(), via_request.avg_delay_ms());
-    EXPECT_EQ(via_wrapper.scenario_fingerprint(),
-              via_request.scenario_fingerprint());
+    EXPECT_EQ(first.total_cost(), second.total_cost());
+    EXPECT_EQ(first.avg_delay_ms(), second.avg_delay_ms());
+    EXPECT_EQ(first.scenario_fingerprint(), second.scenario_fingerprint());
   }
 }
 
-TEST(Configurator, DeprecatedWrappersMatchAcrossAlgorithmsAndSeeds) {
-  // Stochastic solvers exercise the seed plumbing: a wrapper that dropped or
-  // reordered options would diverge immediately.
+TEST(Configurator, RequestsAreDeterministicAcrossAlgorithmsAndSeeds) {
+  // Stochastic solvers exercise the seed plumbing: dropped or reordered
+  // options would diverge immediately.
   for (const std::uint64_t seed : {11ULL, 12ULL}) {
     const Scenario scenario = Scenario::factory(40, 5, seed);
     const ClusterConfigurator configurator(scenario);
     for (const Algorithm algorithm :
          {Algorithm::kGreedyBestFit, Algorithm::kLocalSearch,
           Algorithm::kQLearning}) {
-      const ClusterConfiguration via_wrapper =
-          configurator.configure(algorithm, cheap_options(seed));
-      const ClusterConfiguration via_request =
+      const ClusterConfiguration first =
           configurator.configure({algorithm, cheap_options(seed)});
-      EXPECT_EQ(via_wrapper.assignment(), via_request.assignment())
+      const ClusterConfiguration second =
+          configurator.configure({algorithm, cheap_options(seed)});
+      EXPECT_EQ(first.assignment(), second.assignment())
           << to_string(algorithm) << " seed=" << seed;
-      EXPECT_EQ(via_wrapper.total_cost(), via_request.total_cost());
+      EXPECT_EQ(first.total_cost(), second.total_cost());
 
-      const ClusterConfiguration oblivious_wrapper =
-          configurator.configure_topology_oblivious(algorithm,
-                                                    cheap_options(seed));
-      const ClusterConfiguration oblivious_request = configurator.configure(
+      const ClusterConfiguration oblivious_first = configurator.configure(
           {algorithm, cheap_options(seed), CostModel::kEuclidean});
-      EXPECT_EQ(oblivious_wrapper.assignment(),
-                oblivious_request.assignment())
+      const ClusterConfiguration oblivious_second = configurator.configure(
+          {algorithm, cheap_options(seed), CostModel::kEuclidean});
+      EXPECT_EQ(oblivious_first.assignment(), oblivious_second.assignment())
           << to_string(algorithm) << " seed=" << seed;
     }
   }
 }
-#pragma GCC diagnostic pop
 
 TEST(Configurator, PortfolioPicksCheapestFeasible) {
   const Scenario scenario = Scenario::smart_city(60, 6, 55);

@@ -5,9 +5,6 @@
 #include "core/scenario.hpp"
 #include "topology/shortest_paths.hpp"
 
-// The deprecated copying helper stays covered until it is removed.
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-
 namespace tacc::topo {
 namespace {
 
@@ -68,7 +65,8 @@ TEST(SampleFailableLinks, RespectsBudgetAndService) {
   const auto failed = sample_failable_links(net, 0.2, rng);
   EXPECT_LE(failed.size(),
             static_cast<std::size_t>(0.2 * static_cast<double>(all.size())));
-  const NetworkTopology degraded = with_failed_links(net, failed);
+  NetworkTopology degraded = net;
+  fail_links(degraded, failed);
   EXPECT_TRUE(all_devices_served(degraded));
 }
 
@@ -84,12 +82,13 @@ TEST(SampleFailableLinks, DeterministicPerSeed) {
             sample_failable_links(net, 0.3, rng2));
 }
 
-TEST(WithFailedLinks, DelaysNeverImprove) {
+TEST(FailLinks, DelaysNeverImprove) {
   util::Rng rng(10);
   const NetworkTopology net = test_net();
   const auto failed = sample_failable_links(net, 0.25, rng);
   if (failed.empty()) GTEST_SKIP() << "nothing failable in this topology";
-  const NetworkTopology degraded = with_failed_links(net, failed);
+  NetworkTopology degraded = net;
+  fail_links(degraded, failed);
   const DelayMatrix before = compute_delay_matrix(net);
   const DelayMatrix after = compute_delay_matrix(degraded);
   for (std::size_t i = 0; i < net.iot_count(); ++i) {
@@ -129,11 +128,14 @@ TEST(FailLinks, InPlaceRoundTripRestoresDelaysExactly) {
   }
 }
 
-TEST(FailLinks, MatchesDeprecatedCopyingHelper) {
+TEST(FailLinks, CopyThenFailMatchesFailInPlace) {
+  // A degraded copy and an in-place degrade of the original must agree —
+  // NetworkTopology's copy carries everything delay computation reads.
   util::Rng rng(13);
   NetworkTopology net = test_net();
   const auto failed = sample_failable_links(net, 0.2, rng);
-  const NetworkTopology degraded = with_failed_links(net, failed);
+  NetworkTopology degraded = net;
+  fail_links(degraded, failed);
   fail_links(net, failed);
   const DelayMatrix copy_based = compute_delay_matrix(degraded);
   const DelayMatrix in_place = compute_delay_matrix(net);
@@ -171,20 +173,17 @@ TEST(SetLinkLatency, RewritesInPlaceAndReturnsPrevious) {
   EXPECT_EQ(after->bandwidth_mbps, old_bandwidth);  // bandwidth untouched
 }
 
-TEST(WithFailedLinks, NonexistentLinkThrows) {
-  const NetworkTopology net = test_net();
-  EXPECT_THROW((void)with_failed_links(net, {{net.iot_nodes[0],
-                                              net.iot_nodes[1]}}),
-               std::invalid_argument);
-}
-
-TEST(WithFailedLinks, OriginalUntouched) {
-  util::Rng rng(11);
-  const NetworkTopology net = test_net();
-  const std::size_t edges_before = net.graph.edge_count();
-  const auto failed = sample_failable_links(net, 0.2, rng);
-  (void)with_failed_links(net, failed);
-  EXPECT_EQ(net.graph.edge_count(), edges_before);
+TEST(FailLinks, NonexistentLinkThrowsAndEarlierLinksStayFailed) {
+  NetworkTopology net = test_net();
+  const auto [u, v] = backbone_links(net).front();
+  EXPECT_THROW(
+      fail_links(net, {{u, v}, {net.iot_nodes[0], net.iot_nodes[1]}}),
+      std::invalid_argument);
+  // Documented partial-failure semantics: links before the bad one stay
+  // failed so the caller can restore them.
+  EXPECT_TRUE(net.link_failed(u, v));
+  restore_links(net, {{u, v}});
+  EXPECT_TRUE(net.failed_links.empty());
 }
 
 }  // namespace

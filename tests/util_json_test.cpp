@@ -1,0 +1,159 @@
+#include "util/json.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <sstream>
+
+namespace tacc::util {
+namespace {
+
+TEST(JsonEscape, PassesPlainTextThrough) {
+  EXPECT_EQ(json_escape("steady"), "steady");
+  EXPECT_EQ(json_escape(""), "");
+  // UTF-8 passes through byte-for-byte.
+  EXPECT_EQ(json_escape("caf\xC3\xA9"), "caf\xC3\xA9");
+}
+
+TEST(JsonEscape, EscapesQuotesBackslashesAndControls) {
+  EXPECT_EQ(json_escape("a\"b"), "a\\\"b");
+  EXPECT_EQ(json_escape("a\\b"), "a\\\\b");
+  EXPECT_EQ(json_escape("line1\nline2"), "line1\\nline2");
+  EXPECT_EQ(json_escape("tab\there"), "tab\\there");
+  EXPECT_EQ(json_escape("\r\b\f"), "\\r\\b\\f");
+  EXPECT_EQ(json_escape(std::string_view("\x01\x1f", 2)), "\\u0001\\u001f");
+}
+
+TEST(JsonNumber, ShortestRoundTrip) {
+  EXPECT_EQ(json_number(0.0), "0");
+  EXPECT_EQ(json_number(1.5), "1.5");
+  EXPECT_EQ(json_number(-2.25), "-2.25");
+  EXPECT_EQ(json_number(33600.0), "33600");
+  // 0.1 round-trips to the shortest representation, not 0.10000000000000001.
+  EXPECT_EQ(json_number(0.1), "0.1");
+  // The shortest form must parse back to the exact same double.
+  const double tricky = 1260.4567890123457;
+  EXPECT_EQ(std::stod(json_number(tricky)), tricky);
+}
+
+TEST(JsonNumber, NonFiniteBecomesNull) {
+  EXPECT_EQ(json_number(std::numeric_limits<double>::quiet_NaN()), "null");
+  EXPECT_EQ(json_number(std::numeric_limits<double>::infinity()), "null");
+  EXPECT_EQ(json_number(-std::numeric_limits<double>::infinity()), "null");
+}
+
+TEST(JsonWriter, FlatObject) {
+  std::ostringstream out;
+  JsonWriter w(out);
+  w.begin_object()
+      .field("bench", "m2_churn")
+      .field("seed", std::uint64_t{1000})
+      .field("quick", true)
+      .field("p50_us", 12.5)
+      .end_object();
+  EXPECT_TRUE(w.complete());
+  EXPECT_EQ(out.str(),
+            "{\n"
+            "  \"bench\": \"m2_churn\",\n"
+            "  \"seed\": 1000,\n"
+            "  \"quick\": true,\n"
+            "  \"p50_us\": 12.5\n"
+            "}\n");
+}
+
+TEST(JsonWriter, NestedContainersAndCommas) {
+  std::ostringstream out;
+  JsonWriter w(out);
+  w.begin_object();
+  w.key("gates").begin_array();
+  w.begin_object().field("name", "flat_latency").field("passed", true)
+      .end_object();
+  w.begin_object().field("name", "zero_leak").field("passed", false)
+      .end_object();
+  w.end_array();
+  w.key("metrics").begin_object().field("throughput_per_s", 33600.0)
+      .end_object();
+  w.key("empty").begin_object().end_object();
+  w.key("none").null();
+  w.end_object();
+  EXPECT_TRUE(w.complete());
+  EXPECT_EQ(out.str(),
+            "{\n"
+            "  \"gates\": [\n"
+            "    {\n"
+            "      \"name\": \"flat_latency\",\n"
+            "      \"passed\": true\n"
+            "    },\n"
+            "    {\n"
+            "      \"name\": \"zero_leak\",\n"
+            "      \"passed\": false\n"
+            "    }\n"
+            "  ],\n"
+            "  \"metrics\": {\n"
+            "    \"throughput_per_s\": 33600\n"
+            "  },\n"
+            "  \"empty\": {},\n"
+            "  \"none\": null\n"
+            "}\n");
+}
+
+TEST(JsonWriter, EscapesKeysAndValues) {
+  std::ostringstream out;
+  JsonWriter w(out);
+  w.begin_object().field("we\"ird", "a\\b\nc").end_object();
+  EXPECT_EQ(out.str(),
+            "{\n"
+            "  \"we\\\"ird\": \"a\\\\b\\nc\"\n"
+            "}\n");
+}
+
+TEST(JsonWriter, NonFiniteValueBecomesNull) {
+  std::ostringstream out;
+  JsonWriter w(out);
+  w.begin_object()
+      .field("nan", std::numeric_limits<double>::quiet_NaN())
+      .end_object();
+  EXPECT_EQ(out.str(), "{\n  \"nan\": null\n}\n");
+}
+
+TEST(JsonWriter, MisuseThrows) {
+  {
+    std::ostringstream out;
+    JsonWriter w(out);
+    w.begin_object();
+    EXPECT_THROW(w.value(1.0), std::logic_error);  // member without a key
+  }
+  {
+    std::ostringstream out;
+    JsonWriter w(out);
+    w.begin_object().key("a");
+    EXPECT_THROW(w.key("b"), std::logic_error);  // key after key
+  }
+  {
+    std::ostringstream out;
+    JsonWriter w(out);
+    w.begin_array();
+    EXPECT_THROW(w.key("a"), std::logic_error);  // key inside array
+    EXPECT_THROW(w.end_object(), std::logic_error);  // mismatched close
+  }
+  {
+    std::ostringstream out;
+    JsonWriter w(out);
+    w.value("done");
+    EXPECT_TRUE(w.complete());
+    EXPECT_THROW(w.value("again"), std::logic_error);  // second document
+  }
+}
+
+TEST(JsonWriter, TopLevelScalarIsAValidDocument) {
+  std::ostringstream out;
+  JsonWriter w(out);
+  EXPECT_FALSE(w.complete());
+  w.value(std::int64_t{-7});
+  EXPECT_TRUE(w.complete());
+  EXPECT_EQ(out.str(), "-7\n");
+}
+
+}  // namespace
+}  // namespace tacc::util

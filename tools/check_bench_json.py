@@ -1,0 +1,133 @@
+#!/usr/bin/env python3
+"""Validate BENCH_*.json perf artifacts against schema_version 1.
+
+Usage:
+    check_bench_json.py FILE_OR_DIR [FILE_OR_DIR ...] [--require-gates-pass]
+
+A directory argument expands to every BENCH_*.json directly inside it.
+Exit 0 when every file validates (and, with --require-gates-pass, every
+gate in every file passed); exit 1 with one line per violation otherwise;
+exit 2 on usage errors or unreadable files.
+
+Schema (written by bench::BenchReport in bench/bench_common.hpp):
+    {
+      "schema_version": 1,
+      "bench": "m2_churn",          # matches the BENCH_<bench>.json filename
+      "provider": "steady",         # workload spec, "" for static benches
+      "seed": 1000,
+      "quick": true,
+      "git_describe": "abc1234",
+      "metrics": {"<key>": <finite number>, ...},
+      "gates": [{"name": "...", "passed": true}, ...]
+    }
+"""
+
+import json
+import math
+import pathlib
+import sys
+
+
+def check_file(path: pathlib.Path, require_gates_pass: bool) -> list[str]:
+    problems = []
+
+    def bad(msg: str) -> None:
+        problems.append(f"{path}: {msg}")
+
+    try:
+        with open(path, encoding="utf-8") as fh:
+            doc = json.load(fh)
+    except (OSError, json.JSONDecodeError) as err:
+        return [f"{path}: unreadable or invalid JSON: {err}"]
+
+    if not isinstance(doc, dict):
+        return [f"{path}: top level is not an object"]
+
+    expected_keys = {
+        "schema_version", "bench", "provider", "seed", "quick",
+        "git_describe", "metrics", "gates",
+    }
+    missing = expected_keys - doc.keys()
+    if missing:
+        bad(f"missing keys: {sorted(missing)}")
+    extra = doc.keys() - expected_keys
+    if extra:
+        bad(f"unknown keys: {sorted(extra)}")
+
+    if doc.get("schema_version") != 1:
+        bad(f"schema_version is {doc.get('schema_version')!r}, expected 1")
+    bench = doc.get("bench")
+    if not isinstance(bench, str) or not bench:
+        bad("'bench' must be a non-empty string")
+    elif path.name != f"BENCH_{bench}.json":
+        bad(f"'bench' is {bench!r} but the file is named {path.name}")
+    if not isinstance(doc.get("provider"), str):
+        bad("'provider' must be a string")
+    if not isinstance(doc.get("seed"), int) or isinstance(doc.get("seed"), bool):
+        bad("'seed' must be an integer")
+    if not isinstance(doc.get("quick"), bool):
+        bad("'quick' must be a boolean")
+    if not isinstance(doc.get("git_describe"), str) or not doc.get("git_describe"):
+        bad("'git_describe' must be a non-empty string")
+
+    metrics = doc.get("metrics")
+    if not isinstance(metrics, dict):
+        bad("'metrics' must be an object")
+    else:
+        for key, value in metrics.items():
+            if not isinstance(value, (int, float)) or isinstance(value, bool):
+                bad(f"metric {key!r} is not a number: {value!r}")
+            elif not math.isfinite(value):
+                bad(f"metric {key!r} is not finite: {value!r}")
+
+    gates = doc.get("gates")
+    if not isinstance(gates, list):
+        bad("'gates' must be an array")
+    else:
+        for i, gate in enumerate(gates):
+            if (not isinstance(gate, dict)
+                    or set(gate.keys()) != {"name", "passed"}
+                    or not isinstance(gate.get("name"), str)
+                    or not isinstance(gate.get("passed"), bool)):
+                bad(f"gate[{i}] must be {{'name': str, 'passed': bool}}: "
+                    f"{gate!r}")
+            elif require_gates_pass and not gate["passed"]:
+                bad(f"gate {gate['name']!r} failed")
+
+    return problems
+
+
+def main(argv: list[str]) -> int:
+    require_gates_pass = "--require-gates-pass" in argv
+    paths = [a for a in argv if a != "--require-gates-pass"]
+    if not paths:
+        print(__doc__.strip().splitlines()[2].strip(), file=sys.stderr)
+        return 2
+
+    files: list[pathlib.Path] = []
+    for arg in paths:
+        p = pathlib.Path(arg)
+        if p.is_dir():
+            files.extend(sorted(p.glob("BENCH_*.json")))
+        elif p.is_file():
+            files.append(p)
+        else:
+            print(f"check_bench_json: no such file or directory: {p}",
+                  file=sys.stderr)
+            return 2
+    if not files:
+        print("check_bench_json: no BENCH_*.json files found", file=sys.stderr)
+        return 2
+
+    problems = []
+    for f in files:
+        problems.extend(check_file(f, require_gates_pass))
+    for problem in problems:
+        print(problem, file=sys.stderr)
+    if not problems:
+        print(f"check_bench_json: {len(files)} artifact(s) valid")
+    return 1 if problems else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -10,10 +10,10 @@ Enforces the conventions clang-tidy cannot express:
       code reports through util::log or return values; only util/log.cpp
       (the sink itself) writes to a stream. Benches/tools/examples are
       exempt: they ARE console programs.
-  R3  deprecated call sites: with_failed_links and
-      configure_topology_oblivious/configure_deadline_aware may appear only
-      in their defining files and their own tests. Everything else must use
-      the in-place mutation path / ConfigureRequest API.
+  R3  removed-API call sites: with_failed_links and
+      configure_topology_oblivious/configure_deadline_aware finished their
+      deprecation cycle and are gone. Any mention in code is forbidden —
+      use the in-place mutation path / ConfigureRequest API.
   R4  include hygiene: no uphill-relative includes ("../"), no
       <bits/stdc++.h>, every header starts with #pragma once, and every
       src/ .cpp includes its own header first (self-contained headers).
@@ -35,24 +35,16 @@ ROOT = Path(__file__).resolve().parent.parent
 SRC_DIRS = ["src"]
 ALL_CODE_DIRS = ["src", "bench", "examples", "tools", "tests"]
 
-# R3: symbol -> files (relative to repo root) that may legitimately mention
-# it: the definition, its own tests, and the deprecation notices themselves.
-DEPRECATED_ALLOWLIST = {
-    "with_failed_links": {
-        "src/topology/failures.hpp",
-        "src/topology/failures.cpp",
-        "tests/topology_failures_test.cpp",
-    },
-    "configure_topology_oblivious": {
-        "src/core/configurator.hpp",
-        "src/core/configurator.cpp",
-        "tests/core_configurator_test.cpp",
-    },
-    "configure_deadline_aware": {
-        "src/core/configurator.hpp",
-        "src/core/configurator.cpp",
-        "tests/core_configurator_test.cpp",
-    },
+# R3: symbol -> replacement. These finished their deprecation cycle and were
+# deleted; no file may mention them in code (comments are fine — the
+# scrubber strips them before matching).
+REMOVED_APIS = {
+    "with_failed_links": "topo::fail_links/restore_links in place",
+    "configure_topology_oblivious":
+        "configure({algorithm, options, CostModel::kEuclidean})",
+    "configure_deadline_aware":
+        "configure({algorithm, options, CostModel::kDeadlinePenalized, "
+        "penalty})",
 }
 
 # R2: the logging sink is the one legitimate stream writer in src/.
@@ -159,11 +151,10 @@ def main() -> int:
                 report(path, i, "R4", "<bits/stdc++.h> is non-standard")
             code = strip_comments_and_strings(raw)
 
-            for symbol, allowed in DEPRECATED_ALLOWLIST.items():
-                if symbol in code and rel not in allowed:
+            for symbol, replacement in REMOVED_APIS.items():
+                if symbol in code:
                     report(path, i, "R3",
-                           f"call site of deprecated {symbol}; use the "
-                           "replacement named in its [[deprecated]] notice")
+                           f"{symbol} was removed; use {replacement}")
 
             m = NOLINT.search(raw)
             if m:

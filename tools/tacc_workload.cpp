@@ -1,0 +1,86 @@
+// tacc_workload — render a WorkloadProvider event stream as taccd wire
+// lines on stdout, ready for `tacc_client --stdin` replay.
+//
+//   tacc_workload --workload=flash_crowd,burst_rate=30 [--events=1000]
+//                 [--iot=120] [--edge=10] [--seed=1000] [--session=wl]
+//                 [--algo=greedy-bestfit] [--step-s=1] [--no-configure]
+//   tacc_workload --list
+//
+// The first line is the CONFIGURE that creates the session (suppress with
+// --no-configure when appending to an existing session); every following
+// line is one JOIN/LEAVE/MOVE/LINK_* request. The stream is a pure function
+// of (--workload, --iot, --edge, --seed, --step-s): the same invocation
+// always prints byte-identical output, which is what makes daemon replays
+// comparable across runs and machines (see tools/taccd_replay_smoke.sh).
+#include <iostream>
+
+#include "core/tacc.hpp"
+#include "util/flags.hpp"
+#include "workload/wire.hpp"
+
+namespace {
+
+using namespace tacc;
+
+int run(int argc, char** argv) {
+  const auto flags = util::Flags::parse(argc, argv);
+  if (flags.get_bool("list", false)) {
+    for (const std::string_view name : workload::provider_names()) {
+      std::cout << name << "\n";
+    }
+    return 0;
+  }
+  const std::string spec = flags.get_string("workload", "");
+  if (spec.empty()) {
+    std::cerr << "usage: tacc_workload --workload=NAME[,k=v...] "
+                 "[--events=1000] [--iot=120] [--edge=10] [--seed=1000] "
+                 "[--session=wl] [--algo=greedy-bestfit] [--step-s=1] "
+                 "[--no-configure] | --list\n";
+    return 2;
+  }
+  const auto iot = static_cast<std::size_t>(flags.get_int("iot", 120));
+  const auto edge = static_cast<std::size_t>(flags.get_int("edge", 10));
+  const auto seed = static_cast<std::uint64_t>(flags.get_int("seed", 1000));
+  const auto events = static_cast<std::size_t>(flags.get_int("events", 1000));
+  const std::string session = flags.get_string("session", "wl");
+  const std::string algo = flags.get_string("algo", "greedy-bestfit");
+  const double step_s = flags.get_double("step-s", 1.0);
+  const bool configure = !flags.get_bool("no-configure", false);
+
+  const Scenario scenario = Scenario::smart_city(iot, edge, seed);
+  const workload::ProviderContext ctx = workload::make_context(
+      scenario.network(), scenario.workload(),
+      scenario.params().workload.area_km, seed);
+  auto provider = workload::make_provider(spec, ctx);
+  workload::WireAdapter adapter(ctx, session);
+
+  if (configure) {
+    std::cout << adapter.configure_line(iot, edge, seed, algo, "smart_city")
+              << "\n";
+  }
+  std::size_t emitted = 0;
+  while (emitted < events) {
+    for (const workload::Event& event : provider->step(step_s)) {
+      if (emitted >= events) break;
+      for (const std::string& line : adapter.render(event)) {
+        std::cout << line << "\n";
+      }
+      ++emitted;
+    }
+  }
+  for (const std::string& name : flags.unused()) {
+    std::cerr << "warning: unknown flag --" << name << " ignored\n";
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    return run(argc, argv);
+  } catch (const std::exception& error) {
+    std::cerr << "tacc_workload: " << error.what() << "\n";
+    return 1;
+  }
+}
