@@ -19,11 +19,20 @@
 //      warm session.
 //   3. Graceful drain: SIGTERM under load lets every in-flight request
 //      finish, closes every connection cleanly, and the process exits 0.
+//   4. Shard scaling: an engine-direct (no sockets) closed loop measures
+//      throughput at 1/2/4/8 engine shards — one worker and one
+//      driver-session per shard — and gates rps(8 shards) / rps(1 shard)
+//      against --min-shard-scaling. The default floor is hardware-aware:
+//      3.0 with >= 8 cores, derated below that (a 1-core CI runner cannot
+//      exhibit parallel speedup), 0.3 under --quick. Every shard count
+//      must also keep zero-loss accounting and pass check_invariants().
+//      The full curve lands in BENCH_m3_serve.json as rps_shards_<k>.
 // Exit code 1 if a gate fails, so CI can run it as a regression check.
 //
 //   ./bench_m3_serve [--connections=8] [--requests=5000] [--iot=120]
-//                    [--edge=10] [--threads=0] [--max-queue=512]
+//                    [--edge=10] [--shards=0] [--threads=0] [--max-queue=512]
 //                    [--timeout-ms=2000] [--min-rps=10000] [--no-sigterm]
+//                    [--scale-requests=20000] [--min-shard-scaling=X]
 //                    [--workload=SPEC]
 //   --quick shrinks the request count for sanitizer/CI runs.
 #include <sys/socket.h>
@@ -34,7 +43,10 @@
 #include <csignal>
 #include <cstring>
 #include <deque>
+#include <future>
 #include <thread>
+
+#include "util/contracts.hpp"
 
 #include "bench/bench_common.hpp"
 #include "metrics/stats.hpp"
@@ -209,6 +221,115 @@ ConnStats drive_connection(const std::string& unix_path,
   return stats;
 }
 
+/// One point of the shard-scaling curve: a fresh engine with `shards`
+/// shards, one worker and one driver-session per shard, driven engine-direct
+/// (no sockets — the socket phase above is syscall-bound and cannot expose
+/// admission-path scaling). Each driver keeps a small window of requests in
+/// flight so micro-batching engages. Returns the measured rps;
+/// `accounting_ok` demands exactly one OK response per submitted request,
+/// zero rejections, and a clean check_invariants() at the end.
+double scale_point(std::size_t shards, std::size_t requests_per_driver,
+                   std::uint64_t seed, bool& accounting_ok) {
+  service::EngineOptions options;
+  options.shards = shards;
+  options.threads = shards;  // one worker per shard
+  options.max_queue = 128 * shards;
+  options.default_timeout_ms = 60'000.0;
+  service::Engine engine(options);
+
+  // One session per shard, discovered by probing the stable routing hash.
+  std::vector<std::string> names(shards);
+  std::size_t covered = 0;
+  for (int i = 0; covered < shards; ++i) {
+    std::string name = "scale" + std::to_string(i);
+    const std::size_t shard = engine.shard_of(name);
+    if (names[shard].empty()) {
+      names[shard] = std::move(name);
+      ++covered;
+    }
+  }
+
+  constexpr std::size_t kIot = 40;
+  for (const std::string& name : names) {
+    const service::ParseResult parsed = service::parse_request(
+        "CONFIGURE " + name + " " + std::to_string(kIot) + " 4 seed=" +
+        std::to_string(seed) + " timeout_ms=60000");
+    std::promise<std::string> configured;
+    std::future<std::string> future = configured.get_future();
+    engine.submit(*parsed.request, [&configured](std::string response) {
+      configured.set_value(std::move(response));
+    });
+    if (future.get().rfind("OK", 0) != 0) accounting_ok = false;
+  }
+  engine.drain();
+
+  std::atomic<std::size_t> ok{0};
+  std::atomic<std::size_t> err{0};
+  util::WallTimer timer;
+  {
+    std::vector<std::jthread> drivers;
+    drivers.reserve(names.size());
+    for (const std::string& name : names) {
+      drivers.emplace_back([&, name] {
+        constexpr std::size_t kWindow = 16;  // in-flight per driver
+        util::Rng rng(seed * 31 + engine.shard_of(name));
+        service::Request move = *service::parse_request(
+            "MOVE " + name + " 0 1.0 1.0 timeout_ms=60000").request;
+        std::atomic<std::size_t> responded{0};
+        std::size_t sent = 0;
+        while (sent < requests_per_driver) {
+          while (sent - responded.load(std::memory_order_acquire) >=
+                 kWindow) {
+            std::this_thread::yield();
+          }
+          move.index = rng.index(kIot);
+          move.x = rng.uniform(0.0, 5.0);
+          move.y = rng.uniform(0.0, 5.0);
+          engine.submit(move, [&ok, &err, &responded](
+                                  const std::string& response) {
+            (response.rfind("OK", 0) == 0 ? ok : err).fetch_add(1);
+            responded.fetch_add(1, std::memory_order_release);
+          });
+          ++sent;
+        }
+        while (responded.load(std::memory_order_acquire) < sent) {
+          std::this_thread::yield();
+        }
+      });
+    }
+  }
+  const double seconds = timer.elapsed_seconds();
+  engine.begin_shutdown();
+  engine.drain();
+
+  const std::size_t sent = names.size() * requests_per_driver;
+  if (ok.load() != sent || err.load() != 0) {
+    std::cerr << "scaling accounting at " << shards << " shards: ok="
+              << ok.load() << " err=" << err.load() << " sent=" << sent
+              << "\n";
+    accounting_ok = false;
+  }
+  const service::EngineCounters counters = engine.counters();
+  if (counters.rejected_overload != 0 || counters.rejected_deadline != 0 ||
+      counters.accepted != counters.completed) {
+    std::cerr << "scaling ledger at " << shards
+              << " shards: accepted=" << counters.accepted
+              << " completed=" << counters.completed
+              << " rejected_overload=" << counters.rejected_overload
+              << " rejected_deadline=" << counters.rejected_deadline << "\n";
+    accounting_ok = false;
+  }
+  try {
+    const contracts::ScopedFailureHandler guard(&contracts::throw_handler);
+    engine.check_invariants();
+  } catch (const std::exception& violation) {
+    std::cerr << "check_invariants at " << shards << " shards: "
+              << violation.what() << "\n";
+    accounting_ok = false;
+  }
+  return static_cast<double>(sent) / seconds;
+}
+
 int run(int argc, char** argv) {
   const auto config = bench::BenchConfig::parse(argc, argv);
   const auto connections = static_cast<std::size_t>(
@@ -230,6 +351,8 @@ int run(int argc, char** argv) {
                       ".sock";
   options.engine.threads =
       static_cast<std::size_t>(config.flags.get_int("threads", 0));
+  options.engine.shards =
+      static_cast<std::size_t>(config.flags.get_int("shards", 0));
   options.engine.max_queue =
       static_cast<std::size_t>(config.flags.get_int("max-queue", 512));
   options.engine.default_timeout_ms =
@@ -402,12 +525,58 @@ int run(int argc, char** argv) {
     server_thread.join();
   }
 
+  // ---- Gate 4: shard-count scaling curve (engine-direct). ------------------
+  const auto scale_requests = static_cast<std::size_t>(config.flags.get_int(
+      "scale-requests", config.quick ? 2'000 : 20'000));
+  const auto hardware =
+      static_cast<double>(std::thread::hardware_concurrency());
+  // The acceptance bar (>= 3x at 8 shards vs 1) presumes >= 8-way hardware;
+  // smaller runners get a derated floor because the curve physically cannot
+  // show parallel speedup beyond the core count.
+  const double default_min_scaling =
+      config.quick ? 0.3
+      : hardware >= 8.0 ? 3.0
+                        : std::max(0.3, 0.35 * hardware);
+  const double min_scaling =
+      config.flags.get_double("min-shard-scaling", default_min_scaling);
+
+  bool scaling_accounting = true;
+  const std::size_t curve[] = {1, 2, 4, 8};
+  std::vector<double> curve_rps;
+  util::ConsoleTable scale_table({"shards", "requests", "rps", "speedup"});
+  for (const std::size_t k : curve) {
+    const double point_rps =
+        scale_point(k, scale_requests, config.base_seed, scaling_accounting);
+    curve_rps.push_back(point_rps);
+    scale_table.add_row({std::to_string(k),
+                         std::to_string(k * scale_requests),
+                         util::format_double(point_rps, 0),
+                         util::format_double(point_rps / curve_rps.front(), 2) +
+                             "x"});
+    report.metric("rps_shards_" + std::to_string(k), point_rps);
+  }
+  const double shard_scaling = curve_rps.back() / curve_rps.front();
+  std::cout << "\n"
+            << scale_table.to_string(
+                   "M3 — engine-direct shard scaling (" +
+                   std::to_string(scale_requests) + " req/driver, " +
+                   util::format_double(hardware, 0) + " hw threads):");
+  report.metric("shard_scaling", shard_scaling);
+  report.gate("scaling_accounting", scaling_accounting);
+  if (shard_scaling < min_scaling) {
+    std::cerr << "shard scaling " << util::format_double(shard_scaling, 2)
+              << "x (8 vs 1 shards) < required "
+              << util::format_double(min_scaling, 2) << "x\n";
+  }
+  report.gate("shard_scaling", shard_scaling >= min_scaling);
+
   report.metric("rps", rps);
   report.metric("p50_us", p50);
   report.metric("p99_us", p99);
   report.metric("p999_us", p999);
   report.metric("rejection_rate", rejection_rate);
   report.metric("requests", static_cast<double>(total.sent));
+  report.metric("shards", static_cast<double>(server.engine().shard_count()));
   report.write();
 
   const bool ok = report.all_gates_passed();

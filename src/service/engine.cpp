@@ -1,5 +1,6 @@
 #include "service/engine.hpp"
 
+#include <algorithm>
 #include <stdexcept>
 #include <string>
 #include <thread>
@@ -13,8 +14,49 @@
 
 namespace tacc::service {
 
-Engine::Engine(EngineOptions options)
-    : options_(std::move(options)), pool_(options_.threads) {}
+namespace {
+
+std::size_t resolve_shards(const EngineOptions& options) {
+  const std::size_t requested = options.shards == 0
+                                    ? runtime::default_thread_count()
+                                    : options.shards;
+  return std::clamp<std::size_t>(requested, 1, runtime::kMaxThreads);
+}
+
+std::size_t workers_per_shard(const EngineOptions& options,
+                              std::size_t shards) {
+  const std::size_t budget = options.threads == 0
+                                 ? runtime::default_thread_count()
+                                 : std::min(options.threads,
+                                            runtime::kMaxThreads);
+  return std::max<std::size_t>(1, budget / shards);
+}
+
+std::size_t admission_quota(const EngineOptions& options, std::size_t shards) {
+  return std::max<std::size_t>(1, (options.max_queue + shards - 1) / shards);
+}
+
+void add_counters(EngineCounters& into, const EngineCounters& from) {
+  into.accepted += from.accepted;
+  into.completed += from.completed;
+  into.failed += from.failed;
+  into.rejected_overload += from.rejected_overload;
+  into.rejected_deadline += from.rejected_deadline;
+  into.rejected_shutdown += from.rejected_shutdown;
+  into.rejected_not_found += from.rejected_not_found;
+}
+
+}  // namespace
+
+Engine::Engine(EngineOptions options) : options_(std::move(options)) {
+  const std::size_t shards = resolve_shards(options_);
+  const std::size_t workers = workers_per_shard(options_, shards);
+  const std::size_t quota = admission_quota(options_, shards);
+  shards_.reserve(shards);
+  for (std::size_t i = 0; i < shards; ++i) {
+    shards_.push_back(std::make_unique<Shard>(quota, workers));
+  }
+}
 
 Engine::~Engine() {
   begin_shutdown();
@@ -22,64 +64,130 @@ Engine::~Engine() {
 }
 
 void Engine::begin_shutdown() {
-  const std::scoped_lock lock(mutex_);
-  shutting_down_ = true;
+  for (const auto& shard : shards_) {
+    const std::scoped_lock lock(shard->mutex);
+    shard->shutting_down = true;
+  }
 }
 
 void Engine::drain() {
-  std::unique_lock lock(mutex_);
-  drained_cv_.wait(lock, [this] { return in_flight_ == 0; });
+  for (const auto& shard : shards_) {
+    std::unique_lock lock(shard->mutex);
+    shard->drained_cv.wait(lock, [&shard] { return shard->in_flight == 0; });
+  }
 }
 
 std::size_t Engine::queue_depth() const {
-  const std::scoped_lock lock(mutex_);
-  return in_flight_;
+  std::size_t depth = 0;
+  for (const auto& shard : shards_) {
+    const std::scoped_lock lock(shard->mutex);
+    depth += shard->in_flight;
+  }
+  return depth;
 }
 
 EngineCounters Engine::counters() const {
-  const std::scoped_lock lock(mutex_);
-  return counters_;
+  EngineCounters total;
+  for (const auto& shard : shards_) {
+    const std::scoped_lock lock(shard->mutex);
+    add_counters(total, shard->counters);
+  }
+  return total;
 }
 
 std::size_t Engine::session_count() const {
-  const std::scoped_lock lock(mutex_);
-  return sessions_.size();
+  std::size_t count = 0;
+  for (const auto& shard : shards_) {
+    const std::scoped_lock lock(shard->mutex);
+    count += shard->sessions.size();
+  }
+  return count;
+}
+
+std::size_t Engine::shard_of(std::string_view session) const noexcept {
+  // FNV-1a 64-bit: stable across builds and restarts (std::hash makes no
+  // such promise), so replayed streams route identically run over run.
+  std::uint64_t hash = 14695981039346656037ull;
+  for (const char c : session) {
+    hash ^= static_cast<unsigned char>(c);
+    hash *= 1099511628211ull;
+  }
+  return static_cast<std::size_t>(hash % shards_.size());
+}
+
+std::size_t Engine::shard_quota() const noexcept {
+  return shards_.front()->quota;
 }
 
 void Engine::check_invariants() const {
-  // Snapshot under the mutex, then check unlocked: the failure handler may
-  // throw, and must not do so while holding the engine lock.
-  EngineCounters counters;
-  std::size_t in_flight = 0;
-  std::size_t pending_total = 0;
-  std::size_t draining_sessions = 0;
-  {
-    const std::scoped_lock lock(mutex_);
-    counters = counters_;
-    in_flight = in_flight_;
-    for (const auto& [name, session] : sessions_) {
-      pending_total += session->pending.size();
-      if (session->draining) ++draining_sessions;
+  // Snapshot each shard under its own mutex, then check unlocked: the
+  // failure handler may throw, and must not do so while holding a lock.
+  struct ShardView {
+    EngineCounters counters;
+    EngineCounters session_sum;
+    std::size_t in_flight = 0;
+    std::size_t pending_total = 0;
+    std::size_t draining_sessions = 0;
+  };
+  std::vector<ShardView> views;
+  views.reserve(shards_.size());
+  for (const auto& shard : shards_) {
+    ShardView view;
+    const std::scoped_lock lock(shard->mutex);
+    view.counters = shard->counters;
+    view.in_flight = shard->in_flight;
+    for (const auto& [name, session] : shard->sessions) {
+      view.pending_total += session->pending.size();
+      if (session->draining) ++view.draining_sessions;
+      add_counters(view.session_sum, session->counters);
     }
+    views.push_back(view);
   }
-  // Every admitted request is exactly one of: completed, failed, expired in
-  // the queue, or still in flight. Rejections never enter the identity —
-  // they were never admitted.
+
+  EngineCounters total;
+  std::size_t total_in_flight = 0;
+  for (std::size_t i = 0; i < views.size(); ++i) {
+    const ShardView& view = views[i];
+    const EngineCounters& c = view.counters;
+    const std::string where = "shard " + std::to_string(i) + ": ";
+    // Every admitted request is exactly one of: completed, failed, expired
+    // against its deadline, or still in flight. Rejections never enter the
+    // identity — they were never admitted.
+    TACC_CHECK_INVARIANT(
+        c.accepted == c.completed + c.failed + c.rejected_deadline +
+                          view.in_flight,
+        where + "request accounting broke: accepted " +
+            std::to_string(c.accepted) + " != completed " +
+            std::to_string(c.completed) + " + failed " +
+            std::to_string(c.failed) + " + expired " +
+            std::to_string(c.rejected_deadline) + " + in-flight " +
+            std::to_string(view.in_flight));
+    TACC_CHECK_INVARIANT(view.pending_total <= view.in_flight,
+                         where + "queued events exceed the in-flight count");
+    TACC_CHECK_INVARIANT(view.in_flight <= shards_[i]->quota,
+                         where + "admission exceeded the shard quota");
+    TACC_CHECK_INVARIANT(
+        view.pending_total == 0 || view.draining_sessions > 0,
+        where + "events queued with no drainer scheduled");
+    // Shard counters are the sum of their sessions' counters for every
+    // event that reached a session. (Overload/shutdown/not-found bounces
+    // may precede session attribution, so those are >=, not ==.)
+    TACC_CHECK_INVARIANT(
+        c.accepted == view.session_sum.accepted &&
+            c.completed == view.session_sum.completed &&
+            c.failed == view.session_sum.failed &&
+            c.rejected_deadline == view.session_sum.rejected_deadline,
+        where + "shard counters diverge from the sum over its sessions");
+    TACC_CHECK_INVARIANT(
+        c.rejected_overload >= view.session_sum.rejected_overload,
+        where + "session overload rejections exceed the shard's");
+    add_counters(total, c);
+    total_in_flight += view.in_flight;
+  }
   TACC_CHECK_INVARIANT(
-      counters.accepted == counters.completed + counters.failed +
-                               counters.rejected_deadline + in_flight,
-      "request accounting broke: accepted " +
-          std::to_string(counters.accepted) + " != completed " +
-          std::to_string(counters.completed) + " + failed " +
-          std::to_string(counters.failed) + " + expired " +
-          std::to_string(counters.rejected_deadline) + " + in-flight " +
-          std::to_string(in_flight));
-  TACC_CHECK_INVARIANT(pending_total <= in_flight,
-                       "queued events exceed the in-flight count");
-  TACC_CHECK_INVARIANT(in_flight <= options_.max_queue,
-                       "admission exceeded max_queue");
-  TACC_CHECK_INVARIANT(pending_total == 0 || draining_sessions > 0,
-                       "events queued with no drainer scheduled");
+      total.accepted == total.completed + total.failed +
+                            total.rejected_deadline + total_in_flight,
+      "aggregate request accounting broke across shards");
 }
 
 void Engine::submit(const Request& request, Responder respond) {
@@ -92,7 +200,7 @@ void Engine::submit(const Request& request, Responder respond) {
                        "verb is handled by the transport"));
       return;
     case Verb::kStats:
-      respond(stats_line(request.session));
+      respond(stats_line(request));
       return;
     default:
       break;
@@ -105,34 +213,38 @@ void Engine::submit(const Request& request, Responder respond) {
               now + std::chrono::duration_cast<Clock::duration>(
                         std::chrono::duration<double, std::milli>(timeout_ms))};
 
+  Shard& shard = *shards_[shard_of(request.session)];
   enum class Outcome { kAccepted, kOverloaded, kNotFound, kShuttingDown };
   Outcome outcome = Outcome::kShuttingDown;
   std::shared_ptr<Session> session;
   bool schedule = false;
   {
-    const std::scoped_lock lock(mutex_);
-    if (shutting_down_) {
-      ++counters_.rejected_shutdown;
+    const std::scoped_lock lock(shard.mutex);
+    if (shard.shutting_down) {
+      ++shard.counters.rejected_shutdown;
       outcome = Outcome::kShuttingDown;
-    } else if (in_flight_ >= options_.max_queue) {
-      ++counters_.rejected_overload;
-      const auto it = sessions_.find(request.session);
-      if (it != sessions_.end()) session = it->second;
+    } else if (shard.in_flight >= shard.quota) {
+      ++shard.counters.rejected_overload;
+      const auto it = shard.sessions.find(request.session);
+      if (it != shard.sessions.end()) {
+        ++it->second->counters.rejected_overload;
+      }
       outcome = Outcome::kOverloaded;
     } else {
-      const auto it = sessions_.find(request.session);
-      if (it != sessions_.end()) {
+      const auto it = shard.sessions.find(request.session);
+      if (it != shard.sessions.end()) {
         session = it->second;
       } else if (request.verb == Verb::kConfigure) {
         session = std::make_shared<Session>(request.session, options_);
-        sessions_.emplace(request.session, session);
+        shard.sessions.emplace(request.session, session);
       } else {
-        ++counters_.failed;
+        ++shard.counters.rejected_not_found;
         outcome = Outcome::kNotFound;
       }
       if (session) {
-        ++in_flight_;
-        ++counters_.accepted;
+        ++shard.in_flight;
+        ++shard.counters.accepted;
+        ++session->counters.accepted;
         session->pending.push_back(std::move(event));
         if (!session->draining) {
           session->draining = true;
@@ -146,16 +258,13 @@ void Engine::submit(const Request& request, Responder respond) {
   // Everything below runs unlocked so responders and the pool can't deadlock
   // back into submit().
   switch (outcome) {
-    case Outcome::kAccepted: {
-      {
-        const std::scoped_lock metrics(session->metrics_mutex);
-        ++session->counters.accepted;
-      }
+    case Outcome::kAccepted:
       if (schedule) {
-        pool_.submit([this, session] { drain_session(session); });
+        shard.pool.submit([this, &shard, session] {
+          drain_session(shard, session);
+        });
       }
       return;
-    }
     case Outcome::kShuttingDown:
       event.respond(err_line(ErrorCode::kShuttingDown, "daemon is draining"));
       return;
@@ -164,22 +273,19 @@ void Engine::submit(const Request& request, Responder respond) {
                              "unknown session '" + request.session + "'"));
       return;
     case Outcome::kOverloaded:
-      if (session) {
-        const std::scoped_lock metrics(session->metrics_mutex);
-        ++session->counters.rejected_overload;
-      }
       event.respond(err_line(ErrorCode::kOverloaded,
-                             "admission queue full (max_queue=" +
-                                 std::to_string(options_.max_queue) + ")"));
+                             "admission queue full (shard quota=" +
+                                 std::to_string(shard.quota) + ")"));
       return;
   }
 }
 
-void Engine::drain_session(const std::shared_ptr<Session>& session) {
+void Engine::drain_session(Shard& shard,
+                           const std::shared_ptr<Session>& session) {
   for (;;) {
     std::vector<Event> batch;
     {
-      const std::scoped_lock lock(mutex_);
+      const std::scoped_lock lock(shard.mutex);
       const std::size_t n =
           std::min(session->pending.size(), options_.max_batch);
       if (n == 0) {
@@ -199,18 +305,31 @@ void Engine::drain_session(const std::shared_ptr<Session>& session) {
     std::vector<double> latencies;
     latencies.reserve(batch.size());
     for (Event& event : batch) {
-      if (Clock::now() > event.deadline) {
+      // Deadline re-check at dequeue time (boundary inclusive: a deadline
+      // exactly at dequeue is expired) — the event leaves the queue for
+      // execution here, possibly long after batch formation.
+      if (deadline_expired(event.deadline, Clock::now())) {
         ++expired;
         event.respond(err_line(ErrorCode::kDeadlineExceeded,
                                "expired after queueing"));
         continue;
       }
       std::string line = apply(*session, event.request);
+      const Clock::time_point finished = Clock::now();
+      if (deadline_expired(event.deadline, finished)) {
+        // The deadline passed while the event executed. The cluster
+        // mutation is kept (it ran to completion), but the client is
+        // answered — and the ledger counts — consistently with the
+        // deadline contract: this is rejected_deadline, never completed.
+        ++expired;
+        event.respond(err_line(ErrorCode::kDeadlineExceeded,
+                               "deadline passed during execution"));
+        continue;
+      }
       const bool ok = line.starts_with("OK");
       (ok ? completed : failed) += 1;
       latencies.push_back(
-          std::chrono::duration<double, std::micro>(Clock::now() -
-                                                    event.enqueued)
+          std::chrono::duration<double, std::micro>(finished - event.enqueued)
               .count());
       event.respond(std::move(line));
     }
@@ -235,21 +354,21 @@ void Engine::drain_session(const std::shared_ptr<Session>& session) {
       snapshot.delay_rows_saved = cluster.delay_rows_saved();
     }
     {
-      const std::scoped_lock metrics(session->metrics_mutex);
+      // One lock, one coherent flush: queue ledger, per-session counters,
+      // and the snapshot move together, so no STATS reply can catch the
+      // identity mid-update.
+      const std::scoped_lock lock(shard.mutex);
       session->counters.completed += completed;
       session->counters.failed += failed;
       session->counters.rejected_deadline += expired;
       ++session->batches;
       for (const double us : latencies) session->latency_us.add(us);
       session->snapshot = snapshot;
-    }
-    {
-      const std::scoped_lock lock(mutex_);
-      counters_.completed += completed;
-      counters_.failed += failed;
-      counters_.rejected_deadline += expired;
-      in_flight_ -= batch.size();
-      if (in_flight_ == 0) drained_cv_.notify_all();
+      shard.counters.completed += completed;
+      shard.counters.failed += failed;
+      shard.counters.rejected_deadline += expired;
+      shard.in_flight -= batch.size();
+      if (shard.in_flight == 0) shard.drained_cv.notify_all();
     }
   }
 }
@@ -393,41 +512,91 @@ std::string Engine::apply(Session& session, const Request& request) {
   }
 }
 
-std::string Engine::stats_line(const std::string& session_name) const {
-  if (session_name.empty()) {
-    const std::scoped_lock lock(mutex_);
-    return OkLine()
-        .field("sessions", sessions_.size())
-        .field("queue_depth", in_flight_)
+std::string Engine::stats_line(const Request& request) const {
+  if (request.session.empty()) {
+    // Global STATS: one coherent snapshot per shard (each under its own
+    // lock), summed after the locks drop. The accounting identity holds
+    // exactly within every per-shard block and in the aggregate.
+    struct ShardView {
+      EngineCounters counters;
+      std::size_t in_flight = 0;
+      std::size_t sessions = 0;
+    };
+    std::vector<ShardView> views;
+    views.reserve(shards_.size());
+    for (const auto& shard : shards_) {
+      ShardView view;
+      const std::scoped_lock lock(shard->mutex);
+      view.counters = shard->counters;
+      view.in_flight = shard->in_flight;
+      view.sessions = shard->sessions.size();
+      views.push_back(view);
+    }
+    EngineCounters total;
+    std::size_t depth = 0;
+    std::size_t sessions = 0;
+    for (const ShardView& view : views) {
+      add_counters(total, view.counters);
+      depth += view.in_flight;
+      sessions += view.sessions;
+    }
+    OkLine line;
+    line.field("sessions", sessions)
+        .field("shards", shards_.size())
+        .field("shard_quota", shard_quota())
+        .field("queue_depth", depth)
         .field("max_queue", options_.max_queue)
-        .field("accepted", static_cast<std::size_t>(counters_.accepted))
-        .field("completed", static_cast<std::size_t>(counters_.completed))
-        .field("failed", static_cast<std::size_t>(counters_.failed))
+        .field("accepted", static_cast<std::size_t>(total.accepted))
+        .field("completed", static_cast<std::size_t>(total.completed))
+        .field("failed", static_cast<std::size_t>(total.failed))
         .field("rejected_overload",
-               static_cast<std::size_t>(counters_.rejected_overload))
+               static_cast<std::size_t>(total.rejected_overload))
         .field("rejected_deadline",
-               static_cast<std::size_t>(counters_.rejected_deadline))
+               static_cast<std::size_t>(total.rejected_deadline))
         .field("rejected_shutdown",
-               static_cast<std::size_t>(counters_.rejected_shutdown))
-        .str();
+               static_cast<std::size_t>(total.rejected_shutdown))
+        .field("rejected_not_found",
+               static_cast<std::size_t>(total.rejected_not_found));
+    if (request.per_shard) {
+      // STATS shards=1: per-shard ledger blocks. Each block is a coherent
+      // cut, so s<k>_accepted == s<k>_completed + s<k>_failed +
+      // s<k>_deadline + s<k>_depth holds in every reply.
+      for (std::size_t i = 0; i < views.size(); ++i) {
+        const std::string prefix = "s" + std::to_string(i) + "_";
+        const EngineCounters& c = views[i].counters;
+        line.field(prefix + "depth", views[i].in_flight)
+            .field(prefix + "accepted", static_cast<std::size_t>(c.accepted))
+            .field(prefix + "completed",
+                   static_cast<std::size_t>(c.completed))
+            .field(prefix + "failed", static_cast<std::size_t>(c.failed))
+            .field(prefix + "deadline",
+                   static_cast<std::size_t>(c.rejected_deadline))
+            .field(prefix + "sessions", views[i].sessions);
+      }
+    }
+    return line.str();
   }
 
-  std::shared_ptr<Session> session;
-  {
-    const std::scoped_lock lock(mutex_);
-    const auto it = sessions_.find(session_name);
-    if (it == sessions_.end()) {
-      return err_line(ErrorCode::kNotFound,
-                      "unknown session '" + session_name + "'");
-    }
-    session = it->second;
+  const std::size_t shard_index = shard_of(request.session);
+  const Shard& shard = *shards_[shard_index];
+  // Everything — counters, histogram, snapshot — reads under the one shard
+  // lock, so the reply is a coherent cut of the session's ledger.
+  const std::scoped_lock lock(shard.mutex);
+  const auto it = shard.sessions.find(request.session);
+  if (it == shard.sessions.end()) {
+    return err_line(ErrorCode::kNotFound,
+                    "unknown session '" + request.session + "'");
   }
-  const std::scoped_lock metrics(session->metrics_mutex);
-  const EngineCounters& c = session->counters;
-  const metrics::Histogram& h = session->latency_us;
-  const SessionSnapshot& s = session->snapshot;
+  const Session& session = *it->second;
+  const EngineCounters& c = session.counters;
+  const metrics::Histogram& h = session.latency_us;
+  const SessionSnapshot& s = session.snapshot;
+  // Derived under the same lock, so it can never go negative.
+  const std::uint64_t in_flight =
+      c.accepted - c.completed - c.failed - c.rejected_deadline;
   return OkLine()
-      .field("session", session->name)
+      .field("session", session.name)
+      .field("shard", shard_index)
       .field("configured", s.configured)
       .field("devices", s.devices)
       .field("servers", s.servers)
@@ -452,7 +621,9 @@ std::string Engine::stats_line(const std::string& session_name) const {
              static_cast<std::size_t>(c.rejected_overload))
       .field("rejected_deadline",
              static_cast<std::size_t>(c.rejected_deadline))
-      .field("batches", static_cast<std::size_t>(session->batches))
+      .field("in_flight", static_cast<std::size_t>(in_flight))
+      .field("pending", session.pending.size())
+      .field("batches", static_cast<std::size_t>(session.batches))
       .field("latency_count", h.total())
       .field("p50_us", h.quantile(0.50))
       .field("p99_us", h.quantile(0.99))

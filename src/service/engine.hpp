@@ -1,26 +1,46 @@
-// The taccd request engine: named DynamicCluster sessions driven through a
-// bounded admission queue by the shared runtime::ThreadPool, independent of
+// The taccd request engine: named DynamicCluster sessions partitioned
+// across per-core shards, each shard driving its sessions through its own
+// bounded admission queue and runtime::ThreadPool workers, independent of
 // any transport.
 //
-// Execution model:
+// Sharding model:
+//  - Sessions are routed to one of N shards (default hardware_concurrency)
+//    by a stable FNV-1a hash of the session name, so a session's requests
+//    always execute in order on one shard and the route survives daemon
+//    restarts. Each shard owns its sessions, admission ledger, counters,
+//    and worker pool behind its own mutex — no request ever takes a
+//    cross-shard lock, which is what removes the single-mutex admission
+//    bottleneck the pre-shard engine serialized everything through.
+//  - Admission is bounded per shard: `max_queue` is split into
+//    ceil(max_queue / shards) slots per shard (min 1). When a shard's
+//    queued + executing requests reach its quota, submit() answers
+//    ERR OVERLOADED immediately instead of queuing unboundedly.
+//  - The worker budget (`threads`, 0 = hardware concurrency) is split as
+//    max(1, threads / shards) workers per shard, so the default
+//    configuration is one shard and one worker per core.
+//
+// Execution model (per shard, unchanged from the single-engine design):
 //  - Every mutation request (CONFIGURE/JOIN/MOVE/LEAVE/FAIL/RECOVER/
 //    EVACUATE/SLEEP) is admitted into its session's FIFO and stamped with a
-//    deadline (per-request timeout_ms or the engine default). Admission is
-//    bounded across ALL sessions: when `max_queue` requests are queued or
-//    executing, submit() answers ERR OVERLOADED immediately instead of
-//    queuing unboundedly.
+//    deadline (per-request timeout_ms or the engine default).
 //  - Micro-batching: one pool task drains a session's FIFO up to
 //    `max_batch` events per pass, so a burst of compatible mutations pays
 //    for one task dispatch and one metrics flush instead of N. Events on
 //    one session always execute sequentially (single drainer per session);
-//    different sessions execute concurrently on the pool.
-//  - A request whose deadline passed while queued answers
-//    ERR DEADLINE_EXCEEDED without touching the cluster. Deadlines are
-//    checked at execution start; an event that has begun executing runs to
-//    completion.
+//    different sessions execute concurrently on their shards' pools.
+//  - Deadlines are re-checked when an event is dequeued for execution: a
+//    request whose deadline has passed at dequeue time (boundary included
+//    — deadline exactly at dequeue counts as expired) answers
+//    ERR DEADLINE_EXCEEDED without touching the cluster, and a request
+//    that finishes executing past its deadline also answers
+//    ERR DEADLINE_EXCEEDED (its cluster mutation is kept — it ran — but
+//    the client contract stays deadline-consistent) and is counted
+//    rejected_deadline, never completed.
 //  - STATS bypasses admission entirely and answers synchronously from a
-//    lock-protected snapshot refreshed after every batch, so health checks
-//    stay fast even when sessions are busy.
+//    snapshot taken under a single shard lock, so every STATS line is a
+//    coherent cut of that shard's ledger: the accounting identity
+//    accepted == completed + failed + rejected_deadline + in_flight holds
+//    exactly within every reply, per shard and in aggregate.
 //
 // Every submitted request receives exactly one terminal response: the
 // responder callback is invoked exactly once, with an OK line or an ERR
@@ -36,6 +56,8 @@
 #include <memory>
 #include <mutex>
 #include <string>
+#include <string_view>
+#include <vector>
 
 #include "core/dynamic.hpp"
 #include "metrics/histogram.hpp"
@@ -45,10 +67,14 @@
 namespace tacc::service {
 
 struct EngineOptions {
-  /// Worker pool size (0 = hardware concurrency).
+  /// Total worker budget across all shards (0 = hardware concurrency).
+  /// Each shard gets max(1, threads / shards) pool workers.
   std::size_t threads = 0;
-  /// Admission bound: max requests queued or executing across all sessions
-  /// before submit() rejects with OVERLOADED.
+  /// Engine shard count (0 = hardware concurrency, clamped to
+  /// runtime::kMaxThreads). Sessions are hash-partitioned across shards.
+  std::size_t shards = 0;
+  /// Aggregate admission bound: split into ceil(max_queue / shards) slots
+  /// per shard (min 1); a shard at its quota rejects with OVERLOADED.
   std::size_t max_queue = 256;
   /// Default per-request deadline when the request carries no timeout_ms.
   double default_timeout_ms = 1000.0;
@@ -59,14 +85,19 @@ struct EngineOptions {
   std::size_t histogram_bins = 2'000;
 };
 
-/// Aggregate counters across the engine's lifetime.
+/// Aggregate counters across a shard's (or the engine's) lifetime.
 struct EngineCounters {
   std::uint64_t accepted = 0;           ///< admitted into a session queue
   std::uint64_t completed = 0;          ///< executed, responded OK
   std::uint64_t failed = 0;             ///< executed, responded ERR
   std::uint64_t rejected_overload = 0;  ///< bounced at admission
-  std::uint64_t rejected_deadline = 0;  ///< expired in the queue
+  /// Expired in the queue or finished executing past the deadline.
+  std::uint64_t rejected_deadline = 0;
   std::uint64_t rejected_shutdown = 0;  ///< bounced while draining
+  /// Mutation for a session that does not exist; never admitted, so it is
+  /// a rejection — counting it as `failed` would break the accounting
+  /// identity (failed events must have been accepted first).
+  std::uint64_t rejected_not_found = 0;
 };
 
 class Engine {
@@ -75,6 +106,7 @@ class Engine {
   /// submitting thread or a pool worker; must not block for long and must
   /// not call back into the engine.
   using Responder = std::function<void(std::string)>;
+  using Clock = std::chrono::steady_clock;
 
   explicit Engine(EngineOptions options = {});
   /// Drains all admitted work before returning.
@@ -87,33 +119,53 @@ class Engine {
   /// are answered BAD_REQUEST here. Never blocks on cluster work.
   void submit(const Request& request, Responder respond);
 
-  /// Stops admitting new requests (they answer ERR SHUTTING_DOWN); already
-  /// admitted requests still execute.
+  /// Stops admitting new requests on every shard (they answer
+  /// ERR SHUTTING_DOWN); already admitted requests still execute.
   void begin_shutdown();
-  /// Blocks until every admitted request has received its response.
+  /// Blocks until every admitted request on every shard has received its
+  /// response.
   void drain();
 
+  /// Queued + executing requests summed across shards.
   [[nodiscard]] std::size_t queue_depth() const;
+  /// Counters summed across shards.
   [[nodiscard]] EngineCounters counters() const;
   [[nodiscard]] std::size_t session_count() const;
+  [[nodiscard]] std::size_t shard_count() const noexcept {
+    return shards_.size();
+  }
+  /// Stable routing: FNV-1a(session) % shard_count(). A pure function of
+  /// the name and the shard count — the same session always lands on the
+  /// same shard, in this process and after a restart.
+  [[nodiscard]] std::size_t shard_of(std::string_view session) const noexcept;
+  /// Per-shard admission quota (ceil(max_queue / shards), min 1).
+  [[nodiscard]] std::size_t shard_quota() const noexcept;
   [[nodiscard]] const EngineOptions& options() const noexcept {
     return options_;
   }
 
+  /// Deadline boundary predicate: a deadline exactly at `now` counts as
+  /// expired. Used at dequeue time and again when execution finishes.
+  [[nodiscard]] static constexpr bool deadline_expired(
+      Clock::time_point deadline, Clock::time_point now) noexcept {
+    return now >= deadline;
+  }
+
   /// Deep validation of the request-accounting invariants, reported through
-  /// the contracts failure handler. Under the engine mutex it must hold
+  /// the contracts failure handler. Under each shard's mutex it must hold
   /// that every admitted request is exactly one of: responded OK
-  /// (completed), responded ERR (failed), expired in the queue
+  /// (completed), responded ERR (failed), expired against its deadline
   /// (rejected_deadline), or still in flight — i.e.
-  ///   accepted == completed + failed + rejected_deadline + in_flight,
-  /// that queued events never exceed the in-flight count, and that
-  /// admission respects max_queue. Safe to call concurrently with traffic
-  /// (takes the mutex; holds it only to snapshot).
+  ///   accepted == completed + failed + rejected_deadline + in_flight
+  /// per shard (and therefore in aggregate), that queued events never
+  /// exceed the shard's in-flight count, that admission respects the
+  /// shard quota, and that shard counters equal the sum of their sessions'
+  /// counters. Safe to call concurrently with traffic (locks one shard at
+  /// a time; holds each lock only to snapshot).
   void check_invariants() const;
 
  private:
   friend struct ServiceEngineTestPeer;  ///< corruption hook for tests
-  using Clock = std::chrono::steady_clock;
 
   struct Event {
     Request request;
@@ -148,35 +200,45 @@ class Engine {
 
     const std::string name;
 
-    // Queue state — guarded by Engine::mutex_.
+    // Queue state AND metrics — all guarded by the owning Shard's mutex,
+    // so one lock yields a coherent queue+counter snapshot (the pre-shard
+    // engine split these across two mutexes and STATS could observe
+    // completed > accepted mid-flush).
     std::deque<Event> pending;
     bool draining = false;
-
-    // Cluster — touched only by the (single) active drain task.
-    std::unique_ptr<DynamicCluster> cluster;
-
-    // Metrics — guarded by metrics_mutex (never held across cluster work).
-    mutable std::mutex metrics_mutex;
     EngineCounters counters;
     std::uint64_t batches = 0;
     metrics::Histogram latency_us;
     SessionSnapshot snapshot;
+
+    // Cluster — touched only by the (single) active drain task.
+    std::unique_ptr<DynamicCluster> cluster;
   };
 
-  void drain_session(const std::shared_ptr<Session>& session);
+  /// One engine shard: sessions, admission ledger, and workers, all behind
+  /// one mutex that no other shard ever touches.
+  struct Shard {
+    Shard(std::size_t admission_quota, std::size_t workers)
+        : quota(admission_quota), pool(workers) {}
+
+    const std::size_t quota;  ///< admission bound for this shard
+    mutable std::mutex mutex;
+    std::condition_variable drained_cv;  ///< signalled when in_flight drops
+    std::map<std::string, std::shared_ptr<Session>, std::less<>> sessions;
+    std::size_t in_flight = 0;  ///< admitted, not yet responded
+    bool shutting_down = false;
+    EngineCounters counters;
+    runtime::ThreadPool pool;  // last member: workers stop before state dies
+  };
+
+  void drain_session(Shard& shard, const std::shared_ptr<Session>& session);
   /// Executes one event against the session's cluster; returns the response
   /// line. Never throws.
   std::string apply(Session& session, const Request& request);
-  [[nodiscard]] std::string stats_line(const std::string& session_name) const;
+  [[nodiscard]] std::string stats_line(const Request& request) const;
 
   const EngineOptions options_;
-  mutable std::mutex mutex_;
-  std::condition_variable drained_cv_;  ///< signalled when in_flight_ drops
-  std::map<std::string, std::shared_ptr<Session>, std::less<>> sessions_;
-  std::size_t in_flight_ = 0;  ///< admitted, not yet responded
-  bool shutting_down_ = false;
-  EngineCounters counters_;
-  runtime::ThreadPool pool_;  // last member: workers stop before state dies
+  std::vector<std::unique_ptr<Shard>> shards_;
 };
 
 }  // namespace tacc::service

@@ -130,6 +130,10 @@ bool apply_option(Request& request, std::string_view key,
     const auto v = parse_size(value);
     if (!v || *v == 0) return bad_value();
     request.limit = *v;
+  } else if (key == "shards") {
+    const auto v = parse_bool(value);
+    if (!v) return bad_value();
+    request.per_shard = *v;
   } else {
     error = "unhandled option '" + std::string(key) + "'";
     return false;
@@ -351,8 +355,14 @@ ParseResult parse_request(std::string_view line) {
   }
   if (verb == "STATS") {
     request.verb = Verb::kStats;
-    if (tokens.size() > 2) return fail("STATS takes at most a session name");
-    if (tokens.size() == 2 && !session_at(1)) return fail(std::move(error));
+    // Session names cannot contain '=', so the first token either names a
+    // session or starts the key=value options.
+    std::size_t first_option = 1;
+    if (tokens.size() > 1 && tokens[1].find('=') == std::string_view::npos) {
+      if (!session_at(1)) return fail(std::move(error));
+      first_option = 2;
+    }
+    if (!options_from(first_option, "shards")) return fail(std::move(error));
     return done();
   }
   if (verb == "PING") {

@@ -14,7 +14,7 @@
 //   LINK_SET     <session> <u> <v> <latency_ms>
 //   LINKS     <session> [limit=K]          (list live backbone links)
 //   SLEEP     <session> <ms>               (diagnostic: occupies the session)
-//   STATS     [<session>]
+//   STATS     [<session>] [shards=0|1]   (shards=1: per-shard breakdown)
 //   PING
 //   SHUTDOWN
 //
@@ -105,6 +105,11 @@ struct Request {
 
   // SLEEP
   double sleep_ms = 0.0;
+
+  // STATS: shards=1 appends the per-shard ledger breakdown
+  // (s<k>_depth/accepted/completed/failed/deadline/sessions) to the
+  // global reply.
+  bool per_shard = false;
 
   /// Per-request admission deadline override (timeout_ms=T).
   std::optional<double> timeout_ms;

@@ -6,7 +6,12 @@
 // parses lines and submits them to the Engine. Responses are written back
 // strictly in per-connection request order — a response sequencer holds
 // out-of-order completions until their predecessors flush — so pipelined
-// clients can match responses to requests positionally.
+// clients can match responses to requests positionally. This ordering is
+// independent of the engine's completion order: with the engine sharded
+// per core, one connection's requests may target sessions on different
+// shards and complete in any interleaving on different worker threads,
+// but each completion lands at its reader-assigned sequence number and
+// flushes only after every earlier sequence has flushed.
 //
 // Shutdown (SIGINT/SIGTERM via install_signal_handlers(), the SHUTDOWN
 // verb, or request_shutdown()):
@@ -87,7 +92,9 @@ class Server {
     const int fd;
     std::atomic<bool> reader_done{false};
 
-    // Response sequencing — all guarded by write_mutex.
+    // Response sequencing — all guarded by write_mutex. Seqs are assigned
+    // by the single reader thread in arrival order; completions may arrive
+    // from any shard's workers in any order, and flush strictly by seq.
     std::mutex write_mutex;
     std::uint64_t next_write = 0;  ///< seq whose response flushes next
     std::map<std::uint64_t, std::string> ready;  ///< completed out of order

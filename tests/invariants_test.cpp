@@ -66,12 +66,13 @@ struct DynamicClusterTestPeer {
 
 namespace tacc::service {
 
-/// Friend of service::Engine: corrupts the accounting under the engine
-/// mutex (released before the validator re-takes it).
+/// Friend of service::Engine: corrupts shard 0's accounting under that
+/// shard's mutex (released before the validator re-takes it).
 struct ServiceEngineTestPeer {
   static void bump_accepted(Engine& engine) {
-    const std::lock_guard<std::mutex> lock(engine.mutex_);
-    ++engine.counters_.accepted;
+    Engine::Shard& shard = *engine.shards_.front();
+    const std::lock_guard<std::mutex> lock(shard.mutex);
+    ++shard.counters.accepted;
   }
 };
 

@@ -6,8 +6,11 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
+#include <cstdint>
 #include <future>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "service/protocol.hpp"
@@ -36,9 +39,38 @@ std::string call(Engine& engine, const std::string& line) {
 EngineOptions small_options() {
   EngineOptions options;
   options.threads = 2;
+  // Pinned (not hardware-dependent) so admission math and routing are the
+  // same on every machine the suite runs on.
+  options.shards = 2;
   options.max_queue = 64;
   options.default_timeout_ms = 5'000.0;
   return options;
+}
+
+/// Extracts the integer value of `key=` from an OK response line.
+std::uint64_t field_value(const std::string& line, const std::string& key) {
+  const std::size_t at = line.find(" " + key + "=");
+  EXPECT_NE(at, std::string::npos) << "missing " << key << " in: " << line;
+  if (at == std::string::npos) return 0;
+  return std::stoull(line.substr(at + key.size() + 2));
+}
+
+/// Session names, one per shard, discovered by probing the stable hash.
+std::vector<std::string> sessions_covering_all_shards(const Engine& engine) {
+  std::vector<std::string> names(engine.shard_count());
+  std::vector<bool> found(engine.shard_count(), false);
+  std::size_t covered = 0;
+  for (int i = 0; covered < engine.shard_count() && i < 10'000; ++i) {
+    std::string name = "probe" + std::to_string(i);
+    const std::size_t shard = engine.shard_of(name);
+    if (!found[shard]) {
+      found[shard] = true;
+      names[shard] = std::move(name);
+      ++covered;
+    }
+  }
+  EXPECT_EQ(covered, engine.shard_count()) << "hash never covered all shards";
+  return names;
 }
 
 TEST(Engine, ConfigureJoinMoveLeaveRoundTrip) {
@@ -323,6 +355,9 @@ TEST(Engine, BatchingCoalescesBurstsIntoFewerDrains) {
 TEST(Engine, SessionsDrainConcurrently) {
   EngineOptions options = small_options();
   options.threads = 2;
+  // One shard so both workers serve the same pool: the overlap being
+  // tested must not depend on which shards the two names hash to.
+  options.shards = 1;
   Engine engine(options);
   ASSERT_EQ(call(engine, "CONFIGURE s1 20 3 seed=21").rfind("OK", 0), 0u);
   ASSERT_EQ(call(engine, "CONFIGURE s2 20 3 seed=22").rfind("OK", 0), 0u);
@@ -343,6 +378,247 @@ TEST(Engine, SessionsDrainConcurrently) {
   EXPECT_EQ(first_future.get().rfind("OK", 0), 0u);
   EXPECT_EQ(second_future.get().rfind("OK", 0), 0u);
   EXPECT_LT(timer.elapsed_ms(), 390.0) << "sessions serialized";
+}
+
+// ---- Sharding --------------------------------------------------------------
+
+TEST(EngineSharding, RoutingIsStableAcrossEngineInstances) {
+  EngineOptions options = small_options();
+  options.shards = 4;
+  const Engine first(options);
+  const Engine second(options);
+  EXPECT_EQ(first.shard_count(), 4u);
+  for (const std::string name :
+       {"city", "factory", "a", "session-with-a-long-name", "x:y.z_9"}) {
+    // Same name ⇒ same shard, in this engine and in a freshly constructed
+    // one (i.e. across daemon restarts).
+    EXPECT_EQ(first.shard_of(name), second.shard_of(name)) << name;
+
+    // Pin the routing function itself: FNV-1a 64-bit mod shard count.
+    // std::hash would be allowed to change between libstdc++ versions.
+    std::uint64_t hash = 14695981039346656037ull;
+    for (const char c : name) {
+      hash ^= static_cast<unsigned char>(c);
+      hash *= 1099511628211ull;
+    }
+    EXPECT_EQ(first.shard_of(name), hash % 4u) << name;
+  }
+}
+
+TEST(EngineSharding, SessionStatsReportOwningShard) {
+  EngineOptions options = small_options();
+  options.shards = 4;
+  Engine engine(options);
+  const std::vector<std::string> names = sessions_covering_all_shards(engine);
+  for (std::size_t shard = 0; shard < names.size(); ++shard) {
+    ASSERT_EQ(call(engine, "CONFIGURE " + names[shard] + " 20 3 seed=1")
+                  .rfind("OK", 0),
+              0u);
+    const std::string stats = call(engine, "STATS " + names[shard]);
+    EXPECT_EQ(field_value(stats, "shard"), shard) << stats;
+  }
+}
+
+TEST(EngineSharding, ShardQuotasAreIndependent) {
+  EngineOptions options = small_options();
+  options.shards = 2;
+  options.max_queue = 2;  // one admission slot per shard
+  Engine engine(options);
+  ASSERT_EQ(engine.shard_quota(), 1u);
+  const std::vector<std::string> names = sessions_covering_all_shards(engine);
+  for (const std::string& name : names) {
+    ASSERT_EQ(call(engine, "CONFIGURE " + name + " 20 3 seed=1").rfind("OK", 0),
+              0u);
+    engine.drain();
+  }
+
+  // Fill shard 0's only slot with a parked SLEEP...
+  std::promise<std::string> slept;
+  std::future<std::string> slept_future = slept.get_future();
+  engine.submit(must_parse("SLEEP " + names[0] + " 200"),
+                [&slept](std::string r) { slept.set_value(std::move(r)); });
+
+  // ...shard 0 is now full, but shard 1 still admits: overload on one
+  // shard must not reject traffic routed to another.
+  EXPECT_EQ(call(engine, "JOIN " + names[0] + " 1.0 1.0")
+                .rfind("ERR OVERLOADED", 0),
+            0u);
+  EXPECT_EQ(call(engine, "JOIN " + names[1] + " 1.0 1.0").rfind("OK", 0), 0u);
+  EXPECT_EQ(slept_future.get().rfind("OK", 0), 0u);
+  engine.drain();
+  EXPECT_EQ(engine.counters().rejected_overload, 1u);
+  const contracts::ScopedFailureHandler guard(&contracts::throw_handler);
+  engine.check_invariants();
+}
+
+TEST(EngineSharding, DrainOnShutdownCoversEveryShard) {
+  EngineOptions options = small_options();
+  options.shards = 4;
+  options.threads = 4;
+  Engine engine(options);
+  const std::vector<std::string> names = sessions_covering_all_shards(engine);
+  for (const std::string& name : names) {
+    ASSERT_EQ(call(engine, "CONFIGURE " + name + " 20 3 seed=1").rfind("OK", 0),
+              0u);
+  }
+
+  // Park in-flight work on EVERY shard, then shut down: drain() must not
+  // return until each shard's admitted work reached its terminal response.
+  std::vector<std::future<std::string>> futures;
+  std::vector<std::promise<std::string>> promises(names.size());
+  for (std::size_t i = 0; i < names.size(); ++i) {
+    futures.push_back(promises[i].get_future());
+    engine.submit(must_parse("SLEEP " + names[i] + " 100"),
+                  [&promise = promises[i]](std::string r) {
+                    promise.set_value(std::move(r));
+                  });
+  }
+  engine.begin_shutdown();
+  EXPECT_EQ(call(engine, "JOIN " + names[0] + " 1.0 1.0")
+                .rfind("ERR SHUTTING_DOWN", 0),
+            0u);
+  engine.drain();
+  for (auto& future : futures) {
+    ASSERT_EQ(future.wait_for(std::chrono::seconds(0)),
+              std::future_status::ready)
+        << "drain() returned with work still in flight";
+    EXPECT_EQ(future.get().rfind("OK", 0), 0u);
+  }
+  EXPECT_EQ(engine.queue_depth(), 0u);
+  const contracts::ScopedFailureHandler guard(&contracts::throw_handler);
+  engine.check_invariants();
+}
+
+TEST(EngineSharding, NotFoundIsCountedAsRejectionNotFailure) {
+  Engine engine(small_options());
+  EXPECT_EQ(call(engine, "JOIN nosuch 1.0 1.0").rfind("ERR NOT_FOUND", 0), 0u);
+  const EngineCounters counters = engine.counters();
+  // The old engine counted this as `failed` without `accepted`, silently
+  // breaking accepted == completed + failed + expired + in_flight.
+  EXPECT_EQ(counters.rejected_not_found, 1u);
+  EXPECT_EQ(counters.failed, 0u);
+  EXPECT_EQ(counters.accepted, 0u);
+  const contracts::ScopedFailureHandler guard(&contracts::throw_handler);
+  engine.check_invariants();
+}
+
+TEST(EngineSharding, GlobalStatsCarryShardFieldsAndBreakdown) {
+  EngineOptions options = small_options();
+  options.shards = 2;
+  Engine engine(options);
+  const std::vector<std::string> names = sessions_covering_all_shards(engine);
+  for (const std::string& name : names) {
+    ASSERT_EQ(call(engine, "CONFIGURE " + name + " 20 3 seed=1").rfind("OK", 0),
+              0u);
+    ASSERT_EQ(call(engine, "JOIN " + name + " 1.0 1.0").rfind("OK", 0), 0u);
+  }
+  engine.drain();
+
+  const std::string global = call(engine, "STATS");
+  EXPECT_EQ(field_value(global, "shards"), 2u);
+  EXPECT_EQ(field_value(global, "shard_quota"), 32u);  // ceil(64 / 2)
+  EXPECT_EQ(field_value(global, "rejected_not_found"), 0u);
+  EXPECT_EQ(global.find("s0_depth="), std::string::npos)
+      << "breakdown must be opt-in: " << global;
+
+  const std::string detailed = call(engine, "STATS shards=1");
+  for (std::size_t shard = 0; shard < 2; ++shard) {
+    const std::string p = "s" + std::to_string(shard) + "_";
+    // Each shard processed its one session's CONFIGURE + JOIN.
+    EXPECT_EQ(field_value(detailed, p + "accepted"), 2u) << detailed;
+    EXPECT_EQ(field_value(detailed, p + "completed"), 2u) << detailed;
+    EXPECT_EQ(field_value(detailed, p + "sessions"), 1u) << detailed;
+  }
+}
+
+// ---- Deadlines -------------------------------------------------------------
+
+TEST(EngineDeadline, BoundaryExactlyAtDequeueCountsAsExpired) {
+  const Engine::Clock::time_point t{std::chrono::nanoseconds(1'000'000)};
+  const Engine::Clock::duration tick{std::chrono::nanoseconds(1)};
+  EXPECT_TRUE(Engine::deadline_expired(t, t));  // the pinned boundary
+  EXPECT_TRUE(Engine::deadline_expired(t, t + tick));
+  EXPECT_FALSE(Engine::deadline_expired(t + tick, t));
+}
+
+TEST(EngineDeadline, ExecutionOverrunIsRejectedNotCompleted) {
+  Engine engine(small_options());
+  ASSERT_EQ(call(engine, "CONFIGURE late 20 3 seed=1").rfind("OK", 0), 0u);
+  engine.drain();
+
+  // The request is dequeued while its 40ms deadline is still live, but the
+  // 120ms execution overruns it. The old engine answered OK and counted it
+  // `completed`; the deadline contract says ERR DEADLINE_EXCEEDED.
+  const std::string late = call(engine, "SLEEP late 120 timeout_ms=40");
+  EXPECT_EQ(late.rfind("ERR DEADLINE_EXCEEDED", 0), 0u) << late;
+  engine.drain();
+  const EngineCounters counters = engine.counters();
+  EXPECT_EQ(counters.rejected_deadline, 1u);
+  EXPECT_EQ(counters.completed, 1u);  // the CONFIGURE only
+  const contracts::ScopedFailureHandler guard(&contracts::throw_handler);
+  engine.check_invariants();
+}
+
+// ---- STATS coherence under concurrency -------------------------------------
+
+TEST(EngineConcurrency, StatsIdentityHoldsUnderConcurrentTraffic) {
+  EngineOptions options = small_options();
+  options.shards = 2;
+  options.threads = 2;
+  options.max_queue = 32;
+  Engine engine(options);
+  const std::vector<std::string> names = sessions_covering_all_shards(engine);
+  for (const std::string& name : names) {
+    ASSERT_EQ(call(engine, "CONFIGURE " + name + " 20 3 seed=1").rfind("OK", 0),
+              0u);
+  }
+  engine.drain();
+
+  // Drivers push MOVE traffic at both shards while a reader hammers STATS.
+  // Every per-shard block in every reply must satisfy the accounting
+  // identity exactly — the pre-shard engine could serve a torn snapshot
+  // (counters split across two mutexes). Run under TSan for the data-race
+  // side of the same bug.
+  std::atomic<bool> stop{false};
+  std::atomic<std::size_t> responses{0};
+  std::vector<std::thread> drivers;
+  drivers.reserve(names.size());
+  for (const std::string& name : names) {
+    drivers.emplace_back([&engine, &responses, &stop, name] {
+      while (!stop.load(std::memory_order_relaxed)) {
+        engine.submit(must_parse("MOVE " + name + " 0 1.0 1.0"),
+                      [&responses](const std::string&) {
+                        responses.fetch_add(1, std::memory_order_relaxed);
+                      });
+      }
+    });
+  }
+
+  const auto end = Engine::Clock::now() + std::chrono::milliseconds(150);
+  std::size_t checked = 0;
+  while (Engine::Clock::now() < end) {
+    const std::string stats = call(engine, "STATS shards=1");
+    ASSERT_EQ(stats.rfind("OK", 0), 0u) << stats;
+    for (std::size_t shard = 0; shard < 2; ++shard) {
+      const std::string p = "s" + std::to_string(shard) + "_";
+      const std::uint64_t accepted = field_value(stats, p + "accepted");
+      const std::uint64_t settled = field_value(stats, p + "completed") +
+                                    field_value(stats, p + "failed") +
+                                    field_value(stats, p + "deadline") +
+                                    field_value(stats, p + "depth");
+      ASSERT_EQ(accepted, settled)
+          << "torn shard " << shard << " snapshot: " << stats;
+    }
+    ++checked;
+  }
+  stop.store(true);
+  for (std::thread& driver : drivers) driver.join();
+  engine.begin_shutdown();
+  engine.drain();
+  EXPECT_GT(checked, 0u);
+  EXPECT_GT(responses.load(), 0u);
+  const contracts::ScopedFailureHandler guard(&contracts::throw_handler);
+  engine.check_invariants();
 }
 
 }  // namespace

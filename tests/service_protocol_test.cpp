@@ -115,6 +115,24 @@ TEST(Protocol, SleepStatsPingShutdown) {
   EXPECT_EQ(parse_ok("SHUTDOWN").verb, Verb::kShutdown);
 }
 
+TEST(Protocol, StatsPerShardOption) {
+  EXPECT_FALSE(parse_ok("STATS").per_shard);
+  EXPECT_FALSE(parse_ok("STATS city").per_shard);
+  EXPECT_FALSE(parse_ok("STATS shards=0").per_shard);
+
+  const Request global = parse_ok("STATS shards=1");
+  EXPECT_TRUE(global.per_shard);
+  EXPECT_EQ(global.session, "");
+
+  const Request scoped = parse_ok("STATS city shards=1");
+  EXPECT_TRUE(scoped.per_shard);
+  EXPECT_EQ(scoped.session, "city");
+
+  parse_error("STATS shards=maybe");
+  parse_error("STATS city limit=4");  // limit is LINKS-only
+  parse_error("STATS shards=1 city");  // session must precede options
+}
+
 TEST(Protocol, ToleratesWhitespaceAndCarriageReturn) {
   const Request r = parse_ok("  JOIN \t city   1.0  2.0 \r");
   EXPECT_EQ(r.verb, Verb::kJoin);

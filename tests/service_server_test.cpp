@@ -294,6 +294,53 @@ TEST(Server, ResponsesFlushInRequestOrderAcrossSessions) {
   EXPECT_EQ(second.rfind("OK device=0", 0), 0u) << second;
 }
 
+TEST(Server, PipelinedRepliesStayOrderedAcrossShards) {
+  ServerOptions options;
+  options.engine.shards = 4;
+  options.engine.threads = 4;
+  ServerFixture fixture(std::move(options));
+  Engine& engine = fixture.server().engine();
+  ASSERT_EQ(engine.shard_count(), 4u);
+
+  // One session per shard, so the pipelined batch below completes on four
+  // different worker pools concurrently.
+  std::vector<std::string> names(4);
+  std::size_t covered = 0;
+  for (int i = 0; covered < 4; ++i) {
+    std::string name = "probe" + std::to_string(i);
+    const std::size_t shard = engine.shard_of(name);
+    if (names[shard].empty()) {
+      names[shard] = std::move(name);
+      ++covered;
+    }
+  }
+
+  LineClient client = fixture.client();
+  for (const std::string& name : names) {
+    ASSERT_EQ(client.roundtrip("CONFIGURE " + name + " 20 3 seed=8")
+                  .rfind("OK", 0),
+              0u);
+  }
+
+  // Pipeline sleeps whose completion order inverts request order (the
+  // longest is first, on shard 0; the shortest last, on shard 3). Shard
+  // parallelism means they finish roughly in reverse; the connection
+  // sequencer must still reply strictly in request order, with each reply
+  // carrying its own request's duration.
+  const double sleeps[4] = {150.0, 30.0, 10.0, 1.0};
+  std::string batch;
+  for (std::size_t i = 0; i < 4; ++i) {
+    batch += "SLEEP " + names[i] + " " + std::to_string(sleeps[i]) + "\n";
+  }
+  ASSERT_TRUE(client.send_raw(batch));
+  for (const double expected : sleeps) {
+    std::string response;
+    ASSERT_TRUE(client.read_line(response));
+    ASSERT_EQ(response.rfind("OK slept_ms=", 0), 0u) << response;
+    EXPECT_DOUBLE_EQ(std::stod(response.substr(12)), expected) << response;
+  }
+}
+
 TEST(Server, SocketFileIsUnlinkedOnShutdown) {
   const std::string path = unique_socket_path();
   {

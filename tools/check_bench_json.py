@@ -20,6 +20,12 @@ Schema (written by bench::BenchReport in bench/bench_common.hpp):
       "metrics": {"<key>": <finite number>, ...},
       "gates": [{"name": "...", "passed": true}, ...]
     }
+
+Per-bench requirements (beyond the generic schema):
+    m3_serve must record the engine shard-scaling curve: at least two
+    rps_shards_<k> metrics (positive, integer k), a shard_scaling metric
+    equal to rps at the largest shard count over rps at the smallest, and
+    a shard_scaling gate.
 """
 
 import json
@@ -93,6 +99,52 @@ def check_file(path: pathlib.Path, require_gates_pass: bool) -> list[str]:
                     f"{gate!r}")
             elif require_gates_pass and not gate["passed"]:
                 bad(f"gate {gate['name']!r} failed")
+
+    if bench == "m3_serve" and isinstance(metrics, dict):
+        problems.extend(check_shard_curve(path, metrics, gates))
+
+    return problems
+
+
+def check_shard_curve(path: pathlib.Path, metrics: dict,
+                      gates) -> list[str]:
+    """m3_serve: the shard-scaling curve must be recorded and coherent."""
+    problems = []
+
+    def bad(msg: str) -> None:
+        problems.append(f"{path}: {msg}")
+
+    curve = {}
+    for key, value in metrics.items():
+        if not key.startswith("rps_shards_"):
+            continue
+        suffix = key[len("rps_shards_"):]
+        if not suffix.isdigit() or int(suffix) == 0:
+            bad(f"metric {key!r} has a non-integer shard count")
+            continue
+        if not isinstance(value, (int, float)) or value <= 0:
+            bad(f"metric {key!r} must be a positive rps, got {value!r}")
+            continue
+        curve[int(suffix)] = value
+
+    if len(curve) < 2:
+        bad("m3_serve must record rps_shards_<k> for at least two shard "
+            f"counts, found {sorted(curve)}")
+        return problems
+
+    scaling = metrics.get("shard_scaling")
+    if not isinstance(scaling, (int, float)):
+        bad("m3_serve must record a numeric shard_scaling metric")
+    else:
+        expected = curve[max(curve)] / curve[min(curve)]
+        if not math.isclose(scaling, expected, rel_tol=1e-6):
+            bad(f"shard_scaling is {scaling} but rps_shards_{max(curve)} / "
+                f"rps_shards_{min(curve)} = {expected}")
+
+    gate_names = {g.get("name") for g in gates if isinstance(g, dict)} \
+        if isinstance(gates, list) else set()
+    if "shard_scaling" not in gate_names:
+        bad("m3_serve must gate on shard_scaling")
 
     return problems
 

@@ -5,10 +5,13 @@
 // src/service/protocol.hpp:
 //
 //   taccd --socket=/tmp/taccd.sock [--port=7433] [--host=127.0.0.1]
-//         [--threads=N] [--max-queue=256] [--timeout-ms=1000]
+//         [--shards=N] [--threads=N] [--max-queue=256] [--timeout-ms=1000]
 //         [--max-batch=32] [--max-line=4096] [--verbose]
 //
-// Admission is bounded (--max-queue) and every request carries a deadline
+// Sessions are hash-partitioned across --shards engine shards (default:
+// one per core), each with its own admission queue and workers; --threads
+// is the total worker budget split across shards. Admission is bounded
+// (--max-queue, split per shard) and every request carries a deadline
 // (--timeout-ms default, timeout_ms= per request); excess load answers
 // OVERLOADED / DEADLINE_EXCEEDED instead of queuing unboundedly. SIGINT or
 // SIGTERM (or the SHUTDOWN verb) drains in-flight requests and exits 0.
@@ -32,6 +35,8 @@ int run(int argc, char** argv) {
       static_cast<std::size_t>(flags.get_int("max-line", 4096));
   options.engine.threads =
       static_cast<std::size_t>(flags.get_int("threads", 0));
+  options.engine.shards =
+      static_cast<std::size_t>(flags.get_int("shards", 0));
   options.engine.max_queue =
       static_cast<std::size_t>(flags.get_int("max-queue", 256));
   options.engine.default_timeout_ms =
@@ -43,7 +48,7 @@ int run(int argc, char** argv) {
   }
   if (options.unix_path.empty() && options.tcp_port < 0) {
     std::cerr << "usage: taccd --socket=<path> [--port=N] [--host=ADDR] "
-                 "[--threads=N] [--max-queue=N] [--timeout-ms=T] "
+                 "[--shards=N] [--threads=N] [--max-queue=N] [--timeout-ms=T] "
                  "[--max-batch=N] [--max-line=BYTES] [--verbose]\n"
                  "at least one of --socket / --port is required\n";
     return 2;
@@ -54,7 +59,8 @@ int run(int argc, char** argv) {
 
   service::Server server(std::move(options));
   server.install_signal_handlers();
-  std::cout << "taccd: listening";
+  std::cout << "taccd: listening (shards=" << server.engine().shard_count()
+            << ")";
   if (!server.unix_path().empty()) {
     std::cout << " on unix:" << server.unix_path();
   }
@@ -71,7 +77,9 @@ int run(int argc, char** argv) {
             << " failed=" << counters.failed
             << " rejected_overload=" << counters.rejected_overload
             << " rejected_deadline=" << counters.rejected_deadline
-            << " rejected_shutdown=" << counters.rejected_shutdown << ")\n";
+            << " rejected_shutdown=" << counters.rejected_shutdown
+            << " rejected_not_found=" << counters.rejected_not_found
+            << ")\n";
   return 0;
 }
 

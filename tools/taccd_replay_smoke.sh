@@ -2,9 +2,15 @@
 # Replay-parity smoke: a WorkloadProvider stream rendered by tacc_workload
 # must replay cleanly against a live taccd — every wire line answered OK
 # (any NOT_FOUND/BAD_REQUEST means the adapter's slot mirror diverged from
-# the daemon's real allocator) — and two replays of the same stream against
-# two fresh daemons must produce byte-identical response transcripts, so
-# accepted/completed counts match run over run.
+# the daemon's real allocator) — and the response transcript must be
+# byte-identical:
+#   1. across two fresh daemons (same shard count): accepted/completed
+#      counts match run over run;
+#   2. across shard counts (--shards=1 vs --shards=4): the replayed stream
+#      interleaves two sessions that hash to different shards, so their
+#      requests complete on different worker pools in nondeterministic
+#      order — the per-connection response sequencer must still deliver
+#      replies strictly in request order, or the transcripts diverge.
 #
 #   taccd_replay_smoke.sh <taccd> <tacc_client> <tacc_workload>
 set -euo pipefail
@@ -32,14 +38,22 @@ GEN_ARGS=(--workload="$SPEC" --events=400 --iot=60 --edge=8 --seed=77)
 cmp -s "$WORKDIR/stream_a.txt" "$WORKDIR/stream_b.txt" \
   || { echo "FAIL: tacc_workload output differs across identical runs"; exit 1; }
 
-replay() { # replay <transcript-out>
+# Second session with its own stream, then interleave the two line-by-line:
+# the pipelined replay now alternates between sessions on one connection.
+"$WORKLOAD" --workload="$SPEC" --events=400 --iot=60 --edge=8 --seed=78 \
+            --session=wl2 > "$WORKDIR/stream_c.txt"
+paste -d'\n' "$WORKDIR/stream_a.txt" "$WORKDIR/stream_c.txt" \
+  | grep -v '^$' > "$WORKDIR/interleaved.txt"
+
+replay() { # replay <transcript-out> <shards>
   local out=$1
+  local shards=$2
   local sock
   sock=$(mktemp -u "$WORKDIR/taccd_XXXXXX.sock")
   # Pipelined replay submits the whole stream before reading responses, so
   # the admission queue must hold it all — backpressure is m3's concern.
-  "$TACCD" --socket="$sock" --threads=2 --timeout-ms=60000 \
-           --max-queue=8192 &
+  "$TACCD" --socket="$sock" --shards="$shards" --threads=2 \
+           --timeout-ms=60000 --max-queue=8192 &
   DAEMON_PID=$!
   for _ in $(seq 1 100); do
     [ -S "$sock" ] && break
@@ -48,7 +62,7 @@ replay() { # replay <transcript-out>
   [ -S "$sock" ] || { echo "FAIL: daemon never bound $sock"; exit 1; }
 
   local rc=0
-  "$CLIENT" --socket="$sock" --stdin < "$WORKDIR/stream_a.txt" > "$out" \
+  "$CLIENT" --socket="$sock" --stdin < "$WORKDIR/interleaved.txt" > "$out" \
     || rc=$?
   # Exit 0 = every request answered OK. 3 would mean ERR responses (a slot
   # mirror or legality bug); anything else is a transport failure.
@@ -61,10 +75,11 @@ replay() { # replay <transcript-out>
   [ "$drc" -eq 0 ] || { echo "FAIL: taccd exited $drc on SIGTERM"; exit 1; }
 }
 
-replay "$WORKDIR/replay_1.txt"
-replay "$WORKDIR/replay_2.txt"
+replay "$WORKDIR/replay_1.txt" 1
+replay "$WORKDIR/replay_2.txt" 1
+replay "$WORKDIR/replay_s4.txt" 4
 
-LINES=$(wc -l < "$WORKDIR/stream_a.txt")
+LINES=$(wc -l < "$WORKDIR/interleaved.txt")
 RESPONSES=$(wc -l < "$WORKDIR/replay_1.txt")
 [ "$RESPONSES" -eq "$LINES" ] \
   || { echo "FAIL: $LINES requests but $RESPONSES responses"; exit 1; }
@@ -72,4 +87,7 @@ RESPONSES=$(wc -l < "$WORKDIR/replay_1.txt")
 cmp -s "$WORKDIR/replay_1.txt" "$WORKDIR/replay_2.txt" \
   || { echo "FAIL: replay transcripts differ between fresh daemons"; exit 1; }
 
-echo "taccd replay smoke passed: $LINES requests ($SPEC), all OK, transcripts identical"
+cmp -s "$WORKDIR/replay_1.txt" "$WORKDIR/replay_s4.txt" \
+  || { echo "FAIL: transcripts differ between --shards=1 and --shards=4 (response ordering broke)"; exit 1; }
+
+echo "taccd replay smoke passed: $LINES requests ($SPEC, 2 sessions), all OK, transcripts identical at 1 and 4 shards"

@@ -18,8 +18,12 @@ cleanup() {
 }
 trap cleanup EXIT
 
-# Tiny admission queue so the forced-overload phase overflows reliably.
-"$TACCD" --socket="$SOCK" --threads=2 --max-queue=2 --timeout-ms=5000 &
+# Tiny admission queue so the forced-overload phase overflows reliably —
+# with 2 shards, --max-queue=4 is two slots per shard: enough for the
+# pipelined LINK_FAIL/LINK_RESTORE pair, small enough that the 6-deep
+# overload pipeline below still overflows. 2 shards so the sharded
+# admission path is what the sanitizers exercise.
+"$TACCD" --socket="$SOCK" --shards=2 --threads=2 --max-queue=4 --timeout-ms=5000 &
 DAEMON_PID=$!
 
 for _ in $(seq 1 100); do
@@ -40,6 +44,17 @@ expect_ok JOIN smoke 1.5 2.0
 expect_ok MOVE smoke 0 2.5 1.5
 expect_ok STATS smoke
 expect_ok STATS
+
+# Per-shard STATS breakdown: the daemon runs 2 shards, so the opt-in
+# shards=1 reply must carry both shards' ledger blocks.
+SHARD_LINE=$("$CLIENT" --socket="$SOCK" STATS shards=1)
+echo "-> STATS shards=1: $SHARD_LINE"
+printf '%s\n' "$SHARD_LINE" | grep -q 'shards=2' \
+  || { echo "FAIL: global STATS did not report shards=2"; exit 1; }
+printf '%s\n' "$SHARD_LINE" | grep -q 's0_accepted=' \
+  || { echo "FAIL: STATS shards=1 missing shard 0 breakdown"; exit 1; }
+printf '%s\n' "$SHARD_LINE" | grep -q 's1_accepted=' \
+  || { echo "FAIL: STATS shards=1 missing shard 1 breakdown"; exit 1; }
 
 # Backbone link churn: discover a live router-router link via LINKS, fail
 # and restore it in place, and check STATS reports the engine epoch moving.
