@@ -17,10 +17,16 @@ constexpr double kEps = 1e-9;
 
 DynamicCluster::DynamicCluster(const Scenario& scenario, Algorithm initial,
                                const AlgorithmOptions& options)
+    : DynamicCluster(scenario, ConfigureRequest{initial, options}) {}
+
+DynamicCluster::DynamicCluster(const Scenario& scenario,
+                               const ConfigureRequest& request)
     : net_(scenario.network()),
       engine_(net_),
       cache_(engine_),
-      delay_model_(scenario.params().delay_model) {
+      delay_model_(scenario.params().delay_model),
+      cost_model_(request.cost_model),
+      penalty_factor_(request.penalty_factor) {
   for (topo::NodeId node = 0; node < net_.graph.node_count(); ++node) {
     if (net_.kinds[node] == topo::NodeKind::kRouter) {
       router_nodes_.push_back(node);
@@ -34,12 +40,12 @@ DynamicCluster::DynamicCluster(const Scenario& scenario, Algorithm initial,
   for (const auto& server : wl.edges) capacities_.push_back(server.capacity);
 
   const ClusterConfigurator configurator(scenario);
-  const ClusterConfiguration conf =
-      configurator.configure({initial, options});
+  const ClusterConfiguration conf = configurator.configure(request);
   assignment_ = conf.assignment();
 
   loads_.assign(capacities_.size(), 0.0);
   failed_.assign(capacities_.size(), false);
+  generations_.assign(devices_.size(), 0);
   for (std::size_t i = 0; i < devices_.size(); ++i) {
     // Filled from the engine's server trees — the same Dijkstra values the
     // scenario's instance matrix was built from.
@@ -48,6 +54,29 @@ DynamicCluster::DynamicCluster(const Scenario& scenario, Algorithm initial,
     loads_[j] += devices_[i].demand;
   }
   active_ = devices_.size();
+}
+
+double DynamicCluster::placement_cost(std::size_t device_index,
+                                      std::size_t server) const {
+  const double delay = cache_.row(device_index)[server];
+  const workload::IotDevice& device = devices_[device_index];
+  double cost = device.request_rate_hz * delay;
+  // kEuclidean deliberately scores as kTopologyAware here: the live engine
+  // only ever knows true shortest-path delays (see the ctor comment).
+  if (cost_model_ == CostModel::kDeadlinePenalized &&
+      delay > device.deadline_ms) {
+    cost *= penalty_factor_;
+  }
+  return cost;
+}
+
+double DynamicCluster::total_cost() const {
+  double sum = 0.0;
+  for (std::size_t i = 0; i < devices_.size(); ++i) {
+    if (assignment_[i] == gap::kUnassigned) continue;
+    sum += placement_cost(i, static_cast<std::size_t>(assignment_[i]));
+  }
+  return sum;
 }
 
 void DynamicCluster::refresh_delay_row(std::size_t slot) {
@@ -61,9 +90,7 @@ void DynamicCluster::absorb_device_churn() {
 
 DynamicCluster::ServerChoice DynamicCluster::cheapest_feasible_server(
     std::size_t device_index) const {
-  const auto& row = cache_.row(device_index);
   const double demand = devices_[device_index].demand;
-  const double weight = devices_[device_index].request_rate_hz;
 
   std::size_t best = capacities_.size();
   double best_cost = std::numeric_limits<double>::infinity();
@@ -72,7 +99,7 @@ DynamicCluster::ServerChoice DynamicCluster::cheapest_feasible_server(
   for (std::size_t j = 0; j < capacities_.size(); ++j) {
     if (failed_[j]) continue;
     const double new_load = loads_[j] + demand;
-    const double cost = weight * row[j];
+    const double cost = placement_cost(device_index, j);
     if (new_load <= capacities_[j] + kEps && cost < best_cost) {
       best = j;
       best_cost = cost;
@@ -113,6 +140,7 @@ void DynamicCluster::attach_device(std::size_t slot,
   if (slot == devices_.size()) {
     devices_.push_back(device);
     assignment_.push_back(gap::kUnassigned);
+    generations_.push_back(0);
     net_.iot_nodes.push_back(node);
   } else {
     devices_[slot] = device;
@@ -136,10 +164,12 @@ JoinResult DynamicCluster::place_device(std::size_t slot) {
               "placement must land on a healthy server");
   assignment_[slot] = static_cast<std::int32_t>(choice.server);
   loads_[choice.server] += devices_[slot].demand;
+  ++assignment_version_;
   TACC_ENSURE(!choice.feasible ||
                   loads_[choice.server] <= capacities_[choice.server] + kEps,
               "feasible placement overloaded its server");
-  return {slot, choice.server, choice.feasible, !choice.feasible};
+  return {slot, choice.server, choice.feasible, !choice.feasible,
+          placement_cost(slot, choice.server)};
 }
 
 JoinResult DynamicCluster::join(const workload::IotDevice& device) {
@@ -185,8 +215,12 @@ JoinResult DynamicCluster::move_pinned(std::size_t device_index,
     return place_device(device_index);
   }
   assignment_[device_index] = static_cast<std::int32_t>(pinned);
-  return {device_index, pinned,
-          loads_[pinned] <= capacities_[pinned] + kEps, false};
+  ++assignment_version_;
+  // Score through the shared CostModel rather than re-deriving delay
+  // locally — the "no reconfiguration" baseline and the re-optimizer must
+  // price the same placement identically.
+  return {device_index, pinned, loads_[pinned] <= capacities_[pinned] + kEps,
+          false, placement_cost(device_index, pinned)};
 }
 
 void DynamicCluster::leave(std::size_t device_index) {
@@ -201,6 +235,8 @@ void DynamicCluster::leave(std::size_t device_index) {
   assignment_[device_index] = gap::kUnassigned;
   detach_device(device_index);
   free_slots_.push_back(device_index);
+  ++generations_[device_index];  // recycled occupants are a new generation
+  ++assignment_version_;
   --active_;
 }
 
@@ -212,15 +248,13 @@ std::size_t DynamicCluster::rebalance(std::size_t max_moves) {
     for (std::size_t i = 0; i < devices_.size() && moves < max_moves; ++i) {
       if (assignment_[i] == gap::kUnassigned) continue;
       const auto from = static_cast<std::size_t>(assignment_[i]);
-      const double weight = devices_[i].request_rate_hz;
       const double demand = devices_[i].demand;
-      const auto& row = cache_.row(i);
       std::size_t best = from;
-      double best_cost = weight * row[from];
+      double best_cost = placement_cost(i, from);
       for (std::size_t j = 0; j < capacities_.size(); ++j) {
         if (j == from || failed_[j]) continue;
         if (loads_[j] + demand > capacities_[j] + kEps) continue;
-        const double cost = weight * row[j];
+        const double cost = placement_cost(i, j);
         if (cost < best_cost - kEps) {
           best_cost = cost;
           best = j;
@@ -230,6 +264,7 @@ std::size_t DynamicCluster::rebalance(std::size_t max_moves) {
         loads_[from] -= demand;
         loads_[best] += demand;
         assignment_[i] = static_cast<std::int32_t>(best);
+        ++assignment_version_;
         ++moves;
         improved = true;
       }
@@ -252,12 +287,10 @@ std::size_t DynamicCluster::repair(std::size_t max_moves) {
           continue;
         }
         const double demand = devices_[i].demand;
-        const double weight = devices_[i].request_rate_hz;
-        const auto& row = cache_.row(i);
         for (std::size_t k = 0; k < capacities_.size(); ++k) {
           if (k == j || failed_[k]) continue;
           if (loads_[k] + demand > capacities_[k] + kEps) continue;
-          const double delta = weight * (row[k] - row[j]);
+          const double delta = placement_cost(i, k) - placement_cost(i, j);
           if (delta < best_delta) {
             best_delta = delta;
             victim = i;
@@ -269,10 +302,51 @@ std::size_t DynamicCluster::repair(std::size_t max_moves) {
       loads_[j] -= devices_[victim].demand;
       loads_[target] += devices_[victim].demand;
       assignment_[victim] = static_cast<std::int32_t>(target);
+      ++assignment_version_;
       ++moves;
     }
   }
   return moves;
+}
+
+MovePlanReport DynamicCluster::apply_move_plan(const MovePlan& plan,
+                                               BudgetLedger* ledger) {
+  MovePlanReport report;
+  for (const PlannedMove& move : plan.moves) {
+    // Staleness first: the proposal's view of the world must still hold.
+    if (move.device >= devices_.size() || !is_active(move.device) ||
+        generations_[move.device] != move.generation ||
+        static_cast<std::size_t>(assignment_[move.device]) != move.from ||
+        move.to >= capacities_.size() || move.to == move.from) {
+      ++report.rejected_stale;
+      continue;
+    }
+    if (failed_[move.to]) {
+      ++report.rejected_target_failed;
+      continue;
+    }
+    const double demand = devices_[move.device].demand;
+    if (loads_[move.to] + demand > capacities_[move.to] + kEps) {
+      ++report.rejected_infeasible;
+      continue;
+    }
+    if (ledger != nullptr && !ledger->allows(move.device)) {
+      ++report.rejected_budget;
+      continue;
+    }
+    // Score the gain against live delays, not the proposal's prediction.
+    report.achieved_gain += placement_cost(move.device, move.from) -
+                            placement_cost(move.device, move.to);
+    loads_[move.from] -= demand;
+    loads_[move.to] += demand;
+    assignment_[move.device] = static_cast<std::int32_t>(move.to);
+    ++assignment_version_;
+    if (ledger != nullptr) ledger->charge(move.device);
+    ++report.applied;
+  }
+  TACC_ENSURE(report.applied + report.rejected() == plan.moves.size(),
+              "move plan outcomes must partition the plan");
+  return report;
 }
 
 EvacuationReport DynamicCluster::fail_server(std::size_t server,
@@ -402,6 +476,8 @@ void DynamicCluster::check_invariants(const InvariantOptions& options) const {
   TACC_CHECK_INVARIANT(
       loads_.size() == capacities_.size() && failed_.size() == loads_.size(),
       "per-server arrays must stay parallel");
+  TACC_CHECK_INVARIANT(generations_.size() == devices_.size(),
+                       "slot generations must cover every device slot");
 
   std::vector<bool> on_free_list(devices_.size(), false);
   for (const std::size_t slot : free_slots_) {

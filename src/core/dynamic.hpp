@@ -29,6 +29,7 @@
 #pragma once
 
 #include "core/configurator.hpp"
+#include "core/move_plan.hpp"
 #include "core/scenario.hpp"
 #include "topology/incremental/cache.hpp"
 
@@ -43,6 +44,11 @@ struct JoinResult {
   /// No healthy server had room: placed on the least-utilized healthy one,
   /// overloading it. repair() can restore feasibility later.
   bool overload_fallback = false;
+  /// Cost of the chosen placement under the cluster's CostModel
+  /// (placement_cost(device, server)) — every placement path (join, move,
+  /// move_pinned, evacuation) reports through the same scoring so callers
+  /// and the re-optimizer compare like with like.
+  double cost = 0.0;
 };
 
 /// Aggregate outcome of draining a failed server.
@@ -64,10 +70,19 @@ struct LinkUpdateReport {
 class DynamicCluster {
  public:
   /// Starts from `scenario` configured with `initial` (default: the RL
-  /// configuration the paper proposes).
+  /// configuration the paper proposes). Scores subsequent placements with
+  /// the default topology-aware cost model.
   DynamicCluster(const Scenario& scenario,
                  Algorithm initial = Algorithm::kQLearning,
                  const AlgorithmOptions& options = {});
+  /// Same, but the full ConfigureRequest: the initial solve honours the
+  /// request verbatim and the request's CostModel becomes the cluster's
+  /// live scoring function (placement_cost()) used by every greedy path
+  /// and by the background re-optimizer. kEuclidean has no dynamic
+  /// equivalent — the live engine always scores true shortest-path delays
+  /// (the ablation only distorts the one-shot solve), so it scores as
+  /// kTopologyAware here.
+  DynamicCluster(const Scenario& scenario, const ConfigureRequest& request);
 
   // The incremental delay engine points into net_, so the cluster must stay
   // at one address. Factory-style `return DynamicCluster(...)` still works
@@ -109,6 +124,62 @@ class DynamicCluster {
   /// least — accepting cost increases, unlike rebalance(). Returns moves
   /// made; stops at `max_moves` or when nothing movable remains.
   std::size_t repair(std::size_t max_moves);
+
+  // ---- Budgeted move plans --------------------------------------------------
+  /// Applies a batch of asynchronously proposed moves (see
+  /// core/move_plan.hpp), re-validating each against live state in plan
+  /// order. A move is rejected — individually, without aborting the batch —
+  /// when it is stale (device gone, slot recycled to a new generation, no
+  /// longer on `from`, or malformed), its target has failed, its target
+  /// lacks headroom, or `ledger` (optional) has no budget left for it.
+  /// Applied moves charge the ledger and bump assignment_version(). This is
+  /// the ONLY mutation entry point the background re-optimizer may use
+  /// (enforced by lint rule R6).
+  MovePlanReport apply_move_plan(const MovePlan& plan,
+                                 BudgetLedger* ledger = nullptr);
+
+  /// Cost of placing active device `i` on server `j` under the cluster's
+  /// CostModel: weight × cached shortest-path delay, inflated by the
+  /// penalty factor when kDeadlinePenalized and the delay misses the
+  /// device's deadline. The single scoring function shared by join/move
+  /// placement, rebalance/repair and the re-optimizer.
+  [[nodiscard]] double placement_cost(std::size_t device_index,
+                                      std::size_t server) const;
+  /// Σ placement_cost(i, server_of(i)) over active devices — the live
+  /// total the re-optimizer drives down.
+  [[nodiscard]] double total_cost() const;
+  [[nodiscard]] CostModel cost_model() const noexcept { return cost_model_; }
+
+  /// Reuse generation of a device slot: bumped when its occupant leaves, so
+  /// plans proposed against the old occupant are detectably stale after the
+  /// slot is recycled (the ABA caveat above, made checkable).
+  [[nodiscard]] std::uint64_t slot_generation(std::size_t slot) const {
+    return generations_.at(slot);
+  }
+  /// Bumps on every assignment mutation (placement, leave, rebalance,
+  /// repair, applied plan moves) — lets asynchronous proposers detect that
+  /// the cluster moved under them.
+  [[nodiscard]] std::uint64_t assignment_version() const noexcept {
+    return assignment_version_;
+  }
+  /// Cached per-server delay row of an active device (ms).
+  [[nodiscard]] const std::vector<double>& delay_row(
+      std::size_t device_index) const {
+    return cache_.row(device_index);
+  }
+  /// Engine epoch at which the device's row was last rewritten — newer
+  /// epochs mark rows dirtied by link churn, which the re-optimizer scans
+  /// first.
+  [[nodiscard]] std::uint64_t delay_row_epoch(std::size_t device_index) const {
+    return cache_.row_epoch(device_index);
+  }
+  [[nodiscard]] const workload::IotDevice& device(
+      std::size_t device_index) const {
+    return devices_.at(device_index);
+  }
+  [[nodiscard]] const std::vector<double>& capacities() const noexcept {
+    return capacities_;
+  }
 
   // ---- Server failures ------------------------------------------------------
   /// Takes server `j` out of service. With `evacuate` (default) its devices
@@ -300,6 +371,15 @@ class DynamicCluster {
   std::vector<double> loads_;
   std::vector<bool> failed_;
   std::size_t active_ = 0;
+
+  // Live scoring function (see placement_cost()); fixed at construction
+  // from the ConfigureRequest.
+  CostModel cost_model_ = CostModel::kTopologyAware;
+  double penalty_factor_ = 10.0;
+
+  // Staleness provenance for asynchronous move plans.
+  std::vector<std::uint64_t> generations_;  // parallel to devices_
+  std::uint64_t assignment_version_ = 0;
 };
 
 }  // namespace tacc

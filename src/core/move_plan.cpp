@@ -1,0 +1,42 @@
+#include "core/move_plan.hpp"
+
+#include <cmath>
+
+namespace tacc {
+
+double MovePlan::predicted_gain() const noexcept {
+  double gain = 0.0;
+  for (const PlannedMove& move : moves) gain += move.predicted_gain;
+  return gain;
+}
+
+void BudgetLedger::advance(double now_s) {
+  if (budget_.window_s <= 0.0) return;  // degenerate: one infinite window
+  const auto window =
+      static_cast<std::uint64_t>(std::floor(now_s / budget_.window_s));
+  if (window != window_) {
+    window_ = window;
+    spent_ = 0;
+    device_spend_.clear();
+  }
+}
+
+std::size_t BudgetLedger::remaining() const noexcept {
+  return spent_ >= budget_.max_moves_per_window
+             ? 0
+             : budget_.max_moves_per_window - spent_;
+}
+
+bool BudgetLedger::allows(std::size_t device) const {
+  if (remaining() == 0) return false;
+  const auto it = device_spend_.find(device);
+  return it == device_spend_.end() ||
+         it->second < budget_.max_device_moves_per_window;
+}
+
+void BudgetLedger::charge(std::size_t device) {
+  ++spent_;
+  ++device_spend_[device];
+}
+
+}  // namespace tacc

@@ -1,0 +1,115 @@
+// Move plans: batched, budgeted reassignments against a live DynamicCluster.
+//
+// The background re-optimizer (src/optimize) proposes moves asynchronously
+// and applies them later, so every proposal can be stale by the time it
+// lands: the device may have left (and its slot been recycled — classic
+// ABA), the target server may have failed, or other moves may have eaten
+// the capacity headroom the proposal assumed. A MovePlan therefore carries
+// enough provenance for DynamicCluster::apply_move_plan() to re-validate
+// each move against the live cluster and reject the invalid ones
+// individually instead of aborting the batch, reporting exactly what
+// happened in a MovePlanReport.
+//
+// Migration is rate-limited: moving a device churns its sessions, so
+// operators cap how much reassignment the optimizer may do per window
+// (MigrationBudget), and a BudgetLedger meters plans against that cap —
+// both a global moves-per-window budget and a per-device move rate (a
+// device that keeps winning the "best move" lottery must not be bounced
+// every pass).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+namespace tacc {
+
+/// One proposed reassignment, stamped with the provenance needed to detect
+/// staleness at apply time.
+struct PlannedMove {
+  std::size_t device = 0;       ///< device slot index at proposal time
+  std::uint64_t generation = 0; ///< slot generation at proposal (ABA guard)
+  std::size_t from = 0;         ///< server the device was on when proposed
+  std::size_t to = 0;           ///< proposed destination server
+  /// Cost-model improvement the proposer predicted (positive = better).
+  double predicted_gain = 0.0;
+};
+
+/// A batch of proposed moves, applied atomically under the cluster lock by
+/// DynamicCluster::apply_move_plan(). Moves are validated and applied in
+/// order, so multi-move plans (e.g. pairwise swaps emitted as two moves)
+/// must sequence themselves to keep every intermediate state feasible.
+struct MovePlan {
+  /// Cluster delay epoch the proposal was computed against (informational —
+  /// apply_move_plan() re-validates against live state regardless).
+  std::uint64_t delay_epoch = 0;
+  std::vector<PlannedMove> moves;
+
+  [[nodiscard]] double predicted_gain() const noexcept;
+  [[nodiscard]] bool empty() const noexcept { return moves.empty(); }
+  [[nodiscard]] std::size_t size() const noexcept { return moves.size(); }
+};
+
+/// Per-move outcome accounting for one apply_move_plan() call. Rejections
+/// are partitioned by cause; applied + rejected() == plan.size().
+struct MovePlanReport {
+  std::size_t applied = 0;
+  /// Device gone, slot recycled since proposal, the device no longer sits
+  /// on `from`, or the move is malformed (to == from / out of range).
+  std::size_t rejected_stale = 0;
+  std::size_t rejected_target_failed = 0; ///< destination failed mid-plan
+  std::size_t rejected_infeasible = 0;    ///< destination out of headroom
+  std::size_t rejected_budget = 0;        ///< migration budget exhausted
+  /// Sum of live cost-model improvement over applied moves (may differ from
+  /// the plan's predicted gain when delays moved since proposal).
+  double achieved_gain = 0.0;
+
+  [[nodiscard]] std::size_t rejected() const noexcept {
+    return rejected_stale + rejected_target_failed + rejected_infeasible +
+           rejected_budget;
+  }
+  [[nodiscard]] bool clean() const noexcept { return rejected() == 0; }
+};
+
+/// Operator-facing migration rate limits, metered per fixed time window.
+struct MigrationBudget {
+  std::size_t max_moves_per_window = 32;       ///< global cap per window
+  std::size_t max_device_moves_per_window = 1; ///< per-device cap per window
+  double window_s = 10.0;                      ///< window length (seconds)
+};
+
+/// Meters applied moves against a MigrationBudget. The owner advances the
+/// ledger's clock (advance()) before consulting it; windows are aligned to
+/// multiples of window_s on that clock, and a window roll resets both the
+/// global and the per-device spend. Per-device spend is keyed by slot
+/// index, so a recycled slot inherits its predecessor's spend until the
+/// window rolls — an acceptable (conservative) approximation.
+class BudgetLedger {
+ public:
+  BudgetLedger() = default;
+  explicit BudgetLedger(const MigrationBudget& budget) : budget_(budget) {}
+
+  /// Rolls to the window containing `now_s` (monotone caller clock).
+  void advance(double now_s);
+  /// Global headroom left in the current window.
+  [[nodiscard]] std::size_t remaining() const noexcept;
+  /// True when both the global and `device`'s per-device cap have headroom.
+  [[nodiscard]] bool allows(std::size_t device) const;
+  /// Records one applied move for `device`.
+  void charge(std::size_t device);
+
+  [[nodiscard]] const MigrationBudget& budget() const noexcept {
+    return budget_;
+  }
+  [[nodiscard]] std::size_t spent() const noexcept { return spent_; }
+  [[nodiscard]] std::uint64_t window_index() const noexcept { return window_; }
+
+ private:
+  MigrationBudget budget_;
+  std::uint64_t window_ = 0;
+  std::size_t spent_ = 0;
+  std::unordered_map<std::size_t, std::size_t> device_spend_;
+};
+
+}  // namespace tacc

@@ -1,0 +1,119 @@
+#include "optimize/reoptimizer.hpp"
+
+#include <algorithm>
+#include <condition_variable>
+
+#include "util/contracts.hpp"
+
+namespace tacc::opt {
+
+Reoptimizer::Reoptimizer(DynamicCluster& cluster, std::mutex& cluster_mutex,
+                         const ReoptOptions& options)
+    : cluster_(&cluster),
+      cluster_mutex_(&cluster_mutex),
+      options_(options),
+      state_(options.seed),
+      ledger_(options.budget),
+      epoch_(std::chrono::steady_clock::now()) {}
+
+Reoptimizer::~Reoptimizer() { stop(); }
+
+void Reoptimizer::start() {
+  if (thread_.joinable()) return;
+  thread_ = std::jthread(
+      [this](const std::stop_token& token) { loop(token); });
+}
+
+void Reoptimizer::stop() {
+  if (!thread_.joinable()) return;
+  thread_.request_stop();
+  thread_.join();
+  thread_ = std::jthread();
+}
+
+bool Reoptimizer::running() const noexcept { return thread_.joinable(); }
+
+double Reoptimizer::elapsed_s() const {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       epoch_)
+      .count();
+}
+
+std::size_t Reoptimizer::run_pass() {
+  std::scoped_lock lock(*cluster_mutex_);
+  return pass_locked();
+}
+
+std::size_t Reoptimizer::pass_locked() {
+  ledger_.advance(elapsed_s());
+
+  {
+    std::scoped_lock stats_lock(stats_mutex_);
+    ++stats_.passes;
+  }
+  const std::size_t headroom = ledger_.remaining();
+  if (headroom == 0) return 0;  // window exhausted; wait for the roll
+
+  // Cap the proposal by the window headroom so a plan never promises more
+  // migration than the budget can honour.
+  PlannerOptions planner = options_.planner;
+  planner.max_plan_moves = std::min(planner.max_plan_moves, headroom);
+  const MovePlan plan = propose_plan(*cluster_, planner, state_);
+  if (plan.empty()) return 0;
+
+  const DynamicCluster::InvariantOptions validate_options{
+      .require_feasible = false,
+      .forbid_failed_residents = false,
+      .delay_spot_checks = options_.validate_spot_checks};
+  if (options_.validate) cluster_->check_invariants(validate_options);
+  const MovePlanReport report = cluster_->apply_move_plan(plan, &ledger_);
+  if (options_.validate) cluster_->check_invariants(validate_options);
+
+  std::scoped_lock stats_lock(stats_mutex_);
+  ++stats_.plans;
+  stats_.moves_proposed += plan.moves.size();
+  stats_.moves_applied += report.applied;
+  stats_.rejected_stale += report.rejected_stale;
+  stats_.rejected_target_failed += report.rejected_target_failed;
+  stats_.rejected_infeasible += report.rejected_infeasible;
+  stats_.rejected_budget += report.rejected_budget;
+  stats_.predicted_gain += plan.predicted_gain();
+  stats_.achieved_gain += report.achieved_gain;
+  return report.applied;
+}
+
+void Reoptimizer::loop(const std::stop_token& token) {
+  std::mutex sleep_mutex;
+  std::condition_variable_any wakeup;
+  const auto interval =
+      std::chrono::duration<double, std::milli>(options_.interval_ms);
+  while (!token.stop_requested()) {
+    {
+      std::unique_lock sleep_lock(sleep_mutex);
+      wakeup.wait_for(sleep_lock, token, interval, [] { return false; });
+    }
+    if (token.stop_requested()) break;
+    // try_lock only: the serving path always wins, and a stop() issued by
+    // a thread holding the cluster mutex can never deadlock against us.
+    std::unique_lock cluster_lock(*cluster_mutex_, std::try_to_lock);
+    if (!cluster_lock.owns_lock()) continue;
+    pass_locked();
+  }
+}
+
+ReoptStats Reoptimizer::stats() const {
+  std::scoped_lock stats_lock(stats_mutex_);
+  return stats_;
+}
+
+void Reoptimizer::check_invariants() const {
+  const ReoptStats snapshot = stats();
+  TACC_CHECK_INVARIANT(
+      snapshot.moves_proposed ==
+          snapshot.moves_applied + snapshot.rejected(),
+      "reopt ledger: proposals must be partitioned by outcomes");
+  TACC_CHECK_INVARIANT(snapshot.plans <= snapshot.passes,
+                       "reopt ledger: more plans than passes");
+}
+
+}  // namespace tacc::opt

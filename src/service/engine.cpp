@@ -304,6 +304,12 @@ void Engine::drain_session(Shard& shard,
     std::uint64_t expired = 0;
     std::vector<double> latencies;
     latencies.reserve(batch.size());
+    SessionSnapshot snapshot;
+    // The cluster lock serializes this batch's mutations (and the snapshot
+    // read below) against the session's background re-optimizer. The
+    // optimizer only try_locks, so holding it for the whole batch never
+    // stalls anyone but the optimizer — which simply skips a pass.
+    std::unique_lock cluster_lock(session->cluster_mutex);
     for (Event& event : batch) {
       // Deadline re-check at dequeue time (boundary inclusive: a deadline
       // exactly at dequeue is expired) — the event leaves the queue for
@@ -334,8 +340,8 @@ void Engine::drain_session(Shard& shard,
       event.respond(std::move(line));
     }
 
-    // One metrics flush per batch (micro-batching's second dividend).
-    SessionSnapshot snapshot;
+    // One metrics flush per batch (micro-batching's second dividend). Still
+    // under the cluster lock: the snapshot must not race optimizer moves.
     snapshot.configured = session->cluster != nullptr;
     if (session->cluster) {
       const DynamicCluster& cluster = *session->cluster;
@@ -353,6 +359,16 @@ void Engine::drain_session(Shard& shard,
       snapshot.delay_rows_refreshed = cluster.delay_rows_refreshed();
       snapshot.delay_rows_saved = cluster.delay_rows_saved();
     }
+    if (session->reoptimizer) {
+      snapshot.reopt_running = session->reoptimizer->running();
+      const opt::ReoptStats reopt = session->reoptimizer->stats();
+      snapshot.reopt_passes = reopt.passes;
+      snapshot.reopt_proposed = reopt.moves_proposed;
+      snapshot.reopt_applied = reopt.moves_applied;
+      snapshot.reopt_rejected = reopt.rejected();
+      snapshot.reopt_gain = reopt.achieved_gain;
+    }
+    cluster_lock.unlock();
     {
       // One lock, one coherent flush: queue ledger, per-session counters,
       // and the snapshot move together, so no STATS reply can catch the
@@ -390,8 +406,21 @@ std::string Engine::apply(Session& session, const Request& request) {
       }();
       AlgorithmOptions algorithm_options;
       algorithm_options.apply_seed(request.seed);
+      // The optimizer (if any) references the old cluster: stop and detach
+      // it before the swap, then re-attach onto the replacement with the
+      // same tuning (or the engine default under auto_reopt).
+      const bool reattach =
+          session.reoptimizer != nullptr || options_.auto_reopt;
+      session.reoptimizer.reset();
       session.cluster = std::make_unique<DynamicCluster>(
           scenario, request.algorithm, algorithm_options);
+      if (reattach) {
+        const opt::ReoptOptions reopt =
+            session.reopt_options.value_or(options_.reopt);
+        session.reoptimizer = std::make_unique<opt::Reoptimizer>(
+            *session.cluster, session.cluster_mutex, reopt);
+        session.reoptimizer->start();
+      }
       return OkLine()
           .field("session", session.name)
           .field("preset", to_string(request.preset))
@@ -482,6 +511,78 @@ std::string Engine::apply(Session& session, const Request& request) {
             // For LINK_SET this is the latency the link had before.
             .field("latency_ms", report.latency_ms)
             .field("avg_delay_ms", cluster.avg_delay_ms())
+            .str();
+      }
+      case Verb::kReoptStart: {
+        opt::ReoptOptions reopt = options_.reopt;
+        if (request.reopt_moves > 0) {
+          reopt.budget.max_moves_per_window = request.reopt_moves;
+        }
+        if (request.reopt_device_moves > 0) {
+          reopt.budget.max_device_moves_per_window =
+              request.reopt_device_moves;
+        }
+        if (request.reopt_window_s > 0.0) {
+          reopt.budget.window_s = request.reopt_window_s;
+        }
+        if (request.reopt_interval_ms > 0.0) {
+          reopt.interval_ms = request.reopt_interval_ms;
+        }
+        // Replacing an attached optimizer stops the old one first; its
+        // thread never blocks on cluster_mutex (try_lock only), so joining
+        // it while we hold the lock cannot deadlock.
+        session.reoptimizer.reset();
+        session.reoptimizer = std::make_unique<opt::Reoptimizer>(
+            cluster, session.cluster_mutex, reopt);
+        session.reoptimizer->start();
+        session.reopt_options = reopt;
+        return OkLine()
+            .field("session", session.name)
+            .field("running", true)
+            .field("moves_per_window", reopt.budget.max_moves_per_window)
+            .field("device_moves_per_window",
+                   reopt.budget.max_device_moves_per_window)
+            .field("window_s", reopt.budget.window_s)
+            .field("interval_ms", reopt.interval_ms)
+            .str();
+      }
+      case Verb::kReoptStop: {
+        std::uint64_t applied = 0;
+        if (session.reoptimizer) {
+          applied = session.reoptimizer->stats().moves_applied;
+          session.reoptimizer.reset();  // stops + joins
+        }
+        session.reopt_options.reset();
+        return OkLine()
+            .field("session", session.name)
+            .field("running", false)
+            .field("moves_applied", static_cast<std::size_t>(applied))
+            .str();
+      }
+      case Verb::kReoptStats: {
+        OkLine line;
+        line.field("session", session.name)
+            .field("running", session.reoptimizer != nullptr &&
+                                  session.reoptimizer->running());
+        const opt::ReoptStats stats = session.reoptimizer
+                                          ? session.reoptimizer->stats()
+                                          : opt::ReoptStats{};
+        return line
+            .field("passes", static_cast<std::size_t>(stats.passes))
+            .field("plans", static_cast<std::size_t>(stats.plans))
+            .field("proposed",
+                   static_cast<std::size_t>(stats.moves_proposed))
+            .field("applied", static_cast<std::size_t>(stats.moves_applied))
+            .field("rejected_stale",
+                   static_cast<std::size_t>(stats.rejected_stale))
+            .field("rejected_target_failed",
+                   static_cast<std::size_t>(stats.rejected_target_failed))
+            .field("rejected_infeasible",
+                   static_cast<std::size_t>(stats.rejected_infeasible))
+            .field("rejected_budget",
+                   static_cast<std::size_t>(stats.rejected_budget))
+            .field("predicted_gain", stats.predicted_gain)
+            .field("achieved_gain", stats.achieved_gain)
             .str();
       }
       case Verb::kLinks: {
@@ -614,6 +715,12 @@ std::string Engine::stats_line(const Request& request) const {
              static_cast<std::size_t>(s.delay_rows_refreshed))
       .field("delay_rows_saved",
              static_cast<std::size_t>(s.delay_rows_saved))
+      .field("reopt_running", s.reopt_running)
+      .field("reopt_passes", static_cast<std::size_t>(s.reopt_passes))
+      .field("reopt_proposed", static_cast<std::size_t>(s.reopt_proposed))
+      .field("reopt_applied", static_cast<std::size_t>(s.reopt_applied))
+      .field("reopt_rejected", static_cast<std::size_t>(s.reopt_rejected))
+      .field("reopt_gain", s.reopt_gain)
       .field("accepted", static_cast<std::size_t>(c.accepted))
       .field("completed", static_cast<std::size_t>(c.completed))
       .field("failed", static_cast<std::size_t>(c.failed))

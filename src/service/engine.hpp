@@ -21,7 +21,8 @@
 //
 // Execution model (per shard, unchanged from the single-engine design):
 //  - Every mutation request (CONFIGURE/JOIN/MOVE/LEAVE/FAIL/RECOVER/
-//    EVACUATE/SLEEP) is admitted into its session's FIFO and stamped with a
+//    EVACUATE/LINK_*/REOPT_*/SLEEP) is admitted into its session's FIFO and
+//    stamped with a
 //    deadline (per-request timeout_ms or the engine default).
 //  - Micro-batching: one pool task drains a session's FIFO up to
 //    `max_batch` events per pass, so a burst of compatible mutations pays
@@ -55,12 +56,14 @@
 #include <map>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <string>
 #include <string_view>
 #include <vector>
 
 #include "core/dynamic.hpp"
 #include "metrics/histogram.hpp"
+#include "optimize/reoptimizer.hpp"
 #include "runtime/thread_pool.hpp"
 #include "service/protocol.hpp"
 
@@ -83,6 +86,13 @@ struct EngineOptions {
   /// Service-latency histogram range/resolution (microseconds).
   double histogram_max_us = 20'000.0;
   std::size_t histogram_bins = 2'000;
+  /// Attach + start a background re-optimizer on every session as soon as
+  /// it is configured (taccd --reopt). Sessions can still attach/detach
+  /// individually with REOPT_START/REOPT_STOP.
+  bool auto_reopt = false;
+  /// Budget/planner defaults for attached re-optimizers; REOPT_START
+  /// options override per session.
+  opt::ReoptOptions reopt;
 };
 
 /// Aggregate counters across a shard's (or the engine's) lifetime.
@@ -191,6 +201,14 @@ class Engine {
     std::uint64_t link_nodes_saved = 0;
     std::uint64_t delay_rows_refreshed = 0;
     std::uint64_t delay_rows_saved = 0;
+    // Background re-optimizer ledger (REOPT_START/REOPT_STOP); sampled at
+    // the batch flush like everything else, so STATS stays lock-coherent.
+    bool reopt_running = false;
+    std::uint64_t reopt_passes = 0;
+    std::uint64_t reopt_proposed = 0;
+    std::uint64_t reopt_applied = 0;
+    std::uint64_t reopt_rejected = 0;
+    double reopt_gain = 0.0;
   };
 
   struct Session {
@@ -211,8 +229,21 @@ class Engine {
     metrics::Histogram latency_us;
     SessionSnapshot snapshot;
 
-    // Cluster — touched only by the (single) active drain task.
+    // Cluster — mutated only by the (single) active drain task and, through
+    // apply_move_plan(), by the session's background re-optimizer. Both
+    // serialize on cluster_mutex: the drain task locks it around each
+    // batch's apply()s, the optimizer thread only ever try_locks it (the
+    // serving path always wins; see opt::Reoptimizer).
     std::unique_ptr<DynamicCluster> cluster;
+    std::mutex cluster_mutex;
+    // Per-session optimizer attach/detach (REOPT_START/REOPT_STOP or
+    // EngineOptions::auto_reopt). The pointer itself is only touched by the
+    // drain task. Declared after `cluster`: destroyed first, so the
+    // optimizer thread joins before the cluster it scans dies.
+    std::unique_ptr<opt::Reoptimizer> reoptimizer;
+    // Options used at the last attach, so CONFIGURE can re-attach a live
+    // optimizer onto the replacement cluster with the same tuning.
+    std::optional<opt::ReoptOptions> reopt_options;
   };
 
   /// One engine shard: sessions, admission ledger, and workers, all behind

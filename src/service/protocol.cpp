@@ -134,6 +134,22 @@ bool apply_option(Request& request, std::string_view key,
     const auto v = parse_bool(value);
     if (!v) return bad_value();
     request.per_shard = *v;
+  } else if (key == "moves") {
+    const auto v = parse_size(value);
+    if (!v || *v == 0) return bad_value();
+    request.reopt_moves = *v;
+  } else if (key == "device_moves") {
+    const auto v = parse_size(value);
+    if (!v || *v == 0) return bad_value();
+    request.reopt_device_moves = *v;
+  } else if (key == "window_s") {
+    const auto v = parse_double(value);
+    if (!v || *v <= 0.0) return bad_value();
+    request.reopt_window_s = *v;
+  } else if (key == "interval_ms") {
+    const auto v = parse_double(value);
+    if (!v || *v <= 0.0) return bad_value();
+    request.reopt_interval_ms = *v;
   } else {
     error = "unhandled option '" + std::string(key) + "'";
     return false;
@@ -176,6 +192,9 @@ std::string_view to_string(Verb verb) noexcept {
     case Verb::kLinkRestore: return "LINK_RESTORE";
     case Verb::kLinkSet: return "LINK_SET";
     case Verb::kLinks: return "LINKS";
+    case Verb::kReoptStart: return "REOPT_START";
+    case Verb::kReoptStop: return "REOPT_STOP";
+    case Verb::kReoptStats: return "REOPT_STATS";
     case Verb::kSleep: return "SLEEP";
     case Verb::kStats: return "STATS";
     case Verb::kPing: return "PING";
@@ -338,6 +357,23 @@ ParseResult parse_request(std::string_view line) {
   if (verb == "LINKS") {
     request.verb = Verb::kLinks;
     if (!session_at(1) || !options_from(2, "limit timeout_ms")) {
+      return fail(std::move(error));
+    }
+    return done();
+  }
+  if (verb == "REOPT_START") {
+    request.verb = Verb::kReoptStart;
+    if (!session_at(1) ||
+        !options_from(2,
+                      "moves device_moves window_s interval_ms timeout_ms")) {
+      return fail(std::move(error));
+    }
+    return done();
+  }
+  if (verb == "REOPT_STOP" || verb == "REOPT_STATS") {
+    request.verb =
+        verb == "REOPT_STOP" ? Verb::kReoptStop : Verb::kReoptStats;
+    if (!session_at(1) || !options_from(2, "timeout_ms")) {
       return fail(std::move(error));
     }
     return done();

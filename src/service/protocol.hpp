@@ -13,6 +13,12 @@
 //   LINK_RESTORE <session> <u> <v>          router node ids — see LINKS)
 //   LINK_SET     <session> <u> <v> <latency_ms>
 //   LINKS     <session> [limit=K]          (list live backbone links)
+//   REOPT_START <session> [moves=N] [device_moves=N] [window_s=S]
+//               [interval_ms=T]          (attach + start the background
+//                                         re-optimizer; omitted knobs use
+//                                         the daemon's --reopt-* defaults)
+//   REOPT_STOP  <session>                (stop + detach; idempotent)
+//   REOPT_STATS <session>                (live optimizer ledger)
 //   SLEEP     <session> <ms>               (diagnostic: occupies the session)
 //   STATS     [<session>] [shards=0|1]   (shards=1: per-shard breakdown)
 //   PING
@@ -48,6 +54,9 @@ enum class Verb {
   kLinkRestore,
   kLinkSet,
   kLinks,
+  kReoptStart,
+  kReoptStop,
+  kReoptStats,
   kSleep,
   kStats,
   kPing,
@@ -102,6 +111,12 @@ struct Request {
   double latency_ms = 0.0;
   // LINKS: max links listed per response line.
   std::size_t limit = 16;
+
+  // REOPT_START migration-budget overrides; 0 keeps the engine default.
+  std::size_t reopt_moves = 0;         ///< moves=N (max moves per window)
+  std::size_t reopt_device_moves = 0;  ///< device_moves=N (per-device cap)
+  double reopt_window_s = 0.0;         ///< window_s=S (budget window)
+  double reopt_interval_ms = 0.0;      ///< interval_ms=T (pass cadence)
 
   // SLEEP
   double sleep_ms = 0.0;

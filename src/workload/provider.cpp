@@ -112,10 +112,28 @@ class ParamReader {
 /// bookkeeping that keeps emitted streams legal, and emission helpers that
 /// stamp times and update that bookkeeping. Subclasses implement
 /// fill_step() in terms of the emit_* helpers only.
+///
+/// Shared parameters (consumed here, valid for every provider):
+///   reopt_pause     quiet seconds per demand cycle (default 0 = no pauses).
+///                   When > 0, the stream alternates reopt_active_s seconds
+///                   of normal emission with reopt_pause seconds of silence —
+///                   deterministic convergence windows for the background
+///                   re-optimizer to drain its move backlog against a frozen
+///                   demand set.
+///   reopt_active_s  active seconds per cycle (default 60).
 class ProviderBase : public WorkloadProvider {
  public:
-  ProviderBase(const ProviderContext& context, std::uint64_t stream)
-      : ctx_(context), rng_(util::Rng(context.seed).fork(stream)) {
+  ProviderBase(const ProviderContext& context, std::uint64_t stream,
+               ParamReader& params)
+      : ctx_(context),
+        rng_(util::Rng(context.seed).fork(stream)),
+        pause_s_(params.get("reopt_pause", 0.0)),
+        active_s_(params.get("reopt_active_s", 60.0)) {
+    if (pause_s_ < 0.0 || (pause_s_ > 0.0 && active_s_ <= 0.0)) {
+      throw std::invalid_argument(
+          "workload provider: reopt_pause must be >= 0 and reopt_active_s "
+          "> 0 when pausing");
+    }
     const std::size_t n = ctx_.base_devices();
     position_.assign(ctx_.base_positions.begin(), ctx_.base_positions.end());
     demand_ = ctx_.base_demands;
@@ -138,7 +156,12 @@ class ProviderBase : public WorkloadProvider {
       throw std::invalid_argument("WorkloadProvider::step: dt must be > 0");
     }
     std::vector<Event> events;
-    fill_step(dt_s, events);
+    // reopt_pause: a step whose start falls inside the quiet part of the
+    // [active, pause] cycle emits nothing; the clock still advances, so the
+    // stream stays a pure function of (spec, context, dt sequence).
+    if (!in_pause()) {
+      fill_step(dt_s, events);
+    }
     now_ += dt_s;
     return events;
   }
@@ -150,6 +173,14 @@ class ProviderBase : public WorkloadProvider {
 
  protected:
   virtual void fill_step(double dt_s, std::vector<Event>& events) = 0;
+
+  /// True when the simulated clock sits in the quiet part of the
+  /// reopt_pause cycle (reopt_active_s of emission, reopt_pause of silence).
+  [[nodiscard]] bool in_pause() const noexcept {
+    if (pause_s_ <= 0.0) return false;
+    const double cycle = active_s_ + pause_s_;
+    return std::fmod(now_, cycle) >= active_s_;
+  }
 
   [[nodiscard]] const ProviderContext& context() const noexcept {
     return ctx_;
@@ -293,6 +324,8 @@ class ProviderBase : public WorkloadProvider {
  private:
   ProviderContext ctx_;
   util::Rng rng_;
+  double pause_s_;   ///< quiet seconds per cycle (0 = pausing off)
+  double active_s_;  ///< active seconds per cycle
   double now_ = 0.0;
 
   // Per device id (grows with joins; never shrinks).
@@ -316,7 +349,7 @@ class ProviderBase : public WorkloadProvider {
 class SteadyProvider : public ProviderBase {
  public:
   SteadyProvider(const ProviderContext& context, ParamReader& params)
-      : ProviderBase(context, /*stream=*/0x5745ADULL),
+      : ProviderBase(context, /*stream=*/0x5745ADULL, params),
         join_rate_(params.get("join_rate", 1.0)),
         move_rate_(params.get("move_rate", 10.0)),
         pulse_rate_(params.get("pulse_rate", 0.2)),
@@ -380,7 +413,7 @@ class SteadyProvider : public ProviderBase {
 class DiurnalProvider : public ProviderBase {
  public:
   DiurnalProvider(const ProviderContext& context, ParamReader& params)
-      : ProviderBase(context, /*stream=*/0xD1114AULL),
+      : ProviderBase(context, /*stream=*/0xD1114AULL, params),
         period_s_(params.get("period_s", 600.0)),
         amplitude_(std::clamp(params.get("amplitude", 0.8), 0.0, 1.0)),
         join_rate_(params.get("join_rate", 2.0)),
@@ -441,7 +474,7 @@ class DiurnalProvider : public ProviderBase {
 class FlashCrowdProvider : public ProviderBase {
  public:
   FlashCrowdProvider(const ProviderContext& context, ParamReader& params)
-      : ProviderBase(context, /*stream=*/0xF1A54ULL),
+      : ProviderBase(context, /*stream=*/0xF1A54ULL, params),
         background_rate_(params.get("background_rate", 0.5)),
         move_rate_(params.get("move_rate", 10.0)),
         burst_every_s_(params.get("burst_every_s", 120.0)),
@@ -532,7 +565,7 @@ class FlashCrowdProvider : public ProviderBase {
 class MobilityTraceProvider : public ProviderBase {
  public:
   MobilityTraceProvider(const ProviderContext& context, ParamReader& params)
-      : ProviderBase(context, /*stream=*/0x40B111ULL) {
+      : ProviderBase(context, /*stream=*/0x40B111ULL, params) {
     MobilityParams mobility;
     mobility.area_km = context.area_km;
     mobility.mobile_fraction = params.get("mobile_fraction", 0.6);
@@ -571,7 +604,7 @@ class RegionalLinkFailureProvider : public ProviderBase {
  public:
   RegionalLinkFailureProvider(const ProviderContext& context,
                               ParamReader& params)
-      : ProviderBase(context, /*stream=*/0x4E610ULL),
+      : ProviderBase(context, /*stream=*/0x4E610ULL, params),
         outage_every_s_(params.get("outage_every_s", 60.0)),
         outage_s_(params.get("outage_s", 20.0)),
         radius_km_(params.get("radius_km", 2.0)),
@@ -642,7 +675,7 @@ class RegionalLinkFailureProvider : public ProviderBase {
 class HotspotAdversaryProvider : public ProviderBase {
  public:
   HotspotAdversaryProvider(const ProviderContext& context, ParamReader& params)
-      : ProviderBase(context, /*stream=*/0xAD5A17ULL),
+      : ProviderBase(context, /*stream=*/0xAD5A17ULL, params),
         shift_every_s_(params.get("shift_every_s", 60.0)),
         join_rate_(params.get("join_rate", 2.0)),
         move_rate_(params.get("move_rate", 15.0)),

@@ -1,0 +1,321 @@
+// Move-plan tests: BudgetLedger window metering and the apply_move_plan
+// failure paths the background re-optimizer depends on — stale plans
+// (device gone / slot recycled / from mismatch / malformed), targets that
+// failed mid-plan, headroom loss, and budget-exhausted partial
+// application. Every rejection path must leave check_invariants() clean:
+// a rejected move is a no-op, never a half-applied one.
+#include "core/move_plan.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <stdexcept>
+
+#include "core/dynamic.hpp"
+#include "util/contracts.hpp"
+
+namespace tacc {
+namespace {
+
+AlgorithmOptions cheap_options(std::uint64_t seed) {
+  AlgorithmOptions options;
+  options.apply_seed(seed);
+  options.rl.episodes = 60;
+  return options;
+}
+
+DynamicCluster make_cluster(std::uint64_t seed, std::size_t iot = 40,
+                            std::size_t edge = 6) {
+  const Scenario scenario = Scenario::campus(iot, edge, seed);
+  return DynamicCluster(scenario, Algorithm::kGreedyBestFit,
+                        cheap_options(seed));
+}
+
+workload::IotDevice test_device(double x, double y, double rate = 10.0) {
+  workload::IotDevice device;
+  device.position = {x, y};
+  device.request_rate_hz = rate;
+  device.demand = rate;
+  return device;
+}
+
+/// A healthy server != `not_this` with headroom for `demand`, or
+/// server_count() when none exists.
+std::size_t feasible_target(const DynamicCluster& cluster, std::size_t device,
+                            std::size_t not_this) {
+  const double demand = cluster.device(device).demand;
+  for (std::size_t j = 0; j < cluster.server_count(); ++j) {
+    if (j == not_this || cluster.server_failed(j)) continue;
+    if (cluster.loads()[j] + demand <= cluster.capacities()[j]) return j;
+  }
+  return cluster.server_count();
+}
+
+/// One correctly-stamped move of `device` to `to`.
+PlannedMove stamped_move(const DynamicCluster& cluster, std::size_t device,
+                         std::size_t to) {
+  return {device, cluster.slot_generation(device), cluster.server_of(device),
+          to, 0.0};
+}
+
+TEST(MovePlan, PredictedGainSumsOverMoves) {
+  MovePlan plan;
+  EXPECT_TRUE(plan.empty());
+  plan.moves.push_back({0, 0, 0, 1, 1.5});
+  plan.moves.push_back({1, 0, 1, 0, 2.25});
+  EXPECT_EQ(plan.size(), 2u);
+  EXPECT_DOUBLE_EQ(plan.predicted_gain(), 3.75);
+}
+
+TEST(BudgetLedger, MetersGlobalAndPerDeviceCaps) {
+  BudgetLedger ledger(MigrationBudget{2, 1, 1.0});
+  ledger.advance(0.0);
+  EXPECT_EQ(ledger.remaining(), 2u);
+  EXPECT_TRUE(ledger.allows(5));
+  ledger.charge(5);
+  // Device 5 hit its per-device cap; the global window still has headroom.
+  EXPECT_FALSE(ledger.allows(5));
+  EXPECT_TRUE(ledger.allows(7));
+  ledger.charge(7);
+  EXPECT_EQ(ledger.remaining(), 0u);
+  EXPECT_FALSE(ledger.allows(9));
+}
+
+TEST(BudgetLedger, WindowRollResetsSpend) {
+  BudgetLedger ledger(MigrationBudget{1, 1, 1.0});
+  ledger.advance(0.0);
+  ledger.charge(3);
+  EXPECT_EQ(ledger.remaining(), 0u);
+  // Same window: nothing resets.
+  ledger.advance(0.9);
+  EXPECT_EQ(ledger.remaining(), 0u);
+  EXPECT_FALSE(ledger.allows(3));
+  // Next window: both the global and the per-device spend reset.
+  ledger.advance(1.1);
+  EXPECT_EQ(ledger.remaining(), 1u);
+  EXPECT_TRUE(ledger.allows(3));
+  EXPECT_EQ(ledger.window_index(), 1u);
+}
+
+TEST(ApplyMovePlan, AppliesValidMoveAndScoresLiveGain) {
+  DynamicCluster cluster = make_cluster(11);
+  const std::size_t device = 0;
+  const std::size_t from = cluster.server_of(device);
+  const std::size_t to = feasible_target(cluster, device, from);
+  ASSERT_LT(to, cluster.server_count());
+  const double expected_gain =
+      cluster.placement_cost(device, from) - cluster.placement_cost(device, to);
+  const std::uint64_t version = cluster.assignment_version();
+
+  MovePlan plan;
+  plan.moves.push_back(stamped_move(cluster, device, to));
+  const MovePlanReport report = cluster.apply_move_plan(plan);
+  EXPECT_EQ(report.applied, 1u);
+  EXPECT_TRUE(report.clean());
+  EXPECT_DOUBLE_EQ(report.achieved_gain, expected_gain);
+  EXPECT_EQ(cluster.server_of(device), to);
+  EXPECT_GT(cluster.assignment_version(), version);
+  cluster.check_invariants();
+}
+
+TEST(ApplyMovePlan, RejectsDepartedDeviceAsStale) {
+  DynamicCluster cluster = make_cluster(12);
+  const std::size_t device = 3;
+  MovePlan plan;
+  plan.moves.push_back(stamped_move(
+      cluster, device,
+      feasible_target(cluster, device, cluster.server_of(device))));
+  cluster.leave(device);
+
+  const MovePlanReport report = cluster.apply_move_plan(plan);
+  EXPECT_EQ(report.applied, 0u);
+  EXPECT_EQ(report.rejected_stale, 1u);
+  cluster.check_invariants();
+}
+
+TEST(ApplyMovePlan, RejectsRecycledSlotAsStale) {
+  DynamicCluster cluster = make_cluster(13);
+  const std::size_t device = 5;
+  MovePlan plan;
+  plan.moves.push_back(stamped_move(
+      cluster, device,
+      feasible_target(cluster, device, cluster.server_of(device))));
+
+  // LIFO slot recycling: the departing device's slot is handed to the next
+  // joiner, so the plan's index now names a different device (ABA). The
+  // generation stamp must catch it even when `from` happens to match.
+  cluster.leave(device);
+  const JoinResult joined = cluster.join(test_device(1.0, 1.0));
+  ASSERT_EQ(joined.device_index, device) << "expected LIFO slot reuse";
+
+  const MovePlanReport report = cluster.apply_move_plan(plan);
+  EXPECT_EQ(report.applied, 0u);
+  EXPECT_EQ(report.rejected_stale, 1u);
+  EXPECT_EQ(cluster.server_of(device), joined.server);
+  cluster.check_invariants();
+}
+
+TEST(ApplyMovePlan, RejectsMovedDeviceAsStale) {
+  DynamicCluster cluster = make_cluster(14);
+  const std::size_t device = 2;
+  const std::size_t to =
+      feasible_target(cluster, device, cluster.server_of(device));
+  ASSERT_LT(to, cluster.server_count());
+  MovePlan plan;
+  plan.moves.push_back(stamped_move(cluster, device, to));
+  ASSERT_EQ(cluster.apply_move_plan(plan).applied, 1u);
+
+  // Replaying the same plan: the device no longer sits on `from`.
+  const MovePlanReport replay = cluster.apply_move_plan(plan);
+  EXPECT_EQ(replay.applied, 0u);
+  EXPECT_EQ(replay.rejected_stale, 1u);
+  EXPECT_EQ(cluster.server_of(device), to);
+  cluster.check_invariants();
+}
+
+TEST(ApplyMovePlan, RejectsMalformedMovesAsStale) {
+  DynamicCluster cluster = make_cluster(15);
+  MovePlan plan;
+  // Self-move, out-of-range device, out-of-range target.
+  plan.moves.push_back(stamped_move(cluster, 0, cluster.server_of(0)));
+  plan.moves.push_back({cluster.device_slot_count() + 7, 0, 0, 1, 0.0});
+  plan.moves.push_back(
+      {1, cluster.slot_generation(1), cluster.server_of(1),
+       cluster.server_count(), 0.0});
+  const MovePlanReport report = cluster.apply_move_plan(plan);
+  EXPECT_EQ(report.applied, 0u);
+  EXPECT_EQ(report.rejected_stale, 3u);
+  cluster.check_invariants();
+}
+
+TEST(ApplyMovePlan, RejectsTargetFailedMidPlanAppliesRest) {
+  DynamicCluster cluster = make_cluster(16);
+  const std::size_t doomed = cluster.server_of(0) == 0 ? 1 : 0;
+
+  // Propose two moves while `doomed` is healthy: one into it, one between
+  // two other servers. Pick movers that are NOT residents of `doomed`, so
+  // the evacuation on failure cannot invalidate their `from` stamps.
+  std::size_t into_doomed = cluster.device_slot_count();
+  std::size_t bystander = cluster.device_slot_count();
+  for (std::size_t i = 0; i < cluster.device_slot_count(); ++i) {
+    if (!cluster.is_active(i) || cluster.server_of(i) == doomed) continue;
+    if (into_doomed == cluster.device_slot_count()) {
+      into_doomed = i;
+    } else if (feasible_target(cluster, i, doomed) <
+                   cluster.server_count() &&
+               feasible_target(cluster, i, doomed) != cluster.server_of(i)) {
+      bystander = i;
+      break;
+    }
+  }
+  ASSERT_LT(into_doomed, cluster.device_slot_count());
+  ASSERT_LT(bystander, cluster.device_slot_count());
+
+  MovePlan plan;
+  plan.moves.push_back(stamped_move(cluster, into_doomed, doomed));
+  const std::size_t bystander_to =
+      feasible_target(cluster, bystander, doomed);
+  plan.moves.push_back(stamped_move(cluster, bystander, bystander_to));
+
+  // The target fails between proposal and apply. Deferred drain keeps the
+  // other servers' loads untouched, so only the failure itself can reject
+  // a move.
+  (void)cluster.fail_server(doomed, /*evacuate=*/false);
+  const MovePlanReport report = cluster.apply_move_plan(plan);
+  EXPECT_EQ(report.rejected_target_failed, 1u);
+  EXPECT_EQ(report.applied, 1u);
+  EXPECT_NE(cluster.server_of(into_doomed), doomed);
+  EXPECT_EQ(cluster.server_of(bystander), bystander_to);
+  cluster.check_invariants();
+}
+
+TEST(ApplyMovePlan, RejectsTargetWithoutHeadroom) {
+  DynamicCluster cluster = make_cluster(17);
+  // Pack server `target` through valid plans until some device no longer
+  // fits, then attempt exactly that move.
+  const std::size_t target = 0;
+  bool saw_infeasible = false;
+  for (std::size_t i = 0; i < cluster.device_slot_count(); ++i) {
+    if (!cluster.is_active(i) || cluster.server_of(i) == target) continue;
+    MovePlan plan;
+    plan.moves.push_back(stamped_move(cluster, i, target));
+    const MovePlanReport report = cluster.apply_move_plan(plan);
+    if (report.rejected_infeasible == 1) {
+      saw_infeasible = true;
+      EXPECT_EQ(report.applied, 0u);
+      EXPECT_NE(cluster.server_of(i), target);
+      break;
+    }
+    ASSERT_EQ(report.applied, 1u);
+  }
+  EXPECT_TRUE(saw_infeasible)
+      << "packing one server never exhausted its capacity";
+  EXPECT_TRUE(cluster.feasible());
+  cluster.check_invariants({.require_feasible = true});
+}
+
+TEST(ApplyMovePlan, BudgetExhaustionAppliesPrefixOnly) {
+  DynamicCluster cluster = make_cluster(18);
+  std::size_t first = cluster.device_slot_count();
+  std::size_t second = cluster.device_slot_count();
+  for (std::size_t i = 0; i < cluster.device_slot_count(); ++i) {
+    if (!cluster.is_active(i)) continue;
+    if (feasible_target(cluster, i, cluster.server_of(i)) >=
+        cluster.server_count()) {
+      continue;
+    }
+    if (first == cluster.device_slot_count()) {
+      first = i;
+    } else {
+      second = i;
+      break;
+    }
+  }
+  ASSERT_LT(second, cluster.device_slot_count());
+
+  MovePlan plan;
+  plan.moves.push_back(stamped_move(
+      cluster, first, feasible_target(cluster, first, cluster.server_of(first))));
+  plan.moves.push_back(stamped_move(
+      cluster, second,
+      feasible_target(cluster, second, cluster.server_of(second))));
+
+  BudgetLedger ledger(MigrationBudget{1, 1, 1'000.0});
+  ledger.advance(0.0);
+  const MovePlanReport report = cluster.apply_move_plan(plan, &ledger);
+  EXPECT_EQ(report.applied, 1u);
+  EXPECT_EQ(report.rejected_budget, 1u);
+  EXPECT_EQ(ledger.remaining(), 0u);
+  // The prefix landed, the rejected tail did not.
+  EXPECT_NE(cluster.server_of(first),
+            plan.moves[0].from);
+  EXPECT_EQ(cluster.server_of(second), plan.moves[1].from);
+  cluster.check_invariants();
+}
+
+TEST(ApplyMovePlan, PerDeviceBudgetStopsRepeatMover) {
+  DynamicCluster cluster = make_cluster(19);
+  const std::size_t device = 4;
+  const std::size_t from = cluster.server_of(device);
+  const std::size_t to = feasible_target(cluster, device, from);
+  ASSERT_LT(to, cluster.server_count());
+
+  BudgetLedger ledger(MigrationBudget{10, 1, 1'000.0});
+  ledger.advance(0.0);
+  MovePlan out;
+  out.moves.push_back(stamped_move(cluster, device, to));
+  ASSERT_EQ(cluster.apply_move_plan(out, &ledger).applied, 1u);
+
+  // Bouncing straight back is a fresh, correctly-stamped move — only the
+  // per-device rate cap stands in its way.
+  MovePlan back;
+  back.moves.push_back(stamped_move(cluster, device, from));
+  const MovePlanReport report = cluster.apply_move_plan(back, &ledger);
+  EXPECT_EQ(report.applied, 0u);
+  EXPECT_EQ(report.rejected_budget, 1u);
+  EXPECT_EQ(cluster.server_of(device), to);
+  cluster.check_invariants();
+}
+
+}  // namespace
+}  // namespace tacc

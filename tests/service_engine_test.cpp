@@ -621,5 +621,125 @@ TEST(EngineConcurrency, StatsIdentityHoldsUnderConcurrentTraffic) {
   engine.check_invariants();
 }
 
+// ---- Background re-optimizer attach/detach ---------------------------------
+
+TEST(ReoptEngine, StartStatsStopLifecycle) {
+  Engine engine(small_options());
+  ASSERT_EQ(call(engine, "CONFIGURE city 40 5 seed=9").rfind("OK", 0), 0u);
+
+  const std::string started =
+      call(engine, "REOPT_START city moves=8 device_moves=2 window_s=0.5");
+  ASSERT_EQ(started.rfind("OK", 0), 0u) << started;
+  EXPECT_EQ(field_value(started, "running"), 1u);
+  EXPECT_EQ(field_value(started, "moves_per_window"), 8u);
+  EXPECT_EQ(field_value(started, "device_moves_per_window"), 2u);
+
+  const std::string stats = call(engine, "REOPT_STATS city");
+  ASSERT_EQ(stats.rfind("OK", 0), 0u) << stats;
+  EXPECT_EQ(field_value(stats, "running"), 1u);
+  // The ledger partition identity must hold in any sampled snapshot.
+  EXPECT_EQ(field_value(stats, "proposed"),
+            field_value(stats, "applied") +
+                field_value(stats, "rejected_stale") +
+                field_value(stats, "rejected_target_failed") +
+                field_value(stats, "rejected_infeasible") +
+                field_value(stats, "rejected_budget"));
+
+  // Session STATS carries the optimizer ledger too.
+  const std::string session_stats = call(engine, "STATS city");
+  EXPECT_EQ(field_value(session_stats, "reopt_running"), 1u);
+
+  const std::string stopped = call(engine, "REOPT_STOP city");
+  ASSERT_EQ(stopped.rfind("OK", 0), 0u) << stopped;
+  EXPECT_EQ(field_value(stopped, "running"), 0u);
+  EXPECT_EQ(field_value(call(engine, "REOPT_STATS city"), "running"), 0u);
+  // Idempotent: stopping a detached optimizer is still OK.
+  EXPECT_EQ(call(engine, "REOPT_STOP city").rfind("OK", 0), 0u);
+
+  engine.begin_shutdown();
+  engine.drain();
+  const contracts::ScopedFailureHandler guard(&contracts::throw_handler);
+  engine.check_invariants();
+}
+
+TEST(ReoptEngine, StatsWithoutOptimizerReportZeros) {
+  Engine engine(small_options());
+  ASSERT_EQ(call(engine, "CONFIGURE quiet 30 4").rfind("OK", 0), 0u);
+  const std::string stats = call(engine, "REOPT_STATS quiet");
+  ASSERT_EQ(stats.rfind("OK", 0), 0u) << stats;
+  EXPECT_EQ(field_value(stats, "running"), 0u);
+  EXPECT_EQ(field_value(stats, "passes"), 0u);
+  EXPECT_EQ(field_value(call(engine, "STATS quiet"), "reopt_running"), 0u);
+}
+
+TEST(ReoptEngine, VerbsRequireAnExistingSession) {
+  Engine engine(small_options());
+  EXPECT_EQ(call(engine, "REOPT_START ghost").rfind("ERR", 0), 0u);
+  EXPECT_EQ(call(engine, "REOPT_STOP ghost").rfind("ERR", 0), 0u);
+  EXPECT_EQ(call(engine, "REOPT_STATS ghost").rfind("ERR", 0), 0u);
+}
+
+TEST(ReoptEngine, AutoReoptAttachesOnConfigure) {
+  EngineOptions options = small_options();
+  options.auto_reopt = true;
+  options.reopt.interval_ms = 1.0;
+  Engine engine(options);
+  ASSERT_EQ(call(engine, "CONFIGURE auto 40 5 seed=3").rfind("OK", 0), 0u);
+  EXPECT_EQ(field_value(call(engine, "REOPT_STATS auto"), "running"), 1u);
+  // Reconfiguring the session re-attaches a fresh optimizer.
+  ASSERT_EQ(call(engine, "CONFIGURE auto 30 5 seed=4").rfind("OK", 0), 0u);
+  EXPECT_EQ(field_value(call(engine, "REOPT_STATS auto"), "running"), 1u);
+  engine.begin_shutdown();
+  engine.drain();
+}
+
+TEST(ReoptConcurrency, OptimizerRacesServingPathAndStats) {
+  EngineOptions options = small_options();
+  options.auto_reopt = true;
+  options.reopt.interval_ms = 0.1;
+  options.reopt.validate = true;  // bracket applies with check_invariants
+  Engine engine(options);
+  const std::vector<std::string> names = sessions_covering_all_shards(engine);
+  for (const std::string& name : names) {
+    ASSERT_EQ(
+        call(engine, "CONFIGURE " + name + " 40 5 seed=6").rfind("OK", 0),
+        0u);
+  }
+  engine.drain();
+
+  // Closed-loop MOVE storm per session while the attached optimizers race
+  // the drain tasks for the cluster mutex and STATS snapshots read the
+  // optimizer ledgers concurrently.
+  std::atomic<std::size_t> responded{0};
+  std::size_t submitted = 0;
+  constexpr std::size_t kPerSession = 120;
+  for (std::size_t r = 0; r < kPerSession; ++r) {
+    for (const std::string& name : names) {
+      // Closed-loop window so admission never sees an overloaded queue.
+      while (submitted - responded.load(std::memory_order_acquire) >= 32) {
+        std::this_thread::yield();
+      }
+      Request move = must_parse("MOVE " + name + " " +
+                                std::to_string(r % 40) + " 1.0 1.0");
+      engine.submit(move, [&responded](const std::string& response) {
+        EXPECT_EQ(response.rfind("OK", 0), 0u) << response;
+        responded.fetch_add(1, std::memory_order_release);
+      });
+      ++submitted;
+    }
+    if (r % 10 == 0) {
+      for (const std::string& name : names) {
+        EXPECT_EQ(call(engine, "REOPT_STATS " + name).rfind("OK", 0), 0u);
+      }
+    }
+  }
+  engine.drain();
+  EXPECT_EQ(responded.load(), kPerSession * names.size());
+  engine.begin_shutdown();
+  engine.drain();
+  const contracts::ScopedFailureHandler guard(&contracts::throw_handler);
+  engine.check_invariants();
+}
+
 }  // namespace
 }  // namespace tacc::service

@@ -234,6 +234,49 @@ TEST(Protocol, OkLineDoublesUseCompactPrecision) {
   EXPECT_EQ(OkLine().field("v", 1234567.0).str(), "OK v=1.23457e+06");
 }
 
+TEST(ReoptProtocol, StartParsesBudgetOverrides) {
+  const Request r = parse_ok(
+      "REOPT_START city moves=8 device_moves=2 window_s=0.5 interval_ms=10 "
+      "timeout_ms=250");
+  EXPECT_EQ(r.verb, Verb::kReoptStart);
+  EXPECT_EQ(r.session, "city");
+  EXPECT_EQ(r.reopt_moves, 8u);
+  EXPECT_EQ(r.reopt_device_moves, 2u);
+  EXPECT_DOUBLE_EQ(r.reopt_window_s, 0.5);
+  EXPECT_DOUBLE_EQ(r.reopt_interval_ms, 10.0);
+  ASSERT_TRUE(r.timeout_ms.has_value());
+  EXPECT_DOUBLE_EQ(*r.timeout_ms, 250.0);
+}
+
+TEST(ReoptProtocol, StartDefaultsKeepEngineTuning) {
+  const Request r = parse_ok("REOPT_START city");
+  // Zero means "keep the engine default" for every budget knob.
+  EXPECT_EQ(r.reopt_moves, 0u);
+  EXPECT_EQ(r.reopt_device_moves, 0u);
+  EXPECT_DOUBLE_EQ(r.reopt_window_s, 0.0);
+  EXPECT_DOUBLE_EQ(r.reopt_interval_ms, 0.0);
+}
+
+TEST(ReoptProtocol, StopAndStatsParse) {
+  EXPECT_EQ(parse_ok("REOPT_STOP city").verb, Verb::kReoptStop);
+  EXPECT_EQ(parse_ok("REOPT_STATS city timeout_ms=50").verb,
+            Verb::kReoptStats);
+}
+
+TEST(ReoptProtocol, RejectsMalformedRequests) {
+  parse_error("REOPT_START");                    // missing session
+  parse_error("REOPT_START city moves=abc");     // non-numeric option
+  parse_error("REOPT_START city budget=5");      // unknown option
+  parse_error("REOPT_STOP city moves=5");        // option not valid here
+  parse_error("REOPT_STATS");                    // missing session
+}
+
+TEST(ReoptProtocol, VerbNamesRoundTrip) {
+  EXPECT_EQ(to_string(Verb::kReoptStart), "REOPT_START");
+  EXPECT_EQ(to_string(Verb::kReoptStop), "REOPT_STOP");
+  EXPECT_EQ(to_string(Verb::kReoptStats), "REOPT_STATS");
+}
+
 TEST(Protocol, EnumNamesRoundTrip) {
   EXPECT_EQ(to_string(Verb::kConfigure), "CONFIGURE");
   EXPECT_EQ(to_string(Verb::kShutdown), "SHUTDOWN");

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cmath>
 #include <stdexcept>
 #include <vector>
 
@@ -230,6 +231,61 @@ TEST(Provider, NonPositiveDtThrows) {
   auto provider = make_provider("steady", test_context());
   EXPECT_THROW((void)provider->step(0.0), std::invalid_argument);
   EXPECT_THROW((void)provider->step(-1.0), std::invalid_argument);
+}
+
+// ---- reopt_pause quiet windows ---------------------------------------------
+
+TEST(ReoptPause, QuietWindowsSuppressEventsButAdvanceClock) {
+  const ProviderContext ctx = test_context(31);
+  auto provider =
+      make_provider("steady,reopt_pause=2,reopt_active_s=3", ctx);
+  // Cycle of 5 s: steps starting at phase 0,1,2 are active, 3,4 quiet.
+  for (int step = 0; step < 20; ++step) {
+    const double phase = std::fmod(provider->now_s(), 5.0);
+    const std::vector<Event> events = provider->step(1.0);
+    if (phase >= 3.0) {
+      EXPECT_TRUE(events.empty())
+          << "quiet step at t=" << provider->now_s() - 1.0 << " emitted "
+          << events.size() << " events";
+    }
+  }
+  EXPECT_DOUBLE_EQ(provider->now_s(), 20.0);
+}
+
+TEST(ReoptPause, StreamStaysDeterministic) {
+  const std::string spec = "diurnal,reopt_pause=2,reopt_active_s=3";
+  auto a = make_provider(spec, test_context(32));
+  auto b = make_provider(spec, test_context(32));
+  for (int step = 0; step < 15; ++step) {
+    const std::vector<Event> ea = a->step(1.0);
+    const std::vector<Event> eb = b->step(1.0);
+    ASSERT_EQ(ea.size(), eb.size()) << "step " << step;
+    for (std::size_t i = 0; i < ea.size(); ++i) {
+      EXPECT_EQ(ea[i].kind, eb[i].kind);
+      EXPECT_EQ(ea[i].device, eb[i].device);
+    }
+  }
+}
+
+TEST(ReoptPause, EveryProviderAcceptsTheSharedParams) {
+  const ProviderContext ctx = test_context(33);
+  for (const std::string name :
+       {"steady", "diurnal", "flash_crowd", "mobility_trace",
+        "regional_link_failure", "hotspot_adversary"}) {
+    auto provider =
+        make_provider(name + ",reopt_pause=1,reopt_active_s=2", ctx);
+    for (int step = 0; step < 6; ++step) (void)provider->step(1.0);
+    EXPECT_DOUBLE_EQ(provider->now_s(), 6.0) << name;
+  }
+}
+
+TEST(ReoptPause, InvalidParametersThrow) {
+  const ProviderContext ctx = test_context(34);
+  EXPECT_THROW((void)make_provider("steady,reopt_pause=-1", ctx),
+               std::invalid_argument);
+  EXPECT_THROW(
+      (void)make_provider("steady,reopt_pause=1,reopt_active_s=0", ctx),
+      std::invalid_argument);
 }
 
 TEST(EventKindNames, AllDistinct) {

@@ -26,6 +26,10 @@ Per-bench requirements (beyond the generic schema):
     rps_shards_<k> metrics (positive, integer k), a shard_scaling metric
     equal to rps at the largest shard count over rps at the smallest, and
     a shard_scaling gate.
+    m5_reopt must record the re-optimizer contract: non-negative
+    reopt_gap_pct and reopt_cpu_ratio metrics, a reopt_gap gate, a
+    reopt_cpu gate on full runs (quick runs skip the timing gate), and
+    the reopt_invariants + soak_accounting gates from the engine soak.
 """
 
 import json
@@ -102,6 +106,34 @@ def check_file(path: pathlib.Path, require_gates_pass: bool) -> list[str]:
 
     if bench == "m3_serve" and isinstance(metrics, dict):
         problems.extend(check_shard_curve(path, metrics, gates))
+    if bench == "m5_reopt" and isinstance(metrics, dict):
+        problems.extend(check_reopt_contract(path, doc, metrics, gates))
+
+    return problems
+
+
+def check_reopt_contract(path: pathlib.Path, doc: dict, metrics: dict,
+                         gates) -> list[str]:
+    """m5_reopt: the re-optimizer gap/CPU contract must be recorded."""
+    problems = []
+
+    def bad(msg: str) -> None:
+        problems.append(f"{path}: {msg}")
+
+    for key in ("reopt_gap_pct", "reopt_cpu_ratio"):
+        value = metrics.get(key)
+        if not isinstance(value, (int, float)) or isinstance(value, bool):
+            bad(f"m5_reopt must record a numeric {key} metric")
+        elif value < 0:
+            bad(f"metric {key!r} must be non-negative, got {value!r}")
+
+    gate_names = {g.get("name") for g in gates if isinstance(g, dict)} \
+        if isinstance(gates, list) else set()
+    required = {"reopt_gap", "soak_accounting", "reopt_invariants"}
+    if doc.get("quick") is not True:
+        required.add("reopt_cpu")  # timing gate is skipped under --quick
+    for name in sorted(required - gate_names):
+        bad(f"m5_reopt must gate on {name}")
 
     return problems
 

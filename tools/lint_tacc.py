@@ -19,6 +19,11 @@ Enforces the conventions clang-tidy cannot express:
       src/ .cpp includes its own header first (self-contained headers).
   R5  NOLINT markers must carry a justification: "NOLINT(check): reason"
       or a NOLINTNEXTLINE with a trailing explanation.
+  R6  src/optimize/ never mutates a DynamicCluster directly: no calls to
+      move/move_pinned/join/leave/rebalance/repair/fail_server/
+      recover_server/evacuate_server — every optimizer mutation goes
+      through DynamicCluster::apply_move_plan(), which re-validates
+      against live state and meters the migration budget.
 
 Run from the repo root (or via the `lint` CMake target):
     python3 tools/lint_tacc.py
@@ -49,6 +54,13 @@ REMOVED_APIS = {
 
 # R2: the logging sink is the one legitimate stream writer in src/.
 CONSOLE_IO_ALLOWLIST = {"src/util/log.cpp"}
+
+# R6: direct cluster mutators banned in src/optimize/ (the receiver is
+# captured so thread handles — e.g. thread_.join() — stay exempt).
+CLUSTER_MUTATOR = re.compile(
+    r"([A-Za-z_][A-Za-z0-9_]*)\s*(?:\.|->)\s*"
+    r"(move|move_pinned|join|leave|rebalance|repair|fail_server|"
+    r"recover_server|evacuate_server)\s*\(")
 
 RAW_ASSERT = re.compile(r"(?<![A-Za-z0-9_])assert\s*\(")
 CONSOLE_IO = re.compile(
@@ -115,6 +127,17 @@ def main() -> int:
                     report(path, i, "R2",
                            "console I/O in library code; report via "
                            "util::log or return values")
+
+            # R6: the re-optimizer only reads the cluster; all mutation
+            # goes through apply_move_plan() under the owner's lock.
+            if rel.startswith("src/optimize/"):
+                for m in CLUSTER_MUTATOR.finditer(code):
+                    if "thread" in m.group(1):
+                        continue  # std::jthread handle, not a cluster
+                    report(path, i, "R6",
+                           f"direct DynamicCluster mutation "
+                           f"'{m.group(1)}.{m.group(2)}()' in src/optimize/; "
+                           "use DynamicCluster::apply_move_plan()")
 
         # R4: self-contained headers — a src/ .cpp includes its header first.
         if path.suffix == ".cpp":

@@ -7,6 +7,8 @@
 //   taccd --socket=/tmp/taccd.sock [--port=7433] [--host=127.0.0.1]
 //         [--shards=N] [--threads=N] [--max-queue=256] [--timeout-ms=1000]
 //         [--max-batch=32] [--max-line=4096] [--verbose]
+//         [--reopt] [--reopt-moves=32] [--reopt-device-moves=1]
+//         [--reopt-window-s=10] [--reopt-interval-ms=50]
 //
 // Sessions are hash-partitioned across --shards engine shards (default:
 // one per core), each with its own admission queue and workers; --threads
@@ -43,13 +45,32 @@ int run(int argc, char** argv) {
       flags.get_double("timeout-ms", 1000.0);
   options.engine.max_batch =
       static_cast<std::size_t>(flags.get_int("max-batch", 32));
+  // --reopt attaches a background re-optimizer to every session at
+  // CONFIGURE time; the knobs below set the daemon-wide migration budget
+  // (REOPT_START options still override per session).
+  options.engine.auto_reopt = flags.get_bool("reopt", false);
+  options.engine.reopt.budget.max_moves_per_window = static_cast<std::size_t>(
+      flags.get_int("reopt-moves",
+                    static_cast<std::int64_t>(
+                        options.engine.reopt.budget.max_moves_per_window)));
+  options.engine.reopt.budget.max_device_moves_per_window =
+      static_cast<std::size_t>(flags.get_int(
+          "reopt-device-moves",
+          static_cast<std::int64_t>(
+              options.engine.reopt.budget.max_device_moves_per_window)));
+  options.engine.reopt.budget.window_s = flags.get_double(
+      "reopt-window-s", options.engine.reopt.budget.window_s);
+  options.engine.reopt.interval_ms =
+      flags.get_double("reopt-interval-ms", options.engine.reopt.interval_ms);
   if (flags.get_bool("verbose", false)) {
     util::set_log_level(util::LogLevel::kInfo);
   }
   if (options.unix_path.empty() && options.tcp_port < 0) {
     std::cerr << "usage: taccd --socket=<path> [--port=N] [--host=ADDR] "
                  "[--shards=N] [--threads=N] [--max-queue=N] [--timeout-ms=T] "
-                 "[--max-batch=N] [--max-line=BYTES] [--verbose]\n"
+                 "[--max-batch=N] [--max-line=BYTES] [--verbose] [--reopt] "
+                 "[--reopt-moves=N] [--reopt-device-moves=N] "
+                 "[--reopt-window-s=S] [--reopt-interval-ms=T]\n"
                  "at least one of --socket / --port is required\n";
     return 2;
   }
