@@ -36,12 +36,16 @@ namespace tacc::bench {
 ///   --out=DIR         output directory for CSVs/JSON (default results/)
 ///   --workload=SPEC   WorkloadProvider spec "NAME[,k=v...]" for the
 ///                     event-driven benches (each has its own default)
+///   --devices=N       topology-size override for benches that sweep or fix
+///   --servers=N       device/server counts; 0 keeps the bench's defaults
 struct BenchConfig {
   bool quick = false;
   std::uint64_t base_seed = 1000;
   std::size_t repeats = 5;
   std::string out_dir = "results";
   std::string workload_spec;  ///< empty => the bench's default provider
+  std::size_t devices = 0;    ///< 0 => the bench's default device count
+  std::size_t servers = 0;    ///< 0 => the bench's default server count
   util::Flags flags;          ///< for bench-specific flags
 
   static BenchConfig parse(int argc, const char* const* argv) {
@@ -54,6 +58,10 @@ struct BenchConfig {
         config.flags.get_int("repeats", config.quick ? 2 : 5));
     config.out_dir = config.flags.get_string("out", "results");
     config.workload_spec = config.flags.get_string("workload", "");
+    config.devices =
+        static_cast<std::size_t>(config.flags.get_int("devices", 0));
+    config.servers =
+        static_cast<std::size_t>(config.flags.get_int("servers", 0));
     return config;
   }
 

@@ -9,9 +9,16 @@ using namespace tacc;
 
 int run(int argc, char** argv) {
   const auto config = bench::BenchConfig::parse(argc, argv);
-  const auto iot = static_cast<std::size_t>(
-      config.flags.get_int("iot", config.quick ? 150 : 400));
-  const auto edge = static_cast<std::size_t>(config.flags.get_int("edge", 16));
+  // Size precedence: shared --devices/--servers override, then the legacy
+  // per-bench --iot/--edge spellings, then the defaults.
+  const auto iot = config.devices > 0
+                       ? config.devices
+                       : static_cast<std::size_t>(config.flags.get_int(
+                             "iot", config.quick ? 150 : 400));
+  const auto edge = config.servers > 0
+                        ? config.servers
+                        : static_cast<std::size_t>(
+                              config.flags.get_int("edge", 16));
 
   bench::CsvFile csv(config, "f7_topologies");
   csv.writer().header({"family", "algorithm", "mean_avg_delay_ms", "ci95",

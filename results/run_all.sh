@@ -1,6 +1,6 @@
 #!/bin/bash
 # Regenerates every experiment (tables T1-T2, figures F1-F8, ablations,
-# machinery gates M1-M5). Runs from the repo root; benches write their CSVs
+# machinery gates M1-M6). Runs from the repo root; benches write their CSVs
 # and BENCH_*.json perf artifacts into results/ by default (override with
 # --out=DIR, which is forwarded along with any other flags). After the
 # sweep, every BENCH_*.json in the output directory is schema-validated by
@@ -23,7 +23,7 @@ for b in bench_t1_optimality_gap bench_t2_headline bench_f1_delay_vs_iot \
          bench_f8_runtime bench_a1_topology_ablation bench_a2_rl_ablation bench_a4_transfer \
          bench_a5_resilience bench_a6_mobility bench_a7_analytic \
          bench_m1_portfolio bench_m2_churn bench_m3_serve \
-         bench_m4_linkchurn bench_m5_reopt; do
+         bench_m4_linkchurn bench_m5_reopt bench_m6_oracle; do
   echo "##### $b #####"
   ./build/bench/$b "$@" || exit 1
 done

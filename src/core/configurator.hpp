@@ -24,6 +24,7 @@
 #include "core/algorithms.hpp"
 #include "core/scenario.hpp"
 #include "runtime/run_stats.hpp"
+#include "topology/oracle/config.hpp"
 
 namespace tacc {
 
@@ -44,11 +45,13 @@ struct ConfigureRequest {
   // NOLINTNEXTLINE(google-explicit-constructor): an Algorithm IS a request.
   ConfigureRequest(Algorithm algorithm_, AlgorithmOptions options_ = {},
                    CostModel cost_model_ = CostModel::kTopologyAware,
-                   double penalty_factor_ = 10.0)
+                   double penalty_factor_ = 10.0,
+                   topo::oracle::OracleConfig oracle_ = {})
       : algorithm(algorithm_),
         options(std::move(options_)),
         cost_model(cost_model_),
-        penalty_factor(penalty_factor_) {}
+        penalty_factor(penalty_factor_),
+        oracle(oracle_) {}
 
   Algorithm algorithm = Algorithm::kQLearning;
   AlgorithmOptions options;
@@ -56,6 +59,12 @@ struct ConfigureRequest {
   /// Inflation applied to deadline-violating delays when cost_model is
   /// kDeadlinePenalized (must exceed 1; ignored otherwise).
   double penalty_factor = 10.0;
+  /// Delay-oracle backend a DynamicCluster built from this request serves
+  /// its delay rows through (see topology/oracle/config.hpp). The one-shot
+  /// solve is unaffected — it prices against the scenario's exact instance
+  /// matrix either way; the default exact backend keeps the live cluster
+  /// bit-identical to pre-oracle behavior.
+  topo::oracle::OracleConfig oracle;
 };
 
 /// A solved configuration: which server every IoT device talks to, plus the

@@ -23,7 +23,7 @@ DynamicCluster::DynamicCluster(const Scenario& scenario,
                                const ConfigureRequest& request)
     : net_(scenario.network()),
       engine_(net_),
-      cache_(engine_),
+      oracle_(topo::oracle::make_oracle(request.oracle, engine_)),
       delay_model_(scenario.params().delay_model),
       cost_model_(request.cost_model),
       penalty_factor_(request.penalty_factor) {
@@ -49,7 +49,7 @@ DynamicCluster::DynamicCluster(const Scenario& scenario,
   for (std::size_t i = 0; i < devices_.size(); ++i) {
     // Filled from the engine's server trees — the same Dijkstra values the
     // scenario's instance matrix was built from.
-    cache_.bind_row(i, net_.iot_nodes[i]);
+    oracle_->bind_row(i, net_.iot_nodes[i]);
     const auto j = static_cast<std::size_t>(assignment_[i]);
     loads_[j] += devices_[i].demand;
   }
@@ -58,7 +58,7 @@ DynamicCluster::DynamicCluster(const Scenario& scenario,
 
 double DynamicCluster::placement_cost(std::size_t device_index,
                                       std::size_t server) const {
-  const double delay = cache_.row(device_index)[server];
+  const double delay = oracle_->delay_ms(device_index, server);
   const workload::IotDevice& device = devices_[device_index];
   double cost = device.request_rate_hz * delay;
   // kEuclidean deliberately scores as kTopologyAware here: the live engine
@@ -80,7 +80,7 @@ double DynamicCluster::total_cost() const {
 }
 
 void DynamicCluster::refresh_delay_row(std::size_t slot) {
-  cache_.bind_row(slot, net_.iot_nodes[slot]);
+  oracle_->bind_row(slot, net_.iot_nodes[slot]);
 }
 
 void DynamicCluster::absorb_device_churn() {
@@ -151,7 +151,7 @@ void DynamicCluster::attach_device(std::size_t slot,
 }
 
 void DynamicCluster::detach_device(std::size_t slot) {
-  cache_.unbind_row(slot);
+  oracle_->unbind_row(slot);
   engine_.release_node(net_.iot_nodes[slot]);
   absorb_device_churn();
   net_.iot_nodes[slot] = topo::kInvalidNode;
@@ -409,7 +409,7 @@ double DynamicCluster::avg_delay_ms() const noexcept {
   double sum = 0.0;
   for (std::size_t i = 0; i < devices_.size(); ++i) {
     if (assignment_[i] == gap::kUnassigned) continue;
-    sum += cache_.row(i)[static_cast<std::size_t>(assignment_[i])];
+    sum += oracle_->delay_ms(i, static_cast<std::size_t>(assignment_[i]));
   }
   return sum / static_cast<double>(active_);
 }
@@ -435,7 +435,7 @@ void DynamicCluster::require_backbone(topo::NodeId u, topo::NodeId v) const {
 LinkUpdateReport DynamicCluster::finish_link_update(
     const topo::incr::EngineStats& before, double latency_ms) {
   LinkUpdateReport report;
-  report.rows_refreshed = cache_.refresh();
+  report.rows_refreshed = oracle_->refresh();
   const topo::incr::EngineStats& after = engine_.stats();
   report.epoch = after.epoch;
   report.nodes_affected = after.nodes_affected - before.nodes_affected;
@@ -502,7 +502,8 @@ void DynamicCluster::check_invariants(const InvariantOptions& options) const {
                            "inactive slot missing from the free list: " +
                                std::to_string(i));
       TACC_CHECK_INVARIANT(
-          i >= cache_.row_count() || cache_.row_node(i) == topo::kInvalidNode,
+          i >= oracle_->row_count() ||
+              oracle_->row_node(i) == topo::kInvalidNode,
           "inactive slot still bound to a delay row: " + std::to_string(i));
       continue;
     }
@@ -517,8 +518,8 @@ void DynamicCluster::check_invariants(const InvariantOptions& options) const {
     TACC_CHECK_INVARIANT(devices_[i].demand >= 0.0,
                          "negative demand on slot " + std::to_string(i));
     recomputed[j] += devices_[i].demand;
-    TACC_CHECK_INVARIANT(i < cache_.row_count() &&
-                             cache_.row_node(i) == net_.iot_nodes[i],
+    TACC_CHECK_INVARIANT(i < oracle_->row_count() &&
+                             oracle_->row_node(i) == net_.iot_nodes[i],
                          "delay row bound to the wrong graph node: slot " +
                              std::to_string(i));
     if (options.forbid_failed_residents) {
@@ -550,10 +551,10 @@ void DynamicCluster::check_invariants(const InvariantOptions& options) const {
           router_nodes_.size() + net_.edge_count() + active_,
       "live graph nodes must be exactly routers + servers + active devices");
 
-  // ---- Underlying topology / engine / cache --------------------------------
+  // ---- Underlying topology / engine / oracle -------------------------------
   net_.check_invariants();
   engine_.check_invariants(options.delay_spot_checks);
-  cache_.check_invariants();
+  oracle_->check_invariants();
 }
 
 bool DynamicCluster::feasible() const noexcept {

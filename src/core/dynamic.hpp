@@ -28,10 +28,12 @@
 // pid reuse.
 #pragma once
 
+#include <memory>
+
 #include "core/configurator.hpp"
 #include "core/move_plan.hpp"
 #include "core/scenario.hpp"
-#include "topology/incremental/cache.hpp"
+#include "topology/oracle/oracle.hpp"
 
 namespace tacc {
 
@@ -162,16 +164,23 @@ class DynamicCluster {
   [[nodiscard]] std::uint64_t assignment_version() const noexcept {
     return assignment_version_;
   }
-  /// Cached per-server delay row of an active device (ms).
+  /// Served per-server delay row of an active device (ms), through the
+  /// configured DelayOracle. Exact under the default backend; within the
+  /// certified envelope for approximate ones (see topology/oracle/).
   [[nodiscard]] const std::vector<double>& delay_row(
       std::size_t device_index) const {
-    return cache_.row(device_index);
+    return oracle_->row(device_index);
   }
   /// Engine epoch at which the device's row was last rewritten — newer
   /// epochs mark rows dirtied by link churn, which the re-optimizer scans
   /// first.
   [[nodiscard]] std::uint64_t delay_row_epoch(std::size_t device_index) const {
-    return cache_.row_epoch(device_index);
+    return oracle_->row_epoch(device_index);
+  }
+  /// The live delay oracle serving this cluster's rows (backend selected by
+  /// ConfigureRequest::oracle; introspection for ORACLE_STATS and benches).
+  [[nodiscard]] const topo::oracle::DelayOracle& delay_oracle() const {
+    return *oracle_;
   }
   [[nodiscard]] const workload::IotDevice& device(
       std::size_t device_index) const {
@@ -231,16 +240,17 @@ class DynamicCluster {
     return engine_.epoch();
   }
   [[nodiscard]] std::uint64_t delay_rows_refreshed() const noexcept {
-    return cache_.rows_refreshed();
+    return oracle_->rows_refreshed();
   }
   [[nodiscard]] std::uint64_t delay_rows_saved() const noexcept {
-    return cache_.rows_saved();
+    return oracle_->rows_saved();
   }
-  /// Digest of the cached delay view; distinguishes every epoch, so stale
+  /// Digest of the served delay view; distinguishes every epoch, so stale
   /// consumers detect reconfigurations they slept through even when a
-  /// fail/restore pair returned the values to their start state.
+  /// fail/restore pair returned the values to their start state. Matches
+  /// DelayMatrixCache::fingerprint() bit-for-bit under the default backend.
   [[nodiscard]] std::uint64_t delay_fingerprint() const {
-    return cache_.fingerprint();
+    return oracle_->fingerprint();
   }
 
   // ---- Introspection ------------------------------------------------------
@@ -294,7 +304,7 @@ class DynamicCluster {
   ///  - node recycling: live graph nodes == routers + servers + active
   ///    devices (a leak here is what bench_m2's gates watch);
   ///  - the underlying NetworkTopology, IncrementalDelayEngine and
-  ///    DelayMatrixCache invariants (see their check_invariants()).
+  ///    DelayOracle invariants (see their check_invariants()).
   /// Cold path; meant for tests and sampled bench epochs.
   void check_invariants(const InvariantOptions& options) const;
   void check_invariants() const { check_invariants(InvariantOptions()); }
@@ -324,12 +334,12 @@ class DynamicCluster {
     bool feasible;  ///< false => overload fallback (least-utilized healthy)
   };
 
-  /// (Re)binds `slot`'s delay row to its graph node; the cache fills it
-  /// from the engine's per-server trees in O(servers).
+  /// (Re)binds `slot`'s delay row to its graph node; the oracle (re)fills
+  /// it from the engine's per-server trees (eagerly or lazily, per backend).
   void refresh_delay_row(std::size_t slot);
   /// Throws std::invalid_argument unless u and v are router nodes.
   void require_backbone(topo::NodeId u, topo::NodeId v) const;
-  /// Refreshes the cache and packages the per-update engine deltas.
+  /// Refreshes the oracle and packages the per-update engine deltas.
   LinkUpdateReport finish_link_update(const topo::incr::EngineStats& before,
                                       double latency_ms);
   /// Discards dirty notifications caused by device attach/detach: a device
@@ -355,7 +365,10 @@ class DynamicCluster {
   // topology mutations route through engine_ so the trees stay exact.
   // Declared right after net_ (initialization order matters).
   topo::incr::IncrementalDelayEngine engine_;
-  topo::incr::DelayMatrixCache cache_;  // row i == device slot i
+  // Serves the per-device delay rows (row i == device slot i); backend
+  // chosen by ConfigureRequest::oracle (default: exact, bit-identical to
+  // the pre-oracle DelayMatrixCache).
+  std::unique_ptr<topo::oracle::DelayOracle> oracle_;
   topo::LinkDelayModel delay_model_;
   std::vector<topo::NodeId> router_nodes_;
   std::vector<topo::Point2D> router_positions_;

@@ -7,9 +7,12 @@
 #include <utility>
 #include <vector>
 
+#include "core/configurator.hpp"
 #include "core/dynamic.hpp"
 #include "core/scenario.hpp"
 #include "topology/failures.hpp"
+#include "topology/oracle/config.hpp"
+#include "topology/oracle/oracle.hpp"
 #include "util/contracts.hpp"
 
 namespace tacc::service {
@@ -406,14 +409,21 @@ std::string Engine::apply(Session& session, const Request& request) {
       }();
       AlgorithmOptions algorithm_options;
       algorithm_options.apply_seed(request.seed);
+      // Per-request oracle= beats the daemon-wide --oracle default; both
+      // were validated at parse/startup, so this parse only throws (caught
+      // below as BAD_REQUEST) if a raw EngineOptions carried a bad spec.
+      const std::string& oracle_spec =
+          !request.oracle.empty() ? request.oracle : options_.default_oracle;
+      ConfigureRequest configure(request.algorithm, algorithm_options,
+                                 CostModel::kTopologyAware, 10.0,
+                                 topo::oracle::parse_oracle_spec(oracle_spec));
       // The optimizer (if any) references the old cluster: stop and detach
       // it before the swap, then re-attach onto the replacement with the
       // same tuning (or the engine default under auto_reopt).
       const bool reattach =
           session.reoptimizer != nullptr || options_.auto_reopt;
       session.reoptimizer.reset();
-      session.cluster = std::make_unique<DynamicCluster>(
-          scenario, request.algorithm, algorithm_options);
+      session.cluster = std::make_unique<DynamicCluster>(scenario, configure);
       if (reattach) {
         const opt::ReoptOptions reopt =
             session.reopt_options.value_or(options_.reopt);
@@ -427,6 +437,7 @@ std::string Engine::apply(Session& session, const Request& request) {
           .field("devices", session.cluster->active_count())
           .field("servers", session.cluster->server_count())
           .field("algo", tacc::to_string(request.algorithm))
+          .field("oracle", session.cluster->delay_oracle().name())
           .field("avg_delay_ms", session.cluster->avg_delay_ms())
           .field("feasible", session.cluster->feasible())
           .str();
@@ -583,6 +594,29 @@ std::string Engine::apply(Session& session, const Request& request) {
                    static_cast<std::size_t>(stats.rejected_budget))
             .field("predicted_gain", stats.predicted_gain)
             .field("achieved_gain", stats.achieved_gain)
+            .str();
+      }
+      case Verb::kOracleStats: {
+        const topo::oracle::DelayOracle& oracle = cluster.delay_oracle();
+        const topo::oracle::OracleStats stats = oracle.stats();
+        std::string hist;
+        for (std::size_t i = 0; i < stats.width_hist.size(); ++i) {
+          if (i > 0) hist += ':';
+          hist += std::to_string(stats.width_hist[i]);
+        }
+        return OkLine()
+            .field("session", session.name)
+            .field("backend", oracle.name())
+            .field("rows", oracle.row_count())
+            .field("epoch", static_cast<std::size_t>(oracle.epoch()))
+            .field("queries", static_cast<std::size_t>(stats.queries))
+            .field("bound_hits", static_cast<std::size_t>(stats.bound_hits))
+            .field("exact_fallbacks",
+                   static_cast<std::size_t>(stats.exact_fallbacks))
+            .field("row_fills", static_cast<std::size_t>(stats.row_fills))
+            .field("rebuilds", static_cast<std::size_t>(stats.rebuilds))
+            .field("resident_bytes", oracle.resident_bytes())
+            .field("width_hist", hist)
             .str();
       }
       case Verb::kLinks: {

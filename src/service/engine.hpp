@@ -93,6 +93,10 @@ struct EngineOptions {
   /// Budget/planner defaults for attached re-optimizers; REOPT_START
   /// options override per session.
   opt::ReoptOptions reopt;
+  /// Delay-oracle spec applied to sessions whose CONFIGURE carries no
+  /// oracle= option (taccd --oracle). Empty means the exact default; must
+  /// parse (see topology/oracle/config.hpp) or CONFIGURE fails BAD_REQUEST.
+  std::string default_oracle;
 };
 
 /// Aggregate counters across a shard's (or the engine's) lifetime.

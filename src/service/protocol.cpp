@@ -3,7 +3,10 @@
 #include <cctype>
 #include <charconv>
 #include <cstdio>
+#include <stdexcept>
 #include <vector>
+
+#include "topology/oracle/config.hpp"
 
 namespace tacc::service {
 
@@ -100,6 +103,17 @@ bool apply_option(Request& request, std::string_view key,
     } catch (const std::invalid_argument&) {
       return bad_value();
     }
+  } else if (key == "oracle") {
+    // Validate eagerly so a typo'd spec is a parse error, not a session
+    // failure later; the engine re-parses the stored string at CONFIGURE.
+    try {
+      (void)topo::oracle::parse_oracle_spec(value);
+    } catch (const std::invalid_argument& e) {
+      error = "bad value for option 'oracle': ";
+      error += e.what();
+      return false;
+    }
+    request.oracle = std::string(value);
   } else if (key == "preset") {
     if (value == "smart_city") {
       request.preset = ScenarioPreset::kSmartCity;
@@ -195,6 +209,7 @@ std::string_view to_string(Verb verb) noexcept {
     case Verb::kReoptStart: return "REOPT_START";
     case Verb::kReoptStop: return "REOPT_STOP";
     case Verb::kReoptStats: return "REOPT_STATS";
+    case Verb::kOracleStats: return "ORACLE_STATS";
     case Verb::kSleep: return "SLEEP";
     case Verb::kStats: return "STATS";
     case Verb::kPing: return "PING";
@@ -285,7 +300,7 @@ ParseResult parse_request(std::string_view line) {
     request.verb = Verb::kConfigure;
     if (!session_at(1) || !size_at(2, request.iot, "iot count") ||
         !size_at(3, request.edge, "edge count") ||
-        !options_from(4, "seed algo preset timeout_ms")) {
+        !options_from(4, "seed algo preset oracle timeout_ms")) {
       return fail(std::move(error));
     }
     if (request.iot == 0 || request.edge == 0) {
@@ -373,6 +388,13 @@ ParseResult parse_request(std::string_view line) {
   if (verb == "REOPT_STOP" || verb == "REOPT_STATS") {
     request.verb =
         verb == "REOPT_STOP" ? Verb::kReoptStop : Verb::kReoptStats;
+    if (!session_at(1) || !options_from(2, "timeout_ms")) {
+      return fail(std::move(error));
+    }
+    return done();
+  }
+  if (verb == "ORACLE_STATS") {
+    request.verb = Verb::kOracleStats;
     if (!session_at(1) || !options_from(2, "timeout_ms")) {
       return fail(std::move(error));
     }

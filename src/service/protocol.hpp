@@ -3,6 +3,9 @@
 // One request per line, one response line per request:
 //
 //   CONFIGURE <session> <iot> <edge> [seed=N] [algo=NAME] [preset=NAME]
+//             [oracle=SPEC]            (delay-oracle backend, e.g.
+//                                       "exact" or "landmark,k=8,eps=0.1" —
+//                                       see topology/oracle/config.hpp)
 //   JOIN      <session> <x> <y> [demand=D] [rate=HZ]
 //   MOVE      <session> <device> <x> <y> [pinned=0|1]
 //   LEAVE     <session> <device>
@@ -19,6 +22,9 @@
 //                                         the daemon's --reopt-* defaults)
 //   REOPT_STOP  <session>                (stop + detach; idempotent)
 //   REOPT_STATS <session>                (live optimizer ledger)
+//   ORACLE_STATS <session>               (delay-oracle counters: queries,
+//                                         bound hits, exact fallbacks,
+//                                         width histogram, bytes resident)
 //   SLEEP     <session> <ms>               (diagnostic: occupies the session)
 //   STATS     [<session>] [shards=0|1]   (shards=1: per-shard breakdown)
 //   PING
@@ -57,6 +63,7 @@ enum class Verb {
   kReoptStart,
   kReoptStop,
   kReoptStats,
+  kOracleStats,
   kSleep,
   kStats,
   kPing,
@@ -92,6 +99,9 @@ struct Request {
   std::uint64_t seed = 1;
   Algorithm algorithm = Algorithm::kGreedyBestFit;
   ScenarioPreset preset = ScenarioPreset::kSmartCity;
+  /// Delay-oracle spec (oracle=SPEC, validated at parse time); empty keeps
+  /// the daemon's --oracle default.
+  std::string oracle;
 
   // JOIN / MOVE coordinates and device load
   double x = 0.0;

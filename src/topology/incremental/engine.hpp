@@ -27,6 +27,22 @@ struct EngineStats {
   std::uint64_t nodes_saved = 0;     ///< full-recompute node visits avoided
 };
 
+/// Observer for the engine's mutation funnel. Listeners are notified AFTER
+/// the graph and every server tree reflect the mutation (the same contract
+/// DynamicSsspTree's update hooks have with the graph), so a listener can
+/// repair its own derived structures against the post-mutation graph.
+/// `kind` matches apply_to_trees: 0 edge added, 1 removed, 2 reweighted.
+/// Used by the landmark delay oracle to keep its landmark distance vectors
+/// in sync with link churn (see topology/oracle/landmark.hpp).
+class MutationListener {
+ public:
+  virtual ~MutationListener() = default;
+  virtual void on_mutation(int kind, NodeId u, NodeId v, double old_ms,
+                           double new_ms) = 0;
+  /// The engine rebuilt every tree from scratch (recovery hatch).
+  virtual void on_rebuild() = 0;
+};
+
 class IncrementalDelayEngine {
  public:
   /// Builds one shortest-path tree per edge server of `net` (`threads`
@@ -108,6 +124,12 @@ class IncrementalDelayEngine {
   /// flat-memory gate watches this across 100k+ events.
   [[nodiscard]] std::size_t scratch_bytes() const noexcept;
 
+  // ---- Mutation listeners --------------------------------------------------
+  /// Registers `listener` for post-mutation notifications (not owned; must
+  /// outlive its registration — remove_listener() before destruction).
+  void add_listener(MutationListener* listener);
+  void remove_listener(MutationListener* listener) noexcept;
+
  private:
   /// Grows per-tree arrays and the dirty bitmap to the graph's node count.
   void sync_node_count();
@@ -125,6 +147,7 @@ class IncrementalDelayEngine {
   std::vector<NodeId> dirty_;
   std::vector<std::uint8_t> in_dirty_;  ///< per node: already in dirty_?
   std::vector<NodeId> changed_scratch_;
+  std::vector<MutationListener*> listeners_;
 };
 
 }  // namespace tacc::topo::incr

@@ -1,0 +1,163 @@
+#include "topology/oracle/rowstore.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <string>
+
+#include "util/contracts.hpp"
+
+namespace tacc::topo::oracle {
+
+namespace {
+constexpr std::uint16_t kInfCode = 65535;
+constexpr double kMaxCode = 65534.0;
+constexpr double kInf = std::numeric_limits<double>::infinity();
+}  // namespace
+
+QuantizedRowStore::QuantizedRowStore(std::size_t width,
+                                     std::size_t hot_capacity,
+                                     std::size_t cold_capacity)
+    : width_(width),
+      hot_capacity_(std::max<std::size_t>(1, hot_capacity)),
+      cold_capacity_(std::max<std::size_t>(1, cold_capacity)) {}
+
+void QuantizedRowStore::demote_lru_hot() {
+  HotEntry victim = std::move(hot_.back());
+  hot_index_.erase(victim.row);
+  hot_.pop_back();
+
+  if (cold_.size() >= cold_capacity_) {
+    cold_index_.erase(cold_.back().row);
+    cold_.pop_back();  // dropped; the oracle recomputes on the next touch
+  }
+  double max_finite = 0.0;
+  for (const double v : victim.values) {
+    if (v != kInf) max_finite = std::max(max_finite, v);
+  }
+  ColdEntry entry;
+  entry.row = victim.row;
+  entry.scale = max_finite > 0.0 ? max_finite / kMaxCode : 1.0;
+  entry.codes.resize(victim.values.size());
+  for (std::size_t j = 0; j < victim.values.size(); ++j) {
+    const double v = victim.values[j];
+    if (v == kInf) {
+      entry.codes[j] = kInfCode;
+    } else {
+      // Round UP so decode never undercuts the stored value.
+      const double code = std::ceil(v / entry.scale);
+      entry.codes[j] =
+          static_cast<std::uint16_t>(std::min(code, kMaxCode));
+    }
+  }
+  cold_.push_front(std::move(entry));
+  cold_index_[cold_.front().row] = cold_.begin();
+}
+
+const std::vector<double>& QuantizedRowStore::insert_hot(
+    std::size_t row, std::vector<double> values) {
+  while (hot_.size() >= hot_capacity_) demote_lru_hot();
+  hot_.push_front(HotEntry{row, std::move(values)});
+  hot_index_[row] = hot_.begin();
+  return hot_.front().values;
+}
+
+const std::vector<double>& QuantizedRowStore::put(
+    std::size_t row, std::span<const double> values) {
+  erase(row);
+  return insert_hot(row, std::vector<double>(values.begin(), values.end()));
+}
+
+const std::vector<double>* QuantizedRowStore::get(std::size_t row) {
+  if (const auto hot = hot_index_.find(row); hot != hot_index_.end()) {
+    hot_.splice(hot_.begin(), hot_, hot->second);  // touch: move to front
+    return &hot_.front().values;
+  }
+  const auto cold = cold_index_.find(row);
+  if (cold == cold_index_.end()) return nullptr;
+  const auto entry_it = cold->second;
+  decode_scratch_.resize(entry_it->codes.size());
+  for (std::size_t j = 0; j < entry_it->codes.size(); ++j) {
+    decode_scratch_[j] =
+        entry_it->codes[j] == kInfCode
+            ? kInf
+            : static_cast<double>(entry_it->codes[j]) * entry_it->scale;
+  }
+  cold_index_.erase(cold);
+  cold_.erase(entry_it);
+  return &insert_hot(row, std::move(decode_scratch_));
+}
+
+bool QuantizedRowStore::contains(std::size_t row) const noexcept {
+  return hot_index_.contains(row) || cold_index_.contains(row);
+}
+
+void QuantizedRowStore::erase(std::size_t row) {
+  if (const auto hot = hot_index_.find(row); hot != hot_index_.end()) {
+    hot_.erase(hot->second);
+    hot_index_.erase(hot);
+    return;
+  }
+  if (const auto cold = cold_index_.find(row); cold != cold_index_.end()) {
+    cold_.erase(cold->second);
+    cold_index_.erase(cold);
+  }
+}
+
+void QuantizedRowStore::clear() {
+  hot_.clear();
+  cold_.clear();
+  hot_index_.clear();
+  cold_index_.clear();
+}
+
+std::size_t QuantizedRowStore::resident_bytes() const noexcept {
+  std::size_t bytes = decode_scratch_.capacity() * sizeof(double);
+  for (const HotEntry& entry : hot_) {
+    bytes += sizeof(HotEntry) + entry.values.capacity() * sizeof(double);
+  }
+  for (const ColdEntry& entry : cold_) {
+    bytes += sizeof(ColdEntry) + entry.codes.capacity() * sizeof(std::uint16_t);
+  }
+  bytes += hot_index_.size() *
+           (sizeof(std::size_t) + sizeof(std::list<HotEntry>::iterator));
+  bytes += cold_index_.size() *
+           (sizeof(std::size_t) + sizeof(std::list<ColdEntry>::iterator));
+  return bytes;
+}
+
+void QuantizedRowStore::check_invariants() const {
+  TACC_CHECK_INVARIANT(hot_.size() <= hot_capacity_,
+                       "hot tier past capacity");
+  TACC_CHECK_INVARIANT(cold_.size() <= cold_capacity_,
+                       "cold tier past capacity");
+  TACC_CHECK_INVARIANT(hot_index_.size() == hot_.size() &&
+                           cold_index_.size() == cold_.size(),
+                       "tier index size out of sync with its list");
+  for (auto it = hot_.begin(); it != hot_.end(); ++it) {
+    const auto indexed = hot_index_.find(it->row);
+    TACC_CHECK_INVARIANT(indexed != hot_index_.end() && indexed->second == it,
+                         "hot row missing from the index: row " +
+                             std::to_string(it->row));
+    TACC_CHECK_INVARIANT(it->values.size() == width_,
+                         "hot row has the wrong width: row " +
+                             std::to_string(it->row));
+    TACC_CHECK_INVARIANT(!cold_index_.contains(it->row),
+                         "row resident in both tiers: row " +
+                             std::to_string(it->row));
+  }
+  for (auto it = cold_.begin(); it != cold_.end(); ++it) {
+    const auto indexed = cold_index_.find(it->row);
+    TACC_CHECK_INVARIANT(indexed != cold_index_.end() && indexed->second == it,
+                         "cold row missing from the index: row " +
+                             std::to_string(it->row));
+    TACC_CHECK_INVARIANT(it->codes.size() == width_,
+                         "cold row has the wrong width: row " +
+                             std::to_string(it->row));
+    TACC_CHECK_INVARIANT(it->scale > 0.0 && std::isfinite(it->scale),
+                         "cold row scale must be positive and finite: row " +
+                             std::to_string(it->row));
+  }
+}
+
+}  // namespace tacc::topo::oracle

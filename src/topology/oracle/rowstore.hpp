@@ -1,0 +1,97 @@
+// QuantizedRowStore: two-tier bounded residency for delay rows.
+//
+// The hot tier keeps the H most recently touched rows as exact doubles; on
+// eviction a row is demoted to the cold tier as uint16 codes against a
+// per-row scale (round-UP quantization, so a decoded value never drops below
+// the stored one — an upper-bound estimate stays an upper bound). The cold
+// tier is itself LRU-bounded; rows evicted from it are simply dropped and
+// the owning oracle recomputes them on the next touch. Residency is
+// therefore O(hot·M·8 + cold·M·2) bytes regardless of how many rows exist —
+// the property the bench_m6 memory gate measures.
+//
+// Quantization contract: for a stored value v with row scale s =
+// max_finite(row)/65534, the decoded value d satisfies v <= d <= v + s.
+// kUnreachable round-trips exactly (code 65535).
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+namespace tacc::topo::oracle {
+
+/// Cold-tier rows per hot row when a backend sizes its store from
+/// OracleConfig::hot_rows (cold rows cost 4x less than hot ones).
+inline constexpr std::size_t kColdPerHot = 32;
+
+class QuantizedRowStore {
+ public:
+  /// `width` values per row; `hot_capacity`/`cold_capacity` rows per tier
+  /// (each at least 1).
+  QuantizedRowStore(std::size_t width, std::size_t hot_capacity,
+                    std::size_t cold_capacity);
+
+  [[nodiscard]] std::size_t width() const noexcept { return width_; }
+
+  /// Inserts (or overwrites) `row` in the hot tier and returns the resident
+  /// copy. The reference stays valid until `row` is demoted by later put()/
+  /// get() traffic — with hot capacity H, at least H-1 distinct other rows
+  /// must be touched first.
+  const std::vector<double>& put(std::size_t row,
+                                 std::span<const double> values);
+
+  /// Promotes `row` to the hot tier (decoding if cold) and returns the
+  /// resident copy; nullptr if the row is not resident in either tier.
+  [[nodiscard]] const std::vector<double>* get(std::size_t row);
+
+  [[nodiscard]] bool contains(std::size_t row) const noexcept;
+  /// Drops `row` from whichever tier holds it (no-op if absent).
+  void erase(std::size_t row);
+  /// Drops every resident row.
+  void clear();
+
+  [[nodiscard]] std::size_t hot_size() const noexcept { return hot_.size(); }
+  [[nodiscard]] std::size_t cold_size() const noexcept { return cold_.size(); }
+  [[nodiscard]] std::size_t size() const noexcept {
+    return hot_.size() + cold_.size();
+  }
+
+  /// Bytes held by resident rows + index structures (capacity-based).
+  [[nodiscard]] std::size_t resident_bytes() const noexcept;
+
+  /// Deep validation via the contracts failure handler: index maps are the
+  /// exact inverse of the tier lists, capacities are respected, row widths
+  /// match, and cold scales are non-negative and finite.
+  void check_invariants() const;
+
+ private:
+  struct HotEntry {
+    std::size_t row;
+    std::vector<double> values;
+  };
+  struct ColdEntry {
+    std::size_t row;
+    double scale;
+    std::vector<std::uint16_t> codes;
+  };
+
+  /// Moves the LRU hot row into the cold tier (quantizing), evicting the
+  /// LRU cold row if the cold tier is full.
+  void demote_lru_hot();
+  const std::vector<double>& insert_hot(std::size_t row,
+                                        std::vector<double> values);
+
+  std::size_t width_;
+  std::size_t hot_capacity_;
+  std::size_t cold_capacity_;
+  // Front = most recently used, back = LRU victim.
+  std::list<HotEntry> hot_;
+  std::list<ColdEntry> cold_;
+  std::unordered_map<std::size_t, std::list<HotEntry>::iterator> hot_index_;
+  std::unordered_map<std::size_t, std::list<ColdEntry>::iterator> cold_index_;
+  std::vector<double> decode_scratch_;
+};
+
+}  // namespace tacc::topo::oracle

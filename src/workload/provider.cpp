@@ -85,6 +85,11 @@ class ParamReader {
     return it == params_->end() ? fallback : it->second;
   }
 
+  /// Every key the provider looked up (its accepted parameter set).
+  [[nodiscard]] const std::vector<std::string>& consumed() const noexcept {
+    return consumed_;
+  }
+
   /// Throws for any parameter the provider never consumed.
   void reject_unknown(std::string_view provider) const {
     for (const auto& [key, value] : *params_) {
@@ -769,6 +774,38 @@ Params parse_params(std::string_view spec, std::string_view name) {
   return params;
 }
 
+/// Dispatch shared by make_provider and provider_param_keys; throws for an
+/// unknown name.
+std::unique_ptr<WorkloadProvider> make_named(std::string_view name,
+                                             const ProviderContext& context,
+                                             ParamReader& reader) {
+  if (name == "steady") {
+    return std::make_unique<SteadyProvider>(context, reader);
+  }
+  if (name == "diurnal") {
+    return std::make_unique<DiurnalProvider>(context, reader);
+  }
+  if (name == "flash_crowd") {
+    return std::make_unique<FlashCrowdProvider>(context, reader);
+  }
+  if (name == "mobility_trace") {
+    return std::make_unique<MobilityTraceProvider>(context, reader);
+  }
+  if (name == "regional_link_failure") {
+    return std::make_unique<RegionalLinkFailureProvider>(context, reader);
+  }
+  if (name == "hotspot_adversary") {
+    return std::make_unique<HotspotAdversaryProvider>(context, reader);
+  }
+  std::string known;
+  for (const std::string_view n : provider_names()) {
+    if (!known.empty()) known += ", ";
+    known += n;
+  }
+  throw std::invalid_argument("unknown workload provider '" +
+                              std::string(name) + "' (known: " + known + ")");
+}
+
 }  // namespace
 
 std::vector<std::string_view> provider_names() {
@@ -786,32 +823,27 @@ std::unique_ptr<WorkloadProvider> make_provider(
                                       : spec.substr(comma + 1);
   const Params params = parse_params(rest, name);
   ParamReader reader(params);
-
-  std::unique_ptr<WorkloadProvider> provider;
-  if (name == "steady") {
-    provider = std::make_unique<SteadyProvider>(context, reader);
-  } else if (name == "diurnal") {
-    provider = std::make_unique<DiurnalProvider>(context, reader);
-  } else if (name == "flash_crowd") {
-    provider = std::make_unique<FlashCrowdProvider>(context, reader);
-  } else if (name == "mobility_trace") {
-    provider = std::make_unique<MobilityTraceProvider>(context, reader);
-  } else if (name == "regional_link_failure") {
-    provider = std::make_unique<RegionalLinkFailureProvider>(context, reader);
-  } else if (name == "hotspot_adversary") {
-    provider = std::make_unique<HotspotAdversaryProvider>(context, reader);
-  } else {
-    std::string known;
-    for (const std::string_view n : provider_names()) {
-      if (!known.empty()) known += ", ";
-      known += n;
-    }
-    throw std::invalid_argument("unknown workload provider '" +
-                                std::string(name) + "' (known: " + known +
-                                ")");
-  }
+  std::unique_ptr<WorkloadProvider> provider =
+      make_named(name, context, reader);
   reader.reject_unknown(name);
   return provider;
+}
+
+std::vector<std::string> provider_param_keys(std::string_view name) {
+  // Probe construction against a minimal synthetic context: the reader
+  // records every key the provider's constructor looks up, which IS its
+  // accepted parameter set (providers read all their knobs up front).
+  ProviderContext probe;
+  probe.base_positions = {{0.0, 0.0}, {1.0, 1.0}};
+  probe.base_demands = {1.0, 1.0};
+  probe.base_rates_hz = {5.0, 5.0};
+  probe.links = {{0, 1}};
+  probe.link_midpoints = {{0.5, 0.5}};
+  probe.link_latency_ms = {1.0};
+  const Params params;
+  ParamReader reader(params);
+  (void)make_named(name, probe, reader);
+  return reader.consumed();
 }
 
 }  // namespace tacc::workload

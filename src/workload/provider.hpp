@@ -131,6 +131,13 @@ class WorkloadProvider {
 /// The registry names, in documentation order.
 [[nodiscard]] std::vector<std::string_view> provider_names();
 
+/// The `key=value` parameter keys `name` accepts in a spec, in consumption
+/// order — including the shared reopt_pause/reopt_active_s every provider
+/// honours. Throws std::invalid_argument for an unknown name. Backs
+/// `tacc_workload --list`.
+[[nodiscard]] std::vector<std::string> provider_param_keys(
+    std::string_view name);
+
 /// Creates a provider from "NAME[,key=value...]" — e.g. "steady" or
 /// "flash_crowd,burst_s=30,burst_rate=40". Every parameter is numeric.
 /// Throws std::invalid_argument for an unknown name, an unknown key (the

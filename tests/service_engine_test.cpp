@@ -693,6 +693,55 @@ TEST(ReoptEngine, AutoReoptAttachesOnConfigure) {
   engine.drain();
 }
 
+// ---- Delay-oracle selection and stats --------------------------------------
+
+TEST(OracleEngine, ConfigureReportsBackendAndStatsRespond) {
+  Engine engine(small_options());
+  const std::string ok =
+      call(engine, "CONFIGURE city 40 5 seed=9 oracle=landmark,k=4,eps=0.2");
+  ASSERT_EQ(ok.rfind("OK", 0), 0u) << ok;
+  EXPECT_NE(ok.find(" oracle=landmark"), std::string::npos) << ok;
+
+  const std::string stats = call(engine, "ORACLE_STATS city");
+  ASSERT_EQ(stats.rfind("OK", 0), 0u) << stats;
+  EXPECT_NE(stats.find(" backend=landmark"), std::string::npos) << stats;
+  // CONFIGURE solves the initial placement, so the oracle has been queried.
+  EXPECT_GT(field_value(stats, "queries"), 0u);
+  EXPECT_GT(field_value(stats, "rows"), 0u);
+  EXPECT_GT(field_value(stats, "resident_bytes"), 0u);
+  EXPECT_NE(stats.find(" width_hist="), std::string::npos) << stats;
+}
+
+TEST(OracleEngine, DefaultsToExactBackend) {
+  Engine engine(small_options());
+  const std::string ok = call(engine, "CONFIGURE city 30 4");
+  ASSERT_EQ(ok.rfind("OK", 0), 0u) << ok;
+  EXPECT_NE(ok.find(" oracle=exact"), std::string::npos) << ok;
+  const std::string stats = call(engine, "ORACLE_STATS city");
+  EXPECT_NE(stats.find(" backend=exact"), std::string::npos) << stats;
+  // The exact backend certifies zero-width envelopes: no fallbacks recorded.
+  EXPECT_EQ(field_value(stats, "exact_fallbacks"), 0u);
+}
+
+TEST(OracleEngine, EngineDefaultOracleAppliesWhenRequestOmitsIt) {
+  EngineOptions options = small_options();
+  options.default_oracle = "landmark,k=4";
+  Engine engine(options);
+  ASSERT_EQ(call(engine, "CONFIGURE city 30 4").rfind("OK", 0), 0u);
+  const std::string stats = call(engine, "ORACLE_STATS city");
+  EXPECT_NE(stats.find(" backend=landmark"), std::string::npos) << stats;
+  // A per-request spec still wins over the engine-wide default.
+  ASSERT_EQ(call(engine, "CONFIGURE other 30 4 oracle=exact").rfind("OK", 0),
+            0u);
+  EXPECT_NE(call(engine, "ORACLE_STATS other").find(" backend=exact"),
+            std::string::npos);
+}
+
+TEST(OracleEngine, StatsRequireAnExistingSession) {
+  Engine engine(small_options());
+  EXPECT_EQ(call(engine, "ORACLE_STATS ghost").rfind("ERR", 0), 0u);
+}
+
 TEST(ReoptConcurrency, OptimizerRacesServingPathAndStats) {
   EngineOptions options = small_options();
   options.auto_reopt = true;

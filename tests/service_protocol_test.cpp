@@ -277,6 +277,38 @@ TEST(ReoptProtocol, VerbNamesRoundTrip) {
   EXPECT_EQ(to_string(Verb::kReoptStats), "REOPT_STATS");
 }
 
+TEST(OracleProtocol, ConfigureStoresValidatedSpec) {
+  const Request r =
+      parse_ok("CONFIGURE city 50 5 oracle=landmark,k=4,eps=0.2");
+  EXPECT_EQ(r.oracle, "landmark,k=4,eps=0.2");
+  // Absent option leaves the spec empty (engine applies its default).
+  EXPECT_TRUE(parse_ok("CONFIGURE city 50 5").oracle.empty());
+  EXPECT_EQ(parse_ok("CONFIGURE city 50 5 oracle=exact,compress=1").oracle,
+            "exact,compress=1");
+}
+
+TEST(OracleProtocol, RejectsMalformedSpecsEagerly) {
+  // A typo'd spec must fail at parse time, not at CONFIGURE apply time.
+  EXPECT_NE(parse_error("CONFIGURE city 50 5 oracle=alt")
+                .find("bad value for option 'oracle'"),
+            std::string::npos);
+  parse_error("CONFIGURE city 50 5 oracle=landmark,k=0");
+  parse_error("CONFIGURE city 50 5 oracle=exact,k=4");  // k is landmark-only
+  parse_error("CONFIGURE city 50 5 oracle=landmark,eps=-1");
+  parse_error("JOIN city 1 2 oracle=exact");  // CONFIGURE-only option
+}
+
+TEST(OracleProtocol, StatsParsesAndRoundTrips) {
+  const Request r = parse_ok("ORACLE_STATS city timeout_ms=50");
+  EXPECT_EQ(r.verb, Verb::kOracleStats);
+  EXPECT_EQ(r.session, "city");
+  ASSERT_TRUE(r.timeout_ms.has_value());
+  EXPECT_DOUBLE_EQ(*r.timeout_ms, 50.0);
+  parse_error("ORACLE_STATS");             // missing session
+  parse_error("ORACLE_STATS city k=4");    // unknown option
+  EXPECT_EQ(to_string(Verb::kOracleStats), "ORACLE_STATS");
+}
+
 TEST(Protocol, EnumNamesRoundTrip) {
   EXPECT_EQ(to_string(Verb::kConfigure), "CONFIGURE");
   EXPECT_EQ(to_string(Verb::kShutdown), "SHUTDOWN");

@@ -309,6 +309,52 @@ TEST(DelayMatrixCache, UnbindAndRebindRecyclesRows) {
   EXPECT_EQ(cache.row(0)[0], tree.distance_ms[net.iot_nodes[2]]);
 }
 
+TEST(DelayMatrixCache, RefreshAllRecoversAfterOutOfBandRebuild) {
+  NetworkTopology net = make_net(TopologyFamily::kRandomGeometric, 61);
+  IncrementalDelayEngine engine(net);
+  DelayMatrixCache cache(engine);
+  for (std::size_t i = 0; i < net.iot_count(); ++i) {
+    cache.bind_row(i, net.iot_nodes[i]);
+  }
+  const std::uint64_t refreshed_before = cache.rows_refreshed();
+
+  // Out-of-band topology edit the engine never saw: the cache's rows are
+  // now silently stale, and only the rebuild() + refresh_all() recovery
+  // hatch brings them back.
+  const auto links = backbone_links(net);
+  net.graph.remove_edge(links[0].first, links[0].second);
+  engine.rebuild();
+  cache.refresh_all();
+
+  // refresh_all() counts every bound row toward rows_refreshed, exactly
+  // once, regardless of how many actually changed value.
+  EXPECT_EQ(cache.rows_refreshed(), refreshed_before + cache.bound_count());
+  EXPECT_EQ(cache.rows_saved(), 0u);
+
+  const DelayMatrix expected = compute_delay_matrix(net);
+  for (std::size_t i = 0; i < net.iot_count(); ++i) {
+    EXPECT_EQ(cache.row_epoch(i), engine.epoch());
+    for (std::size_t j = 0; j < net.edge_count(); ++j) {
+      const double want = expected.at(i, j);
+      if (std::isinf(want)) {
+        EXPECT_TRUE(std::isinf(cache.row(i)[j]));
+      } else {
+        EXPECT_EQ(cache.row(i)[j], want);
+      }
+    }
+  }
+  {
+    const contracts::ScopedFailureHandler guard(&contracts::throw_handler);
+    cache.check_invariants();
+  }
+
+  // A second refresh_all keeps accounting linear (no double counting of
+  // rows that were already current).
+  cache.refresh_all();
+  EXPECT_EQ(cache.rows_refreshed(),
+            refreshed_before + 2 * cache.bound_count());
+}
+
 TEST(IncrementalDelayEngine, RebuildDirtiesEverythingAndMatches) {
   NetworkTopology net = make_net(TopologyFamily::kHierarchical, 51);
   IncrementalDelayEngine engine(net);

@@ -24,6 +24,11 @@ Enforces the conventions clang-tidy cannot express:
       recover_server/evacuate_server — every optimizer mutation goes
       through DynamicCluster::apply_move_plan(), which re-validates
       against live state and meters the migration budget.
+  R7  src/solvers/ and src/optimize/ never read the delay store directly:
+      no DelayMatrixCache references and no topology/incremental/cache.hpp
+      includes — all delay queries go through the DelayOracle interface
+      (src/topology/oracle/) so exact and approximate backends stay
+      interchangeable.
 
 Run from the repo root (or via the `lint` CMake target):
     python3 tools/lint_tacc.py
@@ -138,6 +143,19 @@ def main() -> int:
                            f"direct DynamicCluster mutation "
                            f"'{m.group(1)}.{m.group(2)}()' in src/optimize/; "
                            "use DynamicCluster::apply_move_plan()")
+
+            # R7: solvers and the optimizer see delays only through the
+            # DelayOracle; touching the cache ties them to the exact backend.
+            if rel.startswith(("src/solvers/", "src/optimize/")):
+                if "DelayMatrixCache" in code:
+                    report(path, i, "R7",
+                           "direct DelayMatrixCache reference; query delays "
+                           "through DelayOracle (topology/oracle/oracle.hpp)")
+                if re.search(r'#\s*include\s*"topology/incremental/cache\.hpp"',
+                             raw):
+                    report(path, i, "R7",
+                           "topology/incremental/cache.hpp include; use the "
+                           "DelayOracle interface (topology/oracle/oracle.hpp)")
 
         # R4: self-contained headers — a src/ .cpp includes its header first.
         if path.suffix == ".cpp":

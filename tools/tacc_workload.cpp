@@ -26,7 +26,11 @@ int run(int argc, char** argv) {
   const auto flags = util::Flags::parse(argc, argv);
   if (flags.get_bool("list", false)) {
     for (const std::string_view name : workload::provider_names()) {
-      std::cout << name << "\n";
+      std::cout << name << "  (params:";
+      for (const std::string& key : workload::provider_param_keys(name)) {
+        std::cout << " " << key;
+      }
+      std::cout << ")\n";
     }
     return 0;
   }
