@@ -45,6 +45,7 @@
 #include "optimize/reoptimizer.hpp"
 #include "service/engine.hpp"
 #include "util/contracts.hpp"
+#include "util/mutex.hpp"
 #include "util/rng.hpp"
 #include "util/timer.hpp"
 
@@ -120,7 +121,7 @@ SegmentResult run_segment(const std::string& workload_spec, std::size_t iot,
   // gap, so the initial assignment must not already be locally optimal.
   DynamicCluster cluster(scenario,
                          ConfigureRequest(Algorithm::kGreedyBestFit, options));
-  std::mutex cluster_mutex;
+  tacc::Mutex cluster_mutex;
   opt::Reoptimizer reopt(cluster, cluster_mutex, reopt_options);
 
   const workload::ProviderContext ctx = workload::make_context(

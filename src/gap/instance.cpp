@@ -6,6 +6,8 @@
 #include <stdexcept>
 #include <utility>
 
+#include "util/mutex.hpp"
+
 namespace tacc::gap {
 
 Instance::Instance(topo::DelayMatrix delay, std::vector<double> weights,
@@ -35,7 +37,7 @@ Instance::Instance(const Instance& other)
       has_demand_matrix_(other.has_demand_matrix_),
       capacities_(other.capacities_),
       deadlines_(other.deadlines_) {
-  const std::lock_guard<std::mutex> lock(other.rank_mutex_);
+  const MutexLock lock(&other.rank_mutex_);
   rank_cache_ = other.rank_cache_;
   rank_cache_built_.store(
       other.rank_cache_built_.load(std::memory_order_acquire),
@@ -154,7 +156,7 @@ double Instance::load_factor() const noexcept {
 std::span<const std::uint32_t> Instance::servers_by_delay(
     DeviceIndex i) const {
   if (!rank_cache_built_.load(std::memory_order_acquire)) {
-    const std::lock_guard<std::mutex> lock(rank_mutex_);
+    const MutexLock lock(&rank_mutex_);
     if (!rank_cache_built_.load(std::memory_order_relaxed)) {
       build_rank_cache();
     }

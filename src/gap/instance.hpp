@@ -8,11 +8,12 @@
 
 #include <atomic>
 #include <cstdint>
-#include <mutex>
 #include <span>
 #include <vector>
 
 #include "topology/network.hpp"
+#include "util/mutex.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace tacc::gap {
 
@@ -117,7 +118,7 @@ class Instance {
 
  private:
   void validate() const;
-  void build_rank_cache() const;
+  void build_rank_cache() const TACC_REQUIRES(rank_mutex_);
 
   topo::DelayMatrix delay_;
   std::vector<double> weights_;
@@ -130,9 +131,16 @@ class Instance {
   // Lazily built: n×m server indices, row i sorted by delay_ms(i, ·).
   // rank_mutex_ guards the one-time build; the acquire/release flag makes
   // the fast path lock-free once built.
+  //
+  // Deliberately NOT TACC_GUARDED_BY(rank_mutex_): the double-checked
+  // publication makes post-build reads lock-free by design, which the
+  // thread-safety analysis cannot express. The write side stays disciplined
+  // through build_rank_cache()'s TACC_REQUIRES(rank_mutex_); readers are
+  // safe because rank_cache_ is immutable once rank_cache_built_ is
+  // observed true with acquire ordering.
   mutable std::vector<std::uint32_t> rank_cache_;
   mutable std::atomic<bool> rank_cache_built_{false};
-  mutable std::mutex rank_mutex_;
+  mutable Mutex rank_mutex_;
 };
 
 }  // namespace tacc::gap

@@ -1,16 +1,16 @@
 #include "optimize/reoptimizer.hpp"
 
 #include <algorithm>
-#include <condition_variable>
 
 #include "util/contracts.hpp"
+#include "util/mutex.hpp"
 
 namespace tacc::opt {
 
-Reoptimizer::Reoptimizer(DynamicCluster& cluster, std::mutex& cluster_mutex,
+Reoptimizer::Reoptimizer(DynamicCluster& cluster, Mutex& cluster_mutex,
                          const ReoptOptions& options)
-    : cluster_(&cluster),
-      cluster_mutex_(&cluster_mutex),
+    : cluster_mutex_(&cluster_mutex),
+      cluster_(&cluster),
       options_(options),
       state_(options.seed),
       ledger_(options.budget),
@@ -40,7 +40,7 @@ double Reoptimizer::elapsed_s() const {
 }
 
 std::size_t Reoptimizer::run_pass() {
-  std::scoped_lock lock(*cluster_mutex_);
+  const MutexLock lock(cluster_mutex_);
   return pass_locked();
 }
 
@@ -48,7 +48,7 @@ std::size_t Reoptimizer::pass_locked() {
   ledger_.advance(elapsed_s());
 
   {
-    std::scoped_lock stats_lock(stats_mutex_);
+    const MutexLock stats_lock(&stats_mutex_);
     ++stats_.passes;
   }
   const std::size_t headroom = ledger_.remaining();
@@ -69,7 +69,7 @@ std::size_t Reoptimizer::pass_locked() {
   const MovePlanReport report = cluster_->apply_move_plan(plan, &ledger_);
   if (options_.validate) cluster_->check_invariants(validate_options);
 
-  std::scoped_lock stats_lock(stats_mutex_);
+  const MutexLock stats_lock(&stats_mutex_);
   ++stats_.plans;
   stats_.moves_proposed += plan.moves.size();
   stats_.moves_applied += report.applied;
@@ -83,26 +83,26 @@ std::size_t Reoptimizer::pass_locked() {
 }
 
 void Reoptimizer::loop(const std::stop_token& token) {
-  std::mutex sleep_mutex;
-  std::condition_variable_any wakeup;
+  Mutex sleep_mutex;
+  CondVar wakeup;
   const auto interval =
       std::chrono::duration<double, std::milli>(options_.interval_ms);
   while (!token.stop_requested()) {
     {
-      std::unique_lock sleep_lock(sleep_mutex);
-      wakeup.wait_for(sleep_lock, token, interval, [] { return false; });
+      const MutexLock sleep_lock(&sleep_mutex);
+      wakeup.wait_for(sleep_mutex, token, interval, [] { return false; });
     }
     if (token.stop_requested()) break;
     // try_lock only: the serving path always wins, and a stop() issued by
     // a thread holding the cluster mutex can never deadlock against us.
-    std::unique_lock cluster_lock(*cluster_mutex_, std::try_to_lock);
-    if (!cluster_lock.owns_lock()) continue;
+    const TryLock cluster_lock(cluster_mutex_);
+    if (!cluster_lock) continue;
     pass_locked();
   }
 }
 
 ReoptStats Reoptimizer::stats() const {
-  std::scoped_lock stats_lock(stats_mutex_);
+  const MutexLock stats_lock(&stats_mutex_);
   return stats_;
 }
 

@@ -18,22 +18,25 @@
 //                 and predicted/achieved gain; the outcome counts
 //                 partition the proposals exactly (check_invariants())
 //
-// Threading: the owner hands the Reoptimizer the mutex that serializes all
-// mutation of the cluster (in service::Engine, the per-session cluster
-// mutex). The background thread only ever try_locks it — the serving path
-// always wins, and stop() can never deadlock against a lock holder asking
-// the optimizer to shut down. run_pass() takes the lock unconditionally
-// for deterministic use in tests and benches.
+// Threading: the owner hands the Reoptimizer the tacc::Mutex that
+// serializes all mutation of the cluster (in service::Engine, the
+// per-session cluster mutex). The background thread only ever try_locks
+// it — the serving path always wins, and stop() can never deadlock
+// against a lock holder asking the optimizer to shut down. run_pass()
+// takes the lock unconditionally for deterministic use in tests and
+// benches. The try-lock-only rule and the cluster/stats guard split are
+// Clang Thread Safety-annotated and enforced at compile time.
 #pragma once
 
 #include <chrono>
 #include <cstdint>
-#include <mutex>
 #include <thread>
 
 #include "core/dynamic.hpp"
 #include "core/move_plan.hpp"
 #include "optimize/planner.hpp"
+#include "util/mutex.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace tacc::opt {
 
@@ -76,7 +79,7 @@ class Reoptimizer {
  public:
   /// `cluster_mutex` must be the mutex serializing every mutation of
   /// `cluster`; both must outlive the Reoptimizer.
-  Reoptimizer(DynamicCluster& cluster, std::mutex& cluster_mutex,
+  Reoptimizer(DynamicCluster& cluster, Mutex& cluster_mutex,
               const ReoptOptions& options = {});
   ~Reoptimizer();  // stops the background thread if running
 
@@ -92,9 +95,9 @@ class Reoptimizer {
 
   /// One synchronous pass under the cluster lock: advance the budget
   /// window, propose, apply, account. Returns moves applied.
-  std::size_t run_pass();
+  std::size_t run_pass() TACC_EXCLUDES(cluster_mutex_);
 
-  [[nodiscard]] ReoptStats stats() const;
+  [[nodiscard]] ReoptStats stats() const TACC_EXCLUDES(stats_mutex_);
   [[nodiscard]] const ReoptOptions& options() const noexcept {
     return options_;
   }
@@ -104,19 +107,21 @@ class Reoptimizer {
   void check_invariants() const;
 
  private:
-  void loop(const std::stop_token& token);
-  std::size_t pass_locked();
+  void loop(const std::stop_token& token) TACC_EXCLUDES(cluster_mutex_);
+  std::size_t pass_locked() TACC_REQUIRES(cluster_mutex_);
   [[nodiscard]] double elapsed_s() const;
 
-  DynamicCluster* cluster_;
-  std::mutex* cluster_mutex_;
+  /// The cluster and the planner/budget state that mutates it are all
+  /// guarded by *cluster_mutex_ (owned by the caller, not us).
+  Mutex* const cluster_mutex_;
+  DynamicCluster* const cluster_ TACC_PT_GUARDED_BY(cluster_mutex_);
   ReoptOptions options_;
-  PlannerState state_;
-  BudgetLedger ledger_;
-  std::chrono::steady_clock::time_point epoch_;
+  PlannerState state_ TACC_GUARDED_BY(cluster_mutex_);
+  BudgetLedger ledger_ TACC_GUARDED_BY(cluster_mutex_);
+  std::chrono::steady_clock::time_point epoch_;  // immutable after ctor
 
-  mutable std::mutex stats_mutex_;
-  ReoptStats stats_;
+  mutable Mutex stats_mutex_;
+  ReoptStats stats_ TACC_GUARDED_BY(stats_mutex_);
 
   std::jthread thread_;
 };

@@ -4,6 +4,8 @@
 #include <atomic>
 #include <utility>
 
+#include "util/mutex.hpp"
+
 namespace tacc::runtime {
 
 std::size_t default_thread_count() noexcept {
@@ -16,42 +18,44 @@ ThreadPool::ThreadPool(std::size_t threads) {
   threads = std::min(threads, kMaxThreads);
   workers_.reserve(threads);
   for (std::size_t i = 0; i < threads; ++i) {
-    workers_.emplace_back(
-        [this](const std::stop_token& stop) { worker_loop(stop); });
+    workers_.emplace_back([this] { worker_loop(); });
   }
 }
 
 ThreadPool::~ThreadPool() {
-  for (std::jthread& worker : workers_) worker.request_stop();
+  {
+    const MutexLock lock(&mutex_);
+    stopping_ = true;
+  }
   work_cv_.notify_all();
   // jthread joins on destruction; workers drain the queue before exiting.
 }
 
 void ThreadPool::submit(std::function<void()> job) {
   {
-    const std::lock_guard<std::mutex> lock(mutex_);
+    const MutexLock lock(&mutex_);
     queue_.emplace_back(next_ticket_++, std::move(job));
   }
   work_cv_.notify_one();
 }
 
 void ThreadPool::wait_idle() {
-  std::unique_lock<std::mutex> lock(mutex_);
-  idle_cv_.wait(lock, [this] { return queue_.empty() && active_ == 0; });
+  ReleasableMutexLock lock(&mutex_);
+  while (!queue_.empty() || active_ != 0) idle_cv_.wait(mutex_);
   if (error_) {
     std::exception_ptr error = std::exchange(error_, nullptr);
-    lock.unlock();
+    lock.release();
     std::rethrow_exception(error);
   }
 }
 
-void ThreadPool::worker_loop(const std::stop_token& stop) {
+void ThreadPool::worker_loop() {
   for (;;) {
     std::pair<std::size_t, std::function<void()>> job;
     {
-      std::unique_lock<std::mutex> lock(mutex_);
-      work_cv_.wait(lock, stop, [this] { return !queue_.empty(); });
-      if (queue_.empty()) return;  // stop requested and nothing left to run
+      const MutexLock lock(&mutex_);
+      while (queue_.empty() && !stopping_) work_cv_.wait(mutex_);
+      if (queue_.empty()) return;  // stopping and nothing left to run
       job = std::move(queue_.front());
       queue_.pop_front();
       ++active_;
@@ -63,7 +67,7 @@ void ThreadPool::worker_loop(const std::stop_token& stop) {
       error = std::current_exception();
     }
     {
-      const std::lock_guard<std::mutex> lock(mutex_);
+      const MutexLock lock(&mutex_);
       if (error && (!error_ || job.first < error_ticket_)) {
         error_ = error;
         error_ticket_ = job.first;
@@ -84,7 +88,7 @@ void parallel_for(std::size_t count, std::size_t threads,
   threads = std::min({threads, count, kMaxThreads});
 
   std::atomic<std::size_t> next{0};
-  std::mutex error_mutex;
+  Mutex error_mutex;
   std::size_t error_index = count;
   std::exception_ptr error;
 
@@ -99,7 +103,7 @@ void parallel_for(std::size_t count, std::size_t threads,
           try {
             fn(i);
           } catch (...) {
-            const std::lock_guard<std::mutex> lock(error_mutex);
+            const MutexLock lock(&error_mutex);
             if (i < error_index) {
               error_index = i;
               error = std::current_exception();

@@ -5,16 +5,21 @@
 // their output slots by task id, so scheduling order can only change wall
 // time, never values. Exceptions thrown by jobs are captured and rethrown
 // from wait_idle() (the first one in submission order).
+//
+// Lock discipline (compiler-checked, see util/thread_annotations.hpp):
+// one mutex guards the queue, the in-flight count, the error slot, and the
+// stop flag; both condition variables wait on it.
 #pragma once
 
-#include <condition_variable>
 #include <cstddef>
 #include <deque>
 #include <exception>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "util/mutex.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace tacc::runtime {
 
@@ -43,23 +48,28 @@ class ThreadPool {
 
   /// Enqueues a job. Jobs must not submit to the same pool recursively from
   /// a worker and then wait_idle() on it (deadlock).
-  void submit(std::function<void()> job);
+  void submit(std::function<void()> job) TACC_EXCLUDES(mutex_);
 
   /// Blocks until the queue is empty and every worker is idle, then rethrows
   /// the first captured job exception (submission order), if any.
-  void wait_idle();
+  void wait_idle() TACC_EXCLUDES(mutex_);
 
  private:
-  void worker_loop(const std::stop_token& stop);
+  void worker_loop() TACC_EXCLUDES(mutex_);
 
-  mutable std::mutex mutex_;
-  std::condition_variable_any work_cv_;   // queue became non-empty / stopping
-  std::condition_variable idle_cv_;       // a job finished
-  std::deque<std::pair<std::size_t, std::function<void()>>> queue_;
-  std::size_t active_ = 0;        // jobs currently executing
-  std::size_t next_ticket_ = 0;   // submission order for exception ranking
-  std::size_t error_ticket_ = 0;
-  std::exception_ptr error_;      // first (lowest-ticket) job exception
+  mutable Mutex mutex_;
+  CondVar work_cv_;  // queue became non-empty / stopping
+  CondVar idle_cv_;  // a job finished
+  std::deque<std::pair<std::size_t, std::function<void()>>> queue_
+      TACC_GUARDED_BY(mutex_);
+  std::size_t active_ TACC_GUARDED_BY(mutex_) = 0;  // jobs executing now
+  // Submission order for exception ranking.
+  std::size_t next_ticket_ TACC_GUARDED_BY(mutex_) = 0;
+  std::size_t error_ticket_ TACC_GUARDED_BY(mutex_) = 0;
+  // First (lowest-ticket) job exception.
+  std::exception_ptr error_ TACC_GUARDED_BY(mutex_);
+  // Destructor ran: workers drain the queue, then exit.
+  bool stopping_ TACC_GUARDED_BY(mutex_) = false;
   std::vector<std::jthread> workers_;  // last member: joins before the rest die
 };
 

@@ -14,6 +14,7 @@
 #include "topology/oracle/config.hpp"
 #include "topology/oracle/oracle.hpp"
 #include "util/contracts.hpp"
+#include "util/mutex.hpp"
 
 namespace tacc::service {
 
@@ -68,22 +69,22 @@ Engine::~Engine() {
 
 void Engine::begin_shutdown() {
   for (const auto& shard : shards_) {
-    const std::scoped_lock lock(shard->mutex);
+    const MutexLock lock(&shard->mutex);
     shard->shutting_down = true;
   }
 }
 
 void Engine::drain() {
   for (const auto& shard : shards_) {
-    std::unique_lock lock(shard->mutex);
-    shard->drained_cv.wait(lock, [&shard] { return shard->in_flight == 0; });
+    const MutexLock lock(&shard->mutex);
+    while (shard->in_flight != 0) shard->drained_cv.wait(shard->mutex);
   }
 }
 
 std::size_t Engine::queue_depth() const {
   std::size_t depth = 0;
   for (const auto& shard : shards_) {
-    const std::scoped_lock lock(shard->mutex);
+    const MutexLock lock(&shard->mutex);
     depth += shard->in_flight;
   }
   return depth;
@@ -92,7 +93,7 @@ std::size_t Engine::queue_depth() const {
 EngineCounters Engine::counters() const {
   EngineCounters total;
   for (const auto& shard : shards_) {
-    const std::scoped_lock lock(shard->mutex);
+    const MutexLock lock(&shard->mutex);
     add_counters(total, shard->counters);
   }
   return total;
@@ -101,7 +102,7 @@ EngineCounters Engine::counters() const {
 std::size_t Engine::session_count() const {
   std::size_t count = 0;
   for (const auto& shard : shards_) {
-    const std::scoped_lock lock(shard->mutex);
+    const MutexLock lock(&shard->mutex);
     count += shard->sessions.size();
   }
   return count;
@@ -136,10 +137,13 @@ void Engine::check_invariants() const {
   views.reserve(shards_.size());
   for (const auto& shard : shards_) {
     ShardView view;
-    const std::scoped_lock lock(shard->mutex);
+    const MutexLock lock(&shard->mutex);
     view.counters = shard->counters;
     view.in_flight = shard->in_flight;
     for (const auto& [name, session] : shard->sessions) {
+      // Session fields are guarded by the back-pointer to this very mutex;
+      // tell the analysis the alias is held (see Session::shard_mutex).
+      session->shard_mutex->assert_held();
       view.pending_total += session->pending.size();
       if (session->draining) ++view.draining_sessions;
       add_counters(view.session_sum, session->counters);
@@ -222,7 +226,7 @@ void Engine::submit(const Request& request, Responder respond) {
   std::shared_ptr<Session> session;
   bool schedule = false;
   {
-    const std::scoped_lock lock(shard.mutex);
+    const MutexLock lock(&shard.mutex);
     if (shard.shutting_down) {
       ++shard.counters.rejected_shutdown;
       outcome = Outcome::kShuttingDown;
@@ -230,6 +234,7 @@ void Engine::submit(const Request& request, Responder respond) {
       ++shard.counters.rejected_overload;
       const auto it = shard.sessions.find(request.session);
       if (it != shard.sessions.end()) {
+        it->second->shard_mutex->assert_held();
         ++it->second->counters.rejected_overload;
       }
       outcome = Outcome::kOverloaded;
@@ -238,13 +243,12 @@ void Engine::submit(const Request& request, Responder respond) {
       if (it != shard.sessions.end()) {
         session = it->second;
       } else if (request.verb == Verb::kConfigure) {
-        session = std::make_shared<Session>(request.session, options_);
+        session =
+            std::make_shared<Session>(request.session, options_, &shard.mutex);
         shard.sessions.emplace(request.session, session);
-      } else {
-        ++shard.counters.rejected_not_found;
-        outcome = Outcome::kNotFound;
       }
       if (session) {
+        session->shard_mutex->assert_held();
         ++shard.in_flight;
         ++shard.counters.accepted;
         ++session->counters.accepted;
@@ -254,6 +258,9 @@ void Engine::submit(const Request& request, Responder respond) {
           schedule = true;
         }
         outcome = Outcome::kAccepted;
+      } else {
+        ++shard.counters.rejected_not_found;
+        outcome = Outcome::kNotFound;
       }
     }
   }
@@ -288,7 +295,8 @@ void Engine::drain_session(Shard& shard,
   for (;;) {
     std::vector<Event> batch;
     {
-      const std::scoped_lock lock(shard.mutex);
+      const MutexLock lock(&shard.mutex);
+      session->shard_mutex->assert_held();
       const std::size_t n =
           std::min(session->pending.size(), options_.max_batch);
       if (n == 0) {
@@ -312,7 +320,7 @@ void Engine::drain_session(Shard& shard,
     // read below) against the session's background re-optimizer. The
     // optimizer only try_locks, so holding it for the whole batch never
     // stalls anyone but the optimizer — which simply skips a pass.
-    std::unique_lock cluster_lock(session->cluster_mutex);
+    ReleasableMutexLock cluster_lock(&session->cluster_mutex);
     for (Event& event : batch) {
       // Deadline re-check at dequeue time (boundary inclusive: a deadline
       // exactly at dequeue is expired) — the event leaves the queue for
@@ -371,12 +379,13 @@ void Engine::drain_session(Shard& shard,
       snapshot.reopt_rejected = reopt.rejected();
       snapshot.reopt_gain = reopt.achieved_gain;
     }
-    cluster_lock.unlock();
+    cluster_lock.release();
     {
       // One lock, one coherent flush: queue ledger, per-session counters,
       // and the snapshot move together, so no STATS reply can catch the
       // identity mid-update.
-      const std::scoped_lock lock(shard.mutex);
+      const MutexLock lock(&shard.mutex);
+      session->shard_mutex->assert_held();
       session->counters.completed += completed;
       session->counters.failed += failed;
       session->counters.rejected_deadline += expired;
@@ -661,7 +670,7 @@ std::string Engine::stats_line(const Request& request) const {
     views.reserve(shards_.size());
     for (const auto& shard : shards_) {
       ShardView view;
-      const std::scoped_lock lock(shard->mutex);
+      const MutexLock lock(&shard->mutex);
       view.counters = shard->counters;
       view.in_flight = shard->in_flight;
       view.sessions = shard->sessions.size();
@@ -716,13 +725,14 @@ std::string Engine::stats_line(const Request& request) const {
   const Shard& shard = *shards_[shard_index];
   // Everything — counters, histogram, snapshot — reads under the one shard
   // lock, so the reply is a coherent cut of the session's ledger.
-  const std::scoped_lock lock(shard.mutex);
+  const MutexLock lock(&shard.mutex);
   const auto it = shard.sessions.find(request.session);
   if (it == shard.sessions.end()) {
     return err_line(ErrorCode::kNotFound,
                     "unknown session '" + request.session + "'");
   }
   const Session& session = *it->second;
+  session.shard_mutex->assert_held();
   const EngineCounters& c = session.counters;
   const metrics::Histogram& h = session.latency_us;
   const SessionSnapshot& s = session.snapshot;

@@ -49,13 +49,11 @@
 #pragma once
 
 #include <chrono>
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <functional>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <string_view>
@@ -66,6 +64,8 @@
 #include "optimize/reoptimizer.hpp"
 #include "runtime/thread_pool.hpp"
 #include "service/protocol.hpp"
+#include "util/mutex.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace tacc::service {
 
@@ -216,60 +216,80 @@ class Engine {
   };
 
   struct Session {
-    explicit Session(std::string session_name, const EngineOptions& options)
-        : name(std::move(session_name)),
+    Session(std::string session_name, const EngineOptions& options,
+            Mutex* owning_shard_mutex)
+        : shard_mutex(owning_shard_mutex),
+          name(std::move(session_name)),
           latency_us(0.0, options.histogram_max_us, options.histogram_bins) {}
 
+    // Back-pointer to the owning Shard's mutex: the guard expression for
+    // every queue/metrics field below. The thread-safety analysis cannot
+    // prove on its own that this aliases the shard mutex a call site
+    // locked, so code reaching a Session from a locked Shard calls
+    // shard_mutex->assert_held() once after lookup (see Mutex::assert_held).
+    Mutex* const shard_mutex;
     const std::string name;
 
     // Queue state AND metrics — all guarded by the owning Shard's mutex,
     // so one lock yields a coherent queue+counter snapshot (the pre-shard
     // engine split these across two mutexes and STATS could observe
     // completed > accepted mid-flush).
-    std::deque<Event> pending;
-    bool draining = false;
-    EngineCounters counters;
-    std::uint64_t batches = 0;
-    metrics::Histogram latency_us;
-    SessionSnapshot snapshot;
+    std::deque<Event> pending TACC_GUARDED_BY(shard_mutex);
+    bool draining TACC_GUARDED_BY(shard_mutex) = false;
+    EngineCounters counters TACC_GUARDED_BY(shard_mutex);
+    std::uint64_t batches TACC_GUARDED_BY(shard_mutex) = 0;
+    metrics::Histogram latency_us TACC_GUARDED_BY(shard_mutex);
+    SessionSnapshot snapshot TACC_GUARDED_BY(shard_mutex);
 
     // Cluster — mutated only by the (single) active drain task and, through
     // apply_move_plan(), by the session's background re-optimizer. Both
     // serialize on cluster_mutex: the drain task locks it around each
     // batch's apply()s, the optimizer thread only ever try_locks it (the
-    // serving path always wins; see opt::Reoptimizer).
-    std::unique_ptr<DynamicCluster> cluster;
-    std::mutex cluster_mutex;
+    // serving path always wins; see opt::Reoptimizer). The oracle/delay
+    // cache inside the cluster have no locks of their own — this mutex is
+    // their external serialization point.
+    Mutex cluster_mutex;
+    std::unique_ptr<DynamicCluster> cluster TACC_GUARDED_BY(cluster_mutex)
+        TACC_PT_GUARDED_BY(cluster_mutex);
     // Per-session optimizer attach/detach (REOPT_START/REOPT_STOP or
     // EngineOptions::auto_reopt). The pointer itself is only touched by the
-    // drain task. Declared after `cluster`: destroyed first, so the
-    // optimizer thread joins before the cluster it scans dies.
-    std::unique_ptr<opt::Reoptimizer> reoptimizer;
+    // drain task under cluster_mutex. Declared after `cluster`: destroyed
+    // first, so the optimizer thread joins before the cluster it scans dies.
+    std::unique_ptr<opt::Reoptimizer> reoptimizer
+        TACC_GUARDED_BY(cluster_mutex);
     // Options used at the last attach, so CONFIGURE can re-attach a live
     // optimizer onto the replacement cluster with the same tuning.
-    std::optional<opt::ReoptOptions> reopt_options;
+    std::optional<opt::ReoptOptions> reopt_options
+        TACC_GUARDED_BY(cluster_mutex);
   };
 
   /// One engine shard: sessions, admission ledger, and workers, all behind
-  /// one mutex that no other shard ever touches.
+  /// one mutex that no other shard ever touches. Lock order: shard mutex
+  /// first, a session's cluster_mutex second — never both at once in this
+  /// file (drain_session drops the shard lock before taking the cluster
+  /// lock), but the hierarchy matters for future code.
   struct Shard {
     Shard(std::size_t admission_quota, std::size_t workers)
         : quota(admission_quota), pool(workers) {}
 
     const std::size_t quota;  ///< admission bound for this shard
-    mutable std::mutex mutex;
-    std::condition_variable drained_cv;  ///< signalled when in_flight drops
-    std::map<std::string, std::shared_ptr<Session>, std::less<>> sessions;
-    std::size_t in_flight = 0;  ///< admitted, not yet responded
-    bool shutting_down = false;
-    EngineCounters counters;
+    mutable Mutex mutex;
+    CondVar drained_cv;  ///< signalled when in_flight drops
+    std::map<std::string, std::shared_ptr<Session>, std::less<>> sessions
+        TACC_GUARDED_BY(mutex);
+    // Admitted, not yet responded.
+    std::size_t in_flight TACC_GUARDED_BY(mutex) = 0;
+    bool shutting_down TACC_GUARDED_BY(mutex) = false;
+    EngineCounters counters TACC_GUARDED_BY(mutex);
     runtime::ThreadPool pool;  // last member: workers stop before state dies
   };
 
   void drain_session(Shard& shard, const std::shared_ptr<Session>& session);
   /// Executes one event against the session's cluster; returns the response
-  /// line. Never throws.
-  std::string apply(Session& session, const Request& request);
+  /// line. Never throws. Caller holds the session's cluster mutex (the
+  /// drain task takes it around the whole batch).
+  std::string apply(Session& session, const Request& request)
+      TACC_REQUIRES(session.cluster_mutex);
   [[nodiscard]] std::string stats_line(const Request& request) const;
 
   const EngineOptions options_;

@@ -12,6 +12,7 @@
 #include <stdexcept>
 
 #include "util/log.hpp"
+#include "util/mutex.hpp"
 
 namespace tacc::service {
 
@@ -70,13 +71,13 @@ void Server::Connection::flush_locked() {
 
 void Server::Connection::respond(std::uint64_t seq, std::string line) {
   line += '\n';
-  const std::scoped_lock lock(write_mutex);
+  const MutexLock lock(&write_mutex);
   ready.emplace(seq, std::move(line));
   flush_locked();
 }
 
 void Server::Connection::finish_requests(std::uint64_t total_seqs) {
-  const std::scoped_lock lock(write_mutex);
+  const MutexLock lock(&write_mutex);
   seq_end = total_seqs;
   flush_locked();
 }
@@ -140,15 +141,18 @@ Server::Server(ServerOptions options)
 Server::~Server() {
   if (g_signal_wake_fd.load() == wake_fds_[1]) g_signal_wake_fd.store(-1);
   close_listeners();
-  // Join any readers left from a run() the caller never completed.
+  // Join any readers left from a run() the caller never completed. Joining
+  // under connections_mutex_ is fine (readers never take it), and clearing
+  // under it was always required — the pre-annotation code dropped the lock
+  // before the clears, which the thread-safety analysis flagged.
   {
-    const std::scoped_lock lock(connections_mutex_);
+    const MutexLock lock(&connections_mutex_);
     for (const auto& connection : connections_) {
       ::shutdown(connection->fd, SHUT_RDWR);
     }
+    readers_.clear();
+    connections_.clear();
   }
-  readers_.clear();
-  connections_.clear();
   close_fd(wake_fds_[0]);
   close_fd(wake_fds_[1]);
 }
@@ -200,7 +204,7 @@ void Server::accept_loop() {
       if (client < 0) continue;
       auto connection = std::make_shared<Connection>(client);
       connections_accepted_.fetch_add(1);
-      const std::scoped_lock lock(connections_mutex_);
+      const MutexLock lock(&connections_mutex_);
       connections_.push_back(connection);
       readers_.emplace_back(
           [this, connection] { reader_loop(connection); });
@@ -274,7 +278,7 @@ void Server::handle_line(const std::shared_ptr<Connection>& connection,
 }
 
 void Server::reap_finished_connections() {
-  const std::scoped_lock lock(connections_mutex_);
+  const MutexLock lock(&connections_mutex_);
   for (std::size_t i = 0; i < connections_.size();) {
     if (connections_[i]->reader_done.load()) {
       readers_[i].join();
@@ -303,13 +307,13 @@ void Server::shutdown_sequence() {
   engine_.begin_shutdown();
   engine_.drain();
   {
-    const std::scoped_lock lock(connections_mutex_);
+    const MutexLock lock(&connections_mutex_);
     for (const auto& connection : connections_) {
       ::shutdown(connection->fd, SHUT_RDWR);
     }
+    readers_.clear();      // joins: SHUT_RDWR unblocked every read()
+    connections_.clear();  // closes client fds
   }
-  readers_.clear();      // joins: SHUT_RDWR unblocked every read()
-  connections_.clear();  // closes client fds
   util::log_info("taccd: drained; all connections closed");
 }
 

@@ -26,12 +26,13 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "service/engine.hpp"
+#include "util/mutex.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace tacc::service {
 
@@ -95,23 +96,27 @@ class Server {
     // Response sequencing — all guarded by write_mutex. Seqs are assigned
     // by the single reader thread in arrival order; completions may arrive
     // from any shard's workers in any order, and flush strictly by seq.
-    std::mutex write_mutex;
-    std::uint64_t next_write = 0;  ///< seq whose response flushes next
-    std::map<std::uint64_t, std::string> ready;  ///< completed out of order
+    Mutex write_mutex;
+    // Seq whose response flushes next.
+    std::uint64_t next_write TACC_GUARDED_BY(write_mutex) = 0;
+    // Completed out of order, keyed by seq.
+    std::map<std::uint64_t, std::string> ready TACC_GUARDED_BY(write_mutex);
     /// One past the last seq the reader allocated; UINT64_MAX while the
     /// reader is still accepting requests. Once every seq below it has
     /// flushed, the socket is shut down so the client sees a clean EOF.
-    std::uint64_t seq_end = UINT64_MAX;
-    bool write_failed = false;  ///< client gone; drop further writes
+    std::uint64_t seq_end TACC_GUARDED_BY(write_mutex) = UINT64_MAX;
+    // Client gone; drop further writes.
+    bool write_failed TACC_GUARDED_BY(write_mutex) = false;
 
     /// Queues `line` for seq and flushes every contiguous completed
     /// response. Write errors (client gone) are ignored.
-    void respond(std::uint64_t seq, std::string line);
+    void respond(std::uint64_t seq, std::string line)
+        TACC_EXCLUDES(write_mutex);
     /// Reader is done allocating seqs; closes the socket once drained.
-    void finish_requests(std::uint64_t total_seqs);
+    void finish_requests(std::uint64_t total_seqs) TACC_EXCLUDES(write_mutex);
 
    private:
-    void flush_locked();
+    void flush_locked() TACC_REQUIRES(write_mutex);
   };
 
   void accept_loop();
@@ -130,9 +135,12 @@ class Server {
   int wake_fds_[2] = {-1, -1};  ///< self-pipe: [0] polled, [1] written
   std::atomic<std::uint64_t> connections_accepted_{0};
 
-  std::mutex connections_mutex_;
-  std::vector<std::shared_ptr<Connection>> connections_;
-  std::vector<std::jthread> readers_;  // index-aligned with connections_
+  Mutex connections_mutex_;
+  std::vector<std::shared_ptr<Connection>> connections_
+      TACC_GUARDED_BY(connections_mutex_);
+  // Index-aligned with connections_. Joining a reader under
+  // connections_mutex_ is safe: reader threads never take that mutex.
+  std::vector<std::jthread> readers_ TACC_GUARDED_BY(connections_mutex_);
 };
 
 }  // namespace tacc::service

@@ -8,6 +8,12 @@
 // of the bound rows. fingerprint() digests the epoch together with the bound
 // row values, so equal fingerprints mean identical cached delays even as the
 // topology churns.
+//
+// Thread safety: none — the cache carries no lock of its own. Its owner
+// serializes access: in the serving layer every path to it goes through the
+// owning session's cluster mutex (Session::cluster is
+// TACC_PT_GUARDED_BY(cluster_mutex)), and the tools/ast_lint.py R7 check
+// keeps solvers/optimizer code from reaching a DelayMatrixCache directly.
 #pragma once
 
 #include <cstdint>

@@ -1,4 +1,7 @@
 // LandmarkOracle: landmark/ALT delay estimation with certified envelopes.
+// Thread safety: none (the row store mutates on const reads) — externally
+// serialized by the owner, i.e. the session cluster mutex in the serving
+// layer; see oracle.hpp.
 //
 // k landmarks are chosen over the ROUTER nodes (stable across device churn)
 // by seed-deterministic farthest-point sampling: the first landmark is drawn

@@ -27,7 +27,12 @@
 // Thread safety: none. Oracles are owned by a DynamicCluster and share its
 // external synchronization. Backends with an LRU row store mutate internal
 // state on logically-const reads (row(), delay_ms()), so even concurrent
-// readers must be externally serialized for non-default backends.
+// readers must be externally serialized for non-default backends. In the
+// serving layer that serialization point is the session's cluster mutex:
+// service::Engine::Session declares its cluster TACC_PT_GUARDED_BY
+// (cluster_mutex), so the thread-safety analysis proves every oracle call
+// routed through a session happens under that lock (see DESIGN.md,
+// "Locking discipline").
 #pragma once
 
 #include <array>

@@ -12,6 +12,10 @@
 // Quantization contract: for a stored value v with row scale s =
 // max_finite(row)/65534, the decoded value d satisfies v <= d <= v + s.
 // kUnreachable round-trips exactly (code 65535).
+//
+// Thread safety: none. The LRU lists mutate on every touch — including
+// logically-const lookups — so the store inherits the owning oracle's
+// external serialization (the session cluster mutex in the serving layer).
 #pragma once
 
 #include <cstdint>

@@ -3,10 +3,18 @@
 #include <atomic>
 #include <iostream>
 
+#include "util/mutex.hpp"
+#include "util/thread_annotations.hpp"
+
 namespace tacc::util {
 
 namespace {
 std::atomic<LogLevel> g_level{LogLevel::kWarn};
+
+// Serializes emit(): concurrent shard workers / the reoptimizer thread must
+// not interleave fragments of their lines on stderr. Only the final write
+// is guarded — formatting happens in the caller, unlocked.
+Mutex g_emit_mutex;
 
 [[nodiscard]] constexpr std::string_view level_name(LogLevel level) noexcept {
   switch (level) {
@@ -30,6 +38,7 @@ LogLevel log_level() noexcept { return g_level.load(); }
 
 namespace detail {
 void emit(LogLevel level, std::string_view message) {
+  const MutexLock lock(&g_emit_mutex);
   std::cerr << "[tacc:" << level_name(level) << "] " << message << '\n';
 }
 }  // namespace detail

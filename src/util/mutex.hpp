@@ -1,0 +1,151 @@
+// Annotated mutex wrappers: the lockable vocabulary the Clang Thread
+// Safety Analysis (util/thread_annotations.hpp) checks at compile time.
+//
+// tacc::Mutex is a std::mutex carrying the capability annotations; the
+// scoped lockers replace std::scoped_lock/std::lock_guard/std::unique_lock
+// in every concurrent subsystem so the analysis can track acquire/release
+// pairs. CondVar wraps std::condition_variable_any and waits directly on a
+// held Mutex, keeping guarded-field predicate checks in the caller's
+// annotated scope (explicit `while (!cond) cv.wait(mu);` loops instead of
+// predicate lambdas the analysis cannot see into).
+//
+// Runtime cost: identical to the std types (everything is an inline
+// forwarder); the annotations compile to nothing.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+#include <stop_token>
+#include <utility>
+
+#include "util/thread_annotations.hpp"
+
+namespace tacc {
+
+/// std::mutex as a TSA capability. Satisfies BasicLockable, so CondVar
+/// (condition_variable_any underneath) waits on it directly.
+class TACC_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() TACC_ACQUIRE() { mu_.lock(); }
+  void unlock() TACC_RELEASE() { mu_.unlock(); }
+  [[nodiscard]] bool try_lock() TACC_TRY_ACQUIRE(true) {
+    return mu_.try_lock();
+  }
+
+  /// Tells the analysis this mutex is held here — for facts it cannot
+  /// derive, e.g. state guarded through an owner back-pointer that aliases
+  /// a mutex the caller provably locked (service::Session's fields are
+  /// guarded by `shard_mutex`, a pointer to the owning Shard's mutex the
+  /// lookup sites hold). Analysis-only: compiles to nothing, asserts
+  /// nothing at runtime — every call site must be inside a critical
+  /// section on the aliased mutex.
+  void assert_held() const TACC_ASSERT_CAPABILITY(this) {}
+
+ private:
+  std::mutex mu_;
+};
+
+/// RAII lock for the full scope (std::scoped_lock replacement).
+class TACC_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex* mu) TACC_ACQUIRE(mu) : mu_(mu) { mu_->lock(); }
+  ~MutexLock() TACC_RELEASE() { mu_->unlock(); }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex* const mu_;
+};
+
+/// RAII lock that can release early (std::unique_lock's one non-wait use in
+/// this codebase: drop the lock before slow work / rethrow).
+class TACC_SCOPED_CAPABILITY ReleasableMutexLock {
+ public:
+  explicit ReleasableMutexLock(Mutex* mu) TACC_ACQUIRE(mu) : mu_(mu) {
+    mu_->lock();
+  }
+  ~ReleasableMutexLock() TACC_RELEASE() {
+    if (mu_ != nullptr) mu_->unlock();
+  }
+
+  /// Unlocks now; the destructor becomes a no-op. Call at most once.
+  void release() TACC_RELEASE() {
+    mu_->unlock();
+    mu_ = nullptr;
+  }
+
+  ReleasableMutexLock(const ReleasableMutexLock&) = delete;
+  ReleasableMutexLock& operator=(const ReleasableMutexLock&) = delete;
+
+ private:
+  Mutex* mu_;
+};
+
+/// Scoped try-lock. Branch on the object itself so the analysis narrows:
+///     TryLock lock(&mu);
+///     if (!lock) return;   // not acquired on this path
+///     guarded_state++;     // held here
+/// (The opt::Reoptimizer cluster-mutex protocol: the background thread only
+/// ever try-locks, so the serving path always wins.)
+class TACC_SCOPED_CAPABILITY TryLock {
+ public:
+  explicit TryLock(Mutex* mu) TACC_TRY_ACQUIRE(true, mu)
+      : mu_(mu), held_(mu->try_lock()) {}
+  ~TryLock() TACC_RELEASE() {
+    if (held_) mu_->unlock();
+  }
+
+  /// True iff the constructor acquired the mutex. The analysis only
+  /// understands this form (`if (lock) ...`), not a named accessor.
+  explicit operator bool() const noexcept { return held_; }
+
+  TryLock(const TryLock&) = delete;
+  TryLock& operator=(const TryLock&) = delete;
+
+ private:
+  Mutex* const mu_;
+  const bool held_;
+};
+
+/// Condition variable waiting on a held tacc::Mutex. No predicate
+/// overloads: write the wait loop in the (annotated) caller so guarded
+/// predicate reads are visible to the analysis —
+///     MutexLock lock(&mu);
+///     while (!cond) cv.wait(mu);
+/// The stop_token overloads wake on request_stop() as well.
+class CondVar {
+ public:
+  void wait(Mutex& mu) TACC_REQUIRES(mu) { cv_.wait(mu); }
+
+  template <typename Rep, typename Period>
+  std::cv_status wait_for(Mutex& mu,
+                          const std::chrono::duration<Rep, Period>& timeout)
+      TACC_REQUIRES(mu) {
+    return cv_.wait_for(mu, timeout);
+  }
+
+  /// Sleeps until notified, the timeout elapses, or `stop` is requested
+  /// (whichever first); returns pred() on exit. The predicate must not
+  /// touch guarded state (it runs inside the unannotated std machinery) —
+  /// pass a stateless lambda and re-check real conditions in the caller.
+  template <typename Rep, typename Period, typename Pred>
+  bool wait_for(Mutex& mu, const std::stop_token& stop,
+                const std::chrono::duration<Rep, Period>& timeout, Pred pred)
+      TACC_REQUIRES(mu) {
+    return cv_.wait_for(mu, stop, timeout, std::move(pred));
+  }
+
+  void notify_one() noexcept { cv_.notify_one(); }
+  void notify_all() noexcept { cv_.notify_all(); }
+
+ private:
+  std::condition_variable_any cv_;
+};
+
+}  // namespace tacc

@@ -1,0 +1,91 @@
+// Clang Thread Safety Analysis annotations (compile-time lock discipline).
+//
+// These macros attach the locking contract to the code itself so a clang
+// build with -Wthread-safety -Werror proves it: every field that a mutex
+// guards is tagged TACC_GUARDED_BY, every function that assumes a held lock
+// is tagged TACC_REQUIRES, and the tacc::Mutex wrappers (util/mutex.hpp)
+// carry the acquire/release annotations the analysis tracks. On any other
+// compiler (the default gcc build) every macro expands to nothing — the
+// annotations are free documentation there and a hard gate under the CI
+// `thread-safety` job.
+//
+// Conventions used across the repo (see DESIGN.md "Locking discipline"):
+//  - Guard with the exact expression callers lock: a member mutex for
+//    internally locked classes, a `tacc::Mutex* const` back-pointer for
+//    state guarded by an *owner's* mutex (service::Session — see
+//    Mutex::assert_held() for how lookups re-join the analysis).
+//  - TACC_REQUIRES on private _locked helpers instead of re-locking.
+//  - TACC_NO_THREAD_SAFETY_ANALYSIS is a last resort and must carry a
+//    justification comment (lint rule R5 discipline applies in spirit).
+//
+// Reference: https://clang.llvm.org/docs/ThreadSafetyAnalysis.html
+#pragma once
+
+#if defined(__clang__) && !defined(SWIG)
+#define TACC_THREAD_ANNOTATION(x) __attribute__((x))
+#else
+#define TACC_THREAD_ANNOTATION(x)  // no-op off Clang
+#endif
+
+/// Marks a class as a lockable capability ("mutex", "role", ...).
+#define TACC_CAPABILITY(x) TACC_THREAD_ANNOTATION(capability(x))
+
+/// Marks an RAII class whose lifetime acquires/releases a capability.
+#define TACC_SCOPED_CAPABILITY TACC_THREAD_ANNOTATION(scoped_lockable)
+
+/// Field/variable may only be accessed while holding `x`.
+#define TACC_GUARDED_BY(x) TACC_THREAD_ANNOTATION(guarded_by(x))
+
+/// Pointer field whose *pointee* may only be accessed while holding `x`
+/// (the pointer itself is not covered — pair with TACC_GUARDED_BY if both).
+#define TACC_PT_GUARDED_BY(x) TACC_THREAD_ANNOTATION(pt_guarded_by(x))
+
+/// Lock-ordering declarations (deadlock prevention documentation the
+/// analysis checks when both mutexes are annotated).
+#define TACC_ACQUIRED_BEFORE(...) \
+  TACC_THREAD_ANNOTATION(acquired_before(__VA_ARGS__))
+#define TACC_ACQUIRED_AFTER(...) \
+  TACC_THREAD_ANNOTATION(acquired_after(__VA_ARGS__))
+
+/// Caller must hold the capability (exclusively) when calling.
+#define TACC_REQUIRES(...) \
+  TACC_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+#define TACC_REQUIRES_SHARED(...) \
+  TACC_THREAD_ANNOTATION(requires_shared_capability(__VA_ARGS__))
+
+/// Function acquires the capability and holds it on return.
+#define TACC_ACQUIRE(...) \
+  TACC_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+#define TACC_ACQUIRE_SHARED(...) \
+  TACC_THREAD_ANNOTATION(acquire_shared_capability(__VA_ARGS__))
+
+/// Function releases the capability (must be held on entry).
+#define TACC_RELEASE(...) \
+  TACC_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+#define TACC_RELEASE_SHARED(...) \
+  TACC_THREAD_ANNOTATION(release_shared_capability(__VA_ARGS__))
+#define TACC_RELEASE_GENERIC(...) \
+  TACC_THREAD_ANNOTATION(release_generic_capability(__VA_ARGS__))
+
+/// Function tries to acquire; holds the capability iff it returned `b`.
+#define TACC_TRY_ACQUIRE(...) \
+  TACC_THREAD_ANNOTATION(try_acquire_capability(__VA_ARGS__))
+#define TACC_TRY_ACQUIRE_SHARED(...) \
+  TACC_THREAD_ANNOTATION(try_acquire_shared_capability(__VA_ARGS__))
+
+/// Caller must NOT hold the capability (non-reentrancy documentation).
+#define TACC_EXCLUDES(...) TACC_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+
+/// Asserts (to the analysis only) that the capability is held — the escape
+/// hatch for facts the checker cannot derive, e.g. an aliased owner mutex.
+#define TACC_ASSERT_CAPABILITY(x) \
+  TACC_THREAD_ANNOTATION(assert_capability(x))
+
+/// Function returns a reference to the capability `x` (lets accessors
+/// participate in guard expressions).
+#define TACC_RETURN_CAPABILITY(x) TACC_THREAD_ANNOTATION(lock_returned(x))
+
+/// Turns the analysis off for one function. Last resort; justify in a
+/// comment at the use site.
+#define TACC_NO_THREAD_SAFETY_ANALYSIS \
+  TACC_THREAD_ANNOTATION(no_thread_safety_analysis)

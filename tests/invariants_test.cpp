@@ -14,6 +14,7 @@
 #include "topology/incremental/cache.hpp"
 #include "topology/incremental/engine.hpp"
 #include "util/contracts.hpp"
+#include "util/mutex.hpp"
 #include "util/rng.hpp"
 
 namespace tacc::topo {
@@ -71,7 +72,7 @@ namespace tacc::service {
 struct ServiceEngineTestPeer {
   static void bump_accepted(Engine& engine) {
     Engine::Shard& shard = *engine.shards_.front();
-    const std::lock_guard<std::mutex> lock(shard.mutex);
+    const MutexLock lock(&shard.mutex);
     ++shard.counters.accepted;
   }
 };

@@ -9,12 +9,12 @@
 
 #include <chrono>
 #include <cstdint>
-#include <mutex>
 #include <thread>
 
 #include "core/dynamic.hpp"
 #include "optimize/planner.hpp"
 #include "util/contracts.hpp"
+#include "util/mutex.hpp"
 #include "util/rng.hpp"
 
 namespace tacc::opt {
@@ -111,7 +111,7 @@ TEST(Reoptimizer, RunPassDrivesCostDown) {
   ASSERT_GT(degrade(cluster, 6), 0u);
   const double before = cluster.total_cost();
 
-  std::mutex mutex;
+  tacc::Mutex mutex;
   ReoptOptions options;
   options.validate = true;  // bracket the apply with check_invariants
   Reoptimizer reopt(cluster, mutex, options);
@@ -129,7 +129,7 @@ TEST(Reoptimizer, BudgetCapsMovesPerWindow) {
   DynamicCluster cluster = make_cluster(25);
   ASSERT_GT(degrade(cluster, 10), 3u);
 
-  std::mutex mutex;
+  tacc::Mutex mutex;
   ReoptOptions options;
   options.budget.max_moves_per_window = 2;
   options.budget.max_device_moves_per_window = 1;
@@ -146,7 +146,7 @@ TEST(Reoptimizer, BudgetCapsMovesPerWindow) {
 TEST(Reoptimizer, StatsPartitionProposalsExactly) {
   DynamicCluster cluster = make_cluster(26);
   degrade(cluster, 10);
-  std::mutex mutex;
+  tacc::Mutex mutex;
   Reoptimizer reopt(cluster, mutex, ReoptOptions{});
   for (int i = 0; i < 8; ++i) (void)reopt.run_pass();
   const ReoptStats stats = reopt.stats();
@@ -157,7 +157,7 @@ TEST(Reoptimizer, StatsPartitionProposalsExactly) {
 
 TEST(Reoptimizer, StartStopIdempotent) {
   DynamicCluster cluster = make_cluster(27);
-  std::mutex mutex;
+  tacc::Mutex mutex;
   ReoptOptions options;
   options.interval_ms = 1.0;
   Reoptimizer reopt(cluster, mutex, options);
@@ -175,7 +175,7 @@ TEST(Reoptimizer, StartStopIdempotent) {
 
 TEST(ReoptConcurrency, BackgroundThreadRacesChurn) {
   DynamicCluster cluster = make_cluster(28, 60, 6);
-  std::mutex mutex;
+  tacc::Mutex mutex;
   ReoptOptions options;
   options.interval_ms = 0.1;
   options.seed = 28;
@@ -188,7 +188,7 @@ TEST(ReoptConcurrency, BackgroundThreadRacesChurn) {
   workload::IotDevice device;
   for (int i = 0; i < 400; ++i) {
     {
-      const std::scoped_lock lock(mutex);
+      const MutexLock lock(&mutex);
       const std::size_t slot = rng.index(cluster.device_slot_count());
       if (cluster.is_active(slot) && cluster.active_count() > 10) {
         if (rng.uniform(0.0, 1.0) < 0.5) {
@@ -211,13 +211,13 @@ TEST(ReoptConcurrency, BackgroundThreadRacesChurn) {
   const ReoptStats stats = reopt.stats();
   EXPECT_EQ(stats.moves_proposed, stats.moves_applied + stats.rejected());
   reopt.check_invariants();
-  const std::scoped_lock lock(mutex);
+  const MutexLock lock(&mutex);
   cluster.check_invariants();
 }
 
 TEST(ReoptConcurrency, StopWhileHoldingClusterMutexCannotDeadlock) {
   DynamicCluster cluster = make_cluster(29);
-  std::mutex mutex;
+  tacc::Mutex mutex;
   ReoptOptions options;
   options.interval_ms = 0.1;
   Reoptimizer reopt(cluster, mutex, options);
@@ -226,7 +226,7 @@ TEST(ReoptConcurrency, StopWhileHoldingClusterMutexCannotDeadlock) {
   {
     // The background thread only ever try_locks the cluster mutex, so
     // stopping it while we hold that mutex must complete.
-    const std::scoped_lock lock(mutex);
+    const MutexLock lock(&mutex);
     reopt.stop();
   }
   EXPECT_FALSE(reopt.running());

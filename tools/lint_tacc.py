@@ -17,8 +17,12 @@ Enforces the conventions clang-tidy cannot express:
   R4  include hygiene: no uphill-relative includes ("../"), no
       <bits/stdc++.h>, every header starts with #pragma once, and every
       src/ .cpp includes its own header first (self-contained headers).
-  R5  NOLINT markers must carry a justification: "NOLINT(check): reason"
-      or a NOLINTNEXTLINE with a trailing explanation.
+  R5  NOLINT markers must carry a justification ON THE MARKER LINE:
+      "NOLINT(check): reason" / "NOLINTNEXTLINE(check): reason" /
+      "NOLINTBEGIN(check): reason". A comment on the following line does
+      not count (nothing ties it to the suppression), a bare NOLINT never
+      passes, and block-comment markers (/* NOLINT(...) */) are held to
+      the same rule. NOLINTEND only needs to name the check(s) it closes.
   R6  src/optimize/ never mutates a DynamicCluster directly: no calls to
       move/move_pinned/join/leave/rebalance/repair/fail_server/
       recover_server/evacuate_server — every optimizer mutation goes
@@ -31,17 +35,21 @@ Enforces the conventions clang-tidy cannot express:
       interchangeable.
 
 Run from the repo root (or via the `lint` CMake target):
-    python3 tools/lint_tacc.py
-Exits 1 if any finding is reported, printing file:line: rule: message.
+    python3 tools/lint_tacc.py [--json] [--root DIR]
+Exits 1 if any finding is reported, printing file:line: rule: message —
+or, with --json, a machine-readable {"count": N, "findings": [...]} object
+(each finding carries file/line/rule/message) for CI annotation tooling.
 """
 
 from __future__ import annotations
 
+import argparse
+import json
 import re
 import sys
 from pathlib import Path
 
-ROOT = Path(__file__).resolve().parent.parent
+DEFAULT_ROOT = Path(__file__).resolve().parent.parent
 SRC_DIRS = ["src"]
 ALL_CODE_DIRS = ["src", "bench", "examples", "tools", "tests"]
 
@@ -73,7 +81,13 @@ CONSOLE_IO = re.compile(
 UPHILL_INCLUDE = re.compile(r'#\s*include\s*"\.\./')
 BITS_INCLUDE = re.compile(r"#\s*include\s*<bits/stdc\+\+\.h>")
 INCLUDE_LINE = re.compile(r'#\s*include\s*"([^"]+)"')
-NOLINT = re.compile(r"//\s*NOLINT(NEXTLINE)?(\(([^)]*)\))?(.*)")
+# Any clang-tidy suppression marker, in a line or block comment. Groups:
+# (1) variant suffix, (2) parenthesized check list incl. parens,
+# (3) check list, (4) everything after the marker (the reason must live
+# here — on the marker line — so the suppression and its justification
+# can never drift apart).
+NOLINT = re.compile(
+    r"(?://|/\*)\s*NOLINT(NEXTLINE|BEGIN|END)?\b(\(([^)]*)\))?(.*)")
 
 
 def strip_comments_and_strings(line: str) -> str:
@@ -84,26 +98,31 @@ def strip_comments_and_strings(line: str) -> str:
     return line
 
 
-def iter_files(dirs: list[str], suffixes: tuple[str, ...]) -> list[Path]:
+def iter_files(root: Path, dirs: list[str],
+               suffixes: tuple[str, ...]) -> list[Path]:
     files: list[Path] = []
     for d in dirs:
-        base = ROOT / d
+        base = root / d
         if base.is_dir():
             files.extend(p for p in sorted(base.rglob("*"))
                          if p.suffix in suffixes and p.is_file())
     return files
 
 
-def main() -> int:
-    findings: list[str] = []
+def collect_findings(root: Path) -> list[dict]:
+    findings: list[dict] = []
 
     def report(path: Path, line_no: int, rule: str, message: str) -> None:
-        rel = path.relative_to(ROOT)
-        findings.append(f"{rel}:{line_no}: {rule}: {message}")
+        findings.append({
+            "file": path.relative_to(root).as_posix(),
+            "line": line_no,
+            "rule": rule,
+            "message": message,
+        })
 
     # ---- src/-only rules (R1, R2, R4 self-include) --------------------------
-    for path in iter_files(SRC_DIRS, (".cpp", ".hpp")):
-        rel = str(path.relative_to(ROOT))
+    for path in iter_files(root, SRC_DIRS, (".cpp", ".hpp")):
+        rel = path.relative_to(root).as_posix()
         text = path.read_text(encoding="utf-8")
         lines = text.splitlines()
         in_block_comment = False
@@ -160,7 +179,7 @@ def main() -> int:
         # R4: self-contained headers — a src/ .cpp includes its header first.
         if path.suffix == ".cpp":
             own = rel[len("src/"):-len(".cpp")] + ".hpp"
-            if (ROOT / "src" / own).exists():
+            if (root / "src" / own).exists():
                 first = next((m.group(1) for line in lines
                               if (m := INCLUDE_LINE.match(line.strip()))),
                              None)
@@ -170,8 +189,8 @@ def main() -> int:
                            f'(found {first!r})')
 
     # ---- Repo-wide rules (R3, R4 includes, R5) ------------------------------
-    for path in iter_files(ALL_CODE_DIRS, (".cpp", ".hpp")):
-        rel = str(path.relative_to(ROOT))
+    for path in iter_files(root, ALL_CODE_DIRS, (".cpp", ".hpp")):
+        rel = path.relative_to(root).as_posix()
         lines = path.read_text(encoding="utf-8").splitlines()
 
         if path.suffix == ".hpp":
@@ -199,18 +218,50 @@ def main() -> int:
 
             m = NOLINT.search(raw)
             if m:
-                checks, trailer = m.group(3), (m.group(4) or "").strip()
-                if not checks:
+                variant = m.group(1) or ""
+                marker = "NOLINT" + variant
+                checks = m.group(3)
+                reason = (m.group(4) or "").strip().lstrip(":").strip()
+                if reason.endswith("*/"):
+                    reason = reason[:-2].strip()  # block-comment close
+                if variant == "END":
+                    # NOLINTEND closes a range; the justification lives on
+                    # the matching NOLINTBEGIN. It must still name the
+                    # check(s) so ranges can't silently widen.
+                    if not checks:
+                        report(path, i, "R5",
+                               "NOLINTEND must name the check(s) it closes")
+                elif not checks:
                     report(path, i, "R5",
-                           "bare NOLINT; name the check: NOLINT(check): why")
-                elif not (trailer.lstrip(":").strip()):
+                           f"bare {marker}; name the check: "
+                           f"{marker}(check): why")
+                elif not reason:
                     report(path, i, "R5",
-                           f"NOLINT({checks}) without a justification comment")
+                           f"{marker}({checks}) without a justification on "
+                           "the marker line (a comment on the following "
+                           "line does not count)")
 
+    return findings
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description="tacc project-rule linter")
+    parser.add_argument("--json", action="store_true", dest="as_json",
+                        help="emit machine-readable JSON findings")
+    parser.add_argument("--root", default=None,
+                        help="tree to lint (default: the repo root)")
+    args = parser.parse_args()
+    root = Path(args.root).resolve() if args.root else DEFAULT_ROOT
+
+    findings = collect_findings(root)
+    if args.as_json:
+        print(json.dumps({"count": len(findings), "findings": findings},
+                         indent=2))
+        return 1 if findings else 0
     if findings:
         print(f"lint_tacc: {len(findings)} finding(s)")
         for f in findings:
-            print("  " + f)
+            print(f"  {f['file']}:{f['line']}: {f['rule']}: {f['message']}")
         return 1
     print("lint_tacc: clean")
     return 0

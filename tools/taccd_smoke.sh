@@ -77,6 +77,50 @@ printf '%s\n' "$STATS_LINE" | grep -q 'link_updates=2' \
   || { echo "FAIL: STATS did not report link_updates=2"; exit 1; }
 rm -f "$OUT.links"
 
+# Delay-oracle observability: ORACLE_STATS must answer for both backends,
+# name the backend it serves from, and its queries / exact_fallbacks
+# counters must be monotone non-decreasing across calls (they are
+# cumulative; a reset would silently corrupt rate computations downstream).
+field() {
+  printf '%s\n' "$1" | sed -n "s/.*[[:space:]]$2=\([0-9][0-9]*\).*/\1/p"
+}
+
+ORA1=$("$CLIENT" --socket="$SOCK" ORACLE_STATS smoke)
+echo "-> ORACLE_STATS smoke: $ORA1"
+printf '%s\n' "$ORA1" | grep -q 'backend=exact' \
+  || { echo "FAIL: smoke session not on the exact oracle backend"; exit 1; }
+Q1=$(field "$ORA1" queries)
+[ -n "$Q1" ] || { echo "FAIL: ORACLE_STATS missing queries="; exit 1; }
+expect_ok JOIN smoke 2.2 1.1
+ORA2=$("$CLIENT" --socket="$SOCK" ORACLE_STATS smoke)
+echo "-> ORACLE_STATS smoke: $ORA2"
+Q2=$(field "$ORA2" queries)
+[ "$Q2" -ge "$Q1" ] \
+  || { echo "FAIL: exact oracle queries went backwards ($Q1 -> $Q2)"; exit 1; }
+
+# Same verb against a landmark-backed session (per-request oracle= spec
+# overrides the daemon-wide default).
+expect_ok CONFIGURE lmk 80 6 seed=7 oracle=landmark,k=4,eps=0.25
+expect_ok JOIN lmk 1.2 3.4
+LM1=$("$CLIENT" --socket="$SOCK" ORACLE_STATS lmk)
+echo "-> ORACLE_STATS lmk: $LM1"
+printf '%s\n' "$LM1" | grep -q 'backend=landmark' \
+  || { echo "FAIL: lmk session not on the landmark backend"; exit 1; }
+LQ1=$(field "$LM1" queries)
+LF1=$(field "$LM1" exact_fallbacks)
+[ -n "$LQ1" ] && [ -n "$LF1" ] \
+  || { echo "FAIL: landmark ORACLE_STATS missing counters"; exit 1; }
+expect_ok JOIN lmk 2.2 0.4
+expect_ok JOIN lmk 0.4 2.8
+LM2=$("$CLIENT" --socket="$SOCK" ORACLE_STATS lmk)
+echo "-> ORACLE_STATS lmk: $LM2"
+LQ2=$(field "$LM2" queries)
+LF2=$(field "$LM2" exact_fallbacks)
+[ "$LQ2" -gt "$LQ1" ] \
+  || { echo "FAIL: landmark queries not increasing ($LQ1 -> $LQ2) after JOINs"; exit 1; }
+[ "$LF2" -ge "$LF1" ] \
+  || { echo "FAIL: landmark exact_fallbacks went backwards ($LF1 -> $LF2)"; exit 1; }
+
 # Forced OVERLOADED: pipeline a SLEEP that occupies the session plus more
 # JOINs than the 2-deep admission queue can hold. The client exits 3 (some
 # ERR responses) — what matters is that every request got exactly one

@@ -1,0 +1,105 @@
+#!/usr/bin/env bash
+# Proof that the thread-safety gate actually fires: compiles a seeded lock
+# discipline violation (a TACC_GUARDED_BY field written without its mutex)
+# against the real util/mutex.hpp with -Werror=thread-safety and asserts the
+# build FAILS — then compiles the corrected version and asserts it passes.
+# A green -Wthread-safety CI job is only meaningful alongside this check:
+# if the annotations were disabled (wrong compiler, macro gate broken, flag
+# dropped), step 1 would "succeed" and this script would fail.
+#
+# Usage: tools/tsa_negative_check.sh [repo_root]
+# Exit: 0 = gate verified; 77 = no clang available (ctest SKIP_RETURN_CODE);
+#       1 = gate did NOT fire (or a clean TU failed to build).
+set -u
+
+root="${1:-$(cd "$(dirname "$0")/.." && pwd)}"
+
+# Thread-safety analysis is clang-only; the macros no-op elsewhere.
+cxx=""
+for candidate in clang++ clang++-20 clang++-19 clang++-18 clang++-17 \
+                 clang++-16 clang++-15 clang++-14; do
+  if command -v "$candidate" >/dev/null 2>&1; then
+    cxx="$candidate"
+    break
+  fi
+done
+if [[ -z "$cxx" ]]; then
+  echo "tsa_negative_check: SKIPPED — no clang++ on PATH (the" \
+       "-Wthread-safety gate is clang-only)"
+  exit 77
+fi
+
+workdir="$(mktemp -d -t tacc_tsa_check.XXXXXX)"
+trap 'rm -rf "$workdir"' EXIT
+
+cat > "$workdir/violation.cpp" <<'EOF'
+#include "util/mutex.hpp"
+#include "util/thread_annotations.hpp"
+
+struct Account {
+  tacc::Mutex mu;
+  int balance TACC_GUARDED_BY(mu) = 0;
+
+  // Seeded violation: writes a guarded field without holding its mutex.
+  void deposit_unlocked() { balance += 1; }
+};
+
+int main() {
+  Account account;
+  account.deposit_unlocked();
+  return account.balance == 1 ? 0 : 1;
+}
+EOF
+
+cat > "$workdir/fixed.cpp" <<'EOF'
+#include "util/mutex.hpp"
+#include "util/thread_annotations.hpp"
+
+struct Account {
+  tacc::Mutex mu;
+  int balance TACC_GUARDED_BY(mu) = 0;
+
+  void deposit() TACC_EXCLUDES(mu) {
+    const tacc::MutexLock lock(&mu);
+    balance += 1;
+  }
+};
+
+int main() {
+  Account account;
+  account.deposit();
+  tacc::MutexLock lock(&account.mu);
+  return account.balance == 1 ? 0 : 1;
+}
+EOF
+
+flags=(-std=c++20 "-I$root/src" -Wthread-safety -Werror=thread-safety
+       -fsyntax-only)
+
+echo "tsa_negative_check: using $cxx"
+
+# Step 1: the seeded violation MUST be rejected.
+if out="$("$cxx" "${flags[@]}" "$workdir/violation.cpp" 2>&1)"; then
+  echo "tsa_negative_check: FAIL — the seeded guarded-field violation" \
+       "compiled cleanly; the -Wthread-safety gate is NOT firing"
+  exit 1
+fi
+if ! grep -q "thread-safety" <<<"$out"; then
+  echo "tsa_negative_check: FAIL — compilation failed for a reason other" \
+       "than thread-safety analysis:"
+  echo "$out"
+  exit 1
+fi
+echo "tsa_negative_check: ok — seeded violation rejected" \
+     "($(grep -c "error:" <<<"$out") error(s))"
+
+# Step 2: the disciplined version MUST build, or the gate is unusable.
+if ! out="$("$cxx" "${flags[@]}" "$workdir/fixed.cpp" 2>&1)"; then
+  echo "tsa_negative_check: FAIL — the corrected TU did not compile under" \
+       "-Werror=thread-safety:"
+  echo "$out"
+  exit 1
+fi
+echo "tsa_negative_check: ok — disciplined version accepted"
+echo "tsa_negative_check: PASS"
+exit 0
